@@ -1,0 +1,78 @@
+//! Criterion ablations on the DESIGN.md design choices.
+//!
+//! These measure *quality-affecting* knobs rather than raw speed, but each
+//! bench also records the wall-clock of the underlying computation:
+//!
+//! * filecule structure granularity (coarse vs fine dataset block cuts) and
+//!   its effect on the Figure 10 gap;
+//! * identification from a prefix of the trace (how fast does the
+//!   partition converge);
+//! * window count in the dynamics analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use filecule_core::dynamics::window_stability;
+use filecule_core::identify::incremental::identify_until;
+use hep_bench::scenario::standard_set;
+use hep_trace::{SynthConfig, TraceSynthesizer};
+
+fn blocky_trace(fine: bool) -> hep_trace::Trace {
+    let mut cfg = SynthConfig::paper(7, 400.0);
+    cfg.user_scale = 8.0;
+    cfg.block_count_weights = if fine {
+        vec![(8, 0.5), (16, 0.5)]
+    } else {
+        vec![(1, 0.7), (2, 0.3)]
+    };
+    TraceSynthesizer::new(cfg).generate()
+}
+
+fn bench_block_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-block-granularity");
+    group.sample_size(10);
+    for fine in [false, true] {
+        let trace = blocky_trace(fine);
+        group.bench_with_input(
+            BenchmarkId::new("identify", if fine { "fine" } else { "coarse" }),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(standard_set(t))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefix_identification(c: &mut Criterion) {
+    let mut cfg = SynthConfig::paper(7, 400.0);
+    cfg.user_scale = 8.0;
+    let trace = TraceSynthesizer::new(cfg).generate();
+    let horizon = trace.horizon();
+    let mut group = c.benchmark_group("ablation-prefix-identification");
+    group.sample_size(10);
+    for pct in [25u64, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("until", pct), &pct, |b, &pct| {
+            b.iter(|| std::hint::black_box(identify_until(&trace, horizon * pct / 100 + 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamics_windows(c: &mut Criterion) {
+    let mut cfg = SynthConfig::paper(7, 400.0);
+    cfg.user_scale = 8.0;
+    let trace = TraceSynthesizer::new(cfg).generate();
+    let mut group = c.benchmark_group("ablation-dynamics-windows");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("windows", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(window_stability(&trace, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_granularity,
+    bench_prefix_identification,
+    bench_dynamics_windows
+);
+criterion_main!(benches);

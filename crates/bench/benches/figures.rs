@@ -1,0 +1,29 @@
+//! Criterion benches: regeneration cost of every figure (1–12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hep_bench::artifacts::{build, Ctx};
+use hep_bench::scenario::{standard_set, trace_at_scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let trace = trace_at_scale(200.0, 4.0);
+    let set = standard_set(&trace);
+    let ctx = Ctx {
+        trace: &trace,
+        set: &set,
+        scale: 200.0,
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in [
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+        "fig10", "fig11", "fig12",
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| std::hint::black_box(build(&ctx, id).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches: filecule identification algorithms.
+//!
+//! Compares the three equivalent implementations (offline signature
+//! grouping, its rayon-parallel variant, and streaming partition
+//! refinement) and measures generation cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use filecule_core::identify::exact::{identify, identify_parallel};
+use filecule_core::identify::hashed::identify_hashed;
+use filecule_core::identify::refine::identify_refine;
+use hep_bench::scenario::trace_at_scale;
+use hep_trace::{SynthConfig, TraceSynthesizer};
+
+fn bench_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identification");
+    group.sample_size(10);
+    for scale in [400.0f64, 100.0] {
+        let trace = trace_at_scale(scale, 4.0);
+        group.throughput(Throughput::Elements(trace.n_accesses() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("exact", trace.n_accesses()),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(identify(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", trace.n_accesses()),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(identify_parallel(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("refine", trace.n_accesses()),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(identify_refine(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hashed", trace.n_accesses()),
+            &trace,
+            |b, t| b.iter(|| std::hint::black_box(identify_hashed(t))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for scale in [400.0f64, 100.0] {
+        group.bench_with_input(
+            BenchmarkId::new("synth", scale as u64),
+            &scale,
+            |b, &s| {
+                b.iter(|| {
+                    let mut cfg = SynthConfig::paper(1, s);
+                    cfg.user_scale = 4.0;
+                    std::hint::black_box(TraceSynthesizer::new(cfg).generate())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_identification, bench_generation);
+criterion_main!(benches);

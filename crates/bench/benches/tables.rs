@@ -1,0 +1,26 @@
+//! Criterion benches: regeneration cost of Table 1 and Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hep_bench::artifacts::{build, Ctx};
+use hep_bench::scenario::{standard_set, trace_at_scale};
+
+fn bench_tables(c: &mut Criterion) {
+    let trace = trace_at_scale(200.0, 4.0);
+    let set = standard_set(&trace);
+    let ctx = Ctx {
+        trace: &trace,
+        set: &set,
+        scale: 200.0,
+    };
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for id in ["table1", "table2"] {
+        group.bench_function(id, |b| {
+            b.iter(|| std::hint::black_box(build(&ctx, id).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

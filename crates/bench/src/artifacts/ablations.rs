@@ -1,0 +1,119 @@
+//! Quality ablations: how the Figure 10 result depends on the workload
+//! model's design knobs (DESIGN.md calls these out). Run at 1/16 scale so
+//! the whole grid stays fast; criterion variants live in
+//! `benches/ablations.rs`.
+
+use super::{Artifact, Ctx};
+use cachesim::sweep::sweep_fig10;
+use hep_trace::{SynthConfig, TraceSynthesizer};
+use std::fmt::Write as _;
+
+const ABLATION_SCALE: f64 = 16.0;
+
+fn fig10_summary(cfg: SynthConfig) -> (f64, f64, usize) {
+    let scale = cfg.scale;
+    let trace = TraceSynthesizer::new(cfg).generate();
+    let set = filecule_core::identify(&trace);
+    let rows = sweep_fig10(&trace, &set, scale);
+    let first = rows.first().unwrap().improvement_factor();
+    let last = rows.last().unwrap().improvement_factor();
+    (first, last, set.n_filecules())
+}
+
+/// The ablation grid: each row perturbs one generator knob and reports the
+/// Figure 10 improvement factors at the smallest and largest cache.
+pub fn ablations(ctx: &Ctx<'_>) -> Artifact {
+    let _ = ctx;
+    ablations_at(ABLATION_SCALE, 1.0)
+}
+
+/// The grid at an arbitrary scale (tests use a heavily reduced one).
+pub fn ablations_at(scale: f64, user_scale: f64) -> Artifact {
+    let base = || {
+        let mut c = SynthConfig::paper(hep_stats::rng::DEFAULT_SEED, scale);
+        c.user_scale = user_scale;
+        c
+    };
+
+    let mut variants: Vec<(&'static str, SynthConfig)> = vec![("baseline", base())];
+    {
+        let mut c = base();
+        c.block_count_weights = vec![(1, 0.7), (2, 0.3)];
+        variants.push(("coarse filecules (1-2 blocks)", c));
+    }
+    {
+        let mut c = base();
+        c.block_count_weights = vec![(16, 0.5), (24, 0.5)];
+        variants.push(("fine filecules (16-24 blocks)", c));
+    }
+    {
+        let mut c = base();
+        c.campaign_mean_jobs = 1.0;
+        variants.push(("no campaigns (single-job)", c));
+    }
+    {
+        let mut c = base();
+        c.campaign_gap_days = 14.0;
+        variants.push(("sparse campaigns (14-day gaps)", c));
+    }
+    {
+        let mut c = base();
+        c.p_full_view = 1.0;
+        variants.push(("full-dataset views only", c));
+    }
+    {
+        let mut c = base();
+        c.popularity_exponent = 1.2;
+        c.popularity_shift = 0.0;
+        variants.push(("steep Zipf popularity", c));
+    }
+
+    let mut text = String::from(
+        "  Figure 10 improvement factor (file-LRU miss / filecule-LRU miss)\n  \
+         under generator-knob perturbations, at 1/16 scale:\n\n    \
+         variant                          | filecules | factor@1TB | factor@100TB\n    \
+         ---------------------------------+-----------+------------+-------------\n",
+    );
+    let mut csv = String::from("variant,filecules,factor_1tb,factor_100tb\n");
+    for (name, cfg) in variants {
+        let (first, last, n) = fig10_summary(cfg);
+        writeln!(
+            text,
+            "    {name:<32} | {n:>9} | {first:>9.1}x | {last:>11.1}x"
+        )
+        .unwrap();
+        writeln!(csv, "{name},{n},{first:.3},{last:.3}").unwrap();
+    }
+    text.push_str(
+        "\n  reading: filecule granularity dominates the large-cache factor —\n  \
+         coarse groups (or full-dataset views, which collapse each dataset\n  \
+         to one filecule) act as huge prefetch units and push the factor\n  \
+         past 100x, while finer groups pull it toward the paper's range;\n  \
+         campaign temporal structure and popularity shape move it only\n  \
+         mildly. The headline direction (filecule-LRU wins, gap grows with\n  \
+         cache size) survives every perturbation.\n",
+    );
+    Artifact {
+        id: "ablations",
+        title: "Ablations: Figure 10 sensitivity to workload-model knobs",
+        text,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_artifact_builds() {
+        // Heavily reduced scale: the test checks the artifact contract
+        // (columns, rows), not the quality numbers.
+        let a = ablations_at(400.0, 8.0);
+        assert_eq!(a.id, "ablations");
+        assert!(a.csv.lines().count() >= 7);
+        for line in a.csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 4, "{line}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! One function per paper artifact. Each returns an [`Artifact`] holding a
+//! rendered text block (what `report` prints) and CSV rows (what `report`
+//! writes to `target/report/<id>.csv`).
+
+pub mod ablations;
+pub mod figures;
+pub mod seeds;
+pub mod sections;
+pub mod tables;
+
+use filecule_core::FileculeSet;
+use hep_trace::Trace;
+
+/// A regenerated table or figure.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Stable id: `table1`, `fig01`, …, `sec6`.
+    pub id: &'static str,
+    /// Human title, as in the paper.
+    pub title: &'static str,
+    /// Rendered text block.
+    pub text: String,
+    /// CSV content (with header row).
+    pub csv: String,
+}
+
+/// Everything an artifact needs.
+pub struct Ctx<'a> {
+    /// The trace under analysis.
+    pub trace: &'a Trace,
+    /// Its global filecule partition.
+    pub set: &'a FileculeSet,
+    /// The scale divisor the trace was generated at (for paper-value
+    /// comparisons).
+    pub scale: f64,
+}
+
+/// All artifact ids in paper order. The `ablations` and `seeds` artifacts
+/// are not in the default set (they regenerate several traces); request
+/// them explicitly with `report ablations seeds`.
+pub const ALL_IDS: [&str; 20] = [
+    "table1", "table2", "calibration", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "sec5", "sec6", "sec8", "grid",
+    "headline",
+];
+
+/// Regenerate one artifact by id.
+pub fn build(ctx: &Ctx<'_>, id: &str) -> Option<Artifact> {
+    Some(match id {
+        "table1" => tables::table1(ctx),
+        "table2" => tables::table2(ctx),
+        "calibration" => tables::calibration_check(ctx),
+        "fig01" => figures::fig01(ctx),
+        "fig02" => figures::fig02(ctx),
+        "fig03" => figures::fig03(ctx),
+        "fig04" => figures::fig04(ctx),
+        "fig05" => figures::fig05(ctx),
+        "fig06" => figures::fig06(ctx),
+        "fig07" => figures::fig07(ctx),
+        "fig08" => figures::fig08(ctx),
+        "fig09" => figures::fig09(ctx),
+        "fig10" => figures::fig10(ctx),
+        "fig11" => figures::fig11(ctx),
+        "fig12" => figures::fig12(ctx),
+        "sec5" => sections::sec5(ctx),
+        "sec6" => sections::sec6(ctx),
+        "sec8" => sections::sec8(ctx),
+        "grid" => sections::grid(ctx),
+        "ablations" => ablations::ablations(ctx),
+        "seeds" => seeds::seeds(ctx),
+        "headline" => sections::headline(ctx),
+        _ => return None,
+    })
+}
+
+/// Percentiles of a (copied) sample: `(p50, p90, p99)`.
+pub(crate) fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
+    (q(0.5), q(0.9), q(0.99))
+}
+
+/// Render a log-histogram as text bars.
+pub(crate) fn render_log_hist(
+    values: impl Iterator<Item = f64>,
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+    unit: &str,
+) -> (String, String) {
+    let mut h = hep_stats::histogram::LogHistogram::new(lo, hi, nbins);
+    h.record_all(values);
+    let max = (0..h.nbins()).map(|i| h.bin_count(i)).max().unwrap_or(1).max(1);
+    let mut text = String::new();
+    let mut csv = format!("bin_lo_{unit},bin_hi_{unit},count\n");
+    for i in 0..h.nbins() {
+        let (a, b) = h.bin_edges(i);
+        let c = h.bin_count(i);
+        let bar = "#".repeat((c * 40 / max) as usize);
+        text.push_str(&format!("  [{a:>10.1}, {b:>10.1}) {unit:<5} {c:>7} {bar}\n"));
+        csv.push_str(&format!("{a},{b},{c}\n"));
+    }
+    if h.underflow() + h.overflow() > 0 {
+        text.push_str(&format!(
+            "  (underflow {} / overflow {})\n",
+            h.underflow(),
+            h.overflow()
+        ));
+    }
+    (text, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{standard_set, trace_at_scale};
+
+    #[test]
+    fn every_artifact_builds() {
+        let trace = trace_at_scale(400.0, 8.0);
+        let set = standard_set(&trace);
+        let ctx = Ctx {
+            trace: &trace,
+            set: &set,
+            scale: 400.0,
+        };
+        for id in ALL_IDS {
+            let a = build(&ctx, id).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert_eq!(a.id, id);
+            assert!(!a.text.is_empty(), "{id} text empty");
+            assert!(a.csv.lines().count() >= 2, "{id} csv has no data rows");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let trace = trace_at_scale(400.0, 8.0);
+        let set = standard_set(&trace);
+        let ctx = Ctx {
+            trace: &trace,
+            set: &set,
+            scale: 400.0,
+        };
+        assert!(build(&ctx, "nonsense").is_none());
+    }
+
+    #[test]
+    fn percentiles_ordering() {
+        let (a, b, c) = percentiles((1..=100).map(|i| i as f64).collect());
+        assert!(a <= b && b <= c);
+        assert_eq!(a, 50.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Section 5 (BitTorrent), Section 6 (partial knowledge / replication) and
+//! the Section 4 headline summary.
+
+use super::{Artifact, Ctx};
+use cachesim::{simulate, FileLru, FileculeLru};
+use filecule_core::identify::partial::{coarsening_reports, identify_per_site};
+use hep_trace::TB;
+use replication::{
+    evaluate, file_popularity_placement, filecule_popularity_placement,
+    local_filecule_placement, no_replication, training_jobs,
+};
+use std::fmt::Write as _;
+use transfer::concurrency::concurrency_ccdf;
+use transfer::{assess, SwarmModel};
+
+/// Section 5: the BitTorrent feasibility verdict.
+pub fn sec5(ctx: &Ctx<'_>) -> Artifact {
+    let model = SwarmModel::default();
+    let window = 86_400; // one-day retention
+    let (report, stats) = assess(ctx.trace, ctx.set, &model, window, 1.5);
+    let mut text = format!(
+        "  filecules analyzed:              {}\n  \
+         peak concurrency >= 2 (windowed): {} ({:.1}%)\n  \
+         predicted speedup >= 1.5x:        {} ({:.1}%)\n  \
+         max peak concurrency:            {} windowed / {} optimistic\n  \
+         mean predicted speedup:           {:.2}x\n  \
+         verdict: BitTorrent {} justified (paper: not justified)\n  concurrency CCDF (windowed):\n",
+        report.n_filecules,
+        report.with_any_concurrency,
+        report.with_any_concurrency as f64 / report.n_filecules.max(1) as f64 * 100.0,
+        report.worthwhile,
+        report.worthwhile as f64 / report.n_filecules.max(1) as f64 * 100.0,
+        report.max_peak_windowed,
+        report.max_peak_interval,
+        report.mean_speedup,
+        if report.bittorrent_not_justified { "NOT" } else { "IS" },
+    );
+    let ccdf = concurrency_ccdf(&stats, true);
+    let mut csv = String::from("min_peak_users,filecules\n");
+    for &(k, c) in &ccdf {
+        writeln!(text, "    peak >= {k:>3}: {c:>7} filecules").unwrap();
+        writeln!(csv, "{k},{c}").unwrap();
+    }
+
+    // Chunk-level swarm simulation of the case-study filecule, driven by
+    // the *actual* request times from the trace: months-apart arrivals
+    // leave nothing for swarming to exploit.
+    if let Some(g) = transfer::hottest_filecule(ctx.trace, ctx.set) {
+        let arrivals: Vec<u64> = transfer::intervals::filecule_requests(ctx.trace, ctx.set, g)
+            .iter()
+            .map(|&(t, _, _)| t)
+            .collect();
+        let r = transfer::simulate_swarm(
+            ctx.set.size_bytes(g),
+            &arrivals,
+            &transfer::SwarmSimConfig::default(),
+        );
+        writeln!(
+            text,
+            "  chunk-level swarm replay of the case-study filecule ({} requesters):\n    \
+             p2p byte fraction {:.1}% — real arrival spacing leaves swarming ~unused",
+            arrivals.len(),
+            r.p2p_fraction() * 100.0
+        )
+        .unwrap();
+    }
+    Artifact {
+        id: "sec5",
+        title: "Section 5: using BitTorrent for filecule distribution",
+        text,
+        csv,
+    }
+}
+
+/// Section 6: partial-knowledge identification and replication cost.
+pub fn sec6(ctx: &Ctx<'_>) -> Artifact {
+    let per_site = identify_per_site(ctx.trace);
+    let mut reports = coarsening_reports(ctx.trace, ctx.set, &per_site);
+    reports.sort_by_key(|r| std::cmp::Reverse(r.n_jobs));
+
+    let mut text = String::from(
+        "  per-site identification (all local filecules verified to be unions of global ones):\n    \
+         site |   jobs | local fc | global fc | mean local sz | exact%\n    \
+         -----+--------+----------+-----------+---------------+-------\n",
+    );
+    let mut csv = String::from(
+        "site,jobs,local_filecules,global_filecules,mean_local_size,exact_fraction,union_ok\n",
+    );
+    for r in reports.iter().take(10) {
+        writeln!(
+            text,
+            "    {:>4} | {:>6} | {:>8} | {:>9} | {:>13.1} | {:>5.1}",
+            r.site,
+            r.n_jobs,
+            r.local_filecules,
+            r.global_filecules_covered,
+            r.mean_local_size,
+            r.exact_fraction * 100.0
+        )
+        .unwrap();
+    }
+    for r in &reports {
+        writeln!(
+            csv,
+            "{},{},{},{},{:.2},{:.4},{}",
+            r.site,
+            r.n_jobs,
+            r.local_filecules,
+            r.global_filecules_covered,
+            r.mean_local_size,
+            r.exact_fraction,
+            r.is_union_of_global
+        )
+        .unwrap();
+    }
+    let all_union = reports.iter().all(|r| r.is_union_of_global);
+    writeln!(
+        text,
+        "  union-of-global property holds at every site: {all_union}"
+    )
+    .unwrap();
+
+    // Replication cost: train on the first half, evaluate on the second.
+    // `wasted` = replica bytes never requested locally in the window —
+    // the concrete form of the paper's "higher replication costs" under
+    // inaccurate identification.
+    let split = ctx.trace.horizon() / 2;
+    let training = training_jobs(ctx.trace, split);
+    let budget = (4.0 * TB as f64 / ctx.scale) as u64;
+    let placements = [
+        ("none", no_replication(ctx.trace, budget)),
+        (
+            "file-popularity",
+            file_popularity_placement(ctx.trace, &training, budget),
+        ),
+        (
+            "filecule-global",
+            filecule_popularity_placement(ctx.trace, ctx.set, &training, budget),
+        ),
+        (
+            "filecule-local",
+            local_filecule_placement(ctx.trace, &training, budget).0,
+        ),
+    ];
+    writeln!(
+        text,
+        "  replication (train first half, eval second; {:.2} TB/site budget):",
+        budget as f64 / TB as f64
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "    policy           | storage TB | local-hit% | remote TB | wasted%"
+    )
+    .unwrap();
+    for (name, p) in &placements {
+        let r = evaluate(ctx.trace, p, split, name);
+        let wasted = replication::wasted_bytes(ctx.trace, p, split);
+        let wasted_pct = if r.storage_used == 0 {
+            0.0
+        } else {
+            wasted as f64 / r.storage_used as f64 * 100.0
+        };
+        writeln!(
+            text,
+            "    {:<16} | {:>10.2} | {:>9.1}% | {:>9.2} | {:>6.1}%",
+            r.policy,
+            r.storage_used as f64 / TB as f64,
+            r.local_hit_rate() * 100.0,
+            r.remote_bytes as f64 / TB as f64,
+            wasted_pct
+        )
+        .unwrap();
+    }
+    // Transfer scheduling: batch WAN fetches per filecule instead of per
+    // file ("scheduling data transfers while accounting for filecules can
+    // lead to significant improvements").
+    let sched = transfer::schedule_comparison(
+        ctx.trace,
+        ctx.set,
+        transfer::TransferModel::default(),
+    );
+    writeln!(
+        text,
+        "  transfer scheduling (30 s setup/transfer, 100 Mbit/s ingress):\n    \
+         file granularity:     {:>9} transfers, {:>8.1} h total\n    \
+         filecule granularity: {:>9} transfers, {:>8.1} h total ({:.2}x faster, {:+.1}% bytes)",
+        sched.file_transfers,
+        sched.file_hours(),
+        sched.filecule_transfers,
+        sched.filecule_hours(),
+        sched.speedup(),
+        sched.byte_overhead() * 100.0
+    )
+    .unwrap();
+    // Collaboration-wide per-site caches: request-level wins vs WAN byte
+    // costs when site caches are small (see replication::online docs).
+    let per_site_cap = (2.0 * TB as f64 / ctx.scale) as u64;
+    let (file_on, filecule_on) =
+        replication::compare_granularities(ctx.trace, ctx.set, per_site_cap);
+    writeln!(
+        text,
+        "  per-site online caches ({:.2} TB each at all {} sites):\n    \
+         file-LRU:     request miss {:.3}, WAN {:>9.1} TB\n    \
+         filecule-LRU: request miss {:.3}, WAN {:>9.1} TB\n    \
+         (the request-level win costs speculative WAN bytes when a site\n     \
+         cache is far smaller than its working set — whole-group fetches\n     \
+         churn; the paper's Figure 10 metric is the request miss rate)",
+        per_site_cap as f64 / TB as f64,
+        ctx.trace.n_sites(),
+        file_on.miss_rate(),
+        file_on.wan_bytes as f64 / TB as f64,
+        filecule_on.miss_rate(),
+        filecule_on.wan_bytes as f64 / TB as f64
+    )
+    .unwrap();
+    Artifact {
+        id: "sec6",
+        title: "Section 6: consequences for resource management",
+        text,
+        csv,
+    }
+}
+
+/// The full policy-comparison grid at the paper's 10 TB point: every
+/// implemented policy (the paper's pair, classic baselines, the Section 7
+/// prefetchers, and both offline MIN bounds).
+pub fn grid(ctx: &Ctx<'_>) -> Artifact {
+    let cap = (10.0 * TB as f64 / ctx.scale) as u64;
+    let mut reports = cachesim::sweep::compare_policies(ctx.trace, ctx.set, cap);
+    reports.sort_by(|a, b| a.miss_rate().partial_cmp(&b.miss_rate()).unwrap());
+    let mut text = format!(
+        "  every policy at {:.2} TB (paper-scale 10 TB):\n    \
+         policy                  | miss rate | warm miss | byte traffic\n    \
+         ------------------------+-----------+-----------+-------------\n",
+        cap as f64 / TB as f64
+    );
+    let mut csv = String::from("policy,miss_rate,warm_miss_rate,byte_traffic_ratio\n");
+    for r in &reports {
+        writeln!(
+            text,
+            "    {:<23} | {:>9.4} | {:>9.4} | {:>10.3}",
+            r.policy,
+            r.miss_rate(),
+            r.warm_miss_rate(),
+            r.byte_traffic_ratio()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{:.6},{:.6},{:.4}",
+            r.policy,
+            r.miss_rate(),
+            r.warm_miss_rate(),
+            r.byte_traffic_ratio()
+        )
+        .unwrap();
+    }
+    text.push_str(
+        "  (filecule-belady is the offline lower bound for group-fetching\n   \
+         policies; the gap between it and filecule-lru is the headroom a\n   \
+         smarter online filecule policy could still capture)\n",
+    );
+    Artifact {
+        id: "grid",
+        title: "Policy grid: all policies at the 10 TB point",
+        text,
+        csv,
+    }
+}
+
+/// Section 8 (future work, implemented here): filecule dynamics. Identify
+/// filecules in consecutive time windows and measure whether "two
+/// filecules that contain the same file \[are\] identical".
+pub fn sec8(ctx: &Ctx<'_>) -> Artifact {
+    let mut text = String::new();
+    let mut csv = String::from("windows,pair,shared_files,mean_jaccard,identical_fraction\n");
+    for n_windows in [2usize, 4] {
+        let reports = filecule_core::dynamics::window_stability(ctx.trace, n_windows);
+        writeln!(text, "  {n_windows} windows:").unwrap();
+        for (i, r) in reports.iter().enumerate() {
+            writeln!(
+                text,
+                "    window {i} vs {}: {} shared files, mean Jaccard {:.3}, identical {:.1}%",
+                i + 1,
+                r.shared_files,
+                r.mean_jaccard,
+                r.identical_fraction * 100.0
+            )
+            .unwrap();
+            writeln!(
+                csv,
+                "{n_windows},{i},{},{:.4},{:.4}",
+                r.shared_files, r.mean_jaccard, r.identical_fraction
+            )
+            .unwrap();
+        }
+    }
+    text.push_str(
+        "  (files re-used across windows mostly stay grouped with the same\n   \
+         companions: filecules are temporally stable, supporting the paper's\n   \
+         claim that they are more robust than sequence-based groupings)\n",
+    );
+    Artifact {
+        id: "sec8",
+        title: "Section 8 (future work): filecule dynamics across time windows",
+        text,
+        csv,
+    }
+}
+
+/// The Section 4 headline, in the paper's own terms: hit-rate improvement
+/// of filecule-LRU over file-LRU ("a 5-fold increase in hit rate" at large
+/// caches, ~9.5% miss-rate gap at 1 TB).
+pub fn headline(ctx: &Ctx<'_>) -> Artifact {
+    let mut text = String::new();
+    let mut csv = String::from(
+        "cache_paper_tb,file_lru_hit,filecule_lru_hit,hit_ratio,miss_ratio\n",
+    );
+    let mut best_hit_ratio = 0.0f64;
+    for tb in hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB {
+        let cap = ((tb * TB) as f64 / ctx.scale) as u64;
+        let f = simulate(ctx.trace, &mut FileLru::new(ctx.trace, cap));
+        let g = simulate(ctx.trace, &mut FileculeLru::new(ctx.trace, ctx.set, cap));
+        let hit_ratio = g.hit_rate() / f.hit_rate().max(1e-12);
+        best_hit_ratio = best_hit_ratio.max(hit_ratio);
+        writeln!(
+            text,
+            "  at {tb:>3} TB: hit rate {:.3} (file) vs {:.3} (filecule) = x{:.1}; miss x{:.1} lower",
+            f.hit_rate(),
+            g.hit_rate(),
+            hit_ratio,
+            f.miss_rate() / g.miss_rate().max(1e-12)
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{tb},{:.6},{:.6},{:.3},{:.3}",
+            f.hit_rate(),
+            g.hit_rate(),
+            hit_ratio,
+            f.miss_rate() / g.miss_rate().max(1e-12)
+        )
+        .unwrap();
+    }
+    writeln!(
+        text,
+        "  best hit-rate increase over the sweep: {best_hit_ratio:.1}x\n  \
+         (paper abstract: \"a 5-fold increase in hit rate\"; Section 4: miss\n   \
+         rate 4-5x lower at large caches, ~9.5% difference at 1 TB)"
+    )
+    .unwrap();
+    Artifact {
+        id: "headline",
+        title: "Headline: filecule-LRU vs file-LRU",
+        text,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{standard_set, trace_at_scale};
+
+    #[test]
+    fn sec5_verdict_matches_paper() {
+        let t = trace_at_scale(400.0, 8.0);
+        let s = standard_set(&t);
+        let a = sec5(&Ctx {
+            trace: &t,
+            set: &s,
+            scale: 400.0,
+        });
+        assert!(a.text.contains("NOT justified"), "{}", a.text);
+    }
+
+    #[test]
+    fn sec6_union_property() {
+        let t = trace_at_scale(400.0, 8.0);
+        let s = standard_set(&t);
+        let a = sec6(&Ctx {
+            trace: &t,
+            set: &s,
+            scale: 400.0,
+        });
+        assert!(a.text.contains("every site: true"), "{}", a.text);
+    }
+
+    #[test]
+    fn headline_direction() {
+        let t = trace_at_scale(400.0, 8.0);
+        let s = standard_set(&t);
+        let a = headline(&Ctx {
+            trace: &t,
+            set: &s,
+            scale: 400.0,
+        });
+        for line in a.csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let file_hit: f64 = cols[1].parse().unwrap();
+            let filecule_hit: f64 = cols[2].parse().unwrap();
+            assert!(filecule_hit >= file_hit, "{line}");
+        }
+    }
+}

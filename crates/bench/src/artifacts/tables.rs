@@ -1,0 +1,207 @@
+//! Tables 1 and 2.
+
+use super::{Artifact, Ctx};
+use hep_trace::characterize;
+use hep_trace::synth::calibration;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Table 1: characteristics of traces per data tier, measured vs paper
+/// (paper job/file counts divided by the scale).
+pub fn table1(ctx: &Ctx<'_>) -> Artifact {
+    let rows = characterize::per_tier(ctx.trace);
+    let mut text = String::from(
+        "  tier          | users |  jobs |  files | MB/job | h/job || paper: jobs/s | files/s | MB/job | h/job\n\
+           --------------+-------+-------+--------+--------+-------++---------------+---------+--------+------\n",
+    );
+    let mut csv = String::from(
+        "tier,users,jobs,files,input_mb_per_job,hours_per_job,paper_jobs_scaled,paper_files_scaled,paper_input_mb,paper_hours\n",
+    );
+    for r in &rows {
+        let paper = calibration::TABLE1.iter().find(|p| p.tier == r.tier);
+        let (pj, pf, pmb, ph) = paper
+            .map(|p| {
+                (
+                    p.jobs as f64 / ctx.scale,
+                    p.files.map(|f| f as f64 / ctx.scale),
+                    p.input_mb_per_job,
+                    p.hours_per_job,
+                )
+            })
+            .unwrap_or((0.0, None, None, 0.0));
+        let fmt_opt = |x: Option<f64>| x.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
+        writeln!(
+            text,
+            "  {:<13} | {:>5} | {:>5} | {:>6} | {:>6} | {:>5.2} || {:>13.0} | {:>7} | {:>6} | {:>5.2}",
+            r.tier.name(),
+            r.users,
+            r.jobs,
+            fmt_opt(r.files.map(|f| f as f64)),
+            fmt_opt(r.input_mb_per_job),
+            r.hours_per_job,
+            pj,
+            fmt_opt(pf),
+            fmt_opt(pmb),
+            ph
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{},{},{},{},{:.3},{:.1},{},{},{}",
+            r.tier.name(),
+            r.users,
+            r.jobs,
+            r.files.map(|f| f.to_string()).unwrap_or_default(),
+            r.input_mb_per_job.map(|m| format!("{m:.1}")).unwrap_or_default(),
+            r.hours_per_job,
+            pj,
+            pf.map(|f| format!("{f:.1}")).unwrap_or_default(),
+            pmb.map(|m| format!("{m:.1}")).unwrap_or_default(),
+            ph
+        )
+        .unwrap();
+    }
+    let all = characterize::overall(ctx.trace);
+    writeln!(
+        text,
+        "  ALL: {} users, {} jobs, {:.2} h/job  (paper: 561 users, {:.0} jobs, 6.87 h/job)",
+        all.users,
+        all.jobs,
+        all.hours_per_job,
+        calibration::TOTAL_JOBS as f64 / ctx.scale
+    )
+    .unwrap();
+    Artifact {
+        id: "table1",
+        title: "Table 1: characteristics of traces per data tier",
+        text,
+        csv,
+    }
+}
+
+/// Table 2: characteristics per location, including the filecule counts
+/// the paper reports per domain.
+pub fn table2(ctx: &Ctx<'_>) -> Artifact {
+    let mut rows = characterize::per_domain(ctx.trace);
+    // Filecules touched per domain.
+    for row in rows.iter_mut() {
+        let mut touched = HashSet::new();
+        for j in ctx.trace.job_ids() {
+            let rec = ctx.trace.job(j);
+            if ctx.trace.domain_name(rec.domain) == row.domain {
+                for &f in ctx.trace.job_files(j) {
+                    if let Some(g) = ctx.set.filecule_of(f) {
+                        touched.insert(g);
+                    }
+                }
+            }
+        }
+        row.filecules = Some(touched.len() as u64);
+    }
+    let mut text = String::from(
+        "  domain |  jobs | nodes | sites | users | filecules |  files |   data GB || paper weight\n\
+           -------+-------+-------+-------+-------+-----------+--------+-----------++-------------\n",
+    );
+    let mut csv = String::from(
+        "domain,jobs,submission_nodes,sites,users,filecules,files,total_gb,paper_jobs_weight\n",
+    );
+    for r in &rows {
+        let paper = calibration::TABLE2.iter().find(|p| p.name == r.domain);
+        let w = paper.map(|p| p.jobs_weight).unwrap_or(0);
+        writeln!(
+            text,
+            "  {:<6} | {:>5} | {:>5} | {:>5} | {:>5} | {:>9} | {:>6} | {:>9.0} || {:>12}",
+            r.domain,
+            r.jobs,
+            r.submission_nodes,
+            r.sites,
+            r.users,
+            r.filecules.unwrap_or(0),
+            r.files,
+            r.total_gb,
+            w
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{:.1},{}",
+            r.domain,
+            r.jobs,
+            r.submission_nodes,
+            r.sites,
+            r.users,
+            r.filecules.unwrap_or(0),
+            r.files,
+            r.total_gb,
+            w
+        )
+        .unwrap();
+    }
+    text.push_str(
+        "  (paper's Jobs column counts data requests — used here as submission weights;\n   \
+         domain activity ordering and .gov dominance are the reproduced characteristics)\n",
+    );
+    Artifact {
+        id: "table2",
+        title: "Table 2: characteristics of analyzed traces per location",
+        text,
+        csv,
+    }
+}
+
+/// Calibration self-check table (`synth::check`): measured vs paper
+/// targets with per-metric tolerances.
+pub fn calibration_check(ctx: &Ctx<'_>) -> Artifact {
+    let report = hep_trace::synth::check::check_calibration(ctx.trace, ctx.scale);
+    let mut csv = String::from("metric,measured,target,relative_error,ok\n");
+    for l in &report.lines {
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.4},{}\n",
+            l.metric, l.measured, l.target, l.relative_error, l.ok
+        ));
+    }
+    Artifact {
+        id: "calibration",
+        title: "Calibration self-check against the paper's targets",
+        text: report.to_text(),
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{standard_set, trace_at_scale};
+
+    fn ctx_small() -> (hep_trace::Trace, filecule_core::FileculeSet) {
+        let t = trace_at_scale(400.0, 8.0);
+        let s = standard_set(&t);
+        (t, s)
+    }
+
+    #[test]
+    fn table1_has_all_four_tiers() {
+        let (t, s) = ctx_small();
+        let a = table1(&Ctx {
+            trace: &t,
+            set: &s,
+            scale: 400.0,
+        });
+        for tier in ["reconstructed", "root-tuple", "thumbnail", "other"] {
+            assert!(a.text.contains(tier), "missing {tier}");
+            assert!(a.csv.contains(tier));
+        }
+    }
+
+    #[test]
+    fn table2_gov_leads() {
+        let (t, s) = ctx_small();
+        let a = table2(&Ctx {
+            trace: &t,
+            set: &s,
+            scale: 400.0,
+        });
+        let first_row = a.csv.lines().nth(1).unwrap();
+        assert!(first_row.starts_with(".gov"), "{first_row}");
+    }
+}

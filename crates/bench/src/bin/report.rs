@@ -1,0 +1,108 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hep-bench --bin report            # everything
+//! cargo run --release -p hep-bench --bin report fig10 sec5 # a subset
+//! cargo run --release -p hep-bench --bin report -- --scale 100 table1
+//! ```
+//!
+//! Text goes to stdout; CSVs land in `target/report/<id>.csv` plus a
+//! `summary.json` with run metadata.
+
+use hep_bench::artifacts::{build, Ctx, ALL_IDS};
+use hep_bench::{standard_set, REPORT_SCALE, REPORT_SEED};
+use hep_trace::{SynthConfig, TraceSynthesizer};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = REPORT_SCALE;
+    let mut seed = REPORT_SEED;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(a) = args.first().cloned() {
+        match a.as_str() {
+            "--scale" => {
+                args.remove(0);
+                scale = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number");
+                args.remove(0);
+            }
+            "--seed" => {
+                args.remove(0);
+                seed = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a u64");
+                args.remove(0);
+            }
+            _ => {
+                ids.push(args.remove(0));
+            }
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!("== filecules report: scale 1/{scale}, seed {seed:#x} ==");
+    let t0 = Instant::now();
+    let trace = TraceSynthesizer::new(SynthConfig::paper(seed, scale)).generate();
+    println!(
+        "trace: {} jobs, {} accesses, {} files, {} users, {} sites  ({:.1}s)",
+        trace.n_jobs(),
+        trace.n_accesses(),
+        trace.n_files(),
+        trace.n_users(),
+        trace.n_sites(),
+        t0.elapsed().as_secs_f64()
+    );
+    let t1 = Instant::now();
+    let set = standard_set(&trace);
+    println!(
+        "filecules: {} covering {} files  ({:.1}s)\n",
+        set.n_filecules(),
+        set.n_assigned_files(),
+        t1.elapsed().as_secs_f64()
+    );
+    let ctx = Ctx {
+        trace: &trace,
+        set: &set,
+        scale,
+    };
+
+    let out_dir = std::path::Path::new("target/report");
+    std::fs::create_dir_all(out_dir).expect("create target/report");
+    let mut meta = Vec::new();
+    for id in &ids {
+        let t = Instant::now();
+        let Some(art) = build(&ctx, id) else {
+            eprintln!("unknown artifact id {id:?} (known: {ALL_IDS:?})");
+            std::process::exit(2);
+        };
+        let secs = t.elapsed().as_secs_f64();
+        println!("== {} ==\n{}", art.title, art.text);
+        let path = out_dir.join(format!("{id}.csv"));
+        std::fs::write(&path, &art.csv).expect("write csv");
+        meta.push(serde_json::json!({
+            "id": art.id,
+            "title": art.title,
+            "csv": path.to_string_lossy(),
+            "seconds": secs,
+        }));
+    }
+    let summary = serde_json::json!({
+        "scale": scale,
+        "seed": seed,
+        "jobs": trace.n_jobs(),
+        "accesses": trace.n_accesses(),
+        "files": trace.n_files(),
+        "filecules": set.n_filecules(),
+        "artifacts": meta,
+    });
+    let mut f = std::fs::File::create(out_dir.join("summary.json")).expect("summary.json");
+    writeln!(f, "{}", serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+    println!("CSV output in {}", out_dir.display());
+}

@@ -1,0 +1,12 @@
+//! # hep-bench
+//!
+//! Shared experiment harness: one function per paper artifact (Tables 1–2,
+//! Figures 1–12, the Section 5 and Section 6 analyses), used by both the
+//! `report` binary (text + CSV regeneration) and the criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod scenario;
+
+pub use scenario::{standard_set, standard_trace, REPORT_SCALE, REPORT_SEED};

@@ -1,0 +1,45 @@
+//! The standard experiment scenario used by every artifact.
+
+use filecule_core::FileculeSet;
+use hep_trace::{SynthConfig, Trace, TraceSynthesizer};
+
+/// Default experiment scale: 1/4 of the paper's trace volume — large
+/// enough that the popularity tail (Figures 4 and 9) shows the paper's
+/// absolute features, small enough that the whole report regenerates in
+/// seconds. Every per-count artifact reports the measured value alongside
+/// `paper / 4`.
+pub const REPORT_SCALE: f64 = 4.0;
+
+/// Default experiment seed.
+pub const REPORT_SEED: u64 = hep_stats::rng::DEFAULT_SEED;
+
+/// The standard synthetic trace: paper calibration at [`REPORT_SCALE`],
+/// full (unscaled) user population.
+pub fn standard_trace() -> Trace {
+    TraceSynthesizer::new(SynthConfig::paper(REPORT_SEED, REPORT_SCALE)).generate()
+}
+
+/// A custom-scale trace for benches that need to be quick.
+pub fn trace_at_scale(scale: f64, user_scale: f64) -> Trace {
+    let mut cfg = SynthConfig::paper(REPORT_SEED, scale);
+    cfg.user_scale = user_scale;
+    TraceSynthesizer::new(cfg).generate()
+}
+
+/// The globally identified filecule partition of a trace.
+pub fn standard_set(trace: &Trace) -> FileculeSet {
+    filecule_core::identify(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_is_consistent() {
+        let t = trace_at_scale(400.0, 8.0);
+        assert!(t.validate().is_empty());
+        let set = standard_set(&t);
+        assert!(set.verify(&t).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # cachesim
+//!
+//! Storage-cache simulator for the filecules reproduction (HPDC 2006,
+//! Section 4).
+//!
+//! The paper's evaluation replays the DZero request stream against a disk
+//! cache of 1–100 TB and compares LRU replacement at *file* granularity
+//! with LRU at *filecule* granularity ("load the entire filecule of which a
+//! requested file is member and evict the least recently used filecules").
+//! Figure 10's headline: filecule-LRU's miss rate is up to 4–5x lower at
+//! large cache sizes, with only a ~9.5% gap at 1 TB.
+//!
+//! This crate provides:
+//!
+//! * the two policies of the paper ([`policy::lru::FileLru`],
+//!   [`policy::filecule_lru::FileculeLru`]);
+//! * the baselines the paper's related work discusses:
+//!   FIFO, LFU, SIZE, GreedyDual-Size (with Landlord's uniform-cost
+//!   variant), offline Belady MIN, and a bundle-affinity eviction policy
+//!   inspired by Otoo et al.;
+//! * a request-ordered simulator ([`sim`]) with full accounting (request
+//!   and byte miss rates, cold-miss separation, prefetch traffic);
+//! * a parallel cache-size sweep harness ([`sweep`]) that regenerates
+//!   Figure 10.
+//!
+//! Semantics shared by all policies: requests are served in trace order;
+//! an object larger than the cache bypasses it (it is fetched but not
+//! inserted — this is what erodes filecule-LRU's advantage at 1 TB, where
+//! multi-TB filecules cannot be retained; the largest filecule in the
+//! paper is 17 TB).
+
+#![warn(missing_docs)]
+
+pub mod lru_core;
+pub mod policy;
+pub mod sim;
+pub mod stackdist;
+pub mod sweep;
+
+pub use policy::filecule_lru::FileculeLru;
+pub use policy::lru::FileLru;
+pub use policy::{AccessResult, Policy};
+pub use sim::{simulate, simulate_warm, SimReport};
+pub use stackdist::{file_reuse_profile, filecule_reuse_profile, ReuseProfile};
+pub use sweep::{sweep_fig10, Fig10Row};

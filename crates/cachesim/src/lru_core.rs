@@ -1,0 +1,281 @@
+//! A dense-key intrusive LRU list.
+//!
+//! Cache keys in this workspace are dense `u32` ids (file ids or filecule
+//! ids), so recency bookkeeping is two flat `Vec<u32>`s acting as an
+//! intrusive doubly-linked list — no per-entry allocation, O(1) touch /
+//! insert / evict (per the HPC guide's "avoid allocations in hot loops").
+
+/// Sentinel for "no link".
+const NONE: u32 = u32::MAX;
+
+/// An intrusive LRU order over keys `0..n`.
+///
+/// The list tracks *order only*; byte accounting lives in the policies.
+#[derive(Debug, Clone)]
+pub struct DenseLru {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    resident: Vec<bool>,
+    /// Most recently used.
+    head: u32,
+    /// Least recently used.
+    tail: u32,
+    len: usize,
+}
+
+impl DenseLru {
+    /// An empty order over keys `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            prev: vec![NONE; n],
+            next: vec![NONE; n],
+            resident: vec![false; n],
+            head: NONE,
+            tail: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no key is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `k` resident?
+    #[inline]
+    pub fn contains(&self, k: u32) -> bool {
+        self.resident[k as usize]
+    }
+
+    /// Insert `k` as most-recently-used.
+    ///
+    /// # Panics
+    /// Panics (debug) if `k` is already resident.
+    pub fn insert(&mut self, k: u32) {
+        debug_assert!(!self.resident[k as usize], "key {k} already resident");
+        self.resident[k as usize] = true;
+        self.prev[k as usize] = NONE;
+        self.next[k as usize] = self.head;
+        if self.head != NONE {
+            self.prev[self.head as usize] = k;
+        }
+        self.head = k;
+        if self.tail == NONE {
+            self.tail = k;
+        }
+        self.len += 1;
+    }
+
+    /// Move resident `k` to most-recently-used position.
+    ///
+    /// # Panics
+    /// Panics (debug) if `k` is not resident.
+    pub fn touch(&mut self, k: u32) {
+        debug_assert!(self.resident[k as usize], "key {k} not resident");
+        if self.head == k {
+            return;
+        }
+        self.unlink(k);
+        self.prev[k as usize] = NONE;
+        self.next[k as usize] = self.head;
+        if self.head != NONE {
+            self.prev[self.head as usize] = k;
+        }
+        self.head = k;
+        if self.tail == NONE {
+            self.tail = k;
+        }
+    }
+
+    /// Remove and return the least-recently-used key.
+    pub fn pop_lru(&mut self) -> Option<u32> {
+        if self.tail == NONE {
+            return None;
+        }
+        let k = self.tail;
+        self.remove(k);
+        Some(k)
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn peek_lru(&self) -> Option<u32> {
+        (self.tail != NONE).then_some(self.tail)
+    }
+
+    /// Remove `k` from the order.
+    ///
+    /// # Panics
+    /// Panics (debug) if `k` is not resident.
+    pub fn remove(&mut self, k: u32) {
+        debug_assert!(self.resident[k as usize], "key {k} not resident");
+        self.unlink(k);
+        self.resident[k as usize] = false;
+        self.len -= 1;
+    }
+
+    fn unlink(&mut self, k: u32) {
+        let (p, n) = (self.prev[k as usize], self.next[k as usize]);
+        if p != NONE {
+            self.next[p as usize] = n;
+        } else if self.head == k {
+            self.head = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        } else if self.tail == k {
+            self.tail = p;
+        }
+        self.prev[k as usize] = NONE;
+        self.next[k as usize] = NONE;
+    }
+
+    /// Iterate keys from most- to least-recently-used (for tests/debugging).
+    pub fn iter_mru(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                None
+            } else {
+                let k = cur;
+                cur = self.next[cur as usize];
+                Some(k)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_orders_mru_first() {
+        let mut l = DenseLru::new(5);
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![2, 1, 0]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = DenseLru::new(5);
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        l.touch(0);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![0, 2, 1]);
+        assert_eq!(l.peek_lru(), Some(1));
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest() {
+        let mut l = DenseLru::new(5);
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut l = DenseLru::new(5);
+        for k in 0..4 {
+            l.insert(k);
+        }
+        l.remove(2);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![3, 1, 0]);
+        assert!(!l.contains(2));
+        l.insert(2);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = DenseLru::new(3);
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        l.remove(2); // head
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1, 0]);
+        l.remove(0); // tail
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(l.peek_lru(), Some(1));
+    }
+
+    #[test]
+    fn touch_head_is_noop() {
+        let mut l = DenseLru::new(3);
+        l.insert(0);
+        l.insert(1);
+        l.touch(1);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![1, 0]);
+    }
+
+    #[test]
+    fn single_element_cycle() {
+        let mut l = DenseLru::new(1);
+        l.insert(0);
+        l.touch(0);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert!(l.is_empty());
+        l.insert(0);
+        assert!(l.contains(0));
+    }
+
+    #[test]
+    fn reinsertion_after_eviction() {
+        let mut l = DenseLru::new(2);
+        l.insert(0);
+        l.insert(1);
+        assert_eq!(l.pop_lru(), Some(0));
+        l.insert(0);
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_reference_model_random_ops() {
+        use std::collections::VecDeque;
+        let mut l = DenseLru::new(16);
+        let mut reference: VecDeque<u32> = VecDeque::new(); // front = MRU
+        let mut state = 0x1234_5678_u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..10_000 {
+            let k = rand() % 16;
+            match rand() % 3 {
+                0 => {
+                    if !l.contains(k) {
+                        l.insert(k);
+                        reference.push_front(k);
+                    }
+                }
+                1 => {
+                    if l.contains(k) {
+                        l.touch(k);
+                        let pos = reference.iter().position(|&x| x == k).unwrap();
+                        reference.remove(pos);
+                        reference.push_front(k);
+                    }
+                }
+                _ => {
+                    assert_eq!(l.pop_lru(), reference.pop_back());
+                }
+            }
+            assert_eq!(l.len(), reference.len());
+        }
+        assert_eq!(l.iter_mru().collect::<Vec<_>>(), Vec::from(reference));
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline Belady MIN at file granularity.
+//!
+//! Evicts the resident file whose next use is farthest in the future
+//! (never-used-again first). Optimal for uniform object sizes; with
+//! variable sizes it is the standard strong offline baseline. Requires the
+//! policy to be constructed from the *same trace* it replays, in the same
+//! order — an internal access counter keeps the precomputed
+//! next-occurrence table aligned.
+
+use crate::policy::{AccessResult, Policy, Request};
+use hep_trace::Trace;
+use std::collections::BTreeSet;
+
+
+/// Sentinel: no further use.
+const NEVER: u64 = u64::MAX;
+
+/// Offline MIN (Belady) over individual files.
+#[derive(Debug, Clone)]
+pub struct BeladyMin {
+    capacity: u64,
+    used: u64,
+    sizes: Vec<u64>,
+    /// For access position `i`, the next position at which the same file is
+    /// requested (or `NEVER`).
+    next_use: Vec<u64>,
+    /// Current access position; must track the replay exactly.
+    cursor: u64,
+    resident: Vec<bool>,
+    /// Next-use key currently stored for each resident file.
+    key_of: Vec<u64>,
+    /// (next use, file): eviction takes the maximum.
+    order: BTreeSet<(u64, u32)>,
+}
+
+impl BeladyMin {
+    /// Precompute next-use positions for `trace` and create the cache.
+    pub fn new(trace: &Trace, capacity: u64) -> Self {
+        let n_access = trace.n_accesses();
+        let mut next_use = vec![NEVER; n_access];
+        let mut last_pos: Vec<u64> = vec![NEVER; trace.n_files()];
+        // Walk the replay stream backwards.
+        let events: Vec<u32> = trace.replay_events().iter().map(|e| e.file.0).collect();
+        for (i, &f) in events.iter().enumerate().rev() {
+            next_use[i] = last_pos[f as usize];
+            last_pos[f as usize] = i as u64;
+        }
+        Self {
+            capacity,
+            used: 0,
+            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            next_use,
+            cursor: 0,
+            resident: vec![false; trace.n_files()],
+            key_of: vec![NEVER; trace.n_files()],
+            order: BTreeSet::new(),
+        }
+    }
+}
+
+impl Policy for BeladyMin {
+    fn name(&self) -> String {
+        "belady-min".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let f = req.file.0;
+        let fi = f as usize;
+        let pos = self.cursor as usize;
+        assert!(
+            pos < self.next_use.len(),
+            "replayed more accesses than the trace Belady was built from"
+        );
+        self.cursor += 1;
+        let nu = self.next_use[pos];
+        if self.resident[fi] {
+            self.order.remove(&(self.key_of[fi], f));
+            self.key_of[fi] = nu;
+            self.order.insert((nu, f));
+            return AccessResult::hit();
+        }
+        let size = self.sizes[fi];
+        if size > self.capacity || nu == NEVER {
+            // Never used again (or unretainable): fetching it into the
+            // cache has zero future value — bypass.
+            return AccessResult {
+                hit: false,
+                bytes_fetched: size,
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let &(k, victim) = self.order.iter().next_back().expect("progress guaranteed");
+            // If the farthest-future resident is needed sooner than the
+            // incoming file, caching the incoming file is pointless.
+            if k < nu {
+                return AccessResult {
+                    hit: false,
+                    bytes_fetched: size,
+                    bytes_evicted: evicted,
+                    bypassed: true,
+                };
+            }
+            self.order.remove(&(k, victim));
+            self.resident[victim as usize] = false;
+            let s = self.sizes[victim as usize];
+            self.used -= s;
+            evicted += s;
+        }
+        self.resident[fi] = true;
+        self.key_of[fi] = nu;
+        self.order.insert((nu, f));
+        self.used += size;
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+/// Offline MIN at *filecule* granularity: the lower bound for any
+/// group-fetching policy, against which filecule-LRU's remaining headroom
+/// is measured. Fetch unit = whole filecule, eviction = farthest next use
+/// of any member.
+#[derive(Debug, Clone)]
+pub struct FileculeBelady {
+    capacity: u64,
+    used: u64,
+    /// Filecule key per file (`u32::MAX` = unassigned).
+    group_of: Vec<u32>,
+    group_bytes: Vec<u64>,
+    /// Next position the *group* is used, per access position.
+    next_use: Vec<u64>,
+    cursor: u64,
+    resident: Vec<bool>,
+    key_of: Vec<u64>,
+    order: BTreeSet<(u64, u32)>,
+    file_sizes: Vec<u64>,
+}
+
+impl FileculeBelady {
+    /// Precompute group next-use positions over `trace`'s replay stream.
+    pub fn new(trace: &Trace, set: &filecule_core::FileculeSet, capacity: u64) -> Self {
+        let mut group_of = vec![u32::MAX; trace.n_files()];
+        for g in set.ids() {
+            for &f in set.files(g) {
+                group_of[f.index()] = g.0;
+            }
+        }
+        let events: Vec<u32> = trace
+            .replay_events()
+            .iter()
+            .map(|e| group_of[e.file.index()])
+            .collect();
+        let mut next_use = vec![NEVER; events.len()];
+        let mut last_pos: Vec<u64> = vec![NEVER; set.n_filecules()];
+        for (i, &g) in events.iter().enumerate().rev() {
+            if g == u32::MAX {
+                continue;
+            }
+            next_use[i] = last_pos[g as usize];
+            last_pos[g as usize] = i as u64;
+        }
+        Self {
+            capacity,
+            used: 0,
+            group_of,
+            group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
+            next_use,
+            cursor: 0,
+            resident: vec![false; set.n_filecules()],
+            key_of: vec![NEVER; set.n_filecules()],
+            order: BTreeSet::new(),
+            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+        }
+    }
+}
+
+impl Policy for FileculeBelady {
+    fn name(&self) -> String {
+        "filecule-belady".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let pos = self.cursor as usize;
+        assert!(
+            pos < self.next_use.len(),
+            "replayed more accesses than the trace FileculeBelady was built from"
+        );
+        self.cursor += 1;
+        let g = self.group_of[req.file.index()];
+        if g == u32::MAX {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.file_sizes[req.file.index()],
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let gi = g as usize;
+        let nu = self.next_use[pos];
+        if self.resident[gi] {
+            self.order.remove(&(self.key_of[gi], g));
+            self.key_of[gi] = nu;
+            self.order.insert((nu, g));
+            return AccessResult::hit();
+        }
+        let size = self.group_bytes[gi];
+        if size > self.capacity || nu == NEVER {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.file_sizes[req.file.index()],
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let &(k, victim) = self.order.iter().next_back().expect("progress guaranteed");
+            if k < nu {
+                return AccessResult {
+                    hit: false,
+                    bytes_fetched: size,
+                    bytes_evicted: evicted,
+                    bypassed: true,
+                };
+            }
+            self.order.remove(&(k, victim));
+            self.resident[victim as usize] = false;
+            let s = self.group_bytes[victim as usize];
+            self.used -= s;
+            evicted += s;
+        }
+        self.resident[gi] = true;
+        self.key_of[gi] = nu;
+        self.order.insert((nu, g));
+        self.used += size;
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::FileLru;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use hep_trace::MB;
+
+    #[test]
+    fn keeps_the_file_needed_soonest() {
+        // Accesses: 0 1 2 0 1. Capacity = 2 files. At the miss on 2, LRU
+        // evicts 0 (needed next!), MIN bypasses 2 or evicts 1... next uses:
+        // 0@3, 1@4; incoming 2 never used again -> bypass. Both 0,1 hit.
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0], &[1]], &[100, 100, 100]);
+        let mut min = BeladyMin::new(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut min),
+            vec![false, false, false, true, true]
+        );
+        let mut lru = FileLru::new(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut lru),
+            vec![false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn never_worse_than_lru_on_small_patterns() {
+        let patterns: [&[&[u32]]; 4] = [
+            &[&[0], &[1], &[2], &[0], &[1], &[2]],
+            &[&[0, 1], &[2], &[0, 1], &[2]],
+            &[&[0], &[1], &[0], &[2], &[1], &[0]],
+            &[&[3], &[2], &[1], &[0], &[0], &[1], &[2], &[3]],
+        ];
+        for jobs in patterns {
+            let t = trace_with_sizes(jobs, &[100, 100, 100, 100]);
+            let mut min = BeladyMin::new(&t, 200 * MB);
+            let mut lru = FileLru::new(&t, 200 * MB);
+            let min_hits = replay(&t, &mut min).iter().filter(|&&h| h).count();
+            let lru_hits = replay(&t, &mut lru).iter().filter(|&&h| h).count();
+            assert!(min_hits >= lru_hits, "{jobs:?}: {min_hits} < {lru_hits}");
+        }
+    }
+
+    #[test]
+    fn dead_files_bypass() {
+        let t = trace_with_sizes(&[&[0]], &[100]);
+        let mut p = BeladyMin::new(&t, 200 * MB);
+        replay(&t, &mut p);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let t = trace_with_sizes(
+            &[&[0, 1], &[2, 3], &[0, 2], &[1, 3], &[0, 1, 2, 3]],
+            &[60, 70, 80, 90],
+        );
+        let mut p = BeladyMin::new(&t, 150 * MB);
+        for ev in t.access_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn filecule_belady_never_loses_to_filecule_lru() {
+        use crate::policy::filecule_lru::FileculeLru;
+        use filecule_core::identify;
+        let t = hep_trace::TraceSynthesizer::new(hep_trace::SynthConfig::small(88)).generate();
+        let set = identify(&t);
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        for denom in [16u64, 4] {
+            let cap = total / denom;
+            let opt = crate::sim::simulate(&t, &mut FileculeBelady::new(&t, &set, cap));
+            let lru = crate::sim::simulate(&t, &mut FileculeLru::new(&t, &set, cap));
+            assert!(
+                opt.misses <= lru.misses,
+                "cap/{denom}: belady {} > lru {}",
+                opt.misses,
+                lru.misses
+            );
+        }
+    }
+
+    #[test]
+    fn filecule_belady_capacity_respected() {
+        use filecule_core::identify;
+        let t = trace_with_sizes(&[&[0, 1], &[2, 3], &[0, 1], &[2, 3]], &[40, 40, 40, 40]);
+        let set = identify(&t);
+        let mut p = FileculeBelady::new(&t, &set, 100 * MB);
+        for ev in t.replay_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn replaying_extra_accesses_panics() {
+        let t = trace_with_sizes(&[&[0]], &[10]);
+        let mut p = BeladyMin::new(&t, 100 * MB);
+        let ev: Vec<_> = t.access_events().collect();
+        let req = Request {
+            time: ev[0].time,
+            job: ev[0].job,
+            file: ev[0].file,
+        };
+        p.access(&req);
+        p.access(&req); // beyond the precomputed table
+    }
+}

@@ -1,0 +1,228 @@
+//! Filecule-granularity LRU — the paper's contribution policy.
+//!
+//! Section 4: "for filecule LRU, we load the entire filecule of which a
+//! requested file is member and evict the least recently used filecules to
+//! make room for it." A request to any member of a resident filecule is a
+//! hit and refreshes the whole filecule's recency; a request to a member of
+//! an absent filecule is a miss that fetches the filecule's full byte size.
+//!
+//! A filecule larger than the cache bypasses it (fetched, not retained) —
+//! the paper's largest filecule is 17 TB, bigger than most of the Figure 10
+//! cache points, and this is precisely why the file-vs-filecule gap narrows
+//! to ~9.5% at 1 TB.
+
+use crate::lru_core::DenseLru;
+use crate::policy::{AccessResult, Policy, Request};
+use filecule_core::FileculeSet;
+use hep_trace::Trace;
+
+/// LRU over whole filecules.
+#[derive(Debug, Clone)]
+pub struct FileculeLru {
+    capacity: u64,
+    used: u64,
+    /// Filecule of each file (`u32::MAX` = unassigned; never requested in a
+    /// consistent trace, served as an uncacheable bypass if it happens).
+    group_of: Vec<u32>,
+    /// Byte size per filecule.
+    group_bytes: Vec<u64>,
+    lru: DenseLru,
+    /// File sizes, for the unassigned-file fallback.
+    file_sizes: Vec<u64>,
+}
+
+impl FileculeLru {
+    /// Create a filecule-LRU cache of `capacity` bytes using the partition
+    /// `set` identified from `trace`.
+    pub fn new(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
+        let mut group_of = vec![u32::MAX; trace.n_files()];
+        for g in set.ids() {
+            for &f in set.files(g) {
+                group_of[f.index()] = g.0;
+            }
+        }
+        Self {
+            capacity,
+            used: 0,
+            group_of,
+            group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
+            lru: DenseLru::new(set.n_filecules()),
+            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+        }
+    }
+
+    fn evict_until(&mut self, need: u64) -> u64 {
+        let mut evicted = 0u64;
+        while self.used + need > self.capacity {
+            let victim = self.lru.pop_lru().expect("need <= capacity implies progress");
+            let s = self.group_bytes[victim as usize];
+            self.used -= s;
+            evicted += s;
+        }
+        evicted
+    }
+}
+
+impl Policy for FileculeLru {
+    fn name(&self) -> String {
+        "filecule-lru".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let g = self.group_of[req.file.index()];
+        if g == u32::MAX {
+            // File outside the partition (cannot happen when the partition
+            // was identified from the same trace): uncacheable fetch.
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.file_sizes[req.file.index()],
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        if self.lru.contains(g) {
+            self.lru.touch(g);
+            return AccessResult::hit();
+        }
+        let size = self.group_bytes[g as usize];
+        if size > self.capacity {
+            // The group cannot be retained, so prefetching it would be
+            // wasted work: fetch only the requested file and bypass.
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.file_sizes[req.file.index()],
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let bytes_evicted = self.evict_until(size);
+        self.used += size;
+        self.lru.insert(g);
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use filecule_core::identify;
+    use hep_trace::MB;
+
+    #[test]
+    fn prefetch_turns_group_mates_into_hits() {
+        // One job requests {0,1,2}: they form one filecule. File-level
+        // replay: first access misses (fetches all three), the rest hit.
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 10, 10]);
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 1000 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, true, true]);
+    }
+
+    #[test]
+    fn miss_fetches_whole_filecule_bytes() {
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 20, 30]);
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 1000 * MB);
+        let ev: Vec<_> = t.access_events().collect();
+        let r = p.access(&Request {
+            time: ev[0].time,
+            job: ev[0].job,
+            file: ev[0].file,
+        });
+        assert!(!r.hit);
+        assert_eq!(r.bytes_fetched, 60 * MB);
+        assert_eq!(p.used(), 60 * MB);
+    }
+
+    #[test]
+    fn eviction_removes_whole_filecules() {
+        // Two 2-file filecules of 100 MB each; capacity 150 MB holds one.
+        let t = trace_with_sizes(&[&[0, 1], &[2, 3], &[0, 1]], &[50, 50, 50, 50]);
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 150 * MB);
+        let hits = replay(&t, &mut p);
+        // Job0: miss+hit. Job1: miss (evicts filecule A)+hit. Job2: miss+hit.
+        assert_eq!(hits, vec![false, true, false, true, false, true]);
+        assert_eq!(p.used(), 100 * MB);
+    }
+
+    #[test]
+    fn oversized_filecule_bypasses() {
+        let t = trace_with_sizes(&[&[0, 1], &[2], &[2]], &[100, 100, 10]);
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 50 * MB);
+        let hits = replay(&t, &mut p);
+        // {0,1} = 200 MB > 50 MB: both accesses miss, nothing retained.
+        // {2} fits: miss then hit.
+        assert_eq!(hits, vec![false, false, false, true]);
+        assert_eq!(p.used(), 10 * MB);
+    }
+
+    #[test]
+    fn resident_group_hit_even_for_unseen_member() {
+        // Job A fetches {0,1}; job B requests only file 1: hit without any
+        // prior access to file 1 itself.
+        let t = trace_with_sizes(&[&[0, 1], &[1]], &[10, 10]);
+        let set = identify(&t);
+        // NB: {0,1} would split under identification since job B requests
+        // only {1}. Force a one-group partition to isolate the behaviour.
+        let forced = filecule_core::FileculeSet::from_groups(
+            vec![vec![hep_trace::FileId(0), hep_trace::FileId(1)]],
+            vec![2],
+            &t,
+        );
+        let _ = set;
+        let mut p = FileculeLru::new(&t, &forced, 1000 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, true, true]);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity() {
+        let t = trace_with_sizes(
+            &[&[0, 1], &[2, 3], &[4], &[0, 1], &[4]],
+            &[40, 40, 30, 30, 20],
+        );
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 90 * MB);
+        for ev in t.access_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn byte_accounting_balances() {
+        let t = trace_with_sizes(&[&[0, 1], &[2, 3], &[0, 1]], &[50, 50, 50, 50]);
+        let set = identify(&t);
+        let mut p = FileculeLru::new(&t, &set, 150 * MB);
+        let (mut fetched, mut evicted) = (0u64, 0u64);
+        for ev in t.access_events() {
+            let r = p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            fetched += r.bytes_fetched;
+            evicted += r.bytes_evicted;
+        }
+        assert_eq!(fetched - evicted, p.used());
+    }
+}

@@ -1,0 +1,164 @@
+//! File-granularity LRU — the paper's baseline policy ("because of its
+//! simplicity and because of its use at FermiLab", Section 4).
+
+use crate::lru_core::DenseLru;
+use crate::policy::{AccessResult, Policy, Request};
+use hep_trace::Trace;
+
+/// LRU over individual files.
+#[derive(Debug, Clone)]
+pub struct FileLru {
+    capacity: u64,
+    used: u64,
+    sizes: Vec<u64>,
+    lru: DenseLru,
+}
+
+impl FileLru {
+    /// Create a file-LRU cache of `capacity` bytes for the files of
+    /// `trace`.
+    pub fn new(trace: &Trace, capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            lru: DenseLru::new(trace.n_files()),
+        }
+    }
+
+    fn evict_until(&mut self, need: u64) -> u64 {
+        let mut evicted = 0u64;
+        while self.used + need > self.capacity {
+            let victim = self.lru.pop_lru().expect("need <= capacity implies progress");
+            let s = self.sizes[victim as usize];
+            self.used -= s;
+            evicted += s;
+        }
+        evicted
+    }
+}
+
+impl Policy for FileLru {
+    fn name(&self) -> String {
+        "file-lru".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let f = req.file.0;
+        if self.lru.contains(f) {
+            self.lru.touch(f);
+            return AccessResult::hit();
+        }
+        let size = self.sizes[f as usize];
+        if size > self.capacity {
+            // Too large to ever retain: fetch and bypass.
+            return AccessResult {
+                hit: false,
+                bytes_fetched: size,
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let bytes_evicted = self.evict_until(size);
+        self.used += size;
+        self.lru.insert(f);
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use hep_trace::MB;
+
+    #[test]
+    fn repeat_access_hits() {
+        let t = trace_with_sizes(&[&[0], &[0]], &[100]);
+        let mut p = FileLru::new(&t, 1000 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, true]);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_order() {
+        // Cache fits two 100 MB files; access 0,1,2 then 0 again: 0 was
+        // evicted by 2.
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0]], &[100, 100, 100]);
+        let mut p = FileLru::new(&t, 200 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn touch_protects_recently_used() {
+        // 0,1, touch 0, insert 2 -> victim is 1, so 0 still hits.
+        let t = trace_with_sizes(&[&[0], &[1], &[0], &[2], &[0]], &[100, 100, 100]);
+        let mut p = FileLru::new(&t, 200 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn oversized_file_bypasses() {
+        let t = trace_with_sizes(&[&[0], &[1], &[0]], &[500, 10]);
+        let mut p = FileLru::new(&t, 100 * MB);
+        let hits = replay(&t, &mut p);
+        assert_eq!(hits, vec![false, false, false]);
+        // The small file stays resident.
+        assert_eq!(p.used(), 10 * MB);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity() {
+        let t = trace_with_sizes(
+            &[&[0, 1, 2], &[3, 4], &[0, 4], &[2, 3]],
+            &[50, 60, 70, 80, 90],
+        );
+        let mut p = FileLru::new(&t, 150 * MB);
+        for ev in t.access_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn byte_accounting_balances() {
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0]], &[100, 100, 100]);
+        let mut p = FileLru::new(&t, 200 * MB);
+        let mut fetched = 0u64;
+        let mut evicted = 0u64;
+        for ev in t.access_events() {
+            let r = p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            fetched += r.bytes_fetched;
+            evicted += r.bytes_evicted;
+        }
+        assert_eq!(fetched - evicted, p.used());
+    }
+
+    #[test]
+    fn infinite_cache_only_cold_misses() {
+        let t = trace_with_sizes(&[&[0, 1], &[0, 1], &[1]], &[10, 20]);
+        let mut p = FileLru::new(&t, u64::MAX);
+        let hits = replay(&t, &mut p);
+        assert_eq!(hits, vec![false, false, true, true, true]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Sequence-based prefetching baselines from the paper's related work
+//! (Section 7).
+//!
+//! * [`SuccessorPrefetch`] — Amer, Long & Burns [ICDCS'02] group files by
+//!   observed *successor* relationships: when `f` is requested, the files
+//!   that historically follow `f` are fetched along with it. The paper
+//!   contrasts filecules with such groups: successor groups break whenever
+//!   intermediate accesses change, filecules do not.
+//! * [`WorkingSetPrefetch`] — Tait & Duchamp [ICDCS'91] learn per-user
+//!   "working trees" from past jobs; once a running job's accesses match
+//!   exactly one stored tree, the remainder of that tree is prefetched.
+//!
+//! Both operate at file granularity over an LRU cache, so their deltas
+//! against [`crate::FileLru`] isolate the prefetching heuristic, and their
+//! deltas against [`crate::FileculeLru`] reproduce the paper's argument
+//! that usage-signature groups are the more stable prefetch unit.
+
+use crate::lru_core::DenseLru;
+use crate::policy::{AccessResult, Policy, Request};
+use hep_trace::{FileId, JobId, Trace};
+use std::collections::HashMap;
+
+/// Shared LRU byte-cache used by both prefetchers.
+#[derive(Debug, Clone)]
+struct LruBytes {
+    capacity: u64,
+    used: u64,
+    sizes: Vec<u64>,
+    lru: DenseLru,
+}
+
+impl LruBytes {
+    fn new(trace: &Trace, capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            lru: DenseLru::new(trace.n_files()),
+        }
+    }
+
+    fn contains(&self, f: u32) -> bool {
+        self.lru.contains(f)
+    }
+
+    fn touch(&mut self, f: u32) {
+        self.lru.touch(f);
+    }
+
+    /// Insert `f` (evicting LRU entries), returning (fetched, evicted)
+    /// bytes; a no-op for resident or oversized files.
+    fn admit(&mut self, f: u32) -> (u64, u64) {
+        if self.lru.contains(f) {
+            return (0, 0);
+        }
+        let size = self.sizes[f as usize];
+        if size > self.capacity {
+            return (size, 0); // fetched but not retained
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let victim = self.lru.pop_lru().expect("progress guaranteed");
+            let s = self.sizes[victim as usize];
+            self.used -= s;
+            evicted += s;
+        }
+        self.lru.insert(f);
+        self.used += size;
+        (size, evicted)
+    }
+}
+
+/// Amer-style successor-group prefetching: on a miss for `f`, also fetch
+/// the chain of most-recent successors of `f` up to `depth` files.
+#[derive(Debug, Clone)]
+pub struct SuccessorPrefetch {
+    cache: LruBytes,
+    /// Most recently observed successor of each file (`u32::MAX` = none).
+    successor: Vec<u32>,
+    /// Previously accessed file in the global stream.
+    prev: u32,
+    /// Prefetch chain depth.
+    depth: usize,
+}
+
+impl SuccessorPrefetch {
+    /// Create with prefetch chain length `depth` (the paper's cited work
+    /// uses small groups; 4 is a reasonable default).
+    pub fn new(trace: &Trace, capacity: u64, depth: usize) -> Self {
+        Self {
+            cache: LruBytes::new(trace, capacity),
+            successor: vec![u32::MAX; trace.n_files()],
+            prev: u32::MAX,
+            depth,
+        }
+    }
+}
+
+impl Policy for SuccessorPrefetch {
+    fn name(&self) -> String {
+        format!("successor-prefetch(depth={})", self.depth)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cache.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.cache.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let f = req.file.0;
+        // Learn: the previous access's successor is f.
+        if self.prev != u32::MAX && self.prev != f {
+            self.successor[self.prev as usize] = f;
+        }
+        self.prev = f;
+
+        if self.cache.contains(f) {
+            self.cache.touch(f);
+            return AccessResult::hit();
+        }
+        let (mut fetched, mut evicted) = self.cache.admit(f);
+        let bypassed = !self.cache.contains(f);
+        // Prefetch the successor chain.
+        let mut cur = f;
+        for _ in 0..self.depth {
+            cur = self.successor[cur as usize];
+            if cur == u32::MAX || self.cache.contains(cur) {
+                break;
+            }
+            let (fe, ev) = self.cache.admit(cur);
+            fetched += fe;
+            evicted += ev;
+        }
+        AccessResult {
+            hit: false,
+            bytes_fetched: fetched,
+            bytes_evicted: evicted,
+            bypassed,
+        }
+    }
+}
+
+/// Tait–Duchamp working-set prefetching: remember each user's past job
+/// file-sets; once the running job's accesses are contained in exactly one
+/// remembered set, prefetch that set's remaining files.
+#[derive(Debug)]
+pub struct WorkingSetPrefetch {
+    cache: LruBytes,
+    /// Remembered file-sets (sorted) per user.
+    library: HashMap<u32, Vec<Vec<FileId>>>,
+    /// Per-user cap on remembered sets.
+    library_cap: usize,
+    /// State of the currently tracked jobs.
+    active: HashMap<JobId, ActiveJob>,
+    /// User of each job (borrowed from the trace at construction).
+    job_users: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    seen: Vec<FileId>,
+    /// Whether a unique matching tree has already been prefetched.
+    prefetched: bool,
+}
+
+impl WorkingSetPrefetch {
+    /// Create with a per-user library of up to `library_cap` past jobs.
+    pub fn new(trace: &Trace, capacity: u64, library_cap: usize) -> Self {
+        Self {
+            cache: LruBytes::new(trace, capacity),
+            library: HashMap::new(),
+            library_cap,
+            active: HashMap::new(),
+            job_users: trace.jobs().iter().map(|j| j.user.0).collect(),
+        }
+    }
+
+    /// Sets in `lib` whose file list contains every element of `seen`.
+    fn matches<'l>(lib: &'l [Vec<FileId>], seen: &[FileId]) -> Vec<&'l Vec<FileId>> {
+        lib.iter()
+            .filter(|set| seen.iter().all(|f| set.binary_search(f).is_ok()))
+            .collect()
+    }
+}
+
+impl Policy for WorkingSetPrefetch {
+    fn name(&self) -> String {
+        "workingset-prefetch".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cache.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.cache.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let f = req.file.0;
+        let user = self.job_users[req.job.index()];
+
+        // Track the job's accesses.
+        let state = self.active.entry(req.job).or_insert_with(|| ActiveJob {
+            seen: Vec::new(),
+            prefetched: false,
+        });
+        if let Err(pos) = state.seen.binary_search(&req.file) {
+            state.seen.insert(pos, req.file);
+        }
+        let (seen, already) = (state.seen.clone(), state.prefetched);
+
+        let hit = self.cache.contains(f);
+        let (mut fetched, mut evicted) = (0u64, 0u64);
+        if hit {
+            self.cache.touch(f);
+        } else {
+            let (fe, ev) = self.cache.admit(f);
+            fetched += fe;
+            evicted += ev;
+        }
+
+        // Unique-match prefetch (delayed until exactly one tree matches,
+        // as in Tait-Duchamp).
+        let mut to_prefetch: Vec<FileId> = Vec::new();
+        if !already && seen.len() >= 2 {
+            if let Some(lib) = self.library.get(&user) {
+                let m = Self::matches(lib, &seen);
+                if m.len() == 1 {
+                    to_prefetch = m[0]
+                        .iter()
+                        .copied()
+                        .filter(|x| !seen.contains(x))
+                        .collect();
+                    self.active.get_mut(&req.job).expect("tracked").prefetched = true;
+                }
+            }
+        }
+        for p in to_prefetch {
+            if !self.cache.contains(p.0) {
+                let (fe, ev) = self.cache.admit(p.0);
+                fetched += fe;
+                evicted += ev;
+            }
+        }
+
+        // Job-completion heuristic: once a tracked job has accumulated its
+        // full file list (we learn sets lazily — when another job for the
+        // same user starts, flush the older one into the library).
+        if self.active.len() > 64 {
+            // Flush the oldest tracked jobs into the library.
+            let mut ids: Vec<JobId> = self.active.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids.into_iter().take(self.active.len() - 32) {
+                let st = self.active.remove(&id).expect("present");
+                let u = self.job_users[id.index()];
+                let lib = self.library.entry(u).or_default();
+                if lib.len() >= self.library_cap {
+                    lib.remove(0);
+                }
+                lib.push(st.seen);
+            }
+        }
+
+        AccessResult {
+            hit,
+            bytes_fetched: fetched,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use hep_trace::MB;
+
+    #[test]
+    fn successor_learns_and_prefetches() {
+        // Stream teaches 0->1->2, then re-requests 0: 1 and 2 prefetched.
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0], &[1], &[2]], &[10, 10, 10]);
+        let mut p = SuccessorPrefetch::new(&t, 1000 * MB, 4);
+        let hits = replay(&t, &mut p);
+        // First pass: 3 misses. 0 hits (still resident). 1,2 hit too
+        // (resident from first pass in a big cache).
+        assert_eq!(hits, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn successor_prefetch_after_eviction() {
+        // Small cache (2 files): teach 0->1, then churn, then request 0:
+        // 1 is prefetched alongside.
+        let t = trace_with_sizes(
+            &[&[0], &[1], &[2], &[3], &[0], &[1]],
+            &[10, 10, 10, 10],
+        );
+        let mut p = SuccessorPrefetch::new(&t, 20 * MB, 2);
+        let hits = replay(&t, &mut p);
+        // 0,1,2,3 miss (chain learned 0->1->2->3); request 0 misses but
+        // prefetches 1 (chain 0->1->2 limited by capacity); request 1 hits.
+        assert!(!hits[4]);
+        assert!(hits[5]);
+    }
+
+    #[test]
+    fn successor_capacity_respected() {
+        let t = trace_with_sizes(&[&[0, 1, 2, 3], &[0, 2], &[1, 3]], &[60, 60, 60, 60]);
+        let mut p = SuccessorPrefetch::new(&t, 150 * MB, 3);
+        for ev in t.replay_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn workingset_prefetches_on_unique_match() {
+        // Same user runs the identical 4-file job twice with enough other
+        // jobs in between to flush the first into the library... library
+        // flush needs >64 active jobs; instead simulate directly.
+        let t = trace_with_sizes(&[&[0, 1, 2, 3], &[0, 1, 2, 3]], &[10, 10, 10, 10]);
+        let mut p = WorkingSetPrefetch::new(&t, 1000 * MB, 8);
+        // Manually seed the library: the user's past job covered {0,1,2,3}.
+        p.library.insert(
+            0,
+            vec![vec![FileId(0), FileId(1), FileId(2), FileId(3)]],
+        );
+        let hits = replay(&t, &mut p);
+        // Cache is big, so the second job hits regardless; the interesting
+        // assertion is on the *first* job: after two accesses the unique
+        // match triggers prefetch, so accesses 3 and 4 hit.
+        assert!(!hits[0]);
+        assert!(!hits[1]);
+        assert!(hits[2], "prefetched after unique match");
+        assert!(hits[3]);
+    }
+
+    #[test]
+    fn workingset_no_prefetch_on_ambiguous_match() {
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 10, 10]);
+        let mut p = WorkingSetPrefetch::new(&t, 1000 * MB, 8);
+        // Two stored sets both contain {0,1}: ambiguous until access 3.
+        p.library.insert(
+            0,
+            vec![
+                vec![FileId(0), FileId(1), FileId(2)],
+                vec![FileId(0), FileId(1), FileId(3)],
+            ],
+        );
+        let hits = replay(&t, &mut p);
+        // Access to 2 resolves ambiguity only as it happens: miss.
+        assert_eq!(hits, vec![false, false, false]);
+    }
+
+    #[test]
+    fn workingset_capacity_respected() {
+        let t = trace_with_sizes(
+            &[&[0, 1], &[2, 3], &[0, 1], &[2, 3]],
+            &[60, 60, 60, 60],
+        );
+        let mut p = WorkingSetPrefetch::new(&t, 130 * MB, 4);
+        for ev in t.replay_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+}

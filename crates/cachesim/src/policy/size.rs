@@ -1,0 +1,123 @@
+//! File-granularity SIZE policy: evict the largest resident file first.
+//!
+//! A classic web-caching baseline; included because the paper's Figure 3
+//! discussion shows scientific file sizes behave unlike web objects, which
+//! makes SIZE behave very differently here (it throws away exactly the big
+//! raw/root files that jobs re-read).
+
+use crate::policy::{AccessResult, Policy, Request};
+use hep_trace::Trace;
+use std::collections::BTreeSet;
+
+/// Largest-file-first eviction.
+#[derive(Debug, Clone)]
+pub struct FileSize {
+    capacity: u64,
+    used: u64,
+    sizes: Vec<u64>,
+    resident: Vec<bool>,
+    /// (size, file) — eviction takes the maximum.
+    order: BTreeSet<(u64, u32)>,
+}
+
+impl FileSize {
+    /// Create a SIZE-policy cache of `capacity` bytes.
+    pub fn new(trace: &Trace, capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            resident: vec![false; trace.n_files()],
+            order: BTreeSet::new(),
+        }
+    }
+}
+
+impl Policy for FileSize {
+    fn name(&self) -> String {
+        "file-size".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &Request) -> AccessResult {
+        let f = req.file.0;
+        if self.resident[f as usize] {
+            return AccessResult::hit();
+        }
+        let size = self.sizes[f as usize];
+        if size > self.capacity {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: size,
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let &(s, victim) = self.order.iter().next_back().expect("progress guaranteed");
+            self.order.remove(&(s, victim));
+            self.resident[victim as usize] = false;
+            self.used -= s;
+            evicted += s;
+        }
+        self.resident[f as usize] = true;
+        self.order.insert((size, f));
+        self.used += size;
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use hep_trace::MB;
+
+    #[test]
+    fn evicts_largest_first() {
+        // Resident: 0 (150 MB), 1 (30 MB). Inserting 2 (40 MB) evicts 0.
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[1], &[0]], &[150, 30, 40]);
+        let mut p = FileSize::new(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut p),
+            vec![false, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn small_files_accumulate() {
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0], &[1], &[2]], &[10, 10, 10]);
+        let mut p = FileSize::new(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut p),
+            vec![false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let t = trace_with_sizes(&[&[0, 1, 2, 3]], &[90, 80, 70, 60]);
+        let mut p = FileSize::new(&t, 150 * MB);
+        for ev in t.access_events() {
+            p.access(&Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            });
+            assert!(p.used() <= p.capacity());
+        }
+    }
+}

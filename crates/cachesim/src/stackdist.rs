@@ -1,0 +1,319 @@
+//! LRU reuse-distance (stack-distance) analysis.
+//!
+//! For every access, the *reuse distance* is the volume of distinct data
+//! touched since the previous access to the same file (infinite for first
+//! accesses). By the LRU inclusion property, an access hits in an LRU
+//! cache of capacity `C` exactly when its reuse distance is `< C` — so a
+//! single O(N log N) pass over the trace predicts the *entire* Figure 10
+//! file-LRU curve without running a simulator at each size. We use it both
+//! as an independent validation of the simulator (tested to agree exactly
+//! for uniform file sizes) and to explain where the filecule advantage
+//! comes from (filecule-granularity distances are computed the same way).
+//!
+//! Distances are computed with a Fenwick tree over access positions
+//! holding each file's byte size at its most recent access position —
+//! the textbook algorithm generalized to byte-weighted distances. An
+//! access's distance includes the object's own size, so it hits in an LRU
+//! cache of byte capacity `C` exactly when `distance <= C`.
+
+use crate::policy::Request;
+use hep_trace::Trace;
+
+/// A Fenwick (binary indexed) tree over `u64` byte weights.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Add `delta` at position `i` (0-based).
+    fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of positions `a..=b` (empty if a > b).
+    fn range(&self, a: usize, b: usize) -> u64 {
+        if a > b {
+            return 0;
+        }
+        let lo = if a == 0 { 0 } else { self.prefix(a - 1) };
+        self.prefix(b) - lo
+    }
+}
+
+/// Reuse distances for one replay stream. `None` = first access (infinite
+/// distance / compulsory miss).
+#[derive(Debug, Clone)]
+pub struct ReuseProfile {
+    /// Per-access byte distance in replay order.
+    pub distances: Vec<Option<u64>>,
+}
+
+impl ReuseProfile {
+    /// Predicted LRU miss count at byte capacity `c`: accesses whose
+    /// distance is `None` (first access) or `> c` miss. Exact for uniform
+    /// object sizes; a tight approximation for variable sizes.
+    pub fn predicted_misses(&self, c: u64) -> u64 {
+        self.distances
+            .iter()
+            .filter(|d| match d {
+                None => true,
+                Some(x) => *x > c,
+            })
+            .count() as u64
+    }
+
+    /// Predicted LRU miss *rate* at byte capacity `c`.
+    pub fn predicted_miss_rate(&self, c: u64) -> f64 {
+        if self.distances.is_empty() {
+            0.0
+        } else {
+            self.predicted_misses(c) as f64 / self.distances.len() as f64
+        }
+    }
+
+    /// The whole predicted miss-rate curve at the given capacities.
+    pub fn curve(&self, capacities: &[u64]) -> Vec<(u64, f64)> {
+        capacities
+            .iter()
+            .map(|&c| (c, self.predicted_miss_rate(c)))
+            .collect()
+    }
+
+    /// Number of compulsory (first-access) misses.
+    pub fn cold_misses(&self) -> u64 {
+        self.distances.iter().filter(|d| d.is_none()).count() as u64
+    }
+}
+
+/// Compute byte-weighted reuse distances over `requests` with per-key byte
+/// `sizes` (keys are dense ids indexing `sizes`).
+pub fn reuse_distances(keys: &[u32], sizes: &[u64]) -> ReuseProfile {
+    let n = keys.len();
+    let mut fw = Fenwick::new(n);
+    let mut last_pos: Vec<Option<usize>> = vec![None; sizes.len()];
+    let mut distances = Vec::with_capacity(n);
+    for (pos, &k) in keys.iter().enumerate() {
+        let ki = k as usize;
+        match last_pos[ki] {
+            None => distances.push(None),
+            Some(p) => {
+                // Distinct bytes touched strictly between p and pos, plus
+                // the object itself (it must fit too).
+                let between = fw.range(p + 1, pos.saturating_sub(1));
+                distances.push(Some(between + sizes[ki]));
+                fw.add(p, -(sizes[ki] as i64));
+            }
+        }
+        fw.add(pos, sizes[ki] as i64);
+        last_pos[ki] = Some(pos);
+    }
+    ReuseProfile { distances }
+}
+
+/// File-granularity reuse profile of a trace's replay stream.
+pub fn file_reuse_profile(trace: &Trace) -> ReuseProfile {
+    let keys: Vec<u32> = trace.replay_events().iter().map(|e| e.file.0).collect();
+    let sizes: Vec<u64> = trace.files().iter().map(|f| f.size_bytes).collect();
+    reuse_distances(&keys, &sizes)
+}
+
+/// Filecule-granularity reuse profile: the stream's files are mapped to
+/// their filecules (whole-filecule fetch units, as in filecule-LRU).
+pub fn filecule_reuse_profile(
+    trace: &Trace,
+    set: &filecule_core::FileculeSet,
+) -> ReuseProfile {
+    let keys: Vec<u32> = trace
+        .replay_events()
+        .iter()
+        .map(|e| set.filecule_of(e.file).map(|g| g.0).unwrap_or(0))
+        .collect();
+    let sizes: Vec<u64> = set.ids().map(|g| set.size_bytes(g)).collect();
+    reuse_distances(&keys, &sizes)
+}
+
+/// Convenience: drive a [`crate::policy::lru::FileLru`] over the same
+/// stream and return its misses, for validation against the profile.
+pub fn simulated_lru_misses(trace: &Trace, capacity: u64) -> u64 {
+    let mut p = crate::policy::lru::FileLru::new(trace, capacity);
+    let mut misses = 0;
+    for ev in trace.replay_events() {
+        let r = crate::policy::Policy::access(
+            &mut p,
+            &Request {
+                time: ev.time,
+                job: ev.job,
+                file: ev.file,
+            },
+        );
+        if !r.hit {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::trace_with_sizes;
+    use hep_trace::{SynthConfig, TraceSynthesizer, MB};
+
+    #[test]
+    fn fenwick_basics() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 5);
+        f.add(3, 7);
+        f.add(7, 2);
+        assert_eq!(f.prefix(0), 5);
+        assert_eq!(f.prefix(3), 12);
+        assert_eq!(f.prefix(7), 14);
+        assert_eq!(f.range(1, 3), 7);
+        assert_eq!(f.range(4, 6), 0);
+        assert_eq!(f.range(5, 2), 0);
+        f.add(3, -7);
+        assert_eq!(f.prefix(7), 7);
+    }
+
+    #[test]
+    fn distances_simple_pattern() {
+        // Stream: a b a a; sizes 1 each.
+        let keys = [0u32, 1, 0, 0];
+        let sizes = [1u64, 1];
+        let p = reuse_distances(&keys, &sizes);
+        assert_eq!(
+            p.distances,
+            vec![None, None, Some(2), Some(1)] // a..b..a: b + a itself = 2
+        );
+        assert_eq!(p.cold_misses(), 2);
+    }
+
+    #[test]
+    fn distance_counts_distinct_not_total() {
+        // a b b b a: only one distinct object between the two a's.
+        let keys = [0u32, 1, 1, 1, 0];
+        let sizes = [1u64, 1];
+        let p = reuse_distances(&keys, &sizes);
+        assert_eq!(p.distances[4], Some(2));
+    }
+
+    #[test]
+    fn byte_weighted_distances() {
+        // a(10) b(100) a: distance = 100 + 10.
+        let keys = [0u32, 1, 0];
+        let sizes = [10u64, 100];
+        let p = reuse_distances(&keys, &sizes);
+        assert_eq!(p.distances[2], Some(110));
+    }
+
+    #[test]
+    fn stack_property_matches_simulation_uniform_sizes() {
+        // With uniform sizes the prediction must match file-LRU exactly at
+        // every capacity.
+        let t = trace_with_sizes(
+            &[
+                &[0, 1, 2],
+                &[1, 3],
+                &[0, 2, 4],
+                &[3, 4],
+                &[0, 1, 2, 3, 4],
+                &[2],
+                &[0, 4],
+            ],
+            &[10, 10, 10, 10, 10],
+        );
+        let profile = file_reuse_profile(&t);
+        for cap_files in 1..=6u64 {
+            let cap = cap_files * 10 * MB;
+            let predicted = profile.predicted_misses(cap);
+            let simulated = simulated_lru_misses(&t, cap);
+            assert_eq!(predicted, simulated, "capacity {cap_files} files");
+        }
+    }
+
+    #[test]
+    fn stack_property_on_synthetic_trace_uniformized() {
+        // Synthetic trace structure with uniformized sizes: exact match.
+        let t = TraceSynthesizer::new(SynthConfig::small(77)).generate();
+        let keys: Vec<u32> = t.replay_events().iter().map(|e| e.file.0).collect();
+        let sizes = vec![MB; t.n_files()];
+        let profile = reuse_distances(&keys, &sizes);
+        // Rebuild a uniform-size trace is costly; instead simulate LRU over
+        // the same keys with a reference model.
+        for cap_files in [10u64, 100, 1000] {
+            let predicted = profile.predicted_misses(cap_files * MB);
+            let simulated = reference_lru_misses(&keys, cap_files as usize);
+            assert_eq!(predicted, simulated, "cap {cap_files}");
+        }
+    }
+
+    /// Simple reference LRU over unit-size keys with capacity in objects.
+    fn reference_lru_misses(keys: &[u32], cap: usize) -> u64 {
+        let mut order: Vec<u32> = Vec::new(); // front = MRU
+        let mut misses = 0;
+        for &k in keys {
+            if let Some(pos) = order.iter().position(|&x| x == k) {
+                order.remove(pos);
+                order.insert(0, k);
+            } else {
+                misses += 1;
+                order.insert(0, k);
+                if order.len() > cap {
+                    order.pop();
+                }
+            }
+        }
+        misses
+    }
+
+    #[test]
+    fn predicted_curve_monotone() {
+        let t = TraceSynthesizer::new(SynthConfig::small(78)).generate();
+        let profile = file_reuse_profile(&t);
+        let caps: Vec<u64> = (0..10).map(|i| (i + 1) * 10_000 * MB).collect();
+        let curve = profile.curve(&caps);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn filecule_profile_has_fewer_cold_misses() {
+        let t = TraceSynthesizer::new(SynthConfig::small(79)).generate();
+        let set = filecule_core::identify(&t);
+        let file = file_reuse_profile(&t);
+        let filecule = filecule_reuse_profile(&t, &set);
+        // Cold misses: one per distinct file vs one per distinct filecule.
+        assert!(filecule.cold_misses() < file.cold_misses());
+        assert_eq!(filecule.cold_misses(), set.n_filecules() as u64);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let p = reuse_distances(&[], &[1]);
+        assert_eq!(p.predicted_miss_rate(100), 0.0);
+        assert_eq!(p.cold_misses(), 0);
+    }
+}

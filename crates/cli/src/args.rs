@@ -1,0 +1,197 @@
+//! Minimal dependency-free flag parsing.
+//!
+//! The workspace's offline dependency policy keeps `clap` out; commands
+//! here need only `--flag value` pairs and positionals, which this module
+//! parses with precise error messages.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positionals in order plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    /// Flags seen without a value (e.g. trailing `--verbose`).
+    switches: Vec<String>,
+}
+
+/// A parse or validation failure, printed to stderr with usage.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw token list (no program name). Flags in `switches` never
+    /// consume a value, so `--check out.bin` keeps `out.bin` positional.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        tokens: I,
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty flag name `--`".into()));
+                }
+                if switches.contains(&key) {
+                    out.switches.push(key.to_owned());
+                    continue;
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        if out.options.insert(key.to_owned(), v).is_some() {
+                            return Err(ArgError(format!("flag --{key} given twice")));
+                        }
+                    }
+                    _ => out.switches.push(key.to_owned()),
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse with no declared boolean switches (a trailing valueless flag
+    /// still parses as a switch).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        Self::parse_with_switches(tokens, &[])
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn n_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Was `--key` present without a value?
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("bad value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// Required typed option.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("bad value for --{key}: {v:?}")))
+    }
+
+    /// Error out on unknown options (call after consuming the known set).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys().chain(self.switches.iter()) {
+            if !known.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown flag --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["generate", "--scale", "16", "out.bin"]).unwrap();
+        assert_eq!(a.positional(0), Some("generate"));
+        assert_eq!(a.positional(1), Some("out.bin"));
+        assert_eq!(a.get("scale"), Some("16"));
+        assert_eq!(a.n_positional(), 2);
+    }
+
+    #[test]
+    fn typed_access() {
+        let a = parse(&["--scale", "16", "--seed", "42"]).unwrap();
+        assert_eq!(a.get_or("scale", 4.0f64).unwrap(), 16.0);
+        assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+        assert_eq!(a.require::<u64>("seed").unwrap(), 42);
+        assert!(a.require::<u64>("nope").is_err());
+        assert!(a.get_or::<u32>("scale", 0).is_ok());
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = parse(&["--scale", "abc"]).unwrap();
+        assert!(a.get_or("scale", 1.0f64).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(parse(&["--x", "1", "--x", "2"]).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse(&["--json"]).unwrap();
+        assert!(a.switch("json"));
+        assert!(!a.switch("other"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_switch() {
+        let a = parse(&["--json", "--scale", "4"]).unwrap();
+        assert!(a.switch("json"));
+        assert_eq!(a.get("scale"), Some("4"));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse(&["--scale", "4", "--bogus", "1"]).unwrap();
+        assert!(a.reject_unknown(&["scale"]).is_err());
+        assert!(a.reject_unknown(&["scale", "bogus"]).is_ok());
+    }
+
+    #[test]
+    fn declared_switch_does_not_eat_positional() {
+        let a = Args::parse_with_switches(
+            ["generate", "--check", "out.bin"].iter().map(|s| s.to_string()),
+            &["check"],
+        )
+        .unwrap();
+        assert!(a.switch("check"));
+        assert_eq!(a.positional(1), Some("out.bin"));
+    }
+
+    #[test]
+    fn empty_flag_name_rejected() {
+        assert!(parse(&["--"]).is_err());
+    }
+}

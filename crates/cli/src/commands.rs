@@ -1,0 +1,599 @@
+//! Command implementations.
+
+use crate::args::Args;
+use cachesim::policy::belady::BeladyMin;
+use cachesim::policy::bundle::BundleAffinity;
+use cachesim::policy::fifo::FileFifo;
+use cachesim::policy::filecule_gds::FileculeGds;
+use cachesim::policy::gds::{CostModel, GreedyDualSize};
+use cachesim::policy::lfu::FileLfu;
+use cachesim::policy::lru::FileLru;
+use cachesim::policy::lruk::FileLruK;
+use cachesim::policy::prefetch::{SuccessorPrefetch, WorkingSetPrefetch};
+use cachesim::policy::size::FileSize;
+use cachesim::{simulate as run_simulation, simulate_warm, FileculeLru, Policy};
+use filecule_core::FileculeSet;
+use hep_trace::{SynthConfig, Trace, TraceSynthesizer, GB};
+use std::error::Error;
+use std::path::Path;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Load a trace, dispatching on the extension (`.csv` text, else binary).
+pub fn load_trace(path: &Path) -> Result<Trace, Box<dyn Error>> {
+    if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+        Ok(hep_trace::io::load_trace(path)?)
+    } else {
+        Ok(hep_trace::io_binary::load_trace_binary(path)?)
+    }
+}
+
+/// Save a trace, dispatching on the extension.
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), Box<dyn Error>> {
+    if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+        hep_trace::io::save_trace(trace, path)?;
+    } else {
+        hep_trace::io_binary::save_trace_binary(trace, path)?;
+    }
+    Ok(())
+}
+
+/// `filecules generate <out>`.
+pub fn generate(args: &Args) -> CmdResult {
+    args.reject_unknown(&["scale", "seed", "user-scale", "days", "check"])?;
+    let out = args
+        .positional(1)
+        .ok_or("generate needs an output path")?;
+    let scale: f64 = args.get_or("scale", 16.0)?;
+    let seed: u64 = args.get_or("seed", hep_stats::rng::DEFAULT_SEED)?;
+    let mut cfg = SynthConfig::paper(seed, scale);
+    cfg.user_scale = args.get_or("user-scale", cfg.user_scale)?;
+    cfg.days = args.get_or("days", cfg.days)?;
+    let trace = TraceSynthesizer::new(cfg).generate();
+    save_trace(&trace, Path::new(out))?;
+    println!(
+        "wrote {}: {} jobs, {} accesses, {} files, {} users, {} sites",
+        out,
+        trace.n_jobs(),
+        trace.n_accesses(),
+        trace.n_files(),
+        trace.n_users(),
+        trace.n_sites()
+    );
+    if args.switch("check") {
+        let report = hep_trace::synth::check::check_calibration(&trace, scale);
+        print!("{}", report.to_text());
+        if !report.all_ok() {
+            return Err(format!(
+                "calibration drifted on {} metric(s) — see table above                  (note: user-scale/days overrides change the targets)",
+                report.failures().len()
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// `filecules convert <in> <out>`.
+pub fn convert(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let src = args.positional(1).ok_or("convert needs an input path")?;
+    let dst = args.positional(2).ok_or("convert needs an output path")?;
+    let trace = load_trace(Path::new(src))?;
+    save_trace(&trace, Path::new(dst))?;
+    println!("converted {src} -> {dst} ({} jobs)", trace.n_jobs());
+    Ok(())
+}
+
+/// `filecules characterize <trace>`.
+pub fn characterize(args: &Args) -> CmdResult {
+    args.reject_unknown(&["json"])?;
+    let path = args
+        .positional(1)
+        .ok_or("characterize needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let tiers = hep_trace::characterize::per_tier(&trace);
+    let domains = hep_trace::characterize::per_domain(&trace);
+    let mean_fpj = hep_trace::characterize::mean_files_per_job(&trace);
+    if args.switch("json") {
+        let doc = serde_json::json!({
+            "jobs": trace.n_jobs(),
+            "accesses": trace.n_accesses(),
+            "files": trace.n_files(),
+            "users": trace.n_users(),
+            "sites": trace.n_sites(),
+            "mean_files_per_job": mean_fpj,
+            "tiers": tiers,
+            "domains": domains,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc)?);
+        return Ok(());
+    }
+    println!(
+        "{}: {} jobs, {} accesses, {} files, {} users, {} sites; {:.1} files/job",
+        path,
+        trace.n_jobs(),
+        trace.n_accesses(),
+        trace.n_files(),
+        trace.n_users(),
+        trace.n_sites(),
+        mean_fpj
+    );
+    println!("\nper tier:");
+    for r in &tiers {
+        println!(
+            "  {:<13} {:>6} jobs, {:>5} users, {:>8} files, {:>8} MB/job, {:>5.2} h/job",
+            r.tier.name(),
+            r.jobs,
+            r.users,
+            r.files.map(|f| f.to_string()).unwrap_or_else(|| "-".into()),
+            r.input_mb_per_job
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.hours_per_job
+        );
+    }
+    println!("\nper domain:");
+    for r in &domains {
+        println!(
+            "  {:<6} {:>6} jobs, {:>4} users, {:>2} sites, {:>8} files, {:>9.0} GB",
+            r.domain, r.jobs, r.users, r.sites, r.files, r.total_gb
+        );
+    }
+    Ok(())
+}
+
+/// `filecules identify <trace>`.
+pub fn identify(args: &Args) -> CmdResult {
+    args.reject_unknown(&["out", "algorithm"])?;
+    let path = args.positional(1).ok_or("identify needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let algo = args.get("algorithm").unwrap_or("exact");
+    let t0 = std::time::Instant::now();
+    let set: FileculeSet = match algo {
+        "exact" => filecule_core::identify(&trace),
+        "refine" => filecule_core::identify::refine::identify_refine(&trace),
+        "hashed" => filecule_core::identify_hashed(&trace),
+        "parallel" => filecule_core::identify::exact::identify_parallel(&trace),
+        other => return Err(format!("unknown algorithm {other:?}").into()),
+    };
+    let stats = filecule_core::metrics::partition_stats(&trace, &set);
+    println!(
+        "{algo}: {} filecules covering {} files in {:.2}s",
+        set.n_filecules(),
+        set.n_assigned_files(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "  mean {:.1} files/filecule, largest {:.1} GB, max {} users, single-user {:.1}%",
+        stats.mean_files,
+        stats.max_bytes as f64 / GB as f64,
+        stats.max_users,
+        stats.single_user_fraction * 100.0
+    );
+    if let Some(out) = args.get("out") {
+        let mut doc = String::from("filecule,files,bytes,popularity,file_ids\n");
+        for g in set.ids() {
+            let ids: Vec<String> = set.files(g).iter().map(|f| f.0.to_string()).collect();
+            doc.push_str(&format!(
+                "{},{},{},{},{}\n",
+                g.0,
+                set.len(g),
+                set.size_bytes(g),
+                set.popularity(g),
+                ids.join(";")
+            ));
+        }
+        std::fs::write(out, doc)?;
+        println!("  listing written to {out}");
+    }
+    Ok(())
+}
+
+/// Build the named policy.
+fn make_policy<'t>(
+    name: &str,
+    trace: &'t Trace,
+    set: &'t FileculeSet,
+    capacity: u64,
+) -> Result<Box<dyn Policy + 't>, Box<dyn Error>> {
+    Ok(match name {
+        "file-lru" => Box::new(FileLru::new(trace, capacity)),
+        "filecule-lru" => Box::new(FileculeLru::new(trace, set, capacity)),
+        "filecule-gds" => Box::new(FileculeGds::new(trace, set, capacity, CostModel::Uniform)),
+        "fifo" => Box::new(FileFifo::new(trace, capacity)),
+        "lfu" => Box::new(FileLfu::new(trace, capacity)),
+        "lru2" => Box::new(FileLruK::new(trace, capacity, 2)),
+        "size" => Box::new(FileSize::new(trace, capacity)),
+        "gds" => Box::new(GreedyDualSize::new(trace, capacity, CostModel::Uniform)),
+        "landlord" => Box::new(GreedyDualSize::landlord(trace, capacity)),
+        "belady" => Box::new(BeladyMin::new(trace, capacity)),
+        "bundle" => Box::new(BundleAffinity::new(trace, set, capacity)),
+        "successor" => Box::new(SuccessorPrefetch::new(trace, capacity, 4)),
+        "workingset" => Box::new(WorkingSetPrefetch::new(trace, capacity, 16)),
+        other => return Err(format!("unknown policy {other:?}").into()),
+    })
+}
+
+/// `filecules simulate <trace>`.
+pub fn simulate_cmd(args: &Args) -> CmdResult {
+    args.reject_unknown(&["policy", "capacity-gb", "warmup", "json"])?;
+    let path = args.positional(1).ok_or("simulate needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let policy_name = args.get("policy").unwrap_or("file-lru");
+    let capacity = (args.get_or("capacity-gb", 1024.0f64)? * GB as f64) as u64;
+    let warmup: f64 = args.get_or("warmup", 0.0)?;
+    let set = filecule_core::identify(&trace);
+    let mut policy = make_policy(policy_name, &trace, &set, capacity)?;
+    let report = if warmup > 0.0 {
+        simulate_warm(&trace, policy.as_mut(), warmup)
+    } else {
+        run_simulation(&trace, policy.as_mut())
+    };
+    if args.switch("json") {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+        return Ok(());
+    }
+    println!(
+        "{} @ {:.1} GiB over {} requests:",
+        report.policy,
+        capacity as f64 / GB as f64,
+        report.requests
+    );
+    println!(
+        "  miss rate {:.4} (warm {:.4}), hits {}, misses {} ({} cold, {} bypass)",
+        report.miss_rate(),
+        report.warm_miss_rate(),
+        report.hits,
+        report.misses,
+        report.cold_misses,
+        report.bypasses
+    );
+    println!(
+        "  bytes: requested {:.1} GiB, fetched {:.1} GiB (traffic ratio {:.3})",
+        report.bytes_requested as f64 / GB as f64,
+        report.bytes_fetched as f64 / GB as f64,
+        report.byte_traffic_ratio()
+    );
+    Ok(())
+}
+
+/// `filecules simulate` entry point (aliased for `main`).
+pub fn simulate(args: &Args) -> CmdResult {
+    simulate_cmd(args)
+}
+
+/// `filecules fig10 <trace>`: the paper's headline sweep.
+pub fn fig10(args: &Args) -> CmdResult {
+    args.reject_unknown(&["scale"])?;
+    let path = args.positional(1).ok_or("fig10 needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let scale: f64 = args.get_or("scale", 16.0)?;
+    let set = filecule_core::identify(&trace);
+    println!("paper TB | cache (scaled) | file-LRU | filecule-LRU | factor");
+    for r in cachesim::sweep_fig10(&trace, &set, scale) {
+        println!(
+            "{:>8} | {:>11.3} TB | {:>8.4} | {:>12.4} | {:>5.1}x",
+            r.paper_tb,
+            r.capacity as f64 / hep_trace::TB as f64,
+            r.file_lru_miss,
+            r.filecule_lru_miss,
+            r.improvement_factor()
+        );
+    }
+    Ok(())
+}
+
+/// `filecules inspect <trace> --file N`: one file's usage signature and
+/// filecule membership.
+pub fn inspect(args: &Args) -> CmdResult {
+    args.reject_unknown(&["file"])?;
+    let path = args.positional(1).ok_or("inspect needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let file: u32 = args.require("file")?;
+    if file as usize >= trace.n_files() {
+        return Err(format!("file {file} out of range (trace has {})", trace.n_files()).into());
+    }
+    let f = hep_trace::FileId(file);
+    let meta = trace.file(f);
+    println!(
+        "file {}: {:.1} MB, tier {}",
+        file,
+        meta.size_bytes as f64 / hep_trace::MB as f64,
+        meta.tier
+    );
+    let jobs: Vec<_> = trace
+        .job_ids()
+        .filter(|&j| trace.job_files(j).binary_search(&f).is_ok())
+        .collect();
+    println!("requested by {} jobs", jobs.len());
+    for &j in jobs.iter().take(8) {
+        let rec = trace.job(j);
+        println!(
+            "  job {}: user {}, site {}, tier {}, start {}s, {} files",
+            j.0,
+            rec.user.0,
+            rec.site.0,
+            rec.tier,
+            rec.start,
+            rec.file_len
+        );
+    }
+    if jobs.len() > 8 {
+        println!("  ... and {} more", jobs.len() - 8);
+    }
+    let set = filecule_core::identify(&trace);
+    match set.filecule_of(f) {
+        None => println!("never accessed: not a member of any filecule"),
+        Some(g) => {
+            println!(
+                "filecule {}: {} files, {:.1} GB, popularity {}",
+                g.0,
+                set.len(g),
+                set.size_bytes(g) as f64 / hep_trace::GB as f64,
+                set.popularity(g)
+            );
+            let mates: Vec<String> = set
+                .files(g)
+                .iter()
+                .take(16)
+                .map(|m| m.0.to_string())
+                .collect();
+            println!(
+                "  members: {}{}",
+                mates.join(", "),
+                if set.len(g) > 16 { ", ..." } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `filecules feasibility <trace>`.
+pub fn feasibility(args: &Args) -> CmdResult {
+    args.reject_unknown(&["window-hours", "json"])?;
+    let path = args
+        .positional(1)
+        .ok_or("feasibility needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let window = (args.get_or("window-hours", 24.0f64)? * 3600.0) as u64;
+    let set = filecule_core::identify(&trace);
+    let (report, _) = transfer::assess(&trace, &set, &transfer::SwarmModel::default(), window, 1.5);
+    if args.switch("json") {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+        return Ok(());
+    }
+    println!(
+        "{} filecules; peak concurrency {} (windowed {} h) / {} (optimistic)",
+        report.n_filecules,
+        report.max_peak_windowed,
+        window / 3600,
+        report.max_peak_interval
+    );
+    println!(
+        "  {} with any concurrency, {} worth swarming (speedup >= {:.1}x)",
+        report.with_any_concurrency, report.worthwhile, report.speedup_threshold
+    );
+    println!(
+        "  verdict: BitTorrent {} justified by this workload",
+        if report.bittorrent_not_justified {
+            "is NOT"
+        } else {
+            "IS"
+        }
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("filecules-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_and_reload_binary() {
+        let out = tmp("t1.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let t = load_trace(&out).unwrap();
+        assert!(t.n_jobs() > 100);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let bin = tmp("t2.bin");
+        let csv = tmp("t2.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        convert(&args(&["convert", bin.to_str().unwrap(), csv.to_str().unwrap()])).unwrap();
+        let a = load_trace(&bin).unwrap();
+        let b = load_trace(&csv).unwrap();
+        assert_eq!(a.n_jobs(), b.n_jobs());
+        assert_eq!(a.n_accesses(), b.n_accesses());
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn identify_writes_listing() {
+        let bin = tmp("t3.bin");
+        let out = tmp("t3-filecules.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        identify(&args(&[
+            "identify",
+            bin.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--algorithm",
+            "hashed",
+        ]))
+        .unwrap();
+        let listing = std::fs::read_to_string(&out).unwrap();
+        assert!(listing.starts_with("filecule,files,bytes,popularity"));
+        assert!(listing.lines().count() > 10);
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn simulate_all_policies_run() {
+        let bin = tmp("t4.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for policy in [
+            "file-lru",
+            "filecule-lru",
+            "filecule-gds",
+            "fifo",
+            "lfu",
+            "lru2",
+            "size",
+            "gds",
+            "landlord",
+            "belady",
+            "bundle",
+            "successor",
+            "workingset",
+        ] {
+            simulate_cmd(&args(&[
+                "simulate",
+                bin.to_str().unwrap(),
+                "--policy",
+                policy,
+                "--capacity-gb",
+                "100",
+            ]))
+            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+        }
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn unknown_policy_rejected() {
+        let bin = tmp("t5.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policy",
+            "nonsense"
+        ]))
+        .is_err());
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn feasibility_runs() {
+        let bin = tmp("t6.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        feasibility(&args(&["feasibility", bin.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn fig10_and_inspect_run() {
+        let bin = tmp("t7.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        fig10(&args(&["fig10", bin.to_str().unwrap(), "--scale", "400"])).unwrap();
+        inspect(&args(&["inspect", bin.to_str().unwrap(), "--file", "0"])).unwrap();
+        // Out-of-range file id is a clean error.
+        assert!(inspect(&args(&[
+            "inspect",
+            bin.to_str().unwrap(),
+            "--file",
+            "99999999"
+        ]))
+        .is_err());
+        // Missing required flag is a clean error.
+        assert!(inspect(&args(&["inspect", bin.to_str().unwrap()])).is_err());
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn missing_positional_errors() {
+        assert!(generate(&args(&["generate"])).is_err());
+        assert!(convert(&args(&["convert", "only-one"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(generate(&args(&["generate", "x.bin", "--bogus", "1"])).is_err());
+    }
+}

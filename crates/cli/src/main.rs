@@ -1,0 +1,84 @@
+//! `filecules` — the command-line face of the workspace.
+//!
+//! ```text
+//! filecules generate --scale 16 --seed 42 trace.bin
+//! filecules convert trace.bin trace.csv
+//! filecules characterize trace.bin
+//! filecules identify trace.bin --out filecules.csv
+//! filecules simulate trace.bin --policy filecule-lru --capacity-gb 500
+//! filecules feasibility trace.bin
+//! ```
+//!
+//! Trace files ending in `.csv` use the sectioned text format, anything
+//! else the compact binary format.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn usage() -> &'static str {
+    "filecules — filecule identification and resource-management analysis
+
+USAGE:
+  filecules <command> [args]
+
+COMMANDS:
+  generate <out>        synthesize a calibrated DZero-like trace
+      --scale N         trace volume divisor (default 16)
+      --seed N          RNG seed (default 0xD0D02006)
+      --user-scale N    user population divisor (default 1)
+      --days N          trace window in days (default 820)
+      --check           verify calibration against the paper's targets
+  convert <in> <out>    convert between .csv and binary trace formats
+  characterize <trace>  print Table 1/2-style summaries (--json for JSON)
+  identify <trace>      identify filecules
+      --out FILE        write the per-filecule listing CSV
+      --algorithm A     exact | refine | hashed | parallel (default exact)
+  simulate <trace>      replay the trace against one cache
+      --policy P        file-lru | filecule-lru | filecule-gds | fifo |
+                        lfu | lru2 | size | gds | landlord | belady |
+                        bundle | successor | workingset (default file-lru)
+      --capacity-gb N   cache capacity in GiB (default 1024)
+      --warmup F        fraction of requests to skip in stats (default 0)
+  fig10 <trace>         run the paper's Figure 10 cache sweep
+      --scale N         scale divisor for the cache sizes (default 16)
+  inspect <trace>       show one file's usage signature and filecule
+      --file N          the file id to inspect (required)
+  feasibility <trace>   Section 5 BitTorrent analysis
+      --window-hours N  retention window (default 24)
+  help                  show this message
+"
+}
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse_with_switches(tokens, &["json", "check"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let cmd = args.positional(0).unwrap_or("help").to_owned();
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "convert" => commands::convert(&args),
+        "characterize" => commands::characterize(&args),
+        "identify" => commands::identify(&args),
+        "simulate" => commands::simulate(&args),
+        "fig10" => commands::fig10(&args),
+        "inspect" => commands::inspect(&args),
+        "feasibility" => commands::feasibility(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}").into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        eprintln!("run `filecules help` for usage");
+        std::process::exit(1);
+    }
+}

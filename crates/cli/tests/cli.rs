@@ -1,0 +1,174 @@
+//! End-to-end tests of the compiled `filecules` binary: real process
+//! spawn, real files, real exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_filecules"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("filecules-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("spawn filecules binary")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+const GEN: [&str; 8] = [
+    "generate",
+    "--scale",
+    "400",
+    "--user-scale",
+    "8",
+    "--days",
+    "120",
+    "--seed",
+];
+
+fn generate(path: &str, seed: &str) {
+    let mut args: Vec<&str> = GEN.to_vec();
+    args.push(seed);
+    args.push(path);
+    let o = run(&args);
+    assert!(o.status.success(), "{}", stderr(&o));
+}
+
+#[test]
+fn help_exits_zero_and_lists_commands() {
+    let o = run(&["help"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for cmd in ["generate", "identify", "simulate", "feasibility", "fig10", "inspect"] {
+        assert!(out.contains(cmd), "help missing {cmd}");
+    }
+    // No args behaves like help.
+    let o2 = run(&[]);
+    assert!(o2.status.success());
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let o = run(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn bad_flag_exits_two() {
+    let o = run(&["generate", "--scale", "abc", "x.bin"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn generate_identify_simulate_pipeline() {
+    let dir = tmpdir();
+    let trace = dir.join("pipeline.bin");
+    let listing = dir.join("filecules.csv");
+    generate(trace.to_str().unwrap(), "11");
+
+    let o = run(&[
+        "identify",
+        trace.to_str().unwrap(),
+        "--out",
+        listing.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("filecules covering"));
+    let csv = std::fs::read_to_string(&listing).unwrap();
+    assert!(csv.starts_with("filecule,files,bytes,popularity"));
+
+    let o = run(&[
+        "simulate",
+        trace.to_str().unwrap(),
+        "--policy",
+        "filecule-lru",
+        "--capacity-gb",
+        "50",
+        "--json",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let doc: serde_json::Value = serde_json::from_str(&stdout(&o)).expect("json output");
+    assert_eq!(doc["policy"], "filecule-lru");
+    assert!(doc["requests"].as_u64().unwrap() > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_roundtrip_binary_csv() {
+    let dir = tmpdir();
+    let bin_path = dir.join("conv.bin");
+    let csv_path = dir.join("conv.csv");
+    let back = dir.join("back.bin");
+    generate(bin_path.to_str().unwrap(), "12");
+    let o = run(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = run(&[
+        "convert",
+        csv_path.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // The two binaries hold identical traces: characterize output matches.
+    let a = run(&["characterize", bin_path.to_str().unwrap(), "--json"]);
+    let b = run(&["characterize", back.to_str().unwrap(), "--json"]);
+    let ja: serde_json::Value = serde_json::from_str(&stdout(&a)).unwrap();
+    let jb: serde_json::Value = serde_json::from_str(&stdout(&b)).unwrap();
+    assert_eq!(ja["jobs"], jb["jobs"]);
+    assert_eq!(ja["accesses"], jb["accesses"]);
+    assert_eq!(ja["mean_files_per_job"], jb["mean_files_per_job"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn feasibility_reports_verdict() {
+    let dir = tmpdir();
+    let trace = dir.join("feas.bin");
+    generate(trace.to_str().unwrap(), "13");
+    let o = run(&["feasibility", trace.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("BitTorrent"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_check_passes_at_supported_scale() {
+    // --check compares against paper targets; user-scale/days overrides
+    // shrink user counts which the check tolerates (it checks jobs,
+    // durations, files/job), so assert the flag at least runs and reports.
+    let dir = tmpdir();
+    let trace = dir.join("check.bin");
+    let mut args: Vec<&str> = GEN.to_vec();
+    args.push("14");
+    args.push("--check");
+    let path = trace.to_str().unwrap().to_owned();
+    args.push(&path);
+    let o = run(&args);
+    // The tiny test scale drifts some loose metrics; only require that the
+    // table rendered.
+    assert!(stdout(&o).contains("calibration check"), "{}", stdout(&o));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_clean_error() {
+    let o = run(&["characterize", "/nonexistent/trace.bin"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("error"));
+}

@@ -1,0 +1,173 @@
+//! Filecule dynamics across time windows.
+//!
+//! Section 8 of the paper asks: "How dynamic are \[filecules\]? Do files stay
+//! in the same filecules or do they change over time? […] are two filecules
+//! that contain the same file identical?" This module identifies filecules
+//! independently in consecutive time windows and measures how much the
+//! groups containing a given file agree across windows.
+
+use crate::filecule::FileculeSet;
+use crate::identify::exact::identify_jobs;
+use hep_trace::{JobId, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Identify filecules independently in `n_windows` equal-length time
+/// windows of the trace (by job start time).
+///
+/// # Panics
+/// Panics if `n_windows == 0`.
+pub fn windows(trace: &Trace, n_windows: usize) -> Vec<FileculeSet> {
+    assert!(n_windows > 0, "need at least one window");
+    let horizon = trace.horizon() + 1;
+    let width = horizon.div_ceil(n_windows as u64).max(1);
+    let mut buckets: Vec<Vec<JobId>> = vec![Vec::new(); n_windows];
+    for j in trace.job_ids() {
+        let w = ((trace.job(j).start / width) as usize).min(n_windows - 1);
+        buckets[w].push(j);
+    }
+    buckets
+        .into_iter()
+        .map(|jobs| identify_jobs(trace, &jobs))
+        .collect()
+}
+
+/// Agreement between two partitions (e.g. consecutive time windows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Files assigned in both partitions.
+    pub shared_files: usize,
+    /// Mean Jaccard similarity between a file's group in `a` and in `b`,
+    /// averaged over shared files.
+    pub mean_jaccard: f64,
+    /// Fraction of shared files whose two groups are identical sets.
+    pub identical_fraction: f64,
+}
+
+/// Measure agreement: for every file assigned in both partitions, compare
+/// the member sets of its two filecules by Jaccard similarity.
+pub fn stability(a: &FileculeSet, b: &FileculeSet, n_files: usize) -> StabilityReport {
+    let mut shared = 0usize;
+    let mut jaccard_sum = 0.0f64;
+    let mut identical = 0usize;
+    for fi in 0..n_files {
+        let f = hep_trace::FileId(fi as u32);
+        let (Some(ga), Some(gb)) = (a.filecule_of(f), b.filecule_of(f)) else {
+            continue;
+        };
+        shared += 1;
+        let sa: HashSet<_> = a.files(ga).iter().copied().collect();
+        let sb: HashSet<_> = b.files(gb).iter().copied().collect();
+        let inter = sa.intersection(&sb).count();
+        let union = sa.len() + sb.len() - inter;
+        let j = inter as f64 / union as f64;
+        jaccard_sum += j;
+        if (j - 1.0).abs() < 1e-12 {
+            identical += 1;
+        }
+    }
+    StabilityReport {
+        shared_files: shared,
+        mean_jaccard: if shared == 0 { 1.0 } else { jaccard_sum / shared as f64 },
+        identical_fraction: if shared == 0 {
+            1.0
+        } else {
+            identical as f64 / shared as f64
+        },
+    }
+}
+
+/// Stability of consecutive window pairs over the whole trace.
+pub fn window_stability(trace: &Trace, n_windows: usize) -> Vec<StabilityReport> {
+    let ws = windows(trace, n_windows);
+    ws.windows(2)
+        .map(|pair| stability(&pair[0], &pair[1], trace.n_files()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_trace::{DataTier, FileId, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB};
+
+    fn trace_stable_groups() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        // Same request pattern in two halves of time: stable filecules.
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 10, 11, &[f[2], f[3]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f[0], f[1]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 110, 111, &[f[2], f[3]]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stable_pattern_perfect_agreement() {
+        let t = trace_stable_groups();
+        let reports = window_stability(&t, 2);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.shared_files, 4);
+        assert!((r.mean_jaccard - 1.0).abs() < 1e-12);
+        assert!((r.identical_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn changed_pattern_reduces_agreement() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        // First half: {0,1,2,3} together. Second half: {0,1} and {2,3}.
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1], f[2], f[3]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f[0], f[1]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 110, 111, &[f[2], f[3]]);
+        let t = b.build().unwrap();
+        let reports = window_stability(&t, 2);
+        let r = &reports[0];
+        assert_eq!(r.shared_files, 4);
+        assert!((r.mean_jaccard - 0.5).abs() < 1e-12);
+        assert_eq!(r.identical_fraction, 0.0);
+    }
+
+    #[test]
+    fn disjoint_windows_report_vacuous_agreement() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f0 = b.add_file(MB, DataTier::Thumbnail);
+        let f1 = b.add_file(MB, DataTier::Thumbnail);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f1]);
+        let t = b.build().unwrap();
+        let reports = window_stability(&t, 2);
+        assert_eq!(reports[0].shared_files, 0);
+        assert_eq!(reports[0].mean_jaccard, 1.0);
+    }
+
+    #[test]
+    fn windows_cover_all_jobs() {
+        let t = TraceSynthesizer::new(SynthConfig::small(61)).generate();
+        let ws = windows(&t, 4);
+        assert_eq!(ws.len(), 4);
+        // Jaccard/stability must be in range on real-ish data.
+        for pair in ws.windows(2) {
+            let r = stability(&pair[0], &pair[1], t.n_files());
+            assert!((0.0..=1.0).contains(&r.mean_jaccard));
+            assert!((0.0..=1.0).contains(&r.identical_fraction));
+            assert!(r.identical_fraction <= r.mean_jaccard + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_windows_panics() {
+        let t = trace_stable_groups();
+        let _ = windows(&t, 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The filecule partition data structure.
+
+use hep_trace::{FileId, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a filecule within a [`FileculeSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileculeId(pub u32);
+
+impl FileculeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A partition of the *accessed* files of a trace into filecules.
+///
+/// Files never requested by any job carry no usage signature and are left
+/// unassigned (`filecule_of` returns `None` for them); the paper's
+/// definition only ranges over files appearing in the traces.
+///
+/// Stored in CSR layout: `members` holds the concatenated, per-filecule
+/// sorted file lists and `offsets[i]..offsets[i+1]` delimits filecule `i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileculeSet {
+    members: Vec<FileId>,
+    offsets: Vec<u32>,
+    /// Map from file index to its filecule, `u32::MAX` = unassigned.
+    file_map: Vec<u32>,
+    /// Requests per filecule (length of the shared job signature). By
+    /// property 3 this equals the request count of every member file.
+    popularity: Vec<u32>,
+    /// Total bytes per filecule.
+    bytes: Vec<u64>,
+}
+
+impl FileculeSet {
+    /// Assemble a set from per-filecule file lists (each list non-empty and
+    /// the lists pairwise disjoint), their popularities, and the trace for
+    /// byte accounting. `n_files` is the trace's file-table size.
+    ///
+    /// # Panics
+    /// Panics if a list is empty, a file appears twice, or lengths differ.
+    pub fn from_groups(
+        groups: Vec<Vec<FileId>>,
+        popularity: Vec<u32>,
+        trace: &Trace,
+    ) -> Self {
+        assert_eq!(groups.len(), popularity.len(), "group/popularity mismatch");
+        let n_files = trace.n_files();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        let mut members = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(groups.len() + 1);
+        let mut file_map = vec![u32::MAX; n_files];
+        let mut bytes = Vec::with_capacity(groups.len());
+        offsets.push(0u32);
+        for (gi, mut g) in groups.into_iter().enumerate() {
+            assert!(!g.is_empty(), "filecule {gi} is empty");
+            g.sort_unstable();
+            let mut b = 0u64;
+            for &f in &g {
+                assert_eq!(
+                    file_map[f.index()],
+                    u32::MAX,
+                    "file {} assigned to two filecules",
+                    f.0
+                );
+                file_map[f.index()] = gi as u32;
+                b += trace.file(f).size_bytes;
+            }
+            members.extend_from_slice(&g);
+            offsets.push(members.len() as u32);
+            bytes.push(b);
+        }
+        Self {
+            members,
+            offsets,
+            file_map,
+            popularity,
+            bytes,
+        }
+    }
+
+    /// Number of filecules.
+    pub fn n_filecules(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of files assigned to some filecule.
+    pub fn n_assigned_files(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The sorted member files of filecule `g`.
+    pub fn files(&self, g: FileculeId) -> &[FileId] {
+        &self.members[self.offsets[g.index()] as usize..self.offsets[g.index() + 1] as usize]
+    }
+
+    /// Number of files in filecule `g`.
+    pub fn len(&self, g: FileculeId) -> usize {
+        (self.offsets[g.index() + 1] - self.offsets[g.index()]) as usize
+    }
+
+    /// True if the set has no filecules.
+    pub fn is_empty(&self) -> bool {
+        self.n_filecules() == 0
+    }
+
+    /// The filecule containing `file`, or `None` if the file was never
+    /// accessed.
+    pub fn filecule_of(&self, file: FileId) -> Option<FileculeId> {
+        match self.file_map.get(file.index()) {
+            Some(&g) if g != u32::MAX => Some(FileculeId(g)),
+            _ => None,
+        }
+    }
+
+    /// Request count of filecule `g` (property 3: equals each member's
+    /// request count).
+    pub fn popularity(&self, g: FileculeId) -> u32 {
+        self.popularity[g.index()]
+    }
+
+    /// Total bytes of filecule `g`.
+    pub fn size_bytes(&self, g: FileculeId) -> u64 {
+        self.bytes[g.index()]
+    }
+
+    /// Iterate all filecule ids.
+    pub fn ids(&self) -> impl Iterator<Item = FileculeId> + '_ {
+        (0..self.n_filecules() as u32).map(FileculeId)
+    }
+
+    /// The largest filecule by bytes, `(id, bytes)`; `None` when empty.
+    pub fn largest_by_bytes(&self) -> Option<(FileculeId, u64)> {
+        self.ids()
+            .map(|g| (g, self.size_bytes(g)))
+            .max_by_key(|&(g, b)| (b, std::cmp::Reverse(g.0)))
+    }
+
+    /// Verify the partition against the trace: disjoint, covering all
+    /// accessed files, signature-consistent (all members of a filecule are
+    /// requested by exactly the same jobs) and popularity-consistent.
+    /// Returns violations (empty = valid). O(accesses) memory.
+    pub fn verify(&self, trace: &Trace) -> Vec<String> {
+        let mut errors = Vec::new();
+        // Build per-file signatures.
+        let mut sigs: Vec<Vec<u32>> = vec![Vec::new(); trace.n_files()];
+        for j in trace.job_ids() {
+            for &f in trace.job_files(j) {
+                sigs[f.index()].push(j.0);
+            }
+        }
+        // Coverage: accessed <=> assigned.
+        for f in trace.file_ids() {
+            let accessed = !sigs[f.index()].is_empty();
+            let assigned = self.filecule_of(f).is_some();
+            if accessed != assigned {
+                errors.push(format!(
+                    "file {}: accessed={accessed} but assigned={assigned}",
+                    f.0
+                ));
+            }
+        }
+        // Signature consistency + popularity.
+        for g in self.ids() {
+            let files = self.files(g);
+            let first = &sigs[files[0].index()];
+            if self.popularity(g) as usize != first.len() {
+                errors.push(format!(
+                    "filecule {}: popularity {} but signature length {}",
+                    g.0,
+                    self.popularity(g),
+                    first.len()
+                ));
+            }
+            for &f in &files[1..] {
+                if &sigs[f.index()] != first {
+                    errors.push(format!(
+                        "filecule {}: files {} and {} have different signatures",
+                        g.0, files[0].0, f.0
+                    ));
+                }
+            }
+            let expected_bytes: u64 = files.iter().map(|&f| trace.file(f).size_bytes).sum();
+            if expected_bytes != self.size_bytes(g) {
+                errors.push(format!("filecule {}: byte size mismatch", g.0));
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_trace::{DataTier, NodeId, TraceBuilder, MB};
+
+    fn trace_two_groups() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        // f0,f1 always together; f2 alone; f3 never accessed.
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1], f[2]]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_groups_and_accessors() {
+        let t = trace_two_groups();
+        let set = FileculeSet::from_groups(
+            vec![vec![FileId(1), FileId(0)], vec![FileId(2)]],
+            vec![2, 1],
+            &t,
+        );
+        assert_eq!(set.n_filecules(), 2);
+        assert_eq!(set.n_assigned_files(), 3);
+        assert_eq!(set.files(FileculeId(0)), &[FileId(0), FileId(1)]);
+        assert_eq!(set.len(FileculeId(0)), 2);
+        assert_eq!(set.popularity(FileculeId(0)), 2);
+        assert_eq!(set.size_bytes(FileculeId(0)), 2 * MB);
+        assert_eq!(set.filecule_of(FileId(2)), Some(FileculeId(1)));
+        assert_eq!(set.filecule_of(FileId(3)), None);
+    }
+
+    #[test]
+    fn verify_accepts_correct_partition() {
+        let t = trace_two_groups();
+        let set = FileculeSet::from_groups(
+            vec![vec![FileId(0), FileId(1)], vec![FileId(2)]],
+            vec![2, 1],
+            &t,
+        );
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_merged_groups() {
+        let t = trace_two_groups();
+        // f2 has a different signature than f0/f1 — merging them is wrong.
+        let set = FileculeSet::from_groups(
+            vec![vec![FileId(0), FileId(1), FileId(2)]],
+            vec![2],
+            &t,
+        );
+        assert!(!set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_popularity() {
+        let t = trace_two_groups();
+        let set = FileculeSet::from_groups(
+            vec![vec![FileId(0), FileId(1)], vec![FileId(2)]],
+            vec![7, 1],
+            &t,
+        );
+        assert!(set
+            .verify(&t)
+            .iter()
+            .any(|e| e.contains("popularity")));
+    }
+
+    #[test]
+    fn verify_rejects_missing_coverage() {
+        let t = trace_two_groups();
+        // f2 accessed but unassigned.
+        let set =
+            FileculeSet::from_groups(vec![vec![FileId(0), FileId(1)]], vec![2], &t);
+        assert!(set.verify(&t).iter().any(|e| e.contains("assigned=false")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_assignment_panics() {
+        let t = trace_two_groups();
+        let _ = FileculeSet::from_groups(
+            vec![vec![FileId(0)], vec![FileId(0)]],
+            vec![2, 2],
+            &t,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_panics() {
+        let t = trace_two_groups();
+        let _ = FileculeSet::from_groups(vec![vec![]], vec![0], &t);
+    }
+
+    #[test]
+    fn largest_by_bytes() {
+        let t = trace_two_groups();
+        let set = FileculeSet::from_groups(
+            vec![vec![FileId(0), FileId(1)], vec![FileId(2)]],
+            vec![2, 1],
+            &t,
+        );
+        let (g, b) = set.largest_by_bytes().unwrap();
+        assert_eq!(g, FileculeId(0));
+        assert_eq!(b, 2 * MB);
+    }
+}

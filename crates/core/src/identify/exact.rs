@@ -1,0 +1,313 @@
+//! Offline filecule identification by signature grouping.
+//!
+//! Build, for every file, the (time-ordered) list of jobs that requested
+//! it, then group files whose lists are identical. The per-file lists are
+//! laid out in one CSR arena so grouping keys are borrowed slices — no
+//! per-file allocations.
+
+use crate::filecule::FileculeSet;
+use hep_trace::{FileId, JobId, Trace};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-file job signatures in CSR layout.
+struct Signatures {
+    offsets: Vec<u32>,
+    arena: Vec<u32>,
+}
+
+impl Signatures {
+    /// Build signatures from a subset of jobs (ids must be sorted; job ids
+    /// are appended in order, so each file's list is sorted too).
+    fn build(trace: &Trace, jobs: &[JobId]) -> Self {
+        let n_files = trace.n_files();
+        let mut counts = vec![0u32; n_files];
+        for &j in jobs {
+            for &f in trace.job_files(j) {
+                counts[f.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n_files + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut arena = vec![0u32; acc as usize];
+        for &j in jobs {
+            for &f in trace.job_files(j) {
+                let slot = cursor[f.index()];
+                arena[slot as usize] = j.0;
+                cursor[f.index()] = slot + 1;
+            }
+        }
+        Self { offsets, arena }
+    }
+
+    fn sig(&self, f: usize) -> &[u32] {
+        &self.arena[self.offsets[f] as usize..self.offsets[f + 1] as usize]
+    }
+}
+
+/// Identify filecules over the full trace.
+///
+/// Filecule ids are assigned in ascending order of each filecule's smallest
+/// member file id, so the result is deterministic.
+///
+/// ```
+/// use hep_trace::{TraceBuilder, DataTier, NodeId, MB};
+/// use filecule_core::identify;
+///
+/// let mut b = TraceBuilder::new();
+/// let d = b.add_domain(".gov");
+/// let s = b.add_site(d);
+/// let u = b.add_user();
+/// let f0 = b.add_file(MB, DataTier::Thumbnail);
+/// let f1 = b.add_file(MB, DataTier::Thumbnail);
+/// let f2 = b.add_file(MB, DataTier::Thumbnail);
+/// // {f0,f1} always travel together; f2 is also requested alone.
+/// b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0, f1, f2]);
+/// b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 2, 3, &[f2]);
+/// let trace = b.build().unwrap();
+///
+/// let set = identify(&trace);
+/// assert_eq!(set.n_filecules(), 2);
+/// assert_eq!(set.filecule_of(f0), set.filecule_of(f1));
+/// assert_ne!(set.filecule_of(f0), set.filecule_of(f2));
+/// assert!(set.verify(&trace).is_empty());
+/// ```
+pub fn identify(trace: &Trace) -> FileculeSet {
+    let jobs: Vec<JobId> = trace.job_ids().collect();
+    identify_jobs(trace, &jobs)
+}
+
+/// Identify filecules using only the given jobs (e.g. one site's jobs).
+/// `jobs` must be sorted ascending.
+pub fn identify_jobs(trace: &Trace, jobs: &[JobId]) -> FileculeSet {
+    debug_assert!(jobs.windows(2).all(|w| w[0] < w[1]), "jobs must be sorted");
+    let sigs = Signatures::build(trace, jobs);
+    let mut index: HashMap<&[u32], u32> = HashMap::new();
+    let mut groups: Vec<Vec<FileId>> = Vec::new();
+    let mut popularity: Vec<u32> = Vec::new();
+    for f in 0..trace.n_files() {
+        let sig = sigs.sig(f);
+        if sig.is_empty() {
+            continue;
+        }
+        let gi = *index.entry(sig).or_insert_with(|| {
+            groups.push(Vec::new());
+            popularity.push(sig.len() as u32);
+            (groups.len() - 1) as u32
+        });
+        groups[gi as usize].push(FileId(f as u32));
+    }
+    FileculeSet::from_groups(groups, popularity, trace)
+}
+
+/// Parallel variant of [`identify`]: files are sharded by signature hash
+/// and grouped shard-by-shard with rayon. Produces a result identical to
+/// the sequential one (tested), because group order is canonicalized by
+/// smallest member file id.
+pub fn identify_parallel(trace: &Trace) -> FileculeSet {
+    let jobs: Vec<JobId> = trace.job_ids().collect();
+    let sigs = Signatures::build(trace, &jobs);
+
+    const SHARDS: usize = 64;
+    // Shard each accessed file by a hash of its signature; equal signatures
+    // land in the same shard, so shards can group independently.
+    let shard_of = |sig: &[u32]| -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &x in sig {
+            h ^= u64::from(x);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % SHARDS as u64) as usize
+    };
+
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); SHARDS];
+    for f in 0..trace.n_files() {
+        let sig = sigs.sig(f);
+        if !sig.is_empty() {
+            shards[shard_of(sig)].push(f as u32);
+        }
+    }
+
+    let mut grouped: Vec<(Vec<FileId>, u32)> = shards
+        .into_par_iter()
+        .flat_map_iter(|files| {
+            let mut index: HashMap<&[u32], usize> = HashMap::new();
+            let mut local: Vec<(Vec<FileId>, u32)> = Vec::new();
+            for f in files {
+                let sig = sigs.sig(f as usize);
+                match index.get(sig) {
+                    Some(&gi) => local[gi].0.push(FileId(f)),
+                    None => {
+                        index.insert(sig, local.len());
+                        local.push((vec![FileId(f)], sig.len() as u32));
+                    }
+                }
+            }
+            local.into_iter()
+        })
+        .collect();
+
+    // Canonical order: ascending smallest member (lists are built in
+    // ascending file order within each shard, so element 0 is the min).
+    grouped.sort_by_key(|(g, _)| g[0]);
+    let (groups, popularity): (Vec<_>, Vec<_>) = grouped.into_iter().unzip();
+    FileculeSet::from_groups(groups, popularity, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filecule::FileculeId;
+    use hep_trace::{DataTier, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB};
+
+    fn build_trace(jobs: &[&[u32]], n_files: u32) -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        for _ in 0..n_files {
+            b.add_file(MB, DataTier::Thumbnail);
+        }
+        for (i, files) in jobs.iter().enumerate() {
+            let list: Vec<FileId> = files.iter().map(|&f| FileId(f)).collect();
+            b.add_job(
+                u,
+                s,
+                NodeId(0),
+                DataTier::Thumbnail,
+                i as u64,
+                i as u64 + 1,
+                &list,
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_job_single_filecule() {
+        let t = build_trace(&[&[0, 1, 2]], 3);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 1);
+        assert_eq!(set.len(FileculeId(0)), 3);
+        assert_eq!(set.popularity(FileculeId(0)), 1);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn disjoint_jobs_disjoint_filecules() {
+        let t = build_trace(&[&[0, 1], &[2, 3]], 4);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 2);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn overlapping_jobs_split_filecules() {
+        // Job A: {0,1,2}; Job B: {1,2,3} => filecules {0}, {1,2}, {3}.
+        let t = build_trace(&[&[0, 1, 2], &[1, 2, 3]], 4);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 3);
+        let g12 = set.filecule_of(FileId(1)).unwrap();
+        assert_eq!(set.filecule_of(FileId(2)), Some(g12));
+        assert_eq!(set.len(g12), 2);
+        assert_eq!(set.popularity(g12), 2);
+        assert_ne!(set.filecule_of(FileId(0)), Some(g12));
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn repeated_identical_jobs_keep_one_filecule() {
+        let t = build_trace(&[&[0, 1], &[0, 1], &[0, 1]], 2);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 1);
+        assert_eq!(set.popularity(FileculeId(0)), 3);
+    }
+
+    #[test]
+    fn unaccessed_files_unassigned() {
+        let t = build_trace(&[&[0]], 3);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 1);
+        assert_eq!(set.filecule_of(FileId(1)), None);
+        assert_eq!(set.filecule_of(FileId(2)), None);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn monatomic_filecules_allowed() {
+        // Paper: one-file filecules are the "monatomic molecules".
+        let t = build_trace(&[&[0], &[1], &[0, 1]], 2);
+        let set = identify(&t);
+        assert_eq!(set.n_filecules(), 2);
+        assert_eq!(set.len(FileculeId(0)), 1);
+        assert_eq!(set.len(FileculeId(1)), 1);
+    }
+
+    #[test]
+    fn ids_ordered_by_min_member() {
+        let t = build_trace(&[&[2, 3], &[0, 1]], 4);
+        let set = identify(&t);
+        assert_eq!(set.filecule_of(FileId(0)), Some(FileculeId(0)));
+        assert_eq!(set.filecule_of(FileId(2)), Some(FileculeId(1)));
+    }
+
+    #[test]
+    fn identify_jobs_subset() {
+        let t = build_trace(&[&[0, 1, 2], &[1, 2, 3]], 4);
+        // Using only job 0, all of {0,1,2} look identical.
+        let set = identify_jobs(&t, &[hep_trace::JobId(0)]);
+        assert_eq!(set.n_filecules(), 1);
+        assert_eq!(set.len(FileculeId(0)), 3);
+        assert_eq!(set.filecule_of(FileId(3)), None);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_small() {
+        let t = build_trace(&[&[0, 1, 2], &[1, 2, 3], &[4], &[0, 4]], 5);
+        let a = identify(&t);
+        let b = identify_parallel(&t);
+        assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            assert_eq!(a.files(g), b.files(g));
+            assert_eq!(a.popularity(g), b.popularity(g));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_synthetic() {
+        let t = TraceSynthesizer::new(SynthConfig::small(21)).generate();
+        let a = identify(&t);
+        let b = identify_parallel(&t);
+        assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            assert_eq!(a.files(g), b.files(g));
+            assert_eq!(a.popularity(g), b.popularity(g));
+        }
+    }
+
+    #[test]
+    fn synthetic_partition_verifies() {
+        let t = TraceSynthesizer::new(SynthConfig::small(22)).generate();
+        let set = identify(&t);
+        assert!(set.n_filecules() > 10);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn property3_popularity_equals_file_requests() {
+        let t = TraceSynthesizer::new(SynthConfig::small(23)).generate();
+        let set = identify(&t);
+        let counts = t.file_request_counts();
+        for g in set.ids() {
+            for &f in set.files(g) {
+                assert_eq!(counts[f.index()], set.popularity(g));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Online filecule identification.
+//!
+//! Wraps the [`Refiner`](crate::identify::refine::Refiner) with the
+//! bookkeeping a live deployment would need: feed jobs as they arrive (in
+//! time order), query the current filecule count at any point, snapshot
+//! the partition "as of now", and record the evolution curve (filecule
+//! count after every job) that the paper's Section 6/8 dynamic-
+//! identification questions ask about.
+
+use crate::filecule::FileculeSet;
+use crate::identify::refine::Refiner;
+use hep_trace::{FileId, JobId, Trace};
+
+/// Stateful online identifier.
+#[derive(Debug, Clone)]
+pub struct IncrementalFilecules {
+    refiner: Refiner,
+    /// Filecule count after each processed job.
+    evolution: Vec<u32>,
+    /// Time of the last processed job (for monotonicity checking).
+    last_time: u64,
+}
+
+impl IncrementalFilecules {
+    /// A fresh identifier over a universe of `n_files` files.
+    pub fn new(n_files: usize) -> Self {
+        Self {
+            refiner: Refiner::new(n_files),
+            evolution: Vec::new(),
+            last_time: 0,
+        }
+    }
+
+    /// Feed one job's request set (sorted, deduplicated, as stored in a
+    /// [`Trace`]). `time` must be non-decreasing across calls.
+    ///
+    /// # Panics
+    /// Panics if `time` goes backwards.
+    pub fn observe(&mut self, time: u64, files: &[FileId]) {
+        assert!(
+            time >= self.last_time,
+            "jobs must be fed in time order ({time} < {})",
+            self.last_time
+        );
+        self.last_time = time;
+        self.refiner.add_job(files);
+        self.evolution.push(self.refiner.n_groups() as u32);
+    }
+
+    /// Replay an entire trace through the identifier.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for j in trace.job_ids() {
+            self.observe(trace.job(j).start, trace.job_files(j));
+        }
+    }
+
+    /// Replay a prefix of the trace: jobs with `start < until`.
+    pub fn observe_until(&mut self, trace: &Trace, until: u64) -> usize {
+        let mut n = 0;
+        for j in trace.job_ids() {
+            let rec = trace.job(j);
+            if rec.start >= until {
+                break;
+            }
+            if rec.start >= self.last_time {
+                self.observe(rec.start, trace.job_files(j));
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Current number of filecules.
+    pub fn n_filecules(&self) -> usize {
+        self.refiner.n_groups()
+    }
+
+    /// Number of jobs observed.
+    pub fn jobs_seen(&self) -> u64 {
+        self.refiner.jobs_seen()
+    }
+
+    /// Filecule count after each observed job — the identification
+    /// convergence curve.
+    pub fn evolution(&self) -> &[u32] {
+        &self.evolution
+    }
+
+    /// Materialize the current partition.
+    pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
+        self.refiner.snapshot(trace)
+    }
+}
+
+/// Convenience: the filecule-count evolution curve for a whole trace.
+pub fn evolution_curve(trace: &Trace) -> Vec<u32> {
+    let mut inc = IncrementalFilecules::new(trace.n_files());
+    inc.observe_trace(trace);
+    inc.evolution().to_vec()
+}
+
+/// Identify filecules as of a time horizon (jobs with `start < until`).
+pub fn identify_until(trace: &Trace, until: u64) -> FileculeSet {
+    let jobs: Vec<JobId> = trace
+        .job_ids()
+        .filter(|&j| trace.job(j).start < until)
+        .collect();
+    crate::identify::exact::identify_jobs(trace, &jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::exact;
+    use hep_trace::{SynthConfig, TraceSynthesizer};
+
+    #[test]
+    fn evolution_matches_job_count() {
+        let t = TraceSynthesizer::new(SynthConfig::small(41)).generate();
+        let mut inc = IncrementalFilecules::new(t.n_files());
+        inc.observe_trace(&t);
+        assert_eq!(inc.evolution().len(), t.n_jobs());
+        assert_eq!(inc.jobs_seen(), t.n_jobs() as u64);
+    }
+
+    #[test]
+    fn evolution_is_nondecreasing() {
+        let t = TraceSynthesizer::new(SynthConfig::small(42)).generate();
+        let curve = evolution_curve(&t);
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn final_snapshot_matches_offline() {
+        let t = TraceSynthesizer::new(SynthConfig::small(43)).generate();
+        let mut inc = IncrementalFilecules::new(t.n_files());
+        inc.observe_trace(&t);
+        let online = inc.snapshot(&t);
+        let offline = exact::identify(&t);
+        assert_eq!(online.n_filecules(), offline.n_filecules());
+        for g in online.ids() {
+            assert_eq!(online.files(g), offline.files(g));
+            assert_eq!(online.popularity(g), offline.popularity(g));
+        }
+    }
+
+    #[test]
+    fn identify_until_matches_prefix_replay() {
+        let t = TraceSynthesizer::new(SynthConfig::small(44)).generate();
+        let until = t.horizon() / 2;
+        let offline = identify_until(&t, until);
+        let mut inc = IncrementalFilecules::new(t.n_files());
+        inc.observe_until(&t, until);
+        let online = inc.snapshot(&t);
+        assert_eq!(online.n_filecules(), offline.n_filecules());
+        for g in online.ids() {
+            assert_eq!(online.files(g), offline.files(g));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_regression_panics() {
+        let mut inc = IncrementalFilecules::new(2);
+        inc.observe(10, &[hep_trace::FileId(0)]);
+        inc.observe(5, &[hep_trace::FileId(1)]);
+    }
+
+    #[test]
+    fn prefix_has_coarser_or_equal_partition() {
+        // With fewer jobs, filecules can only be larger (fewer groups
+        // covering fewer files); check group count against the full run.
+        let t = TraceSynthesizer::new(SynthConfig::small(45)).generate();
+        let half = identify_until(&t, t.horizon() / 2);
+        let full = exact::identify(&t);
+        assert!(half.n_filecules() <= full.n_filecules());
+    }
+}

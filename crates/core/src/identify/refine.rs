@@ -1,0 +1,273 @@
+//! Streaming filecule identification by partition refinement.
+//!
+//! Invariant maintained after every job: two files are in the same group
+//! exactly when the sets of *processed* jobs that requested them are equal.
+//! Each arriving job with request set `S` then:
+//!
+//! * puts first-seen files of `S` into one fresh group (their signatures
+//!   are all exactly `{this job}`);
+//! * for every existing group `G`, splits `G` into `G ∩ S` (signature
+//!   extended by this job) and `G \ S` (signature unchanged) — or leaves
+//!   `G` whole when `G ⊆ S`.
+//!
+//! The state is O(files) — no per-file job lists — which is what makes the
+//! approach viable for the paper's online-identification setting
+//! (Section 6). Cost per job is O(|S|) amortized.
+
+use crate::filecule::FileculeSet;
+use hep_trace::{FileId, JobId, Trace};
+use std::collections::HashMap;
+
+/// Partition-refinement engine.
+#[derive(Debug, Clone, Default)]
+pub struct Refiner {
+    /// Group of each file; `u32::MAX` = not yet seen.
+    group_of: Vec<u32>,
+    /// Live member count per group (0 = dead group after a full split).
+    group_size: Vec<u32>,
+    /// Requests per group (shared signature length).
+    group_popularity: Vec<u32>,
+    /// Jobs processed.
+    jobs_seen: u64,
+}
+
+impl Refiner {
+    /// An empty refiner for a universe of `n_files` files.
+    pub fn new(n_files: usize) -> Self {
+        Self {
+            group_of: vec![u32::MAX; n_files],
+            group_size: Vec::new(),
+            group_popularity: Vec::new(),
+            jobs_seen: 0,
+        }
+    }
+
+    /// Number of live groups (current filecules).
+    pub fn n_groups(&self) -> usize {
+        self.group_size.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Number of jobs processed so far.
+    pub fn jobs_seen(&self) -> u64 {
+        self.jobs_seen
+    }
+
+    /// Process one job's (sorted, deduplicated) request set.
+    pub fn add_job(&mut self, files: &[FileId]) {
+        self.jobs_seen += 1;
+        if files.is_empty() {
+            return;
+        }
+        // Bucket the request set by current group.
+        let mut touched: HashMap<u32, Vec<FileId>> = HashMap::new();
+        let mut fresh: Vec<FileId> = Vec::new();
+        for &f in files {
+            let g = self.group_of[f.index()];
+            if g == u32::MAX {
+                fresh.push(f);
+            } else {
+                touched.entry(g).or_default().push(f);
+            }
+        }
+        // First-seen files form one new group with signature {this job}.
+        if !fresh.is_empty() {
+            let g = self.new_group(fresh.len() as u32, 1);
+            for f in fresh {
+                self.group_of[f.index()] = g;
+            }
+        }
+        // Split or extend each touched group. Deterministic order: by the
+        // smallest touched file id per group.
+        let mut parts: Vec<(u32, Vec<FileId>)> = touched.into_iter().collect();
+        parts.sort_by_key(|(_, fs)| fs[0]);
+        for (g, fs) in parts {
+            let gi = g as usize;
+            if fs.len() as u32 == self.group_size[gi] {
+                // Whole group requested: signature extends in place.
+                self.group_popularity[gi] += 1;
+            } else {
+                // Proper subset: split off the touched files.
+                let new = self.new_group(fs.len() as u32, self.group_popularity[gi] + 1);
+                self.group_size[gi] -= fs.len() as u32;
+                for f in fs {
+                    self.group_of[f.index()] = new;
+                }
+            }
+        }
+    }
+
+    fn new_group(&mut self, size: u32, popularity: u32) -> u32 {
+        let id = self.group_size.len() as u32;
+        self.group_size.push(size);
+        self.group_popularity.push(popularity);
+        id
+    }
+
+    /// Materialize the current partition as a [`FileculeSet`]. Filecule ids
+    /// are canonicalized by ascending smallest member file id, so a
+    /// refiner fed the whole trace yields a set identical to
+    /// [`crate::identify::exact::identify`].
+    pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
+        let mut members: HashMap<u32, Vec<FileId>> = HashMap::new();
+        for (fi, &g) in self.group_of.iter().enumerate() {
+            if g != u32::MAX {
+                members.entry(g).or_default().push(FileId(fi as u32));
+            }
+        }
+        let mut grouped: Vec<(Vec<FileId>, u32)> = members
+            .into_iter()
+            .map(|(g, fs)| {
+                let pop = self.group_popularity[g as usize];
+                (fs, pop)
+            })
+            .collect();
+        grouped.sort_by_key(|(fs, _)| fs[0]);
+        let (groups, popularity): (Vec<_>, Vec<_>) = grouped.into_iter().unzip();
+        FileculeSet::from_groups(groups, popularity, trace)
+    }
+}
+
+/// Identify filecules over the full trace by refinement. Identical output
+/// to [`crate::identify::exact::identify`] (tested, including property
+/// tests in `/tests`).
+pub fn identify_refine(trace: &Trace) -> FileculeSet {
+    let mut r = Refiner::new(trace.n_files());
+    for j in trace.job_ids() {
+        r.add_job(trace.job_files(j));
+    }
+    r.snapshot(trace)
+}
+
+/// Identify filecules by refinement over a subset of jobs (sorted).
+pub fn identify_refine_jobs(trace: &Trace, jobs: &[JobId]) -> FileculeSet {
+    let mut r = Refiner::new(trace.n_files());
+    for &j in jobs {
+        r.add_job(trace.job_files(j));
+    }
+    r.snapshot(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::exact;
+    use hep_trace::{DataTier, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB};
+
+    fn build_trace(jobs: &[&[u32]], n_files: u32) -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        for _ in 0..n_files {
+            b.add_file(MB, DataTier::Thumbnail);
+        }
+        for (i, files) in jobs.iter().enumerate() {
+            let list: Vec<FileId> = files.iter().map(|&f| FileId(f)).collect();
+            b.add_job(
+                u,
+                s,
+                NodeId(0),
+                DataTier::Thumbnail,
+                i as u64,
+                i as u64 + 1,
+                &list,
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_same(a: &FileculeSet, b: &FileculeSet) {
+        assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            assert_eq!(a.files(g), b.files(g), "filecule {g:?}");
+            assert_eq!(a.popularity(g), b.popularity(g), "filecule {g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_refiner() {
+        let r = Refiner::new(10);
+        assert_eq!(r.n_groups(), 0);
+        assert_eq!(r.jobs_seen(), 0);
+    }
+
+    #[test]
+    fn whole_group_request_extends_popularity() {
+        let t = build_trace(&[&[0, 1], &[0, 1]], 2);
+        let set = identify_refine(&t);
+        assert_eq!(set.n_filecules(), 1);
+        assert_eq!(set.popularity(crate::FileculeId(0)), 2);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn subset_request_splits() {
+        let t = build_trace(&[&[0, 1, 2], &[0]], 3);
+        let set = identify_refine(&t);
+        assert_eq!(set.n_filecules(), 2);
+        let g0 = set.filecule_of(FileId(0)).unwrap();
+        assert_eq!(set.popularity(g0), 2);
+        let g12 = set.filecule_of(FileId(1)).unwrap();
+        assert_eq!(set.popularity(g12), 1);
+        assert_eq!(set.len(g12), 2);
+        assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn straddling_request_splits_multiple_groups() {
+        // {0,1} and {2,3} exist; then {1,2} splits both.
+        let t = build_trace(&[&[0, 1], &[2, 3], &[1, 2]], 4);
+        let set = identify_refine(&t);
+        assert_eq!(set.n_filecules(), 4);
+        assert!(set.verify(&t).is_empty());
+        assert_same(&exact::identify(&t), &set);
+    }
+
+    #[test]
+    fn empty_job_is_noop() {
+        let mut r = Refiner::new(3);
+        r.add_job(&[FileId(0)]);
+        let before = r.n_groups();
+        r.add_job(&[]);
+        assert_eq!(r.n_groups(), before);
+        assert_eq!(r.jobs_seen(), 2);
+    }
+
+    #[test]
+    fn matches_exact_on_adversarial_patterns() {
+        let patterns: [&[&[u32]]; 5] = [
+            &[&[0, 1, 2, 3, 4]],
+            &[&[0, 1, 2, 3], &[0, 1], &[2, 3], &[1, 2]],
+            &[&[0], &[1], &[2], &[0, 1, 2]],
+            &[&[0, 1], &[0, 1], &[0, 1, 2], &[2]],
+            &[&[4, 3, 2, 1, 0], &[0, 2, 4], &[1, 3]],
+        ];
+        for jobs in patterns {
+            let t = build_trace(jobs, 5);
+            assert_same(&exact::identify(&t), &identify_refine(&t));
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_synthetic_trace() {
+        let t = TraceSynthesizer::new(SynthConfig::small(31)).generate();
+        assert_same(&exact::identify(&t), &identify_refine(&t));
+    }
+
+    #[test]
+    fn group_count_monotonicity_is_not_required() {
+        // Group count can grow by splits but never exceeds file count.
+        let t = TraceSynthesizer::new(SynthConfig::small(32)).generate();
+        let mut r = Refiner::new(t.n_files());
+        let mut prev = 0usize;
+        for j in t.job_ids().take(200) {
+            r.add_job(t.job_files(j));
+            let n = r.n_groups();
+            assert!(n <= t.n_files());
+            // Refinement can only split existing groups or add new ones,
+            // so live-group count never decreases.
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+}

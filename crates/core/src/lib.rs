@@ -1,0 +1,48 @@
+//! # filecule-core
+//!
+//! The primary contribution of *Filecules in High-Energy Physics* (HPDC
+//! 2006): identification and analysis of **filecules**.
+//!
+//! > "We define a *filecule* as an aggregate of one or more files in a
+//! > definite arrangement held together by special forces related to their
+//! > usage. […] Formally, a set of files F₁,…,Fₙ form a filecule G if and
+//! > only if ∀ Fᵢ, Fⱼ ∈ G and ∀ G′ such that Fᵢ ∈ G′, then Fⱼ ∈ G′."
+//!
+//! Concretely: two files belong to the same filecule exactly when they are
+//! requested by exactly the same set of jobs. Filecules are therefore the
+//! equivalence classes of files under identical *job-access signatures*,
+//! and by construction (paper Section 3):
+//!
+//! 1. any two filecules are disjoint;
+//! 2. every filecule has at least one file;
+//! 3. the request count of a file equals the request count of its filecule.
+//!
+//! This crate provides:
+//!
+//! * [`FileculeSet`] — the partition, with per-filecule membership, byte
+//!   size and popularity;
+//! * [`identify::exact`] — signature-grouping identification, O(total
+//!   accesses);
+//! * [`identify::refine`] — streaming partition refinement (provably the
+//!   same output, one job at a time);
+//! * [`identify::incremental`] — an online identifier answering
+//!   "filecules as of now" after every job (the paper's Section 6/8
+//!   dynamic-identification question);
+//! * [`identify::partial`] — per-site identification from local knowledge
+//!   only, with coarsening metrics (Section 6);
+//! * [`metrics`] — the statistics behind Figures 4–9;
+//! * [`dynamics`] — filecule stability across time windows (Section 8
+//!   future work).
+
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod filecule;
+pub mod identify;
+pub mod metrics;
+
+pub use filecule::{FileculeId, FileculeSet};
+pub use identify::exact::identify;
+pub use identify::hashed::identify_hashed;
+pub use identify::incremental::IncrementalFilecules;
+pub use identify::partial::{identify_per_site, CoarseningReport};

@@ -1,0 +1,244 @@
+//! Filecule statistics: the data behind Figures 4–9 of the paper.
+
+use crate::filecule::{FileculeId, FileculeSet};
+use hep_stats::correlation::{pearson, spearman};
+use hep_trace::{DataTier, Trace};
+use std::collections::HashSet;
+
+/// The tier of a filecule (the tier of its files; filecules never mix
+/// tiers in SAM because datasets are tier-homogeneous — we take the first
+/// member's tier).
+pub fn filecule_tier(trace: &Trace, set: &FileculeSet, g: FileculeId) -> DataTier {
+    trace.file(set.files(g)[0]).tier
+}
+
+/// Figure 4: number of distinct users accessing each filecule.
+pub fn users_per_filecule(trace: &Trace, set: &FileculeSet) -> Vec<u32> {
+    let mut users: Vec<HashSet<u32>> = vec![HashSet::new(); set.n_filecules()];
+    for j in trace.job_ids() {
+        let user = trace.job(j).user.0;
+        let mut seen: Option<FileculeId> = None;
+        for &f in trace.job_files(j) {
+            if let Some(g) = set.filecule_of(f) {
+                // Avoid re-inserting for every file of the same filecule.
+                if seen != Some(g) {
+                    users[g.index()].insert(user);
+                    seen = Some(g);
+                }
+            }
+        }
+    }
+    users.into_iter().map(|s| s.len() as u32).collect()
+}
+
+/// Figure 5: number of distinct filecules each file-traced job touches.
+pub fn filecules_per_job(trace: &Trace, set: &FileculeSet) -> Vec<u32> {
+    trace
+        .job_ids()
+        .filter(|&j| trace.job(j).has_file_trace())
+        .map(|j| {
+            let mut gs: Vec<u32> = trace
+                .job_files(j)
+                .iter()
+                .filter_map(|&f| set.filecule_of(f).map(|g| g.0))
+                .collect();
+            gs.sort_unstable();
+            gs.dedup();
+            gs.len() as u32
+        })
+        .collect()
+}
+
+/// Figure 6: filecule byte sizes, grouped by tier.
+pub fn sizes_by_tier(trace: &Trace, set: &FileculeSet) -> Vec<(DataTier, Vec<u64>)> {
+    group_by_tier(trace, set, |g| set.size_bytes(g))
+}
+
+/// Figure 7: files per filecule, grouped by tier.
+pub fn file_counts_by_tier(trace: &Trace, set: &FileculeSet) -> Vec<(DataTier, Vec<u64>)> {
+    group_by_tier(trace, set, |g| set.len(g) as u64)
+}
+
+/// Figure 8: filecule popularity (request counts), grouped by tier.
+pub fn popularity_by_tier(trace: &Trace, set: &FileculeSet) -> Vec<(DataTier, Vec<u64>)> {
+    group_by_tier(trace, set, |g| u64::from(set.popularity(g)))
+}
+
+fn group_by_tier<F: Fn(FileculeId) -> u64>(
+    trace: &Trace,
+    set: &FileculeSet,
+    value: F,
+) -> Vec<(DataTier, Vec<u64>)> {
+    let mut out: Vec<(DataTier, Vec<u64>)> = Vec::new();
+    for g in set.ids() {
+        let tier = filecule_tier(trace, set, g);
+        let v = value(g);
+        match out.iter_mut().find(|(t, _)| *t == tier) {
+            Some((_, vs)) => vs.push(v),
+            None => out.push((tier, vec![v])),
+        }
+    }
+    // Paper figure order: root-tuple, reconstructed, thumbnail, rest.
+    let rank = |t: DataTier| match t {
+        DataTier::RootTuple => 0,
+        DataTier::Reconstructed => 1,
+        DataTier::Thumbnail => 2,
+        DataTier::Raw => 3,
+        DataTier::Other => 4,
+    };
+    out.sort_by_key(|&(t, _)| rank(t));
+    out
+}
+
+/// Figure 9: requests per filecule, whole trace.
+pub fn popularity_all(set: &FileculeSet) -> Vec<u32> {
+    set.ids().map(|g| set.popularity(g)).collect()
+}
+
+/// Section 3 claim check: correlation between filecule popularity and
+/// filecule size. Returns `(pearson, spearman)`; the paper reports "no
+/// correlation".
+pub fn size_popularity_correlation(set: &FileculeSet) -> (f64, f64) {
+    let sizes: Vec<f64> = set.ids().map(|g| set.size_bytes(g) as f64).collect();
+    let pops: Vec<f64> = set.ids().map(|g| f64::from(set.popularity(g))).collect();
+    (pearson(&sizes, &pops), spearman(&sizes, &pops))
+}
+
+/// Aggregate headline statistics of a partition.
+#[derive(Debug, Clone)]
+pub struct PartitionStats {
+    /// Filecule count.
+    pub n_filecules: usize,
+    /// Files covered.
+    pub n_files: usize,
+    /// Mean files per filecule.
+    pub mean_files: f64,
+    /// Largest filecule in bytes.
+    pub max_bytes: u64,
+    /// Fraction of filecules with exactly one file ("monatomic").
+    pub single_file_fraction: f64,
+    /// Fraction of filecules accessed by exactly one user.
+    pub single_user_fraction: f64,
+    /// Maximum users sharing one filecule.
+    pub max_users: u32,
+    /// Gini coefficient of filecule popularity (0 = uniform interest,
+    /// -> 1 = all requests on one filecule). The paper's flattened
+    /// popularity shows up as a moderate value here.
+    pub popularity_gini: f64,
+}
+
+/// Compute [`PartitionStats`].
+pub fn partition_stats(trace: &Trace, set: &FileculeSet) -> PartitionStats {
+    let users = users_per_filecule(trace, set);
+    let n = set.n_filecules().max(1);
+    let pops: Vec<f64> = set.ids().map(|g| f64::from(set.popularity(g))).collect();
+    let popularity_gini = if pops.is_empty() {
+        0.0
+    } else {
+        hep_stats::gini(&pops)
+    };
+    PartitionStats {
+        n_filecules: set.n_filecules(),
+        n_files: set.n_assigned_files(),
+        mean_files: set.n_assigned_files() as f64 / n as f64,
+        max_bytes: set.largest_by_bytes().map(|(_, b)| b).unwrap_or(0),
+        single_file_fraction: set.ids().filter(|&g| set.len(g) == 1).count() as f64 / n as f64,
+        single_user_fraction: users.iter().filter(|&&u| u == 1).count() as f64 / n as f64,
+        max_users: users.iter().copied().max().unwrap_or(0),
+        popularity_gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::exact::identify;
+    use hep_trace::{FileId, NodeId, TraceBuilder, MB};
+
+    fn trace_with_users() -> (Trace, FileculeSet) {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let f: Vec<FileId> = (0..5)
+            .map(|i| b.add_file((i + 1) * MB, DataTier::Thumbnail))
+            .collect();
+        let rt = b.add_file(10 * MB, DataTier::RootTuple);
+        // {0,1} shared by two users; {2} one user; {3,4} one user; {rt} u1.
+        b.add_job(u0, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
+        b.add_job(u1, s, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1], f[2]]);
+        b.add_job(u0, s, NodeId(0), DataTier::Thumbnail, 4, 5, &[f[3], f[4]]);
+        b.add_job(u1, s, NodeId(0), DataTier::RootTuple, 6, 7, &[rt]);
+        let t = b.build().unwrap();
+        let set = identify(&t);
+        (t, set)
+    }
+
+    #[test]
+    fn users_per_filecule_counts_distinct() {
+        let (t, set) = trace_with_users();
+        let users = users_per_filecule(&t, &set);
+        let g01 = set.filecule_of(FileId(0)).unwrap();
+        let g2 = set.filecule_of(FileId(2)).unwrap();
+        assert_eq!(users[g01.index()], 2);
+        assert_eq!(users[g2.index()], 1);
+    }
+
+    #[test]
+    fn filecules_per_job_counts_distinct_groups() {
+        let (t, set) = trace_with_users();
+        let fpj = filecules_per_job(&t, &set);
+        // Jobs in time order: {0,1}=1 group; {0,1,2}=2; {3,4}=1; {rt}=1.
+        assert_eq!(fpj, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn tier_grouping_orders_tiers() {
+        let (t, set) = trace_with_users();
+        let by_tier = file_counts_by_tier(&t, &set);
+        assert_eq!(by_tier[0].0, DataTier::RootTuple);
+        assert_eq!(by_tier[1].0, DataTier::Thumbnail);
+        let thumb_counts: u64 = by_tier[1].1.iter().sum();
+        assert_eq!(thumb_counts, 5);
+    }
+
+    #[test]
+    fn sizes_by_tier_sums_file_sizes() {
+        let (t, set) = trace_with_users();
+        let by_tier = sizes_by_tier(&t, &set);
+        let (_, rt_sizes) = &by_tier[0];
+        assert_eq!(rt_sizes, &vec![10 * MB]);
+    }
+
+    #[test]
+    fn popularity_all_matches_set() {
+        let (t, set) = trace_with_users();
+        let pops = popularity_all(&set);
+        assert_eq!(pops.len(), set.n_filecules());
+        let g01 = set.filecule_of(FileId(0)).unwrap();
+        assert_eq!(pops[g01.index()], 2);
+        let _ = t;
+    }
+
+    #[test]
+    fn partition_stats_fields() {
+        let (t, set) = trace_with_users();
+        let st = partition_stats(&t, &set);
+        assert_eq!(st.n_filecules, 4);
+        assert_eq!(st.n_files, 6);
+        assert_eq!(st.max_users, 2);
+        assert!((st.single_file_fraction - 0.5).abs() < 1e-9); // {2} and {rt}
+        assert!((st.single_user_fraction - 0.75).abs() < 1e-9);
+        // Largest by bytes: {3,4} = 4+5 MB = 9 MB vs {rt} = 10 MB.
+        assert_eq!(st.max_bytes, 10 * MB);
+        assert!((0.0..=1.0).contains(&st.popularity_gini));
+    }
+
+    #[test]
+    fn correlation_runs() {
+        let (_, set) = trace_with_users();
+        let (p, s) = size_popularity_correlation(&set);
+        assert!(p.abs() <= 1.0 && s.abs() <= 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # replication
+//!
+//! Filecule-aware proactive data replication (paper Section 6).
+//!
+//! The paper argues that "proactive data replication is one of the main
+//! motivations for this work": the question *what to replicate* should be
+//! answered not just by popularity and cost, but by "membership to
+//! filecules and the status of the filecule (partially or not-replicated)
+//! on the destination storage". It also predicts the cost of working from
+//! *inaccurately* (locally) identified filecules: "because inaccurately
+//! identified filecules can only be larger […] we expect higher replication
+//! costs in terms of used storage and transfer costs."
+//!
+//! This crate makes both claims measurable:
+//!
+//! * [`placement`] — per-site replica placements with storage budgets;
+//! * [`policies`] — placement builders: no replication, per-site file
+//!   popularity (top files until the budget is full), per-site *filecule*
+//!   popularity (replicate whole filecules, never partial groups), and the
+//!   same filecule policy driven by site-local (coarser) partitions;
+//! * [`sim`] — train on a prefix of the trace, replay the rest, and count
+//!   remote transfer bytes and local-hit fractions;
+//! * [`online`] — collaboration-wide replay with an independent cache at
+//!   every site, stating the filecule advantage in WAN bytes saved.
+
+#![warn(missing_docs)]
+
+pub mod online;
+pub mod placement;
+pub mod policies;
+pub mod sim;
+
+pub use online::{compare_granularities, simulate_sites, Granularity, OnlineReport};
+pub use placement::Placement;
+pub use policies::{
+    filecule_popularity_placement, file_popularity_placement, local_filecule_placement,
+    no_replication, training_jobs,
+};
+pub use sim::{evaluate, wasted_bytes, ReplicationReport};

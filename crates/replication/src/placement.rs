@@ -1,0 +1,181 @@
+//! Replica placements: which files are pre-staged at which sites.
+
+use hep_trace::{FileId, SiteId, Trace};
+
+/// A per-site replica placement with byte accounting.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// `resident[site][file]`.
+    resident: Vec<Vec<bool>>,
+    /// Bytes placed per site.
+    used: Vec<u64>,
+    /// Storage budget per site (bytes).
+    budget: u64,
+}
+
+impl Placement {
+    /// An empty placement for every site of `trace`, each with `budget`
+    /// bytes of replica storage.
+    pub fn new(trace: &Trace, budget: u64) -> Self {
+        Self {
+            resident: vec![vec![false; trace.n_files()]; trace.n_sites()],
+            used: vec![0; trace.n_sites()],
+            budget,
+        }
+    }
+
+    /// The per-site budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes placed at `site`.
+    pub fn used(&self, site: SiteId) -> u64 {
+        self.used[site.index()]
+    }
+
+    /// Total bytes placed across all sites.
+    pub fn total_used(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Is `file` replicated at `site`?
+    pub fn has(&self, site: SiteId, file: FileId) -> bool {
+        self.resident[site.index()][file.index()]
+    }
+
+    /// Number of replicas of `file` across sites.
+    pub fn replica_count(&self, file: FileId) -> usize {
+        self.resident.iter().filter(|s| s[file.index()]).count()
+    }
+
+    /// Try to place `file` (of the given size) at `site`. Returns false if
+    /// the budget would be exceeded; placing an already-resident file is a
+    /// no-op returning true.
+    pub fn place(&mut self, site: SiteId, file: FileId, size: u64) -> bool {
+        if self.resident[site.index()][file.index()] {
+            return true;
+        }
+        if self.used[site.index()] + size > self.budget {
+            return false;
+        }
+        self.resident[site.index()][file.index()] = true;
+        self.used[site.index()] += size;
+        true
+    }
+
+    /// Try to place a whole group of files atomically (all or nothing) —
+    /// the filecule-aware primitive: never leave a partially replicated
+    /// filecule.
+    pub fn place_group(&mut self, site: SiteId, files: &[FileId], trace: &Trace) -> bool {
+        let need: u64 = files
+            .iter()
+            .filter(|&&f| !self.has(site, f))
+            .map(|&f| trace.file(f).size_bytes)
+            .sum();
+        if self.used[site.index()] + need > self.budget {
+            return false;
+        }
+        for &f in files {
+            if !self.resident[site.index()][f.index()] {
+                self.resident[site.index()][f.index()] = true;
+            }
+        }
+        self.used[site.index()] += need;
+        true
+    }
+
+    /// Fraction of `files` resident at `site` — the paper's "status of the
+    /// filecule (partially or not-replicated) on the destination storage".
+    pub fn group_completeness(&self, site: SiteId, files: &[FileId]) -> f64 {
+        if files.is_empty() {
+            return 1.0;
+        }
+        files.iter().filter(|&&f| self.has(site, f)).count() as f64 / files.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_trace::{DataTier, NodeId, TraceBuilder, MB};
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s0 = b.add_site(d);
+        let _s1 = b.add_site(d);
+        let u = b.add_user();
+        let files: Vec<FileId> = (0..4).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &files);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_respects_budget() {
+        let t = trace();
+        let mut p = Placement::new(&t, 25 * MB);
+        assert!(p.place(SiteId(0), FileId(0), 10 * MB));
+        assert!(p.place(SiteId(0), FileId(1), 10 * MB));
+        assert!(!p.place(SiteId(0), FileId(2), 10 * MB));
+        assert_eq!(p.used(SiteId(0)), 20 * MB);
+    }
+
+    #[test]
+    fn duplicate_place_is_noop() {
+        let t = trace();
+        let mut p = Placement::new(&t, 25 * MB);
+        assert!(p.place(SiteId(0), FileId(0), 10 * MB));
+        assert!(p.place(SiteId(0), FileId(0), 10 * MB));
+        assert_eq!(p.used(SiteId(0)), 10 * MB);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let t = trace();
+        let mut p = Placement::new(&t, 100 * MB);
+        p.place(SiteId(0), FileId(0), 10 * MB);
+        assert!(p.has(SiteId(0), FileId(0)));
+        assert!(!p.has(SiteId(1), FileId(0)));
+        assert_eq!(p.replica_count(FileId(0)), 1);
+        p.place(SiteId(1), FileId(0), 10 * MB);
+        assert_eq!(p.replica_count(FileId(0)), 2);
+    }
+
+    #[test]
+    fn group_placement_is_atomic() {
+        let t = trace();
+        let mut p = Placement::new(&t, 25 * MB);
+        let group = [FileId(0), FileId(1), FileId(2)];
+        // 30 MB > 25 MB: nothing placed.
+        assert!(!p.place_group(SiteId(0), &group, &t));
+        assert_eq!(p.used(SiteId(0)), 0);
+        assert!(!p.has(SiteId(0), FileId(0)));
+        // Two files fit.
+        assert!(p.place_group(SiteId(0), &group[..2], &t));
+        assert_eq!(p.used(SiteId(0)), 20 * MB);
+    }
+
+    #[test]
+    fn group_placement_skips_already_resident_bytes() {
+        let t = trace();
+        let mut p = Placement::new(&t, 25 * MB);
+        p.place(SiteId(0), FileId(0), 10 * MB);
+        // Group {0,1}: only file 1 adds bytes.
+        assert!(p.place_group(SiteId(0), &[FileId(0), FileId(1)], &t));
+        assert_eq!(p.used(SiteId(0)), 20 * MB);
+    }
+
+    #[test]
+    fn completeness() {
+        let t = trace();
+        let mut p = Placement::new(&t, 100 * MB);
+        let group = [FileId(0), FileId(1)];
+        assert_eq!(p.group_completeness(SiteId(0), &group), 0.0);
+        p.place(SiteId(0), FileId(0), 10 * MB);
+        assert_eq!(p.group_completeness(SiteId(0), &group), 0.5);
+        p.place(SiteId(0), FileId(1), 10 * MB);
+        assert_eq!(p.group_completeness(SiteId(0), &group), 1.0);
+        assert_eq!(p.group_completeness(SiteId(0), &[]), 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Placement builders: what to pre-stage where, from training history.
+
+use crate::placement::Placement;
+use filecule_core::identify::exact::identify_jobs;
+use filecule_core::FileculeSet;
+use hep_trace::{FileId, JobId, SiteId, Trace};
+
+/// Baseline: replicate nothing; every access is remote.
+pub fn no_replication(trace: &Trace, budget: u64) -> Placement {
+    Placement::new(trace, budget)
+}
+
+/// Jobs that start before `until` — the training prefix.
+pub fn training_jobs(trace: &Trace, until: u64) -> Vec<JobId> {
+    trace
+        .job_ids()
+        .filter(|&j| trace.job(j).start < until)
+        .collect()
+}
+
+/// Per-site file request counts over the training jobs.
+fn site_file_counts(trace: &Trace, training: &[JobId]) -> Vec<Vec<u32>> {
+    let mut counts = vec![vec![0u32; trace.n_files()]; trace.n_sites()];
+    for &j in training {
+        let s = trace.job(j).site.index();
+        for &f in trace.job_files(j) {
+            counts[s][f.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// File-granularity popularity placement: at each site, replicate its most
+/// requested files (training prefix) until the budget is full.
+pub fn file_popularity_placement(trace: &Trace, training: &[JobId], budget: u64) -> Placement {
+    let counts = site_file_counts(trace, training);
+    let mut placement = Placement::new(trace, budget);
+    for (s, site_counts) in counts.iter().enumerate() {
+        let mut ranked: Vec<(u32, FileId)> = site_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(f, &c)| (c, FileId(f as u32)))
+            .collect();
+        ranked.sort_by_key(|&(c, f)| (std::cmp::Reverse(c), f));
+        for (_, f) in ranked {
+            // Skip files that don't fit; smaller popular files may still fit.
+            let _ = placement.place(SiteId(s as u16), f, trace.file(f).size_bytes);
+        }
+    }
+    placement
+}
+
+/// Filecule-granularity popularity placement: at each site, replicate whole
+/// filecules (from the partition `set`) in order of that site's request
+/// counts; groups are placed atomically so no filecule is ever partial.
+pub fn filecule_popularity_placement(
+    trace: &Trace,
+    set: &FileculeSet,
+    training: &[JobId],
+    budget: u64,
+) -> Placement {
+    // Per-site filecule request counts over training.
+    let mut counts = vec![vec![0u32; set.n_filecules()]; trace.n_sites()];
+    for &j in training {
+        let s = trace.job(j).site.index();
+        let mut seen: Vec<u32> = trace
+            .job_files(j)
+            .iter()
+            .filter_map(|&f| set.filecule_of(f).map(|g| g.0))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for g in seen {
+            counts[s][g as usize] += 1;
+        }
+    }
+    let mut placement = Placement::new(trace, budget);
+    for (s, site_counts) in counts.iter().enumerate() {
+        let mut ranked: Vec<(u32, u32)> = site_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(g, &c)| (c, g as u32))
+            .collect();
+        ranked.sort_by_key(|&(c, g)| (std::cmp::Reverse(c), g));
+        for (_, g) in ranked {
+            let files = set.files(filecule_core::FileculeId(g));
+            let _ = placement.place_group(SiteId(s as u16), files, trace);
+        }
+    }
+    placement
+}
+
+/// The Section 6 cost experiment: same filecule policy, but each site uses
+/// the partition identified from *its own* training jobs only (coarser
+/// groups). Returns the placement plus each site's local partition size.
+pub fn local_filecule_placement(
+    trace: &Trace,
+    training: &[JobId],
+    budget: u64,
+) -> (Placement, Vec<usize>) {
+    // Identify per-site over the *training* jobs only.
+    let mut placement = Placement::new(trace, budget);
+    let mut local_sizes = Vec::with_capacity(trace.n_sites());
+    // Reuse identify_per_site machinery on the prefix by filtering per site.
+    let mut per_site_jobs: Vec<Vec<JobId>> = vec![Vec::new(); trace.n_sites()];
+    for &j in training {
+        per_site_jobs[trace.job(j).site.index()].push(j);
+    }
+    for (s, jobs) in per_site_jobs.iter().enumerate() {
+        let local = identify_jobs(trace, jobs);
+        local_sizes.push(local.n_filecules());
+        // Rank local filecules by popularity and place atomically.
+        let mut ranked: Vec<(u32, u32)> = local
+            .ids()
+            .map(|g| (local.popularity(g), g.0))
+            .collect();
+        ranked.sort_by_key(|&(c, g)| (std::cmp::Reverse(c), g));
+        for (_, g) in ranked {
+            let files = local.files(filecule_core::FileculeId(g));
+            let _ = placement.place_group(SiteId(s as u16), files, trace);
+        }
+    }
+    (placement, local_sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filecule_core::identify;
+    use hep_trace::{DataTier, NodeId, TraceBuilder, MB};
+
+    /// Site 0 trains on two jobs: hot filecule {0,1} (2x), cold {2} (1x).
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s0 = b.add_site(d);
+        let u = b.add_user();
+        let f: Vec<FileId> = (0..3).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 10, 11, &[f[0], f[1], f[2]]);
+        // Evaluation-phase job (not in training prefix).
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 1000, 1001, &[f[0], f[1]]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn training_jobs_respect_cutoff() {
+        let t = trace();
+        assert_eq!(training_jobs(&t, 100).len(), 2);
+        assert_eq!(training_jobs(&t, 5000).len(), 3);
+    }
+
+    #[test]
+    fn file_popularity_places_hottest_first() {
+        let t = trace();
+        let training = training_jobs(&t, 100);
+        // Budget fits two files: 0 and 1 (2 requests each) beat 2 (1).
+        let p = file_popularity_placement(&t, &training, 20 * MB);
+        assert!(p.has(SiteId(0), FileId(0)));
+        assert!(p.has(SiteId(0), FileId(1)));
+        assert!(!p.has(SiteId(0), FileId(2)));
+    }
+
+    #[test]
+    fn filecule_policy_places_whole_groups() {
+        let t = trace();
+        let training = training_jobs(&t, 100);
+        let set = identify(&t);
+        let p = filecule_popularity_placement(&t, &set, &training, 25 * MB);
+        // The hot filecule {0,1} fits (20 MB); {2} (10 MB) does not.
+        assert!(p.has(SiteId(0), FileId(0)));
+        assert!(p.has(SiteId(0), FileId(1)));
+        assert!(!p.has(SiteId(0), FileId(2)));
+        assert_eq!(p.used(SiteId(0)), 20 * MB);
+    }
+
+    #[test]
+    fn filecule_policy_never_partial() {
+        let t = trace();
+        let training = training_jobs(&t, 100);
+        let set = identify(&t);
+        // Budget of 15 MB cannot hold {0,1} (20 MB): places {2} only.
+        let p = filecule_popularity_placement(&t, &set, &training, 15 * MB);
+        for g in set.ids() {
+            let c = p.group_completeness(SiteId(0), set.files(g));
+            assert!(c == 0.0 || c == 1.0, "partial filecule placed: {c}");
+        }
+    }
+
+    #[test]
+    fn local_identification_returns_sizes() {
+        let t = trace();
+        let training = training_jobs(&t, 100);
+        let (p, sizes) = local_filecule_placement(&t, &training, 100 * MB);
+        assert_eq!(sizes.len(), t.n_sites());
+        // Site 0 saw both training jobs: identifies {0,1} and {2}.
+        assert_eq!(sizes[0], 2);
+        assert!(p.has(SiteId(0), FileId(0)));
+    }
+
+    #[test]
+    fn no_replication_is_empty() {
+        let t = trace();
+        let p = no_replication(&t, 100 * MB);
+        assert_eq!(p.total_used(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used for calibration checks (does the synthetic files-per-job CDF match
+//! the paper's Figure 1 shape?) and for the KS goodness-of-fit distance in
+//! [`crate::fit`].
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted sample values.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample. NaNs are rejected.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF needs a non-empty sample");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample must not contain NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: sample }
+    }
+
+    /// Build from any iterator of values convertible to `f64`.
+    #[allow(clippy::should_implement_trait, clippy::same_name_method)]
+    pub fn from_iter<I, T>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<f64>,
+    {
+        Self::new(iter.into_iter().map(Into::into).collect())
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)` — the complementary CDF used for the paper's popularity
+    /// tail plots.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The `q`-quantile, `q ∈ [0, 1]`, by the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate the CDF at `n` evenly spaced points spanning the sample
+    /// range; convenient for plotting/reporting.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least 2 curve points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basic() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(10.0), 1.0);
+    }
+
+    #[test]
+    fn ccdf_complements() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        for x in [0.0, 1.5, 3.0, 5.0] {
+            assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 3.0, 2.0]);
+        let mut prev = -1.0;
+        for i in 0..60 {
+            let x = i as f64 * 0.1;
+            let c = e.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.median(), 50.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let e = Ecdf::new(vec![3.0, -1.0, 7.0]);
+        assert_eq!(e.min(), -1.0);
+        assert_eq!(e.max(), 7.0);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0]);
+        assert_eq!(e.cdf(1.9), 0.0);
+        assert_eq!(e.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let e = Ecdf::new(vec![0.0, 10.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 10.0);
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_panics() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Weighted discrete sampling via Vose's alias method.
+//!
+//! The workload generator frequently draws from fixed categorical
+//! distributions (data tier of a job, submitting domain per Table 2, …).
+//! The alias method gives O(1) draws after O(n) setup, which matters when
+//! synthesizing hundreds of thousands of jobs.
+
+use crate::SampleIndex;
+use rand::Rng;
+
+/// A discrete distribution over `0..n` built from non-negative weights,
+/// sampled in O(1) with Vose's alias method.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDiscrete {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl EmpiricalDiscrete {
+    /// Build from raw weights. Weights need not be normalized.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities (mean 1).
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Self {
+            prob,
+            alias,
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalized probability of category `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights[i] / total
+    }
+
+    /// Draw one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+impl SampleIndex for EmpiricalDiscrete {
+    fn sample_index(&self, rng: &mut dyn rand::RngCore) -> usize {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let d = EmpiricalDiscrete::new(&[1.0; 4]);
+        let mut rng = seeded_rng(1);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.01, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_pmf() {
+        let w = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let d = EmpiricalDiscrete::new(&w);
+        let mut rng = seeded_rng(2);
+        let n = 200_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            assert!((f - d.pmf(i)).abs() < 0.01, "cat {i}: {f} vs {}", d.pmf(i));
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let d = EmpiricalDiscrete::new(&[1.0, 0.0, 1.0]);
+        let mut rng = seeded_rng(3);
+        for _ in 0..50_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let d = EmpiricalDiscrete::new(&[3.5]);
+        let mut rng = seeded_rng(4);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn pmf_normalizes() {
+        let d = EmpiricalDiscrete::new(&[2.0, 3.0, 5.0]);
+        let s: f64 = (0..3).map(|i| d.pmf(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_weights_panic() {
+        let _ = EmpiricalDiscrete::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_panics() {
+        let _ = EmpiricalDiscrete::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panic() {
+        let _ = EmpiricalDiscrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn table2_domain_weights_smoke() {
+        // The per-domain job counts of paper Table 2 as weights.
+        let jobs = [
+            3_319_711.0, 390_186.0, 131_760.0, 54_672.0, 7_400.0, 5_719.0, 5_086.0, 3_854.0,
+            146.0, 12.0, 4.0, 3.0,
+        ];
+        let d = EmpiricalDiscrete::new(&jobs);
+        let mut rng = seeded_rng(5);
+        let mut gov = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if d.sample(&mut rng) == 0 {
+                gov += 1;
+            }
+        }
+        // .gov dominates at ~84.8% of job submissions.
+        let f = gov as f64 / n as f64;
+        assert!((f - 0.848).abs() < 0.02, "gov fraction {f}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Exponential sampling by inversion.
+//!
+//! Used for campaign inter-job gaps in the workload generator (memoryless
+//! within-burst pacing).
+
+use crate::SampleF64;
+use rand::Rng;
+
+/// An exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Create with mean `mean > 0`.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not finite and positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draw one sample by inversion: `-mean * ln(1 - U)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+}
+
+impl SampleF64 for Exp {
+    fn sample_f64(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rand::Rng::gen(rng);
+        -self.mean * (1.0 - u).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn samples_nonnegative() {
+        let e = Exp::new(5.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_recovered() {
+        let e = Exp::new(3.5);
+        let mut rng = seeded_rng(2);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 3.5).abs() / 3.5 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn memoryless_smoke() {
+        // P(X > 2m) should be ~ P(X > m)^2.
+        let e = Exp::new(1.0);
+        let mut rng = seeded_rng(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| e.sample(&mut rng)).collect();
+        let p1 = xs.iter().filter(|&&x| x > 1.0).count() as f64 / n as f64;
+        let p2 = xs.iter().filter(|&&x| x > 2.0).count() as f64 / n as f64;
+        assert!((p2 - p1 * p1).abs() < 0.01, "p1 {p1} p2 {p2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mean_panics() {
+        let _ = Exp::new(0.0);
+    }
+}

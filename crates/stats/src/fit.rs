@@ -1,0 +1,213 @@
+//! Distribution fitting and goodness-of-fit.
+//!
+//! Section 3.2 of the paper argues filecule popularity does **not** follow
+//! the Zipf model of web requests. To reproduce that claim quantitatively we
+//! fit a discrete Zipf by maximum likelihood to a popularity sample and
+//! report the Kolmogorov–Smirnov distance; a large KS distance on the
+//! synthetic popularity sample (vs a small one on genuinely Zipf data)
+//! reproduces the paper's conclusion.
+
+use crate::ecdf::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Zipf maximum-likelihood fit over ranks `1..=n`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ZipfFit {
+    /// Fitted exponent `s` of `p(k) ∝ k^-s`.
+    pub exponent: f64,
+    /// Number of ranks in the support.
+    pub n_ranks: usize,
+    /// KS distance between the sample and the fitted model.
+    pub ks: f64,
+}
+
+/// Result of a lognormal moment fit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogNormalFit {
+    /// Log-space mean.
+    pub mu: f64,
+    /// Log-space standard deviation.
+    pub sigma: f64,
+    /// KS distance between the sample and the fitted model.
+    pub ks: f64,
+}
+
+/// Fit a discrete Zipf distribution `p(k) ∝ k^-s`, `k ∈ 1..=n`, to a sample
+/// of ranks by maximum likelihood (golden-section search over `s`), and
+/// compute the KS distance of the fit.
+///
+/// `ranks` are 1-based; values outside `1..=n_ranks` are clamped.
+///
+/// # Panics
+/// Panics if `ranks` is empty or `n_ranks == 0`.
+pub fn fit_zipf_mle(ranks: &[u64], n_ranks: usize) -> ZipfFit {
+    assert!(!ranks.is_empty(), "need a non-empty rank sample");
+    assert!(n_ranks > 0, "need at least one rank");
+
+    let clamped: Vec<u64> = ranks
+        .iter()
+        .map(|&r| r.clamp(1, n_ranks as u64))
+        .collect();
+    let mean_log: f64 =
+        clamped.iter().map(|&r| (r as f64).ln()).sum::<f64>() / clamped.len() as f64;
+
+    // Negative log-likelihood per observation:
+    //   s * mean(ln k) + ln H(n, s),  H(n, s) = sum_{k=1..n} k^-s
+    let nll = |s: f64| -> f64 {
+        let h: f64 = (1..=n_ranks).map(|k| (k as f64).powf(-s)).sum();
+        s * mean_log + h.ln()
+    };
+
+    // Golden-section search over s in [0.01, 5].
+    let (mut a, mut b) = (0.01f64, 5.0f64);
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut c, mut d) = (b - phi * (b - a), a + phi * (b - a));
+    let (mut fc, mut fd) = (nll(c), nll(d));
+    for _ in 0..80 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = nll(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = nll(d);
+        }
+    }
+    let s = (a + b) / 2.0;
+
+    // KS distance against the fitted CDF.
+    let h: f64 = (1..=n_ranks).map(|k| (k as f64).powf(-s)).sum();
+    let mut model_cdf = Vec::with_capacity(n_ranks);
+    let mut acc = 0.0;
+    for k in 1..=n_ranks {
+        acc += (k as f64).powf(-s) / h;
+        model_cdf.push(acc);
+    }
+    let ecdf = Ecdf::new(clamped.iter().map(|&r| r as f64).collect());
+    let ks = (1..=n_ranks)
+        .map(|k| (ecdf.cdf(k as f64) - model_cdf[k - 1]).abs())
+        .fold(0.0f64, f64::max);
+
+    ZipfFit {
+        exponent: s,
+        n_ranks,
+        ks,
+    }
+}
+
+/// Fit a lognormal by log-space moments and compute the KS distance.
+///
+/// # Panics
+/// Panics if the sample is empty or contains non-positive values.
+pub fn fit_lognormal(sample: &[f64]) -> LogNormalFit {
+    assert!(!sample.is_empty(), "need a non-empty sample");
+    assert!(
+        sample.iter().all(|&x| x > 0.0),
+        "lognormal sample must be positive"
+    );
+    let n = sample.len() as f64;
+    let mu = sample.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let var = sample.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+    let sigma = var.sqrt().max(1e-12);
+
+    let ecdf = Ecdf::new(sample.to_vec());
+    let ks = sample
+        .iter()
+        .map(|&x| {
+            let model = crate::lognormal::normal_cdf((x.ln() - mu) / sigma);
+            (ecdf.cdf(x) - model).abs()
+        })
+        .fold(0.0f64, f64::max);
+
+    LogNormalFit { mu, sigma, ks }
+}
+
+/// Two-sample KS distance between ECDFs.
+pub fn ks_distance(a: &Ecdf, b: &Ecdf) -> f64 {
+    let mut d = 0.0f64;
+    for &x in a.values().iter().chain(b.values().iter()) {
+        d = d.max((a.cdf(x) - b.cdf(x)).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::zipf::Zipf;
+
+    #[test]
+    fn recovers_zipf_exponent() {
+        let z = Zipf::new(200, 1.2);
+        let mut rng = seeded_rng(1);
+        let ranks: Vec<u64> = (0..50_000).map(|_| z.sample(&mut rng) as u64 + 1).collect();
+        let fit = fit_zipf_mle(&ranks, 200);
+        assert!(
+            (fit.exponent - 1.2).abs() < 0.05,
+            "fitted s = {}",
+            fit.exponent
+        );
+        assert!(fit.ks < 0.02, "ks = {}", fit.ks);
+    }
+
+    #[test]
+    fn flat_sample_rejects_zipf() {
+        // A flattened (near-uniform) popularity sample — the paper's
+        // observation — should either fit a tiny exponent or show large KS
+        // relative to any steep Zipf.
+        let ranks: Vec<u64> = (1..=100).cycle().take(10_000).collect();
+        let fit = fit_zipf_mle(&ranks, 100);
+        assert!(fit.exponent < 0.1, "uniform data => s ≈ 0, got {}", fit.exponent);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        use rand_distr::{Distribution, LogNormal};
+        let d = LogNormal::new(2.0, 0.7).unwrap();
+        let mut rng = seeded_rng(2);
+        let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = fit_lognormal(&xs);
+        assert!((fit.mu - 2.0).abs() < 0.05, "mu = {}", fit.mu);
+        assert!((fit.sigma - 0.7).abs() < 0.05, "sigma = {}", fit.sigma);
+        assert!(fit.ks < 0.02, "ks = {}", fit.ks);
+    }
+
+    #[test]
+    fn ks_identical_samples_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert!(ks_distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_symmetry() {
+        let a = Ecdf::new(vec![1.0, 5.0, 9.0]);
+        let b = Ecdf::new(vec![2.0, 4.0, 8.0, 16.0]);
+        assert!((ks_distance(&a, &b) - ks_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rank_sample_panics() {
+        let _ = fit_zipf_mle(&[], 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_lognormal_sample_panics() {
+        let _ = fit_lognormal(&[1.0, 0.0]);
+    }
+}

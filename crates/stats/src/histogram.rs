@@ -1,0 +1,284 @@
+//! Linear- and log-binned histograms.
+//!
+//! Every distribution figure in the paper (Figures 1, 3–9) is a histogram
+//! over counts or byte sizes spanning several orders of magnitude, so a
+//! logarithmically binned variant is provided alongside the linear one.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width linear histogram over `[lo, hi)` with values outside the
+/// range accumulated in underflow/overflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        assert!(lo < hi, "need lo < hi");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Iterate `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| {
+            let (a, b) = self.bin_edges(i);
+            ((a + b) / 2.0, self.bins[i])
+        })
+    }
+}
+
+/// A logarithmically binned histogram over `[lo, hi)`, `lo > 0`.
+///
+/// Bin edges are geometric: `lo * r^i` with `r = (hi/lo)^(1/nbins)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Create a log histogram with `nbins` geometric bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0`, `lo <= 0`, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation. Non-positive values land in underflow.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let span = (self.hi / self.lo).ln();
+            let idx = (((x / self.lo).ln() / span * self.bins.len() as f64) as usize)
+                .min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo` (including non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// `[lo, hi)` edges of bin `i` (geometric).
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let r = (self.hi / self.lo).powf(1.0 / self.bins.len() as f64);
+        (self.lo * r.powi(i as i32), self.lo * r.powi(i as i32 + 1))
+    }
+
+    /// Iterate `(geometric bin center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| {
+            let (a, b) = self.bin_edges(i);
+            ((a * b).sqrt(), self.bins[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_places_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.9);
+        h.record(5.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.bin_count(5), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn linear_under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(2.0);
+        h.record(1.0); // hi is exclusive
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn counts_conserved() {
+        let mut h = Histogram::new(0.0, 100.0, 7);
+        for i in -10..200 {
+            h.record(i as f64);
+        }
+        let inside: u64 = (0..h.nbins()).map(|i| h.bin_count(i)).sum();
+        assert_eq!(inside + h.underflow() + h.overflow(), h.count());
+    }
+
+    #[test]
+    fn log_binning_geometric_edges() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let (a0, b0) = h.bin_edges(0);
+        let (a1, b1) = h.bin_edges(1);
+        assert!((a0 - 1.0).abs() < 1e-9);
+        assert!((b0 - 10.0).abs() < 1e-6);
+        assert!((a1 - 10.0).abs() < 1e-6);
+        assert!((b1 - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn log_binning_places_values() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record(2.0); // bin 0: [1,10)
+        h.record(50.0); // bin 1: [10,100)
+        h.record(999.0); // bin 2: [100,1000)
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+    }
+
+    #[test]
+    fn log_counts_conserved() {
+        let mut h = LogHistogram::new(1.0, 1e6, 12);
+        for i in 0..10_000 {
+            h.record((i as f64) * 137.0);
+        }
+        let inside: u64 = (0..h.nbins()).map(|i| h.bin_count(i)).sum();
+        assert_eq!(inside + h.underflow() + h.overflow(), h.count());
+    }
+
+    #[test]
+    fn log_zero_and_negative_underflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2);
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.underflow(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_nonpositive_lo_panics() {
+        let _ = LogHistogram::new(0.0, 10.0, 2);
+    }
+
+    #[test]
+    fn iter_centers_ascending() {
+        let mut h = LogHistogram::new(1.0, 100.0, 5);
+        h.record(3.0);
+        let centers: Vec<f64> = h.iter().map(|(c, _)| c).collect();
+        for w in centers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

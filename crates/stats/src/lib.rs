@@ -1,0 +1,61 @@
+//! # hep-stats
+//!
+//! Statistics substrate for the filecules reproduction (HPDC 2006).
+//!
+//! This crate is deliberately self-contained (no dependency on the rest of
+//! the workspace) and provides the numeric building blocks every other crate
+//! consumes:
+//!
+//! * deterministic RNG plumbing ([`rng`]) — every stochastic component in
+//!   the workspace takes an explicit `u64` seed and derives independent
+//!   child streams from it;
+//! * samplers for the distributions the DZero workload calibration needs
+//!   ([`zipf`], [`lognormal`], [`empirical`], [`mixture`]);
+//! * descriptive statistics: histograms ([`histogram`]), empirical CDFs
+//!   ([`ecdf`]), summary statistics ([`summary`]), correlation
+//!   ([`correlation`]);
+//! * distribution fitting and goodness-of-fit ([`fit`]) — used to reproduce
+//!   the paper's claim that filecule popularity is *not* Zipf (Section 3.2);
+//! * time-series bucketing ([`timeseries`]) for the per-day activity plots
+//!   (Figure 2).
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod ecdf;
+pub mod empirical;
+pub mod exponential;
+pub mod fit;
+pub mod histogram;
+pub mod lognormal;
+pub mod mixture;
+pub mod rng;
+pub mod summary;
+pub mod timeseries;
+pub mod zipf;
+
+pub use correlation::{pearson, spearman};
+pub use ecdf::Ecdf;
+pub use empirical::EmpiricalDiscrete;
+pub use exponential::Exp;
+pub use fit::{fit_lognormal, fit_zipf_mle, ks_distance, LogNormalFit, ZipfFit};
+pub use histogram::{Histogram, LogHistogram};
+pub use lognormal::TruncatedLogNormal;
+pub use mixture::Mixture;
+pub use rng::{child_seed, seeded_rng, SeedStream};
+pub use summary::{gini, Summary};
+pub use timeseries::DailySeries;
+pub use zipf::Zipf;
+
+/// A sampler over `f64` values. All workload-model distributions implement
+/// this so generators can hold them behind `Box<dyn SampleF64>`.
+pub trait SampleF64 {
+    /// Draw one sample using the supplied RNG.
+    fn sample_f64(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+/// A sampler over `usize` indices (e.g. ranks, category choices).
+pub trait SampleIndex {
+    /// Draw one index using the supplied RNG.
+    fn sample_index(&self, rng: &mut dyn rand::RngCore) -> usize;
+}

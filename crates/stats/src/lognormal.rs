@@ -1,0 +1,190 @@
+//! Truncated lognormal sampling.
+//!
+//! DZero file sizes (paper Section 3.1, Figure 3) are governed by two
+//! domain rules rather than the classic heavy-tail file-system model:
+//! events are ~250 KB and raw files are capped at 1 GB by deployment
+//! policy. We model per-tier sizes as lognormal bodies truncated to a
+//! `[min, max]` window, which reproduces both the bulk shape and the hard
+//! cap.
+
+use crate::SampleF64;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+/// A lognormal distribution truncated (by rejection) to `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct TruncatedLogNormal {
+    inner: LogNormal<f64>,
+    mu: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TruncatedLogNormal {
+    /// Create from the log-space parameters `mu`, `sigma` and the
+    /// truncation window `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `sigma <= 0`, `min <= 0`, `min >= max`, or the window has
+    /// negligible probability mass (< 1e-6), which would make rejection
+    /// sampling pathological.
+    pub fn new(mu: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(min > 0.0 && min < max, "need 0 < min < max");
+        let mass = window_mass(mu, sigma, min, max);
+        assert!(
+            mass > 1e-6,
+            "truncation window [{min}, {max}] has negligible mass {mass}"
+        );
+        let inner = LogNormal::new(mu, sigma).expect("validated parameters");
+        Self {
+            inner,
+            mu,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Convenience constructor from the *linear-space* median and an
+    /// approximate shape parameter.
+    pub fn from_median(median: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma, min, max)
+    }
+
+    /// Log-space location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Lower truncation bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper truncation bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Draw one sample in `[min, max]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Rejection sampling; the constructor guarantees the acceptance
+        // probability is non-negligible. Clamp after a bounded number of
+        // attempts so adversarial parameters cannot stall a simulation.
+        for _ in 0..1024 {
+            let x = self.inner.sample(rng);
+            if x >= self.min && x <= self.max {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.min, self.max)
+    }
+}
+
+impl SampleF64 for TruncatedLogNormal {
+    fn sample_f64(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample(rng)
+    }
+}
+
+/// Probability mass of a lognormal(mu, sigma) inside `[min, max]`.
+fn window_mass(mu: f64, sigma: f64, min: f64, max: f64) -> f64 {
+    normal_cdf((max.ln() - mu) / sigma) - normal_cdf((min.ln() - mu) / sigma)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7, ample for calibration checks).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let d = TruncatedLogNormal::from_median(100.0, 1.0, 10.0, 1000.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=1000.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn median_roughly_recovered() {
+        let d = TruncatedLogNormal::from_median(100.0, 0.5, 1.0, 10_000.0);
+        let mut rng = seeded_rng(2);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(
+            (median - 100.0).abs() / 100.0 < 0.05,
+            "median = {median}"
+        );
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-4);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-4);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for z in [0.1, 0.5, 1.0, 2.0] {
+            let s = normal_cdf(z) + normal_cdf(-z);
+            assert!((s - 1.0).abs() < 1e-6, "z={z}: {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        let _ = TruncatedLogNormal::new(0.0, 1.0, 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negligible_window_panics() {
+        // Window far in the tail: ~zero mass.
+        let _ = TruncatedLogNormal::new(0.0, 0.1, 1e6, 2e6);
+    }
+
+    #[test]
+    fn hard_cap_like_dzero_raw_files() {
+        // Median 800 MB, sigma 0.3, capped at 1 GB like DZero raw data.
+        let gb = 1024.0 * 1024.0 * 1024.0;
+        let d = TruncatedLogNormal::from_median(0.8 * gb, 0.3, 0.1 * gb, gb);
+        let mut rng = seeded_rng(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) <= gb);
+        }
+    }
+}

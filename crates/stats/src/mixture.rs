@@ -1,0 +1,158 @@
+//! Finite mixtures of `f64` samplers.
+//!
+//! File-size distributions in DZero are multi-modal (Figure 3): a spike at
+//! the 1 GB raw-file cap, per-tier lognormal bodies, and a population of
+//! small metadata-like files. A weighted mixture of [`SampleF64`] components
+//! captures this directly.
+
+use crate::empirical::EmpiricalDiscrete;
+use crate::SampleF64;
+use rand::Rng;
+
+/// A weighted mixture of boxed `f64` samplers.
+pub struct Mixture {
+    components: Vec<Box<dyn SampleF64 + Send + Sync>>,
+    chooser: EmpiricalDiscrete,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Build a mixture from `(weight, sampler)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the weights are invalid
+    /// (see [`EmpiricalDiscrete::new`]).
+    pub fn new(parts: Vec<(f64, Box<dyn SampleF64 + Send + Sync>)>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+        let components: Vec<_> = parts.into_iter().map(|(_, c)| c).collect();
+        Self {
+            components,
+            chooser: EmpiricalDiscrete::new(&weights),
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the mixture has no components (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Draw one value: choose a component by weight, then sample it.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let idx = self.chooser.sample(rng);
+        self.components[idx].sample_f64(rng)
+    }
+}
+
+impl SampleF64 for Mixture {
+    fn sample_f64(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let idx = self.chooser.sample(rng);
+        self.components[idx].sample_f64(rng)
+    }
+}
+
+/// A degenerate sampler that always returns the same value. Used for hard
+/// caps such as the 1 GB DZero raw-file size.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub f64);
+
+impl SampleF64 for Constant {
+    fn sample_f64(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.0
+    }
+}
+
+/// A uniform sampler over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Create a uniform sampler over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi);
+        Self { lo, hi }
+    }
+}
+
+impl SampleF64 for UniformRange {
+    fn sample_f64(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        use rand::Rng as _;
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn constant_component() {
+        let m = Mixture::new(vec![(1.0, Box::new(Constant(42.0)))]);
+        let mut rng = seeded_rng(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn weights_select_components() {
+        let m = Mixture::new(vec![
+            (9.0, Box::new(Constant(1.0))),
+            (1.0, Box::new(Constant(2.0))),
+        ]);
+        let mut rng = seeded_rng(2);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| m.sample(&mut rng) == 1.0).count();
+        let f = ones as f64 / n as f64;
+        assert!((f - 0.9).abs() < 0.01, "f = {f}");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let u = UniformRange::new(5.0, 6.0);
+        let mut rng = seeded_rng(3);
+        for _ in 0..1000 {
+            let x = u.sample_f64(&mut rng);
+            assert!((5.0..6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bimodal_file_size_shape() {
+        // 70% ~small files around 100, 30% spike at 1000 (the "1 GB cap").
+        let m = Mixture::new(vec![
+            (0.7, Box::new(UniformRange::new(50.0, 150.0))),
+            (0.3, Box::new(Constant(1000.0))),
+        ]);
+        let mut rng = seeded_rng(4);
+        let n = 50_000;
+        let spikes = (0..n).filter(|_| m.sample(&mut rng) == 1000.0).count();
+        let f = spikes as f64 / n as f64;
+        assert!((f - 0.3).abs() < 0.01, "f = {f}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mixture_panics() {
+        let _ = Mixture::new(vec![]);
+    }
+}

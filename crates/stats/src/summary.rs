@@ -1,0 +1,257 @@
+//! Streaming summary statistics (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a univariate sample: count, mean, variance
+/// (Welford), min, max, and sum. Mergeable, so per-shard summaries computed
+/// in parallel can be combined.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Build a summary from an iterator.
+    #[allow(clippy::should_implement_trait, clippy::same_name_method)]
+    pub fn from_iter<I, T>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<f64>,
+    {
+        let mut s = Self::new();
+        for x in iter {
+            s.record(x.into());
+        }
+        s
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Unbiased sample variance; 0 for fewer than 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum; `+inf` for an empty summary.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum; `-inf` for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.stddev() / self.mean().abs()
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative sample — inequality of a
+/// distribution (0 = perfectly equal, → 1 = one value holds everything).
+/// Used to characterize the skew of user activity and filecule popularity.
+///
+/// # Panics
+/// Panics if the sample is empty or contains negative values.
+pub fn gini(sample: &[f64]) -> f64 {
+    assert!(!sample.is_empty(), "gini needs a non-empty sample");
+    assert!(
+        sample.iter().all(|&x| x >= 0.0),
+        "gini needs non-negative values"
+    );
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len() as f64;
+    let total: f64 = xs.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::from_iter(xs.iter().copied());
+        let mut a = Summary::from_iter(xs[..37].iter().copied());
+        let b = Summary::from_iter(xs[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::from_iter([1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_iter([3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn cv_definition() {
+        let s = Summary::from_iter([1.0, 3.0]);
+        assert!((s.cv() - s.stddev() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_equal_sample_zero() {
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_concentrated_sample_near_one() {
+        let mut xs = vec![0.0; 99];
+        xs.push(1000.0);
+        let g = gini(&xs);
+        assert!(g > 0.95, "g = {g}");
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // {1, 3}: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        assert!((gini(&[1.0, 3.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_all_zero_is_zero() {
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gini_negative_panics() {
+        let _ = gini(&[1.0, -1.0]);
+    }
+}

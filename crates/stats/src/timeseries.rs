@@ -1,0 +1,174 @@
+//! Daily time-series bucketing.
+//!
+//! Figure 2 of the paper shows jobs per day and file requests per day over
+//! the 27-month trace window. Trace timestamps in this workspace are `u64`
+//! seconds from the trace epoch; [`DailySeries`] buckets event counts by
+//! day and exposes the series the figure needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// Per-day event counters over a fixed horizon starting at t = 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DailySeries {
+    counts: Vec<u64>,
+    /// Events past the horizon (recorded but out of range).
+    beyond: u64,
+}
+
+impl DailySeries {
+    /// Create a series spanning `horizon_secs` seconds (rounded up to whole
+    /// days).
+    ///
+    /// # Panics
+    /// Panics if `horizon_secs == 0`.
+    pub fn new(horizon_secs: u64) -> Self {
+        assert!(horizon_secs > 0, "horizon must be positive");
+        let days = horizon_secs.div_ceil(SECS_PER_DAY) as usize;
+        Self {
+            counts: vec![0; days],
+            beyond: 0,
+        }
+    }
+
+    /// Record one event at `t` seconds from the epoch. An optional weight
+    /// variant is provided by [`DailySeries::record_n`].
+    pub fn record(&mut self, t_secs: u64) {
+        self.record_n(t_secs, 1);
+    }
+
+    /// Record `n` simultaneous events at `t` (e.g. a job touching `n` files).
+    pub fn record_n(&mut self, t_secs: u64, n: u64) {
+        let day = (t_secs / SECS_PER_DAY) as usize;
+        if day < self.counts.len() {
+            self.counts[day] += n;
+        } else {
+            self.beyond += n;
+        }
+    }
+
+    /// Number of days in the horizon.
+    pub fn days(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for day `d`.
+    pub fn day_count(&self, d: usize) -> u64 {
+        self.counts[d]
+    }
+
+    /// All daily counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Events recorded past the horizon.
+    pub fn beyond(&self) -> u64 {
+        self.beyond
+    }
+
+    /// Total events inside the horizon.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean events per day over the horizon.
+    pub fn daily_mean(&self) -> f64 {
+        self.total() as f64 / self.counts.len() as f64
+    }
+
+    /// Peak day `(index, count)`; `(0, 0)` for an all-zero series.
+    pub fn peak(&self) -> (usize, u64) {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .unwrap_or((0, 0))
+    }
+
+    /// Downsample by averaging over consecutive `window`-day chunks —
+    /// useful for compact textual plots of a 800+ day series.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn downsample_mean(&self, window: usize) -> Vec<f64> {
+        assert!(window > 0);
+        self.counts
+            .chunks(window)
+            .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_by_day() {
+        let mut s = DailySeries::new(3 * SECS_PER_DAY);
+        s.record(0);
+        s.record(SECS_PER_DAY - 1);
+        s.record(SECS_PER_DAY);
+        s.record(2 * SECS_PER_DAY + 5);
+        assert_eq!(s.counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn beyond_horizon() {
+        let mut s = DailySeries::new(SECS_PER_DAY);
+        s.record(2 * SECS_PER_DAY);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.beyond(), 1);
+    }
+
+    #[test]
+    fn weighted_record() {
+        let mut s = DailySeries::new(SECS_PER_DAY);
+        s.record_n(10, 108);
+        assert_eq!(s.day_count(0), 108);
+    }
+
+    #[test]
+    fn horizon_rounds_up() {
+        let s = DailySeries::new(SECS_PER_DAY + 1);
+        assert_eq!(s.days(), 2);
+    }
+
+    #[test]
+    fn peak_and_mean() {
+        let mut s = DailySeries::new(4 * SECS_PER_DAY);
+        s.record_n(0, 5);
+        s.record_n(SECS_PER_DAY, 9);
+        s.record_n(3 * SECS_PER_DAY, 2);
+        assert_eq!(s.peak(), (1, 9));
+        assert!((s.daily_mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample() {
+        let mut s = DailySeries::new(4 * SECS_PER_DAY);
+        for d in 0..4 {
+            s.record_n(d * SECS_PER_DAY, d + 1);
+        }
+        let ds = s.downsample_mean(2);
+        assert_eq!(ds, vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn peak_prefers_earliest_on_tie() {
+        let mut s = DailySeries::new(3 * SECS_PER_DAY);
+        s.record_n(0, 4);
+        s.record_n(2 * SECS_PER_DAY, 4);
+        assert_eq!(s.peak(), (0, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_horizon_panics() {
+        let _ = DailySeries::new(0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Zipf and Zipf–Mandelbrot samplers over finite rank spaces.
+//!
+//! The paper (Section 3.2) observes that filecule popularity does **not**
+//! follow the classic Zipf model of web requests [Breslau et al. '99]; the
+//! distribution is flatter. The synthetic workload therefore needs both a
+//! plain Zipf sampler (for the baselines / ablations) and the *shifted*
+//! Zipf–Mandelbrot form `p(k) ∝ 1/(k+q)^s`, whose plateau for small ranks
+//! reproduces the flattened head the paper reports.
+
+use crate::SampleIndex;
+use rand::Rng;
+
+/// A finite discrete Zipf–Mandelbrot distribution over ranks `0..n`.
+///
+/// `p(k) ∝ 1 / (k + 1 + q)^s` for `k ∈ 0..n`. With `q == 0` this is the
+/// classic Zipf distribution. Sampling is by binary search over the
+/// precomputed CDF: O(log n) per draw after O(n) setup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+    exponent: f64,
+    shift: f64,
+}
+
+impl Zipf {
+    /// Classic Zipf over `n` ranks with exponent `s > 0`.
+    ///
+    /// ```
+    /// use hep_stats::Zipf;
+    /// use hep_stats::rng::seeded_rng;
+    /// let z = Zipf::new(100, 1.0);
+    /// let mut rng = seeded_rng(1);
+    /// let r = z.sample(&mut rng);
+    /// assert!(r < 100);
+    /// assert!(z.pmf(0) > z.pmf(99));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        Self::mandelbrot(n, s, 0.0)
+    }
+
+    /// Zipf–Mandelbrot over `n` ranks: `p(k) ∝ 1/(k+1+q)^s`.
+    ///
+    /// Larger `q` flattens the head of the distribution, which is how the
+    /// workload generator models the paper's non-Zipf popularity.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `s <= 0`, or `q < 0`.
+    pub fn mandelbrot(n: usize, s: f64, q: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        assert!(q.is_finite() && q >= 0.0, "Zipf shift must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / (k as f64 + 1.0 + q).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            cdf,
+            exponent: s,
+            shift: q,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there are no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The Mandelbrot shift `q`.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len());
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf[i] >= u, which is exactly the sampled rank.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl SampleIndex for Zipf {
+    fn sample_index(&self, rng: &mut dyn rand::RngCore) -> usize {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.8);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = seeded_rng(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = seeded_rng(3);
+        let mut counts = [0usize; 20];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = seeded_rng(4);
+        let n = 200_000usize;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: freq {freq} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn mandelbrot_shift_flattens_head() {
+        let plain = Zipf::new(100, 1.0);
+        let shifted = Zipf::mandelbrot(100, 1.0, 20.0);
+        // Ratio of first to tenth rank should be much smaller when shifted.
+        let r_plain = plain.pmf(0) / plain.pmf(9);
+        let r_shift = shifted.pmf(0) / shifted.pmf(9);
+        assert!(r_shift < r_plain / 2.0, "{r_shift} !< {r_plain}/2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

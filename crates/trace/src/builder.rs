@@ -1,0 +1,317 @@
+//! Trace construction with validation.
+
+use crate::model::{
+    DataTier, DomainId, FileId, FileMeta, JobId, JobRecord, NodeId, SiteId, Trace, UserId,
+};
+
+/// Errors produced when finalizing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A job referenced a file id that was never added.
+    UnknownFile {
+        /// Index of the offending job in insertion order.
+        job: usize,
+        /// The unknown file id.
+        file: FileId,
+    },
+    /// A job's stop time precedes its start time.
+    NegativeDuration {
+        /// Index of the offending job in insertion order.
+        job: usize,
+    },
+    /// A job referenced a site id that was never added.
+    UnknownSite {
+        /// Index of the offending job in insertion order.
+        job: usize,
+        /// The unknown site id.
+        site: SiteId,
+    },
+    /// A job referenced a user id that was never added.
+    UnknownUser {
+        /// Index of the offending job in insertion order.
+        job: usize,
+        /// The unknown user id.
+        user: UserId,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownFile { job, file } => {
+                write!(f, "job {job} references unknown file {}", file.0)
+            }
+            BuildError::NegativeDuration { job } => {
+                write!(f, "job {job} stops before it starts")
+            }
+            BuildError::UnknownSite { job, site } => {
+                write!(f, "job {job} references unknown site {}", site.0)
+            }
+            BuildError::UnknownUser { job, user } => {
+                write!(f, "job {job} references unknown user {}", user.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`Trace`], normalizing and validating as it goes:
+/// per-job file lists are sorted and deduplicated, jobs are sorted by start
+/// time at [`TraceBuilder::build`], and all id references are checked.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    files: Vec<FileMeta>,
+    jobs: Vec<(JobRecord, Vec<FileId>)>,
+    n_users: u32,
+    domain_names: Vec<String>,
+    site_domains: Vec<DomainId>,
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a DNS domain (e.g. ".gov"); returns its id.
+    pub fn add_domain(&mut self, name: &str) -> DomainId {
+        let id = DomainId(self.domain_names.len() as u16);
+        self.domain_names.push(name.to_owned());
+        id
+    }
+
+    /// Register a site belonging to `domain`; returns its id.
+    pub fn add_site(&mut self, domain: DomainId) -> SiteId {
+        let id = SiteId(self.site_domains.len() as u16);
+        self.site_domains.push(domain);
+        id
+    }
+
+    /// Register a new user; returns its id.
+    pub fn add_user(&mut self) -> UserId {
+        let id = UserId(self.n_users);
+        self.n_users += 1;
+        id
+    }
+
+    /// Register a file with its size and tier; returns its id.
+    pub fn add_file(&mut self, size_bytes: u64, tier: DataTier) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta { size_bytes, tier });
+        id
+    }
+
+    /// Add a job. `files` may be unsorted and contain duplicates; it is
+    /// normalized here. An empty list is allowed (jobs without file-level
+    /// trace detail, as in Table 1's "Others" row).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_job(
+        &mut self,
+        user: UserId,
+        site: SiteId,
+        node: NodeId,
+        tier: DataTier,
+        start: u64,
+        stop: u64,
+        files: &[FileId],
+    ) -> JobId {
+        let mut list = files.to_vec();
+        list.sort_unstable();
+        list.dedup();
+        let domain = self
+            .site_domains
+            .get(site.index())
+            .copied()
+            .unwrap_or(DomainId(u16::MAX));
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push((
+            JobRecord {
+                user,
+                domain,
+                site,
+                node,
+                tier,
+                start,
+                stop,
+                file_off: 0,
+                file_len: list.len() as u32,
+            },
+            list,
+        ));
+        id
+    }
+
+    /// Number of jobs added so far.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of files added so far.
+    pub fn n_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Finalize: validate references, sort jobs by start time, flatten the
+    /// file lists, and return the immutable [`Trace`].
+    pub fn build(self) -> Result<Trace, BuildError> {
+        let n_files = self.files.len() as u32;
+        let n_sites = self.site_domains.len() as u16;
+        for (i, (rec, list)) in self.jobs.iter().enumerate() {
+            if rec.stop < rec.start {
+                return Err(BuildError::NegativeDuration { job: i });
+            }
+            if rec.site.0 >= n_sites {
+                return Err(BuildError::UnknownSite { job: i, site: rec.site });
+            }
+            if rec.user.0 >= self.n_users {
+                return Err(BuildError::UnknownUser { job: i, user: rec.user });
+            }
+            if let Some(&f) = list.iter().find(|f| f.0 >= n_files) {
+                return Err(BuildError::UnknownFile { job: i, file: f });
+            }
+        }
+
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by_key(|&i| (self.jobs[i].0.start, i));
+
+        let total: usize = self.jobs.iter().map(|(_, l)| l.len()).sum();
+        let mut job_files = Vec::with_capacity(total);
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for &i in &order {
+            let (mut rec, list) = (self.jobs[i].0, &self.jobs[i].1);
+            rec.file_off = job_files.len() as u32;
+            rec.file_len = list.len() as u32;
+            job_files.extend_from_slice(list);
+            jobs.push(rec);
+        }
+
+        Ok(Trace {
+            files: self.files,
+            jobs,
+            job_files,
+            n_users: self.n_users,
+            n_sites,
+            n_domains: self.domain_names.len() as u16,
+            domain_names: self.domain_names,
+            site_domains: self.site_domains,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MB;
+
+    #[test]
+    fn empty_trace_builds() {
+        let t = TraceBuilder::new().build().unwrap();
+        assert_eq!(t.n_jobs(), 0);
+        assert_eq!(t.n_files(), 0);
+        assert!(t.validate().is_empty());
+    }
+
+    #[test]
+    fn unknown_file_rejected() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".de");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        b.add_job(u, s, NodeId(0), DataTier::Other, 0, 1, &[FileId(7)]);
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::UnknownFile { job: 0, file: FileId(7) })
+        ));
+    }
+
+    #[test]
+    fn negative_duration_rejected() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".de");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        b.add_job(u, s, NodeId(0), DataTier::Other, 10, 5, &[]);
+        assert!(matches!(b.build(), Err(BuildError::NegativeDuration { job: 0 })));
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let mut b = TraceBuilder::new();
+        let u = b.add_user();
+        b.add_job(u, SiteId(3), NodeId(0), DataTier::Other, 0, 1, &[]);
+        assert!(matches!(b.build(), Err(BuildError::UnknownSite { .. })));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".uk");
+        let s = b.add_site(d);
+        b.add_job(UserId(0), s, NodeId(0), DataTier::Other, 0, 1, &[]);
+        assert!(matches!(b.build(), Err(BuildError::UnknownUser { .. })));
+    }
+
+    #[test]
+    fn jobs_sorted_stably() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f = b.add_file(MB, DataTier::Thumbnail);
+        b.add_job(u, s, NodeId(1), DataTier::Thumbnail, 50, 60, &[f]);
+        b.add_job(u, s, NodeId(2), DataTier::Thumbnail, 10, 20, &[f]);
+        b.add_job(u, s, NodeId(3), DataTier::Thumbnail, 50, 55, &[f]);
+        let t = b.build().unwrap();
+        let nodes: Vec<u16> = t.jobs().iter().map(|j| j.node.0).collect();
+        // start=10 first; the two start=50 jobs keep insertion order.
+        assert_eq!(nodes, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn domain_propagated_from_site() {
+        let mut b = TraceBuilder::new();
+        let d0 = b.add_domain(".gov");
+        let d1 = b.add_domain(".de");
+        let s0 = b.add_site(d0);
+        let s1 = b.add_site(d1);
+        let u = b.add_user();
+        b.add_job(u, s1, NodeId(0), DataTier::Other, 0, 1, &[]);
+        b.add_job(u, s0, NodeId(0), DataTier::Other, 2, 3, &[]);
+        let t = b.build().unwrap();
+        assert_eq!(t.job(JobId(0)).domain, d1);
+        assert_eq!(t.job(JobId(1)).domain, d0);
+        assert_eq!(t.domain_name(d1), ".de");
+    }
+
+    #[test]
+    fn file_lists_normalized() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f0 = b.add_file(MB, DataTier::Raw);
+        let f1 = b.add_file(MB, DataTier::Raw);
+        let f2 = b.add_file(MB, DataTier::Raw);
+        b.add_job(u, s, NodeId(0), DataTier::Raw, 0, 1, &[f2, f0, f2, f1, f0]);
+        let t = b.build().unwrap();
+        assert_eq!(t.job_files(JobId(0)), &[f0, f1, f2]);
+        assert!(t.validate().is_empty());
+    }
+
+    #[test]
+    fn flattening_offsets_consistent() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let files: Vec<FileId> = (0..10).map(|_| b.add_file(MB, DataTier::Raw)).collect();
+        b.add_job(u, s, NodeId(0), DataTier::Raw, 5, 6, &files[0..3]);
+        b.add_job(u, s, NodeId(0), DataTier::Raw, 1, 2, &files[3..10]);
+        let t = b.build().unwrap();
+        assert_eq!(t.job_files(JobId(0)).len(), 7);
+        assert_eq!(t.job_files(JobId(1)).len(), 3);
+        assert_eq!(t.n_accesses(), 10);
+        assert!(t.validate().is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Trace characterization: recompute the paper's Tables 1–2 and the data
+//! behind Figures 1–3 from any [`Trace`].
+
+use crate::model::{DataTier, DomainId, Trace, MB};
+use hep_stats::summary::Summary;
+use hep_stats::timeseries::{DailySeries, SECS_PER_DAY};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One computed row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierSummary {
+    /// The tier.
+    pub tier: DataTier,
+    /// Distinct users with at least one job in the tier.
+    pub users: u64,
+    /// Jobs in the tier.
+    pub jobs: u64,
+    /// Distinct files accessed (None when the tier has no file detail).
+    pub files: Option<u64>,
+    /// Mean input volume per job in MB (None without file detail).
+    pub input_mb_per_job: Option<f64>,
+    /// Mean job duration in hours.
+    pub hours_per_job: f64,
+}
+
+/// One computed row of Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainSummary {
+    /// Domain name (".gov", …).
+    pub domain: String,
+    /// Jobs submitted from the domain.
+    pub jobs: u64,
+    /// Distinct submission nodes observed.
+    pub submission_nodes: u64,
+    /// Distinct sites observed.
+    pub sites: u64,
+    /// Distinct users observed.
+    pub users: u64,
+    /// Filecules touched from this domain — filled by the caller from
+    /// `filecule-core` (this crate cannot depend on it).
+    pub filecules: Option<u64>,
+    /// Distinct files accessed from this domain.
+    pub files: u64,
+    /// Total data volume requested (GB, sum over job input sets).
+    pub total_gb: f64,
+}
+
+/// Compute Table 1 (per-tier characteristics) from a trace.
+pub fn per_tier(trace: &Trace) -> Vec<TierSummary> {
+    DataTier::ALL
+        .iter()
+        .filter_map(|&tier| {
+            let jobs: Vec<_> = trace
+                .job_ids()
+                .filter(|&j| trace.job(j).tier == tier)
+                .collect();
+            if jobs.is_empty() {
+                return None;
+            }
+            let users: HashSet<_> = jobs.iter().map(|&j| trace.job(j).user).collect();
+            let has_files = jobs.iter().any(|&j| trace.job(j).has_file_trace());
+            let (files, input_mb) = if has_files {
+                let mut distinct = HashSet::new();
+                let mut input = Summary::new();
+                for &j in &jobs {
+                    distinct.extend(trace.job_files(j).iter().copied());
+                    input.record(trace.job_input_bytes(j) as f64 / MB as f64);
+                }
+                (Some(distinct.len() as u64), Some(input.mean()))
+            } else {
+                (None, None)
+            };
+            let hours = Summary::from_iter(
+                jobs.iter()
+                    .map(|&j| trace.job(j).duration() as f64 / 3600.0),
+            );
+            Some(TierSummary {
+                tier,
+                users: users.len() as u64,
+                jobs: jobs.len() as u64,
+                files,
+                input_mb_per_job: input_mb,
+                hours_per_job: hours.mean(),
+            })
+        })
+        .collect()
+}
+
+/// Compute Table 2 (per-domain characteristics) from a trace, sorted by
+/// job count descending. The `filecules` column is left `None`.
+pub fn per_domain(trace: &Trace) -> Vec<DomainSummary> {
+    let mut rows: Vec<DomainSummary> = (0..trace.n_domains() as u16)
+        .into_par_iter()
+        .map(|d| {
+            let d = DomainId(d);
+            let jobs: Vec<_> = trace
+                .job_ids()
+                .filter(|&j| trace.job(j).domain == d)
+                .collect();
+            let mut nodes = HashSet::new();
+            let mut sites = HashSet::new();
+            let mut users = HashSet::new();
+            let mut files = HashSet::new();
+            let mut bytes = 0u64;
+            for &j in &jobs {
+                let rec = trace.job(j);
+                nodes.insert((rec.site, rec.node));
+                sites.insert(rec.site);
+                users.insert(rec.user);
+                files.extend(trace.job_files(j).iter().copied());
+                bytes += trace.job_input_bytes(j);
+            }
+            DomainSummary {
+                domain: trace.domain_name(d).to_owned(),
+                jobs: jobs.len() as u64,
+                submission_nodes: nodes.len() as u64,
+                sites: sites.len() as u64,
+                users: users.len() as u64,
+                filecules: None,
+                files: files.len() as u64,
+                total_gb: bytes as f64 / (1024.0 * MB as f64),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.jobs.cmp(&a.jobs).then(a.domain.cmp(&b.domain)));
+    rows
+}
+
+/// The overall ("All") row of Table 1.
+pub fn overall(trace: &Trace) -> TierSummary {
+    let users: HashSet<_> = trace.jobs().iter().map(|j| j.user).collect();
+    let hours = Summary::from_iter(
+        trace
+            .jobs()
+            .iter()
+            .map(|j| j.duration() as f64 / 3600.0),
+    );
+    TierSummary {
+        tier: DataTier::Other,
+        users: users.len() as u64,
+        jobs: trace.n_jobs() as u64,
+        files: None,
+        input_mb_per_job: None,
+        hours_per_job: hours.mean(),
+    }
+}
+
+/// Figure 1: number of input files for every file-traced job.
+pub fn files_per_job(trace: &Trace) -> Vec<u32> {
+    trace
+        .jobs()
+        .iter()
+        .filter(|j| j.has_file_trace())
+        .map(|j| j.file_len)
+        .collect()
+}
+
+/// Figure 2 data: jobs per day and file requests per day.
+pub fn daily_activity(trace: &Trace) -> (DailySeries, DailySeries) {
+    let horizon = trace.horizon().max(1).div_ceil(SECS_PER_DAY) * SECS_PER_DAY;
+    let mut jobs = DailySeries::new(horizon);
+    let mut requests = DailySeries::new(horizon);
+    for j in trace.jobs() {
+        jobs.record(j.start);
+        requests.record_n(j.start, u64::from(j.file_len));
+    }
+    (jobs, requests)
+}
+
+/// Figure 3 data: sizes (bytes) of all distinct files *accessed* in the
+/// trace (unaccessed universe files are excluded, matching the paper's
+/// trace-derived view).
+pub fn accessed_file_sizes(trace: &Trace) -> Vec<u64> {
+    let counts = trace.file_request_counts();
+    trace
+        .file_ids()
+        .filter(|f| counts[f.index()] > 0)
+        .map(|f| trace.file(f).size_bytes)
+        .collect()
+}
+
+/// Mean files per job over file-traced jobs (the paper's "108 files per
+/// job" headline).
+pub fn mean_files_per_job(trace: &Trace) -> f64 {
+    let s = Summary::from_iter(files_per_job(trace).into_iter().map(f64::from));
+    s.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DataTier, NodeId, GB, MB};
+    use crate::TraceBuilder;
+
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let dgov = b.add_domain(".gov");
+        let dde = b.add_domain(".de");
+        let s0 = b.add_site(dgov);
+        let s1 = b.add_site(dde);
+        let s2 = b.add_site(dde);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let u2 = b.add_user();
+        let f0 = b.add_file(GB, DataTier::Reconstructed);
+        let f1 = b.add_file(100 * MB, DataTier::Thumbnail);
+        let f2 = b.add_file(200 * MB, DataTier::Thumbnail);
+        b.add_job(u0, s0, NodeId(0), DataTier::Reconstructed, 0, 3600, &[f0]);
+        b.add_job(u1, s1, NodeId(0), DataTier::Thumbnail, 100, 7300, &[f1, f2]);
+        b.add_job(u2, s2, NodeId(1), DataTier::Thumbnail, 200, 3800, &[f1]);
+        b.add_job(u0, s0, NodeId(1), DataTier::Other, 90_000, 93_600, &[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_tier_rows() {
+        let t = mixed_trace();
+        let rows = per_tier(&t);
+        let thumb = rows
+            .iter()
+            .find(|r| r.tier == DataTier::Thumbnail)
+            .unwrap();
+        assert_eq!(thumb.jobs, 2);
+        assert_eq!(thumb.users, 2);
+        assert_eq!(thumb.files, Some(2));
+        // Inputs: 300 MB and 100 MB => mean 200 MB.
+        assert!((thumb.input_mb_per_job.unwrap() - 200.0).abs() < 1e-9);
+        let other = rows.iter().find(|r| r.tier == DataTier::Other).unwrap();
+        assert_eq!(other.files, None);
+        assert_eq!(other.jobs, 1);
+    }
+
+    #[test]
+    fn per_tier_skips_absent_tiers() {
+        let t = mixed_trace();
+        let rows = per_tier(&t);
+        assert!(rows.iter().all(|r| r.tier != DataTier::Raw));
+    }
+
+    #[test]
+    fn per_domain_rows_sorted() {
+        let t = mixed_trace();
+        let rows = per_domain(&t);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].jobs >= rows[1].jobs);
+        let de = rows.iter().find(|r| r.domain == ".de").unwrap();
+        assert_eq!(de.jobs, 2);
+        assert_eq!(de.sites, 2);
+        assert_eq!(de.users, 2);
+        assert_eq!(de.files, 2);
+        // 300 MB + 100 MB = 400 MB.
+        assert!((de.total_gb - 400.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(de.filecules, None);
+    }
+
+    #[test]
+    fn overall_counts_all_jobs_and_users() {
+        let t = mixed_trace();
+        let all = overall(&t);
+        assert_eq!(all.jobs, 4);
+        assert_eq!(all.users, 3);
+        // Durations: 1h, 2h, 1h, 1h => mean 1.25h.
+        assert!((all.hours_per_job - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn files_per_job_excludes_untraced() {
+        let t = mixed_trace();
+        let fpj = files_per_job(&t);
+        assert_eq!(fpj, vec![1, 2, 1]);
+        assert!((mean_files_per_job(&t) - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_activity_buckets() {
+        let t = mixed_trace();
+        let (jobs, reqs) = daily_activity(&t);
+        assert_eq!(jobs.day_count(0), 3);
+        assert_eq!(jobs.day_count(1), 1);
+        assert_eq!(reqs.day_count(0), 4);
+        assert_eq!(reqs.day_count(1), 0);
+    }
+
+    #[test]
+    fn accessed_file_sizes_only_accessed() {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f0 = b.add_file(MB, DataTier::Thumbnail);
+        let _unused = b.add_file(2 * MB, DataTier::Thumbnail);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0]);
+        let t = b.build().unwrap();
+        assert_eq!(accessed_file_sizes(&t), vec![MB]);
+    }
+}

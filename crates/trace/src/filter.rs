@@ -1,0 +1,145 @@
+//! Sub-trace extraction.
+//!
+//! Several analyses operate on a restriction of the trace — one site's
+//! jobs (Section 6), one time window (filecule dynamics), one tier. The
+//! filters here build a new [`Trace`] containing only the selected jobs
+//! while *keeping the original file table intact*, so `FileId`s — and any
+//! [`FileculeSet`](../../filecule_core) built elsewhere — remain valid
+//! across the restriction.
+
+use crate::model::{DataTier, DomainId, JobRecord, SiteId, Trace};
+
+/// Keep only jobs satisfying `pred`. File table, users, sites and domains
+/// are preserved verbatim (ids stay valid); job ids are renumbered.
+pub fn filter_jobs<F: Fn(&JobRecord) -> bool>(trace: &Trace, pred: F) -> Trace {
+    let mut jobs = Vec::new();
+    let mut job_files = Vec::new();
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        if !pred(rec) {
+            continue;
+        }
+        let files = trace.job_files(j);
+        let mut new_rec = *rec;
+        new_rec.file_off = job_files.len() as u32;
+        new_rec.file_len = files.len() as u32;
+        job_files.extend_from_slice(files);
+        jobs.push(new_rec);
+    }
+    Trace {
+        files: trace.files.clone(),
+        jobs,
+        job_files,
+        n_users: trace.n_users,
+        n_sites: trace.n_sites,
+        n_domains: trace.n_domains,
+        domain_names: trace.domain_names.clone(),
+        site_domains: trace.site_domains.clone(),
+    }
+}
+
+/// Jobs whose start time lies in `[from, until)`.
+pub fn by_time_window(trace: &Trace, from: u64, until: u64) -> Trace {
+    filter_jobs(trace, |j| j.start >= from && j.start < until)
+}
+
+/// Jobs submitted from `site`.
+pub fn by_site(trace: &Trace, site: SiteId) -> Trace {
+    filter_jobs(trace, |j| j.site == site)
+}
+
+/// Jobs submitted from `domain`.
+pub fn by_domain(trace: &Trace, domain: DomainId) -> Trace {
+    filter_jobs(trace, |j| j.domain == domain)
+}
+
+/// Jobs processing `tier`.
+pub fn by_tier(trace: &Trace, tier: DataTier) -> Trace {
+    filter_jobs(trace, |j| j.tier == tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileId, NodeId, MB};
+    use crate::{SynthConfig, TraceBuilder, TraceSynthesizer};
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let dgov = b.add_domain(".gov");
+        let dde = b.add_domain(".de");
+        let s0 = b.add_site(dgov);
+        let s1 = b.add_site(dde);
+        let u = b.add_user();
+        let f0 = b.add_file(MB, DataTier::Thumbnail);
+        let f1 = b.add_file(MB, DataTier::Reconstructed);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 10, 20, &[f0]);
+        b.add_job(u, s1, NodeId(0), DataTier::Reconstructed, 30, 40, &[f1]);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 50, 60, &[f0, f1]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn time_window_half_open() {
+        let t = sample();
+        let w = by_time_window(&t, 10, 50);
+        assert_eq!(w.n_jobs(), 2);
+        assert!(w.validate().is_empty());
+        let w2 = by_time_window(&t, 10, 51);
+        assert_eq!(w2.n_jobs(), 3);
+    }
+
+    #[test]
+    fn file_ids_stay_valid() {
+        let t = sample();
+        let w = by_site(&t, SiteId(1));
+        assert_eq!(w.n_jobs(), 1);
+        assert_eq!(w.n_files(), t.n_files()); // file table preserved
+        assert_eq!(w.job_files(crate::JobId(0)), &[FileId(1)]);
+    }
+
+    #[test]
+    fn by_domain_and_tier() {
+        let t = sample();
+        assert_eq!(by_domain(&t, DomainId(0)).n_jobs(), 2);
+        assert_eq!(by_domain(&t, DomainId(1)).n_jobs(), 1);
+        assert_eq!(by_tier(&t, DataTier::Thumbnail).n_jobs(), 2);
+        assert_eq!(by_tier(&t, DataTier::Raw).n_jobs(), 0);
+    }
+
+    #[test]
+    fn empty_filter_is_valid() {
+        let t = sample();
+        let w = filter_jobs(&t, |_| false);
+        assert_eq!(w.n_jobs(), 0);
+        assert_eq!(w.n_accesses(), 0);
+        assert!(w.validate().is_empty());
+    }
+
+    #[test]
+    fn filters_partition_synthetic_trace() {
+        let t = TraceSynthesizer::new(SynthConfig::small(55)).generate();
+        let mid = t.horizon() / 2;
+        let a = by_time_window(&t, 0, mid);
+        let b = by_time_window(&t, mid, u64::MAX);
+        assert_eq!(a.n_jobs() + b.n_jobs(), t.n_jobs());
+        assert_eq!(a.n_accesses() + b.n_accesses(), t.n_accesses());
+        assert!(a.validate().is_empty());
+        assert!(b.validate().is_empty());
+    }
+
+    #[test]
+    fn identification_on_filtered_equals_identify_jobs() {
+        // Cross-check with filecule-core's subset identification is done in
+        // the integration tests; here check that the filtered trace's
+        // access multiset matches the per-site job slices.
+        let t = TraceSynthesizer::new(SynthConfig::small(56)).generate();
+        let w = by_site(&t, SiteId(0));
+        let direct: usize = t
+            .job_ids()
+            .filter(|&j| t.job(j).site == SiteId(0))
+            .map(|j| t.job_files(j).len())
+            .sum();
+        assert_eq!(w.n_accesses(), direct);
+    }
+}

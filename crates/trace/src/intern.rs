@@ -1,0 +1,133 @@
+//! A small string interner.
+//!
+//! Trace import deals with repeated textual tokens (file names, user names,
+//! node names). Interning maps each distinct string to a dense `u32` symbol
+//! so the columnar trace stores integers only.
+
+use std::collections::HashMap;
+
+/// Symbol returned by the interner: a dense index into its string table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns strings to dense [`Symbol`]s and resolves them back.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.map.insert(s.to_owned(), sym);
+        self.strings.push(s.to_owned());
+        sym
+    }
+
+    /// Look up a symbol without interning.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("fermilab.gov");
+        let b = i.intern("fermilab.gov");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        for (k, s) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(i.intern(s), Symbol(k as u32));
+        }
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let names = ["d0-thumb-0001.root", "d0-raw-17.dat", ""];
+        let syms: Vec<Symbol> = names.iter().map(|s| i.intern(s)).collect();
+        for (sym, name) in syms.iter().zip(names) {
+            assert_eq!(i.resolve(*sym), name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        i.intern("present");
+        assert_eq!(i.get("present"), Some(Symbol(0)));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = Interner::new();
+        i.intern("one");
+        i.intern("two");
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["one", "two"]);
+    }
+}

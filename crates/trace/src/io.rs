@@ -1,0 +1,402 @@
+//! SAM-like text import/export.
+//!
+//! The paper's traces come from the SAM processing-history database as two
+//! relations: *file traces* (which files each job requested) and
+//! *application traces* (job metadata: user, node, start/stop, tier). We
+//! serialize both into one sectioned CSV document:
+//!
+//! ```text
+//! #FORMAT filecules-trace v1
+//! #DOMAINS
+//! 0,.gov
+//! #SITES
+//! 0,0            # site id, domain id
+//! #FILES
+//! 0,1073741824,raw
+//! #JOBS
+//! 0,0,0,0,thumbnail,1000,2000,3;5;9
+//! ```
+//!
+//! Job columns: `job,user,site,node,tier,start,stop,files` where `files` is
+//! a `;`-separated FileId list (empty for jobs without file-level detail).
+
+use crate::builder::TraceBuilder;
+use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, Trace, UserId};
+use std::io::{BufRead, Write};
+
+/// Magic first line of the format.
+pub const HEADER: &str = "#FORMAT filecules-trace v1";
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with line contents.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The finalized trace failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Serialize a trace to the sectioned CSV format.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "#DOMAINS")?;
+    for d in 0..trace.n_domains() {
+        writeln!(w, "{},{}", d, trace.domain_name(DomainId(d as u16)))?;
+    }
+    writeln!(w, "#SITES")?;
+    for s in 0..trace.n_sites() {
+        writeln!(w, "{},{}", s, trace.site_domain(SiteId(s as u16)).0)?;
+    }
+    writeln!(w, "#USERS {}", trace.n_users())?;
+    writeln!(w, "#FILES")?;
+    for (i, f) in trace.files().iter().enumerate() {
+        writeln!(w, "{},{},{}", i, f.size_bytes, f.tier.name())?;
+    }
+    writeln!(w, "#JOBS")?;
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        let files: Vec<String> = trace.job_files(j).iter().map(|f| f.0.to_string()).collect();
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            j.0,
+            rec.user.0,
+            rec.site.0,
+            rec.node.0,
+            rec.tier.name(),
+            rec.start,
+            rec.stop,
+            files.join(";")
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialize a trace to a `String`.
+pub fn trace_to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Preamble,
+    Domains,
+    Sites,
+    Files,
+    Jobs,
+}
+
+/// Parse a trace from the sectioned CSV format.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseError> {
+    let mut builder = TraceBuilder::new();
+    let mut section = Section::Preamble;
+    let mut saw_header = false;
+    let mut declared_users = 0u32;
+
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == HEADER {
+            saw_header = true;
+            continue;
+        }
+        match line {
+            "#DOMAINS" => {
+                section = Section::Domains;
+                continue;
+            }
+            "#SITES" => {
+                section = Section::Sites;
+                continue;
+            }
+            "#FILES" => {
+                section = Section::Files;
+                continue;
+            }
+            "#JOBS" => {
+                section = Section::Jobs;
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(rest) = line.strip_prefix("#USERS ") {
+            declared_users = rest.parse().map_err(|_| ParseError::Malformed {
+                line: lineno,
+                reason: format!("bad user count {rest:?}"),
+            })?;
+            continue;
+        }
+        if line.starts_with('#') {
+            // Unknown directive: skip for forward compatibility.
+            continue;
+        }
+        if !saw_header {
+            return Err(ParseError::Malformed {
+                line: lineno,
+                reason: format!("missing header line {HEADER:?}"),
+            });
+        }
+
+        let malformed = |reason: String| ParseError::Malformed {
+            line: lineno,
+            reason,
+        };
+
+        match section {
+            Section::Preamble => {
+                return Err(malformed("data before any section".into()));
+            }
+            Section::Domains => {
+                let (_, name) = line
+                    .split_once(',')
+                    .ok_or_else(|| malformed("expected `id,name`".into()))?;
+                builder.add_domain(name);
+            }
+            Section::Sites => {
+                let (_, dom) = line
+                    .split_once(',')
+                    .ok_or_else(|| malformed("expected `id,domain`".into()))?;
+                let dom: u16 = dom
+                    .parse()
+                    .map_err(|_| malformed(format!("bad domain id {dom:?}")))?;
+                builder.add_site(DomainId(dom));
+            }
+            Section::Files => {
+                let mut parts = line.split(',');
+                let _id = parts.next();
+                let size: u64 = parts
+                    .next()
+                    .ok_or_else(|| malformed("missing size".into()))?
+                    .parse()
+                    .map_err(|_| malformed("bad size".into()))?;
+                let tier = parts
+                    .next()
+                    .and_then(DataTier::from_name)
+                    .ok_or_else(|| malformed("bad tier".into()))?;
+                builder.add_file(size, tier);
+            }
+            Section::Jobs => {
+                let parts: Vec<&str> = line.splitn(8, ',').collect();
+                if parts.len() != 8 {
+                    return Err(malformed(format!(
+                        "expected 8 job columns, got {}",
+                        parts.len()
+                    )));
+                }
+                let user: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| malformed("bad user id".into()))?;
+                let site: u16 = parts[2]
+                    .parse()
+                    .map_err(|_| malformed("bad site id".into()))?;
+                let node: u16 = parts[3]
+                    .parse()
+                    .map_err(|_| malformed("bad node id".into()))?;
+                let tier = DataTier::from_name(parts[4])
+                    .ok_or_else(|| malformed(format!("bad tier {:?}", parts[4])))?;
+                let start: u64 = parts[5]
+                    .parse()
+                    .map_err(|_| malformed("bad start time".into()))?;
+                let stop: u64 = parts[6]
+                    .parse()
+                    .map_err(|_| malformed("bad stop time".into()))?;
+                let files: Vec<FileId> = if parts[7].is_empty() {
+                    Vec::new()
+                } else {
+                    parts[7]
+                        .split(';')
+                        .map(|s| {
+                            s.parse::<u32>()
+                                .map(FileId)
+                                .map_err(|_| malformed(format!("bad file id {s:?}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                builder.add_job(
+                    UserId(user),
+                    SiteId(site),
+                    NodeId(node),
+                    tier,
+                    start,
+                    stop,
+                    &files,
+                );
+            }
+        }
+        // Ensure user table is large enough for any referenced user.
+    }
+    if !saw_header {
+        return Err(ParseError::Malformed {
+            line: 0,
+            reason: format!("missing header line {HEADER:?}"),
+        });
+    }
+    // Users carry no metadata; materialize the declared count (at minimum
+    // one past the largest referenced id, guarded by build()).
+    for _ in 0..declared_users {
+        builder.add_user();
+    }
+    builder
+        .build()
+        .map_err(|e| ParseError::Invalid(e.to_string()))
+}
+
+/// Parse a trace from a string.
+pub fn trace_from_str(s: &str) -> Result<Trace, ParseError> {
+    read_trace(s.as_bytes())
+}
+
+/// Write a trace to a file path.
+pub fn save_trace(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_trace(trace, std::io::BufWriter::new(f))
+}
+
+/// Read a trace from a file path.
+pub fn load_trace(path: &std::path::Path) -> Result<Trace, ParseError> {
+    let f = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DataTier, NodeId, GB, MB};
+    use crate::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let dgov = b.add_domain(".gov");
+        let dde = b.add_domain(".de");
+        let s0 = b.add_site(dgov);
+        let s1 = b.add_site(dde);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let f0 = b.add_file(GB, DataTier::Raw);
+        let f1 = b.add_file(300 * MB, DataTier::Thumbnail);
+        let f2 = b.add_file(500 * MB, DataTier::Reconstructed);
+        b.add_job(u0, s0, NodeId(0), DataTier::Raw, 100, 200, &[f0]);
+        b.add_job(u1, s1, NodeId(3), DataTier::Thumbnail, 50, 90, &[f1, f2]);
+        b.add_job(u0, s0, NodeId(1), DataTier::Other, 300, 400, &[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let s = trace_to_string(&t);
+        let t2 = trace_from_str(&s).unwrap();
+        assert_eq!(t.n_jobs(), t2.n_jobs());
+        assert_eq!(t.n_files(), t2.n_files());
+        assert_eq!(t.n_users(), t2.n_users());
+        assert_eq!(t.n_sites(), t2.n_sites());
+        assert_eq!(t.n_domains(), t2.n_domains());
+        for j in t.job_ids() {
+            assert_eq!(t.job(j), t2.job(j));
+            assert_eq!(t.job_files(j), t2.job_files(j));
+        }
+        for f in t.file_ids() {
+            assert_eq!(t.file(f), t2.file(f));
+        }
+        assert_eq!(t.domain_name(DomainId(0)), t2.domain_name(DomainId(0)));
+    }
+
+    #[test]
+    fn empty_file_list_roundtrips() {
+        let t = sample_trace();
+        let t2 = trace_from_str(&trace_to_string(&t)).unwrap();
+        // Job at start=300 has no files.
+        let j = t2
+            .job_ids()
+            .find(|&j| t2.job(j).start == 300)
+            .expect("job present");
+        assert!(t2.job_files(j).is_empty());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let doc = "#JOBS\n0,0,0,0,raw,0,1,\n";
+        assert!(matches!(
+            trace_from_str(doc),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tier_rejected() {
+        let doc = format!("{HEADER}\n#FILES\n0,100,nosuchtier\n");
+        assert!(matches!(
+            trace_from_str(&doc),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_column_count_rejected() {
+        let doc = format!("{HEADER}\n#JOBS\n0,0,0\n");
+        assert!(matches!(
+            trace_from_str(&doc),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_file_reference_rejected() {
+        let doc = format!(
+            "{HEADER}\n#DOMAINS\n0,.gov\n#SITES\n0,0\n#USERS 1\n#FILES\n#JOBS\n0,0,0,0,raw,0,1,5\n"
+        );
+        assert!(matches!(trace_from_str(&doc), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_directives_skipped() {
+        let doc = format!("{HEADER}\n#FUTURE-SECTION x\n#USERS 0\n#JOBS\n");
+        let t = trace_from_str(&doc).unwrap();
+        assert_eq!(t.n_jobs(), 0);
+    }
+
+    #[test]
+    fn file_save_load() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("filecules-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_trace(&t, &path).unwrap();
+        let t2 = load_trace(&path).unwrap();
+        assert_eq!(t.n_accesses(), t2.n_accesses());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,546 @@
+//! Columnar trace model mirroring the SAM data-handling schema.
+//!
+//! Design notes (per the HPC guide): identifiers are small newtyped
+//! integers; per-job file lists are flattened into one shared `Vec<FileId>`
+//! with `(offset, len)` slices per job, so a multi-million-access trace is a
+//! handful of large allocations instead of one `Vec` per job.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step used for the deterministic per-job replay shuffle.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One megabyte in bytes.
+pub const MB: u64 = 1 << 20;
+/// One gigabyte in bytes.
+pub const GB: u64 = 1 << 30;
+/// One terabyte in bytes.
+pub const TB: u64 = 1 << 40;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a distinct file in the trace.
+    FileId,
+    u32
+);
+id_type!(
+    /// Identifier of a job ("project" in SAM terminology).
+    JobId,
+    u32
+);
+id_type!(
+    /// Identifier of a user (physicist submitting jobs).
+    UserId,
+    u32
+);
+id_type!(
+    /// Identifier of a site (institution-level resource pool).
+    SiteId,
+    u16
+);
+id_type!(
+    /// Identifier of a DNS domain (".gov", ".de", … as in Table 2).
+    DomainId,
+    u16
+);
+id_type!(
+    /// Identifier of a submission node within a site.
+    NodeId,
+    u16
+);
+
+/// SAM data tiers (paper Section 2.2).
+///
+/// "raw" comes straight from the detector; "reconstructed" and "thumbnail"
+/// are outputs of reconstruction in two formats; "root-tuple" holds highly
+/// processed events; "other" aggregates the remaining tiers for which the
+/// paper reports only job-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataTier {
+    /// Data directly from the detector, stored in ~1 GB files.
+    Raw,
+    /// Reconstruction output, physics-ready format.
+    Reconstructed,
+    /// Reconstruction output in compact "thumbnail" format.
+    Thumbnail,
+    /// Highly processed events in ROOT format, input to analysis.
+    RootTuple,
+    /// Any other tier (Table 1's "Others" row).
+    Other,
+}
+
+impl DataTier {
+    /// All tiers, in the order the paper's tables list them.
+    pub const ALL: [DataTier; 5] = [
+        DataTier::Reconstructed,
+        DataTier::RootTuple,
+        DataTier::Thumbnail,
+        DataTier::Raw,
+        DataTier::Other,
+    ];
+
+    /// The tiers with detailed file-level traces (Table 1 rows 1–3).
+    pub const FILE_TRACED: [DataTier; 3] = [
+        DataTier::Reconstructed,
+        DataTier::RootTuple,
+        DataTier::Thumbnail,
+    ];
+
+    /// Stable lowercase name used by the on-disk format.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataTier::Raw => "raw",
+            DataTier::Reconstructed => "reconstructed",
+            DataTier::Thumbnail => "thumbnail",
+            DataTier::RootTuple => "root-tuple",
+            DataTier::Other => "other",
+        }
+    }
+
+    /// Parse the stable name back to a tier.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "raw" => DataTier::Raw,
+            "reconstructed" => DataTier::Reconstructed,
+            "thumbnail" => DataTier::Thumbnail,
+            "root-tuple" => DataTier::RootTuple,
+            "other" => DataTier::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for DataTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static metadata of one distinct file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size_bytes: u64,
+    /// The data tier the file belongs to.
+    pub tier: DataTier,
+}
+
+/// One job ("project"): an application run over a dataset.
+///
+/// The input file list lives in the trace's flattened `job_files` arena;
+/// `file_off..file_off+file_len` is this job's slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Submitting user.
+    pub user: UserId,
+    /// DNS domain of the submission node.
+    pub domain: DomainId,
+    /// Site (institution) of the submission node.
+    pub site: SiteId,
+    /// Submission node within the site.
+    pub node: NodeId,
+    /// Data tier the job processes.
+    pub tier: DataTier,
+    /// Job start time, seconds from the trace epoch.
+    pub start: u64,
+    /// Job stop time, seconds from the trace epoch (`>= start`).
+    pub stop: u64,
+    /// Offset of the job's file list in the flattened arena.
+    pub file_off: u32,
+    /// Number of input files.
+    pub file_len: u32,
+}
+
+impl JobRecord {
+    /// Job duration in seconds.
+    pub fn duration(&self) -> u64 {
+        self.stop - self.start
+    }
+
+    /// True if the job has file-level trace detail (Table 1 distinguishes
+    /// jobs with and without file traces).
+    pub fn has_file_trace(&self) -> bool {
+        self.file_len > 0
+    }
+}
+
+/// One file access in the replay stream: job `job` touched `file` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Access time (the job's start time), seconds from the epoch.
+    pub time: u64,
+    /// The accessing job.
+    pub job: JobId,
+    /// The accessed file.
+    pub file: FileId,
+}
+
+/// A complete workload trace in columnar layout.
+///
+/// Invariants (enforced by [`crate::builder::TraceBuilder`] and checked by
+/// [`Trace::validate`]):
+/// * jobs are sorted by `start` time (ties broken by insertion order);
+/// * each job's file list is sorted by `FileId` and duplicate-free;
+/// * every referenced id (file, user, site, domain) is in range;
+/// * `stop >= start` for every job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-file metadata, indexed by `FileId`.
+    pub(crate) files: Vec<FileMeta>,
+    /// All job records, sorted by start time.
+    pub(crate) jobs: Vec<JobRecord>,
+    /// Flattened per-job file lists.
+    pub(crate) job_files: Vec<FileId>,
+    /// Number of distinct users.
+    pub(crate) n_users: u32,
+    /// Number of distinct sites.
+    pub(crate) n_sites: u16,
+    /// Number of distinct domains.
+    pub(crate) n_domains: u16,
+    /// Domain names, indexed by `DomainId` (e.g. ".gov").
+    pub(crate) domain_names: Vec<String>,
+    /// Domain of each site, indexed by `SiteId`.
+    pub(crate) site_domains: Vec<DomainId>,
+}
+
+impl Trace {
+    /// Number of distinct files.
+    pub fn n_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of distinct users.
+    pub fn n_users(&self) -> usize {
+        self.n_users as usize
+    }
+
+    /// Number of distinct sites.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites as usize
+    }
+
+    /// Number of distinct DNS domains.
+    pub fn n_domains(&self) -> usize {
+        self.n_domains as usize
+    }
+
+    /// Total number of file accesses (sum of per-job file list lengths).
+    pub fn n_accesses(&self) -> usize {
+        self.job_files.len()
+    }
+
+    /// Metadata for `file`.
+    pub fn file(&self, file: FileId) -> &FileMeta {
+        &self.files[file.index()]
+    }
+
+    /// All file metadata, indexed by `FileId`.
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// Record for `job`.
+    pub fn job(&self, job: JobId) -> &JobRecord {
+        &self.jobs[job.index()]
+    }
+
+    /// All job records, sorted by start time.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// The sorted, duplicate-free input file list of `job`.
+    pub fn job_files(&self, job: JobId) -> &[FileId] {
+        let j = &self.jobs[job.index()];
+        &self.job_files[j.file_off as usize..(j.file_off + j.file_len) as usize]
+    }
+
+    /// Name of `domain` (e.g. ".gov").
+    pub fn domain_name(&self, domain: DomainId) -> &str {
+        &self.domain_names[domain.index()]
+    }
+
+    /// The domain a site belongs to.
+    pub fn site_domain(&self, site: SiteId) -> DomainId {
+        self.site_domains[site.index()]
+    }
+
+    /// Total bytes of a job's input set.
+    pub fn job_input_bytes(&self, job: JobId) -> u64 {
+        self.job_files(job)
+            .iter()
+            .map(|&f| self.file(f).size_bytes)
+            .sum()
+    }
+
+    /// Iterate all job ids in start-time order.
+    pub fn job_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        (0..self.jobs.len() as u32).map(JobId)
+    }
+
+    /// Iterate all file ids.
+    pub fn file_ids(&self) -> impl Iterator<Item = FileId> + '_ {
+        (0..self.files.len() as u32).map(FileId)
+    }
+
+    /// Replay stream: every file access in time order (jobs by start time,
+    /// files within a job in file-id order). This is the stream the cache
+    /// simulator consumes, matching the paper's request-ordered replay.
+    pub fn access_events(&self) -> impl Iterator<Item = AccessEvent> + '_ {
+        self.job_ids().flat_map(move |j| {
+            let rec = self.job(j);
+            self.job_files(j).iter().map(move |&f| AccessEvent {
+                time: rec.start,
+                job: j,
+                file: f,
+            })
+        })
+    }
+
+    /// The cache-replay stream: one event per file access, with each job's
+    /// accesses spread evenly over the job's runtime and the whole stream
+    /// sorted by time. This models what the SAM data-handling layer
+    /// actually sees — hundreds of concurrent jobs interleaving their file
+    /// requests — and is the stream the cache simulator replays. (By
+    /// contrast [`Trace::access_events`] emits each job's requests
+    /// atomically at its start time.)
+    /// Within a job the delivery order is a deterministic per-job shuffle
+    /// of its file list: SAM hands files to a project in storage-system
+    /// order, not catalog order, so consecutive requests from one job are
+    /// not biased towards the same filecule.
+    pub fn replay_events(&self) -> Vec<AccessEvent> {
+        let mut events = Vec::with_capacity(self.job_files.len());
+        for j in self.job_ids() {
+            let rec = self.job(j);
+            let files = self.job_files(j);
+            let n = files.len() as u64;
+            // Fisher-Yates with a SplitMix64 stream keyed by the job id.
+            let mut order: Vec<u32> = (0..files.len() as u32).collect();
+            let mut state = (u64::from(j.0) << 1) ^ 0x9E37_79B9_7F4A_7C15;
+            for i in (1..order.len()).rev() {
+                state = splitmix64(state);
+                order.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            for (k, &idx) in order.iter().enumerate() {
+                let t = rec.start + (k as u64 * rec.duration()) / n.max(1);
+                events.push(AccessEvent {
+                    time: t,
+                    job: j,
+                    file: files[idx as usize],
+                });
+            }
+        }
+        events.sort_unstable_by_key(|e| (e.time, e.job, e.file));
+        events
+    }
+
+    /// Trace horizon: the largest stop time, in seconds from the epoch.
+    pub fn horizon(&self) -> u64 {
+        self.jobs.iter().map(|j| j.stop).max().unwrap_or(0)
+    }
+
+    /// Number of times each file is requested (its popularity), indexed by
+    /// `FileId`.
+    pub fn file_request_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.files.len()];
+        for &f in &self.job_files {
+            counts[f.index()] += 1;
+        }
+        counts
+    }
+
+    /// Check every structural invariant; returns a list of violations
+    /// (empty means valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let mut prev_start = 0u64;
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.start < prev_start {
+                errors.push(format!("job {i} out of start-time order"));
+            }
+            prev_start = j.start;
+            if j.stop < j.start {
+                errors.push(format!("job {i} stops before it starts"));
+            }
+            if j.user.0 >= self.n_users {
+                errors.push(format!("job {i} references unknown user {}", j.user.0));
+            }
+            if j.site.0 >= self.n_sites {
+                errors.push(format!("job {i} references unknown site {}", j.site.0));
+            }
+            if j.domain.0 >= self.n_domains {
+                errors.push(format!("job {i} references unknown domain {}", j.domain.0));
+            }
+            let end = j.file_off as usize + j.file_len as usize;
+            if end > self.job_files.len() {
+                errors.push(format!("job {i} file slice out of bounds"));
+                continue;
+            }
+            let slice = &self.job_files[j.file_off as usize..end];
+            for w in slice.windows(2) {
+                if w[0] >= w[1] {
+                    errors.push(format!("job {i} file list not sorted/deduped"));
+                    break;
+                }
+            }
+            for &f in slice {
+                if f.index() >= self.files.len() {
+                    errors.push(format!("job {i} references unknown file {}", f.0));
+                    break;
+                }
+            }
+        }
+        if self.domain_names.len() != self.n_domains as usize {
+            errors.push("domain name table size mismatch".into());
+        }
+        if self.site_domains.len() != self.n_sites as usize {
+            errors.push("site domain table size mismatch".into());
+        }
+        for (s, d) in self.site_domains.iter().enumerate() {
+            if d.0 >= self.n_domains {
+                errors.push(format!("site {s} references unknown domain {}", d.0));
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn tiny_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let f0 = b.add_file(100 * MB, DataTier::Thumbnail);
+        let f1 = b.add_file(200 * MB, DataTier::Thumbnail);
+        let f2 = b.add_file(GB, DataTier::Raw);
+        let u = b.add_user();
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 10, 20, &[f1, f0, f1]);
+        b.add_job(u, s, NodeId(0), DataTier::Raw, 5, 30, &[f2]);
+        b.build().expect("valid trace")
+    }
+
+    #[test]
+    fn jobs_sorted_by_start() {
+        let t = tiny_trace();
+        assert_eq!(t.job(JobId(0)).start, 5);
+        assert_eq!(t.job(JobId(1)).start, 10);
+    }
+
+    #[test]
+    fn job_files_sorted_and_deduped() {
+        let t = tiny_trace();
+        // The thumbnail job was added with [f1, f0, f1].
+        let files = t.job_files(JobId(1));
+        assert_eq!(files, &[FileId(0), FileId(1)]);
+    }
+
+    #[test]
+    fn counts() {
+        let t = tiny_trace();
+        assert_eq!(t.n_files(), 3);
+        assert_eq!(t.n_jobs(), 2);
+        assert_eq!(t.n_accesses(), 3);
+        assert_eq!(t.n_users(), 1);
+        assert_eq!(t.n_sites(), 1);
+        assert_eq!(t.n_domains(), 1);
+    }
+
+    #[test]
+    fn input_bytes() {
+        let t = tiny_trace();
+        assert_eq!(t.job_input_bytes(JobId(1)), 300 * MB);
+        assert_eq!(t.job_input_bytes(JobId(0)), GB);
+    }
+
+    #[test]
+    fn access_events_in_time_order() {
+        let t = tiny_trace();
+        let ev: Vec<AccessEvent> = t.access_events().collect();
+        assert_eq!(ev.len(), 3);
+        for w in ev.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert_eq!(ev[0].file, FileId(2));
+    }
+
+    #[test]
+    fn request_counts() {
+        let t = tiny_trace();
+        assert_eq!(t.file_request_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn validate_clean() {
+        let t = tiny_trace();
+        assert!(t.validate().is_empty());
+    }
+
+    #[test]
+    fn horizon_is_max_stop() {
+        let t = tiny_trace();
+        assert_eq!(t.horizon(), 30);
+    }
+
+    #[test]
+    fn tier_names_roundtrip() {
+        for t in DataTier::ALL {
+            assert_eq!(DataTier::from_name(t.name()), Some(t));
+        }
+        assert_eq!(DataTier::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn duration() {
+        let j = JobRecord {
+            user: UserId(0),
+            domain: DomainId(0),
+            site: SiteId(0),
+            node: NodeId(0),
+            tier: DataTier::Other,
+            start: 100,
+            stop: 350,
+            file_off: 0,
+            file_len: 0,
+        };
+        assert_eq!(j.duration(), 250);
+        assert!(!j.has_file_trace());
+    }
+}

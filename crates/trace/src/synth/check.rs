@@ -1,0 +1,206 @@
+//! Calibration self-check: compare a generated trace against the paper's
+//! published targets, scaled.
+//!
+//! Used by tests, the report, and `filecules generate --check` to make
+//! calibration drift visible instead of silent.
+
+use crate::characterize;
+use crate::model::Trace;
+use crate::synth::calibration;
+use serde::{Deserialize, Serialize};
+
+/// One calibration comparison line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckLine {
+    /// What is being compared (e.g. "thumbnail jobs").
+    pub metric: String,
+    /// Measured value on the generated trace.
+    pub measured: f64,
+    /// The paper's value divided by the scale where applicable.
+    pub target: f64,
+    /// |measured - target| / target.
+    pub relative_error: f64,
+    /// Whether the line is within its tolerance.
+    pub ok: bool,
+}
+
+impl CheckLine {
+    fn new(metric: &str, measured: f64, target: f64, tolerance: f64) -> Self {
+        let relative_error = if target == 0.0 {
+            if measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (measured - target).abs() / target
+        };
+        Self {
+            metric: metric.to_owned(),
+            measured,
+            target,
+            relative_error,
+            ok: relative_error <= tolerance,
+        }
+    }
+}
+
+/// Full calibration report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// The scale divisor the targets were adjusted by.
+    pub scale: f64,
+    /// All comparison lines.
+    pub lines: Vec<CheckLine>,
+}
+
+impl CalibrationReport {
+    /// True when every line is within tolerance.
+    pub fn all_ok(&self) -> bool {
+        self.lines.iter().all(|l| l.ok)
+    }
+
+    /// The lines that failed.
+    pub fn failures(&self) -> Vec<&CheckLine> {
+        self.lines.iter().filter(|l| !l.ok).collect()
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "calibration check at scale 1/{} (target = paper value / scale):\n  \
+             {:<28} | {:>12} | {:>12} | rel.err | ok\n  \
+             {}-+--------------+--------------+---------+---\n",
+            self.scale,
+            "metric",
+            "measured",
+            "target",
+            "-".repeat(28)
+        );
+        for l in &self.lines {
+            out.push_str(&format!(
+                "  {:<28} | {:>12.1} | {:>12.1} | {:>6.1}% | {}\n",
+                l.metric,
+                l.measured,
+                l.target,
+                l.relative_error * 100.0,
+                if l.ok { "yes" } else { "NO" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compare `trace` (generated at `scale`) against the paper's targets.
+///
+/// Tolerances encode which statistics the generator is expected to hit
+/// tightly (job counts, durations: a few percent) and which are loose by
+/// design (distinct files, tail-tier input volumes: see EXPERIMENTS.md).
+pub fn check_calibration(trace: &Trace, scale: f64) -> CalibrationReport {
+    let mut lines = Vec::new();
+    let tiers = characterize::per_tier(trace);
+    for paper in &calibration::TABLE1 {
+        let name = paper.tier.name();
+        let Some(row) = tiers.iter().find(|r| r.tier == paper.tier) else {
+            lines.push(CheckLine::new(&format!("{name} present"), 0.0, 1.0, 0.0));
+            continue;
+        };
+        lines.push(CheckLine::new(
+            &format!("{name} jobs"),
+            row.jobs as f64,
+            paper.jobs as f64 / scale,
+            0.05,
+        ));
+        lines.push(CheckLine::new(
+            &format!("{name} h/job"),
+            row.hours_per_job,
+            paper.hours_per_job,
+            0.10,
+        ));
+        if let (Some(m), Some(t)) = (row.input_mb_per_job, paper.input_mb_per_job) {
+            // Root-tuple is a tiny, noisy tier (see EXPERIMENTS.md).
+            let tol = if name == "root-tuple" { 0.6 } else { 0.25 };
+            lines.push(CheckLine::new(&format!("{name} MB/job"), m, t, tol));
+        }
+        if let (Some(m), Some(t)) = (row.files, paper.files) {
+            // Distinct accessed files run low by design (popularity
+            // concentration); the check bounds the drift.
+            lines.push(CheckLine::new(
+                &format!("{name} distinct files"),
+                m as f64,
+                t as f64 / scale,
+                0.65,
+            ));
+        }
+    }
+    let all = characterize::overall(trace);
+    lines.push(CheckLine::new(
+        "total jobs",
+        all.jobs as f64,
+        calibration::TOTAL_JOBS as f64 / scale,
+        0.05,
+    ));
+    lines.push(CheckLine::new(
+        "overall h/job",
+        all.hours_per_job,
+        6.87,
+        0.05,
+    ));
+    lines.push(CheckLine::new(
+        "mean files/job",
+        characterize::mean_files_per_job(trace),
+        calibration::MEAN_FILES_PER_JOB,
+        0.15,
+    ));
+    CalibrationReport { scale, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SynthConfig, TraceSynthesizer};
+
+    #[test]
+    fn default_calibration_passes_at_scale_4() {
+        let trace = TraceSynthesizer::new(SynthConfig::paper(
+            hep_stats::rng::DEFAULT_SEED,
+            4.0,
+        ))
+        .generate();
+        let report = check_calibration(&trace, 4.0);
+        assert!(
+            report.all_ok(),
+            "calibration drifted:\n{}",
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(1)).generate();
+        let report = check_calibration(&trace, 400.0);
+        let text = report.to_text();
+        assert!(text.contains("thumbnail jobs"));
+        assert!(text.contains("mean files/job"));
+    }
+
+    #[test]
+    fn failures_listed() {
+        // A deliberately mis-scaled check must fail.
+        let trace = TraceSynthesizer::new(SynthConfig::small(2)).generate();
+        let report = check_calibration(&trace, 1.0); // wrong scale
+        assert!(!report.all_ok());
+        assert!(!report.failures().is_empty());
+    }
+
+    #[test]
+    fn check_line_math() {
+        let l = CheckLine::new("x", 110.0, 100.0, 0.2);
+        assert!((l.relative_error - 0.1).abs() < 1e-12);
+        assert!(l.ok);
+        let l2 = CheckLine::new("y", 200.0, 100.0, 0.2);
+        assert!(!l2.ok);
+        let l3 = CheckLine::new("z", 0.0, 0.0, 0.1);
+        assert!(l3.ok);
+    }
+}

@@ -1,0 +1,233 @@
+//! Dataset universe: the latent structure that gives rise to filecules.
+//!
+//! In SAM, a job runs over a *dataset* — a cataloged collection of files.
+//! Physicists rarely enumerate files by hand; they run standard selections
+//! ("views") over datasets. We model each dataset as a contiguous run of
+//! files cut into a few *blocks* at fixed boundaries; a job requests either
+//! the full dataset or a contiguous range of blocks. Because the cut points
+//! are properties of the dataset (not the job), the equivalence classes of
+//! "always requested together" — the filecules — are unions of blocks, and
+//! remain stable no matter how many jobs arrive. This mirrors the paper's
+//! observation that filecules are robust to intermediate accesses, unlike
+//! sequence-based groupings (Section 7).
+
+use crate::model::{DataTier, FileId};
+use rand::Rng;
+
+/// Identifier of a dataset in the synthetic universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatasetId(pub u32);
+
+/// One dataset: a contiguous range of universe files and its block cuts.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Tier all files of the dataset belong to.
+    pub tier: DataTier,
+    /// First file id of the contiguous range.
+    pub first_file: u32,
+    /// Number of files.
+    pub n_files: u32,
+    /// Block boundaries as offsets into the range: strictly increasing,
+    /// each in `1..n_files`. `k` boundaries make `k+1` blocks.
+    pub cuts: Vec<u32>,
+}
+
+impl Dataset {
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// File-offset range `[start, end)` of block `b`.
+    pub fn block_bounds(&self, b: usize) -> (u32, u32) {
+        let start = if b == 0 { 0 } else { self.cuts[b - 1] };
+        let end = if b == self.cuts.len() {
+            self.n_files
+        } else {
+            self.cuts[b]
+        };
+        (start, end)
+    }
+
+    /// The files of blocks `b0..=b1` as a `FileId` iterator.
+    pub fn block_range_files(&self, b0: usize, b1: usize) -> impl Iterator<Item = FileId> + '_ {
+        let (start, _) = self.block_bounds(b0);
+        let (_, end) = self.block_bounds(b1);
+        (self.first_file + start..self.first_file + end).map(FileId)
+    }
+
+    /// All files of the dataset.
+    pub fn all_files(&self) -> impl Iterator<Item = FileId> + '_ {
+        (self.first_file..self.first_file + self.n_files).map(FileId)
+    }
+}
+
+/// A job's requested view of a dataset: the full file list or a contiguous
+/// block range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum View {
+    /// The entire dataset.
+    Full,
+    /// Blocks `b0..=b1` (inclusive).
+    Blocks(usize, usize),
+}
+
+impl View {
+    /// Materialize the view as a file list.
+    pub fn files(self, ds: &Dataset) -> Vec<FileId> {
+        match self {
+            View::Full => ds.all_files().collect(),
+            View::Blocks(b0, b1) => ds.block_range_files(b0, b1).collect(),
+        }
+    }
+}
+
+/// Draw a view for a job: full with probability `p_full`, otherwise a short
+/// contiguous block range.
+pub fn sample_view<R: Rng>(ds: &Dataset, p_full: f64, rng: &mut R) -> View {
+    let nb = ds.n_blocks();
+    if nb == 1 || rng.gen::<f64>() < p_full {
+        return View::Full;
+    }
+    // Range length: geometric-ish, biased to single blocks.
+    let max_len = nb.div_ceil(2);
+    let mut len = 1usize;
+    while len < max_len && rng.gen::<f64>() < 0.35 {
+        len += 1;
+    }
+    let b0 = rng.gen_range(0..=nb - len);
+    View::Blocks(b0, b0 + len - 1)
+}
+
+/// Draw the block-cut offsets for a dataset of `n_files` files with
+/// `n_blocks` target blocks. Returns strictly increasing offsets in
+/// `1..n_files`; fewer cuts are returned when the dataset is too small.
+pub fn sample_cuts<R: Rng>(n_files: u32, n_blocks: usize, rng: &mut R) -> Vec<u32> {
+    if n_files <= 1 || n_blocks <= 1 {
+        return Vec::new();
+    }
+    let want = (n_blocks - 1).min(n_files as usize - 1);
+    let mut cuts = std::collections::BTreeSet::new();
+    // Rejection-free: sample until we have `want` distinct cuts; the space
+    // is at least as large as `want` by the clamp above.
+    while cuts.len() < want {
+        cuts.insert(rng.gen_range(1..n_files));
+    }
+    cuts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds(n_files: u32, cuts: Vec<u32>) -> Dataset {
+        Dataset {
+            tier: DataTier::Thumbnail,
+            first_file: 100,
+            n_files,
+            cuts,
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_dataset() {
+        let d = ds(10, vec![3, 7]);
+        assert_eq!(d.n_blocks(), 3);
+        assert_eq!(d.block_bounds(0), (0, 3));
+        assert_eq!(d.block_bounds(1), (3, 7));
+        assert_eq!(d.block_bounds(2), (7, 10));
+        let total: usize = (0..3)
+            .map(|b| {
+                let (a, e) = d.block_bounds(b);
+                (e - a) as usize
+            })
+            .sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn view_full_covers_everything() {
+        let d = ds(5, vec![2]);
+        let files = View::Full.files(&d);
+        assert_eq!(files.len(), 5);
+        assert_eq!(files[0], FileId(100));
+        assert_eq!(files[4], FileId(104));
+    }
+
+    #[test]
+    fn view_block_range_is_contiguous() {
+        let d = ds(10, vec![3, 7]);
+        let files = View::Blocks(1, 2).files(&d);
+        let ids: Vec<u32> = files.iter().map(|f| f.0).collect();
+        assert_eq!(ids, (103..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_block_dataset_always_full_view() {
+        let d = ds(4, vec![]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_view(&d, 0.0, &mut rng), View::Full);
+        }
+    }
+
+    #[test]
+    fn p_full_one_always_full() {
+        let d = ds(10, vec![5]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_view(&d, 1.0, &mut rng), View::Full);
+        }
+    }
+
+    #[test]
+    fn sampled_views_within_bounds() {
+        let d = ds(20, vec![4, 9, 14]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            match sample_view(&d, 0.3, &mut rng) {
+                View::Full => {}
+                View::Blocks(a, b) => {
+                    assert!(a <= b && b < d.n_blocks());
+                    let files = View::Blocks(a, b).files(&d);
+                    assert!(!files.is_empty());
+                    assert!(files.len() <= 20);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_are_sorted_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let n = rng.gen_range(2u32..200);
+            let b = rng.gen_range(2usize..8);
+            let cuts = sample_cuts(n, b, &mut rng);
+            assert!(cuts.len() < b);
+            for w in cuts.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &c in &cuts {
+                assert!(c >= 1 && c < n);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_get_no_cuts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample_cuts(1, 4, &mut rng).is_empty());
+        assert!(sample_cuts(0, 4, &mut rng).is_empty());
+        assert!(sample_cuts(10, 1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn cuts_clamped_by_file_count() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cuts = sample_cuts(3, 8, &mut rng);
+        assert_eq!(cuts.len(), 2); // at most n_files - 1
+    }
+}

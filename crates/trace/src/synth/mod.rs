@@ -1,0 +1,694 @@
+//! Calibrated synthetic DZero/SAM workload generator.
+//!
+//! This module is the substitution for the paper's proprietary traces (see
+//! DESIGN.md). [`SynthConfig::paper`] carries defaults calibrated against
+//! every published statistic; [`TraceSynthesizer::generate`] turns a config
+//! into a [`Trace`]. Generation is deterministic given the seed.
+//!
+//! The latent model, bottom up:
+//!
+//! * **datasets** ([`datasets`]) — contiguous runs of files cut into blocks;
+//!   jobs request the full dataset or a contiguous block range, so the
+//!   "always requested together" classes (filecules) are stable unions of
+//!   blocks;
+//! * **popularity** — dataset choice is Zipf–Mandelbrot with a large shift,
+//!   reproducing the paper's *flattened, non-Zipf* popularity (Section 3.2);
+//!   a fraction of requests use a per-domain rotation of the rank space,
+//!   reproducing geographic partitioning of interest;
+//! * **users** — per-domain pools sized by Table 2, with Zipf activity and
+//!   per-tier affinities sized by Table 1; users preferentially re-request
+//!   datasets they have used before ("scientists repeatedly request the
+//!   same file", Section 3.2);
+//! * **time** ([`arrivals`]) — ramping, weekly-modulated arrival process
+//!   over the 820-day window and lognormal per-tier durations.
+
+pub mod arrivals;
+pub mod calibration;
+pub mod check;
+pub mod datasets;
+
+use crate::builder::TraceBuilder;
+use crate::model::{DataTier, DomainId, NodeId, SiteId, Trace, UserId, MB};
+use arrivals::{ArrivalModel, DurationModel};
+use datasets::{sample_cuts, sample_view, Dataset};
+use hep_stats::empirical::EmpiricalDiscrete;
+use hep_stats::lognormal::TruncatedLogNormal;
+use hep_stats::rng::SeedStream;
+use hep_stats::zipf::Zipf;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Per-tier generation parameters. Counts are *unscaled* (paper scale);
+/// [`SynthConfig::scale`] divides them.
+#[derive(Debug, Clone)]
+pub struct TierParams {
+    /// The tier.
+    pub tier: DataTier,
+    /// Job count at paper scale (Table 1).
+    pub jobs: u64,
+    /// Target distinct-file count at paper scale (Table 1).
+    pub target_files: u64,
+    /// Median files per dataset (log-space body).
+    pub dataset_files_median: f64,
+    /// Log-space sigma of files per dataset.
+    pub dataset_files_sigma: f64,
+    /// Upper truncation of files per dataset.
+    pub dataset_files_max: f64,
+    /// Median file size in MB.
+    pub file_size_mb_median: f64,
+    /// Log-space sigma of file size.
+    pub file_size_mb_sigma: f64,
+    /// Lower truncation of file size (MB).
+    pub file_size_mb_min: f64,
+    /// Upper truncation of file size (MB).
+    pub file_size_mb_max: f64,
+    /// Mean job duration in hours (Table 1).
+    pub mean_hours: f64,
+    /// Fraction of all users active in this tier (Table 1 users / 561).
+    pub user_fraction: f64,
+}
+
+/// Full generator configuration. Start from [`SynthConfig::paper`] and
+/// override fields as needed; [`SynthConfig::small`] is a fast variant for
+/// tests.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+    /// Divides job and dataset counts (16 = default experiment scale).
+    pub scale: f64,
+    /// Divides per-domain user counts (1 = keep the paper's 561 users, which
+    /// preserves the Figure 4 users-per-filecule shape).
+    pub user_scale: f64,
+    /// Trace window in days.
+    pub days: u64,
+    /// Probability a job requests the full dataset rather than a block range.
+    pub p_full_view: f64,
+    /// Probability a user re-requests a dataset from their history.
+    pub p_repeat_dataset: f64,
+    /// Probability a fresh dataset draw uses the domain-rotated rank space
+    /// (geographic locality) rather than the global one.
+    pub p_local_interest: f64,
+    /// Fraction of the rank space each successive domain's interest is
+    /// rotated by.
+    pub locality_spread: f64,
+    /// Zipf–Mandelbrot exponent of dataset popularity.
+    pub popularity_exponent: f64,
+    /// Zipf–Mandelbrot shift (larger = flatter head = less Zipf-like).
+    pub popularity_shift: f64,
+    /// Zipf exponent of user activity within a domain pool.
+    pub user_activity_exponent: f64,
+    /// Arrival ramp: activity multiplier gained over the window.
+    pub growth: f64,
+    /// Weekend damping factor for arrivals.
+    pub weekend_factor: f64,
+    /// Day-to-day lognormal jitter sigma.
+    pub jitter_sigma: f64,
+    /// Log-space sigma of job durations.
+    pub duration_sigma: f64,
+    /// Number of per-user history slots for repeat draws.
+    pub history_cap: usize,
+    /// Mean jobs per campaign (a user's burst of jobs on one dataset).
+    pub campaign_mean_jobs: f64,
+    /// Hard cap on campaign length.
+    pub campaign_max_jobs: usize,
+    /// Mean gap between consecutive jobs of a campaign, in days.
+    pub campaign_gap_days: f64,
+    /// Weights over dataset block counts `(blocks, weight)`.
+    pub block_count_weights: Vec<(usize, f64)>,
+    /// File-traced tier parameters.
+    pub tiers: Vec<TierParams>,
+    /// Generate Table 1's "Others" jobs (no file detail)?
+    pub include_other_jobs: bool,
+    /// "Others" job count at paper scale.
+    pub other_jobs: u64,
+    /// "Others" mean duration (hours).
+    pub other_mean_hours: f64,
+    /// Fraction of users active in "Others".
+    pub other_user_fraction: f64,
+}
+
+impl SynthConfig {
+    /// The paper-calibrated configuration at the given scale.
+    ///
+    /// `scale` divides job, dataset and file counts. The default
+    /// experiment scale used throughout EXPERIMENTS.md is 4.
+    pub fn paper(seed: u64, scale: f64) -> Self {
+        use calibration as cal;
+        assert!(scale >= 1.0, "scale must be >= 1");
+        let t1 = &cal::TABLE1;
+        let users_total = cal::TOTAL_USERS as f64;
+        let tier = |i: usize,
+                    ds_median: f64,
+                    size_median: f64,
+                    size_max: f64| TierParams {
+            tier: t1[i].tier,
+            jobs: t1[i].jobs,
+            target_files: t1[i].files.unwrap(),
+            dataset_files_median: ds_median,
+            dataset_files_sigma: 1.25,
+            dataset_files_max: 4000.0,
+            file_size_mb_median: size_median,
+            file_size_mb_sigma: 0.5,
+            file_size_mb_min: 10.0,
+            file_size_mb_max: size_max,
+            mean_hours: t1[i].hours_per_job,
+            user_fraction: t1[i].users as f64 / users_total,
+        };
+        Self {
+            seed,
+            scale,
+            user_scale: 1.0,
+            days: cal::TRACE_DAYS,
+            p_full_view: 0.55,
+            p_repeat_dataset: 0.60,
+            p_local_interest: 0.5,
+            locality_spread: 0.13,
+            popularity_exponent: 1.0,
+            popularity_shift: 6.0,
+            user_activity_exponent: 1.3,
+            growth: 1.2,
+            weekend_factor: 0.55,
+            jitter_sigma: 0.35,
+            duration_sigma: 0.6,
+            history_cap: 24,
+            campaign_mean_jobs: 2.2,
+            campaign_max_jobs: 16,
+            campaign_gap_days: 2.0,
+            // Mean ~12.3 blocks per dataset: with ~150-file datasets and
+            // popularity-weighted splitting this realizes ~10 files per
+            // filecule, matching Table 2's ratio (945k files over 95k
+            // filecules ≈ 10).
+            block_count_weights: vec![
+                (2, 0.05),
+                (4, 0.10),
+                (8, 0.25),
+                (12, 0.25),
+                (16, 0.20),
+                (24, 0.15),
+            ],
+            tiers: vec![
+                // Reconstructed: 36.4 GB/job; ~105 files/job => ~350 MB mean.
+                tier(0, 78.0, 300.0, 1024.0),
+                // Root-tuple: 83.0 GB/job; ~140 files/job => ~590 MB mean.
+                tier(1, 85.0, 600.0, 3072.0),
+                // Thumbnail: 53.6 GB/job; ~105 files/job => ~510 MB mean.
+                tier(2, 71.0, 480.0, 2048.0),
+            ],
+            include_other_jobs: true,
+            other_jobs: t1[3].jobs,
+            other_mean_hours: t1[3].hours_per_job,
+            other_user_fraction: t1[3].users as f64 / users_total,
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests: heavy scale
+    /// reduction on jobs *and* users, short window.
+    pub fn small(seed: u64) -> Self {
+        let mut c = Self::paper(seed, 400.0);
+        c.user_scale = 8.0;
+        c.days = 120;
+        c
+    }
+}
+
+/// Internal per-user state.
+struct UserState {
+    domain: DomainId,
+    /// Per-tier affinity flags, indexed by tier slot.
+    tier_ok: [bool; 4],
+    /// Request history per file-traced tier slot.
+    history: [Vec<u32>; 3],
+}
+
+/// Generates a [`Trace`] from a [`SynthConfig`]. See the module docs for
+/// the latent model.
+///
+/// ```
+/// use hep_trace::{SynthConfig, TraceSynthesizer};
+///
+/// let trace = TraceSynthesizer::new(SynthConfig::small(42)).generate();
+/// assert!(trace.validate().is_empty());
+/// // Deterministic: the same seed regenerates the same trace.
+/// let again = TraceSynthesizer::new(SynthConfig::small(42)).generate();
+/// assert_eq!(trace.n_accesses(), again.n_accesses());
+/// ```
+pub struct TraceSynthesizer {
+    cfg: SynthConfig,
+}
+
+/// Tier slot indices: the three file-traced tiers then "other".
+pub fn tier_slot(t: DataTier) -> usize {
+    match t {
+        DataTier::Reconstructed => 0,
+        DataTier::RootTuple => 1,
+        DataTier::Thumbnail => 2,
+        _ => 3,
+    }
+}
+
+impl TraceSynthesizer {
+    /// Wrap a configuration.
+    pub fn new(cfg: SynthConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// Generate the trace. Deterministic given the config.
+    pub fn generate(&self) -> Trace {
+        let cfg = &self.cfg;
+        let seeds = SeedStream::new(cfg.seed);
+        let mut builder = TraceBuilder::new();
+
+        // ---- Topology: domains, sites, nodes (Table 2). ----
+        let mut domain_sites: Vec<Vec<SiteId>> = Vec::new();
+        let mut domain_nodes: Vec<Vec<(NodeId, SiteId)>> = Vec::new();
+        for row in &calibration::TABLE2 {
+            let d = builder.add_domain(row.name);
+            let sites: Vec<SiteId> = (0..row.sites).map(|_| builder.add_site(d)).collect();
+            // Nodes are distributed round-robin over the domain's sites.
+            let nodes: Vec<(NodeId, SiteId)> = (0..row.nodes)
+                .map(|n| (NodeId(n), sites[n as usize % sites.len()]))
+                .collect();
+            domain_sites.push(sites);
+            domain_nodes.push(nodes);
+        }
+
+        // ---- Users (Table 2 pools, Table 1 tier affinities). ----
+        let mut affinity_rng = seeds.rng("user-affinity");
+        let mut users: Vec<UserState> = Vec::new();
+        let mut domain_users: Vec<Vec<UserId>> = vec![Vec::new(); calibration::TABLE2.len()];
+        let fractions = [
+            cfg.tiers[0].user_fraction,
+            cfg.tiers[1].user_fraction,
+            cfg.tiers[2].user_fraction,
+            cfg.other_user_fraction,
+        ];
+        for (di, row) in calibration::TABLE2.iter().enumerate() {
+            let n = ((row.users as f64 / cfg.user_scale).round() as u32).max(1);
+            for _ in 0..n {
+                let u = builder.add_user();
+                let mut tier_ok = [false; 4];
+                for (s, &f) in fractions.iter().enumerate() {
+                    tier_ok[s] = affinity_rng.gen::<f64>() < f;
+                }
+                if !tier_ok.iter().any(|&b| b) {
+                    // Everyone does at least thumbnails (the most common tier).
+                    tier_ok[2] = true;
+                }
+                users.push(UserState {
+                    domain: DomainId(di as u16),
+                    tier_ok,
+                    history: [Vec::new(), Vec::new(), Vec::new()],
+                });
+                domain_users[di].push(u);
+            }
+        }
+        // Zipf activity weights inside each domain pool.
+        let domain_user_weights: Vec<Vec<f64>> = domain_users
+            .iter()
+            .map(|pool| {
+                (0..pool.len())
+                    .map(|r| 1.0 / (r as f64 + 1.0).powf(cfg.user_activity_exponent))
+                    .collect()
+            })
+            .collect();
+
+        // ---- Dataset universe + files. ----
+        let mut datasets: Vec<Dataset> = Vec::new();
+        let mut tier_datasets: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        let block_weights: Vec<f64> =
+            cfg.block_count_weights.iter().map(|&(_, w)| w).collect();
+        let block_choices: Vec<usize> =
+            cfg.block_count_weights.iter().map(|&(b, _)| b).collect();
+        let block_picker = EmpiricalDiscrete::new(&block_weights);
+        for (slot, tp) in cfg.tiers.iter().enumerate() {
+            let mut rng = seeds.rng(&format!("datasets-{}", tp.tier.name()));
+            let files_dist = TruncatedLogNormal::from_median(
+                tp.dataset_files_median,
+                tp.dataset_files_sigma,
+                1.0,
+                tp.dataset_files_max,
+            );
+            let size_dist = TruncatedLogNormal::from_median(
+                tp.file_size_mb_median,
+                tp.file_size_mb_sigma,
+                tp.file_size_mb_min,
+                tp.file_size_mb_max,
+            );
+            let mean_ds_files = tp.dataset_files_median
+                * (tp.dataset_files_sigma * tp.dataset_files_sigma / 2.0).exp();
+            let n_datasets = ((tp.target_files as f64 / cfg.scale / mean_ds_files).round()
+                as usize)
+                .max(1);
+            for _ in 0..n_datasets {
+                let n_files = files_dist.sample(&mut rng).round().max(1.0) as u32;
+                let first_file = builder.n_files() as u32;
+                for _ in 0..n_files {
+                    let mb = size_dist.sample(&mut rng);
+                    builder.add_file((mb * MB as f64) as u64, tp.tier);
+                }
+                let blocks = block_choices[block_picker.sample(&mut rng)];
+                let cuts = sample_cuts(n_files, blocks, &mut rng);
+                let id = datasets.len() as u32;
+                datasets.push(Dataset {
+                    tier: tp.tier,
+                    first_file,
+                    n_files,
+                    cuts,
+                });
+                tier_datasets[slot].push(id);
+            }
+        }
+
+        // ---- Popularity: shuffled rank->dataset maps per tier. ----
+        let mut perm_rng = seeds.rng("popularity-permutation");
+        let tier_perms: Vec<Vec<u32>> = tier_datasets
+            .iter()
+            .map(|ids| {
+                let mut p = ids.clone();
+                p.shuffle(&mut perm_rng);
+                p
+            })
+            .collect();
+        let tier_popularity: Vec<Zipf> = tier_datasets
+            .iter()
+            .map(|ids| {
+                Zipf::mandelbrot(
+                    ids.len().max(1),
+                    cfg.popularity_exponent,
+                    cfg.popularity_shift,
+                )
+            })
+            .collect();
+
+        // ---- Temporal models. ----
+        let mut arrivals_rng = seeds.rng("arrivals");
+        let arrivals = ArrivalModel::new(
+            cfg.days,
+            cfg.growth,
+            cfg.weekend_factor,
+            cfg.jitter_sigma,
+            &mut arrivals_rng,
+        );
+        let durations: Vec<DurationModel> = cfg
+            .tiers
+            .iter()
+            .map(|tp| DurationModel::new(tp.mean_hours, cfg.duration_sigma))
+            .collect();
+        let other_duration = DurationModel::new(cfg.other_mean_hours, cfg.duration_sigma);
+
+        // ---- Domain chooser (Table 2 weights). ----
+        let domain_weights: Vec<f64> = calibration::TABLE2
+            .iter()
+            .map(|r| r.jobs_weight as f64)
+            .collect();
+        let domain_picker = EmpiricalDiscrete::new(&domain_weights);
+
+        // ---- Job generation. ----
+        let mut job_rng = seeds.rng("jobs");
+        let mut user_index: HashMap<(u16, usize), Vec<usize>> = HashMap::new();
+        for (ui, u) in users.iter().enumerate() {
+            for slot in 0..4 {
+                if u.tier_ok[slot] {
+                    user_index.entry((u.domain.0, slot)).or_default().push(ui);
+                }
+            }
+        }
+
+        // Jobs are generated as *campaigns*: a user picks a dataset and
+        // submits a burst of jobs on it over a few days. Campaigns give
+        // the trace the temporal locality real analysis work has (the
+        // paper's case-study filecule accumulates 634 jobs from 42 users
+        // in such bursts) and are what lets file-granularity caching
+        // capture any reuse at all.
+        let horizon_secs = cfg.days * hep_stats::timeseries::SECS_PER_DAY;
+        let pick_user = |di: usize,
+                         slot: usize,
+                         rng: &mut rand::rngs::StdRng,
+                         user_index: &HashMap<(u16, usize), Vec<usize>>|
+         -> usize {
+            match user_index.get(&(di as u16, slot)) {
+                Some(pool) if !pool.is_empty() => {
+                    pool[weighted_rank(pool.len(), cfg.user_activity_exponent, rng)]
+                }
+                _ => {
+                    let pool = &domain_users[di];
+                    pool[weighted_rank(pool.len(), cfg.user_activity_exponent, rng)].index()
+                }
+            }
+        };
+        let _ = &domain_user_weights; // activity skew realized via weighted_rank
+
+        for (slot, tp) in cfg.tiers.iter().enumerate() {
+            let mut remaining = ((tp.jobs as f64 / cfg.scale).round() as usize).max(1);
+            let n_ds = tier_datasets[slot].len();
+            while remaining > 0 {
+                let di = domain_picker.sample(&mut job_rng);
+                let ui = pick_user(di, slot, &mut job_rng, &user_index);
+                let user_id = UserId(ui as u32);
+                let (node, site) = {
+                    let nodes = &domain_nodes[di];
+                    nodes[job_rng.gen_range(0..nodes.len())]
+                };
+                // Dataset: repeat from the user's history, or a fresh
+                // popularity draw (optionally through the domain-rotated
+                // rank space — geographic locality of interest).
+                let hist = &users[ui].history[slot];
+                let ds_id = if !hist.is_empty() && job_rng.gen::<f64>() < cfg.p_repeat_dataset
+                {
+                    hist[job_rng.gen_range(0..hist.len())]
+                } else {
+                    let rank = tier_popularity[slot].sample(&mut job_rng);
+                    let rank = if job_rng.gen::<f64>() < cfg.p_local_interest {
+                        let off = (di as f64 * cfg.locality_spread * n_ds as f64) as usize;
+                        (rank + off) % n_ds
+                    } else {
+                        rank
+                    };
+                    let id = tier_perms[slot][rank];
+                    let h = &mut users[ui].history[slot];
+                    if h.len() >= cfg.history_cap {
+                        let drop = job_rng.gen_range(0..h.len());
+                        h.swap_remove(drop);
+                    }
+                    h.push(id);
+                    id
+                };
+                let ds = &datasets[ds_id as usize];
+
+                // Campaign length: geometric with the configured mean.
+                let p = 1.0 / cfg.campaign_mean_jobs.max(1.0);
+                let u: f64 = job_rng.gen();
+                let geom = 1 + ((1.0 - u).ln() / (1.0 - p).ln()) as usize;
+                let len = geom.min(cfg.campaign_max_jobs).min(remaining).max(1);
+
+                let mut t = arrivals.sample_start(&mut job_rng);
+                for _ in 0..len {
+                    let view = sample_view(ds, cfg.p_full_view, &mut job_rng);
+                    let files = view.files(ds);
+                    let stop = t + durations[slot].sample_secs(&mut job_rng);
+                    builder.add_job(user_id, site, node, tp.tier, t, stop, &files);
+                    // Exponential gap to the campaign's next job.
+                    let gap = (hep_stats::Exp::new(
+                        cfg.campaign_gap_days * hep_stats::timeseries::SECS_PER_DAY as f64,
+                    )
+                    .sample(&mut job_rng)) as u64;
+                    t = (t + gap.max(60)).min(horizon_secs.saturating_sub(1));
+                }
+                remaining -= len;
+            }
+        }
+
+        // "Others" jobs carry no file detail; generate them independently.
+        if cfg.include_other_jobs {
+            let n = ((cfg.other_jobs as f64 / cfg.scale).round() as usize).max(1);
+            for _ in 0..n {
+                let di = domain_picker.sample(&mut job_rng);
+                let ui = pick_user(di, 3, &mut job_rng, &user_index);
+                let (node, site) = {
+                    let nodes = &domain_nodes[di];
+                    nodes[job_rng.gen_range(0..nodes.len())]
+                };
+                let start = arrivals.sample_start(&mut job_rng);
+                let stop = start + other_duration.sample_secs(&mut job_rng);
+                builder.add_job(UserId(ui as u32), site, node, DataTier::Other, start, stop, &[]);
+            }
+        }
+
+        builder.build().expect("synthesizer produces valid traces")
+    }
+}
+
+/// Draw an index in `0..n` with Zipf(`s`) weights via inverse-CDF on the
+/// fly (approximation adequate for user-activity skew): draw u, return
+/// `floor(n * u^(1/(1-s)))`-style bounded power draw.
+fn weighted_rank<R: Rng>(n: usize, s: f64, rng: &mut R) -> usize {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // Sample from a continuous bounded Pareto-like density f(x) ∝ x^-s on
+    // [1, n+1) and map to 0-based rank.
+    let u: f64 = rng.gen();
+    let x = if (s - 1.0).abs() < 1e-9 {
+        ((n as f64 + 1.0).ln() * u).exp()
+    } else {
+        let a = 1.0 - s;
+        (1.0 + u * ((n as f64 + 1.0).powf(a) - 1.0)).powf(1.0 / a)
+    };
+    ((x.floor() as usize).saturating_sub(1)).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_stats::summary::Summary;
+    use hep_stats::timeseries::SECS_PER_DAY;
+
+    fn small_trace() -> Trace {
+        TraceSynthesizer::new(SynthConfig::small(7)).generate()
+    }
+
+    #[test]
+    fn generates_valid_trace() {
+        let t = small_trace();
+        assert!(t.validate().is_empty());
+        assert!(t.n_jobs() > 100);
+        assert!(t.n_files() > 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TraceSynthesizer::new(SynthConfig::small(11)).generate();
+        let b = TraceSynthesizer::new(SynthConfig::small(11)).generate();
+        assert_eq!(a.n_jobs(), b.n_jobs());
+        assert_eq!(a.n_files(), b.n_files());
+        assert_eq!(a.n_accesses(), b.n_accesses());
+        for j in a.job_ids() {
+            assert_eq!(a.job(j), b.job(j));
+            assert_eq!(a.job_files(j), b.job_files(j));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceSynthesizer::new(SynthConfig::small(1)).generate();
+        let b = TraceSynthesizer::new(SynthConfig::small(2)).generate();
+        // Extremely unlikely to coincide.
+        let sig_a: Vec<u64> = a.jobs().iter().take(50).map(|j| j.start).collect();
+        let sig_b: Vec<u64> = b.jobs().iter().take(50).map(|j| j.start).collect();
+        assert_ne!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn job_mix_matches_table1_proportions() {
+        let t = small_trace();
+        let mut counts = [0usize; 4];
+        for j in t.jobs() {
+            counts[tier_slot(j.tier)] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        // Thumbnail ~40%, Other ~52%, Reconstructed ~7.6% of jobs.
+        let thumb = counts[2] as f64 / total as f64;
+        let other = counts[3] as f64 / total as f64;
+        assert!((thumb - 0.403).abs() < 0.05, "thumbnail fraction {thumb}");
+        assert!((other - 0.515).abs() < 0.05, "other fraction {other}");
+    }
+
+    #[test]
+    fn mean_files_per_job_near_108() {
+        // Use a moderately sized config for a tighter estimate.
+        let mut cfg = SynthConfig::paper(3, 100.0);
+        cfg.user_scale = 4.0;
+        let t = TraceSynthesizer::new(cfg).generate();
+        let s = Summary::from_iter(
+            t.job_ids()
+                .filter(|&j| t.job(j).has_file_trace())
+                .map(|j| t.job_files(j).len() as f64),
+        );
+        assert!(
+            (s.mean() - 108.0).abs() / 108.0 < 0.35,
+            "mean files/job = {}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn other_jobs_have_no_files() {
+        let t = small_trace();
+        for j in t.job_ids() {
+            if t.job(j).tier == DataTier::Other {
+                assert!(t.job_files(j).is_empty());
+            } else {
+                assert!(!t.job_files(j).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn starts_within_window() {
+        let t = small_trace();
+        let horizon = SynthConfig::small(7).days * SECS_PER_DAY;
+        for j in t.jobs() {
+            assert!(j.start < horizon);
+        }
+    }
+
+    #[test]
+    fn gov_dominates_submissions() {
+        let t = small_trace();
+        let gov = t
+            .jobs()
+            .iter()
+            .filter(|j| t.domain_name(j.domain) == ".gov")
+            .count();
+        let f = gov as f64 / t.n_jobs() as f64;
+        assert!(f > 0.75, "gov fraction {f}");
+    }
+
+    #[test]
+    fn file_sizes_respect_tier_caps() {
+        let t = small_trace();
+        for f in t.files() {
+            let mb = f.size_bytes as f64 / MB as f64;
+            assert!(mb >= 9.0, "file too small: {mb} MB");
+            match f.tier {
+                DataTier::Reconstructed => assert!(mb <= 1025.0),
+                DataTier::RootTuple => assert!(mb <= 3073.0),
+                DataTier::Thumbnail => assert!(mb <= 2049.0),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rank_in_bounds_and_skewed() {
+        let mut rng = hep_stats::rng::seeded_rng(9);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            let r = weighted_rank(10, 1.3, &mut rng);
+            assert!(r < 10);
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_rank_single() {
+        let mut rng = hep_stats::rng::seeded_rng(10);
+        assert_eq!(weighted_rank(1, 1.3, &mut rng), 0);
+    }
+
+    #[test]
+    fn users_reused_across_jobs() {
+        let t = small_trace();
+        // Far fewer users than jobs => repeat submissions happen.
+        assert!(t.n_users() < t.n_jobs() / 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Trace-wide concurrency profiles.
+//!
+//! For every filecule: how many users/sites ever touch it, and how many
+//! hold it *simultaneously* — under the paper's optimistic interval
+//! assumption and under a finite retention window (the paper notes its
+//! intervals "are in fact not continuous", so the windowed notion bounds
+//! the optimism).
+
+use crate::intervals::{peak_overlap, AccessInterval};
+use filecule_core::{FileculeId, FileculeSet};
+use hep_trace::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Concurrency summary of one filecule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrencyStat {
+    /// The filecule.
+    pub filecule: u32,
+    /// Bytes of the filecule.
+    pub bytes: u64,
+    /// Jobs that requested it.
+    pub jobs: u32,
+    /// Distinct users.
+    pub users: u32,
+    /// Distinct sites.
+    pub sites: u32,
+    /// Peak simultaneous users under the optimistic interval assumption.
+    pub peak_users_interval: u32,
+    /// Peak simultaneous users when data is retained only `window` seconds
+    /// after each request.
+    pub peak_users_windowed: u32,
+}
+
+/// Compute [`ConcurrencyStat`] for every filecule, with retention window
+/// `window_secs` for the pessimistic notion. One pass over the trace to
+/// collect per-filecule request lists, then a parallel per-filecule sweep.
+pub fn filecule_concurrency(
+    trace: &Trace,
+    set: &FileculeSet,
+    window_secs: u64,
+) -> Vec<ConcurrencyStat> {
+    // Per-filecule (time, user, site, job) request tuples; the job id
+    // makes per-job deduplication exact even when a job's (sorted-by-id)
+    // file list interleaves members of several filecules.
+    let mut requests: Vec<Vec<(u64, u32, u16, u32)>> = vec![Vec::new(); set.n_filecules()];
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        let mut last: Option<FileculeId> = None;
+        for &f in trace.job_files(j) {
+            if let Some(g) = set.filecule_of(f) {
+                if last != Some(g) {
+                    requests[g.index()].push((rec.start, rec.user.0, rec.site.0, j.0));
+                    last = Some(g);
+                }
+            }
+        }
+    }
+    requests
+        .par_iter_mut()
+        .enumerate()
+        .map(|(gi, tuples)| {
+            tuples.sort_unstable_by_key(|t| t.3);
+            tuples.dedup_by_key(|t| t.3);
+            let mut reqs: Vec<(u64, u32, u16)> =
+                tuples.iter().map(|&(t, u, s, _)| (t, u, s)).collect();
+            reqs.sort_unstable();
+            let g = FileculeId(gi as u32);
+            let mut users: Vec<u32> = reqs.iter().map(|r| r.1).collect();
+            users.sort_unstable();
+            users.dedup();
+            let mut sites: Vec<u16> = reqs.iter().map(|r| r.2).collect();
+            sites.sort_unstable();
+            sites.dedup();
+
+            // Optimistic per-user intervals.
+            let mut by_user: std::collections::HashMap<u32, AccessInterval> =
+                std::collections::HashMap::new();
+            for &(t, u, _) in reqs.iter() {
+                let e = by_user.entry(u).or_insert(AccessInterval {
+                    entity: u,
+                    first: t,
+                    last: t,
+                    jobs: 0,
+                });
+                e.first = e.first.min(t);
+                e.last = e.last.max(t);
+                e.jobs += 1;
+            }
+            let ivs: Vec<AccessInterval> = by_user.values().copied().collect();
+            let peak_interval = peak_overlap(&ivs);
+
+            // Windowed: each request keeps the data for `window_secs`;
+            // count peak distinct users with an open window.
+            let windowed: Vec<AccessInterval> = reqs
+                .iter()
+                .map(|&(t, u, _)| AccessInterval {
+                    entity: u,
+                    first: t,
+                    last: t + window_secs,
+                    jobs: 1,
+                })
+                .collect();
+            let peak_windowed = peak_distinct_users(&windowed);
+
+            ConcurrencyStat {
+                filecule: g.0,
+                bytes: set.size_bytes(g),
+                jobs: reqs.len() as u32,
+                users: users.len() as u32,
+                sites: sites.len() as u32,
+                peak_users_interval: peak_interval,
+                peak_users_windowed: peak_windowed,
+            }
+        })
+        .collect()
+}
+
+/// Peak number of *distinct* entities with an open interval (an entity
+/// with several overlapping windows counts once).
+fn peak_distinct_users(intervals: &[AccessInterval]) -> u32 {
+    let mut events: Vec<(u64, i32, u32)> = Vec::with_capacity(intervals.len() * 2);
+    for i in intervals {
+        events.push((i.first, 1, i.entity));
+        events.push((i.last + 1, -1, i.entity));
+    }
+    events.sort_unstable();
+    let mut open: std::collections::HashMap<u32, i32> = std::collections::HashMap::new();
+    let mut distinct = 0u32;
+    let mut peak = 0u32;
+    for (_, d, e) in events {
+        let c = open.entry(e).or_insert(0);
+        let was = *c > 0;
+        *c += d;
+        let is = *c > 0;
+        match (was, is) {
+            (false, true) => {
+                distinct += 1;
+                peak = peak.max(distinct);
+            }
+            (true, false) => distinct -= 1,
+            _ => {}
+        }
+    }
+    peak
+}
+
+/// Distribution summary: how many filecules reach peak concurrency >= k,
+/// for k = 1..=max. Returns `(k, count)` pairs.
+pub fn concurrency_ccdf(stats: &[ConcurrencyStat], windowed: bool) -> Vec<(u32, usize)> {
+    let peak = |s: &ConcurrencyStat| {
+        if windowed {
+            s.peak_users_windowed
+        } else {
+            s.peak_users_interval
+        }
+    };
+    let max = stats.iter().map(&peak).max().unwrap_or(0);
+    (1..=max.max(1))
+        .map(|k| (k, stats.iter().filter(|s| peak(s) >= k).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filecule_core::identify;
+    use hep_trace::{DataTier, NodeId, TraceBuilder, MB};
+
+    fn concurrency_trace() -> (Trace, FileculeSet) {
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let users: Vec<_> = (0..3).map(|_| b.add_user()).collect();
+        let f0 = b.add_file(MB, DataTier::Thumbnail);
+        let f1 = b.add_file(MB, DataTier::Thumbnail);
+        // Three users overlap on {f0,f1} in interval terms:
+        // u0 at t=0 and t=1000; u1 at t=500; u2 at t=2000.
+        b.add_job(users[0], s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0, f1]);
+        b.add_job(users[1], s, NodeId(0), DataTier::Thumbnail, 500, 501, &[f0, f1]);
+        b.add_job(users[0], s, NodeId(0), DataTier::Thumbnail, 1000, 1001, &[f0, f1]);
+        b.add_job(users[2], s, NodeId(0), DataTier::Thumbnail, 2000, 2001, &[f0, f1]);
+        let t = b.build().unwrap();
+        let set = identify(&t);
+        (t, set)
+    }
+
+    #[test]
+    fn interval_vs_windowed_peaks() {
+        let (t, set) = concurrency_trace();
+        let stats = filecule_concurrency(&t, &set, 100);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.users, 3);
+        assert_eq!(s.sites, 1);
+        // u0's interval [0,1000] overlaps u1's point 500 => 2.
+        assert_eq!(s.peak_users_interval, 2);
+        // With a 100 s window nothing overlaps => 1.
+        assert_eq!(s.peak_users_windowed, 1);
+    }
+
+    #[test]
+    fn wide_window_recovers_overlap() {
+        let (t, set) = concurrency_trace();
+        let stats = filecule_concurrency(&t, &set, 600);
+        // Windows: u0 [0,600], u1 [500,1100], u0 [1000,1600], u2 [2000,...]
+        // Peak distinct users = 2 (u0&u1).
+        assert_eq!(stats[0].peak_users_windowed, 2);
+    }
+
+    #[test]
+    fn same_user_windows_count_once() {
+        let iv = [
+            AccessInterval { entity: 7, first: 0, last: 100, jobs: 1 },
+            AccessInterval { entity: 7, first: 50, last: 150, jobs: 1 },
+        ];
+        assert_eq!(peak_distinct_users(&iv), 1);
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let (t, set) = concurrency_trace();
+        let stats = filecule_concurrency(&t, &set, 600);
+        let ccdf = concurrency_ccdf(&stats, false);
+        for w in ccdf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ccdf[0], (1, 1));
+    }
+
+    #[test]
+    fn stats_cover_every_filecule() {
+        let t = hep_trace::TraceSynthesizer::new(hep_trace::SynthConfig::small(91)).generate();
+        let set = identify(&t);
+        let stats = filecule_concurrency(&t, &set, 86_400);
+        assert_eq!(stats.len(), set.n_filecules());
+        for s in &stats {
+            assert!(s.peak_users_interval <= s.users);
+            assert!(s.peak_users_windowed <= s.users);
+            assert!(s.users <= s.jobs);
+            assert!(s.sites >= 1);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Access intervals of a filecule, grouped by site or by user
+//! (Figures 11 and 12).
+
+use filecule_core::{FileculeId, FileculeSet};
+use hep_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The interval between an entity's first and last request for a filecule.
+///
+/// Matches the paper's Figures 11–12: "each horizontal line corresponds to
+/// the interval between the first and the last request for the filecule
+/// considered", under the stated optimistic assumption that the filecule
+/// is stored at the entity for the whole interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessInterval {
+    /// Site id or user id, depending on the grouping.
+    pub entity: u32,
+    /// First request time (seconds from epoch).
+    pub first: u64,
+    /// Last request time.
+    pub last: u64,
+    /// Number of jobs the entity ran on the filecule.
+    pub jobs: u32,
+}
+
+impl AccessInterval {
+    /// Interval length in seconds (0 for a single request).
+    pub fn duration(&self) -> u64 {
+        self.last - self.first
+    }
+
+    /// Does this interval overlap another (closed intervals)?
+    pub fn overlaps(&self, other: &AccessInterval) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+}
+
+/// All request times of `g`, as `(time, user, site)` triples — one entry
+/// per job touching the filecule.
+pub fn filecule_requests(trace: &Trace, set: &FileculeSet, g: FileculeId) -> Vec<(u64, u32, u16)> {
+    let mut out = Vec::new();
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        // A job requests the filecule iff it requests any member file; the
+        // definition guarantees it then requests all of them, but partial
+        // partitions (e.g. forced groups in tests) may not — any member
+        // counts.
+        let touches = trace
+            .job_files(j)
+            .iter()
+            .any(|&f| set.filecule_of(f) == Some(g));
+        if touches {
+            out.push((rec.start, rec.user.0, rec.site.0));
+        }
+    }
+    out
+}
+
+fn group_intervals<K: Fn(&(u64, u32, u16)) -> u32>(
+    requests: &[(u64, u32, u16)],
+    key: K,
+) -> Vec<AccessInterval> {
+    let mut map: std::collections::HashMap<u32, AccessInterval> = std::collections::HashMap::new();
+    for r in requests {
+        let k = key(r);
+        let e = map.entry(k).or_insert(AccessInterval {
+            entity: k,
+            first: r.0,
+            last: r.0,
+            jobs: 0,
+        });
+        e.first = e.first.min(r.0);
+        e.last = e.last.max(r.0);
+        e.jobs += 1;
+    }
+    let mut v: Vec<AccessInterval> = map.into_values().collect();
+    v.sort_by_key(|i| (i.first, i.entity));
+    v
+}
+
+/// Figure 11: the access interval of filecule `g` at each site.
+pub fn intervals_by_site(trace: &Trace, set: &FileculeSet, g: FileculeId) -> Vec<AccessInterval> {
+    group_intervals(&filecule_requests(trace, set, g), |r| u32::from(r.2))
+}
+
+/// Figure 12: the access interval of filecule `g` for each user.
+pub fn intervals_by_user(trace: &Trace, set: &FileculeSet, g: FileculeId) -> Vec<AccessInterval> {
+    group_intervals(&filecule_requests(trace, set, g), |r| r.1)
+}
+
+/// Sweep-line maximum number of simultaneously open intervals — the
+/// paper's "how many simultaneous holders" question under the optimistic
+/// interval assumption.
+pub fn peak_overlap(intervals: &[AccessInterval]) -> u32 {
+    let mut events: Vec<(u64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for i in intervals {
+        events.push((i.first, 1));
+        // Close strictly after `last` so touching endpoints count as
+        // concurrent (closed intervals).
+        events.push((i.last + 1, -1));
+    }
+    events.sort_unstable();
+    let mut cur = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in events {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u32
+}
+
+/// The filecule accessed by the most distinct users (ties: more jobs, then
+/// smaller id) — the Section 5 case-study selector.
+pub fn hottest_filecule(trace: &Trace, set: &FileculeSet) -> Option<FileculeId> {
+    let users = filecule_core::metrics::users_per_filecule(trace, set);
+    set.ids().max_by_key(|g| {
+        (
+            users[g.index()],
+            set.popularity(*g),
+            std::cmp::Reverse(g.0),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filecule_core::identify;
+    use hep_trace::{DataTier, FileId, NodeId, TraceBuilder, MB};
+
+    fn multi_site_trace() -> (Trace, FileculeSet, FileculeId) {
+        let mut b = TraceBuilder::new();
+        let dgov = b.add_domain(".gov");
+        let dde = b.add_domain(".de");
+        let s0 = b.add_site(dgov);
+        let s1 = b.add_site(dde);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let u2 = b.add_user();
+        let f0 = b.add_file(MB, DataTier::Thumbnail);
+        let f1 = b.add_file(MB, DataTier::Thumbnail);
+        // The filecule {f0,f1} accessed: u0@s0 t=0 and t=100; u1@s0 t=50;
+        // u2@s1 t=200.
+        b.add_job(u0, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0, f1]);
+        b.add_job(u1, s0, NodeId(0), DataTier::Thumbnail, 50, 51, &[f0, f1]);
+        b.add_job(u0, s0, NodeId(0), DataTier::Thumbnail, 100, 101, &[f0, f1]);
+        b.add_job(u2, s1, NodeId(0), DataTier::Thumbnail, 200, 201, &[f0, f1]);
+        let t = b.build().unwrap();
+        let set = identify(&t);
+        let g = set.filecule_of(FileId(0)).unwrap();
+        (t, set, g)
+    }
+
+    #[test]
+    fn site_intervals() {
+        let (t, set, g) = multi_site_trace();
+        let iv = intervals_by_site(&t, &set, g);
+        assert_eq!(iv.len(), 2);
+        let s0 = iv.iter().find(|i| i.entity == 0).unwrap();
+        assert_eq!((s0.first, s0.last, s0.jobs), (0, 100, 3));
+        let s1 = iv.iter().find(|i| i.entity == 1).unwrap();
+        assert_eq!((s1.first, s1.last, s1.jobs), (200, 200, 1));
+    }
+
+    #[test]
+    fn user_intervals() {
+        let (t, set, g) = multi_site_trace();
+        let iv = intervals_by_user(&t, &set, g);
+        assert_eq!(iv.len(), 3);
+        let u0 = iv.iter().find(|i| i.entity == 0).unwrap();
+        assert_eq!((u0.first, u0.last, u0.jobs), (0, 100, 2));
+        assert_eq!(u0.duration(), 100);
+    }
+
+    #[test]
+    fn peak_overlap_counts_simultaneous_intervals() {
+        let (t, set, g) = multi_site_trace();
+        let iv = intervals_by_user(&t, &set, g);
+        // u0 [0,100], u1 [50,50], u2 [200,200]: peak = 2.
+        assert_eq!(peak_overlap(&iv), 2);
+    }
+
+    #[test]
+    fn peak_overlap_disjoint_is_one() {
+        let iv = [
+            AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 },
+            AccessInterval { entity: 1, first: 20, last: 30, jobs: 1 },
+        ];
+        assert_eq!(peak_overlap(&iv), 1);
+    }
+
+    #[test]
+    fn peak_overlap_touching_endpoints_concurrent() {
+        let iv = [
+            AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 },
+            AccessInterval { entity: 1, first: 10, last: 20, jobs: 1 },
+        ];
+        assert_eq!(peak_overlap(&iv), 2);
+    }
+
+    #[test]
+    fn peak_overlap_empty() {
+        assert_eq!(peak_overlap(&[]), 0);
+    }
+
+    #[test]
+    fn overlaps_predicate() {
+        let a = AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 };
+        let b = AccessInterval { entity: 1, first: 5, last: 15, jobs: 1 };
+        let c = AccessInterval { entity: 2, first: 11, last: 12, jobs: 1 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn hottest_filecule_picks_most_users() {
+        let (t, set, g) = multi_site_trace();
+        assert_eq!(hottest_filecule(&t, &set), Some(g));
+    }
+
+    #[test]
+    fn filecule_requests_one_entry_per_job() {
+        let (t, set, g) = multi_site_trace();
+        assert_eq!(filecule_requests(&t, &set, g).len(), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! # transfer
+//!
+//! Data-transfer feasibility analysis (paper Section 5): "Given the
+//! patterns of the DZero collaboration, would a mechanism like BitTorrent
+//! be useful? In particular, are there enough users who simultaneously
+//! use/request the same data?"
+//!
+//! The paper answers by plotting, for a hot filecule (2 files, 2.2 GB, 42
+//! users, 6 sites, 634 jobs), the interval between first and last request
+//! per site (Figure 11) and per user (Figure 12), and observing that the
+//! number of *simultaneous* holders is too small to justify swarming.
+//!
+//! This crate reproduces that analysis end to end:
+//!
+//! * [`intervals`] — per-site / per-user access intervals of a filecule,
+//!   with the paper's optimistic holds-data-for-the-whole-interval
+//!   assumption, plus a sweep-line overlap counter;
+//! * [`concurrency`] — trace-wide concurrency profiles: peak simultaneous
+//!   holders for every filecule, under both the optimistic interval notion
+//!   and a finite retention window;
+//! * [`bittorrent`] — a fluid swarm model (seed + n leechers exchanging
+//!   chunks) quantifying what speedup swarming *would* deliver at a given
+//!   concurrency;
+//! * [`feasibility`] — the Section 5 verdict, per filecule and aggregate;
+//! * [`schedule`] — Section 6's transfer-scheduling claim quantified:
+//!   per-transfer setup costs amortized by filecule-granularity batching.
+
+#![warn(missing_docs)]
+
+pub mod bittorrent;
+pub mod concurrency;
+pub mod feasibility;
+pub mod intervals;
+pub mod schedule;
+pub mod swarm_sim;
+
+pub use bittorrent::{SwarmModel, SwarmOutcome};
+pub use concurrency::{filecule_concurrency, ConcurrencyStat};
+pub use feasibility::{assess, FeasibilityReport};
+pub use intervals::{
+    hottest_filecule, intervals_by_site, intervals_by_user, peak_overlap, AccessInterval,
+};
+pub use schedule::{schedule_comparison, ScheduleReport, TransferModel};
+pub use swarm_sim::{simulate_swarm, SwarmSimConfig, SwarmSimResult};

@@ -1,0 +1,71 @@
+//! Figure 10 reproduction plus the full policy-comparison ablation.
+//!
+//! Sweeps the paper's seven cache sizes (1–100 TB, scaled) comparing
+//! file-LRU vs filecule-LRU, then runs every baseline policy at one size.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cache_comparison
+//! ```
+
+use cachesim::sweep::compare_policies;
+use filecules::prelude::*;
+
+const SCALE: f64 = 100.0;
+
+fn main() {
+    let mut cfg = SynthConfig::paper(0xD0D0_2006, SCALE);
+    cfg.user_scale = 2.0;
+    println!("generating trace (scale 1/{SCALE}) ...");
+    let trace = TraceSynthesizer::new(cfg).generate();
+    let set = identify(&trace);
+    println!(
+        "  {} accesses over {} files in {} filecules\n",
+        trace.n_accesses(),
+        trace.n_files(),
+        set.n_filecules()
+    );
+
+    println!("Figure 10 — LRU miss rate, file vs filecule granularity");
+    println!("  paper TB | cache (scaled) | file-LRU | filecule-LRU | factor");
+    println!("  ---------+----------------+----------+--------------+-------");
+    for row in sweep_fig10(&trace, &set, SCALE) {
+        println!(
+            "  {:>8} | {:>11.3} TB | {:>8.4} | {:>12.4} | {:>5.1}x",
+            row.paper_tb,
+            row.capacity as f64 / TB as f64,
+            row.file_lru_miss,
+            row.filecule_lru_miss,
+            row.improvement_factor()
+        );
+    }
+    println!(
+        "\n  paper shape: factor grows with cache size to 4-5x; smallest\n  \
+         cache shows the smallest gap (~9.5% in the paper) because large\n  \
+         filecules cannot be retained there.\n"
+    );
+
+    // Ablation: every policy at the paper's 10 TB point.
+    let cap = (10.0 * TB as f64 / SCALE) as u64;
+    println!(
+        "policy comparison at {:.2} TB (paper-scale 10 TB):",
+        cap as f64 / TB as f64
+    );
+    println!("  policy                  | miss rate | warm miss | byte traffic");
+    println!("  ------------------------+-----------+-----------+-------------");
+    let mut reports = compare_policies(&trace, &set, cap);
+    reports.sort_by(|a, b| a.miss_rate().partial_cmp(&b.miss_rate()).unwrap());
+    for r in &reports {
+        println!(
+            "  {:<23} | {:>9.4} | {:>9.4} | {:>10.3}",
+            r.policy,
+            r.miss_rate(),
+            r.warm_miss_rate(),
+            r.byte_traffic_ratio()
+        );
+    }
+    println!(
+        "\n  byte traffic = backing-store bytes per requested byte; >1 means\n  \
+         speculative prefetch overhead, <1 means reuse captured."
+    );
+}

@@ -1,0 +1,74 @@
+//! Section 8 (future work): how dynamic are filecules?
+//!
+//! Runs the online identifier over the trace and prints the convergence
+//! curve (filecule count after every batch of jobs), then identifies
+//! filecules independently in time windows and measures how much a file's
+//! group changes between windows.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example filecule_dynamics
+//! ```
+
+use filecules::core::dynamics::{window_stability, windows};
+use filecules::core::identify_hashed;
+use filecules::prelude::*;
+
+fn main() {
+    let mut cfg = SynthConfig::paper(0xD0D0_2006, 100.0);
+    cfg.user_scale = 2.0;
+    let trace = TraceSynthesizer::new(cfg).generate();
+    println!(
+        "trace: {} jobs, {} accesses, {} files",
+        trace.n_jobs(),
+        trace.n_accesses(),
+        trace.n_files()
+    );
+
+    // Online identification: watch the partition grow.
+    let mut inc = IncrementalFilecules::new(trace.n_files());
+    inc.observe_trace(&trace);
+    let curve = inc.evolution();
+    println!("\nonline identification convergence (filecules after k jobs):");
+    let n = curve.len();
+    for pct in [1usize, 5, 10, 25, 50, 75, 100] {
+        let k = (n * pct / 100).max(1) - 1;
+        println!("  after {:>5} jobs ({:>3}%): {:>6} filecules", k + 1, pct, curve[k]);
+    }
+
+    // The three identifiers agree.
+    let exact = identify(&trace);
+    let online = inc.snapshot(&trace);
+    let hashed = identify_hashed(&trace);
+    assert_eq!(exact.n_filecules(), online.n_filecules());
+    assert_eq!(exact.n_filecules(), hashed.n_filecules());
+    println!(
+        "\nexact / online / hashed identifiers agree: {} filecules covering {} files",
+        exact.n_filecules(),
+        exact.n_assigned_files()
+    );
+
+    // Windowed stability (the paper's "do files stay in the same
+    // filecules?" question).
+    println!("\nstability across independent time windows:");
+    for n_windows in [2usize, 4, 8] {
+        let ws = windows(&trace, n_windows);
+        let sizes: Vec<String> = ws.iter().map(|w| w.n_filecules().to_string()).collect();
+        let reports = window_stability(&trace, n_windows);
+        let mean_j: f64 =
+            reports.iter().map(|r| r.mean_jaccard).sum::<f64>() / reports.len().max(1) as f64;
+        let mean_id: f64 = reports.iter().map(|r| r.identical_fraction).sum::<f64>()
+            / reports.len().max(1) as f64;
+        println!(
+            "  {n_windows} windows (sizes {}): mean Jaccard {:.3}, identical groups {:.1}%",
+            sizes.join("/"),
+            mean_j,
+            mean_id * 100.0
+        );
+    }
+    println!(
+        "\n  interpretation: a file re-used in a later window keeps most of its\n  \
+         companions (Jaccard ~0.6) — filecules drift as new cut points appear\n  \
+         but do not dissolve, unlike sequence-based groups (paper Section 7)."
+    );
+}

@@ -1,0 +1,75 @@
+//! # filecules
+//!
+//! A comprehensive Rust reproduction of **"Filecules in High-Energy
+//! Physics: Characteristics and Impact on Resource Management"**
+//! (Iamnitchi, Doraimani, Garzoglio — HPDC 2006).
+//!
+//! The paper analyzes 27 months of DZero/SAM data-handling traces and
+//! proposes the *filecule* — a maximal group of files always requested
+//! together — as the right granularity for Grid data management, showing
+//! that LRU caching at filecule granularity cuts miss rates by up to 4–5x.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`stats`] (`hep-stats`) — numerics substrate;
+//! * [`trace`] (`hep-trace`) — trace model + calibrated synthetic DZero
+//!   workload generator (substituting the proprietary traces);
+//! * [`core`] (`filecule-core`) — filecule identification & analysis
+//!   (the paper's contribution);
+//! * [`cachesim`] — file-LRU vs filecule-LRU and baseline policies
+//!   (Figure 10);
+//! * [`transfer`] — BitTorrent feasibility analysis (Section 5,
+//!   Figures 11–12);
+//! * [`replication`] — filecule-aware proactive replication (Section 6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use filecules::prelude::*;
+//!
+//! // A small calibrated DZero-like trace (deterministic in the seed).
+//! let trace = TraceSynthesizer::new(SynthConfig::small(42)).generate();
+//!
+//! // Identify filecules: equivalence classes of identical job-access sets.
+//! let set = identify(&trace);
+//! assert!(set.n_filecules() > 0);
+//!
+//! // Compare the paper's two cache policies at one size.
+//! let cap = TB / 100;
+//! let file = simulate(&trace, &mut FileLru::new(&trace, cap));
+//! let filecule = simulate(&trace, &mut FileculeLru::new(&trace, &set, cap));
+//! assert!(filecule.miss_rate() <= file.miss_rate());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cachesim;
+pub use filecule_core as core;
+pub use hep_stats as stats;
+pub use hep_trace as trace;
+pub use replication;
+pub use transfer;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cachesim::{simulate, sweep_fig10, FileLru, FileculeLru, Policy, SimReport};
+    pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
+    pub use hep_trace::{
+        DataTier, FileId, JobId, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB, MB, TB,
+    };
+    pub use transfer::{assess, hottest_filecule, SwarmModel};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_pipeline_smoke() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(1)).generate();
+        let set = identify(&trace);
+        assert!(set.verify(&trace).is_empty());
+        let g = hottest_filecule(&trace, &set).unwrap();
+        assert!(set.popularity(g) >= 1);
+    }
+}

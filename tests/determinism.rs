@@ -1,0 +1,96 @@
+//! Determinism and reproducibility guarantees.
+
+use filecules::prelude::*;
+
+#[test]
+fn same_seed_same_trace() {
+    let a = TraceSynthesizer::new(SynthConfig::small(99)).generate();
+    let b = TraceSynthesizer::new(SynthConfig::small(99)).generate();
+    assert_eq!(a.n_jobs(), b.n_jobs());
+    assert_eq!(a.n_files(), b.n_files());
+    for j in a.job_ids() {
+        assert_eq!(a.job(j), b.job(j));
+        assert_eq!(a.job_files(j), b.job_files(j));
+    }
+    for f in a.file_ids() {
+        assert_eq!(a.file(f), b.file(f));
+    }
+}
+
+#[test]
+fn same_seed_same_replay_stream() {
+    let a = TraceSynthesizer::new(SynthConfig::small(99)).generate();
+    let b = TraceSynthesizer::new(SynthConfig::small(99)).generate();
+    assert_eq!(a.replay_events(), b.replay_events());
+}
+
+#[test]
+fn replay_stream_is_time_sorted_and_complete() {
+    let t = TraceSynthesizer::new(SynthConfig::small(100)).generate();
+    let ev = t.replay_events();
+    assert_eq!(ev.len(), t.n_accesses());
+    for w in ev.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+    // Every (job, file) pair appears exactly once.
+    let mut pairs: Vec<(u32, u32)> = ev.iter().map(|e| (e.job.0, e.file.0)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    assert_eq!(pairs.len(), t.n_accesses());
+    // Each event's time lies within its job's runtime.
+    for e in &ev {
+        let rec = t.job(e.job);
+        assert!(e.time >= rec.start && e.time <= rec.stop);
+    }
+}
+
+#[test]
+fn different_seeds_different_traces() {
+    let a = TraceSynthesizer::new(SynthConfig::small(1)).generate();
+    let b = TraceSynthesizer::new(SynthConfig::small(2)).generate();
+    let sig_a: Vec<u64> = a.jobs().iter().take(100).map(|j| j.start).collect();
+    let sig_b: Vec<u64> = b.jobs().iter().take(100).map(|j| j.start).collect();
+    assert_ne!(sig_a, sig_b);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let t = TraceSynthesizer::new(SynthConfig::small(101)).generate();
+    let set = identify(&t);
+    let cap = TB / 50;
+    let r1 = simulate(&t, &mut FileculeLru::new(&t, &set, cap));
+    let r2 = simulate(&t, &mut FileculeLru::new(&t, &set, cap));
+    assert_eq!(r1.hits, r2.hits);
+    assert_eq!(r1.bytes_fetched, r2.bytes_fetched);
+    assert_eq!(r1.bytes_evicted, r2.bytes_evicted);
+}
+
+#[test]
+fn identification_is_independent_of_parallelism() {
+    let t = TraceSynthesizer::new(SynthConfig::small(102)).generate();
+    let seq = filecules::core::identify::exact::identify(&t);
+    let par = filecules::core::identify::exact::identify_parallel(&t);
+    assert_eq!(seq.n_filecules(), par.n_filecules());
+    for g in seq.ids() {
+        assert_eq!(seq.files(g), par.files(g));
+        assert_eq!(seq.popularity(g), par.popularity(g));
+        assert_eq!(seq.size_bytes(g), par.size_bytes(g));
+    }
+}
+
+#[test]
+fn artifacts_are_deterministic() {
+    use hep_bench::artifacts::{build, Ctx};
+    let t = TraceSynthesizer::new(SynthConfig::small(103)).generate();
+    let set = identify(&t);
+    let ctx = Ctx {
+        trace: &t,
+        set: &set,
+        scale: 400.0,
+    };
+    for id in ["table1", "fig04", "fig10", "sec5"] {
+        let a = build(&ctx, id).unwrap();
+        let b = build(&ctx, id).unwrap();
+        assert_eq!(a.csv, b.csv, "{id} not deterministic");
+    }
+}

@@ -1,0 +1,50 @@
+//! Full paper-scale stress test (scale = 1: ~235k jobs, ~11M accesses,
+//! ~1M files). Ignored by default; run with:
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use filecules::prelude::*;
+
+#[test]
+#[ignore = "full paper scale: ~20s in release mode"]
+fn full_scale_pipeline() {
+    let trace = TraceSynthesizer::new(SynthConfig::paper(0xD0D0_2006, 1.0)).generate();
+    // Scale-1 volumes within range of the paper's published counts.
+    assert!(
+        (trace.n_jobs() as f64 - 233_792.0).abs() / 233_792.0 < 0.02,
+        "jobs {}",
+        trace.n_jobs()
+    );
+    assert!(
+        trace.n_accesses() > 8_000_000,
+        "accesses {}",
+        trace.n_accesses()
+    );
+    assert!(trace.n_files() > 700_000, "files {}", trace.n_files());
+    assert!(trace.validate().is_empty());
+
+    // Identification at full scale: sequential, parallel and hashed agree.
+    let t0 = std::time::Instant::now();
+    let set = identify(&trace);
+    let t_seq = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let par = filecules::core::identify::exact::identify_parallel(&trace);
+    let t_par = t1.elapsed();
+    assert_eq!(set.n_filecules(), par.n_filecules());
+    let hashed = filecules::core::identify_hashed(&trace);
+    assert_eq!(set.n_filecules(), hashed.n_filecules());
+    eprintln!(
+        "full scale: {} filecules; identify seq {:.2}s / par {:.2}s",
+        set.n_filecules(),
+        t_seq.as_secs_f64(),
+        t_par.as_secs_f64()
+    );
+
+    // The headline holds at full scale too.
+    let cap = 100 * TB;
+    let file = simulate(&trace, &mut FileLru::new(&trace, cap));
+    let filecule = simulate(&trace, &mut FileculeLru::new(&trace, &set, cap));
+    assert!(filecule.miss_rate() * 3.0 < file.miss_rate());
+}

@@ -1,0 +1,168 @@
+//! End-to-end integration: generate → identify → simulate → analyze,
+//! asserting the paper's qualitative results hold on synthetic traces.
+
+use filecules::core::metrics;
+use filecules::prelude::*;
+
+fn test_trace(seed: u64) -> Trace {
+    TraceSynthesizer::new(SynthConfig::small(seed)).generate()
+}
+
+#[test]
+fn generated_traces_are_valid_and_nonempty() {
+    let t = test_trace(1);
+    assert!(t.validate().is_empty());
+    assert!(t.n_jobs() > 100);
+    assert!(t.n_files() > 500);
+    assert!(t.n_accesses() > t.n_jobs());
+}
+
+#[test]
+fn identification_produces_verified_partition() {
+    let t = test_trace(2);
+    let set = identify(&t);
+    assert!(set.verify(&t).is_empty());
+    // Every accessed file is covered; every unaccessed file is not.
+    let counts = t.file_request_counts();
+    for f in t.file_ids() {
+        assert_eq!(counts[f.index()] > 0, set.filecule_of(f).is_some());
+    }
+}
+
+#[test]
+fn paper_property_3_popularity() {
+    // "The number of requests for a file is identical with the number of
+    // requests for the filecule that includes that file."
+    let t = test_trace(3);
+    let set = identify(&t);
+    let counts = t.file_request_counts();
+    for g in set.ids() {
+        for &f in set.files(g) {
+            assert_eq!(counts[f.index()], set.popularity(g));
+        }
+    }
+}
+
+#[test]
+fn headline_cache_result_direction() {
+    let t = test_trace(4);
+    let set = identify(&t);
+    let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+    // Across a sweep of relative cache sizes, filecule-LRU never loses and
+    // wins clearly at the larger sizes.
+    let mut last_factor = 0.0;
+    for denom in [32u64, 8, 2] {
+        let cap = total / denom;
+        let file = simulate(&t, &mut FileLru::new(&t, cap));
+        let filecule = simulate(&t, &mut FileculeLru::new(&t, &set, cap));
+        assert!(
+            filecule.miss_rate() <= file.miss_rate() + 1e-9,
+            "denom {denom}: {} > {}",
+            filecule.miss_rate(),
+            file.miss_rate()
+        );
+        last_factor = file.miss_rate() / filecule.miss_rate().max(1e-12);
+    }
+    assert!(last_factor > 2.0, "largest-cache factor {last_factor}");
+}
+
+#[test]
+fn filecules_per_job_at_least_one() {
+    let t = test_trace(5);
+    let set = identify(&t);
+    for n in metrics::filecules_per_job(&t, &set) {
+        assert!(n >= 1);
+    }
+}
+
+#[test]
+fn users_per_filecule_positive_and_bounded() {
+    let t = test_trace(6);
+    let set = identify(&t);
+    let users = metrics::users_per_filecule(&t, &set);
+    assert_eq!(users.len(), set.n_filecules());
+    for (g, &u) in set.ids().zip(&users) {
+        assert!(u >= 1, "filecule {g:?} has no users");
+        assert!(u as usize <= t.n_users());
+        assert!(u <= set.popularity(g));
+    }
+}
+
+#[test]
+fn size_popularity_uncorrelated() {
+    // Section 3: "no correlation between filecule popularity and filecule
+    // size" — allow a weak residual on small samples.
+    let t = TraceSynthesizer::new(SynthConfig::paper(7, 200.0)).generate();
+    let set = identify(&t);
+    let (pearson, spearman) = metrics::size_popularity_correlation(&set);
+    // "No correlation" = nothing strong; small samples at heavy scale
+    // reduction show weak residuals, so the bound is |r| < 0.4.
+    assert!(pearson.abs() < 0.4, "pearson {pearson}");
+    assert!(spearman.abs() < 0.4, "spearman {spearman}");
+}
+
+#[test]
+fn bittorrent_verdict_reproduced() {
+    let t = test_trace(8);
+    let set = identify(&t);
+    let (report, stats) = assess(&t, &set, &SwarmModel::default(), 86_400, 1.5);
+    assert_eq!(stats.len(), set.n_filecules());
+    assert!(report.bittorrent_not_justified);
+}
+
+#[test]
+fn io_roundtrip_preserves_replay() {
+    let t = test_trace(9);
+    let text = filecules::trace::io::trace_to_string(&t);
+    let t2 = filecules::trace::io::trace_from_str(&text).expect("parse back");
+    assert_eq!(t.n_jobs(), t2.n_jobs());
+    assert_eq!(t.n_accesses(), t2.n_accesses());
+    let ev1 = t.replay_events();
+    let ev2 = t2.replay_events();
+    assert_eq!(ev1, ev2);
+    // Identification is identical too.
+    let s1 = identify(&t);
+    let s2 = identify(&t2);
+    assert_eq!(s1.n_filecules(), s2.n_filecules());
+    for g in s1.ids() {
+        assert_eq!(s1.files(g), s2.files(g));
+    }
+}
+
+#[test]
+fn incremental_identification_tracks_offline() {
+    let t = test_trace(10);
+    let mut inc = IncrementalFilecules::new(t.n_files());
+    inc.observe_trace(&t);
+    let online = inc.snapshot(&t);
+    let offline = identify(&t);
+    assert_eq!(online.n_filecules(), offline.n_filecules());
+    for g in online.ids() {
+        assert_eq!(online.files(g), offline.files(g));
+        assert_eq!(online.popularity(g), offline.popularity(g));
+    }
+}
+
+#[test]
+fn replication_policies_end_to_end() {
+    use filecules::replication::{
+        evaluate, filecule_popularity_placement, no_replication, training_jobs,
+    };
+    let t = test_trace(11);
+    let set = identify(&t);
+    let split = t.horizon() / 2;
+    let training = training_jobs(&t, split);
+    let budget = t.files().iter().map(|f| f.size_bytes).sum::<u64>() / 20;
+    let none = evaluate(&t, &no_replication(&t, budget), split, "none");
+    let filecule = evaluate(
+        &t,
+        &filecule_popularity_placement(&t, &set, &training, budget),
+        split,
+        "filecule",
+    );
+    assert_eq!(none.local_hits, 0);
+    assert!(filecule.local_hit_rate() > 0.0);
+    assert!(filecule.remote_bytes < none.remote_bytes);
+    // Requests identical across placements (same evaluation window).
+    assert_eq!(none.requests, filecule.requests);
+}

@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) over randomly generated micro-traces.
+//!
+//! The strategies build arbitrary request patterns directly (not via the
+//! calibrated synthesizer), so these properties are exercised over corner
+//! cases the workload model would never emit.
+
+use filecules::core::identify::exact::identify;
+use filecules::core::identify::partial::{coarsening_reports, identify_per_site};
+use filecules::core::identify::refine::identify_refine;
+use filecules::prelude::*;
+use proptest::prelude::*;
+
+/// Build a trace from (site, files) jobs over `n_files` files, one user per
+/// site parity, deterministic times.
+fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let d = b.add_domain(".gov");
+    let s0 = b.add_site(d);
+    let s1 = b.add_site(d);
+    let u0 = b.add_user();
+    let u1 = b.add_user();
+    for _ in 0..n_files {
+        b.add_file(10 * MB, DataTier::Thumbnail);
+    }
+    for (i, (site_sel, files)) in jobs.iter().enumerate() {
+        let list: Vec<FileId> = files
+            .iter()
+            .map(|&f| FileId(u32::from(f) % n_files))
+            .collect();
+        let (site, user) = if site_sel % 2 == 0 { (s0, u0) } else { (s1, u1) };
+        b.add_job(
+            user,
+            site,
+            hep_trace::NodeId(0),
+            DataTier::Thumbnail,
+            i as u64 * 100,
+            i as u64 * 100 + 50,
+            &list,
+        );
+    }
+    b.build().expect("valid by construction")
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(0u8..24, 1..12)),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The refinement identifier and the signature-grouping identifier
+    /// compute identical partitions (including ids and popularity).
+    #[test]
+    fn refine_equals_exact(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let a = identify(&t);
+        let b = identify_refine(&t);
+        prop_assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            prop_assert_eq!(a.files(g), b.files(g));
+            prop_assert_eq!(a.popularity(g), b.popularity(g));
+        }
+    }
+
+    /// The parallel identifier matches the sequential one.
+    #[test]
+    fn parallel_equals_exact(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let a = identify(&t);
+        let b = filecules::core::identify::exact::identify_parallel(&t);
+        prop_assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            prop_assert_eq!(a.files(g), b.files(g));
+        }
+    }
+
+    /// Paper properties 1-3: disjointness, non-emptiness, and popularity
+    /// equality, via the full verifier.
+    #[test]
+    fn partition_invariants(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let set = identify(&t);
+        prop_assert!(set.verify(&t).is_empty());
+    }
+
+    /// Site-local filecules are always unions of global filecules, and the
+    /// local partition is never finer than the global one restricted to the
+    /// site's files.
+    #[test]
+    fn local_filecules_are_unions_of_global(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let global = identify(&t);
+        let per_site = identify_per_site(&t);
+        for r in coarsening_reports(&t, &global, &per_site) {
+            prop_assert!(r.is_union_of_global, "site {}", r.site);
+            prop_assert!(r.local_filecules <= r.global_filecules_covered.max(1));
+        }
+    }
+
+    /// Cache invariants for both paper policies under arbitrary request
+    /// patterns: residency never exceeds capacity, accounting identities
+    /// hold, and filecule-LRU never does worse than file-LRU on hits when
+    /// capacity is unbounded.
+    #[test]
+    fn cache_invariants(jobs in jobs_strategy(), cap_mb in 5u64..400) {
+        let t = build_trace(&jobs, 24);
+        let set = identify(&t);
+        let cap = cap_mb * MB;
+        for run in 0..2 {
+            let mut file = FileLru::new(&t, cap);
+            let mut filecule = FileculeLru::new(&t, &set, cap);
+            let policy: &mut dyn filecules::cachesim::Policy =
+                if run == 0 { &mut file } else { &mut filecule };
+            let r = simulate(&t, policy);
+            prop_assert_eq!(r.hits + r.misses, r.requests);
+            prop_assert!(r.cold_misses <= r.misses);
+            prop_assert!(policy.used() <= policy.capacity());
+            prop_assert_eq!(r.requests, t.n_accesses() as u64);
+        }
+        // Unbounded capacity: filecule-LRU hits >= file-LRU hits (prefetch
+        // can only help when nothing is ever evicted).
+        let f = simulate(&t, &mut FileLru::new(&t, u64::MAX));
+        let g = simulate(&t, &mut FileculeLru::new(&t, &set, u64::MAX));
+        prop_assert!(g.hits >= f.hits, "{} < {}", g.hits, f.hits);
+    }
+
+    /// With unbounded capacity, file-LRU's misses are exactly the distinct
+    /// files (compulsory misses only) and filecule-LRU's are exactly the
+    /// distinct filecules.
+    #[test]
+    fn unbounded_cache_floors(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let set = identify(&t);
+        let distinct_files = t
+            .file_request_counts()
+            .iter()
+            .filter(|&&c| c > 0)
+            .count() as u64;
+        let f = simulate(&t, &mut FileLru::new(&t, u64::MAX));
+        prop_assert_eq!(f.misses, distinct_files);
+        prop_assert_eq!(f.cold_misses, distinct_files);
+        let g = simulate(&t, &mut FileculeLru::new(&t, &set, u64::MAX));
+        prop_assert_eq!(g.misses, set.n_filecules() as u64);
+    }
+
+    /// Belady MIN never has more misses than LRU or FIFO at the same
+    /// capacity (with uniform file sizes, where MIN is provably optimal).
+    #[test]
+    fn belady_is_lower_bound(jobs in jobs_strategy(), cap_files in 1u64..20) {
+        let t = build_trace(&jobs, 24);
+        let cap = cap_files * 10 * MB;
+        use filecules::cachesim::policy::belady::BeladyMin;
+        use filecules::cachesim::policy::fifo::FileFifo;
+        let min = simulate(&t, &mut BeladyMin::new(&t, cap));
+        let lru = simulate(&t, &mut FileLru::new(&t, cap));
+        let fifo = simulate(&t, &mut FileFifo::new(&t, cap));
+        prop_assert!(min.misses <= lru.misses, "{} > {}", min.misses, lru.misses);
+        prop_assert!(min.misses <= fifo.misses);
+    }
+
+    /// The O(files)-memory fingerprint identifier matches the exact one.
+    #[test]
+    fn hashed_equals_exact(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let a = identify(&t);
+        let b = filecules::core::identify_hashed(&t);
+        prop_assert_eq!(a.n_filecules(), b.n_filecules());
+        for g in a.ids() {
+            prop_assert_eq!(a.files(g), b.files(g));
+            prop_assert_eq!(a.popularity(g), b.popularity(g));
+        }
+    }
+
+    /// Reuse-distance prediction equals LRU simulation at every capacity
+    /// (uniform file sizes, where the stack property is exact).
+    #[test]
+    fn stack_distance_predicts_lru(jobs in jobs_strategy(), cap_files in 1u64..30) {
+        let t = build_trace(&jobs, 24);
+        let profile = filecules::cachesim::file_reuse_profile(&t);
+        let cap = cap_files * 10 * MB;
+        let predicted = profile.predicted_misses(cap);
+        let mut lru = FileLru::new(&t, cap);
+        let simulated = simulate(&t, &mut lru).misses;
+        prop_assert_eq!(predicted, simulated);
+    }
+
+    /// Trace I/O round-trips arbitrary request patterns.
+    #[test]
+    fn io_roundtrip(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let s = filecules::trace::io::trace_to_string(&t);
+        let t2 = filecules::trace::io::trace_from_str(&s).unwrap();
+        prop_assert_eq!(t.n_jobs(), t2.n_jobs());
+        for j in t.job_ids() {
+            prop_assert_eq!(t.job(j), t2.job(j));
+            prop_assert_eq!(t.job_files(j), t2.job_files(j));
+        }
+    }
+
+    /// Identification over a prefix of jobs yields a coarsening: fewer or
+    /// equal filecules covering fewer or equal files.
+    #[test]
+    fn prefix_identification_coarsens(jobs in jobs_strategy(), cut in 0usize..25) {
+        let t = build_trace(&jobs, 24);
+        let cut_time = (cut as u64) * 100;
+        let prefix = filecules::core::identify::incremental::identify_until(&t, cut_time);
+        let full = identify(&t);
+        prop_assert!(prefix.n_filecules() <= full.n_filecules());
+        prop_assert!(prefix.n_assigned_files() <= full.n_assigned_files());
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tests for the extension modules: binary I/O, trace filters,
+//! the swarm simulator, prefetch policies, and reuse-distance analysis.
+
+use filecules::prelude::*;
+use proptest::prelude::*;
+
+fn build_trace(jobs: &[(u8, u64, Vec<u8>)], n_files: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let d0 = b.add_domain(".gov");
+    let d1 = b.add_domain(".de");
+    let s0 = b.add_site(d0);
+    let s1 = b.add_site(d1);
+    let u0 = b.add_user();
+    let u1 = b.add_user();
+    for i in 0..n_files {
+        b.add_file(
+            (u64::from(i % 7) + 1) * 10 * MB,
+            if i % 3 == 0 {
+                DataTier::Reconstructed
+            } else {
+                DataTier::Thumbnail
+            },
+        );
+    }
+    for (i, (sel, dur, files)) in jobs.iter().enumerate() {
+        let list: Vec<FileId> = files
+            .iter()
+            .map(|&f| FileId(u32::from(f) % n_files))
+            .collect();
+        let (site, user) = if sel % 2 == 0 { (s0, u0) } else { (s1, u1) };
+        let start = i as u64 * 50;
+        b.add_job(
+            user,
+            site,
+            hep_trace::NodeId(u16::from(sel % 3)),
+            if sel % 4 == 0 {
+                DataTier::Reconstructed
+            } else {
+                DataTier::Thumbnail
+            },
+            start,
+            start + 1 + (dur % 10_000),
+            &list,
+        );
+    }
+    b.build().expect("valid by construction")
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, u64, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            any::<u64>(),
+            prop::collection::vec(0u8..20, 1..10),
+        ),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binary serialization round-trips arbitrary traces exactly,
+    /// including the replay stream.
+    #[test]
+    fn binary_io_roundtrip(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 20);
+        let mut buf = Vec::new();
+        filecules::trace::io_binary::write_trace_binary(&t, &mut buf).unwrap();
+        let t2 = filecules::trace::io_binary::read_trace_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(t.replay_events(), t2.replay_events());
+        for j in t.job_ids() {
+            prop_assert_eq!(t.job(j), t2.job(j));
+        }
+        for f in t.file_ids() {
+            prop_assert_eq!(t.file(f), t2.file(f));
+        }
+    }
+
+    /// Binary and CSV round-trips agree with each other.
+    #[test]
+    fn binary_and_csv_agree(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 20);
+        let mut bin = Vec::new();
+        filecules::trace::io_binary::write_trace_binary(&t, &mut bin).unwrap();
+        let from_bin = filecules::trace::io_binary::read_trace_binary(bin.as_slice()).unwrap();
+        let csv = filecules::trace::io::trace_to_string(&t);
+        let from_csv = filecules::trace::io::trace_from_str(&csv).unwrap();
+        prop_assert_eq!(from_bin.replay_events(), from_csv.replay_events());
+    }
+
+    /// Time-window filters partition the job set, and per-window
+    /// identification matches `identify_until` on the prefix window.
+    #[test]
+    fn filters_partition_and_identify(jobs in jobs_strategy(), cut in 1u64..1000) {
+        let t = build_trace(&jobs, 20);
+        let a = filecules::trace::filter::by_time_window(&t, 0, cut);
+        let b = filecules::trace::filter::by_time_window(&t, cut, u64::MAX);
+        prop_assert_eq!(a.n_jobs() + b.n_jobs(), t.n_jobs());
+        prop_assert!(a.validate().is_empty());
+        prop_assert!(b.validate().is_empty());
+        // Prefix identification equivalence.
+        let from_filter = identify(&a);
+        let from_until = filecules::core::identify::incremental::identify_until(&t, cut);
+        prop_assert_eq!(from_filter.n_filecules(), from_until.n_filecules());
+        for g in from_filter.ids() {
+            prop_assert_eq!(from_filter.files(g), from_until.files(g));
+        }
+    }
+
+    /// Site filters keep exactly the site's jobs with valid structure.
+    #[test]
+    fn site_filter_selects_correctly(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 20);
+        for s in 0..t.n_sites() as u16 {
+            let w = filecules::trace::filter::by_site(&t, hep_trace::SiteId(s));
+            prop_assert!(w.jobs().iter().all(|j| j.site.0 == s));
+            prop_assert!(w.validate().is_empty());
+        }
+    }
+
+    /// The swarm simulator conserves bytes and completes for feasible
+    /// inputs: delivered = peers * ceil(object/chunk) * chunk.
+    #[test]
+    fn swarm_byte_conservation(
+        n_peers in 1usize..12,
+        spread_secs in 0u64..5000,
+        object_mb in 1u64..2000,
+    ) {
+        use filecules::transfer::{simulate_swarm, SwarmSimConfig};
+        let arrivals: Vec<u64> = (0..n_peers as u64).map(|i| i * spread_secs).collect();
+        let cfg = SwarmSimConfig::default();
+        let object = object_mb * MB;
+        let r = simulate_swarm(object, &arrivals, &cfg);
+        prop_assert!(r.all_completed());
+        let chunks = object.div_ceil(cfg.chunk_bytes);
+        prop_assert_eq!(
+            r.seed_bytes + r.p2p_bytes,
+            n_peers as u64 * chunks * cfg.chunk_bytes
+        );
+        // Completion never precedes arrival.
+        for p in &r.peers {
+            prop_assert!(p.completion.unwrap() >= p.arrival);
+        }
+    }
+
+    /// Prefetch policies obey the same accounting identities as demand
+    /// policies (capacity bound, hits+misses=requests).
+    #[test]
+    fn prefetch_policies_accounting(jobs in jobs_strategy(), cap_mb in 20u64..500) {
+        use filecules::cachesim::policy::prefetch::{SuccessorPrefetch, WorkingSetPrefetch};
+        let t = build_trace(&jobs, 20);
+        let cap = cap_mb * MB;
+        {
+            let mut p = SuccessorPrefetch::new(&t, cap, 4);
+            let r = simulate(&t, &mut p);
+            prop_assert_eq!(r.hits + r.misses, r.requests);
+            prop_assert!(filecules::cachesim::Policy::used(&p) <= cap);
+        }
+        {
+            let mut p = WorkingSetPrefetch::new(&t, cap, 8);
+            let r = simulate(&t, &mut p);
+            prop_assert_eq!(r.hits + r.misses, r.requests);
+            prop_assert!(filecules::cachesim::Policy::used(&p) <= cap);
+        }
+    }
+
+    /// Reuse-distance invariants on arbitrary patterns: the predicted miss
+    /// curve is non-increasing in capacity and floors at the cold-miss
+    /// count; at capacity 0 every access misses.
+    #[test]
+    fn reuse_profile_invariants(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 20);
+        let profile = filecules::cachesim::file_reuse_profile(&t);
+        let caps: Vec<u64> = (0..8).map(|i| i * 50 * MB).collect();
+        let mut prev = u64::MAX;
+        for &c in &caps {
+            let m = profile.predicted_misses(c);
+            prop_assert!(m <= prev);
+            prop_assert!(m >= profile.cold_misses());
+            prev = m;
+        }
+        prop_assert_eq!(
+            profile.predicted_misses(0),
+            t.n_accesses() as u64
+        );
+    }
+
+    /// Transfer-scheduling invariants: filecule batching never issues more
+    /// transfers than file granularity, and never ships fewer bytes (a
+    /// group fetch covers at least its used members).
+    #[test]
+    fn schedule_invariants(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 20);
+        let set = identify(&t);
+        let r = filecules::transfer::schedule_comparison(
+            &t,
+            &set,
+            filecules::transfer::TransferModel::default(),
+        );
+        prop_assert!(r.filecule_transfers <= r.file_transfers);
+        prop_assert!(r.filecule_bytes >= r.file_bytes);
+        prop_assert!(r.byte_overhead() >= 0.0);
+    }
+
+    /// Collaboration-wide per-site caches: request counts match the trace
+    /// and per-site misses account exactly.
+    #[test]
+    fn online_cache_invariants(jobs in jobs_strategy(), cap_mb in 20u64..400) {
+        use filecules::replication::{simulate_sites, Granularity};
+        let t = build_trace(&jobs, 20);
+        let set = identify(&t);
+        for g in [Granularity::File, Granularity::Filecule] {
+            let r = simulate_sites(&t, &set, cap_mb * MB, g);
+            prop_assert_eq!(r.requests, t.n_accesses() as u64);
+            prop_assert_eq!(
+                r.site_misses.iter().sum::<u64>(),
+                r.requests - r.local_hits
+            );
+        }
+    }
+
+    /// LRU-K with k=1 is exactly LRU on arbitrary patterns.
+    #[test]
+    fn lruk1_equals_lru(jobs in jobs_strategy(), cap_mb in 20u64..500) {
+        use filecules::cachesim::policy::lruk::FileLruK;
+        let t = build_trace(&jobs, 20);
+        let cap = cap_mb * MB;
+        let a = simulate(&t, &mut FileLru::new(&t, cap));
+        let b = simulate(&t, &mut FileLruK::new(&t, cap, 1));
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.bytes_fetched, b.bytes_fetched);
+    }
+
+    /// `simulate_warm(0)` equals `simulate` for any policy/pattern.
+    #[test]
+    fn warm_zero_equals_plain(jobs in jobs_strategy(), cap_mb in 20u64..500) {
+        let t = build_trace(&jobs, 20);
+        let cap = cap_mb * MB;
+        let a = simulate(&t, &mut FileLru::new(&t, cap));
+        let b = filecules::cachesim::simulate_warm(&t, &mut FileLru::new(&t, cap), 0.0);
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.misses, b.misses);
+        prop_assert_eq!(a.bytes_evicted, b.bytes_evicted);
+    }
+}
