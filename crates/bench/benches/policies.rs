@@ -1,59 +1,37 @@
-//! Criterion benches: cache-policy replay throughput.
+//! Criterion benches: cache-policy replay throughput over a shared
+//! [`ReplayLog`] (built once outside the timed loop).
 
-use cachesim::policy::belady::{BeladyMin, FileculeBelady};
-use cachesim::policy::bundle::BundleAffinity;
-use cachesim::policy::fifo::FileFifo;
-use cachesim::policy::gds::{CostModel, GreedyDualSize};
-use cachesim::policy::lfu::FileLfu;
-use cachesim::policy::lru::FileLru;
-use cachesim::policy::size::FileSize;
-use cachesim::policy::Policy;
-use cachesim::{simulate, FileculeLru};
+use cachesim::{build_policy_from_log, PolicySpec, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hep_bench::scenario::{standard_set, trace_at_scale};
-use hep_trace::TB;
+use hep_trace::{ReplayLog, TB};
 
 fn bench_policies(c: &mut Criterion) {
     let trace = trace_at_scale(200.0, 4.0);
     let set = standard_set(&trace);
     let cap = (10.0 * TB as f64 / 200.0) as u64;
+    let log = ReplayLog::build(&trace);
+    let sim = Simulator::new();
 
     let mut group = c.benchmark_group("policy-replay");
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.n_accesses() as u64));
 
-    type PolicyFactory<'a> = Box<dyn Fn() -> Box<dyn Policy> + 'a>;
-    let factories: Vec<(&str, PolicyFactory)> = vec![
-        ("file-lru", Box::new(|| Box::new(FileLru::new(&trace, cap)))),
-        (
-            "filecule-lru",
-            Box::new(|| Box::new(FileculeLru::new(&trace, &set, cap))),
-        ),
-        ("file-fifo", Box::new(|| Box::new(FileFifo::new(&trace, cap)))),
-        ("file-lfu", Box::new(|| Box::new(FileLfu::new(&trace, cap)))),
-        ("file-size", Box::new(|| Box::new(FileSize::new(&trace, cap)))),
-        (
-            "gds-uniform",
-            Box::new(|| Box::new(GreedyDualSize::new(&trace, cap, CostModel::Uniform))),
-        ),
-        (
-            "bundle-affinity",
-            Box::new(|| Box::new(BundleAffinity::new(&trace, &set, cap))),
-        ),
-        (
-            "belady-min",
-            Box::new(|| Box::new(BeladyMin::new(&trace, cap))),
-        ),
-        (
-            "filecule-belady",
-            Box::new(|| Box::new(FileculeBelady::new(&trace, &set, cap))),
-        ),
-    ];
-    for (name, factory) in &factories {
-        group.bench_function(*name, |b| {
+    for spec in [
+        PolicySpec::FileLru,
+        PolicySpec::FileculeLru,
+        PolicySpec::FileFifo,
+        PolicySpec::FileLfu,
+        PolicySpec::FileSize,
+        PolicySpec::GdsUniform,
+        PolicySpec::BundleAffinity,
+        PolicySpec::BeladyMin,
+        PolicySpec::FileculeBelady,
+    ] {
+        group.bench_function(spec.key(), |b| {
             b.iter(|| {
-                let mut p = factory();
-                std::hint::black_box(simulate(&trace, p.as_mut()))
+                let mut p = build_policy_from_log(spec, &log, &trace, &set, cap);
+                std::hint::black_box(sim.run(&log, p.as_mut()))
             })
         });
     }

@@ -1,0 +1,58 @@
+//! Criterion benches for the shared replay engine: what a [`ReplayLog`]
+//! costs to build, what reusing it saves over per-run re-materialization,
+//! and the full 14-policy grid in a single shared pass.
+
+use cachesim::{compare_policies_log, simulate, FileLru, PolicySpec, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hep_bench::scenario::{standard_set, trace_at_scale};
+use hep_trace::{ReplayLog, TB};
+
+fn bench_replay_log(c: &mut Criterion) {
+    let trace = trace_at_scale(200.0, 4.0);
+    let set = standard_set(&trace);
+    let cap = (10.0 * TB as f64 / 200.0) as u64;
+    let log = ReplayLog::build(&trace);
+    let sim = Simulator::new();
+
+    let mut group = c.benchmark_group("replay-log");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.n_accesses() as u64));
+
+    // Materializing the columnar log from the trace.
+    group.bench_function("build", |b| {
+        b.iter(|| std::hint::black_box(ReplayLog::build(&trace)))
+    });
+
+    // One policy, re-materializing per run (the legacy free function)...
+    group.bench_function("single/rematerialize", |b| {
+        b.iter(|| {
+            let mut p = FileLru::new(&trace, cap);
+            std::hint::black_box(simulate(&trace, &mut p))
+        })
+    });
+
+    // ...vs the engine reusing the prebuilt log.
+    group.bench_function("single/shared-log", |b| {
+        b.iter(|| {
+            let mut p = FileLru::new(&trace, cap);
+            std::hint::black_box(sim.run(&log, &mut p))
+        })
+    });
+
+    // The whole policy grid, one shared materialization, one pass each.
+    group.bench_function("grid14/shared-log", |b| {
+        b.iter(|| {
+            std::hint::black_box(compare_policies_log(
+                &log,
+                &trace,
+                &set,
+                cap,
+                &PolicySpec::ALL,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_log);
+criterion_main!(benches);

@@ -7,11 +7,7 @@ use hep_bench::scenario::{standard_set, trace_at_scale};
 fn bench_tables(c: &mut Criterion) {
     let trace = trace_at_scale(200.0, 4.0);
     let set = standard_set(&trace);
-    let ctx = Ctx {
-        trace: &trace,
-        set: &set,
-        scale: 200.0,
-    };
+    let ctx = Ctx::new(&trace, &set, 200.0);
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
     for id in ["table1", "table2"] {

@@ -1,7 +1,7 @@
 //! Figures 1–12.
 
 use super::{percentiles, render_log_hist, Artifact, Ctx};
-use cachesim::sweep::sweep_fig10;
+use cachesim::sweep::sweep_fig10_log;
 use filecule_core::metrics;
 use hep_stats::fit::fit_zipf_mle;
 use hep_trace::characterize;
@@ -264,8 +264,8 @@ pub fn fig09(ctx: &Ctx<'_>) -> Artifact {
 /// one O(N log N) pass that must agree with the simulator to within the
 /// variable-size approximation error.
 pub fn fig10(ctx: &Ctx<'_>) -> Artifact {
-    let rows = sweep_fig10(ctx.trace, ctx.set, ctx.scale);
-    let profile = cachesim::file_reuse_profile(ctx.trace);
+    let rows = sweep_fig10_log(&ctx.log, ctx.trace, ctx.set, ctx.scale);
+    let profile = cachesim::file_reuse_profile_from_log(&ctx.log);
     let mut text = String::from(
         "  paper TB | cache (scaled) | file-LRU miss | (stack-dist pred) | filecule-LRU miss | factor\n  \
          ---------+----------------+---------------+-------------------+-------------------+-------\n",
@@ -401,11 +401,7 @@ mod tests {
     #[test]
     fn fig10_factor_direction() {
         let (t, s) = small_ctx();
-        let a = fig10(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = fig10(&Ctx::new(&t, &s, 400.0));
         // Every data row's factor >= 1 (filecule never loses).
         for line in a.csv.lines().skip(1) {
             let cols: Vec<&str> = line.split(',').collect();
@@ -421,22 +417,14 @@ mod tests {
     #[test]
     fn fig08_reports_non_zipf() {
         let (t, s) = small_ctx();
-        let a = fig08(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = fig08(&Ctx::new(&t, &s, 400.0));
         assert!(a.text.contains("Zipf MLE"));
     }
 
     #[test]
     fn fig11_and_fig12_same_filecule() {
         let (t, s) = small_ctx();
-        let ctx = Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        };
+        let ctx = Ctx::new(&t, &s, 400.0);
         let a11 = fig11(&ctx);
         let a12 = fig12(&ctx);
         assert!(a11.csv.lines().count() >= 2);

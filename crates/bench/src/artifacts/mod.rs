@@ -8,8 +8,9 @@ pub mod seeds;
 pub mod sections;
 pub mod tables;
 
+use cachesim::PolicySpec;
 use filecule_core::FileculeSet;
-use hep_trace::Trace;
+use hep_trace::{ReplayLog, Trace};
 
 /// A regenerated table or figure.
 #[derive(Debug, Clone)]
@@ -24,7 +25,10 @@ pub struct Artifact {
     pub csv: String,
 }
 
-/// Everything an artifact needs.
+/// Everything an artifact needs. Built once per report run via
+/// [`Ctx::new`], which materializes the trace's replay stream into a
+/// shared [`ReplayLog`] exactly once — every replay-consuming artifact
+/// (fig10, grid, headline) reads that log instead of re-materializing.
 pub struct Ctx<'a> {
     /// The trace under analysis.
     pub trace: &'a Trace,
@@ -33,6 +37,30 @@ pub struct Ctx<'a> {
     /// The scale divisor the trace was generated at (for paper-value
     /// comparisons).
     pub scale: f64,
+    /// The trace's replay stream, materialized once and shared.
+    pub log: ReplayLog,
+    /// Policy selection for the `grid` artifact (defaults to the full
+    /// 14-policy grid; `report --policies` narrows it).
+    pub policies: Vec<PolicySpec>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build a context, materializing the replay stream once.
+    pub fn new(trace: &'a Trace, set: &'a FileculeSet, scale: f64) -> Self {
+        Self {
+            trace,
+            set,
+            scale,
+            log: ReplayLog::build(trace),
+            policies: PolicySpec::ALL.to_vec(),
+        }
+    }
+
+    /// Restrict the `grid` artifact to a policy subset.
+    pub fn with_policies(mut self, policies: Vec<PolicySpec>) -> Self {
+        self.policies = policies;
+        self
+    }
 }
 
 /// All artifact ids in paper order. The `ablations` and `seeds` artifacts
@@ -122,11 +150,7 @@ mod tests {
     fn every_artifact_builds() {
         let trace = trace_at_scale(400.0, 8.0);
         let set = standard_set(&trace);
-        let ctx = Ctx {
-            trace: &trace,
-            set: &set,
-            scale: 400.0,
-        };
+        let ctx = Ctx::new(&trace, &set, 400.0);
         for id in ALL_IDS {
             let a = build(&ctx, id).unwrap_or_else(|| panic!("unknown id {id}"));
             assert_eq!(a.id, id);
@@ -139,11 +163,7 @@ mod tests {
     fn unknown_id_is_none() {
         let trace = trace_at_scale(400.0, 8.0);
         let set = standard_set(&trace);
-        let ctx = Ctx {
-            trace: &trace,
-            set: &set,
-            scale: 400.0,
-        };
+        let ctx = Ctx::new(&trace, &set, 400.0);
         assert!(build(&ctx, "nonsense").is_none());
     }
 

@@ -2,7 +2,7 @@
 //! the Section 4 headline summary.
 
 use super::{Artifact, Ctx};
-use cachesim::{simulate, FileLru, FileculeLru};
+use cachesim::{FileLru, FileculeLru, Simulator};
 use filecule_core::identify::partial::{coarsening_reports, identify_per_site};
 use hep_trace::TB;
 use replication::{
@@ -223,11 +223,13 @@ pub fn sec6(ctx: &Ctx<'_>) -> Artifact {
 }
 
 /// The full policy-comparison grid at the paper's 10 TB point: every
-/// implemented policy (the paper's pair, classic baselines, the Section 7
-/// prefetchers, and both offline MIN bounds).
+/// selected policy (default: the paper's pair, classic baselines, the
+/// Section 7 prefetchers, and both offline MIN bounds) in one shared pass
+/// over the context's replay log.
 pub fn grid(ctx: &Ctx<'_>) -> Artifact {
     let cap = (10.0 * TB as f64 / ctx.scale) as u64;
-    let mut reports = cachesim::sweep::compare_policies(ctx.trace, ctx.set, cap);
+    let mut reports =
+        cachesim::compare_policies_log(&ctx.log, ctx.trace, ctx.set, cap, &ctx.policies);
     reports.sort_by(|a, b| a.miss_rate().partial_cmp(&b.miss_rate()).unwrap());
     let mut text = format!(
         "  every policy at {:.2} TB (paper-scale 10 TB):\n    \
@@ -318,10 +320,11 @@ pub fn headline(ctx: &Ctx<'_>) -> Artifact {
         "cache_paper_tb,file_lru_hit,filecule_lru_hit,hit_ratio,miss_ratio\n",
     );
     let mut best_hit_ratio = 0.0f64;
+    let sim = Simulator::new();
     for tb in hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB {
         let cap = ((tb * TB) as f64 / ctx.scale) as u64;
-        let f = simulate(ctx.trace, &mut FileLru::new(ctx.trace, cap));
-        let g = simulate(ctx.trace, &mut FileculeLru::new(ctx.trace, ctx.set, cap));
+        let f = sim.run(&ctx.log, &mut FileLru::new(ctx.trace, cap));
+        let g = sim.run(&ctx.log, &mut FileculeLru::new(ctx.trace, ctx.set, cap));
         let hit_ratio = g.hit_rate() / f.hit_rate().max(1e-12);
         best_hit_ratio = best_hit_ratio.max(hit_ratio);
         writeln!(
@@ -367,11 +370,7 @@ mod tests {
     fn sec5_verdict_matches_paper() {
         let t = trace_at_scale(400.0, 8.0);
         let s = standard_set(&t);
-        let a = sec5(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = sec5(&Ctx::new(&t, &s, 400.0));
         assert!(a.text.contains("NOT justified"), "{}", a.text);
     }
 
@@ -379,11 +378,7 @@ mod tests {
     fn sec6_union_property() {
         let t = trace_at_scale(400.0, 8.0);
         let s = standard_set(&t);
-        let a = sec6(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = sec6(&Ctx::new(&t, &s, 400.0));
         assert!(a.text.contains("every site: true"), "{}", a.text);
     }
 
@@ -391,11 +386,7 @@ mod tests {
     fn headline_direction() {
         let t = trace_at_scale(400.0, 8.0);
         let s = standard_set(&t);
-        let a = headline(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = headline(&Ctx::new(&t, &s, 400.0));
         for line in a.csv.lines().skip(1) {
             let cols: Vec<&str> = line.split(',').collect();
             let file_hit: f64 = cols[1].parse().unwrap();

@@ -182,11 +182,7 @@ mod tests {
     #[test]
     fn table1_has_all_four_tiers() {
         let (t, s) = ctx_small();
-        let a = table1(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = table1(&Ctx::new(&t, &s, 400.0));
         for tier in ["reconstructed", "root-tuple", "thumbnail", "other"] {
             assert!(a.text.contains(tier), "missing {tier}");
             assert!(a.csv.contains(tier));
@@ -196,11 +192,7 @@ mod tests {
     #[test]
     fn table2_gov_leads() {
         let (t, s) = ctx_small();
-        let a = table2(&Ctx {
-            trace: &t,
-            set: &s,
-            scale: 400.0,
-        });
+        let a = table2(&Ctx::new(&t, &s, 400.0));
         let first_row = a.csv.lines().nth(1).unwrap();
         assert!(first_row.starts_with(".gov"), "{first_row}");
     }

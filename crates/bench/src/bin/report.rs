@@ -4,11 +4,13 @@
 //! cargo run --release -p hep-bench --bin report            # everything
 //! cargo run --release -p hep-bench --bin report fig10 sec5 # a subset
 //! cargo run --release -p hep-bench --bin report -- --scale 100 table1
+//! cargo run --release -p hep-bench --bin report -- --policies file-lru,filecule-lru grid
 //! ```
 //!
 //! Text goes to stdout; CSVs land in `target/report/<id>.csv` plus a
 //! `summary.json` with run metadata.
 
+use cachesim::PolicySpec;
 use hep_bench::artifacts::{build, Ctx, ALL_IDS};
 use hep_bench::{standard_set, REPORT_SCALE, REPORT_SEED};
 use hep_trace::{SynthConfig, TraceSynthesizer};
@@ -19,6 +21,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = REPORT_SCALE;
     let mut seed = REPORT_SEED;
+    let mut policies = PolicySpec::ALL.to_vec();
     let mut ids: Vec<String> = Vec::new();
     while let Some(a) = args.first().cloned() {
         match a.as_str() {
@@ -36,6 +39,15 @@ fn main() {
                     .first()
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a u64");
+                args.remove(0);
+            }
+            "--policies" => {
+                args.remove(0);
+                let list = args.first().expect("--policies needs a comma-separated list");
+                policies = PolicySpec::parse_list(list).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
                 args.remove(0);
             }
             _ => {
@@ -67,11 +79,13 @@ fn main() {
         set.n_assigned_files(),
         t1.elapsed().as_secs_f64()
     );
-    let ctx = Ctx {
-        trace: &trace,
-        set: &set,
-        scale,
-    };
+    let t2 = Instant::now();
+    let ctx = Ctx::new(&trace, &set, scale).with_policies(policies);
+    println!(
+        "replay log: {} events, materialized once  ({:.1}s)\n",
+        ctx.log.len(),
+        t2.elapsed().as_secs_f64()
+    );
 
     let out_dir = std::path::Path::new("target/report");
     std::fs::create_dir_all(out_dir).expect("create target/report");

@@ -18,10 +18,17 @@
 //!   FIFO, LFU, SIZE, GreedyDual-Size (with Landlord's uniform-cost
 //!   variant), offline Belady MIN, and a bundle-affinity eviction policy
 //!   inspired by Otoo et al.;
-//! * a request-ordered simulator ([`sim`]) with full accounting (request
-//!   and byte miss rates, cold-miss separation, prefetch traffic);
+//! * a request-ordered replay engine ([`sim`]): the trace is materialized
+//!   once into a shared [`hep_trace::ReplayLog`] and a [`Simulator`] drives
+//!   one or many policies over it ([`Simulator::run`],
+//!   [`Simulator::run_many`]) with full accounting (request and byte miss
+//!   rates, cold-miss separation, prefetch traffic);
+//! * a declarative policy registry ([`spec`]): [`PolicySpec`] names every
+//!   shipped configuration and [`spec::build_policy`] constructs it, so
+//!   CLI flags, sweeps and the report grid share one parser and factory;
 //! * a parallel cache-size sweep harness ([`sweep`]) that regenerates
-//!   Figure 10.
+//!   Figure 10 and the policy-comparison grid in a single pass each over
+//!   the shared log.
 //!
 //! Semantics shared by all policies: requests are served in trace order;
 //! an object larger than the cache bypasses it (it is fetched but not
@@ -34,12 +41,17 @@
 pub mod lru_core;
 pub mod policy;
 pub mod sim;
+pub mod spec;
 pub mod stackdist;
 pub mod sweep;
 
 pub use policy::filecule_lru::FileculeLru;
 pub use policy::lru::FileLru;
-pub use policy::{AccessResult, Policy};
-pub use sim::{simulate, simulate_warm, SimReport};
-pub use stackdist::{file_reuse_profile, filecule_reuse_profile, ReuseProfile};
-pub use sweep::{sweep_fig10, Fig10Row};
+pub use policy::{AccessEvent, AccessResult, Policy};
+pub use sim::{simulate, simulate_warm, SimOptions, SimReport, Simulator};
+pub use spec::{build_policy, build_policy_from_log, PolicySpec};
+pub use stackdist::{
+    file_reuse_profile, file_reuse_profile_from_log, filecule_reuse_profile,
+    filecule_reuse_profile_from_log, ReuseProfile,
+};
+pub use sweep::{compare_policies, compare_policies_log, sweep_fig10, sweep_fig10_log, Fig10Row};

@@ -7,8 +7,8 @@
 //! order — an internal access counter keeps the precomputed
 //! next-occurrence table aligned.
 
-use crate::policy::{AccessResult, Policy, Request};
-use hep_trace::Trace;
+use crate::policy::{AccessEvent, AccessResult, Policy};
+use hep_trace::{ReplayLog, Trace};
 use std::collections::BTreeSet;
 
 
@@ -35,24 +35,30 @@ pub struct BeladyMin {
 
 impl BeladyMin {
     /// Precompute next-use positions for `trace` and create the cache.
+    /// Materializes the replay stream once; callers that already hold a
+    /// [`ReplayLog`] should use [`BeladyMin::from_log`] instead.
     pub fn new(trace: &Trace, capacity: u64) -> Self {
-        let n_access = trace.n_accesses();
-        let mut next_use = vec![NEVER; n_access];
-        let mut last_pos: Vec<u64> = vec![NEVER; trace.n_files()];
+        Self::from_log(&ReplayLog::build(trace), capacity)
+    }
+
+    /// Precompute next-use positions from an already-materialized log
+    /// (no extra replay-stream materialization).
+    pub fn from_log(log: &ReplayLog, capacity: u64) -> Self {
+        let mut next_use = vec![NEVER; log.len()];
+        let mut last_pos: Vec<u64> = vec![NEVER; log.n_files()];
         // Walk the replay stream backwards.
-        let events: Vec<u32> = trace.replay_events().iter().map(|e| e.file.0).collect();
-        for (i, &f) in events.iter().enumerate().rev() {
-            next_use[i] = last_pos[f as usize];
-            last_pos[f as usize] = i as u64;
+        for (i, &f) in log.files().iter().enumerate().rev() {
+            next_use[i] = last_pos[f.index()];
+            last_pos[f.index()] = i as u64;
         }
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            sizes: log.file_sizes().to_vec(),
             next_use,
             cursor: 0,
-            resident: vec![false; trace.n_files()],
-            key_of: vec![NEVER; trace.n_files()],
+            resident: vec![false; log.n_files()],
+            key_of: vec![NEVER; log.n_files()],
             order: BTreeSet::new(),
         }
     }
@@ -71,7 +77,7 @@ impl Policy for BeladyMin {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
         let pos = self.cursor as usize;
@@ -152,21 +158,29 @@ pub struct FileculeBelady {
 
 impl FileculeBelady {
     /// Precompute group next-use positions over `trace`'s replay stream.
+    /// Materializes the stream once; callers that already hold a
+    /// [`ReplayLog`] should use [`FileculeBelady::from_log`] instead.
     pub fn new(trace: &Trace, set: &filecule_core::FileculeSet, capacity: u64) -> Self {
-        let mut group_of = vec![u32::MAX; trace.n_files()];
+        Self::from_log(&ReplayLog::build(trace), set, capacity)
+    }
+
+    /// Precompute group next-use positions from an already-materialized log
+    /// (no extra replay-stream materialization).
+    pub fn from_log(
+        log: &ReplayLog,
+        set: &filecule_core::FileculeSet,
+        capacity: u64,
+    ) -> Self {
+        let mut group_of = vec![u32::MAX; log.n_files()];
         for g in set.ids() {
             for &f in set.files(g) {
                 group_of[f.index()] = g.0;
             }
         }
-        let events: Vec<u32> = trace
-            .replay_events()
-            .iter()
-            .map(|e| group_of[e.file.index()])
-            .collect();
-        let mut next_use = vec![NEVER; events.len()];
+        let mut next_use = vec![NEVER; log.len()];
         let mut last_pos: Vec<u64> = vec![NEVER; set.n_filecules()];
-        for (i, &g) in events.iter().enumerate().rev() {
+        for (i, &f) in log.files().iter().enumerate().rev() {
+            let g = group_of[f.index()];
             if g == u32::MAX {
                 continue;
             }
@@ -183,7 +197,7 @@ impl FileculeBelady {
             resident: vec![false; set.n_filecules()],
             key_of: vec![NEVER; set.n_filecules()],
             order: BTreeSet::new(),
-            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            file_sizes: log.file_sizes().to_vec(),
         }
     }
 }
@@ -201,7 +215,7 @@ impl Policy for FileculeBelady {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let pos = self.cursor as usize;
         assert!(
             pos < self.next_use.len(),
@@ -323,11 +337,7 @@ mod tests {
         );
         let mut p = BeladyMin::new(&t, 150 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }
@@ -359,11 +369,7 @@ mod tests {
         let set = identify(&t);
         let mut p = FileculeBelady::new(&t, &set, 100 * MB);
         for ev in t.replay_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }
@@ -374,7 +380,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0]], &[10]);
         let mut p = BeladyMin::new(&t, 100 * MB);
         let ev: Vec<_> = t.access_events().collect();
-        let req = Request {
+        let req = AccessEvent {
             time: ev[0].time,
             job: ev[0].job,
             file: ev[0].file,

@@ -10,7 +10,7 @@
 //! member of an almost-complete group destroys the group's collective
 //! value, so such files are protected.
 
-use crate::policy::{f64_bits, AccessResult, Policy, Request};
+use crate::policy::{f64_bits, AccessEvent, AccessResult, Policy};
 use filecule_core::FileculeSet;
 use hep_trace::Trace;
 use std::collections::BTreeSet;
@@ -94,7 +94,7 @@ impl Policy for BundleAffinity {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
         if self.resident[fi] {
@@ -189,11 +189,7 @@ mod tests {
         let set = identify(&t);
         let mut p = BundleAffinity::new(&t, &set, 120 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
             // group_resident sums must equal resident file count.
             let gsum: u32 = p.group_resident.iter().sum();

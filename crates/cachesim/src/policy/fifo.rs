@@ -1,6 +1,6 @@
 //! File-granularity FIFO: evict in insertion order, ignoring recency.
 
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 use std::collections::VecDeque;
 
@@ -40,7 +40,7 @@ impl Policy for FileFifo {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         if self.resident[f as usize] {
             return AccessResult::hit();
@@ -114,11 +114,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2, 3, 4]], &[30, 30, 30, 30, 30]);
         let mut p = FileFifo::new(&t, 100 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }

@@ -9,7 +9,7 @@
 //! failure mode filecule-LRU has at small caches.
 
 use crate::policy::gds::CostModel;
-use crate::policy::{f64_bits, AccessResult, Policy, Request};
+use crate::policy::{f64_bits, AccessEvent, AccessResult, Policy};
 use filecule_core::FileculeSet;
 use hep_trace::Trace;
 use std::collections::BTreeSet;
@@ -91,7 +91,7 @@ impl Policy for FileculeGds {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let g = self.group_of[req.file.index()];
         if g == u32::MAX {
             return AccessResult {

@@ -12,7 +12,7 @@
 //! to ~9.5% at 1 TB.
 
 use crate::lru_core::DenseLru;
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use filecule_core::FileculeSet;
 use hep_trace::Trace;
 
@@ -76,7 +76,7 @@ impl Policy for FileculeLru {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let g = self.group_of[req.file.index()];
         if g == u32::MAX {
             // File outside the partition (cannot happen when the partition
@@ -138,7 +138,7 @@ mod tests {
         let set = identify(&t);
         let mut p = FileculeLru::new(&t, &set, 1000 * MB);
         let ev: Vec<_> = t.access_events().collect();
-        let r = p.access(&Request {
+        let r = p.access(&AccessEvent {
             time: ev[0].time,
             job: ev[0].job,
             file: ev[0].file,
@@ -199,11 +199,7 @@ mod tests {
         let set = identify(&t);
         let mut p = FileculeLru::new(&t, &set, 90 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }
@@ -215,11 +211,7 @@ mod tests {
         let mut p = FileculeLru::new(&t, &set, 150 * MB);
         let (mut fetched, mut evicted) = (0u64, 0u64);
         for ev in t.access_events() {
-            let r = p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            let r = p.access(&ev);
             fetched += r.bytes_fetched;
             evicted += r.bytes_evicted;
         }

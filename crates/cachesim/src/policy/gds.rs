@@ -10,7 +10,7 @@
 //! therefore expose one engine with pluggable [`CostModel`]s and provide a
 //! [`GreedyDualSize::landlord`] constructor (uniform cost).
 
-use crate::policy::{f64_bits, AccessResult, Policy, Request};
+use crate::policy::{f64_bits, AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 use std::collections::BTreeSet;
 
@@ -112,7 +112,7 @@ impl Policy for GreedyDualSize {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
         if self.resident[fi] {
@@ -216,11 +216,7 @@ mod tests {
         let mut p = GreedyDualSize::new(&t, 150 * MB, CostModel::Uniform);
         let mut last = 0.0f64;
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.inflation >= last);
             last = p.inflation;
             assert!(p.used() <= p.capacity());

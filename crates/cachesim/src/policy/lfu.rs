@@ -5,7 +5,7 @@
 //! long-run popularity. Eviction: smallest frequency, ties broken by
 //! earliest insertion.
 
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 use std::collections::BTreeSet;
 
@@ -55,7 +55,7 @@ impl Policy for FileLfu {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
         let old_freq = self.freq[fi];
@@ -154,11 +154,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2, 3], &[1, 2], &[0, 3]], &[60, 60, 60, 60]);
         let mut p = FileLfu::new(&t, 150 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }

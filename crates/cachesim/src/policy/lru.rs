@@ -2,7 +2,7 @@
 //! simplicity and because of its use at FermiLab", Section 4).
 
 use crate::lru_core::DenseLru;
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 
 /// LRU over individual files.
@@ -51,7 +51,7 @@ impl Policy for FileLru {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         if self.lru.contains(f) {
             self.lru.touch(f);
@@ -127,11 +127,7 @@ mod tests {
         );
         let mut p = FileLru::new(&t, 150 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }
@@ -143,11 +139,7 @@ mod tests {
         let mut fetched = 0u64;
         let mut evicted = 0u64;
         for ev in t.access_events() {
-            let r = p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            let r = p.access(&ev);
             fetched += r.bytes_fetched;
             evicted += r.bytes_evicted;
         }

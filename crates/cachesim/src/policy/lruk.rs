@@ -7,7 +7,7 @@
 //! from genuinely re-referenced files — relevant here because a DZero job
 //! touches ~100 files once each, so plain LRU fills with single-use files.
 
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 use std::collections::BTreeSet;
 
@@ -82,7 +82,7 @@ impl Policy for FileLruK {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
         self.record_reference(fi);
@@ -177,11 +177,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2], &[1, 3], &[0, 2, 3]], &[70, 70, 70, 70]);
         let mut p = FileLruK::new(&t, 150 * MB, 2);
         for ev in t.replay_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }

@@ -17,18 +17,11 @@ pub mod lruk;
 pub mod prefetch;
 pub mod size;
 
-use hep_trace::{FileId, JobId};
-
-/// One file request from the replay stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Request {
-    /// Request time (seconds from trace epoch).
-    pub time: u64,
-    /// The requesting job.
-    pub job: JobId,
-    /// The requested file.
-    pub file: FileId,
-}
+/// One file request from the replay stream. Policies consume the trace's
+/// own event type directly — there is no separate request struct to
+/// convert into, so a [`hep_trace::ReplayLog`] (or `Trace::replay_events`)
+/// feeds policies without any per-event translation.
+pub use hep_trace::AccessEvent;
 
 /// Outcome of serving one request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,7 +59,7 @@ pub trait Policy {
     fn used(&self) -> u64;
 
     /// Serve one request.
-    fn access(&mut self, req: &Request) -> AccessResult;
+    fn access(&mut self, req: &AccessEvent) -> AccessResult;
 }
 
 /// Order-preserving bit pattern for a non-negative `f64` — lets priority
@@ -80,7 +73,7 @@ pub(crate) fn f64_bits(x: f64) -> u64 {
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
-    use hep_trace::{DataTier, NodeId, Trace, TraceBuilder, MB};
+    use hep_trace::{DataTier, FileId, NodeId, Trace, TraceBuilder, MB};
 
     /// Build a trace where each entry of `jobs` is one job's file-id list
     /// and `sizes_mb[i]` is file `i`'s size.
@@ -112,15 +105,7 @@ pub(crate) mod testutil {
         trace
             .replay_events()
             .into_iter()
-            .map(|ev| {
-                policy
-                    .access(&Request {
-                        time: ev.time,
-                        job: ev.job,
-                        file: ev.file,
-                    })
-                    .hit
-            })
+            .map(|ev| policy.access(&ev).hit)
             .collect()
     }
 }

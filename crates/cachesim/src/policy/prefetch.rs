@@ -16,7 +16,7 @@
 //! that usage-signature groups are the more stable prefetch unit.
 
 use crate::lru_core::DenseLru;
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::{FileId, JobId, Trace};
 use std::collections::HashMap;
 
@@ -109,7 +109,7 @@ impl Policy for SuccessorPrefetch {
         self.cache.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         // Learn: the previous access's successor is f.
         if self.prev != u32::MAX && self.prev != f {
@@ -151,6 +151,9 @@ pub struct WorkingSetPrefetch {
     cache: LruBytes,
     /// Remembered file-sets (sorted) per user.
     library: HashMap<u32, Vec<Vec<FileId>>>,
+    /// Bumped whenever a user's library changes, invalidating the
+    /// candidate lists cached on active jobs. Missing entry = 0.
+    library_version: HashMap<u32, u64>,
     /// Per-user cap on remembered sets.
     library_cap: usize,
     /// State of the currently tracked jobs.
@@ -164,6 +167,11 @@ struct ActiveJob {
     seen: Vec<FileId>,
     /// Whether a unique matching tree has already been prefetched.
     prefetched: bool,
+    /// Library indices whose sets contain every file in `seen`, valid
+    /// while `lib_version` equals the user's current library version.
+    candidates: Vec<u32>,
+    /// Version the candidates were derived against (`u64::MAX` = stale).
+    lib_version: u64,
 }
 
 impl WorkingSetPrefetch {
@@ -172,18 +180,32 @@ impl WorkingSetPrefetch {
         Self {
             cache: LruBytes::new(trace, capacity),
             library: HashMap::new(),
+            library_version: HashMap::new(),
             library_cap,
             active: HashMap::new(),
             job_users: trace.jobs().iter().map(|j| j.user.0).collect(),
         }
     }
+}
 
-    /// Sets in `lib` whose file list contains every element of `seen`.
-    fn matches<'l>(lib: &'l [Vec<FileId>], seen: &[FileId]) -> Vec<&'l Vec<FileId>> {
-        lib.iter()
-            .filter(|set| seen.iter().all(|f| set.binary_search(f).is_ok()))
-            .collect()
+/// Is the sorted list `needle` a subset of the sorted list `hay`? Single
+/// merge walk, bailing at the first element `hay` cannot supply.
+fn is_sorted_subset(needle: &[FileId], hay: &[FileId]) -> bool {
+    let mut i = 0;
+    for n in needle {
+        loop {
+            match hay.get(i) {
+                None => return false,
+                Some(h) if h < n => i += 1,
+                Some(h) if h == n => {
+                    i += 1;
+                    break;
+                }
+                _ => return false,
+            }
+        }
     }
+    true
 }
 
 impl Policy for WorkingSetPrefetch {
@@ -199,19 +221,26 @@ impl Policy for WorkingSetPrefetch {
         self.cache.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let user = self.job_users[req.job.index()];
 
-        // Track the job's accesses.
+        // Track the job's accesses. The state borrow stays live across the
+        // cache calls below — `active`, `cache` and `library` are disjoint
+        // fields, so no cloning of the seen-set is needed.
         let state = self.active.entry(req.job).or_insert_with(|| ActiveJob {
             seen: Vec::new(),
             prefetched: false,
+            candidates: Vec::new(),
+            lib_version: u64::MAX,
         });
-        if let Err(pos) = state.seen.binary_search(&req.file) {
-            state.seen.insert(pos, req.file);
-        }
-        let (seen, already) = (state.seen.clone(), state.prefetched);
+        let new_file = match state.seen.binary_search(&req.file) {
+            Err(pos) => {
+                state.seen.insert(pos, req.file);
+                true
+            }
+            Ok(_) => false,
+        };
 
         let hit = self.cache.contains(f);
         let (mut fetched, mut evicted) = (0u64, 0u64);
@@ -224,18 +253,35 @@ impl Policy for WorkingSetPrefetch {
         }
 
         // Unique-match prefetch (delayed until exactly one tree matches,
-        // as in Tait-Duchamp).
+        // as in Tait-Duchamp). The matching candidates are maintained
+        // incrementally: supersets of `seen + {f}` are exactly the previous
+        // candidates that also contain `f`, so after one full merge-walk
+        // scan per library version, each access only filters the survivors.
         let mut to_prefetch: Vec<FileId> = Vec::new();
-        if !already && seen.len() >= 2 {
+        if !state.prefetched && state.seen.len() >= 2 {
             if let Some(lib) = self.library.get(&user) {
-                let m = Self::matches(lib, &seen);
-                if m.len() == 1 {
-                    to_prefetch = m[0]
+                let version = self.library_version.get(&user).copied().unwrap_or(0);
+                if state.lib_version != version {
+                    state.candidates = lib
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, set)| is_sorted_subset(&state.seen, set))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    state.lib_version = version;
+                } else if new_file {
+                    state
+                        .candidates
+                        .retain(|&i| lib[i as usize].binary_search(&req.file).is_ok());
+                }
+                if let [only] = state.candidates.as_slice() {
+                    let seen = &state.seen;
+                    to_prefetch = lib[*only as usize]
                         .iter()
                         .copied()
-                        .filter(|x| !seen.contains(x))
+                        .filter(|x| seen.binary_search(x).is_err())
                         .collect();
-                    self.active.get_mut(&req.job).expect("tracked").prefetched = true;
+                    state.prefetched = true;
                 }
             }
         }
@@ -262,6 +308,7 @@ impl Policy for WorkingSetPrefetch {
                     lib.remove(0);
                 }
                 lib.push(st.seen);
+                *self.library_version.entry(u).or_insert(0) += 1;
             }
         }
 
@@ -312,11 +359,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2, 3], &[0, 2], &[1, 3]], &[60, 60, 60, 60]);
         let mut p = SuccessorPrefetch::new(&t, 150 * MB, 3);
         for ev in t.replay_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }
@@ -368,11 +411,7 @@ mod tests {
         );
         let mut p = WorkingSetPrefetch::new(&t, 130 * MB, 4);
         for ev in t.replay_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }

@@ -5,7 +5,7 @@
 //! makes SIZE behave very differently here (it throws away exactly the big
 //! raw/root files that jobs re-read).
 
-use crate::policy::{AccessResult, Policy, Request};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::Trace;
 use std::collections::BTreeSet;
 
@@ -46,7 +46,7 @@ impl Policy for FileSize {
         self.used
     }
 
-    fn access(&mut self, req: &Request) -> AccessResult {
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         if self.resident[f as usize] {
             return AccessResult::hit();
@@ -112,11 +112,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2, 3]], &[90, 80, 70, 60]);
         let mut p = FileSize::new(&t, 150 * MB);
         for ev in t.access_events() {
-            p.access(&Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            });
+            p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
     }

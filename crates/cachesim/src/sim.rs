@@ -1,11 +1,23 @@
 //! Request-ordered cache simulation with full accounting.
+//!
+//! The engine is [`Simulator`]: it replays a shared, pre-materialized
+//! [`ReplayLog`] through one policy ([`Simulator::run`]) or through many
+//! policies in one parallel pass over the same log
+//! ([`Simulator::run_many`]). The log carries a snapshotted per-file size
+//! column, so the hot loop never touches [`Trace::file`].
+//!
+//! [`simulate`] and [`simulate_warm`] are kept as thin wrappers for
+//! one-shot callers; each wrapper call re-materializes the replay stream,
+//! so anything that simulates the same trace more than once should build a
+//! [`ReplayLog`] once and call the [`Simulator`] directly.
 
-use crate::policy::{Policy, Request};
-use hep_trace::Trace;
+use crate::policy::Policy;
+use hep_trace::{ReplayLog, Trace};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Policy name.
     pub policy: String,
@@ -67,7 +79,151 @@ impl SimReport {
     }
 }
 
+/// Options controlling how the [`Simulator`] accumulates statistics. The
+/// policy always serves every event; options only affect accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Fraction of the stream to replay before statistics start (`0.0` =
+    /// account everything). Must be in `[0, 1)`; removes cold-start bias
+    /// when comparing policies on short traces.
+    pub warmup_fraction: f64,
+    /// Accumulate the byte counters (`bytes_requested` / `bytes_fetched` /
+    /// `bytes_evicted`). Disable for request-miss-rate-only sweeps.
+    pub count_bytes: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            warmup_fraction: 0.0,
+            count_bytes: true,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Default options with a warmup fraction.
+    ///
+    /// # Panics
+    /// Panics if `warmup_fraction` is outside `[0, 1)`.
+    pub fn warm(warmup_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&warmup_fraction),
+            "warmup fraction must be in [0, 1)"
+        );
+        Self {
+            warmup_fraction,
+            ..Self::default()
+        }
+    }
+}
+
+/// The replay engine: drives policies over a shared [`ReplayLog`].
+///
+/// ```
+/// use cachesim::{sim::Simulator, FileLru, FileculeLru};
+/// use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer, TB};
+///
+/// let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+/// let set = filecule_core::identify(&trace);
+/// let log = ReplayLog::build(&trace); // materialized once
+/// let sim = Simulator::new();
+/// let cap = TB / 100;
+/// let file = sim.run(&log, &mut FileLru::new(&trace, cap));
+/// let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
+/// assert_eq!(file.requests, trace.n_accesses() as u64);
+/// assert!(filecule.miss_rate() <= file.miss_rate());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// A simulator with default options (no warmup, byte accounting on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A simulator with explicit [`SimOptions`].
+    ///
+    /// # Panics
+    /// Panics if `options.warmup_fraction` is outside `[0, 1)`.
+    pub fn with_options(options: SimOptions) -> Self {
+        assert!(
+            (0.0..1.0).contains(&options.warmup_fraction),
+            "warmup fraction must be in [0, 1)"
+        );
+        Self { options }
+    }
+
+    /// Replay the whole log through `policy`, accumulating a [`SimReport`].
+    pub fn run(&self, log: &ReplayLog, policy: &mut dyn Policy) -> SimReport {
+        let skip = (log.len() as f64 * self.options.warmup_fraction) as usize;
+        let mut report = SimReport {
+            policy: policy.name(),
+            capacity: policy.capacity(),
+            requests: 0,
+            hits: 0,
+            misses: 0,
+            cold_misses: 0,
+            bypasses: 0,
+            bytes_requested: 0,
+            bytes_fetched: 0,
+            bytes_evicted: 0,
+        };
+        let mut seen = vec![false; log.n_files()];
+        for i in 0..log.len() {
+            let ev = log.event(i);
+            let r = policy.access(&ev);
+            if i >= skip {
+                report.requests += 1;
+                if self.options.count_bytes {
+                    report.bytes_requested += log.file_size(ev.file);
+                    report.bytes_fetched += r.bytes_fetched;
+                    report.bytes_evicted += r.bytes_evicted;
+                }
+                if r.hit {
+                    report.hits += 1;
+                } else {
+                    report.misses += 1;
+                    if !seen[ev.file.index()] {
+                        report.cold_misses += 1;
+                    }
+                    if r.bypassed {
+                        report.bypasses += 1;
+                    }
+                }
+            }
+            seen[ev.file.index()] = true;
+        }
+        report
+    }
+
+    /// Drive every policy through the shared log in one parallel pass: the
+    /// log is borrowed (materialized zero times here), policies run
+    /// concurrently via rayon, and each accumulates its own [`SimReport`].
+    /// Results are bit-identical to calling [`Simulator::run`] on each
+    /// policy sequentially — every policy sees the full ordered stream.
+    pub fn run_many<'t>(
+        &self,
+        log: &ReplayLog,
+        policies: &mut [Box<dyn Policy + Send + 't>],
+    ) -> Vec<SimReport> {
+        policies
+            .par_iter_mut()
+            .map(|p| self.run(log, p.as_mut()))
+            .collect()
+    }
+}
+
 /// Replay every file access of `trace` (in time order) through `policy`.
+///
+/// **Deprecated in favor of [`Simulator::run`]** (kept as a back-compat
+/// wrapper): this materializes a fresh [`ReplayLog`] on every call, so
+/// anything that simulates the same trace more than once should build the
+/// log once and hand it to a [`Simulator`] instead. Results are
+/// bit-identical either way.
 ///
 /// ```
 /// use hep_trace::{SynthConfig, TraceSynthesizer, TB};
@@ -83,49 +239,16 @@ impl SimReport {
 /// assert!(filecule.miss_rate() <= file.miss_rate());
 /// ```
 pub fn simulate(trace: &Trace, policy: &mut dyn Policy) -> SimReport {
-    let mut report = SimReport {
-        policy: policy.name(),
-        capacity: policy.capacity(),
-        requests: 0,
-        hits: 0,
-        misses: 0,
-        cold_misses: 0,
-        bypasses: 0,
-        bytes_requested: 0,
-        bytes_fetched: 0,
-        bytes_evicted: 0,
-    };
-    let mut seen = vec![false; trace.n_files()];
-    for ev in trace.replay_events() {
-        let req = Request {
-            time: ev.time,
-            job: ev.job,
-            file: ev.file,
-        };
-        let r = policy.access(&req);
-        report.requests += 1;
-        report.bytes_requested += trace.file(ev.file).size_bytes;
-        if r.hit {
-            report.hits += 1;
-        } else {
-            report.misses += 1;
-            if !seen[ev.file.index()] {
-                report.cold_misses += 1;
-            }
-            if r.bypassed {
-                report.bypasses += 1;
-            }
-        }
-        seen[ev.file.index()] = true;
-        report.bytes_fetched += r.bytes_fetched;
-        report.bytes_evicted += r.bytes_evicted;
-    }
-    report
+    Simulator::new().run(&ReplayLog::build(trace), policy)
 }
 
 /// Like [`simulate`], but only accumulate statistics after the first
 /// `warmup_fraction` of requests (the policy still serves all of them).
-/// Removes cold-start bias when comparing policies on short traces.
+///
+/// **Deprecated in favor of [`Simulator::with_options`] +
+/// [`SimOptions::warm`]** (kept as a back-compat wrapper): it materializes
+/// a fresh [`ReplayLog`] per call, where the engine shares one log across
+/// runs.
 ///
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
@@ -134,51 +257,8 @@ pub fn simulate_warm(
     policy: &mut dyn Policy,
     warmup_fraction: f64,
 ) -> SimReport {
-    assert!(
-        (0.0..1.0).contains(&warmup_fraction),
-        "warmup fraction must be in [0, 1)"
-    );
-    let events = trace.replay_events();
-    let skip = (events.len() as f64 * warmup_fraction) as usize;
-    let mut report = SimReport {
-        policy: policy.name(),
-        capacity: policy.capacity(),
-        requests: 0,
-        hits: 0,
-        misses: 0,
-        cold_misses: 0,
-        bypasses: 0,
-        bytes_requested: 0,
-        bytes_fetched: 0,
-        bytes_evicted: 0,
-    };
-    let mut seen = vec![false; trace.n_files()];
-    for (i, ev) in events.into_iter().enumerate() {
-        let r = policy.access(&Request {
-            time: ev.time,
-            job: ev.job,
-            file: ev.file,
-        });
-        if i >= skip {
-            report.requests += 1;
-            report.bytes_requested += trace.file(ev.file).size_bytes;
-            if r.hit {
-                report.hits += 1;
-            } else {
-                report.misses += 1;
-                if !seen[ev.file.index()] {
-                    report.cold_misses += 1;
-                }
-                if r.bypassed {
-                    report.bypasses += 1;
-                }
-            }
-            report.bytes_fetched += r.bytes_fetched;
-            report.bytes_evicted += r.bytes_evicted;
-        }
-        seen[ev.file.index()] = true;
-    }
-    report
+    Simulator::with_options(SimOptions::warm(warmup_fraction))
+        .run(&ReplayLog::build(trace), policy)
 }
 
 #[cfg(test)]
@@ -284,5 +364,67 @@ mod tests {
     fn warmup_one_panics() {
         let t = trace_with_sizes(&[&[0]], &[10]);
         let _ = simulate_warm(&t, &mut FileLru::new(&t, MB), 1.0);
+    }
+
+    #[test]
+    fn run_reuses_log_without_rematerializing() {
+        let t = TraceSynthesizer::new(SynthConfig::small(72)).generate();
+        let log = hep_trace::ReplayLog::build(&t);
+        let before = hep_trace::materialization_count();
+        let sim = Simulator::new();
+        let a = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        let b = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        assert_eq!(hep_trace::materialization_count(), before);
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let t = TraceSynthesizer::new(SynthConfig::small(73)).generate();
+        let set = identify(&t);
+        let log = hep_trace::ReplayLog::build(&t);
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let cap = total / 8;
+        let sim = Simulator::new();
+        let mut policies: Vec<Box<dyn crate::Policy + Send>> = vec![
+            Box::new(FileLru::new(&t, cap)),
+            Box::new(FileculeLru::new(&t, &set, cap)),
+        ];
+        let many = sim.run_many(&log, &mut policies);
+        let one_a = sim.run(&log, &mut FileLru::new(&t, cap));
+        let one_b = sim.run(&log, &mut FileculeLru::new(&t, &set, cap));
+        for (m, s) in many.iter().zip([one_a, one_b].iter()) {
+            assert_eq!(m.policy, s.policy);
+            assert_eq!(m.hits, s.hits);
+            assert_eq!(m.misses, s.misses);
+            assert_eq!(m.cold_misses, s.cold_misses);
+            assert_eq!(m.bytes_fetched, s.bytes_fetched);
+            assert_eq!(m.bytes_evicted, s.bytes_evicted);
+        }
+    }
+
+    #[test]
+    fn count_bytes_off_zeroes_byte_counters() {
+        let t = trace_with_sizes(&[&[0, 1], &[0, 1]], &[10, 20]);
+        let log = hep_trace::ReplayLog::build(&t);
+        let sim = Simulator::with_options(SimOptions {
+            count_bytes: false,
+            ..SimOptions::default()
+        });
+        let r = sim.run(&log, &mut FileLru::new(&t, 1000 * MB));
+        assert_eq!(r.requests, 4);
+        assert_eq!(r.hits, 2);
+        assert_eq!(r.bytes_requested, 0);
+        assert_eq!(r.bytes_fetched, 0);
+        assert_eq!(r.bytes_evicted, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn simulator_options_warmup_one_panics() {
+        let _ = Simulator::with_options(SimOptions {
+            warmup_fraction: 1.0,
+            ..SimOptions::default()
+        });
     }
 }

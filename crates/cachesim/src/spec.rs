@@ -1,0 +1,282 @@
+//! Declarative policy selection: a [`PolicySpec`] names each policy
+//! configuration the crate ships, and [`build_policy`] /
+//! [`build_policy_from_log`] construct the boxed [`Policy`] for it.
+//!
+//! This replaces ad-hoc constructor lists (the sweep's boxed closures, the
+//! CLI's string match) with one shared registry, so `--policies
+//! file-lru,filecule-lru,...` selections parse and build identically
+//! everywhere.
+
+use crate::policy::belady::{BeladyMin, FileculeBelady};
+use crate::policy::bundle::BundleAffinity;
+use crate::policy::fifo::FileFifo;
+use crate::policy::filecule_gds::FileculeGds;
+use crate::policy::filecule_lru::FileculeLru;
+use crate::policy::gds::{CostModel, GreedyDualSize};
+use crate::policy::lfu::FileLfu;
+use crate::policy::lru::FileLru;
+use crate::policy::lruk::FileLruK;
+use crate::policy::prefetch::{SuccessorPrefetch, WorkingSetPrefetch};
+use crate::policy::size::FileSize;
+use crate::policy::Policy;
+use filecule_core::FileculeSet;
+use hep_trace::{ReplayLog, Trace};
+
+/// Every policy configuration the crate ships, as a value. The grid/sweep
+/// default is [`PolicySpec::ALL`]; subsets parse from comma-separated
+/// [`PolicySpec::key`] tokens via [`PolicySpec::parse_list`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// File-granularity LRU (the paper's baseline).
+    FileLru,
+    /// Filecule-granularity LRU (the paper's contribution).
+    FileculeLru,
+    /// GreedyDual-Size over filecules, uniform cost.
+    FileculeGds,
+    /// File-granularity FIFO.
+    FileFifo,
+    /// File-granularity LFU.
+    FileLfu,
+    /// SIZE (largest-file-first eviction).
+    FileSize,
+    /// GreedyDual-Size, uniform cost (Landlord's variant).
+    GdsUniform,
+    /// GreedyDual-Size, size-proportional cost.
+    GdsSize,
+    /// Bundle-affinity eviction (Otoo et al. inspired).
+    BundleAffinity,
+    /// LRU-2 (second-to-last reference ordering).
+    FileLru2,
+    /// Per-file successor-graph prefetcher (depth 4).
+    SuccessorPrefetch,
+    /// Per-job working-set prefetcher (window 16).
+    WorkingSetPrefetch,
+    /// Offline Belady MIN at file granularity.
+    BeladyMin,
+    /// Offline Belady MIN at filecule granularity.
+    FileculeBelady,
+}
+
+impl PolicySpec {
+    /// Every spec, in the canonical grid order (the order
+    /// `compare_policies` reports).
+    pub const ALL: [PolicySpec; 14] = [
+        PolicySpec::FileLru,
+        PolicySpec::FileculeLru,
+        PolicySpec::FileculeGds,
+        PolicySpec::FileFifo,
+        PolicySpec::FileLfu,
+        PolicySpec::FileSize,
+        PolicySpec::GdsUniform,
+        PolicySpec::GdsSize,
+        PolicySpec::BundleAffinity,
+        PolicySpec::FileLru2,
+        PolicySpec::SuccessorPrefetch,
+        PolicySpec::WorkingSetPrefetch,
+        PolicySpec::BeladyMin,
+        PolicySpec::FileculeBelady,
+    ];
+
+    /// The canonical selection token (what `--policies` lists are written
+    /// in).
+    pub fn key(self) -> &'static str {
+        match self {
+            PolicySpec::FileLru => "file-lru",
+            PolicySpec::FileculeLru => "filecule-lru",
+            PolicySpec::FileculeGds => "filecule-gds",
+            PolicySpec::FileFifo => "file-fifo",
+            PolicySpec::FileLfu => "file-lfu",
+            PolicySpec::FileSize => "file-size",
+            PolicySpec::GdsUniform => "gds-uniform",
+            PolicySpec::GdsSize => "gds-size",
+            PolicySpec::BundleAffinity => "bundle-affinity",
+            PolicySpec::FileLru2 => "file-lru2",
+            PolicySpec::SuccessorPrefetch => "successor-prefetch",
+            PolicySpec::WorkingSetPrefetch => "workingset-prefetch",
+            PolicySpec::BeladyMin => "belady-min",
+            PolicySpec::FileculeBelady => "filecule-belady",
+        }
+    }
+
+    /// Parse one selection token. Accepts the canonical [`PolicySpec::key`]
+    /// plus the short aliases the CLI has always taken (`fifo`, `lfu`,
+    /// `size`, `gds`, `landlord`, `lru2`, `belady`, `bundle`, `successor`,
+    /// `workingset`).
+    pub fn parse(token: &str) -> Option<Self> {
+        Some(match token {
+            "file-lru" => PolicySpec::FileLru,
+            "filecule-lru" => PolicySpec::FileculeLru,
+            "filecule-gds" => PolicySpec::FileculeGds,
+            "file-fifo" | "fifo" => PolicySpec::FileFifo,
+            "file-lfu" | "lfu" => PolicySpec::FileLfu,
+            "file-size" | "size" => PolicySpec::FileSize,
+            "gds-uniform" | "gds" | "landlord" => PolicySpec::GdsUniform,
+            "gds-size" => PolicySpec::GdsSize,
+            "bundle-affinity" | "bundle" => PolicySpec::BundleAffinity,
+            "file-lru2" | "lru2" => PolicySpec::FileLru2,
+            "successor-prefetch" | "successor" => PolicySpec::SuccessorPrefetch,
+            "workingset-prefetch" | "workingset" => PolicySpec::WorkingSetPrefetch,
+            "belady-min" | "belady" => PolicySpec::BeladyMin,
+            "filecule-belady" => PolicySpec::FileculeBelady,
+            _ => return None,
+        })
+    }
+
+    /// Parse a comma-separated selection list (`"file-lru,filecule-lru"`);
+    /// `"all"` (or an empty string) selects [`PolicySpec::ALL`].
+    pub fn parse_list(list: &str) -> Result<Vec<Self>, String> {
+        let list = list.trim();
+        if list.is_empty() || list == "all" {
+            return Ok(Self::ALL.to_vec());
+        }
+        list.split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                Self::parse(t).ok_or_else(|| {
+                    let known: Vec<&str> = Self::ALL.iter().map(|s| s.key()).collect();
+                    format!("unknown policy {t:?} (known: {})", known.join(", "))
+                })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Build the policy a spec names. The offline Belady specs materialize the
+/// replay stream once each; use [`build_policy_from_log`] with a shared
+/// [`ReplayLog`] to avoid that.
+pub fn build_policy(
+    spec: PolicySpec,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity: u64,
+) -> Box<dyn Policy + Send> {
+    match spec {
+        PolicySpec::BeladyMin | PolicySpec::FileculeBelady => {
+            build_policy_from_log(spec, &ReplayLog::build(trace), trace, set, capacity)
+        }
+        _ => build_online_policy(spec, trace, set, capacity),
+    }
+}
+
+/// Build the policy a spec names against an already-materialized log:
+/// constructs everything (including the offline Belady policies) without
+/// touching `trace.replay_events()`.
+pub fn build_policy_from_log(
+    spec: PolicySpec,
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity: u64,
+) -> Box<dyn Policy + Send> {
+    match spec {
+        PolicySpec::BeladyMin => Box::new(BeladyMin::from_log(log, capacity)),
+        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_log(log, set, capacity)),
+        _ => build_online_policy(spec, trace, set, capacity),
+    }
+}
+
+/// The online (non-Belady) constructors, which never need the replay
+/// stream — only the trace's file metadata and the filecule partition.
+fn build_online_policy(
+    spec: PolicySpec,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity: u64,
+) -> Box<dyn Policy + Send> {
+    match spec {
+        PolicySpec::FileLru => Box::new(FileLru::new(trace, capacity)),
+        PolicySpec::FileculeLru => Box::new(FileculeLru::new(trace, set, capacity)),
+        PolicySpec::FileculeGds => {
+            Box::new(FileculeGds::new(trace, set, capacity, CostModel::Uniform))
+        }
+        PolicySpec::FileFifo => Box::new(FileFifo::new(trace, capacity)),
+        PolicySpec::FileLfu => Box::new(FileLfu::new(trace, capacity)),
+        PolicySpec::FileSize => Box::new(FileSize::new(trace, capacity)),
+        PolicySpec::GdsUniform => {
+            Box::new(GreedyDualSize::new(trace, capacity, CostModel::Uniform))
+        }
+        PolicySpec::GdsSize => Box::new(GreedyDualSize::new(trace, capacity, CostModel::Size)),
+        PolicySpec::BundleAffinity => Box::new(BundleAffinity::new(trace, set, capacity)),
+        PolicySpec::FileLru2 => Box::new(FileLruK::new(trace, capacity, 2)),
+        PolicySpec::SuccessorPrefetch => Box::new(SuccessorPrefetch::new(trace, capacity, 4)),
+        PolicySpec::WorkingSetPrefetch => {
+            Box::new(WorkingSetPrefetch::new(trace, capacity, 16))
+        }
+        PolicySpec::BeladyMin | PolicySpec::FileculeBelady => {
+            unreachable!("offline specs are handled by the log-aware constructors")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filecule_core::identify;
+    use hep_trace::{SynthConfig, TraceSynthesizer};
+
+    #[test]
+    fn every_key_round_trips() {
+        for spec in PolicySpec::ALL {
+            assert_eq!(PolicySpec::parse(spec.key()), Some(spec), "{spec}");
+        }
+    }
+
+    #[test]
+    fn cli_aliases_parse() {
+        for (alias, want) in [
+            ("fifo", PolicySpec::FileFifo),
+            ("lfu", PolicySpec::FileLfu),
+            ("size", PolicySpec::FileSize),
+            ("gds", PolicySpec::GdsUniform),
+            ("landlord", PolicySpec::GdsUniform),
+            ("lru2", PolicySpec::FileLru2),
+            ("belady", PolicySpec::BeladyMin),
+            ("bundle", PolicySpec::BundleAffinity),
+            ("successor", PolicySpec::SuccessorPrefetch),
+            ("workingset", PolicySpec::WorkingSetPrefetch),
+        ] {
+            assert_eq!(PolicySpec::parse(alias), Some(want), "{alias}");
+        }
+        assert_eq!(PolicySpec::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn parse_list_subsets_and_all() {
+        let subset = PolicySpec::parse_list("file-lru, filecule-lru").unwrap();
+        assert_eq!(subset, vec![PolicySpec::FileLru, PolicySpec::FileculeLru]);
+        assert_eq!(PolicySpec::parse_list("all").unwrap().len(), 14);
+        assert_eq!(PolicySpec::parse_list("").unwrap().len(), 14);
+        assert!(PolicySpec::parse_list("file-lru,bogus").is_err());
+    }
+
+    #[test]
+    fn built_policies_report_expected_names() {
+        let t = TraceSynthesizer::new(SynthConfig::small(91)).generate();
+        let set = identify(&t);
+        let log = ReplayLog::build(&t);
+        for spec in PolicySpec::ALL {
+            let p = build_policy_from_log(spec, &log, &t, &set, hep_trace::TB);
+            assert!(!p.name().is_empty(), "{spec}");
+            assert_eq!(p.capacity(), hep_trace::TB, "{spec}");
+        }
+    }
+
+    #[test]
+    fn belady_from_log_skips_materialization() {
+        let t = TraceSynthesizer::new(SynthConfig::small(92)).generate();
+        let set = identify(&t);
+        let log = ReplayLog::build(&t);
+        let before = hep_trace::materialization_count();
+        let _ = build_policy_from_log(PolicySpec::BeladyMin, &log, &t, &set, hep_trace::TB);
+        let _ =
+            build_policy_from_log(PolicySpec::FileculeBelady, &log, &t, &set, hep_trace::TB);
+        assert_eq!(hep_trace::materialization_count(), before);
+    }
+}

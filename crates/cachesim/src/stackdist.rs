@@ -16,8 +16,7 @@
 //! access's distance includes the object's own size, so it hits in an LRU
 //! cache of byte capacity `C` exactly when `distance <= C`.
 
-use crate::policy::Request;
-use hep_trace::Trace;
+use hep_trace::{ReplayLog, Trace};
 
 /// A Fenwick (binary indexed) tree over `u64` byte weights.
 #[derive(Debug, Clone)]
@@ -133,22 +132,38 @@ pub fn reuse_distances(keys: &[u32], sizes: &[u64]) -> ReuseProfile {
 }
 
 /// File-granularity reuse profile of a trace's replay stream.
+/// Materializes the stream; reuse [`file_reuse_profile_from_log`] when a
+/// [`ReplayLog`] is already built.
 pub fn file_reuse_profile(trace: &Trace) -> ReuseProfile {
-    let keys: Vec<u32> = trace.replay_events().iter().map(|e| e.file.0).collect();
-    let sizes: Vec<u64> = trace.files().iter().map(|f| f.size_bytes).collect();
-    reuse_distances(&keys, &sizes)
+    file_reuse_profile_from_log(&ReplayLog::build(trace))
+}
+
+/// [`file_reuse_profile`] over an already-materialized log.
+pub fn file_reuse_profile_from_log(log: &ReplayLog) -> ReuseProfile {
+    let keys: Vec<u32> = log.files().iter().map(|f| f.0).collect();
+    reuse_distances(&keys, log.file_sizes())
 }
 
 /// Filecule-granularity reuse profile: the stream's files are mapped to
 /// their filecules (whole-filecule fetch units, as in filecule-LRU).
+/// Materializes the stream; reuse [`filecule_reuse_profile_from_log`] when
+/// a [`ReplayLog`] is already built.
 pub fn filecule_reuse_profile(
     trace: &Trace,
     set: &filecule_core::FileculeSet,
 ) -> ReuseProfile {
-    let keys: Vec<u32> = trace
-        .replay_events()
+    filecule_reuse_profile_from_log(&ReplayLog::build(trace), set)
+}
+
+/// [`filecule_reuse_profile`] over an already-materialized log.
+pub fn filecule_reuse_profile_from_log(
+    log: &ReplayLog,
+    set: &filecule_core::FileculeSet,
+) -> ReuseProfile {
+    let keys: Vec<u32> = log
+        .files()
         .iter()
-        .map(|e| set.filecule_of(e.file).map(|g| g.0).unwrap_or(0))
+        .map(|&f| set.filecule_of(f).map(|g| g.0).unwrap_or(0))
         .collect();
     let sizes: Vec<u64> = set.ids().map(|g| set.size_bytes(g)).collect();
     reuse_distances(&keys, &sizes)
@@ -158,21 +173,11 @@ pub fn filecule_reuse_profile(
 /// stream and return its misses, for validation against the profile.
 pub fn simulated_lru_misses(trace: &Trace, capacity: u64) -> u64 {
     let mut p = crate::policy::lru::FileLru::new(trace, capacity);
-    let mut misses = 0;
-    for ev in trace.replay_events() {
-        let r = crate::policy::Policy::access(
-            &mut p,
-            &Request {
-                time: ev.time,
-                job: ev.job,
-                file: ev.file,
-            },
-        );
-        if !r.hit {
-            misses += 1;
-        }
-    }
-    misses
+    trace
+        .replay_events()
+        .iter()
+        .filter(|ev| !crate::policy::Policy::access(&mut p, ev).hit)
+        .count() as u64
 }
 
 #[cfg(test)]

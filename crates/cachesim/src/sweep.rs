@@ -1,19 +1,19 @@
 //! Cache-size sweeps (Figure 10 and the policy-comparison ablation).
+//!
+//! Both sweeps are thin drivers over the shared replay engine: the trace is
+//! materialized into a [`ReplayLog`] once and every simulation point reads
+//! that same log. The trace-taking entry points ([`sweep_fig10`],
+//! [`compare_policies`]) build the log themselves; pipelines that run
+//! several sweeps over one trace should build it once and call the
+//! `_log` variants.
 
-use crate::policy::belady::{BeladyMin, FileculeBelady};
-use crate::policy::bundle::BundleAffinity;
-use crate::policy::fifo::FileFifo;
-use crate::policy::filecule_gds::FileculeGds;
 use crate::policy::filecule_lru::FileculeLru;
-use crate::policy::gds::{CostModel, GreedyDualSize};
-use crate::policy::lfu::FileLfu;
 use crate::policy::lru::FileLru;
-use crate::policy::lruk::FileLruK;
-use crate::policy::prefetch::{SuccessorPrefetch, WorkingSetPrefetch};
-use crate::policy::size::FileSize;
-use crate::sim::{simulate, SimReport};
+use crate::policy::Policy;
+use crate::sim::{SimReport, Simulator};
+use crate::spec::{build_policy_from_log, PolicySpec};
 use filecule_core::FileculeSet;
-use hep_trace::{Trace, TB};
+use hep_trace::{ReplayLog, Trace, TB};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -43,15 +43,27 @@ impl Fig10Row {
 
 /// Run the paper's Figure 10 sweep: file-LRU vs filecule-LRU at the seven
 /// cache sizes 1–100 TB, scaled down by `scale` to match a scaled trace.
-/// Points run in parallel (each simulation is independent).
+/// Materializes the replay stream once, then runs the points in parallel
+/// over the shared log.
 pub fn sweep_fig10(trace: &Trace, set: &FileculeSet, scale: f64) -> Vec<Fig10Row> {
+    sweep_fig10_log(&ReplayLog::build(trace), trace, set, scale)
+}
+
+/// [`sweep_fig10`] over an already-materialized log.
+pub fn sweep_fig10_log(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    scale: f64,
+) -> Vec<Fig10Row> {
     let sizes = hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB;
+    let sim = Simulator::new();
     sizes
         .par_iter()
         .map(|&tb| {
             let capacity = ((tb * TB) as f64 / scale) as u64;
-            let file = simulate(trace, &mut FileLru::new(trace, capacity));
-            let filecule = simulate(trace, &mut FileculeLru::new(trace, set, capacity));
+            let file = sim.run(log, &mut FileLru::new(trace, capacity));
+            let filecule = sim.run(log, &mut FileculeLru::new(trace, set, capacity));
             Fig10Row {
                 capacity,
                 paper_tb: tb as f64,
@@ -63,45 +75,32 @@ pub fn sweep_fig10(trace: &Trace, set: &FileculeSet, scale: f64) -> Vec<Fig10Row
 }
 
 /// Every policy in the crate instantiated at one capacity — the ablation
-/// grid comparing the paper's pair against the baselines.
+/// grid comparing the paper's pair against the baselines. One shared
+/// materialization, one pass per policy, policies in parallel.
 pub fn compare_policies(trace: &Trace, set: &FileculeSet, capacity: u64) -> Vec<SimReport> {
-    let mut runs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = Vec::new();
-    {
-        let t = trace;
-        runs.push(Box::new(move || simulate(t, &mut FileLru::new(t, capacity))));
-        runs.push(Box::new(move || {
-            simulate(t, &mut FileculeLru::new(t, set, capacity))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut FileculeGds::new(t, set, capacity, CostModel::Uniform))
-        }));
-        runs.push(Box::new(move || simulate(t, &mut FileFifo::new(t, capacity))));
-        runs.push(Box::new(move || simulate(t, &mut FileLfu::new(t, capacity))));
-        runs.push(Box::new(move || simulate(t, &mut FileSize::new(t, capacity))));
-        runs.push(Box::new(move || {
-            simulate(t, &mut GreedyDualSize::new(t, capacity, CostModel::Uniform))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut GreedyDualSize::new(t, capacity, CostModel::Size))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut BundleAffinity::new(t, set, capacity))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut FileLruK::new(t, capacity, 2))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut SuccessorPrefetch::new(t, capacity, 4))
-        }));
-        runs.push(Box::new(move || {
-            simulate(t, &mut WorkingSetPrefetch::new(t, capacity, 16))
-        }));
-        runs.push(Box::new(move || simulate(t, &mut BeladyMin::new(t, capacity))));
-        runs.push(Box::new(move || {
-            simulate(t, &mut FileculeBelady::new(t, set, capacity))
-        }));
-    }
-    runs.into_par_iter().map(|f| f()).collect()
+    compare_policies_log(
+        &ReplayLog::build(trace),
+        trace,
+        set,
+        capacity,
+        &PolicySpec::ALL,
+    )
+}
+
+/// [`compare_policies`] over an already-materialized log, restricted to the
+/// given policy selection (see [`PolicySpec::parse_list`]).
+pub fn compare_policies_log(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity: u64,
+    specs: &[PolicySpec],
+) -> Vec<SimReport> {
+    let mut policies: Vec<Box<dyn Policy + Send>> = specs
+        .iter()
+        .map(|&spec| build_policy_from_log(spec, log, trace, set, capacity))
+        .collect();
+    Simulator::new().run_many(log, &mut policies)
 }
 
 #[cfg(test)]
@@ -142,6 +141,14 @@ mod tests {
     }
 
     #[test]
+    fn fig10_materializes_once() {
+        let (t, set) = small();
+        let before = hep_trace::materialization_count();
+        let _ = sweep_fig10(&t, &set, 400.0);
+        assert_eq!(hep_trace::materialization_count(), before + 1);
+    }
+
+    #[test]
     fn compare_policies_consistent_accounting() {
         let (t, set) = small();
         let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
@@ -171,5 +178,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compare_policies_materializes_once() {
+        let (t, set) = small();
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let before = hep_trace::materialization_count();
+        let _ = compare_policies(&t, &set, total / 8);
+        assert_eq!(hep_trace::materialization_count(), before + 1);
+    }
+
+    #[test]
+    fn compare_policies_log_subset_matches_full_grid() {
+        let (t, set) = small();
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let capacity = total / 8;
+        let log = ReplayLog::build(&t);
+        let full = compare_policies_log(&log, &t, &set, capacity, &PolicySpec::ALL);
+        let subset = compare_policies_log(
+            &log,
+            &t,
+            &set,
+            capacity,
+            &[PolicySpec::FileculeLru, PolicySpec::BeladyMin],
+        );
+        assert_eq!(subset.len(), 2);
+        assert_eq!(subset[0].policy, full[1].policy);
+        assert_eq!(subset[0].misses, full[1].misses);
+        assert_eq!(subset[1].policy, full[12].policy);
+        assert_eq!(subset[1].misses, full[12].misses);
     }
 }

@@ -1,19 +1,9 @@
 //! Command implementations.
 
 use crate::args::Args;
-use cachesim::policy::belady::BeladyMin;
-use cachesim::policy::bundle::BundleAffinity;
-use cachesim::policy::fifo::FileFifo;
-use cachesim::policy::filecule_gds::FileculeGds;
-use cachesim::policy::gds::{CostModel, GreedyDualSize};
-use cachesim::policy::lfu::FileLfu;
-use cachesim::policy::lru::FileLru;
-use cachesim::policy::lruk::FileLruK;
-use cachesim::policy::prefetch::{SuccessorPrefetch, WorkingSetPrefetch};
-use cachesim::policy::size::FileSize;
-use cachesim::{simulate as run_simulation, simulate_warm, FileculeLru, Policy};
+use cachesim::{build_policy_from_log, Policy, PolicySpec, SimOptions, Simulator};
 use filecule_core::FileculeSet;
-use hep_trace::{SynthConfig, Trace, TraceSynthesizer, GB};
+use hep_trace::{ReplayLog, SynthConfig, Trace, TraceSynthesizer, GB};
 use std::error::Error;
 use std::path::Path;
 
@@ -190,71 +180,66 @@ pub fn identify(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// Build the named policy.
-fn make_policy<'t>(
-    name: &str,
-    trace: &'t Trace,
-    set: &'t FileculeSet,
-    capacity: u64,
-) -> Result<Box<dyn Policy + 't>, Box<dyn Error>> {
-    Ok(match name {
-        "file-lru" => Box::new(FileLru::new(trace, capacity)),
-        "filecule-lru" => Box::new(FileculeLru::new(trace, set, capacity)),
-        "filecule-gds" => Box::new(FileculeGds::new(trace, set, capacity, CostModel::Uniform)),
-        "fifo" => Box::new(FileFifo::new(trace, capacity)),
-        "lfu" => Box::new(FileLfu::new(trace, capacity)),
-        "lru2" => Box::new(FileLruK::new(trace, capacity, 2)),
-        "size" => Box::new(FileSize::new(trace, capacity)),
-        "gds" => Box::new(GreedyDualSize::new(trace, capacity, CostModel::Uniform)),
-        "landlord" => Box::new(GreedyDualSize::landlord(trace, capacity)),
-        "belady" => Box::new(BeladyMin::new(trace, capacity)),
-        "bundle" => Box::new(BundleAffinity::new(trace, set, capacity)),
-        "successor" => Box::new(SuccessorPrefetch::new(trace, capacity, 4)),
-        "workingset" => Box::new(WorkingSetPrefetch::new(trace, capacity, 16)),
-        other => return Err(format!("unknown policy {other:?}").into()),
-    })
+/// Parse a policy selection from `--policies` (comma list) or `--policy`
+/// (single name, default `file-lru`). Tokens are [`PolicySpec`] keys or
+/// their historical CLI aliases.
+fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
+    if let Some(list) = args.get("policies") {
+        return Ok(PolicySpec::parse_list(list)?);
+    }
+    let name = args.get("policy").unwrap_or("file-lru");
+    let spec = PolicySpec::parse(name).ok_or_else(|| format!("unknown policy {name:?}"))?;
+    Ok(vec![spec])
 }
 
-/// `filecules simulate <trace>`.
+/// `filecules simulate <trace>`: one shared replay-log materialization,
+/// every selected policy simulated over it in a single pass each.
 pub fn simulate_cmd(args: &Args) -> CmdResult {
-    args.reject_unknown(&["policy", "capacity-gb", "warmup", "json"])?;
+    args.reject_unknown(&["policy", "policies", "capacity-gb", "warmup", "json"])?;
     let path = args.positional(1).ok_or("simulate needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
-    let policy_name = args.get("policy").unwrap_or("file-lru");
+    let specs = policy_selection(args)?;
     let capacity = (args.get_or("capacity-gb", 1024.0f64)? * GB as f64) as u64;
     let warmup: f64 = args.get_or("warmup", 0.0)?;
     let set = filecule_core::identify(&trace);
-    let mut policy = make_policy(policy_name, &trace, &set, capacity)?;
-    let report = if warmup > 0.0 {
-        simulate_warm(&trace, policy.as_mut(), warmup)
-    } else {
-        run_simulation(&trace, policy.as_mut())
-    };
+    let log = ReplayLog::build(&trace);
+    let mut policies: Vec<Box<dyn Policy + Send>> = specs
+        .iter()
+        .map(|&spec| build_policy_from_log(spec, &log, &trace, &set, capacity))
+        .collect();
+    let sim = Simulator::with_options(SimOptions::warm(warmup));
+    let reports = sim.run_many(&log, &mut policies);
     if args.switch("json") {
-        println!("{}", serde_json::to_string_pretty(&report)?);
+        if let [report] = reports.as_slice() {
+            println!("{}", serde_json::to_string_pretty(report)?);
+        } else {
+            println!("{}", serde_json::to_string_pretty(&reports)?);
+        }
         return Ok(());
     }
-    println!(
-        "{} @ {:.1} GiB over {} requests:",
-        report.policy,
-        capacity as f64 / GB as f64,
-        report.requests
-    );
-    println!(
-        "  miss rate {:.4} (warm {:.4}), hits {}, misses {} ({} cold, {} bypass)",
-        report.miss_rate(),
-        report.warm_miss_rate(),
-        report.hits,
-        report.misses,
-        report.cold_misses,
-        report.bypasses
-    );
-    println!(
-        "  bytes: requested {:.1} GiB, fetched {:.1} GiB (traffic ratio {:.3})",
-        report.bytes_requested as f64 / GB as f64,
-        report.bytes_fetched as f64 / GB as f64,
-        report.byte_traffic_ratio()
-    );
+    for report in &reports {
+        println!(
+            "{} @ {:.1} GiB over {} requests:",
+            report.policy,
+            capacity as f64 / GB as f64,
+            report.requests
+        );
+        println!(
+            "  miss rate {:.4} (warm {:.4}), hits {}, misses {} ({} cold, {} bypass)",
+            report.miss_rate(),
+            report.warm_miss_rate(),
+            report.hits,
+            report.misses,
+            report.cold_misses,
+            report.bypasses
+        );
+        println!(
+            "  bytes: requested {:.1} GiB, fetched {:.1} GiB (traffic ratio {:.3})",
+            report.bytes_requested as f64 / GB as f64,
+            report.bytes_fetched as f64 / GB as f64,
+            report.byte_traffic_ratio()
+        );
+    }
     Ok(())
 }
 
@@ -512,6 +497,40 @@ mod tests {
             ]))
             .unwrap_or_else(|e| panic!("{policy}: {e}"));
         }
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn simulate_policies_list_runs() {
+        let bin = tmp("t4b.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-lru,belady",
+            "--capacity-gb",
+            "100",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,bogus"
+        ]))
+        .is_err());
         std::fs::remove_file(&bin).ok();
     }
 

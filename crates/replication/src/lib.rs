@@ -30,7 +30,9 @@ pub mod placement;
 pub mod policies;
 pub mod sim;
 
-pub use online::{compare_granularities, simulate_sites, Granularity, OnlineReport};
+pub use online::{
+    compare_granularities, simulate_sites, simulate_sites_log, Granularity, OnlineReport,
+};
 pub use placement::Placement;
 pub use policies::{
     filecule_popularity_placement, file_popularity_placement, local_filecule_placement,

@@ -10,10 +10,9 @@
 //! *byte* traffic can exceed file granularity's — group prefetching wants
 //! caches sized to hold whole working groups.
 
-use cachesim::policy::Request;
 use cachesim::{FileLru, FileculeLru, Policy};
 use filecule_core::FileculeSet;
-use hep_trace::Trace;
+use hep_trace::{ReplayLog, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Cache granularity for the per-site caches.
@@ -54,8 +53,20 @@ impl OnlineReport {
 }
 
 /// Replay the trace with an independent cache of `capacity_per_site` bytes
-/// at every site.
+/// at every site. Materializes the replay stream once; use
+/// [`simulate_sites_log`] to share a prebuilt [`ReplayLog`] across calls.
 pub fn simulate_sites(
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+) -> OnlineReport {
+    simulate_sites_log(&ReplayLog::build(trace), trace, set, capacity_per_site, granularity)
+}
+
+/// [`simulate_sites`] over an already-materialized log.
+pub fn simulate_sites_log(
+    log: &ReplayLog,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -78,13 +89,9 @@ pub fn simulate_sites(
         wan_bytes: 0,
         site_misses: vec![0; n_sites],
     };
-    for ev in trace.replay_events() {
+    for ev in log.iter() {
         let site = trace.job(ev.job).site.index();
-        let r = caches[site].access(&Request {
-            time: ev.time,
-            job: ev.job,
-            file: ev.file,
-        });
+        let r = caches[site].access(&ev);
         report.requests += 1;
         if r.hit {
             report.local_hits += 1;
@@ -96,15 +103,17 @@ pub fn simulate_sites(
     report
 }
 
-/// Compare both granularities at one per-site capacity.
+/// Compare both granularities at one per-site capacity over a single
+/// shared materialization of the replay stream.
 pub fn compare_granularities(
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
 ) -> (OnlineReport, OnlineReport) {
+    let log = ReplayLog::build(trace);
     (
-        simulate_sites(trace, set, capacity_per_site, Granularity::File),
-        simulate_sites(trace, set, capacity_per_site, Granularity::Filecule),
+        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::File),
+        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::Filecule),
     )
 }
 

@@ -28,6 +28,7 @@ pub mod intern;
 pub mod io;
 pub mod io_binary;
 pub mod model;
+pub mod replay;
 pub mod synth;
 
 pub use builder::TraceBuilder;
@@ -36,4 +37,5 @@ pub use model::{
     AccessEvent, DataTier, DomainId, FileId, FileMeta, JobId, JobRecord, NodeId, SiteId, Trace,
     UserId, GB, MB, TB,
 };
+pub use replay::{materialization_count, ReplayLog};
 pub use synth::{SynthConfig, TraceSynthesizer};

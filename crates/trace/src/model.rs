@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 /// SplitMix64 step used for the deterministic per-job replay shuffle.
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -342,30 +342,12 @@ impl Trace {
     /// of its file list: SAM hands files to a project in storage-system
     /// order, not catalog order, so consecutive requests from one job are
     /// not biased towards the same filecule.
+    /// Each call re-materializes the stream (and counts once in
+    /// [`crate::replay::materialization_count`]); pipelines that replay the
+    /// same trace repeatedly should build a [`crate::ReplayLog`] once and
+    /// share it instead.
     pub fn replay_events(&self) -> Vec<AccessEvent> {
-        let mut events = Vec::with_capacity(self.job_files.len());
-        for j in self.job_ids() {
-            let rec = self.job(j);
-            let files = self.job_files(j);
-            let n = files.len() as u64;
-            // Fisher-Yates with a SplitMix64 stream keyed by the job id.
-            let mut order: Vec<u32> = (0..files.len() as u32).collect();
-            let mut state = (u64::from(j.0) << 1) ^ 0x9E37_79B9_7F4A_7C15;
-            for i in (1..order.len()).rev() {
-                state = splitmix64(state);
-                order.swap(i, (state % (i as u64 + 1)) as usize);
-            }
-            for (k, &idx) in order.iter().enumerate() {
-                let t = rec.start + (k as u64 * rec.duration()) / n.max(1);
-                events.push(AccessEvent {
-                    time: t,
-                    job: j,
-                    file: files[idx as usize],
-                });
-            }
-        }
-        events.sort_unstable_by_key(|e| (e.time, e.job, e.file));
-        events
+        crate::replay::materialize(self)
     }
 
     /// Trace horizon: the largest stop time, in seconds from the epoch.

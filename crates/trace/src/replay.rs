@@ -1,0 +1,224 @@
+//! Columnar, shareable materialization of the replay stream.
+//!
+//! [`Trace::replay_events`] materializes the request-ordered stream as a
+//! `Vec<AccessEvent>`; every consumer that called it (simulator, sweeps,
+//! stack-distance analysis, the offline Belady policies) paid for its own
+//! copy of the shuffle + sort. [`ReplayLog`] materializes the stream
+//! **once** into struct-of-arrays columns (`times`, `jobs`, `files`) plus a
+//! snapshotted per-file size column, so hot simulation loops never touch
+//! [`Trace::file`] and the stream can be shared — it is `Sync`, cheap to
+//! borrow, and `Arc`-shareable across threads.
+//!
+//! Both [`ReplayLog::build`] and [`Trace::replay_events`] delegate to the
+//! same internal materialization routine, so they are event-for-event
+//! identical; a process-wide [`materialization_count`] counter lets tests
+//! assert that a pipeline materializes the stream exactly once.
+
+use crate::model::{AccessEvent, FileId, JobId, Trace};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of replay-stream materializations (every
+/// [`ReplayLog::build`] or [`Trace::replay_events`] call).
+static MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times the replay stream has been materialized in this process,
+/// across all traces. Intended for tests asserting that a pipeline builds
+/// its [`ReplayLog`] once and reuses it.
+pub fn materialization_count() -> u64 {
+    MATERIALIZATIONS.load(Ordering::Relaxed)
+}
+
+/// The single materialization routine behind both [`Trace::replay_events`]
+/// and [`ReplayLog::build`]: each job's accesses are spread evenly over the
+/// job's runtime, shuffled per job by a deterministic SplitMix64-keyed
+/// Fisher–Yates, and the whole stream is sorted by `(time, job, file)`.
+pub(crate) fn materialize(trace: &Trace) -> Vec<AccessEvent> {
+    MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+    let mut events = Vec::with_capacity(trace.n_accesses());
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        let files = trace.job_files(j);
+        let n = files.len() as u64;
+        // Fisher-Yates with a SplitMix64 stream keyed by the job id.
+        let mut order: Vec<u32> = (0..files.len() as u32).collect();
+        let mut state = (u64::from(j.0) << 1) ^ 0x9E37_79B9_7F4A_7C15;
+        for i in (1..order.len()).rev() {
+            state = crate::model::splitmix64(state);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        for (k, &idx) in order.iter().enumerate() {
+            let t = rec.start + (k as u64 * rec.duration()) / n.max(1);
+            events.push(AccessEvent {
+                time: t,
+                job: j,
+                file: files[idx as usize],
+            });
+        }
+    }
+    events.sort_unstable_by_key(|e| (e.time, e.job, e.file));
+    events
+}
+
+/// A materialized replay stream in columnar (struct-of-arrays) layout,
+/// with a snapshot of every file's byte size.
+///
+/// Build it once per trace with [`ReplayLog::build`] and hand `&ReplayLog`
+/// (or an `Arc<ReplayLog>`) to every consumer: the cache simulator, cache
+/// sweeps, reuse-distance analysis and the offline Belady policies all
+/// accept it directly.
+///
+/// ```
+/// use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer};
+///
+/// let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+/// let log = ReplayLog::build(&trace);
+/// assert_eq!(log.len(), trace.n_accesses());
+/// // Identical to the Vec-of-structs stream, event for event.
+/// assert!(log.iter().eq(trace.replay_events()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayLog {
+    times: Vec<u64>,
+    jobs: Vec<JobId>,
+    files: Vec<FileId>,
+    /// Byte size per file, indexed by `FileId` (snapshot of
+    /// `trace.file(f).size_bytes` for every file of the source trace).
+    sizes: Vec<u64>,
+}
+
+impl ReplayLog {
+    /// Materialize the replay stream of `trace` (one shuffle + sort; counts
+    /// once in [`materialization_count`]) and snapshot the file sizes.
+    pub fn build(trace: &Trace) -> Self {
+        let events = materialize(trace);
+        let mut times = Vec::with_capacity(events.len());
+        let mut jobs = Vec::with_capacity(events.len());
+        let mut files = Vec::with_capacity(events.len());
+        for ev in &events {
+            times.push(ev.time);
+            jobs.push(ev.job);
+            files.push(ev.file);
+        }
+        Self {
+            times,
+            jobs,
+            files,
+            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+        }
+    }
+
+    /// Number of events (file accesses) in the stream.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the stream has no events.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Number of distinct files in the source trace (the size column's
+    /// length — every `FileId` in the stream indexes into it).
+    pub fn n_files(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The `i`-th event of the stream.
+    #[inline]
+    pub fn event(&self, i: usize) -> AccessEvent {
+        AccessEvent {
+            time: self.times[i],
+            job: self.jobs[i],
+            file: self.files[i],
+        }
+    }
+
+    /// Iterate the stream as [`AccessEvent`]s, in replay order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = AccessEvent> + '_ {
+        (0..self.len()).map(|i| self.event(i))
+    }
+
+    /// The time column, in replay order.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// The job column, in replay order.
+    pub fn jobs(&self) -> &[JobId] {
+        &self.jobs
+    }
+
+    /// The file column, in replay order.
+    pub fn files(&self) -> &[FileId] {
+        &self.files
+    }
+
+    /// Snapshotted byte size of file `f`.
+    #[inline]
+    pub fn file_size(&self, f: FileId) -> u64 {
+        self.sizes[f.index()]
+    }
+
+    /// The full size column, indexed by `FileId`.
+    pub fn file_sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, TraceSynthesizer};
+
+    fn small() -> Trace {
+        TraceSynthesizer::new(SynthConfig::small(11)).generate()
+    }
+
+    #[test]
+    fn columns_match_replay_events() {
+        let t = small();
+        let events = t.replay_events();
+        let log = ReplayLog::build(&t);
+        assert_eq!(log.len(), events.len());
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(log.event(i), *ev);
+        }
+        assert!(log.iter().eq(events));
+    }
+
+    #[test]
+    fn sizes_snapshot_the_trace() {
+        let t = small();
+        let log = ReplayLog::build(&t);
+        assert_eq!(log.n_files(), t.n_files());
+        for f in t.file_ids() {
+            assert_eq!(log.file_size(f), t.file(f).size_bytes);
+        }
+    }
+
+    #[test]
+    fn build_counts_one_materialization() {
+        let t = small();
+        let before = materialization_count();
+        let _log = ReplayLog::build(&t);
+        let mid = materialization_count();
+        assert_eq!(mid, before + 1);
+        let _events = t.replay_events();
+        assert_eq!(materialization_count(), mid + 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = crate::builder::TraceBuilder::new().build().unwrap();
+        let log = ReplayLog::build(&t);
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.iter().count(), 0);
+    }
+
+    #[test]
+    fn times_are_sorted() {
+        let log = ReplayLog::build(&small());
+        assert!(log.times().windows(2).all(|w| w[0] <= w[1]));
+    }
+}

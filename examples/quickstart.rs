@@ -49,10 +49,13 @@ fn main() {
          (paper: none)"
     );
 
-    // The headline: file-LRU vs filecule-LRU at a mid-size cache.
+    // The headline: file-LRU vs filecule-LRU at a mid-size cache, both
+    // replayed over one shared materialization of the request stream.
     let cap = 10 * TB / 100; // paper's 10 TB point, divided by the scale
-    let file = simulate(&trace, &mut FileLru::new(&trace, cap));
-    let filecule = simulate(&trace, &mut FileculeLru::new(&trace, &set, cap));
+    let log = ReplayLog::build(&trace);
+    let sim = Simulator::new();
+    let file = sim.run(&log, &mut FileLru::new(&trace, cap));
+    let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
     println!("\ncache comparison at {:.2} TB (paper-scale 10 TB):", cap as f64 / TB as f64);
     println!(
         "  file-LRU     miss rate {:.3}  ({} misses / {} requests)",

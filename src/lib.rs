@@ -34,11 +34,18 @@
 //! let set = identify(&trace);
 //! assert!(set.n_filecules() > 0);
 //!
-//! // Compare the paper's two cache policies at one size.
+//! // Materialize the replay stream once, then drive any number of
+//! // policies over the shared log with the replay engine.
+//! let log = ReplayLog::build(&trace);
+//! let sim = Simulator::new();
 //! let cap = TB / 100;
-//! let file = simulate(&trace, &mut FileLru::new(&trace, cap));
-//! let filecule = simulate(&trace, &mut FileculeLru::new(&trace, &set, cap));
+//! let file = sim.run(&log, &mut FileLru::new(&trace, cap));
+//! let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
 //! assert!(filecule.miss_rate() <= file.miss_rate());
+//!
+//! // One-shot convenience wrapper (re-materializes per call).
+//! let again = simulate(&trace, &mut FileLru::new(&trace, cap));
+//! assert_eq!(again.misses, file.misses);
 //! ```
 
 #![warn(missing_docs)]
@@ -52,10 +59,14 @@ pub use transfer;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cachesim::{simulate, sweep_fig10, FileLru, FileculeLru, Policy, SimReport};
+    pub use cachesim::{
+        build_policy, build_policy_from_log, simulate, sweep_fig10, FileLru, FileculeLru, Policy,
+        PolicySpec, SimOptions, SimReport, Simulator,
+    };
     pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
     pub use hep_trace::{
-        DataTier, FileId, JobId, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB, MB, TB,
+        DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer,
+        GB, MB, TB,
     };
     pub use transfer::{assess, hottest_filecule, SwarmModel};
 }

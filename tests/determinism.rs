@@ -83,11 +83,7 @@ fn artifacts_are_deterministic() {
     use hep_bench::artifacts::{build, Ctx};
     let t = TraceSynthesizer::new(SynthConfig::small(103)).generate();
     let set = identify(&t);
-    let ctx = Ctx {
-        trace: &t,
-        set: &set,
-        scale: 400.0,
-    };
+    let ctx = Ctx::new(&t, &set, 400.0);
     for id in ["table1", "fig04", "fig10", "sec5"] {
         let a = build(&ctx, id).unwrap();
         let b = build(&ctx, id).unwrap();

@@ -17,11 +17,7 @@ fn ctx_trace() -> (Trace, FileculeSet) {
 #[test]
 fn all_artifacts_regenerate_with_csv() {
     let (t, set) = ctx_trace();
-    let ctx = Ctx {
-        trace: &t,
-        set: &set,
-        scale: SCALE,
-    };
+    let ctx = Ctx::new(&t, &set, SCALE);
     for id in ALL_IDS {
         let a = build(&ctx, id).unwrap();
         assert!(!a.text.trim().is_empty(), "{id}");

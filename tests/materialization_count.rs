@@ -1,0 +1,60 @@
+//! Acceptance check for the shared replay engine: building a report
+//! context materializes the trace's replay stream exactly once, and the
+//! replay-heavy artifacts (`grid`, `fig10`, `headline`) plus the Figure 10
+//! sweep all reuse that one materialization.
+//!
+//! The counter (`hep_trace::materialization_count`) is process-global, so
+//! this file intentionally holds a single test — a second test in the same
+//! binary could run concurrently and skew the deltas.
+
+use filecules::prelude::*;
+use hep_bench::artifacts::{build, Ctx};
+use hep_bench::scenario::{standard_set, trace_at_scale};
+
+#[test]
+fn report_pipeline_materializes_once_per_trace() {
+    let trace = trace_at_scale(400.0, 8.0);
+    let set = standard_set(&trace);
+
+    // Ctx::new is the single materialization point for a report run.
+    let before = filecules::trace::materialization_count();
+    let ctx = Ctx::new(&trace, &set, 400.0);
+    assert_eq!(
+        filecules::trace::materialization_count(),
+        before + 1,
+        "Ctx::new must materialize exactly once"
+    );
+
+    // The replay-consuming artifacts reuse the context's log: zero further
+    // materializations across grid + fig10 + headline.
+    for id in ["grid", "fig10", "headline"] {
+        let at = filecules::trace::materialization_count();
+        let art = build(&ctx, id).unwrap();
+        assert!(!art.text.is_empty(), "{id}");
+        assert_eq!(
+            filecules::trace::materialization_count(),
+            at,
+            "artifact {id} must not re-materialize the replay stream"
+        );
+    }
+
+    // The standalone Fig 10 sweep entry point materializes exactly once.
+    let at = filecules::trace::materialization_count();
+    let rows = sweep_fig10(&trace, &set, 400.0);
+    assert_eq!(rows.len(), 7);
+    assert_eq!(
+        filecules::trace::materialization_count(),
+        at + 1,
+        "sweep_fig10 must materialize exactly once for its 7 points"
+    );
+
+    // Same shared-log guarantee for the full policy grid.
+    let at = filecules::trace::materialization_count();
+    let reports = filecules::cachesim::compare_policies(&trace, &set, TB);
+    assert_eq!(reports.len(), 14);
+    assert_eq!(
+        filecules::trace::materialization_count(),
+        at + 1,
+        "compare_policies must materialize exactly once for its 14 policies"
+    );
+}

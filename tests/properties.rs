@@ -211,4 +211,40 @@ proptest! {
         prop_assert!(prefix.n_filecules() <= full.n_filecules());
         prop_assert!(prefix.n_assigned_files() <= full.n_assigned_files());
     }
+
+    /// The columnar [`ReplayLog`] materializes the replay stream
+    /// event-for-event identical to `Trace::replay_events()`.
+    #[test]
+    fn replay_log_equals_replay_events(jobs in jobs_strategy()) {
+        let t = build_trace(&jobs, 24);
+        let log = ReplayLog::build(&t);
+        let events = t.replay_events();
+        prop_assert_eq!(log.len(), events.len());
+        prop_assert!(log.iter().eq(events.iter().copied()));
+        for (i, ev) in events.iter().enumerate() {
+            prop_assert_eq!(&log.event(i), ev);
+            prop_assert_eq!(log.file_size(ev.file), t.file(ev.file).size_bytes);
+        }
+    }
+
+    /// `Simulator::run_many` over one shared log is bit-identical to a
+    /// sequential `simulate` per policy (which re-materializes each time),
+    /// across the whole policy grid.
+    #[test]
+    fn run_many_matches_sequential_simulate(jobs in jobs_strategy(), cap_mb in 5u64..400) {
+        let t = build_trace(&jobs, 24);
+        let set = identify(&t);
+        let cap = cap_mb * MB;
+        let log = ReplayLog::build(&t);
+        let mut policies: Vec<Box<dyn Policy + Send>> = PolicySpec::ALL
+            .iter()
+            .map(|&s| filecules::cachesim::build_policy_from_log(s, &log, &t, &set, cap))
+            .collect();
+        let many = Simulator::new().run_many(&log, &mut policies);
+        for (&spec, shared) in PolicySpec::ALL.iter().zip(&many) {
+            let mut p = filecules::cachesim::build_policy(spec, &t, &set, cap);
+            let sequential = simulate(&t, p.as_mut());
+            prop_assert_eq!(shared, &sequential, "{}", spec);
+        }
+    }
 }
