@@ -11,8 +11,8 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     for id in [
-        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-        "fig10", "fig11", "fig12",
+        "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+        "fig11", "fig12",
     ] {
         group.bench_function(id, |b| {
             b.iter(|| std::hint::black_box(build(&ctx, id).unwrap()))

@@ -45,17 +45,13 @@ fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
     group.sample_size(10);
     for scale in [400.0f64, 100.0] {
-        group.bench_with_input(
-            BenchmarkId::new("synth", scale as u64),
-            &scale,
-            |b, &s| {
-                b.iter(|| {
-                    let mut cfg = SynthConfig::paper(1, s);
-                    cfg.user_scale = 4.0;
-                    std::hint::black_box(TraceSynthesizer::new(cfg).generate())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("synth", scale as u64), &scale, |b, &s| {
+            b.iter(|| {
+                let mut cfg = SynthConfig::paper(1, s);
+                cfg.user_scale = 4.0;
+                std::hint::black_box(TraceSynthesizer::new(cfg).generate())
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,65 @@
+//! Criterion benches for trace synthesis: serial vs parallel generation
+//! throughput at two scales, and what a cache hit costs relative to
+//! regenerating.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hep_trace::{SynthConfig, TraceCache, TraceSynthesizer};
+
+/// Jobs/accesses counts for throughput units, measured once per config.
+fn workload(cfg: &SynthConfig) -> (u64, u64) {
+    let t = TraceSynthesizer::new(cfg.clone()).generate();
+    (t.n_jobs() as u64, t.n_accesses() as u64)
+}
+
+fn bench_generate(c: &mut Criterion, name: &str, cfg: SynthConfig) {
+    let (jobs, accesses) = workload(&cfg);
+    let syn = TraceSynthesizer::new(cfg);
+
+    let mut group = c.benchmark_group(format!("synth/{name}"));
+    group.sample_size(10);
+    // Accesses dominate the work; jobs/s can be derived from the ratio.
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function(format!("serial ({jobs} jobs)"), |b| {
+        b.iter(|| std::hint::black_box(syn.generate_serial()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| std::hint::black_box(syn.generate()))
+    });
+    group.finish();
+}
+
+fn bench_synth(c: &mut Criterion) {
+    // Small: the scale most unit tests run at.
+    bench_synth_small(c);
+    // Paper/8: two octaves above the default report scale.
+    let cfg = SynthConfig::paper(hep_stats::rng::DEFAULT_SEED, 8.0);
+    bench_generate(c, "paper-over-8", cfg);
+}
+
+fn bench_synth_small(c: &mut Criterion) {
+    bench_generate(c, "small", SynthConfig::small(hep_stats::rng::DEFAULT_SEED));
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("filecules-synth-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = TraceCache::new(&dir);
+    let cfg = SynthConfig::paper(hep_stats::rng::DEFAULT_SEED, 8.0);
+    let (trace, _) = cache.load_or_generate(&cfg);
+
+    let mut group = c.benchmark_group("synth/cache");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.n_accesses() as u64));
+    group.bench_function("hit (load from disk)", |b| {
+        b.iter(|| {
+            let (t, hit) = cache.load_or_generate(&cfg);
+            assert!(hit);
+            std::hint::black_box(t)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_synth, bench_cache_hit);
+criterion_main!(benches);

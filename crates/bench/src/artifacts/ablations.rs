@@ -5,14 +5,14 @@
 
 use super::{Artifact, Ctx};
 use cachesim::sweep::sweep_fig10;
-use hep_trace::{SynthConfig, TraceSynthesizer};
+use hep_trace::{generate_cached, SynthConfig};
 use std::fmt::Write as _;
 
 const ABLATION_SCALE: f64 = 16.0;
 
 fn fig10_summary(cfg: SynthConfig) -> (f64, f64, usize) {
     let scale = cfg.scale;
-    let trace = TraceSynthesizer::new(cfg).generate();
+    let trace = generate_cached(&cfg);
     let set = filecule_core::identify(&trace);
     let rows = sweep_fig10(&trace, &set, scale);
     let first = rows.first().unwrap().improvement_factor();

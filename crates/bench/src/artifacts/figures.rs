@@ -48,7 +48,15 @@ pub fn fig02(ctx: &Ctx<'_>) -> Artifact {
     let mut csv = String::from("period_start_day,jobs_per_day,requests_per_day\n");
     for (i, (j, r)) in jm.iter().zip(&rm).enumerate() {
         let bar = "#".repeat((j / max * 40.0) as usize);
-        writeln!(text, "  day {:>4}: {:>8.1} | {:>9.1} {}", i * window, j, r, bar).unwrap();
+        writeln!(
+            text,
+            "  day {:>4}: {:>8.1} | {:>9.1} {}",
+            i * window,
+            j,
+            r,
+            bar
+        )
+        .unwrap();
         writeln!(csv, "{},{:.2},{:.2}", i * window, j, r).unwrap();
     }
     text.push_str("  (growing trend over the window with weekly structure, as in the paper)\n");
@@ -126,8 +134,9 @@ pub fn fig05(ctx: &Ctx<'_>) -> Artifact {
     let mean = fpj.iter().sum::<f64>() / fpj.len().max(1) as f64;
     let (p50, p90, p99) = percentiles(fpj.clone());
     let (hist, csv) = render_log_hist(fpj.into_iter(), 1.0, 256.0, 9, "fc");
-    let text =
-        format!("  mean {mean:.1} filecules/job; median {p50:.0}, p90 {p90:.0}, p99 {p99:.0}\n{hist}");
+    let text = format!(
+        "  mean {mean:.1} filecules/job; median {p50:.0}, p90 {p90:.0}, p99 {p99:.0}\n{hist}"
+    );
     Artifact {
         id: "fig05",
         title: "Figure 5: number of filecules per job",
@@ -156,7 +165,13 @@ fn per_tier_figure(
             vals.len()
         )
         .unwrap();
-        writeln!(csv, "{},{a:.2},{b:.2},{c:.2},{maxv:.2},{}", tier.name(), vals.len()).unwrap();
+        writeln!(
+            csv,
+            "{},{a:.2},{b:.2},{c:.2},{maxv:.2},{}",
+            tier.name(),
+            vals.len()
+        )
+        .unwrap();
     }
     Artifact {
         id,

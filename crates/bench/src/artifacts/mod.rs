@@ -4,8 +4,8 @@
 
 pub mod ablations;
 pub mod figures;
-pub mod seeds;
 pub mod sections;
+pub mod seeds;
 pub mod tables;
 
 use cachesim::PolicySpec;
@@ -67,8 +67,25 @@ impl<'a> Ctx<'a> {
 /// are not in the default set (they regenerate several traces); request
 /// them explicitly with `report ablations seeds`.
 pub const ALL_IDS: [&str; 20] = [
-    "table1", "table2", "calibration", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
-    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "sec5", "sec6", "sec8", "grid",
+    "table1",
+    "table2",
+    "calibration",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "sec5",
+    "sec6",
+    "sec8",
+    "grid",
     "headline",
 ];
 
@@ -121,14 +138,20 @@ pub(crate) fn render_log_hist(
 ) -> (String, String) {
     let mut h = hep_stats::histogram::LogHistogram::new(lo, hi, nbins);
     h.record_all(values);
-    let max = (0..h.nbins()).map(|i| h.bin_count(i)).max().unwrap_or(1).max(1);
+    let max = (0..h.nbins())
+        .map(|i| h.bin_count(i))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut text = String::new();
     let mut csv = format!("bin_lo_{unit},bin_hi_{unit},count\n");
     for i in 0..h.nbins() {
         let (a, b) = h.bin_edges(i);
         let c = h.bin_count(i);
         let bar = "#".repeat((c * 40 / max) as usize);
-        text.push_str(&format!("  [{a:>10.1}, {b:>10.1}) {unit:<5} {c:>7} {bar}\n"));
+        text.push_str(&format!(
+            "  [{a:>10.1}, {b:>10.1}) {unit:<5} {c:>7} {bar}\n"
+        ));
         csv.push_str(&format!("{a},{b},{c}\n"));
     }
     if h.underflow() + h.overflow() > 0 {

@@ -6,8 +6,8 @@ use cachesim::{FileLru, FileculeLru, Simulator};
 use filecule_core::identify::partial::{coarsening_reports, identify_per_site};
 use hep_trace::TB;
 use replication::{
-    evaluate, file_popularity_placement, filecule_popularity_placement,
-    local_filecule_placement, no_replication, training_jobs,
+    evaluate, file_popularity_placement, filecule_popularity_placement, local_filecule_placement,
+    no_replication, training_jobs,
 };
 use std::fmt::Write as _;
 use transfer::concurrency::concurrency_ccdf;
@@ -33,7 +33,11 @@ pub fn sec5(ctx: &Ctx<'_>) -> Artifact {
         report.max_peak_windowed,
         report.max_peak_interval,
         report.mean_speedup,
-        if report.bittorrent_not_justified { "NOT" } else { "IS" },
+        if report.bittorrent_not_justified {
+            "NOT"
+        } else {
+            "IS"
+        },
     );
     let ccdf = concurrency_ccdf(&stats, true);
     let mut csv = String::from("min_peak_users,filecules\n");
@@ -175,11 +179,8 @@ pub fn sec6(ctx: &Ctx<'_>) -> Artifact {
     // Transfer scheduling: batch WAN fetches per filecule instead of per
     // file ("scheduling data transfers while accounting for filecules can
     // lead to significant improvements").
-    let sched = transfer::schedule_comparison(
-        ctx.trace,
-        ctx.set,
-        transfer::TransferModel::default(),
-    );
+    let sched =
+        transfer::schedule_comparison(ctx.trace, ctx.set, transfer::TransferModel::default());
     writeln!(
         text,
         "  transfer scheduling (30 s setup/transfer, 100 Mbit/s ingress):\n    \
@@ -316,9 +317,8 @@ pub fn sec8(ctx: &Ctx<'_>) -> Artifact {
 /// caches, ~9.5% miss-rate gap at 1 TB).
 pub fn headline(ctx: &Ctx<'_>) -> Artifact {
     let mut text = String::new();
-    let mut csv = String::from(
-        "cache_paper_tb,file_lru_hit,filecule_lru_hit,hit_ratio,miss_ratio\n",
-    );
+    let mut csv =
+        String::from("cache_paper_tb,file_lru_hit,filecule_lru_hit,hit_ratio,miss_ratio\n");
     let mut best_hit_ratio = 0.0f64;
     let sim = Simulator::new();
     for tb in hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB {

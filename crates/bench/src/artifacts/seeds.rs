@@ -6,7 +6,7 @@
 
 use super::{Artifact, Ctx};
 use cachesim::sweep::sweep_fig10;
-use hep_trace::{SynthConfig, TraceSynthesizer};
+use hep_trace::{generate_cached, SynthConfig};
 use std::fmt::Write as _;
 
 const SEED_SCALE: f64 = 16.0;
@@ -28,7 +28,7 @@ pub fn seeds_at(scale: f64, user_scale: f64, seed_list: &[u64]) -> Artifact {
         .map(|&seed| {
             let mut cfg = SynthConfig::paper(seed, scale);
             cfg.user_scale = user_scale;
-            let trace = TraceSynthesizer::new(cfg).generate();
+            let trace = generate_cached(&cfg);
             let set = filecule_core::identify(&trace);
             sweep_fig10(&trace, &set, scale)
         })

@@ -52,7 +52,9 @@ pub fn table1(ctx: &Ctx<'_>) -> Artifact {
             r.users,
             r.jobs,
             r.files.map(|f| f.to_string()).unwrap_or_default(),
-            r.input_mb_per_job.map(|m| format!("{m:.1}")).unwrap_or_default(),
+            r.input_mb_per_job
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_default(),
             r.hours_per_job,
             pj,
             pf.map(|f| format!("{f:.1}")).unwrap_or_default(),

@@ -5,15 +5,18 @@
 //! cargo run --release -p hep-bench --bin report fig10 sec5 # a subset
 //! cargo run --release -p hep-bench --bin report -- --scale 100 table1
 //! cargo run --release -p hep-bench --bin report -- --policies file-lru,filecule-lru grid
+//! cargo run --release -p hep-bench --bin report -- --threads 4 --no-cache table1
 //! ```
 //!
 //! Text goes to stdout; CSVs land in `target/report/<id>.csv` plus a
-//! `summary.json` with run metadata.
+//! `summary.json` with run metadata. The input trace is memoized in
+//! `target/trace-cache/` — repeat runs at the same scale/seed skip
+//! synthesis entirely (`--no-cache` forces a fresh generate).
 
 use cachesim::PolicySpec;
 use hep_bench::artifacts::{build, Ctx, ALL_IDS};
 use hep_bench::{standard_set, REPORT_SCALE, REPORT_SEED};
-use hep_trace::{SynthConfig, TraceSynthesizer};
+use hep_trace::{SynthConfig, TraceCache, TraceSynthesizer};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -21,6 +24,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = REPORT_SCALE;
     let mut seed = REPORT_SEED;
+    let mut threads = 0usize;
+    let mut use_cache = true;
     let mut policies = PolicySpec::ALL.to_vec();
     let mut ids: Vec<String> = Vec::new();
     while let Some(a) = args.first().cloned() {
@@ -41,9 +46,23 @@ fn main() {
                     .expect("--seed needs a u64");
                 args.remove(0);
             }
+            "--threads" => {
+                args.remove(0);
+                threads = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a count (0 = all cores)");
+                args.remove(0);
+            }
+            "--no-cache" => {
+                args.remove(0);
+                use_cache = false;
+            }
             "--policies" => {
                 args.remove(0);
-                let list = args.first().expect("--policies needs a comma-separated list");
+                let list = args
+                    .first()
+                    .expect("--policies needs a comma-separated list");
                 policies = PolicySpec::parse_list(list).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
@@ -58,18 +77,30 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("the global rayon pool is built once, before first use");
+    }
 
     println!("== filecules report: scale 1/{scale}, seed {seed:#x} ==");
     let t0 = Instant::now();
-    let trace = TraceSynthesizer::new(SynthConfig::paper(seed, scale)).generate();
+    let cfg = SynthConfig::paper(seed, scale);
+    let (trace, cache_hit) = if use_cache {
+        TraceCache::default().load_or_generate(&cfg)
+    } else {
+        (TraceSynthesizer::new(cfg).generate(), false)
+    };
     println!(
-        "trace: {} jobs, {} accesses, {} files, {} users, {} sites  ({:.1}s)",
+        "trace: {} jobs, {} accesses, {} files, {} users, {} sites  ({:.1}s{})",
         trace.n_jobs(),
         trace.n_accesses(),
         trace.n_files(),
         trace.n_users(),
         trace.n_sites(),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64(),
+        if cache_hit { ", cache hit" } else { "" }
     );
     let t1 = Instant::now();
     let set = standard_set(&trace);

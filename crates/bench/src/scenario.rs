@@ -1,7 +1,7 @@
 //! The standard experiment scenario used by every artifact.
 
 use filecule_core::FileculeSet;
-use hep_trace::{SynthConfig, Trace, TraceSynthesizer};
+use hep_trace::{generate_cached, SynthConfig, Trace};
 
 /// Default experiment scale: 1/4 of the paper's trace volume — large
 /// enough that the popularity tail (Figures 4 and 9) shows the paper's
@@ -14,16 +14,17 @@ pub const REPORT_SCALE: f64 = 4.0;
 pub const REPORT_SEED: u64 = hep_stats::rng::DEFAULT_SEED;
 
 /// The standard synthetic trace: paper calibration at [`REPORT_SCALE`],
-/// full (unscaled) user population.
+/// full (unscaled) user population. Served through the on-disk trace
+/// cache — only the first call on a machine pays for synthesis.
 pub fn standard_trace() -> Trace {
-    TraceSynthesizer::new(SynthConfig::paper(REPORT_SEED, REPORT_SCALE)).generate()
+    generate_cached(&SynthConfig::paper(REPORT_SEED, REPORT_SCALE))
 }
 
-/// A custom-scale trace for benches that need to be quick.
+/// A custom-scale trace for benches that need to be quick (also cached).
 pub fn trace_at_scale(scale: f64, user_scale: f64) -> Trace {
     let mut cfg = SynthConfig::paper(REPORT_SEED, scale);
     cfg.user_scale = user_scale;
-    TraceSynthesizer::new(cfg).generate()
+    generate_cached(&cfg)
 }
 
 /// The globally identified filecule partition of a trace.

@@ -250,7 +250,9 @@ mod tests {
         let mut reference: VecDeque<u32> = VecDeque::new(); // front = MRU
         let mut state = 0x1234_5678_u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..10_000 {

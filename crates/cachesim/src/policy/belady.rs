@@ -11,7 +11,6 @@ use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_trace::{ReplayLog, Trace};
 use std::collections::BTreeSet;
 
-
 /// Sentinel: no further use.
 const NEVER: u64 = u64::MAX;
 
@@ -166,11 +165,7 @@ impl FileculeBelady {
 
     /// Precompute group next-use positions from an already-materialized log
     /// (no extra replay-stream materialization).
-    pub fn from_log(
-        log: &ReplayLog,
-        set: &filecule_core::FileculeSet,
-        capacity: u64,
-    ) -> Self {
+    pub fn from_log(log: &ReplayLog, set: &filecule_core::FileculeSet, capacity: u64) -> Self {
         let mut group_of = vec![u32::MAX; log.n_files()];
         for g in set.ids() {
             for &f in set.files(g) {
@@ -292,10 +287,7 @@ mod tests {
         // 0@3, 1@4; incoming 2 never used again -> bypass. Both 0,1 hit.
         let t = trace_with_sizes(&[&[0], &[1], &[2], &[0], &[1]], &[100, 100, 100]);
         let mut min = BeladyMin::new(&t, 200 * MB);
-        assert_eq!(
-            replay(&t, &mut min),
-            vec![false, false, false, true, true]
-        );
+        assert_eq!(replay(&t, &mut min), vec![false, false, false, true, true]);
         let mut lru = FileLru::new(&t, 200 * MB);
         assert_eq!(
             replay(&t, &mut lru),

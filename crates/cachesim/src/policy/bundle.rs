@@ -98,9 +98,9 @@ impl Policy for BundleAffinity {
         let f = req.file.0;
         let fi = f as usize;
         if self.resident[fi] {
-            let removed =
-                self.order
-                    .remove(&(f64_bits(self.priority[fi]), self.seq_of[fi], f));
+            let removed = self
+                .order
+                .remove(&(f64_bits(self.priority[fi]), self.seq_of[fi], f));
             debug_assert!(removed);
             self.seq_of[fi] = self.next_seq;
             self.next_seq += 1;
@@ -169,10 +169,7 @@ mod tests {
     fn protects_members_of_complete_groups() {
         // Group {0,1} fully resident; lone file 2 resident; inserting 3
         // (needs space) should evict 2 (no group bonus), not 0/1.
-        let t = trace_with_sizes(
-            &[&[0, 1], &[2], &[3], &[0, 1]],
-            &[50, 50, 100, 100],
-        );
+        let t = trace_with_sizes(&[&[0, 1], &[2], &[3], &[0, 1]], &[50, 50, 100, 100]);
         let set = identify(&t);
         let mut p = BundleAffinity::new(&t, &set, 200 * MB);
         let hits = replay(&t, &mut p);

@@ -165,10 +165,7 @@ mod tests {
         // Group A = {0,1} (200 MB), B = {2} (10 MB), C = {3} (100 MB).
         // Capacity 250 MB: inserting C must evict A (lowest 1/size
         // priority), keeping the small hot B.
-        let t = trace_with_sizes(
-            &[&[0, 1], &[2], &[3], &[2]],
-            &[100, 100, 10, 100],
-        );
+        let t = trace_with_sizes(&[&[0, 1], &[2], &[3], &[2]], &[100, 100, 10, 100]);
         let set = identify(&t);
         let mut p = FileculeGds::new(&t, &set, 250 * MB, CostModel::Uniform);
         let hits = replay(&t, &mut p);
@@ -182,10 +179,7 @@ mod tests {
         let t = trace_with_sizes(&[&[0], &[1], &[0], &[2], &[0]], &[100, 100, 100]);
         let set = identify(&t);
         let mut p = FileculeGds::new(&t, &set, 200 * MB, CostModel::Size);
-        assert_eq!(
-            replay(&t, &mut p),
-            vec![false, false, true, false, true]
-        );
+        assert_eq!(replay(&t, &mut p), vec![false, false, true, false, true]);
     }
 
     #[test]
@@ -208,7 +202,8 @@ mod tests {
         let set = identify(&t);
         let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
         let cap = total / 32;
-        let gds = crate::sim::simulate(&t, &mut FileculeGds::new(&t, &set, cap, CostModel::Uniform));
+        let gds =
+            crate::sim::simulate(&t, &mut FileculeGds::new(&t, &set, cap, CostModel::Uniform));
         let lru = crate::sim::simulate(&t, &mut FileculeLru::new(&t, &set, cap));
         // Not a theorem — assert it is at least competitive (within 20%).
         assert!(

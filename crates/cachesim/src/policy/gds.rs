@@ -117,9 +117,9 @@ impl Policy for GreedyDualSize {
         let fi = f as usize;
         if self.resident[fi] {
             // Refresh the credit/priority.
-            let removed =
-                self.order
-                    .remove(&(f64_bits(self.priority[fi]), self.seq_of[fi], f));
+            let removed = self
+                .order
+                .remove(&(f64_bits(self.priority[fi]), self.seq_of[fi], f));
             debug_assert!(removed);
             // Advance the sequence so equal-priority ties break by recency
             // (this is what makes cost=size degenerate to LRU exactly).
@@ -174,10 +174,7 @@ mod tests {
         // Resident: 0 (100 MB), 1 (10 MB). Inserting 2 evicts 0.
         let t = trace_with_sizes(&[&[0], &[1], &[2], &[1], &[0]], &[100, 10, 50]);
         let mut p = GreedyDualSize::new(&t, 150 * MB, CostModel::Uniform);
-        assert_eq!(
-            replay(&t, &mut p),
-            vec![false, false, false, true, false]
-        );
+        assert_eq!(replay(&t, &mut p), vec![false, false, false, true, false]);
     }
 
     #[test]
@@ -194,10 +191,7 @@ mod tests {
         // 0 and 1 resident (equal sizes); hit 0; inserting 2 should evict 1.
         let t = trace_with_sizes(&[&[0], &[1], &[0], &[2], &[0]], &[100, 100, 100]);
         let mut p = GreedyDualSize::new(&t, 200 * MB, CostModel::Size);
-        assert_eq!(
-            replay(&t, &mut p),
-            vec![false, false, true, false, true]
-        );
+        assert_eq!(replay(&t, &mut p), vec![false, false, true, false, true]);
     }
 
     #[test]

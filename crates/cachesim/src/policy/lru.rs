@@ -29,7 +29,10 @@ impl FileLru {
     fn evict_until(&mut self, need: u64) -> u64 {
         let mut evicted = 0u64;
         while self.used + need > self.capacity {
-            let victim = self.lru.pop_lru().expect("need <= capacity implies progress");
+            let victim = self
+                .lru
+                .pop_lru()
+                .expect("need <= capacity implies progress");
             let s = self.sizes[victim as usize];
             self.used -= s;
             evicted += s;

@@ -145,10 +145,7 @@ mod tests {
     fn k2_protects_rereferenced_files_from_scans() {
         // 0 is referenced twice (hot); 1 and 2 are one-shot scans. With
         // K=2, the scan files have kth_time 0 and are evicted before 0.
-        let t = trace_with_sizes(
-            &[&[0], &[0], &[1], &[2], &[3], &[0]],
-            &[100, 100, 100, 100],
-        );
+        let t = trace_with_sizes(&[&[0], &[0], &[1], &[2], &[3], &[0]], &[100, 100, 100, 100]);
         let mut p = FileLruK::new(&t, 200 * MB, 2);
         let hits = replay(&t, &mut p);
         // 0 miss, 0 hit, 1 miss, 2 miss (evicts 1: both scans have key 0,

@@ -342,10 +342,7 @@ mod tests {
     fn successor_prefetch_after_eviction() {
         // Small cache (2 files): teach 0->1, then churn, then request 0:
         // 1 is prefetched alongside.
-        let t = trace_with_sizes(
-            &[&[0], &[1], &[2], &[3], &[0], &[1]],
-            &[10, 10, 10, 10],
-        );
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[3], &[0], &[1]], &[10, 10, 10, 10]);
         let mut p = SuccessorPrefetch::new(&t, 20 * MB, 2);
         let hits = replay(&t, &mut p);
         // 0,1,2,3 miss (chain learned 0->1->2->3); request 0 misses but
@@ -372,10 +369,8 @@ mod tests {
         let t = trace_with_sizes(&[&[0, 1, 2, 3], &[0, 1, 2, 3]], &[10, 10, 10, 10]);
         let mut p = WorkingSetPrefetch::new(&t, 1000 * MB, 8);
         // Manually seed the library: the user's past job covered {0,1,2,3}.
-        p.library.insert(
-            0,
-            vec![vec![FileId(0), FileId(1), FileId(2), FileId(3)]],
-        );
+        p.library
+            .insert(0, vec![vec![FileId(0), FileId(1), FileId(2), FileId(3)]]);
         let hits = replay(&t, &mut p);
         // Cache is big, so the second job hits regardless; the interesting
         // assertion is on the *first* job: after two accesses the unique
@@ -405,10 +400,7 @@ mod tests {
 
     #[test]
     fn workingset_capacity_respected() {
-        let t = trace_with_sizes(
-            &[&[0, 1], &[2, 3], &[0, 1], &[2, 3]],
-            &[60, 60, 60, 60],
-        );
+        let t = trace_with_sizes(&[&[0, 1], &[2, 3], &[0, 1], &[2, 3]], &[60, 60, 60, 60]);
         let mut p = WorkingSetPrefetch::new(&t, 130 * MB, 4);
         for ev in t.replay_events() {
             p.access(&ev);

@@ -91,10 +91,7 @@ mod tests {
         // Resident: 0 (150 MB), 1 (30 MB). Inserting 2 (40 MB) evicts 0.
         let t = trace_with_sizes(&[&[0], &[1], &[2], &[1], &[0]], &[150, 30, 40]);
         let mut p = FileSize::new(&t, 200 * MB);
-        assert_eq!(
-            replay(&t, &mut p),
-            vec![false, false, false, true, false]
-        );
+        assert_eq!(replay(&t, &mut p), vec![false, false, false, true, false]);
     }
 
     #[test]

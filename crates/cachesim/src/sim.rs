@@ -252,13 +252,8 @@ pub fn simulate(trace: &Trace, policy: &mut dyn Policy) -> SimReport {
 ///
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
-pub fn simulate_warm(
-    trace: &Trace,
-    policy: &mut dyn Policy,
-    warmup_fraction: f64,
-) -> SimReport {
-    Simulator::with_options(SimOptions::warm(warmup_fraction))
-        .run(&ReplayLog::build(trace), policy)
+pub fn simulate_warm(trace: &Trace, policy: &mut dyn Policy, warmup_fraction: f64) -> SimReport {
+    Simulator::with_options(SimOptions::warm(warmup_fraction)).run(&ReplayLog::build(trace), policy)
 }
 
 #[cfg(test)]

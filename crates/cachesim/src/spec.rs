@@ -206,9 +206,7 @@ fn build_online_policy(
         PolicySpec::BundleAffinity => Box::new(BundleAffinity::new(trace, set, capacity)),
         PolicySpec::FileLru2 => Box::new(FileLruK::new(trace, capacity, 2)),
         PolicySpec::SuccessorPrefetch => Box::new(SuccessorPrefetch::new(trace, capacity, 4)),
-        PolicySpec::WorkingSetPrefetch => {
-            Box::new(WorkingSetPrefetch::new(trace, capacity, 16))
-        }
+        PolicySpec::WorkingSetPrefetch => Box::new(WorkingSetPrefetch::new(trace, capacity, 16)),
         PolicySpec::BeladyMin | PolicySpec::FileculeBelady => {
             unreachable!("offline specs are handled by the log-aware constructors")
         }
@@ -275,8 +273,7 @@ mod tests {
         let log = ReplayLog::build(&t);
         let before = hep_trace::materialization_count();
         let _ = build_policy_from_log(PolicySpec::BeladyMin, &log, &t, &set, hep_trace::TB);
-        let _ =
-            build_policy_from_log(PolicySpec::FileculeBelady, &log, &t, &set, hep_trace::TB);
+        let _ = build_policy_from_log(PolicySpec::FileculeBelady, &log, &t, &set, hep_trace::TB);
         assert_eq!(hep_trace::materialization_count(), before);
     }
 }

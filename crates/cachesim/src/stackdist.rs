@@ -148,10 +148,7 @@ pub fn file_reuse_profile_from_log(log: &ReplayLog) -> ReuseProfile {
 /// their filecules (whole-filecule fetch units, as in filecule-LRU).
 /// Materializes the stream; reuse [`filecule_reuse_profile_from_log`] when
 /// a [`ReplayLog`] is already built.
-pub fn filecule_reuse_profile(
-    trace: &Trace,
-    set: &filecule_core::FileculeSet,
-) -> ReuseProfile {
+pub fn filecule_reuse_profile(trace: &Trace, set: &filecule_core::FileculeSet) -> ReuseProfile {
     filecule_reuse_profile_from_log(&ReplayLog::build(trace), set)
 }
 

@@ -133,10 +133,7 @@ mod tests {
         let (t, set) = small();
         let rows = sweep_fig10(&t, &set, 400.0);
         let last = rows.last().unwrap();
-        assert!(
-            last.filecule_lru_miss < last.file_lru_miss,
-            "{last:?}"
-        );
+        assert!(last.filecule_lru_miss < last.file_lru_miss, "{last:?}");
         assert!(last.improvement_factor() > 2.0, "{last:?}");
     }
 

@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn declared_switch_does_not_eat_positional() {
         let a = Args::parse_with_switches(
-            ["generate", "--check", "out.bin"].iter().map(|s| s.to_string()),
+            ["generate", "--check", "out.bin"]
+                .iter()
+                .map(|s| s.to_string()),
             &["check"],
         )
         .unwrap();

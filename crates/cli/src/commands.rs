@@ -30,16 +30,26 @@ pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), Box<dyn Error>> {
 
 /// `filecules generate <out>`.
 pub fn generate(args: &Args) -> CmdResult {
-    args.reject_unknown(&["scale", "seed", "user-scale", "days", "check"])?;
-    let out = args
-        .positional(1)
-        .ok_or("generate needs an output path")?;
+    args.reject_unknown(&[
+        "scale",
+        "seed",
+        "user-scale",
+        "days",
+        "check",
+        "no-cache",
+        "threads",
+    ])?;
+    let out = args.positional(1).ok_or("generate needs an output path")?;
     let scale: f64 = args.get_or("scale", 16.0)?;
     let seed: u64 = args.get_or("seed", hep_stats::rng::DEFAULT_SEED)?;
     let mut cfg = SynthConfig::paper(seed, scale);
     cfg.user_scale = args.get_or("user-scale", cfg.user_scale)?;
     cfg.days = args.get_or("days", cfg.days)?;
-    let trace = TraceSynthesizer::new(cfg).generate();
+    let trace = if args.switch("no-cache") {
+        TraceSynthesizer::new(cfg).generate()
+    } else {
+        hep_trace::generate_cached(&cfg)
+    };
     save_trace(&trace, Path::new(out))?;
     println!(
         "wrote {}: {} jobs, {} accesses, {} files, {} users, {} sites",
@@ -66,7 +76,7 @@ pub fn generate(args: &Args) -> CmdResult {
 
 /// `filecules convert <in> <out>`.
 pub fn convert(args: &Args) -> CmdResult {
-    args.reject_unknown(&[])?;
+    args.reject_unknown(&["threads"])?;
     let src = args.positional(1).ok_or("convert needs an input path")?;
     let dst = args.positional(2).ok_or("convert needs an output path")?;
     let trace = load_trace(Path::new(src))?;
@@ -77,7 +87,7 @@ pub fn convert(args: &Args) -> CmdResult {
 
 /// `filecules characterize <trace>`.
 pub fn characterize(args: &Args) -> CmdResult {
-    args.reject_unknown(&["json"])?;
+    args.reject_unknown(&["json", "threads"])?;
     let path = args
         .positional(1)
         .ok_or("characterize needs a trace path")?;
@@ -135,7 +145,7 @@ pub fn characterize(args: &Args) -> CmdResult {
 
 /// `filecules identify <trace>`.
 pub fn identify(args: &Args) -> CmdResult {
-    args.reject_unknown(&["out", "algorithm"])?;
+    args.reject_unknown(&["out", "algorithm", "threads"])?;
     let path = args.positional(1).ok_or("identify needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
     let algo = args.get("algorithm").unwrap_or("exact");
@@ -195,7 +205,14 @@ fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
 /// `filecules simulate <trace>`: one shared replay-log materialization,
 /// every selected policy simulated over it in a single pass each.
 pub fn simulate_cmd(args: &Args) -> CmdResult {
-    args.reject_unknown(&["policy", "policies", "capacity-gb", "warmup", "json"])?;
+    args.reject_unknown(&[
+        "policy",
+        "policies",
+        "capacity-gb",
+        "warmup",
+        "json",
+        "threads",
+    ])?;
     let path = args.positional(1).ok_or("simulate needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
     let specs = policy_selection(args)?;
@@ -250,7 +267,7 @@ pub fn simulate(args: &Args) -> CmdResult {
 
 /// `filecules fig10 <trace>`: the paper's headline sweep.
 pub fn fig10(args: &Args) -> CmdResult {
-    args.reject_unknown(&["scale"])?;
+    args.reject_unknown(&["scale", "threads"])?;
     let path = args.positional(1).ok_or("fig10 needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
     let scale: f64 = args.get_or("scale", 16.0)?;
@@ -272,7 +289,7 @@ pub fn fig10(args: &Args) -> CmdResult {
 /// `filecules inspect <trace> --file N`: one file's usage signature and
 /// filecule membership.
 pub fn inspect(args: &Args) -> CmdResult {
-    args.reject_unknown(&["file"])?;
+    args.reject_unknown(&["file", "threads"])?;
     let path = args.positional(1).ok_or("inspect needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
     let file: u32 = args.require("file")?;
@@ -296,12 +313,7 @@ pub fn inspect(args: &Args) -> CmdResult {
         let rec = trace.job(j);
         println!(
             "  job {}: user {}, site {}, tier {}, start {}s, {} files",
-            j.0,
-            rec.user.0,
-            rec.site.0,
-            rec.tier,
-            rec.start,
-            rec.file_len
+            j.0, rec.user.0, rec.site.0, rec.tier, rec.start, rec.file_len
         );
     }
     if jobs.len() > 8 {
@@ -336,10 +348,8 @@ pub fn inspect(args: &Args) -> CmdResult {
 
 /// `filecules feasibility <trace>`.
 pub fn feasibility(args: &Args) -> CmdResult {
-    args.reject_unknown(&["window-hours", "json"])?;
-    let path = args
-        .positional(1)
-        .ok_or("feasibility needs a trace path")?;
+    args.reject_unknown(&["window-hours", "json", "threads"])?;
+    let path = args.positional(1).ok_or("feasibility needs a trace path")?;
     let trace = load_trace(Path::new(path))?;
     let window = (args.get_or("window-hours", 24.0f64)? * 3600.0) as u64;
     let set = filecule_core::identify(&trace);
@@ -418,7 +428,12 @@ mod tests {
             bin.to_str().unwrap(),
         ]))
         .unwrap();
-        convert(&args(&["convert", bin.to_str().unwrap(), csv.to_str().unwrap()])).unwrap();
+        convert(&args(&[
+            "convert",
+            bin.to_str().unwrap(),
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
         let a = load_trace(&bin).unwrap();
         let b = load_trace(&csv).unwrap();
         assert_eq!(a.n_jobs(), b.n_jobs());

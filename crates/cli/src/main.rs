@@ -23,6 +23,9 @@ fn usage() -> &'static str {
 USAGE:
   filecules <command> [args]
 
+GLOBAL FLAGS:
+  --threads N           size of the rayon thread pool (0 = all cores)
+
 COMMANDS:
   generate <out>        synthesize a calibrated DZero-like trace
       --scale N         trace volume divisor (default 16)
@@ -30,6 +33,7 @@ COMMANDS:
       --user-scale N    user population divisor (default 1)
       --days N          trace window in days (default 820)
       --check           verify calibration against the paper's targets
+      --no-cache        bypass the on-disk trace cache (target/trace-cache)
   convert <in> <out>    convert between .csv and binary trace formats
   characterize <trace>  print Table 1/2-style summaries (--json for JSON)
   identify <trace>      identify filecules
@@ -53,13 +57,28 @@ COMMANDS:
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse_with_switches(tokens, &["json", "check"]) {
+    let args = match Args::parse_with_switches(tokens, &["json", "check", "no-cache"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
             std::process::exit(2);
         }
     };
+    // Size the global rayon pool before any parallel work runs. 0 (the
+    // default) keeps rayon's own heuristic: one thread per core.
+    let threads: usize = match args.get_or("threads", 0) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("the global rayon pool is built once, before first use");
+    }
     let cmd = args.positional(0).unwrap_or("help").to_owned();
     let result = match cmd.as_str() {
         "generate" => commands::generate(&args),

@@ -50,7 +50,14 @@ fn help_exits_zero_and_lists_commands() {
     let o = run(&["help"]);
     assert!(o.status.success());
     let out = stdout(&o);
-    for cmd in ["generate", "identify", "simulate", "feasibility", "fig10", "inspect"] {
+    for cmd in [
+        "generate",
+        "identify",
+        "simulate",
+        "feasibility",
+        "fig10",
+        "inspect",
+    ] {
         assert!(out.contains(cmd), "help missing {cmd}");
     }
     // No args behaves like help.

@@ -68,7 +68,11 @@ pub fn stability(a: &FileculeSet, b: &FileculeSet, n_files: usize) -> StabilityR
     }
     StabilityReport {
         shared_files: shared,
-        mean_jaccard: if shared == 0 { 1.0 } else { jaccard_sum / shared as f64 },
+        mean_jaccard: if shared == 0 {
+            1.0
+        } else {
+            jaccard_sum / shared as f64
+        },
         identical_fraction: if shared == 0 {
             1.0
         } else {
@@ -95,12 +99,30 @@ mod tests {
         let d = b.add_domain(".gov");
         let s = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(MB, DataTier::Thumbnail))
+            .collect();
         // Same request pattern in two halves of time: stable filecules.
         b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
         b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 10, 11, &[f[2], f[3]]);
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f[0], f[1]]);
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 110, 111, &[f[2], f[3]]);
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            100,
+            101,
+            &[f[0], f[1]],
+        );
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            110,
+            111,
+            &[f[2], f[3]],
+        );
         b.build().unwrap()
     }
 
@@ -121,11 +143,37 @@ mod tests {
         let d = b.add_domain(".gov");
         let s = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(MB, DataTier::Thumbnail))
+            .collect();
         // First half: {0,1,2,3} together. Second half: {0,1} and {2,3}.
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1], f[2], f[3]]);
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f[0], f[1]]);
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 110, 111, &[f[2], f[3]]);
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            0,
+            1,
+            &[f[0], f[1], f[2], f[3]],
+        );
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            100,
+            101,
+            &[f[0], f[1]],
+        );
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            110,
+            111,
+            &[f[2], f[3]],
+        );
         let t = b.build().unwrap();
         let reports = window_stability(&t, 2);
         let r = &reports[0];

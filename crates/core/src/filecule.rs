@@ -43,11 +43,7 @@ impl FileculeSet {
     ///
     /// # Panics
     /// Panics if a list is empty, a file appears twice, or lengths differ.
-    pub fn from_groups(
-        groups: Vec<Vec<FileId>>,
-        popularity: Vec<u32>,
-        trace: &Trace,
-    ) -> Self {
+    pub fn from_groups(groups: Vec<Vec<FileId>>, popularity: Vec<u32>, trace: &Trace) -> Self {
         assert_eq!(groups.len(), popularity.len(), "group/popularity mismatch");
         let n_files = trace.n_files();
         let total: usize = groups.iter().map(Vec::len).sum();
@@ -203,10 +199,20 @@ mod tests {
         let d = b.add_domain(".gov");
         let s = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(MB, DataTier::Thumbnail))
+            .collect();
         // f0,f1 always together; f2 alone; f3 never accessed.
         b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
-        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1], f[2]]);
+        b.add_job(
+            u,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            2,
+            3,
+            &[f[0], f[1], f[2]],
+        );
         b.build().unwrap()
     }
 
@@ -243,11 +249,8 @@ mod tests {
     fn verify_rejects_merged_groups() {
         let t = trace_two_groups();
         // f2 has a different signature than f0/f1 — merging them is wrong.
-        let set = FileculeSet::from_groups(
-            vec![vec![FileId(0), FileId(1), FileId(2)]],
-            vec![2],
-            &t,
-        );
+        let set =
+            FileculeSet::from_groups(vec![vec![FileId(0), FileId(1), FileId(2)]], vec![2], &t);
         assert!(!set.verify(&t).is_empty());
     }
 
@@ -259,18 +262,14 @@ mod tests {
             vec![7, 1],
             &t,
         );
-        assert!(set
-            .verify(&t)
-            .iter()
-            .any(|e| e.contains("popularity")));
+        assert!(set.verify(&t).iter().any(|e| e.contains("popularity")));
     }
 
     #[test]
     fn verify_rejects_missing_coverage() {
         let t = trace_two_groups();
         // f2 accessed but unassigned.
-        let set =
-            FileculeSet::from_groups(vec![vec![FileId(0), FileId(1)]], vec![2], &t);
+        let set = FileculeSet::from_groups(vec![vec![FileId(0), FileId(1)]], vec![2], &t);
         assert!(set.verify(&t).iter().any(|e| e.contains("assigned=false")));
     }
 
@@ -278,11 +277,7 @@ mod tests {
     #[should_panic]
     fn duplicate_assignment_panics() {
         let t = trace_two_groups();
-        let _ = FileculeSet::from_groups(
-            vec![vec![FileId(0)], vec![FileId(0)]],
-            vec![2, 2],
-            &t,
-        );
+        let _ = FileculeSet::from_groups(vec![vec![FileId(0)], vec![FileId(0)]], vec![2, 2], &t);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::filecule::FileculeSet;
 use hep_trace::{FileId, Trace};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// 128-bit fingerprint of a job-id sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -20,6 +21,47 @@ struct Fingerprint {
     a: u64,
     b: u64,
 }
+
+/// Passthrough hasher for keys whose bits are already uniform.
+///
+/// [`Fingerprint`]s come out of two SplitMix64-style mixers, so their bits
+/// are as good as a hash gets; running them through SipHash again (the
+/// `HashMap` default) only burns cycles on the hot snapshot path. This
+/// hasher folds the written words together with XOR/rotate and returns
+/// them as-is — safe here because the key distribution is adversary-free
+/// and uniform by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FingerprintHasher {
+    state: u64,
+}
+
+impl Hasher for FingerprintHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only taken for lengths the u32/u64 fast paths don't cover
+        // (e.g. derived Hash on future key shapes).
+        for &b in bytes {
+            self.state = self.state.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = self.state.rotate_left(32) ^ u64::from(v);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = self.state.rotate_left(21) ^ v;
+    }
+}
+
+/// A `HashMap` keyed by fingerprint material, skipping SipHash.
+pub type FingerprintMap<K, V> = HashMap<K, V, BuildHasherDefault<FingerprintHasher>>;
 
 impl Fingerprint {
     /// Mix one job id into the fingerprint. Order-sensitive, but every
@@ -69,7 +111,7 @@ impl HashedIdentifier {
     /// member), identical to the exact identifier with overwhelming
     /// probability.
     pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
-        let mut index: HashMap<(Fingerprint, u32), u32> = HashMap::new();
+        let mut index: FingerprintMap<(Fingerprint, u32), u32> = FingerprintMap::default();
         let mut groups: Vec<Vec<FileId>> = Vec::new();
         let mut popularity: Vec<u32> = Vec::new();
         for fi in 0..self.prints.len() {
@@ -188,5 +230,34 @@ mod tests {
         let t = TraceSynthesizer::new(SynthConfig::small(172)).generate();
         let set = identify_hashed(&t);
         assert!(set.verify(&t).is_empty());
+    }
+
+    #[test]
+    fn passthrough_hasher_agrees_with_key_equality() {
+        use std::hash::{BuildHasher, Hash};
+        let build = BuildHasherDefault::<FingerprintHasher>::default();
+        let hash_of = |key: &(Fingerprint, u32)| {
+            let mut h = build.build_hasher();
+            key.hash(&mut h);
+            h.finish()
+        };
+        let fp = |a: u64, b: u64| Fingerprint { a, b };
+        // Equal keys hash equal; near-miss keys (one word or the count
+        // differing) must not collide through the fold.
+        assert_eq!(hash_of(&(fp(1, 2), 3)), hash_of(&(fp(1, 2), 3)));
+        assert_ne!(hash_of(&(fp(1, 2), 3)), hash_of(&(fp(2, 1), 3)));
+        assert_ne!(hash_of(&(fp(1, 2), 3)), hash_of(&(fp(1, 2), 4)));
+
+        // And the map behaves like the SipHash one.
+        let mut m: FingerprintMap<(Fingerprint, u32), u32> = FingerprintMap::default();
+        for i in 0..1000u32 {
+            let mut p = Fingerprint::default();
+            p.mix(i);
+            m.insert((p, i), i);
+        }
+        assert_eq!(m.len(), 1000);
+        let mut probe = Fingerprint::default();
+        probe.mix(500);
+        assert_eq!(m.get(&(probe, 500)), Some(&500));
     }
 }

@@ -99,8 +99,7 @@ pub fn coarsening_reports(
                 // Union check: the member count of the covered global
                 // filecules must equal the local filecule's size (global
                 // classes never straddle local ones).
-                let global_members: usize =
-                    globals.iter().map(|&g| global.len(g)).sum();
+                let global_members: usize = globals.iter().map(|&g| global.len(g)).sum();
                 if global_members != files.len() {
                     union_ok = false;
                 }
@@ -117,8 +116,7 @@ pub fn coarsening_reports(
             let mean_global = if covered.is_empty() {
                 0.0
             } else {
-                covered.iter().map(|&g| global.len(g)).sum::<usize>() as f64
-                    / covered.len() as f64
+                covered.iter().map(|&g| global.len(g)).sum::<usize>() as f64 / covered.len() as f64
             };
             CoarseningReport {
                 site: sf.site.0,
@@ -151,12 +149,30 @@ mod tests {
         let s0 = b.add_site(d);
         let s1 = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(MB, DataTier::Thumbnail))
+            .collect();
         // Site 0 sees both jobs and can split {0,1} from {2}.
-        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1], f[2]]);
+        b.add_job(
+            u,
+            s0,
+            NodeId(0),
+            DataTier::Thumbnail,
+            0,
+            1,
+            &[f[0], f[1], f[2]],
+        );
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1]]);
         // Site 1 sees one coarse job covering everything.
-        b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 4, 5, &[f[0], f[1], f[2], f[3]]);
+        b.add_job(
+            u,
+            s1,
+            NodeId(0),
+            DataTier::Thumbnail,
+            4,
+            5,
+            &[f[0], f[1], f[2], f[3]],
+        );
         b.build().unwrap()
     }
 
@@ -179,7 +195,11 @@ mod tests {
         let global = identify(&t);
         let per_site = identify_per_site(&t);
         for r in coarsening_reports(&t, &global, &per_site) {
-            assert!(r.is_union_of_global, "site {} violates union property", r.site);
+            assert!(
+                r.is_union_of_global,
+                "site {} violates union property",
+                r.site
+            );
         }
     }
 
@@ -204,7 +224,11 @@ mod tests {
         let reports = coarsening_reports(&t, &global, &per_site);
         assert!(!reports.is_empty());
         for r in &reports {
-            assert!(r.is_union_of_global, "site {} violates union property", r.site);
+            assert!(
+                r.is_union_of_global,
+                "site {} violates union property",
+                r.site
+            );
             // Coarsening: local filecules cover at least as many files per
             // group as the globals they aggregate.
             assert!(r.local_filecules <= r.global_filecules_covered.max(1));

@@ -167,7 +167,15 @@ mod tests {
         let rt = b.add_file(10 * MB, DataTier::RootTuple);
         // {0,1} shared by two users; {2} one user; {3,4} one user; {rt} u1.
         b.add_job(u0, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
-        b.add_job(u1, s, NodeId(0), DataTier::Thumbnail, 2, 3, &[f[0], f[1], f[2]]);
+        b.add_job(
+            u1,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            2,
+            3,
+            &[f[0], f[1], f[2]],
+        );
         b.add_job(u0, s, NodeId(0), DataTier::Thumbnail, 4, 5, &[f[3], f[4]]);
         b.add_job(u1, s, NodeId(0), DataTier::RootTuple, 6, 7, &[rt]);
         let t = b.build().unwrap();

@@ -35,7 +35,7 @@ pub use online::{
 };
 pub use placement::Placement;
 pub use policies::{
-    filecule_popularity_placement, file_popularity_placement, local_filecule_placement,
+    file_popularity_placement, filecule_popularity_placement, local_filecule_placement,
     no_replication, training_jobs,
 };
 pub use sim::{evaluate, wasted_bytes, ReplicationReport};

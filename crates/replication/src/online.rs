@@ -61,7 +61,13 @@ pub fn simulate_sites(
     capacity_per_site: u64,
     granularity: Granularity,
 ) -> OnlineReport {
-    simulate_sites_log(&ReplayLog::build(trace), trace, set, capacity_per_site, granularity)
+    simulate_sites_log(
+        &ReplayLog::build(trace),
+        trace,
+        set,
+        capacity_per_site,
+        granularity,
+    )
 }
 
 /// [`simulate_sites`] over an already-materialized log.
@@ -75,7 +81,9 @@ pub fn simulate_sites_log(
     let n_sites = trace.n_sites();
     let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
         .map(|_| match granularity {
-            Granularity::File => Box::new(FileLru::new(trace, capacity_per_site)) as Box<dyn Policy>,
+            Granularity::File => {
+                Box::new(FileLru::new(trace, capacity_per_site)) as Box<dyn Policy>
+            }
             Granularity::Filecule => {
                 Box::new(FileculeLru::new(trace, set, capacity_per_site)) as Box<dyn Policy>
             }

@@ -106,7 +106,9 @@ mod tests {
         let s0 = b.add_site(d);
         let _s1 = b.add_site(d);
         let u = b.add_user();
-        let files: Vec<FileId> = (0..4).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        let files: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(10 * MB, DataTier::Thumbnail))
+            .collect();
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &files);
         b.build().unwrap()
     }

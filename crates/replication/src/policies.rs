@@ -112,10 +112,7 @@ pub fn local_filecule_placement(
         let local = identify_jobs(trace, jobs);
         local_sizes.push(local.n_filecules());
         // Rank local filecules by popularity and place atomically.
-        let mut ranked: Vec<(u32, u32)> = local
-            .ids()
-            .map(|g| (local.popularity(g), g.0))
-            .collect();
+        let mut ranked: Vec<(u32, u32)> = local.ids().map(|g| (local.popularity(g), g.0)).collect();
         ranked.sort_by_key(|&(c, g)| (std::cmp::Reverse(c), g));
         for (_, g) in ranked {
             let files = local.files(filecule_core::FileculeId(g));
@@ -137,11 +134,29 @@ mod tests {
         let d = b.add_domain(".gov");
         let s0 = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..3).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..3)
+            .map(|_| b.add_file(10 * MB, DataTier::Thumbnail))
+            .collect();
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f[0], f[1]]);
-        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 10, 11, &[f[0], f[1], f[2]]);
+        b.add_job(
+            u,
+            s0,
+            NodeId(0),
+            DataTier::Thumbnail,
+            10,
+            11,
+            &[f[0], f[1], f[2]],
+        );
         // Evaluation-phase job (not in training prefix).
-        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 1000, 1001, &[f[0], f[1]]);
+        b.add_job(
+            u,
+            s0,
+            NodeId(0),
+            DataTier::Thumbnail,
+            1000,
+            1001,
+            &[f[0], f[1]],
+        );
         b.build().unwrap()
     }
 

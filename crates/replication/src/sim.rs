@@ -115,7 +115,9 @@ mod tests {
         no_replication, training_jobs,
     };
     use filecule_core::identify;
-    use hep_trace::{DataTier, FileId, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB, TB};
+    use hep_trace::{
+        DataTier, FileId, NodeId, SynthConfig, TraceBuilder, TraceSynthesizer, MB, TB,
+    };
 
     #[test]
     fn no_replication_everything_remote() {

@@ -69,8 +69,7 @@ impl Ecdf {
         if q <= 0.0 {
             return self.sorted[0];
         }
-        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 

@@ -184,8 +184,18 @@ mod tests {
     fn table2_domain_weights_smoke() {
         // The per-domain job counts of paper Table 2 as weights.
         let jobs = [
-            3_319_711.0, 390_186.0, 131_760.0, 54_672.0, 7_400.0, 5_719.0, 5_086.0, 3_854.0,
-            146.0, 12.0, 4.0, 3.0,
+            3_319_711.0,
+            390_186.0,
+            131_760.0,
+            54_672.0,
+            7_400.0,
+            5_719.0,
+            5_086.0,
+            3_854.0,
+            146.0,
+            12.0,
+            4.0,
+            3.0,
         ];
         let d = EmpiricalDiscrete::new(&jobs);
         let mut rng = seeded_rng(5);

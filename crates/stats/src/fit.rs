@@ -44,10 +44,7 @@ pub fn fit_zipf_mle(ranks: &[u64], n_ranks: usize) -> ZipfFit {
     assert!(!ranks.is_empty(), "need a non-empty rank sample");
     assert!(n_ranks > 0, "need at least one rank");
 
-    let clamped: Vec<u64> = ranks
-        .iter()
-        .map(|&r| r.clamp(1, n_ranks as u64))
-        .collect();
+    let clamped: Vec<u64> = ranks.iter().map(|&r| r.clamp(1, n_ranks as u64)).collect();
     let mean_log: f64 =
         clamped.iter().map(|&r| (r as f64).ln()).sum::<f64>() / clamped.len() as f64;
 
@@ -163,7 +160,11 @@ mod tests {
         // relative to any steep Zipf.
         let ranks: Vec<u64> = (1..=100).cycle().take(10_000).collect();
         let fit = fit_zipf_mle(&ranks, 100);
-        assert!(fit.exponent < 0.1, "uniform data => s ≈ 0, got {}", fit.exponent);
+        assert!(
+            fit.exponent < 0.1,
+            "uniform data => s ≈ 0, got {}",
+            fit.exponent
+        );
     }
 
     #[test]

@@ -112,8 +112,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -142,10 +141,7 @@ mod tests {
         let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
-        assert!(
-            (median - 100.0).abs() / 100.0 < 0.05,
-            "median = {median}"
-        );
+        assert!((median - 100.0).abs() / 100.0 < 0.05, "median = {median}");
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Content-addressed on-disk trace cache.
+//!
+//! Synthesizing the paper-scale workload is the dominant cost of every
+//! downstream analysis, and most runs ask for the exact same
+//! [`SynthConfig`] again and again (`report` at the default scale/seed,
+//! the multi-seed artifact, the CLI). This module memoizes finished
+//! traces on disk, keyed by content:
+//!
+//! * the key is a 128-bit digest over **every** [`SynthConfig`] field,
+//!   mixed with [`CACHE_FORMAT_VERSION`], the synthesis algorithm version
+//!   ([`crate::synth::GENERATOR_VERSION`]) and the [`crate::io_binary`]
+//!   magic — so a change to the config, the generator's output, or the
+//!   serialization format each address a different entry;
+//! * entries are plain [`crate::io_binary`] files named
+//!   `trace-<32 hex digits>.bin` under [`TraceCache::default_dir`]
+//!   (`target/trace-cache/` at the workspace root, overridable via the
+//!   `FILECULES_TRACE_CACHE` environment variable);
+//! * writes go through a temp file plus atomic rename, so concurrent
+//!   processes racing on the same key are safe;
+//! * any entry that fails to parse — truncated, corrupt, or written by an
+//!   incompatible format — is treated as a miss and regenerated.
+//!
+//! The one-call entry point is [`generate_cached`].
+
+use crate::io_binary;
+use crate::model::Trace;
+use crate::synth::{SynthConfig, TraceSynthesizer, GENERATOR_VERSION};
+use hep_stats::rng::splitmix64;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the cache key derivation itself. Bump when the digest
+/// changes (fields added to [`SynthConfig`], mixing reordered) so stale
+/// entries from older layouts can never be addressed, only garbage
+/// collected.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// 128-bit running digest built from two decoupled splitmix64 chains.
+///
+/// Not cryptographic — it only needs to make accidental collisions
+/// between distinct `SynthConfig`s vanishingly unlikely.
+struct Digest {
+    a: u64,
+    b: u64,
+}
+
+impl Digest {
+    fn new() -> Self {
+        Digest {
+            a: splitmix64(0x6669_6C65_6375_6C65), // "filecule"
+            b: splitmix64(0x7472_6163_6563_6163), // "tracecac"
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.a = splitmix64(self.a ^ v);
+        self.b = splitmix64(self.b.wrapping_add(splitmix64(v ^ 0x9E37_79B9_7F4A_7C15)));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.a, self.b)
+    }
+}
+
+fn digest_config(cfg: &SynthConfig, format_version: u32) -> Digest {
+    let mut d = Digest::new();
+    d.u64(u64::from(format_version));
+    d.u64(u64::from(GENERATOR_VERSION));
+    for &byte in io_binary::MAGIC {
+        d.u64(u64::from(byte));
+    }
+    d.u64(cfg.seed);
+    d.f64(cfg.scale);
+    d.f64(cfg.user_scale);
+    d.u64(cfg.days);
+    d.f64(cfg.p_full_view);
+    d.f64(cfg.p_repeat_dataset);
+    d.f64(cfg.p_local_interest);
+    d.f64(cfg.locality_spread);
+    d.f64(cfg.popularity_exponent);
+    d.f64(cfg.popularity_shift);
+    d.f64(cfg.user_activity_exponent);
+    d.f64(cfg.growth);
+    d.f64(cfg.weekend_factor);
+    d.f64(cfg.jitter_sigma);
+    d.f64(cfg.duration_sigma);
+    d.u64(cfg.history_cap as u64);
+    d.f64(cfg.campaign_mean_jobs);
+    d.u64(cfg.campaign_max_jobs as u64);
+    d.f64(cfg.campaign_gap_days);
+    d.u64(cfg.block_count_weights.len() as u64);
+    for &(blocks, weight) in &cfg.block_count_weights {
+        d.u64(blocks as u64);
+        d.f64(weight);
+    }
+    d.u64(cfg.tiers.len() as u64);
+    for tp in &cfg.tiers {
+        d.u64(tp.tier as u64);
+        d.u64(tp.jobs);
+        d.u64(tp.target_files);
+        d.f64(tp.dataset_files_median);
+        d.f64(tp.dataset_files_sigma);
+        d.f64(tp.dataset_files_max);
+        d.f64(tp.file_size_mb_median);
+        d.f64(tp.file_size_mb_sigma);
+        d.f64(tp.file_size_mb_min);
+        d.f64(tp.file_size_mb_max);
+        d.f64(tp.mean_hours);
+        d.f64(tp.user_fraction);
+    }
+    d.u64(u64::from(cfg.include_other_jobs));
+    d.u64(cfg.other_jobs);
+    d.f64(cfg.other_mean_hours);
+    d.f64(cfg.other_user_fraction);
+    d
+}
+
+/// The cache key for `cfg` under the current format/generator versions:
+/// 32 lowercase hex digits.
+pub fn config_key(cfg: &SynthConfig) -> String {
+    digest_config(cfg, CACHE_FORMAT_VERSION).hex()
+}
+
+/// A directory of content-addressed serialized traces.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TraceCache {
+    /// A cache rooted at `dir`. The directory is created lazily on the
+    /// first store.
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        TraceCache {
+            dir: dir.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The default cache location: `$FILECULES_TRACE_CACHE` if set,
+    /// otherwise `target/trace-cache/` at the workspace root.
+    pub fn default_dir() -> PathBuf {
+        if let Some(dir) = std::env::var_os("FILECULES_TRACE_CACHE") {
+            return PathBuf::from(dir);
+        }
+        // crates/trace -> crates -> workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate lives two levels below the workspace root");
+        root.join("target").join("trace-cache")
+    }
+
+    /// The directory this cache reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path an entry for `cfg` would live at.
+    pub fn path_for(&self, cfg: &SynthConfig) -> PathBuf {
+        self.dir.join(format!("trace-{}.bin", config_key(cfg)))
+    }
+
+    /// Look up `cfg`. Unreadable or unparsable entries are a miss.
+    pub fn load(&self, cfg: &SynthConfig) -> Option<Trace> {
+        io_binary::load_trace_binary(&self.path_for(cfg)).ok()
+    }
+
+    /// Store `trace` as the entry for `cfg` (atomic temp-file + rename).
+    pub fn store(&self, cfg: &SynthConfig, trace: &Trace) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        io_binary::save_trace_binary(trace, &tmp)?;
+        let dest = self.path_for(cfg);
+        std::fs::rename(&tmp, &dest)?;
+        Ok(dest)
+    }
+
+    /// Return the cached trace for `cfg`, or synthesize it (in parallel)
+    /// and populate the cache. The boolean reports whether it was a hit.
+    /// Store failures (e.g. a read-only target dir) are swallowed — the
+    /// fresh trace is still returned.
+    pub fn load_or_generate(&self, cfg: &SynthConfig) -> (Trace, bool) {
+        if let Some(trace) = self.load(cfg) {
+            return (trace, true);
+        }
+        let trace = TraceSynthesizer::new(cfg.clone()).generate();
+        let _ = self.store(cfg, &trace);
+        (trace, false)
+    }
+}
+
+impl Default for TraceCache {
+    /// The cache rooted at [`TraceCache::default_dir`].
+    fn default() -> Self {
+        TraceCache::new(TraceCache::default_dir())
+    }
+}
+
+/// Synthesize `cfg` through the default cache: a hit skips generation
+/// entirely, a miss generates in parallel and writes the entry back.
+pub fn generate_cached(cfg: &SynthConfig) -> Trace {
+    TraceCache::default().load_or_generate(cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> TraceCache {
+        let dir =
+            std::env::temp_dir().join(format!("filecules-cache-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TraceCache::new(dir)
+    }
+
+    #[test]
+    fn key_is_stable_and_config_sensitive() {
+        let a = SynthConfig::small(1);
+        assert_eq!(config_key(&a), config_key(&a.clone()));
+        assert_eq!(config_key(&a).len(), 32);
+        let mut b = a.clone();
+        b.seed = 2;
+        assert_ne!(config_key(&a), config_key(&b));
+        let mut c = a.clone();
+        c.tiers[0].mean_hours += 0.25;
+        assert_ne!(config_key(&a), config_key(&c));
+        let mut d = a.clone();
+        d.block_count_weights.push((99, 1e-9));
+        assert_ne!(config_key(&a), config_key(&d));
+    }
+
+    #[test]
+    fn version_bump_changes_key() {
+        let cfg = SynthConfig::small(1);
+        let now = digest_config(&cfg, CACHE_FORMAT_VERSION).hex();
+        let old = digest_config(&cfg, CACHE_FORMAT_VERSION + 1).hex();
+        assert_ne!(now, old, "format version must be part of the address");
+    }
+
+    #[test]
+    fn round_trip_hit_equals_fresh_generate() {
+        let cache = tmp_cache("roundtrip");
+        let cfg = SynthConfig::small(11);
+        let (fresh, hit) = cache.load_or_generate(&cfg);
+        assert!(!hit, "first lookup must miss");
+        let (cached, hit) = cache.load_or_generate(&cfg);
+        assert!(hit, "second lookup must hit");
+        assert_eq!(
+            io_binary::trace_to_bytes(&fresh),
+            io_binary::trace_to_bytes(&cached),
+            "cache hit diverged from fresh generate"
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn stale_format_version_is_ignored() {
+        let cache = tmp_cache("stale");
+        let cfg = SynthConfig::small(12);
+        let trace = TraceSynthesizer::new(cfg.clone()).generate();
+        // Simulate an entry written by an older cache layout: it lives at
+        // the *old* version's address, so the current key never sees it.
+        let old_key = digest_config(&cfg, CACHE_FORMAT_VERSION.wrapping_sub(1)).hex();
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        io_binary::save_trace_binary(&trace, &cache.dir().join(format!("trace-{old_key}.bin")))
+            .unwrap();
+        assert!(cache.load(&cfg).is_none(), "stale entry must not resolve");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = tmp_cache("corrupt");
+        let cfg = SynthConfig::small(13);
+        let trace = TraceSynthesizer::new(cfg.clone()).generate();
+        cache.store(&cfg, &trace).unwrap();
+        // Truncate the entry: load must degrade to a miss, and
+        // load_or_generate must recover by regenerating.
+        let path = cache.path_for(&cfg);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load(&cfg).is_none());
+        let (recovered, hit) = cache.load_or_generate(&cfg);
+        assert!(!hit);
+        assert_eq!(
+            io_binary::trace_to_bytes(&trace),
+            io_binary::trace_to_bytes(&recovered)
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}

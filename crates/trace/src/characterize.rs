@@ -131,12 +131,7 @@ pub fn per_domain(trace: &Trace) -> Vec<DomainSummary> {
 /// The overall ("All") row of Table 1.
 pub fn overall(trace: &Trace) -> TierSummary {
     let users: HashSet<_> = trace.jobs().iter().map(|j| j.user).collect();
-    let hours = Summary::from_iter(
-        trace
-            .jobs()
-            .iter()
-            .map(|j| j.duration() as f64 / 3600.0),
-    );
+    let hours = Summary::from_iter(trace.jobs().iter().map(|j| j.duration() as f64 / 3600.0));
     TierSummary {
         tier: DataTier::Other,
         users: users.len() as u64,
@@ -218,10 +213,7 @@ mod tests {
     fn per_tier_rows() {
         let t = mixed_trace();
         let rows = per_tier(&t);
-        let thumb = rows
-            .iter()
-            .find(|r| r.tier == DataTier::Thumbnail)
-            .unwrap();
+        let thumb = rows.iter().find(|r| r.tier == DataTier::Thumbnail).unwrap();
         assert_eq!(thumb.jobs, 2);
         assert_eq!(thumb.users, 2);
         assert_eq!(thumb.files, Some(2));

@@ -224,6 +224,17 @@ pub fn read_trace_binary<R: Read>(r: R) -> Result<Trace, BinParseError> {
         .map_err(|e| BinParseError::Malformed(e.to_string()))
 }
 
+/// Serialize a trace to an in-memory byte buffer.
+///
+/// The encoding is canonical — two traces produce the same bytes iff they
+/// are structurally identical — so the buffer doubles as an equality
+/// witness in determinism tests.
+pub fn trace_to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace_binary(trace, &mut buf).expect("Vec<u8> writes are infallible");
+    buf
+}
+
 /// Write a trace to a file in the binary format.
 pub fn save_trace_binary(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
     let f = std::fs::File::create(path)?;

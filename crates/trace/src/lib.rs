@@ -17,11 +17,14 @@
 //!   published statistic of the DZero workload (Tables 1–2, Figures 1–3 and
 //!   the qualitative popularity/locality findings);
 //! * trace characterization ([`characterize`]) computing the paper's Table 1,
-//!   Table 2 and Figures 1–3 from any trace.
+//!   Table 2 and Figures 1–3 from any trace;
+//! * a content-addressed on-disk trace cache ([`cache`]) so identical
+//!   [`SynthConfig`]s are synthesized once per machine, not once per run.
 
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod characterize;
 pub mod filter;
 pub mod intern;
@@ -32,6 +35,7 @@ pub mod replay;
 pub mod synth;
 
 pub use builder::TraceBuilder;
+pub use cache::{generate_cached, TraceCache};
 pub use intern::Interner;
 pub use model::{
     AccessEvent, DataTier, DomainId, FileId, FileMeta, JobId, JobRecord, NodeId, SiteId, Trace,

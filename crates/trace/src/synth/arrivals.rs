@@ -108,7 +108,11 @@ mod tests {
             .count();
         // With 4x ramp the late half carries ~ (1.5+2.5)/2 / ((1+4)/2 /2)... just
         // assert clearly more than half.
-        assert!(late as f64 / n as f64 > 0.55, "late fraction {}", late as f64 / n as f64);
+        assert!(
+            late as f64 / n as f64 > 0.55,
+            "late fraction {}",
+            late as f64 / n as f64
+        );
     }
 
     #[test]
@@ -135,10 +139,7 @@ mod tests {
         let n = 100_000;
         let total: u64 = (0..n).map(|_| m.sample_secs(&mut rng)).sum();
         let mean_hours = total as f64 / n as f64 / 3600.0;
-        assert!(
-            (mean_hours - 6.87).abs() / 6.87 < 0.03,
-            "mean {mean_hours}"
-        );
+        assert!((mean_hours - 6.87).abs() / 6.87 < 0.03, "mean {mean_hours}");
     }
 
     #[test]

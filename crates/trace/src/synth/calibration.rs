@@ -122,18 +122,90 @@ pub struct DomainRow {
 
 /// Table 2 of the paper.
 pub const TABLE2: [DomainRow; 12] = [
-    DomainRow { name: ".gov", jobs_weight: 3_319_711, nodes: 12, sites: 1, users: 466 },
-    DomainRow { name: ".de", jobs_weight: 390_186, nodes: 5, sites: 4, users: 23 },
-    DomainRow { name: ".uk", jobs_weight: 131_760, nodes: 8, sites: 4, users: 21 },
-    DomainRow { name: ".edu", jobs_weight: 54_672, nodes: 18, sites: 12, users: 32 },
-    DomainRow { name: ".cz", jobs_weight: 7_400, nodes: 1, sites: 1, users: 1 },
-    DomainRow { name: ".ca", jobs_weight: 5_719, nodes: 5, sites: 2, users: 4 },
-    DomainRow { name: ".fr", jobs_weight: 5_086, nodes: 2, sites: 1, users: 11 },
-    DomainRow { name: ".nl", jobs_weight: 3_854, nodes: 3, sites: 2, users: 8 },
-    DomainRow { name: ".mx", jobs_weight: 146, nodes: 1, sites: 1, users: 1 },
-    DomainRow { name: ".br", jobs_weight: 12, nodes: 2, sites: 2, users: 2 },
-    DomainRow { name: ".cn", jobs_weight: 4, nodes: 1, sites: 1, users: 2 },
-    DomainRow { name: ".in", jobs_weight: 3, nodes: 1, sites: 1, users: 2 },
+    DomainRow {
+        name: ".gov",
+        jobs_weight: 3_319_711,
+        nodes: 12,
+        sites: 1,
+        users: 466,
+    },
+    DomainRow {
+        name: ".de",
+        jobs_weight: 390_186,
+        nodes: 5,
+        sites: 4,
+        users: 23,
+    },
+    DomainRow {
+        name: ".uk",
+        jobs_weight: 131_760,
+        nodes: 8,
+        sites: 4,
+        users: 21,
+    },
+    DomainRow {
+        name: ".edu",
+        jobs_weight: 54_672,
+        nodes: 18,
+        sites: 12,
+        users: 32,
+    },
+    DomainRow {
+        name: ".cz",
+        jobs_weight: 7_400,
+        nodes: 1,
+        sites: 1,
+        users: 1,
+    },
+    DomainRow {
+        name: ".ca",
+        jobs_weight: 5_719,
+        nodes: 5,
+        sites: 2,
+        users: 4,
+    },
+    DomainRow {
+        name: ".fr",
+        jobs_weight: 5_086,
+        nodes: 2,
+        sites: 1,
+        users: 11,
+    },
+    DomainRow {
+        name: ".nl",
+        jobs_weight: 3_854,
+        nodes: 3,
+        sites: 2,
+        users: 8,
+    },
+    DomainRow {
+        name: ".mx",
+        jobs_weight: 146,
+        nodes: 1,
+        sites: 1,
+        users: 1,
+    },
+    DomainRow {
+        name: ".br",
+        jobs_weight: 12,
+        nodes: 2,
+        sites: 2,
+        users: 2,
+    },
+    DomainRow {
+        name: ".cn",
+        jobs_weight: 4,
+        nodes: 1,
+        sites: 1,
+        users: 2,
+    },
+    DomainRow {
+        name: ".in",
+        jobs_weight: 3,
+        nodes: 1,
+        sites: 1,
+        users: 2,
+    },
 ];
 
 /// DZero event size (Section 2: "Events consist of about 250 KB").
@@ -198,7 +270,10 @@ mod tests {
     #[test]
     fn mean_files_per_job_consistent() {
         let implied = TOTAL_ACCESSES as f64 / FILE_TRACED_JOBS as f64;
-        assert!((implied - MEAN_FILES_PER_JOB).abs() < 5.0, "implied {implied}");
+        assert!(
+            (implied - MEAN_FILES_PER_JOB).abs() < 5.0,
+            "implied {implied}"
+        );
     }
 
     #[test]

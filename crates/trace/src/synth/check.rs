@@ -162,11 +162,8 @@ mod tests {
 
     #[test]
     fn default_calibration_passes_at_scale_4() {
-        let trace = TraceSynthesizer::new(SynthConfig::paper(
-            hep_stats::rng::DEFAULT_SEED,
-            4.0,
-        ))
-        .generate();
+        let trace =
+            TraceSynthesizer::new(SynthConfig::paper(hep_stats::rng::DEFAULT_SEED, 4.0)).generate();
         let report = check_calibration(&trace, 4.0);
         assert!(
             report.all_ok(),

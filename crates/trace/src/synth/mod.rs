@@ -21,6 +21,20 @@
 //!   same file", Section 3.2);
 //! * **time** ([`arrivals`]) — ramping, weekly-modulated arrival process
 //!   over the 820-day window and lognormal per-tier durations.
+//!
+//! ## Two-phase parallel generation
+//!
+//! [`TraceSynthesizer::generate`] runs in two phases. A cheap **serial
+//! setup** phase builds the topology, user pools and campaign plan — every
+//! decision that threads sequential state (user history, per-tier job
+//! budgets) through the generator. A **fan-out** phase then materializes
+//! the per-campaign jobs (dataset views, durations, intra-campaign gaps)
+//! on rayon, with each campaign drawing from its own counter-derived
+//! [`SeedStream`] substream (`rng_indexed("campaign-jobs", i)`). Results
+//! are merged back in campaign order, so the output trace is **bit
+//! identical for a given seed at any thread count** — and identical to
+//! [`TraceSynthesizer::generate_serial`], which executes the same plan
+//! sequentially.
 
 pub mod arrivals;
 pub mod calibration;
@@ -28,7 +42,7 @@ pub mod check;
 pub mod datasets;
 
 use crate::builder::TraceBuilder;
-use crate::model::{DataTier, DomainId, NodeId, SiteId, Trace, UserId, MB};
+use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, Trace, UserId, MB};
 use arrivals::{ArrivalModel, DurationModel};
 use datasets::{sample_cuts, sample_view, Dataset};
 use hep_stats::empirical::EmpiricalDiscrete;
@@ -37,7 +51,15 @@ use hep_stats::rng::SeedStream;
 use hep_stats::zipf::Zipf;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 use std::collections::HashMap;
+
+/// Version of the synthesis algorithm itself. Bumped whenever the
+/// generator's output changes for the same [`SynthConfig`] (e.g. the PR
+/// that introduced parallel substream seeding); the trace cache
+/// ([`crate::cache`]) mixes it into its content keys so stale traces are
+/// never served.
+pub const GENERATOR_VERSION: u32 = 2;
 
 /// Per-tier generation parameters. Counts are *unscaled* (paper scale);
 /// [`SynthConfig::scale`] divides them.
@@ -139,10 +161,7 @@ impl SynthConfig {
         assert!(scale >= 1.0, "scale must be >= 1");
         let t1 = &cal::TABLE1;
         let users_total = cal::TOTAL_USERS as f64;
-        let tier = |i: usize,
-                    ds_median: f64,
-                    size_median: f64,
-                    size_max: f64| TierParams {
+        let tier = |i: usize, ds_median: f64, size_median: f64, size_max: f64| TierParams {
             tier: t1[i].tier,
             jobs: t1[i].jobs,
             target_files: t1[i].files.unwrap(),
@@ -223,20 +242,44 @@ struct UserState {
 }
 
 /// Generates a [`Trace`] from a [`SynthConfig`]. See the module docs for
-/// the latent model.
+/// the latent model and the two-phase parallel execution plan.
 ///
 /// ```
 /// use hep_trace::{SynthConfig, TraceSynthesizer};
 ///
 /// let trace = TraceSynthesizer::new(SynthConfig::small(42)).generate();
 /// assert!(trace.validate().is_empty());
-/// // Deterministic: the same seed regenerates the same trace.
-/// let again = TraceSynthesizer::new(SynthConfig::small(42)).generate();
+/// // Deterministic: the same seed regenerates the same trace, on any
+/// // number of threads.
+/// let again = TraceSynthesizer::new(SynthConfig::small(42)).generate_serial();
 /// assert_eq!(trace.n_accesses(), again.n_accesses());
 /// ```
 pub struct TraceSynthesizer {
     cfg: SynthConfig,
 }
+
+/// One planned campaign: a user's burst of jobs on one dataset. Produced
+/// by the serial planning phase; materialized (views, durations, gaps)
+/// independently per campaign in the fan-out phase.
+struct CampaignPlan {
+    /// File-traced tier slot.
+    slot: usize,
+    user: UserId,
+    site: SiteId,
+    node: NodeId,
+    /// Dataset id in the synthetic universe.
+    ds: u32,
+    /// Number of jobs in the burst.
+    len: usize,
+    /// Start time of the first job (seconds from the trace epoch).
+    start: u64,
+}
+
+/// A materialized job awaiting insertion: `(start, stop, files)`.
+type JobDraft = (u64, u64, Vec<FileId>);
+
+/// A materialized "Others" job: `(user, site, node, start, stop)`.
+type OtherDraft = (UserId, SiteId, NodeId, u64, u64);
 
 /// Tier slot indices: the three file-traced tiers then "other".
 pub fn tier_slot(t: DataTier) -> usize {
@@ -259,8 +302,22 @@ impl TraceSynthesizer {
         &self.cfg
     }
 
-    /// Generate the trace. Deterministic given the config.
+    /// Generate the trace on the current rayon pool. Deterministic given
+    /// the config: the output is bit-identical at any thread count, and
+    /// identical to [`TraceSynthesizer::generate_serial`].
     pub fn generate(&self) -> Trace {
+        self.generate_impl(true)
+    }
+
+    /// Generate the trace without any fan-out: the exact same plan and
+    /// substreams as [`TraceSynthesizer::generate`], executed on the
+    /// calling thread. Useful as a determinism oracle and for measuring
+    /// parallel speedup.
+    pub fn generate_serial(&self) -> Trace {
+        self.generate_impl(false)
+    }
+
+    fn generate_impl(&self, parallel: bool) -> Trace {
         let cfg = &self.cfg;
         let seeds = SeedStream::new(cfg.seed);
         let mut builder = TraceBuilder::new();
@@ -319,15 +376,16 @@ impl TraceSynthesizer {
             })
             .collect();
 
-        // ---- Dataset universe + files. ----
-        let mut datasets: Vec<Dataset> = Vec::new();
-        let mut tier_datasets: Vec<Vec<u32>> = vec![Vec::new(); 3];
-        let block_weights: Vec<f64> =
-            cfg.block_count_weights.iter().map(|&(_, w)| w).collect();
-        let block_choices: Vec<usize> =
-            cfg.block_count_weights.iter().map(|&(b, _)| b).collect();
+        // ---- Dataset universe + files (fan-out: one task per tier). ----
+        // Each tier draws from its own labelled stream, so the three
+        // universes can be generated concurrently and merged in tier order
+        // with identical results at any thread count.
+        let block_weights: Vec<f64> = cfg.block_count_weights.iter().map(|&(_, w)| w).collect();
+        let block_choices: Vec<usize> = cfg.block_count_weights.iter().map(|&(b, _)| b).collect();
         let block_picker = EmpiricalDiscrete::new(&block_weights);
-        for (slot, tp) in cfg.tiers.iter().enumerate() {
+        // Per-tier output: file sizes plus datasets with tier-relative
+        // `first_file` offsets (rebased during the serial merge below).
+        let tier_universe = |tp: &TierParams| -> (Vec<u64>, Vec<Dataset>) {
             let mut rng = seeds.rng(&format!("datasets-{}", tp.tier.name()));
             let files_dist = TruncatedLogNormal::from_median(
                 tp.dataset_files_median,
@@ -343,26 +401,45 @@ impl TraceSynthesizer {
             );
             let mean_ds_files = tp.dataset_files_median
                 * (tp.dataset_files_sigma * tp.dataset_files_sigma / 2.0).exp();
-            let n_datasets = ((tp.target_files as f64 / cfg.scale / mean_ds_files).round()
-                as usize)
-                .max(1);
+            let n_datasets =
+                ((tp.target_files as f64 / cfg.scale / mean_ds_files).round() as usize).max(1);
+            let mut sizes: Vec<u64> = Vec::new();
+            let mut local: Vec<Dataset> = Vec::with_capacity(n_datasets);
             for _ in 0..n_datasets {
                 let n_files = files_dist.sample(&mut rng).round().max(1.0) as u32;
-                let first_file = builder.n_files() as u32;
+                let first_file = sizes.len() as u32;
                 for _ in 0..n_files {
                     let mb = size_dist.sample(&mut rng);
-                    builder.add_file((mb * MB as f64) as u64, tp.tier);
+                    sizes.push((mb * MB as f64) as u64);
                 }
                 let blocks = block_choices[block_picker.sample(&mut rng)];
                 let cuts = sample_cuts(n_files, blocks, &mut rng);
-                let id = datasets.len() as u32;
-                datasets.push(Dataset {
+                local.push(Dataset {
                     tier: tp.tier,
                     first_file,
                     n_files,
                     cuts,
                 });
-                tier_datasets[slot].push(id);
+            }
+            (sizes, local)
+        };
+        let universes: Vec<(Vec<u64>, Vec<Dataset>)> = if parallel {
+            cfg.tiers.par_iter().map(tier_universe).collect()
+        } else {
+            cfg.tiers.iter().map(tier_universe).collect()
+        };
+        let mut datasets: Vec<Dataset> = Vec::new();
+        let mut tier_datasets: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for (slot, (sizes, local)) in universes.into_iter().enumerate() {
+            let base = builder.n_files() as u32;
+            let tier = cfg.tiers[slot].tier;
+            for size in sizes {
+                builder.add_file(size, tier);
+            }
+            for mut ds in local {
+                ds.first_file += base;
+                tier_datasets[slot].push(datasets.len() as u32);
+                datasets.push(ds);
             }
         }
 
@@ -410,8 +487,7 @@ impl TraceSynthesizer {
             .collect();
         let domain_picker = EmpiricalDiscrete::new(&domain_weights);
 
-        // ---- Job generation. ----
-        let mut job_rng = seeds.rng("jobs");
+        // ---- Campaign planning (serial phase). ----
         let mut user_index: HashMap<(u16, usize), Vec<usize>> = HashMap::new();
         for (ui, u) in users.iter().enumerate() {
             for slot in 0..4 {
@@ -427,6 +503,11 @@ impl TraceSynthesizer {
         // paper's case-study filecule accumulates 634 jobs from 42 users
         // in such bursts) and are what lets file-granularity caching
         // capture any reuse at all.
+        //
+        // Campaign-level decisions thread sequential state (per-user
+        // dataset history, the per-tier job budget), so they stay on one
+        // serial stream; the per-job work is deferred to the fan-out
+        // phase below.
         let horizon_secs = cfg.days * hep_stats::timeseries::SECS_PER_DAY;
         let pick_user = |di: usize,
                          slot: usize,
@@ -445,27 +526,27 @@ impl TraceSynthesizer {
         };
         let _ = &domain_user_weights; // activity skew realized via weighted_rank
 
+        let mut plan_rng = seeds.rng("campaign-plan");
+        let mut plans: Vec<CampaignPlan> = Vec::new();
         for (slot, tp) in cfg.tiers.iter().enumerate() {
             let mut remaining = ((tp.jobs as f64 / cfg.scale).round() as usize).max(1);
             let n_ds = tier_datasets[slot].len();
             while remaining > 0 {
-                let di = domain_picker.sample(&mut job_rng);
-                let ui = pick_user(di, slot, &mut job_rng, &user_index);
-                let user_id = UserId(ui as u32);
+                let di = domain_picker.sample(&mut plan_rng);
+                let ui = pick_user(di, slot, &mut plan_rng, &user_index);
                 let (node, site) = {
                     let nodes = &domain_nodes[di];
-                    nodes[job_rng.gen_range(0..nodes.len())]
+                    nodes[plan_rng.gen_range(0..nodes.len())]
                 };
                 // Dataset: repeat from the user's history, or a fresh
                 // popularity draw (optionally through the domain-rotated
                 // rank space — geographic locality of interest).
                 let hist = &users[ui].history[slot];
-                let ds_id = if !hist.is_empty() && job_rng.gen::<f64>() < cfg.p_repeat_dataset
-                {
-                    hist[job_rng.gen_range(0..hist.len())]
+                let ds_id = if !hist.is_empty() && plan_rng.gen::<f64>() < cfg.p_repeat_dataset {
+                    hist[plan_rng.gen_range(0..hist.len())]
                 } else {
-                    let rank = tier_popularity[slot].sample(&mut job_rng);
-                    let rank = if job_rng.gen::<f64>() < cfg.p_local_interest {
+                    let rank = tier_popularity[slot].sample(&mut plan_rng);
+                    let rank = if plan_rng.gen::<f64>() < cfg.p_local_interest {
                         let off = (di as f64 * cfg.locality_spread * n_ds as f64) as usize;
                         (rank + off) % n_ds
                     } else {
@@ -474,50 +555,99 @@ impl TraceSynthesizer {
                     let id = tier_perms[slot][rank];
                     let h = &mut users[ui].history[slot];
                     if h.len() >= cfg.history_cap {
-                        let drop = job_rng.gen_range(0..h.len());
+                        let drop = plan_rng.gen_range(0..h.len());
                         h.swap_remove(drop);
                     }
                     h.push(id);
                     id
                 };
-                let ds = &datasets[ds_id as usize];
 
                 // Campaign length: geometric with the configured mean.
                 let p = 1.0 / cfg.campaign_mean_jobs.max(1.0);
-                let u: f64 = job_rng.gen();
+                let u: f64 = plan_rng.gen();
                 let geom = 1 + ((1.0 - u).ln() / (1.0 - p).ln()) as usize;
                 let len = geom.min(cfg.campaign_max_jobs).min(remaining).max(1);
-
-                let mut t = arrivals.sample_start(&mut job_rng);
-                for _ in 0..len {
-                    let view = sample_view(ds, cfg.p_full_view, &mut job_rng);
-                    let files = view.files(ds);
-                    let stop = t + durations[slot].sample_secs(&mut job_rng);
-                    builder.add_job(user_id, site, node, tp.tier, t, stop, &files);
-                    // Exponential gap to the campaign's next job.
-                    let gap = (hep_stats::Exp::new(
-                        cfg.campaign_gap_days * hep_stats::timeseries::SECS_PER_DAY as f64,
-                    )
-                    .sample(&mut job_rng)) as u64;
-                    t = (t + gap.max(60)).min(horizon_secs.saturating_sub(1));
-                }
+                let start = arrivals.sample_start(&mut plan_rng);
+                plans.push(CampaignPlan {
+                    slot,
+                    user: UserId(ui as u32),
+                    site,
+                    node,
+                    ds: ds_id,
+                    len,
+                    start,
+                });
                 remaining -= len;
             }
         }
 
-        // "Others" jobs carry no file detail; generate them independently.
+        // ---- Job materialization (fan-out phase). ----
+        // Each campaign owns the counter-derived substream
+        // `rng_indexed("campaign-jobs", i)`, so materialization order (and
+        // thread count) cannot perturb the output; the merge below walks
+        // campaigns in plan order.
+        let gap_mean = cfg.campaign_gap_days * hep_stats::timeseries::SECS_PER_DAY as f64;
+        let materialize = |(ci, plan): (usize, &CampaignPlan)| -> Vec<JobDraft> {
+            let mut rng = seeds.rng_indexed("campaign-jobs", ci as u64);
+            let ds = &datasets[plan.ds as usize];
+            let gaps = hep_stats::Exp::new(gap_mean);
+            let mut t = plan.start;
+            let mut out = Vec::with_capacity(plan.len);
+            for _ in 0..plan.len {
+                let view = sample_view(ds, cfg.p_full_view, &mut rng);
+                let files = view.files(ds);
+                let stop = t + durations[plan.slot].sample_secs(&mut rng);
+                out.push((t, stop, files));
+                // Exponential gap to the campaign's next job.
+                let gap = gaps.sample(&mut rng) as u64;
+                t = (t + gap.max(60)).min(horizon_secs.saturating_sub(1));
+            }
+            out
+        };
+        let campaign_jobs: Vec<Vec<JobDraft>> = if parallel {
+            plans.par_iter().enumerate().map(&materialize).collect()
+        } else {
+            plans.iter().enumerate().map(&materialize).collect()
+        };
+        for (plan, jobs) in plans.iter().zip(&campaign_jobs) {
+            let tier = cfg.tiers[plan.slot].tier;
+            for (start, stop, files) in jobs {
+                builder.add_job(plan.user, plan.site, plan.node, tier, *start, *stop, files);
+            }
+        }
+
+        // "Others" jobs carry no file detail and no cross-job state;
+        // generate them in fixed-size batches, one substream per batch.
         if cfg.include_other_jobs {
             let n = ((cfg.other_jobs as f64 / cfg.scale).round() as usize).max(1);
-            for _ in 0..n {
-                let di = domain_picker.sample(&mut job_rng);
-                let ui = pick_user(di, 3, &mut job_rng, &user_index);
-                let (node, site) = {
-                    let nodes = &domain_nodes[di];
-                    nodes[job_rng.gen_range(0..nodes.len())]
-                };
-                let start = arrivals.sample_start(&mut job_rng);
-                let stop = start + other_duration.sample_secs(&mut job_rng);
-                builder.add_job(UserId(ui as u32), site, node, DataTier::Other, start, stop, &[]);
+            const OTHER_BATCH: usize = 1024;
+            let n_batches = n.div_ceil(OTHER_BATCH);
+            let other_batch = |bi: usize| -> Vec<OtherDraft> {
+                let mut rng = seeds.rng_indexed("other-jobs", bi as u64);
+                let count = OTHER_BATCH.min(n - bi * OTHER_BATCH);
+                let mut out = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let di = domain_picker.sample(&mut rng);
+                    let ui = pick_user(di, 3, &mut rng, &user_index);
+                    let (node, site) = {
+                        let nodes = &domain_nodes[di];
+                        nodes[rng.gen_range(0..nodes.len())]
+                    };
+                    let start = arrivals.sample_start(&mut rng);
+                    let stop = start + other_duration.sample_secs(&mut rng);
+                    out.push((UserId(ui as u32), site, node, start, stop));
+                }
+                out
+            };
+            let batches: Vec<Vec<OtherDraft>> = if parallel {
+                (0..n_batches).into_par_iter().map(&other_batch).collect()
+            } else {
+                (0..n_batches).map(&other_batch).collect()
+            };
+            for batch in batches {
+                for (user, site, node, start, stop) in batch {
+                    builder.add_job(user, site, node, DataTier::Other, start, stop, &[]);
+                }
             }
         }
 
@@ -561,6 +691,14 @@ mod tests {
         assert!(t.validate().is_empty());
         assert!(t.n_jobs() > 100);
         assert!(t.n_files() > 100);
+    }
+
+    #[test]
+    fn serial_and_parallel_are_bit_identical() {
+        let syn = TraceSynthesizer::new(SynthConfig::small(7));
+        let par = crate::io_binary::trace_to_bytes(&syn.generate());
+        let ser = crate::io_binary::trace_to_bytes(&syn.generate_serial());
+        assert_eq!(par, ser, "parallel and serial generators diverged");
     }
 
     #[test]

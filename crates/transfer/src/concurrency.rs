@@ -177,9 +177,33 @@ mod tests {
         // Three users overlap on {f0,f1} in interval terms:
         // u0 at t=0 and t=1000; u1 at t=500; u2 at t=2000.
         b.add_job(users[0], s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f0, f1]);
-        b.add_job(users[1], s, NodeId(0), DataTier::Thumbnail, 500, 501, &[f0, f1]);
-        b.add_job(users[0], s, NodeId(0), DataTier::Thumbnail, 1000, 1001, &[f0, f1]);
-        b.add_job(users[2], s, NodeId(0), DataTier::Thumbnail, 2000, 2001, &[f0, f1]);
+        b.add_job(
+            users[1],
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            500,
+            501,
+            &[f0, f1],
+        );
+        b.add_job(
+            users[0],
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            1000,
+            1001,
+            &[f0, f1],
+        );
+        b.add_job(
+            users[2],
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            2000,
+            2001,
+            &[f0, f1],
+        );
         let t = b.build().unwrap();
         let set = identify(&t);
         (t, set)
@@ -212,8 +236,18 @@ mod tests {
     #[test]
     fn same_user_windows_count_once() {
         let iv = [
-            AccessInterval { entity: 7, first: 0, last: 100, jobs: 1 },
-            AccessInterval { entity: 7, first: 50, last: 150, jobs: 1 },
+            AccessInterval {
+                entity: 7,
+                first: 0,
+                last: 100,
+                jobs: 1,
+            },
+            AccessInterval {
+                entity: 7,
+                first: 50,
+                last: 150,
+                jobs: 1,
+            },
         ];
         assert_eq!(peak_distinct_users(&iv), 1);
     }

@@ -92,7 +92,15 @@ mod tests {
         let u1 = b.add_user();
         let f = b.add_file(100 * MB, DataTier::Thumbnail);
         b.add_job(u0, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f]);
-        b.add_job(u1, s, NodeId(0), DataTier::Thumbnail, 1_000_000, 1_000_001, &[f]);
+        b.add_job(
+            u1,
+            s,
+            NodeId(0),
+            DataTier::Thumbnail,
+            1_000_000,
+            1_000_001,
+            &[f],
+        );
         let t = b.build().unwrap();
         let set = identify(&t);
         let (report, stats) = assess(&t, &set, &SwarmModel::default(), 3600, 1.5);
@@ -111,7 +119,15 @@ mod tests {
         let f = b.add_file(1024 * MB, DataTier::Thumbnail);
         for i in 0..20u64 {
             let u = b.add_user();
-            b.add_job(u, s, NodeId(0), DataTier::Thumbnail, i * 60, i * 60 + 1, &[f]);
+            b.add_job(
+                u,
+                s,
+                NodeId(0),
+                DataTier::Thumbnail,
+                i * 60,
+                i * 60 + 1,
+                &[f],
+            );
         }
         let t = b.build().unwrap();
         let set = identify(&t);
@@ -133,8 +149,7 @@ mod tests {
         assert!(
             report.bittorrent_not_justified,
             "worthwhile {}/{}",
-            report.worthwhile,
-            report.n_filecules
+            report.worthwhile, report.n_filecules
         );
     }
 

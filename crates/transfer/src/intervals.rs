@@ -113,13 +113,8 @@ pub fn peak_overlap(intervals: &[AccessInterval]) -> u32 {
 /// smaller id) — the Section 5 case-study selector.
 pub fn hottest_filecule(trace: &Trace, set: &FileculeSet) -> Option<FileculeId> {
     let users = filecule_core::metrics::users_per_filecule(trace, set);
-    set.ids().max_by_key(|g| {
-        (
-            users[g.index()],
-            set.popularity(*g),
-            std::cmp::Reverse(g.0),
-        )
-    })
+    set.ids()
+        .max_by_key(|g| (users[g.index()], set.popularity(*g), std::cmp::Reverse(g.0)))
 }
 
 #[cfg(test)]
@@ -183,8 +178,18 @@ mod tests {
     #[test]
     fn peak_overlap_disjoint_is_one() {
         let iv = [
-            AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 },
-            AccessInterval { entity: 1, first: 20, last: 30, jobs: 1 },
+            AccessInterval {
+                entity: 0,
+                first: 0,
+                last: 10,
+                jobs: 1,
+            },
+            AccessInterval {
+                entity: 1,
+                first: 20,
+                last: 30,
+                jobs: 1,
+            },
         ];
         assert_eq!(peak_overlap(&iv), 1);
     }
@@ -192,8 +197,18 @@ mod tests {
     #[test]
     fn peak_overlap_touching_endpoints_concurrent() {
         let iv = [
-            AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 },
-            AccessInterval { entity: 1, first: 10, last: 20, jobs: 1 },
+            AccessInterval {
+                entity: 0,
+                first: 0,
+                last: 10,
+                jobs: 1,
+            },
+            AccessInterval {
+                entity: 1,
+                first: 10,
+                last: 20,
+                jobs: 1,
+            },
         ];
         assert_eq!(peak_overlap(&iv), 2);
     }
@@ -205,9 +220,24 @@ mod tests {
 
     #[test]
     fn overlaps_predicate() {
-        let a = AccessInterval { entity: 0, first: 0, last: 10, jobs: 1 };
-        let b = AccessInterval { entity: 1, first: 5, last: 15, jobs: 1 };
-        let c = AccessInterval { entity: 2, first: 11, last: 12, jobs: 1 };
+        let a = AccessInterval {
+            entity: 0,
+            first: 0,
+            last: 10,
+            jobs: 1,
+        };
+        let b = AccessInterval {
+            entity: 1,
+            first: 5,
+            last: 15,
+            jobs: 1,
+        };
+        let c = AccessInterval {
+            entity: 2,
+            first: 11,
+            last: 12,
+            jobs: 1,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

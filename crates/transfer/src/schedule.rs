@@ -134,7 +134,9 @@ mod tests {
         let s0 = b.add_site(d);
         let s1 = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(10 * MB, DataTier::Thumbnail))
+            .collect();
         // Both sites run the same 4-file job (one filecule).
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &f);
         b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 10, 11, &f);
@@ -163,7 +165,9 @@ mod tests {
         let s0 = b.add_site(d);
         let s1 = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(10 * MB, DataTier::Thumbnail))
+            .collect();
         // Site 0 uses the whole group; site 1 touches only one member.
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &f);
         b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 10, 11, &f[..1]);
@@ -189,15 +193,13 @@ mod tests {
         let s0 = b.add_site(d);
         let s1 = b.add_site(d);
         let u = b.add_user();
-        let f: Vec<FileId> = (0..4).map(|_| b.add_file(10 * MB, DataTier::Thumbnail)).collect();
+        let f: Vec<FileId> = (0..4)
+            .map(|_| b.add_file(10 * MB, DataTier::Thumbnail))
+            .collect();
         b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &f);
         b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 10, 11, &f[..1]);
         let t = b.build().unwrap();
-        let coarse = filecule_core::FileculeSet::from_groups(
-            vec![f.clone()],
-            vec![2],
-            &t,
-        );
+        let coarse = filecule_core::FileculeSet::from_groups(vec![f.clone()], vec![2], &t);
         let r = schedule_comparison(&t, &coarse, TransferModel::default());
         // File granularity ships 4 + 1 = 5 files; group granularity ships
         // 2 whole groups = 8 files' bytes.

@@ -109,11 +109,7 @@ impl SwarmSimResult {
 
 /// Simulate delivering `object_bytes` to peers arriving at `arrivals`
 /// (seconds, need not be sorted).
-pub fn simulate_swarm(
-    object_bytes: u64,
-    arrivals: &[u64],
-    cfg: &SwarmSimConfig,
-) -> SwarmSimResult {
+pub fn simulate_swarm(object_bytes: u64, arrivals: &[u64], cfg: &SwarmSimConfig) -> SwarmSimResult {
     assert!(cfg.chunk_bytes > 0 && cfg.round_secs > 0.0);
     assert!(cfg.seed_up > 0.0 && cfg.peer_down > 0.0);
     let n_chunks = object_bytes.div_ceil(cfg.chunk_bytes).max(1) as usize;

@@ -55,16 +55,25 @@ fn main() {
     let by_site = intervals_by_site(&trace, &set, g);
     println!("Figure 11 — access interval per site:");
     gantt(&by_site, horizon, "site");
-    println!("  peak simultaneous sites (optimistic): {}\n", peak_overlap(&by_site));
+    println!(
+        "  peak simultaneous sites (optimistic): {}\n",
+        peak_overlap(&by_site)
+    );
 
     let by_user = intervals_by_user(&trace, &set, g);
     println!("Figure 12 — access interval per user:");
     gantt(&by_user, horizon, "user");
-    println!("  peak simultaneous users (optimistic): {}\n", peak_overlap(&by_user));
+    println!(
+        "  peak simultaneous users (optimistic): {}\n",
+        peak_overlap(&by_user)
+    );
 
     // What swarming would deliver at various swarm sizes, for this filecule.
     let model = SwarmModel::default();
-    println!("fluid swarm model for this filecule ({:.2} GB):", set.size_bytes(g) as f64 / GB as f64);
+    println!(
+        "fluid swarm model for this filecule ({:.2} GB):",
+        set.size_bytes(g) as f64 / GB as f64
+    );
     println!("  leechers | t(client-server) | t(bittorrent) | speedup");
     for n in [1u32, 2, 5, 10, 20, 42] {
         let o = model.predict(set.size_bytes(g), n);
@@ -85,12 +94,11 @@ fn main() {
         .collect();
     let cfg = transfer::SwarmSimConfig::default();
     let real = transfer::simulate_swarm(set.size_bytes(g), &arrivals, &cfg);
-    let flash = transfer::simulate_swarm(
-        set.size_bytes(g),
-        &vec![0u64; arrivals.len()],
-        &cfg,
+    let flash = transfer::simulate_swarm(set.size_bytes(g), &vec![0u64; arrivals.len()], &cfg);
+    println!(
+        "\nchunk-level swarm replay ({} requesters):",
+        arrivals.len()
     );
-    println!("\nchunk-level swarm replay ({} requesters):", arrivals.len());
     println!(
         "  real arrival times:  p2p fraction {:>5.1}%, mean download {:>7.0} s",
         real.p2p_fraction() * 100.0,
@@ -106,7 +114,10 @@ fn main() {
     // The trace-wide verdict with a 1-day retention window.
     let (report, _) = assess(&trace, &set, &model, DAY, 1.5);
     println!("\ntrace-wide verdict (1-day retention window):");
-    println!("  filecules analyzed:                 {}", report.n_filecules);
+    println!(
+        "  filecules analyzed:                 {}",
+        report.n_filecules
+    );
     println!(
         "  with any concurrency (peak >= 2):   {} ({:.1}%)",
         report.with_any_concurrency,
@@ -116,10 +127,20 @@ fn main() {
         "  worthwhile for BitTorrent (>{:.1}x): {}",
         report.speedup_threshold, report.worthwhile
     );
-    println!("  max peak concurrency (windowed):    {}", report.max_peak_windowed);
-    println!("  max peak concurrency (optimistic):  {}", report.max_peak_interval);
+    println!(
+        "  max peak concurrency (windowed):    {}",
+        report.max_peak_windowed
+    );
+    println!(
+        "  max peak concurrency (optimistic):  {}",
+        report.max_peak_interval
+    );
     println!(
         "\n  => BitTorrent {} justified by this workload (paper: not justified)",
-        if report.bittorrent_not_justified { "is NOT" } else { "IS" }
+        if report.bittorrent_not_justified {
+            "is NOT"
+        } else {
+            "IS"
+        }
     );
 }

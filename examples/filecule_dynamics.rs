@@ -33,7 +33,12 @@ fn main() {
     let n = curve.len();
     for pct in [1usize, 5, 10, 25, 50, 75, 100] {
         let k = (n * pct / 100).max(1) - 1;
-        println!("  after {:>5} jobs ({:>3}%): {:>6} filecules", k + 1, pct, curve[k]);
+        println!(
+            "  after {:>5} jobs ({:>3}%): {:>6} filecules",
+            k + 1,
+            pct,
+            curve[k]
+        );
     }
 
     // The three identifiers agree.
@@ -57,8 +62,8 @@ fn main() {
         let reports = window_stability(&trace, n_windows);
         let mean_j: f64 =
             reports.iter().map(|r| r.mean_jaccard).sum::<f64>() / reports.len().max(1) as f64;
-        let mean_id: f64 = reports.iter().map(|r| r.identical_fraction).sum::<f64>()
-            / reports.len().max(1) as f64;
+        let mean_id: f64 =
+            reports.iter().map(|r| r.identical_fraction).sum::<f64>() / reports.len().max(1) as f64;
         println!(
             "  {n_windows} windows (sizes {}): mean Jaccard {:.3}, identical groups {:.1}%",
             sizes.join("/"),

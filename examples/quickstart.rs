@@ -13,7 +13,10 @@ fn main() {
     // A scaled-down trace (1/100 of the paper's volume) — deterministic.
     let mut cfg = SynthConfig::paper(0xD0D0_2006, 100.0);
     cfg.user_scale = 2.0;
-    println!("generating synthetic DZero workload (seed {:#x}) ...", cfg.seed);
+    println!(
+        "generating synthetic DZero workload (seed {:#x}) ...",
+        cfg.seed
+    );
     let trace = TraceSynthesizer::new(cfg).generate();
     println!(
         "  {} jobs, {} file accesses, {} distinct files, {} users, {} sites",
@@ -31,8 +34,14 @@ fn main() {
     println!("  filecules:             {}", stats.n_filecules);
     println!("  files covered:         {}", stats.n_files);
     println!("  mean files/filecule:   {:.1}", stats.mean_files);
-    println!("  largest filecule:      {:.1} GB", stats.max_bytes as f64 / GB as f64);
-    println!("  single-file fraction:  {:.1}%", stats.single_file_fraction * 100.0);
+    println!(
+        "  largest filecule:      {:.1} GB",
+        stats.max_bytes as f64 / GB as f64
+    );
+    println!(
+        "  single-file fraction:  {:.1}%",
+        stats.single_file_fraction * 100.0
+    );
     println!(
         "  single-user fraction:  {:.1}%  (paper: ~10%)",
         stats.single_user_fraction * 100.0
@@ -56,7 +65,10 @@ fn main() {
     let sim = Simulator::new();
     let file = sim.run(&log, &mut FileLru::new(&trace, cap));
     let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
-    println!("\ncache comparison at {:.2} TB (paper-scale 10 TB):", cap as f64 / TB as f64);
+    println!(
+        "\ncache comparison at {:.2} TB (paper-scale 10 TB):",
+        cap as f64 / TB as f64
+    );
     println!(
         "  file-LRU     miss rate {:.3}  ({} misses / {} requests)",
         file.miss_rate(),

@@ -46,7 +46,11 @@ fn main() {
             r.global_filecules_covered,
             r.mean_local_size,
             r.exact_fraction * 100.0,
-            if r.is_union_of_global { "ok" } else { "VIOLATED" }
+            if r.is_union_of_global {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
     }
     println!(
@@ -66,7 +70,10 @@ fn main() {
 
     println!("replication cost, global vs local filecule knowledge");
     println!("  (train on first half of the trace, evaluate on the second;");
-    println!("   per-site replica budget {:.2} TB):", budget as f64 / TB as f64);
+    println!(
+        "   per-site replica budget {:.2} TB):",
+        budget as f64 / TB as f64
+    );
     println!("  policy          | storage used | local hits | remote bytes");
     println!("  ----------------+--------------+------------+-------------");
     for r in [&global_r, &local_r] {

@@ -38,7 +38,9 @@ fn main() {
             row.tier.name(),
             row.users,
             row.jobs,
-            row.files.map(|f| f.to_string()).unwrap_or_else(|| "-".into()),
+            row.files
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".into()),
             row.input_mb_per_job
                 .map(|m| format!("{m:.0}"))
                 .unwrap_or_else(|| "-".into()),

@@ -65,8 +65,8 @@ pub mod prelude {
     };
     pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
     pub use hep_trace::{
-        DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer,
-        GB, MB, TB,
+        DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB,
+        MB, TB,
     };
     pub use transfer::{assess, hottest_filecule, SwarmModel};
 }

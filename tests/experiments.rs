@@ -38,10 +38,7 @@ fn fig10_shape_holds() {
     assert_eq!(rows.len(), 7);
     // Filecule-LRU wins at every point.
     for r in &rows {
-        assert!(
-            r.filecule_lru_miss <= r.file_lru_miss + 1e-9,
-            "{r:?}"
-        );
+        assert!(r.filecule_lru_miss <= r.file_lru_miss + 1e-9, "{r:?}");
     }
     // The improvement factor grows from the smallest to the largest cache.
     let first = rows.first().unwrap().improvement_factor();
@@ -84,10 +81,7 @@ fn table1_matches_scaled_job_counts() {
 fn fig1_mean_near_108() {
     let (t, _) = ctx_trace();
     let mean = filecules::trace::characterize::mean_files_per_job(&t);
-    assert!(
-        (mean - 108.0).abs() / 108.0 < 0.30,
-        "mean files/job {mean}"
-    );
+    assert!((mean - 108.0).abs() / 108.0 < 0.30, "mean files/job {mean}");
 }
 
 #[test]
@@ -128,8 +122,7 @@ fn sec5_verdict_and_case_study() {
 fn sec6_busier_sites_identify_better() {
     let (t, set) = ctx_trace();
     let per_site = filecules::core::identify::partial::identify_per_site(&t);
-    let reports =
-        filecules::core::identify::partial::coarsening_reports(&t, &set, &per_site);
+    let reports = filecules::core::identify::partial::coarsening_reports(&t, &set, &per_site);
     // Union property everywhere.
     assert!(reports.iter().all(|r| r.is_union_of_global));
     // The busiest site is at least as accurate as the median site.

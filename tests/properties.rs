@@ -27,7 +27,11 @@ fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
             .iter()
             .map(|&f| FileId(u32::from(f) % n_files))
             .collect();
-        let (site, user) = if site_sel % 2 == 0 { (s0, u0) } else { (s1, u1) };
+        let (site, user) = if site_sel % 2 == 0 {
+            (s0, u0)
+        } else {
+            (s1, u1)
+        };
         b.add_job(
             user,
             site,
@@ -42,10 +46,7 @@ fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
 }
 
 fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
-    prop::collection::vec(
-        (any::<u8>(), prop::collection::vec(0u8..24, 1..12)),
-        1..25,
-    )
+    prop::collection::vec((any::<u8>(), prop::collection::vec(0u8..24, 1..12)), 1..25)
 }
 
 proptest! {
