@@ -3,6 +3,7 @@
 //! writes to `target/report/<id>.csv`).
 
 pub mod ablations;
+pub mod faults;
 pub mod figures;
 pub mod sections;
 pub mod seeds;
@@ -66,7 +67,7 @@ impl<'a> Ctx<'a> {
 /// All artifact ids in paper order. The `ablations` and `seeds` artifacts
 /// are not in the default set (they regenerate several traces); request
 /// them explicitly with `report ablations seeds`.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "table1",
     "table2",
     "calibration",
@@ -86,6 +87,7 @@ pub const ALL_IDS: [&str; 20] = [
     "sec6",
     "sec8",
     "grid",
+    "faults",
     "headline",
 ];
 
@@ -111,6 +113,7 @@ pub fn build(ctx: &Ctx<'_>, id: &str) -> Option<Artifact> {
         "sec6" => sections::sec6(ctx),
         "sec8" => sections::sec8(ctx),
         "grid" => sections::grid(ctx),
+        "faults" => faults::faults(ctx),
         "ablations" => ablations::ablations(ctx),
         "seeds" => seeds::seeds(ctx),
         "headline" => sections::headline(ctx),

@@ -20,6 +20,24 @@ use hep_trace::{SynthConfig, TraceCache, TraceSynthesizer};
 use std::io::Write as _;
 use std::time::Instant;
 
+/// Report a usage error on stderr and exit with the conventional status 2
+/// (bad invocation), instead of panicking with a backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Consume a flag's value token and parse it, exiting cleanly if the value
+/// is missing or unparsable.
+fn flag_value<T: std::str::FromStr>(args: &mut Vec<String>, what: &str) -> T {
+    if args.is_empty() {
+        usage_error(&format!("{what}, but the flag came last"));
+    }
+    let tok = args.remove(0);
+    tok.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{what}, got {tok:?}")))
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = REPORT_SCALE;
@@ -32,27 +50,15 @@ fn main() {
         match a.as_str() {
             "--scale" => {
                 args.remove(0);
-                scale = args
-                    .first()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a number");
-                args.remove(0);
+                scale = flag_value(&mut args, "--scale needs a number");
             }
             "--seed" => {
                 args.remove(0);
-                seed = args
-                    .first()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a u64");
-                args.remove(0);
+                seed = flag_value(&mut args, "--seed needs a u64");
             }
             "--threads" => {
                 args.remove(0);
-                threads = args
-                    .first()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--threads needs a count (0 = all cores)");
-                args.remove(0);
+                threads = flag_value(&mut args, "--threads needs a count (0 = all cores)");
             }
             "--no-cache" => {
                 args.remove(0);
@@ -60,14 +66,9 @@ fn main() {
             }
             "--policies" => {
                 args.remove(0);
-                let list = args
-                    .first()
-                    .expect("--policies needs a comma-separated list");
-                policies = PolicySpec::parse_list(list).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                });
-                args.remove(0);
+                let list: String = flag_value(&mut args, "--policies needs a comma-separated list");
+                policies =
+                    PolicySpec::parse_list(&list).unwrap_or_else(|e| usage_error(&e.to_string()));
             }
             _ => {
                 ids.push(args.remove(0));

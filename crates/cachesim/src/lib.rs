@@ -48,7 +48,9 @@ pub mod sweep;
 pub use policy::filecule_lru::FileculeLru;
 pub use policy::lru::FileLru;
 pub use policy::{AccessEvent, AccessResult, Policy};
-pub use sim::{simulate, simulate_warm, SimOptions, SimReport, Simulator};
+pub use sim::{
+    simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimOptions, SimReport, Simulator,
+};
 pub use spec::{build_policy, build_policy_from_log, PolicySpec};
 pub use stackdist::{
     file_reuse_profile, file_reuse_profile_from_log, filecule_reuse_profile,

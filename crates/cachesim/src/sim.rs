@@ -11,7 +11,7 @@
 //! so anything that simulates the same trace more than once should build a
 //! [`ReplayLog`] once and call the [`Simulator`] directly.
 
-use crate::policy::Policy;
+use crate::policy::{AccessEvent, Policy};
 use hep_trace::{ReplayLog, Trace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -77,6 +77,46 @@ impl SimReport {
             self.bytes_fetched as f64 / self.bytes_requested as f64
         }
     }
+}
+
+/// Outcome of one cold-storage fetch under fault injection, as judged by a
+/// [`FaultHook`]. The policy's caching decision is unaffected either way —
+/// the object is still (eventually) fetched and inserted, so cache state
+/// stays consistent with the fault-free replay; the hook only classifies
+/// how the miss was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The fetch succeeded first try with no extra delay.
+    Fetched,
+    /// The fetch succeeded after faults added this many seconds of delay.
+    Delayed(u64),
+    /// The fetch was abandoned (retry/timeout budget exhausted); the
+    /// access failed from the requester's point of view.
+    Failed,
+}
+
+/// Fault-injection hook consulted on every cache miss.
+///
+/// Implementations must be pure functions of `(index, event)` — the engine
+/// may consult them in any order, and determinism of the replay relies on
+/// it. `hep-faults` provides the standard implementation backed by a
+/// seeded fault plan.
+pub trait FaultHook: Sync {
+    /// Judge the cold-storage fetch for the miss at position `index` in
+    /// the replay log.
+    fn fetch(&self, index: usize, ev: &AccessEvent) -> FetchOutcome;
+}
+
+/// Fault accounting accumulated by [`Simulator::run_with_faults`],
+/// reported alongside the (unchanged) [`SimReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Misses whose fetch was abandoned entirely.
+    pub failed_fetches: u64,
+    /// Misses whose fetch succeeded but was delayed by faults.
+    pub delayed_fetches: u64,
+    /// Total fault-induced delay across delayed fetches, seconds.
+    pub fault_delay_secs: u64,
 }
 
 /// Options controlling how the [`Simulator`] accumulates statistics. The
@@ -159,6 +199,28 @@ impl Simulator {
 
     /// Replay the whole log through `policy`, accumulating a [`SimReport`].
     pub fn run(&self, log: &ReplayLog, policy: &mut dyn Policy) -> SimReport {
+        self.run_inner(log, policy, None).0
+    }
+
+    /// Like [`Simulator::run`], with a [`FaultHook`] consulted on every
+    /// miss. The [`SimReport`] is bit-identical to a fault-free
+    /// [`Simulator::run`] (the hook never changes cache state); the
+    /// [`FaultStats`] classify how misses were served under faults.
+    pub fn run_with_faults(
+        &self,
+        log: &ReplayLog,
+        policy: &mut dyn Policy,
+        hook: &dyn FaultHook,
+    ) -> (SimReport, FaultStats) {
+        self.run_inner(log, policy, Some(hook))
+    }
+
+    fn run_inner(
+        &self,
+        log: &ReplayLog,
+        policy: &mut dyn Policy,
+        hook: Option<&dyn FaultHook>,
+    ) -> (SimReport, FaultStats) {
         let skip = (log.len() as f64 * self.options.warmup_fraction) as usize;
         let mut report = SimReport {
             policy: policy.name(),
@@ -172,6 +234,7 @@ impl Simulator {
             bytes_fetched: 0,
             bytes_evicted: 0,
         };
+        let mut faults = FaultStats::default();
         let mut seen = vec![false; log.n_files()];
         for i in 0..log.len() {
             let ev = log.event(i);
@@ -193,11 +256,21 @@ impl Simulator {
                     if r.bypassed {
                         report.bypasses += 1;
                     }
+                    if let Some(h) = hook {
+                        match h.fetch(i, &ev) {
+                            FetchOutcome::Fetched => {}
+                            FetchOutcome::Delayed(secs) => {
+                                faults.delayed_fetches += 1;
+                                faults.fault_delay_secs += secs;
+                            }
+                            FetchOutcome::Failed => faults.failed_fetches += 1,
+                        }
+                    }
                 }
             }
             seen[ev.file.index()] = true;
         }
-        report
+        (report, faults)
     }
 
     /// Drive every policy through the shared log in one parallel pass: the
@@ -412,6 +485,49 @@ mod tests {
         assert_eq!(r.bytes_requested, 0);
         assert_eq!(r.bytes_fetched, 0);
         assert_eq!(r.bytes_evicted, 0);
+    }
+
+    struct ScriptedHook(fn(usize) -> FetchOutcome);
+    impl FaultHook for ScriptedHook {
+        fn fetch(&self, index: usize, _ev: &AccessEvent) -> FetchOutcome {
+            (self.0)(index)
+        }
+    }
+
+    #[test]
+    fn clean_hook_matches_fault_free_run() {
+        let t = TraceSynthesizer::new(SynthConfig::small(74)).generate();
+        let log = hep_trace::ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        let hook = ScriptedHook(|_| FetchOutcome::Fetched);
+        let (faulty, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 100 * MB), &hook);
+        assert_eq!(plain, faulty);
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn fault_hook_counts_misses_only() {
+        // Every miss is delayed 7s except every third, which fails; hits
+        // never consult the hook.
+        let t = trace_with_sizes(&[&[0], &[0], &[1], &[1], &[2]], &[10, 20, 30]);
+        let log = hep_trace::ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let hook = ScriptedHook(|i| {
+            if i % 3 == 0 {
+                FetchOutcome::Failed
+            } else {
+                FetchOutcome::Delayed(7)
+            }
+        });
+        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 1000 * MB), &hook);
+        assert_eq!(r.misses, 3);
+        assert_eq!(
+            stats.failed_fetches + stats.delayed_fetches,
+            r.misses,
+            "hook consulted once per miss"
+        );
+        assert_eq!(stats.fault_delay_secs, 7 * stats.delayed_fetches);
     }
 
     #[test]

@@ -380,6 +380,124 @@ pub fn feasibility(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `filecules faults <trace>`: degradation curves under injected faults.
+///
+/// Sweeps a list of outage/failure severities, replays the per-site online
+/// caches at both granularities under each fault plan, and reports how
+/// miss rates, WAN traffic and transfer hours degrade.
+pub fn faults(args: &Args) -> CmdResult {
+    args.reject_unknown(&[
+        "severities",
+        "seed",
+        "capacity-gb",
+        "out",
+        "json",
+        "threads",
+    ])?;
+    let path = args.positional(1).ok_or("faults needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let seed: u64 = args.get_or("seed", hep_stats::rng::DEFAULT_SEED)?;
+    let capacity = (args.get_or("capacity-gb", 256.0f64)? * GB as f64) as u64;
+    let severities: Vec<f64> = match args.get("severities") {
+        Some(list) => list
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                tok.parse::<f64>()
+                    .map_err(|_| format!("bad severity {tok:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0.0, 0.05, 0.1, 0.2, 0.4],
+    };
+    for &s in &severities {
+        if !(0.0..1.0).contains(&s) {
+            return Err(format!("severity {s} out of range [0, 1)").into());
+        }
+    }
+    let set = filecule_core::identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let model = transfer::TransferModel::default();
+    let mut csv = String::from(
+        "severity,unavailability,file_miss_rate,filecule_miss_rate,\
+         file_wan_gb,filecule_wan_gb,file_failed,filecule_failed,\
+         file_fallback_gb,filecule_fallback_gb,\
+         sched_file_hours,sched_filecule_hours\n",
+    );
+    let mut reports = Vec::new();
+    for &s in &severities {
+        let cfg = hep_faults::FaultConfig::severity(s);
+        let plan = hep_faults::FaultPlan::for_trace(&cfg, &trace, seed);
+        let file = replication::simulate_sites_faulty(
+            &log,
+            &trace,
+            &set,
+            capacity,
+            replication::Granularity::File,
+            &plan,
+        );
+        let cule = replication::simulate_sites_faulty(
+            &log,
+            &trace,
+            &set,
+            capacity,
+            replication::Granularity::Filecule,
+            &plan,
+        );
+        let sched = transfer::schedule_comparison_faulty(&trace, &set, model, &plan);
+        csv.push_str(&format!(
+            "{s},{:.6},{:.6},{:.6},{:.3},{:.3},{},{},{:.3},{:.3},{:.2},{:.2}\n",
+            file.unavailability,
+            file.miss_rate(),
+            cule.miss_rate(),
+            file.wan_bytes as f64 / GB as f64,
+            cule.wan_bytes as f64 / GB as f64,
+            file.failed_requests,
+            cule.failed_requests,
+            file.fallback_bytes as f64 / GB as f64,
+            cule.fallback_bytes as f64 / GB as f64,
+            sched.file_hours(),
+            sched.filecule_hours(),
+        ));
+        reports.push((s, file, cule, sched));
+    }
+    if args.switch("json") {
+        let doc: Vec<_> = reports
+            .iter()
+            .map(|(s, file, cule, sched)| {
+                serde_json::json!({
+                    "severity": s,
+                    "file": file,
+                    "filecule": cule,
+                    "schedule": sched,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&doc)?);
+    } else {
+        println!(
+            "severity | unavail | miss file/filecule | WAN GiB file/filecule | failed | sched h file/filecule"
+        );
+        for (s, file, cule, sched) in &reports {
+            println!(
+                "{s:>8.2} | {:>7.4} | {:>8.4} / {:>8.4} | {:>9.2} / {:>9.2} | {:>6} | {:>7.1} / {:>7.1}",
+                file.unavailability,
+                file.miss_rate(),
+                cule.miss_rate(),
+                file.wan_bytes as f64 / GB as f64,
+                cule.wan_bytes as f64 / GB as f64,
+                file.failed_requests + cule.failed_requests,
+                sched.file_hours(),
+                sched.filecule_hours(),
+            );
+        }
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &csv)?;
+        println!("degradation curve written to {out}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +736,47 @@ mod tests {
         // Missing required flag is a clean error.
         assert!(inspect(&args(&["inspect", bin.to_str().unwrap()])).is_err());
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn faults_sweep_runs_and_writes_csv() {
+        let bin = tmp("t8.bin");
+        let out = tmp("t8-faults.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        faults(&args(&[
+            "faults",
+            bin.to_str().unwrap(),
+            "--severities",
+            "0,0.2",
+            "--capacity-gb",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&out).unwrap();
+        assert!(csv.starts_with("severity,unavailability"));
+        assert_eq!(csv.lines().count(), 3, "header + one row per severity");
+        // Severity out of range is a clean error.
+        assert!(faults(&args(&[
+            "faults",
+            bin.to_str().unwrap(),
+            "--severities",
+            "1.5"
+        ]))
+        .is_err());
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

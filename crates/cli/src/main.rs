@@ -51,6 +51,12 @@ COMMANDS:
       --file N          the file id to inspect (required)
   feasibility <trace>   Section 5 BitTorrent analysis
       --window-hours N  retention window (default 24)
+  faults <trace>        degradation curves under injected faults
+      --severities L    comma list of severities in [0,1) (default
+                        0,0.05,0.1,0.2,0.4)
+      --seed N          fault-plan RNG seed (default 0xD0D02006)
+      --capacity-gb N   per-site cache capacity in GiB (default 256)
+      --out FILE        write the degradation curve CSV
   help                  show this message
 "
 }
@@ -89,6 +95,7 @@ fn main() {
         "fig10" => commands::fig10(&args),
         "inspect" => commands::inspect(&args),
         "feasibility" => commands::feasibility(&args),
+        "faults" => commands::faults(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

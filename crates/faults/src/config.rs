@@ -1,0 +1,270 @@
+//! Fault-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the deterministic fault model.
+///
+/// Three independent fault classes, each disabled by its default value so
+/// that `FaultConfig::default()` is the *fault-free* configuration — replay
+/// under it is bit-identical to the fault-unaware code paths:
+///
+/// * **site outages** — every site alternates exponentially distributed
+///   up and down intervals; [`outage_fraction`](Self::outage_fraction) is
+///   the long-run fraction of time a site is down and
+///   [`mean_outage_secs`](Self::mean_outage_secs) the mean length of one
+///   outage (the D0 operational report, cs/0306114, documents station
+///   outages as routine);
+/// * **transfer failures** — each wide-area transfer attempt fails with
+///   probability [`transfer_failure_p`](Self::transfer_failure_p) and is
+///   retried with capped exponential backoff under a total timeout budget
+///   (the fault-tolerant transport semantics of GridFTP, cs/0103022);
+/// * **degraded links** — sites alternate intervals during which their
+///   ingress runs at [`degraded_rate`](Self::degraded_rate) of nominal
+///   bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Long-run fraction of time each site is down. `0.0` disables
+    /// outages entirely. Must be in `[0, 1)`.
+    pub outage_fraction: f64,
+    /// Mean duration of a single outage, seconds (exponential).
+    pub mean_outage_secs: f64,
+    /// Probability that one transfer attempt fails. `0.0` disables
+    /// transfer faults. Must be in `[0, 1]` (`1.0` = every attempt fails).
+    pub transfer_failure_p: f64,
+    /// Retry attempts after the first try before a transfer is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff after every failed attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff interval, seconds.
+    pub backoff_cap_secs: f64,
+    /// Total retry-delay budget per transfer, seconds; once cumulative
+    /// backoff would exceed it the transfer is abandoned.
+    pub timeout_secs: f64,
+    /// Long-run fraction of time each site's link is degraded. `0.0`
+    /// disables link degradation. Must be in `[0, 1)`.
+    pub degraded_fraction: f64,
+    /// Mean duration of a single degraded interval, seconds (exponential).
+    pub mean_degraded_secs: f64,
+    /// Rate multiplier while degraded (`0.25` = quarter speed). Must be
+    /// in `(0, 1]`.
+    pub degraded_rate: f64,
+}
+
+impl Default for FaultConfig {
+    /// The fault-free configuration: no outages, no transfer failures, no
+    /// degradation. Retry/backoff knobs carry 2006-era SAM-like defaults
+    /// so enabling `transfer_failure_p` alone gives a sensible model.
+    fn default() -> Self {
+        Self {
+            outage_fraction: 0.0,
+            mean_outage_secs: 6.0 * 3600.0,
+            transfer_failure_p: 0.0,
+            max_retries: 4,
+            backoff_base_secs: 5.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 300.0,
+            timeout_secs: 3600.0,
+            degraded_fraction: 0.0,
+            mean_degraded_secs: 1800.0,
+            degraded_rate: 0.25,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True iff every fault class is disabled — replay under this config
+    /// is guaranteed bit-identical to the fault-unaware paths.
+    pub fn is_fault_free(&self) -> bool {
+        self.outage_fraction == 0.0
+            && self.transfer_failure_p == 0.0
+            && self.degraded_fraction == 0.0
+    }
+
+    /// Enable site outages: down `fraction` of the time, `mean_secs` mean
+    /// outage length.
+    pub fn with_outages(mut self, fraction: f64, mean_secs: f64) -> Self {
+        self.outage_fraction = fraction;
+        self.mean_outage_secs = mean_secs;
+        self
+    }
+
+    /// Enable per-attempt transfer failures with probability `p`.
+    pub fn with_transfer_failures(mut self, p: f64) -> Self {
+        self.transfer_failure_p = p;
+        self
+    }
+
+    /// Enable degraded links: degraded `fraction` of the time, running at
+    /// `rate` of nominal bandwidth.
+    pub fn with_degraded_links(mut self, fraction: f64, rate: f64) -> Self {
+        self.degraded_fraction = fraction;
+        self.degraded_rate = rate;
+        self
+    }
+
+    /// A one-knob severity preset for degradation sweeps: sites are down
+    /// `severity` of the time (4-hour mean outages), transfer attempts
+    /// fail with probability `severity / 2`, and links are degraded to
+    /// quarter speed `severity` of the time. `severity = 0` is fault-free.
+    pub fn severity(severity: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&severity),
+            "severity must be in [0, 1), got {severity}"
+        );
+        let cfg = Self::default();
+        if severity == 0.0 {
+            return cfg;
+        }
+        cfg.with_outages(severity, 4.0 * 3600.0)
+            .with_transfer_failures((severity / 2.0).min(0.5))
+            .with_degraded_links(severity, 0.25)
+    }
+
+    /// Validate every field range, returning a human-readable complaint
+    /// for the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.outage_fraction) {
+            return Err(format!(
+                "outage_fraction must be in [0, 1), got {}",
+                self.outage_fraction
+            ));
+        }
+        if !(self.mean_outage_secs.is_finite() && self.mean_outage_secs > 0.0) {
+            return Err(format!(
+                "mean_outage_secs must be positive, got {}",
+                self.mean_outage_secs
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.transfer_failure_p) {
+            return Err(format!(
+                "transfer_failure_p must be in [0, 1], got {}",
+                self.transfer_failure_p
+            ));
+        }
+        if !(self.backoff_base_secs.is_finite() && self.backoff_base_secs >= 0.0) {
+            return Err(format!(
+                "backoff_base_secs must be non-negative, got {}",
+                self.backoff_base_secs
+            ));
+        }
+        if !(self.backoff_factor.is_finite() && self.backoff_factor >= 1.0) {
+            return Err(format!(
+                "backoff_factor must be >= 1, got {}",
+                self.backoff_factor
+            ));
+        }
+        if !(self.backoff_cap_secs.is_finite() && self.backoff_cap_secs >= 0.0) {
+            return Err(format!(
+                "backoff_cap_secs must be non-negative, got {}",
+                self.backoff_cap_secs
+            ));
+        }
+        if !(self.timeout_secs.is_finite() && self.timeout_secs >= 0.0) {
+            return Err(format!(
+                "timeout_secs must be non-negative, got {}",
+                self.timeout_secs
+            ));
+        }
+        if !(0.0..1.0).contains(&self.degraded_fraction) {
+            return Err(format!(
+                "degraded_fraction must be in [0, 1), got {}",
+                self.degraded_fraction
+            ));
+        }
+        if !(self.mean_degraded_secs.is_finite() && self.mean_degraded_secs > 0.0) {
+            return Err(format!(
+                "mean_degraded_secs must be positive, got {}",
+                self.mean_degraded_secs
+            ));
+        }
+        if !(self.degraded_rate.is_finite()
+            && self.degraded_rate > 0.0
+            && self.degraded_rate <= 1.0)
+        {
+            return Err(format!(
+                "degraded_rate must be in (0, 1], got {}",
+                self.degraded_rate
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fault_free_and_valid() {
+        let cfg = FaultConfig::default();
+        assert!(cfg.is_fault_free());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn severity_zero_is_fault_free() {
+        assert!(FaultConfig::severity(0.0).is_fault_free());
+        assert!(!FaultConfig::severity(0.1).is_fault_free());
+    }
+
+    #[test]
+    fn severity_presets_validate() {
+        for s in [0.0, 0.01, 0.1, 0.5, 0.9] {
+            FaultConfig::severity(s).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn builders_enable_classes() {
+        let cfg = FaultConfig::default().with_outages(0.1, 100.0);
+        assert!(!cfg.is_fault_free());
+        assert_eq!(cfg.outage_fraction, 0.1);
+        let cfg = FaultConfig::default().with_transfer_failures(0.2);
+        assert!(!cfg.is_fault_free());
+        let cfg = FaultConfig::default().with_degraded_links(0.3, 0.5);
+        assert!(!cfg.is_fault_free());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        assert!(FaultConfig {
+            outage_fraction: 1.0,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            transfer_failure_p: 1.5,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            degraded_rate: 0.0,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            backoff_factor: 0.5,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            mean_outage_secs: 0.0,
+            ..FaultConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn severity_out_of_range_panics() {
+        let _ = FaultConfig::severity(1.0);
+    }
+}

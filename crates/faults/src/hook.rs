@@ -1,0 +1,109 @@
+//! Adapter wiring a [`FaultPlan`] into the cache simulator's fault hook.
+
+use cachesim::{FaultHook, FetchOutcome};
+use hep_trace::{AccessEvent, Trace};
+
+use crate::{lane, transfer_key, FaultPlan};
+
+/// Cold-storage fetch faults for [`cachesim::Simulator::run_with_faults`].
+///
+/// Each cache miss is treated as one wide-area fetch from tape/remote
+/// storage: it runs through the plan's retry model (keyed by the replay-log
+/// position, so outcomes are independent of evaluation order), and if the
+/// requesting job's site is inside an outage window the fetch additionally
+/// waits until the site comes back. A fetch whose retry budget is
+/// exhausted fails the access.
+pub struct ColdStorageFaults<'a> {
+    plan: &'a FaultPlan,
+    trace: &'a Trace,
+    key_lane: u64,
+}
+
+impl<'a> ColdStorageFaults<'a> {
+    /// Wrap a plan and the trace it was built for.
+    pub fn new(plan: &'a FaultPlan, trace: &'a Trace) -> Self {
+        Self {
+            plan,
+            trace,
+            key_lane: lane("cachesim-fetch"),
+        }
+    }
+}
+
+impl FaultHook for ColdStorageFaults<'_> {
+    fn fetch(&self, index: usize, ev: &AccessEvent) -> FetchOutcome {
+        let outcome = self
+            .plan
+            .outcome(transfer_key(&[self.key_lane, index as u64]));
+        if outcome.failed {
+            return FetchOutcome::Failed;
+        }
+        let site = self.trace.job(ev.job).site;
+        let outage_wait = self.plan.next_up(site, ev.time) - ev.time;
+        let delay = outcome.delay_secs.round() as u64 + outage_wait;
+        if delay == 0 {
+            FetchOutcome::Fetched
+        } else {
+            FetchOutcome::Delayed(delay)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultConfig, RetryModel};
+    use cachesim::{FileLru, Simulator};
+    use hep_trace::{ReplayLog, SiteId, SynthConfig, TraceSynthesizer, MB};
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(81)).generate();
+        let plan = FaultPlan::for_trace(&FaultConfig::default(), &trace, 81);
+        let log = ReplayLog::build(&trace);
+        let sim = Simulator::new();
+        let plain = sim.run(&log, &mut FileLru::new(&trace, 100 * MB));
+        let hook = ColdStorageFaults::new(&plan, &trace);
+        let (faulty, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        assert_eq!(plain, faulty);
+        assert_eq!(stats, cachesim::FaultStats::default());
+    }
+
+    #[test]
+    fn outages_delay_fetches() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(82)).generate();
+        let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &trace, 82);
+        // Take every site down for the whole horizon: every miss waits.
+        for s in 0..trace.n_sites() {
+            plan.script_outage(SiteId(s as u16), 0, trace.horizon() + 1);
+        }
+        let log = ReplayLog::build(&trace);
+        let sim = Simulator::new();
+        let hook = ColdStorageFaults::new(&plan, &trace);
+        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        assert!(r.misses > 0);
+        assert_eq!(stats.delayed_fetches, r.misses);
+        assert!(stats.fault_delay_secs > 0);
+        assert_eq!(stats.failed_fetches, 0);
+    }
+
+    #[test]
+    fn certain_failure_fails_every_miss() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(83)).generate();
+        let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &trace, 83);
+        plan.script_retry(RetryModel {
+            failure_p: 1.0,
+            max_retries: 1,
+            backoff_base_secs: 5.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 60.0,
+            timeout_secs: 600.0,
+        });
+        let log = ReplayLog::build(&trace);
+        let sim = Simulator::new();
+        let hook = ColdStorageFaults::new(&plan, &trace);
+        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        assert_eq!(stats.failed_fetches, r.misses);
+        assert_eq!(stats.delayed_fetches, 0);
+    }
+}

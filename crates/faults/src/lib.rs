@@ -1,0 +1,50 @@
+//! # hep-faults
+//!
+//! Deterministic fault injection for the filecules reproduction
+//! (HPDC 2006).
+//!
+//! The paper's resource-management results (Sections 5–6) assume perfectly
+//! reliable sites and lossless transfers. Real SAM operations were not
+//! like that: the D0 experience report (cs/0306114) documents station
+//! outages and transfer retries as routine, and the wide-area transport
+//! literature (GridFTP, cs/0103022) treats fault-tolerant transfer and
+//! replica fallback as first-class concerns. This crate models those
+//! conditions so the replay simulators can quantify *graceful
+//! degradation* — how far the filecule advantage survives churn.
+//!
+//! Three fault classes, all driven by one [`FaultConfig`]:
+//!
+//! * **site outages** — each site alternates exponential up/down
+//!   intervals;
+//! * **transfer failures** — per-attempt Bernoulli failure with capped
+//!   exponential backoff and a timeout budget ([`RetryModel`]);
+//! * **degraded links** — intervals during which a site's ingress runs at
+//!   a fraction of nominal bandwidth.
+//!
+//! [`FaultPlan::build`] materializes a schedule from config + seed using
+//! the workspace's [`SeedStream`](hep_stats::SeedStream) substream
+//! discipline: per-site intervals come from counter-derived substreams and
+//! transfer outcomes are pure hashes of `(seed, key)`, so a plan — and any
+//! replay under it — is bit-identical for a given seed at any thread
+//! count and any evaluation order.
+//!
+//! The consumers live in their own crates: `replication` gains
+//! fault-aware variants of its placement evaluators (down replicas fall
+//! back to the next-nearest live copy or remote storage), `transfer`
+//! folds retry/backoff and degraded-rate delay into transfer time, and
+//! `cachesim` accepts a [`ColdStorageFaults`] hook classifying each miss
+//! as fetched, delayed, or failed. With `FaultConfig::default()` (no
+//! faults) every one of those paths is bit-identical to its fault-free
+//! sibling — guarded by tests in each crate.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hook;
+pub mod plan;
+pub mod retry;
+
+pub use config::FaultConfig;
+pub use hook::ColdStorageFaults;
+pub use plan::{FaultPlan, Interval};
+pub use retry::{lane, transfer_key, RetryModel, TransferOutcome};

@@ -1,0 +1,402 @@
+//! Seeded fault schedules: per-site outage and degraded-link intervals.
+
+use hep_stats::rng::SeedStream;
+use hep_stats::Exp;
+use hep_trace::{SiteId, Trace};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::{FaultConfig, RetryModel, TransferOutcome};
+
+/// Half-open interval `[start, end)` in seconds from the trace epoch.
+pub type Interval = (u64, u64);
+
+/// A fully materialized fault schedule for one replay.
+///
+/// Built once from a [`FaultConfig`] + site count + horizon + seed, then
+/// queried read-only (all query methods take `&self`) by any number of
+/// consumers. Construction draws every site's intervals from its own
+/// counter-derived [`SeedStream`] substream, so the plan is bit-identical
+/// for a given seed at any rayon thread count — the same discipline the
+/// trace synthesizer uses (see `crates/trace/tests/parallel_synth.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    n_sites: usize,
+    horizon: u64,
+    /// Per-site sorted, disjoint outage intervals.
+    outages: Vec<Vec<Interval>>,
+    /// Per-site sorted, disjoint degraded-link intervals.
+    degraded: Vec<Vec<Interval>>,
+    /// Rate multiplier while a link is degraded.
+    degraded_rate: f64,
+    retry: RetryModel,
+    /// Seed of the transfer-outcome hash space.
+    transfer_seed: u64,
+}
+
+/// Sample alternating up/down intervals over `[0, horizon)` and return the
+/// down intervals. `fraction` is the long-run down fraction, `mean_down`
+/// the mean down-interval length; both phases are exponential, starting up.
+fn alternating_intervals(
+    rng: &mut impl rand::Rng,
+    fraction: f64,
+    mean_down: f64,
+    horizon: u64,
+) -> Vec<Interval> {
+    if fraction <= 0.0 || horizon == 0 {
+        return Vec::new();
+    }
+    // Long-run down fraction f = mean_down / (mean_up + mean_down).
+    let mean_up = mean_down * (1.0 - fraction) / fraction;
+    let up = Exp::new(mean_up);
+    let down = Exp::new(mean_down);
+    let end = horizon as f64;
+    let mut t = 0.0f64;
+    let mut last_end = 0u64;
+    let mut out = Vec::new();
+    while t < end {
+        t += up.sample(rng);
+        if t >= end {
+            break;
+        }
+        // Clamp to the previous interval's end: a sub-second up gap can
+        // otherwise round into an overlap.
+        let start = (t as u64).max(last_end);
+        t += down.sample(rng);
+        let stop = (t.min(end).ceil() as u64).min(horizon);
+        if stop > start {
+            out.push((start, stop));
+            last_end = stop;
+        }
+    }
+    out
+}
+
+/// Locate `t` in a sorted, disjoint interval list: `Some(end)` of the
+/// containing interval, or `None` if `t` falls in no interval.
+fn containing_end(intervals: &[Interval], t: u64) -> Option<u64> {
+    let i = intervals.partition_point(|&(start, _)| start <= t);
+    if i == 0 {
+        return None;
+    }
+    let (_, end) = intervals[i - 1];
+    (t < end).then_some(end)
+}
+
+impl FaultPlan {
+    /// Build the schedule for `n_sites` sites over `[0, horizon)` seconds.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`FaultConfig::validate`].
+    pub fn build(cfg: &FaultConfig, n_sites: usize, horizon: u64, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FaultConfig: {e}");
+        }
+        let seeds = SeedStream::new(seed).substream("faults");
+        // Each site draws from its own counter-derived substream; the
+        // indexed parallel collect preserves site order, so the result is
+        // independent of the thread count.
+        let outages: Vec<Vec<Interval>> = (0..n_sites)
+            .into_par_iter()
+            .map(|s| {
+                let mut rng = seeds.rng_indexed("site-outages", s as u64);
+                alternating_intervals(&mut rng, cfg.outage_fraction, cfg.mean_outage_secs, horizon)
+            })
+            .collect();
+        let degraded: Vec<Vec<Interval>> = (0..n_sites)
+            .into_par_iter()
+            .map(|s| {
+                let mut rng = seeds.rng_indexed("site-degraded", s as u64);
+                alternating_intervals(
+                    &mut rng,
+                    cfg.degraded_fraction,
+                    cfg.mean_degraded_secs,
+                    horizon,
+                )
+            })
+            .collect();
+        Self {
+            n_sites,
+            horizon,
+            outages,
+            degraded,
+            degraded_rate: cfg.degraded_rate,
+            retry: RetryModel::from_config(cfg),
+            transfer_seed: seeds.seed("transfers"),
+        }
+    }
+
+    /// Build the schedule sized to a trace (its site count and horizon).
+    pub fn for_trace(cfg: &FaultConfig, trace: &Trace, seed: u64) -> Self {
+        Self::build(cfg, trace.n_sites(), trace.horizon(), seed)
+    }
+
+    /// An empty (fault-free) plan for `n_sites` sites: every site is
+    /// always up at full rate and no transfer ever fails.
+    pub fn reliable(n_sites: usize, horizon: u64) -> Self {
+        Self {
+            n_sites,
+            horizon,
+            outages: vec![Vec::new(); n_sites],
+            degraded: vec![Vec::new(); n_sites],
+            degraded_rate: 1.0,
+            retry: RetryModel::RELIABLE,
+            transfer_seed: 0,
+        }
+    }
+
+    /// Number of sites the plan covers.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// The plan's horizon, seconds.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// True iff this plan can never perturb a replay: no outages, no
+    /// degraded intervals, and a transfer model that never fails.
+    pub fn is_fault_free(&self) -> bool {
+        self.retry.failure_p == 0.0
+            && self.outages.iter().all(Vec::is_empty)
+            && self.degraded.iter().all(Vec::is_empty)
+    }
+
+    /// Is `site` up at time `t`? Sites outside the plan (scripted tests,
+    /// remote storage pseudo-sites) are always up.
+    pub fn is_up(&self, site: SiteId, t: u64) -> bool {
+        match self.outages.get(site.index()) {
+            Some(iv) => containing_end(iv, t).is_none(),
+            None => true,
+        }
+    }
+
+    /// Earliest time `>= t` at which `site` is up (`t` itself if up now).
+    pub fn next_up(&self, site: SiteId, t: u64) -> u64 {
+        match self.outages.get(site.index()) {
+            Some(iv) => containing_end(iv, t).unwrap_or(t),
+            None => t,
+        }
+    }
+
+    /// The rate multiplier of `site`'s link at time `t` (1.0 = nominal).
+    pub fn degraded_multiplier(&self, site: SiteId, t: u64) -> f64 {
+        match self.degraded.get(site.index()) {
+            Some(iv) if containing_end(iv, t).is_some() => self.degraded_rate,
+            _ => 1.0,
+        }
+    }
+
+    /// The outage intervals of `site`, sorted and disjoint.
+    pub fn outages(&self, site: SiteId) -> &[Interval] {
+        self.outages
+            .get(site.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Mean fraction of site-time lost to outages over the horizon.
+    pub fn unavailability(&self) -> f64 {
+        if self.n_sites == 0 || self.horizon == 0 {
+            return 0.0;
+        }
+        let down: u64 = self
+            .outages
+            .iter()
+            .flat_map(|iv| iv.iter().map(|&(s, e)| e - s))
+            .sum();
+        down as f64 / (self.n_sites as u64 * self.horizon) as f64
+    }
+
+    /// The retry/backoff model transfers run under.
+    pub fn retry(&self) -> &RetryModel {
+        &self.retry
+    }
+
+    /// Seed of the transfer-outcome hash space (for consumers that resolve
+    /// outcomes through their own [`RetryModel`] calls).
+    pub fn transfer_seed(&self) -> u64 {
+        self.transfer_seed
+    }
+
+    /// Resolve the outcome of the transfer identified by `key`.
+    pub fn outcome(&self, key: u64) -> TransferOutcome {
+        self.retry.outcome(self.transfer_seed, key)
+    }
+
+    /// Script an extra outage `[from, until)` for `site` — test and
+    /// what-if helper. The interval is merged into the schedule (overlaps
+    /// with existing outages are coalesced).
+    pub fn script_outage(&mut self, site: SiteId, from: u64, until: u64) {
+        assert!(until > from, "empty scripted outage");
+        assert!(site.index() < self.n_sites, "site out of range");
+        let iv = &mut self.outages[site.index()];
+        iv.push((from, until));
+        iv.sort_unstable();
+        let mut merged: Vec<Interval> = Vec::with_capacity(iv.len());
+        for &(s, e) in iv.iter() {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        *iv = merged;
+        self.horizon = self.horizon.max(until);
+    }
+
+    /// Override the retry model — test and what-if helper.
+    pub fn script_retry(&mut self, retry: RetryModel) {
+        self.retry = retry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: u64 = 86_400;
+
+    #[test]
+    fn default_config_builds_empty_plan() {
+        let plan = FaultPlan::build(&FaultConfig::default(), 8, 30 * DAY, 42);
+        assert!(plan.is_fault_free());
+        assert_eq!(plan.unavailability(), 0.0);
+        for s in 0..8 {
+            assert!(plan.outages(SiteId(s)).is_empty());
+            assert!(plan.is_up(SiteId(s), 0));
+            assert_eq!(plan.degraded_multiplier(SiteId(s), DAY), 1.0);
+        }
+    }
+
+    #[test]
+    fn reliable_plan_is_fault_free() {
+        let plan = FaultPlan::reliable(4, DAY);
+        assert!(plan.is_fault_free());
+        assert_eq!(plan.outcome(123), TransferOutcome::CLEAN);
+    }
+
+    #[test]
+    fn outage_fraction_is_roughly_respected() {
+        let cfg = FaultConfig::default().with_outages(0.2, 4.0 * 3600.0);
+        let plan = FaultPlan::build(&cfg, 32, 365 * DAY, 7);
+        let u = plan.unavailability();
+        assert!((u - 0.2).abs() < 0.05, "unavailability {u}");
+        assert!(!plan.is_fault_free());
+    }
+
+    #[test]
+    fn intervals_sorted_disjoint_and_clamped() {
+        let cfg = FaultConfig::default().with_outages(0.3, 3600.0);
+        let plan = FaultPlan::build(&cfg, 16, 30 * DAY, 11);
+        for s in 0..16 {
+            let iv = plan.outages(SiteId(s));
+            for w in iv.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping intervals {w:?}");
+            }
+            for &(start, end) in iv {
+                assert!(start < end);
+                assert!(end <= 30 * DAY);
+            }
+        }
+    }
+
+    #[test]
+    fn is_up_matches_intervals() {
+        let cfg = FaultConfig::default().with_outages(0.3, 3600.0);
+        let plan = FaultPlan::build(&cfg, 4, 30 * DAY, 13);
+        let site = SiteId(1);
+        let iv = plan.outages(site).to_vec();
+        assert!(!iv.is_empty(), "expected some outages at 30% downtime");
+        for &(start, end) in &iv {
+            assert!(!plan.is_up(site, start));
+            assert!(!plan.is_up(site, end - 1));
+            assert!(plan.is_up(site, end));
+            assert_eq!(plan.next_up(site, start), end);
+            assert_eq!(plan.next_up(site, end), end);
+            if start > 0 {
+                // The second before an outage may belong to the previous
+                // interval only if they touch; after merging they are
+                // disjoint, so it must be up unless another interval ends
+                // exactly at `start` (excluded by disjointness).
+                assert!(
+                    plan.is_up(site, start - 1)
+                        || iv.iter().any(|&(_, e)| e > start - 1 && e <= start)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_multiplier_applies_inside_intervals() {
+        let cfg = FaultConfig::default().with_degraded_links(0.4, 0.25);
+        let plan = FaultPlan::build(&cfg, 4, 30 * DAY, 17);
+        let mut seen_degraded = false;
+        for s in 0..4 {
+            for t in (0..30 * DAY).step_by(DAY as usize / 4) {
+                let m = plan.degraded_multiplier(SiteId(s as u16), t);
+                assert!(m == 1.0 || m == 0.25);
+                seen_degraded |= m == 0.25;
+            }
+        }
+        assert!(seen_degraded, "expected some degraded samples at 40%");
+    }
+
+    #[test]
+    fn same_seed_same_plan_different_seed_differs() {
+        let cfg = FaultConfig::severity(0.2);
+        let a = FaultPlan::build(&cfg, 8, 30 * DAY, 1);
+        let b = FaultPlan::build(&cfg, 8, 30 * DAY, 1);
+        let c = FaultPlan::build(&cfg, 8, 30 * DAY, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn out_of_range_site_is_always_up() {
+        let plan = FaultPlan::build(&FaultConfig::severity(0.5), 2, DAY, 3);
+        assert!(plan.is_up(SiteId(99), 0));
+        assert_eq!(plan.next_up(SiteId(99), 55), 55);
+        assert_eq!(plan.degraded_multiplier(SiteId(99), 55), 1.0);
+        assert!(plan.outages(SiteId(99)).is_empty());
+    }
+
+    #[test]
+    fn scripted_outage_merges_overlaps() {
+        let mut plan = FaultPlan::reliable(2, DAY);
+        plan.script_outage(SiteId(0), 100, 200);
+        plan.script_outage(SiteId(0), 150, 300);
+        plan.script_outage(SiteId(0), 400, 500);
+        assert_eq!(plan.outages(SiteId(0)), &[(100, 300), (400, 500)]);
+        assert!(!plan.is_up(SiteId(0), 250));
+        assert!(plan.is_up(SiteId(0), 350));
+        assert!(plan.is_up(SiteId(1), 250));
+        assert!(!plan.is_fault_free());
+    }
+
+    #[test]
+    fn unavailability_counts_down_time() {
+        let mut plan = FaultPlan::reliable(2, 1000);
+        plan.script_outage(SiteId(0), 0, 500);
+        // 500 down seconds over 2 sites x 1000 s.
+        assert!((plan.unavailability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let cfg = FaultConfig {
+            outage_fraction: 2.0,
+            ..FaultConfig::default()
+        };
+        let _ = FaultPlan::build(&cfg, 1, DAY, 0);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let plan = FaultPlan::build(&FaultConfig::severity(0.1), 4, DAY, 5);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic transfer-failure and retry/backoff model.
+//!
+//! Transfer outcomes are *pure hash functions* of `(seed, key)` rather than
+//! draws from a shared RNG: any consumer can evaluate the outcome of any
+//! transfer in any order (including in parallel) and always observe the
+//! same attempts/delay/failure verdict. This mirrors the counter-derived
+//! substream discipline the trace synthesizer uses for thread-count
+//! independence.
+
+use hep_stats::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+use crate::FaultConfig;
+
+/// Fold a sequence of components into one transfer key.
+///
+/// Consumers build keys from stable identifiers (event index, job id, file
+/// id, a [`lane`]) so the same logical transfer always maps to the same
+/// outcome regardless of replay order.
+pub fn transfer_key(parts: &[u64]) -> u64 {
+    let mut state = 0x7E57_AB1E_u64 ^ 0x5EED_0000_0000_0000;
+    for &p in parts {
+        state = splitmix64(state ^ splitmix64(p));
+    }
+    state
+}
+
+/// Hash a consumer label into a key component, so distinct consumers
+/// (replication remote fetches, schedule transfers, swarm seeds, …) draw
+/// from decoupled outcome spaces even when their numeric ids collide.
+pub fn lane(label: &str) -> u64 {
+    let mut state = splitmix64(0xFA17_1A7E);
+    for &b in label.as_bytes() {
+        state = splitmix64(state ^ u64::from(b));
+    }
+    state
+}
+
+/// Map a 64-bit hash to a uniform double in `[0, 1)`.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The resolved outcome of one logical transfer under the retry model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferOutcome {
+    /// Attempts made (1 = succeeded first try).
+    pub attempts: u32,
+    /// Total backoff delay accumulated before the final attempt, seconds.
+    pub delay_secs: f64,
+    /// True if the transfer was abandoned (retry budget or timeout
+    /// exhausted); `delay_secs` then counts the wasted backoff.
+    pub failed: bool,
+}
+
+impl TransferOutcome {
+    /// The outcome of a transfer under a fault-free model: first attempt
+    /// succeeds, no delay.
+    pub const CLEAN: TransferOutcome = TransferOutcome {
+        attempts: 1,
+        delay_secs: 0.0,
+        failed: false,
+    };
+
+    /// Number of retries (attempts after the first).
+    pub fn retries(&self) -> u32 {
+        self.attempts - 1
+    }
+}
+
+/// Per-attempt Bernoulli failure with capped exponential backoff and a
+/// total timeout budget (the fault-tolerant transport semantics GridFTP
+/// documents: retry on failure, back off, give up past a deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryModel {
+    /// Probability one attempt fails.
+    pub failure_p: f64,
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff interval, seconds.
+    pub backoff_cap_secs: f64,
+    /// Total backoff budget per transfer, seconds.
+    pub timeout_secs: f64,
+}
+
+impl RetryModel {
+    /// A model that never fails (the `FaultConfig::default()` behaviour).
+    pub const RELIABLE: RetryModel = RetryModel {
+        failure_p: 0.0,
+        max_retries: 0,
+        backoff_base_secs: 0.0,
+        backoff_factor: 1.0,
+        backoff_cap_secs: 0.0,
+        timeout_secs: 0.0,
+    };
+
+    /// Extract the retry parameters from a [`FaultConfig`].
+    pub fn from_config(cfg: &FaultConfig) -> Self {
+        Self {
+            failure_p: cfg.transfer_failure_p,
+            max_retries: cfg.max_retries,
+            backoff_base_secs: cfg.backoff_base_secs,
+            backoff_factor: cfg.backoff_factor,
+            backoff_cap_secs: cfg.backoff_cap_secs,
+            timeout_secs: cfg.timeout_secs,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based), seconds.
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        (self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1))
+            .min(self.backoff_cap_secs)
+    }
+
+    /// Resolve the outcome of the transfer identified by `key` under
+    /// master seed `seed`.
+    ///
+    /// Pure and order-independent: the attempt sequence is derived from
+    /// `splitmix64` mixes of `(seed, key, attempt)`, so two calls with the
+    /// same arguments always agree, regardless of thread or replay order.
+    pub fn outcome(&self, seed: u64, key: u64) -> TransferOutcome {
+        if self.failure_p <= 0.0 {
+            return TransferOutcome::CLEAN;
+        }
+        let base = splitmix64(seed ^ splitmix64(key));
+        let mut delay = 0.0f64;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let u = unit_f64(splitmix64(base ^ u64::from(attempts)));
+            if u >= self.failure_p {
+                return TransferOutcome {
+                    attempts,
+                    delay_secs: delay,
+                    failed: false,
+                };
+            }
+            if attempts > self.max_retries {
+                return TransferOutcome {
+                    attempts,
+                    delay_secs: delay,
+                    failed: true,
+                };
+            }
+            let backoff = self.backoff_secs(attempts);
+            if delay + backoff > self.timeout_secs {
+                return TransferOutcome {
+                    attempts,
+                    delay_secs: delay,
+                    failed: true,
+                };
+            }
+            delay += backoff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: f64) -> RetryModel {
+        RetryModel {
+            failure_p: p,
+            max_retries: 4,
+            backoff_base_secs: 5.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 300.0,
+            timeout_secs: 3600.0,
+        }
+    }
+
+    #[test]
+    fn reliable_model_is_clean() {
+        let m = RetryModel::RELIABLE;
+        for key in 0..100 {
+            assert_eq!(m.outcome(42, key), TransferOutcome::CLEAN);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_clean_even_with_retry_knobs() {
+        let m = model(0.0);
+        assert_eq!(m.outcome(7, 99), TransferOutcome::CLEAN);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let m = model(0.3);
+        for key in 0..500 {
+            assert_eq!(m.outcome(1, key), m.outcome(1, key));
+        }
+    }
+
+    #[test]
+    fn outcome_depends_on_seed_and_key() {
+        let m = model(0.5);
+        let a: Vec<_> = (0..64).map(|k| m.outcome(1, k)).collect();
+        let b: Vec<_> = (0..64).map(|k| m.outcome(2, k)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn certain_failure_exhausts_retries() {
+        let m = model(1.0);
+        let o = m.outcome(3, 17);
+        assert!(o.failed);
+        assert_eq!(o.attempts, m.max_retries + 1);
+        assert_eq!(o.retries(), m.max_retries);
+        // Backoffs 5 + 10 + 20 + 40 accumulated before the final attempt.
+        assert!((o.delay_secs - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_budget_caps_delay() {
+        let mut m = model(1.0);
+        m.timeout_secs = 12.0;
+        let o = m.outcome(3, 17);
+        assert!(o.failed);
+        // 5 fits, 5+10 would exceed 12: abandoned after the second attempt.
+        assert_eq!(o.attempts, 2);
+        assert!((o.delay_secs - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let m = model(0.5);
+        assert_eq!(m.backoff_secs(1), 5.0);
+        assert_eq!(m.backoff_secs(2), 10.0);
+        assert_eq!(m.backoff_secs(10), 300.0);
+    }
+
+    #[test]
+    fn failure_rate_tracks_p() {
+        let m = model(0.2);
+        let n = 20_000;
+        let first_try_fail =
+            (0..n).filter(|&k| m.outcome(9, k).attempts > 1).count() as f64 / n as f64;
+        assert!((first_try_fail - 0.2).abs() < 0.02, "{first_try_fail}");
+    }
+
+    #[test]
+    fn lanes_decouple_key_spaces() {
+        let m = model(0.5);
+        let a: Vec<_> = (0..64)
+            .map(|k| m.outcome(1, transfer_key(&[lane("alpha"), k])))
+            .collect();
+        let b: Vec<_> = (0..64)
+            .map(|k| m.outcome(1, transfer_key(&[lane("beta"), k])))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transfer_key_order_sensitive() {
+        assert_ne!(transfer_key(&[1, 2]), transfer_key(&[2, 1]));
+        assert_ne!(transfer_key(&[1]), transfer_key(&[1, 0]));
+    }
+}

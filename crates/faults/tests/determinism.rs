@@ -1,0 +1,61 @@
+//! Determinism guarantees of the fault-schedule generator.
+//!
+//! `FaultPlan`'s contract mirrors the trace synthesizer's: the schedule
+//! depends only on the `FaultConfig`, dimensions, and seed — not on the
+//! rayon pool it happens to be built in. These tests pin that down by
+//! building the same plan under pools of 1, 2 and 8 threads and comparing
+//! the serialized bytes (mirroring `crates/trace/tests/parallel_synth.rs`).
+
+use hep_faults::{FaultConfig, FaultPlan};
+
+const DAY: u64 = 86_400;
+
+fn plan_bytes_with_threads(cfg: &FaultConfig, threads: usize) -> Vec<u8> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build scoped rayon pool");
+    let plan = pool.install(|| FaultPlan::build(cfg, 64, 365 * DAY, 0xD0D0_2006));
+    serde_json::to_vec(&plan).expect("serialize plan")
+}
+
+#[test]
+fn bit_identical_across_thread_counts() {
+    for cfg in [
+        FaultConfig::severity(0.1),
+        FaultConfig::severity(0.5),
+        FaultConfig::default()
+            .with_outages(0.05, 12.0 * 3600.0)
+            .with_degraded_links(0.3, 0.5)
+            .with_transfer_failures(0.2),
+    ] {
+        let reference = plan_bytes_with_threads(&cfg, 1);
+        for threads in [2, 8] {
+            let parallel = plan_bytes_with_threads(&cfg, threads);
+            assert_eq!(
+                parallel, reference,
+                "fault plan built with {threads} rayon threads diverged from the 1-thread reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn plans_differ_by_seed_but_not_by_rebuild() {
+    let cfg = FaultConfig::severity(0.2);
+    let a = FaultPlan::build(&cfg, 16, 30 * DAY, 1);
+    let b = FaultPlan::build(&cfg, 16, 30 * DAY, 1);
+    let c = FaultPlan::build(&cfg, 16, 30 * DAY, 2);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn transfer_outcomes_are_evaluation_order_independent() {
+    let cfg = FaultConfig::default().with_transfer_failures(0.3);
+    let plan = FaultPlan::build(&cfg, 4, 30 * DAY, 9);
+    let forward: Vec<_> = (0..1000).map(|k| plan.outcome(k)).collect();
+    let mut backward: Vec<_> = (0..1000).rev().map(|k| plan.outcome(k)).collect();
+    backward.reverse();
+    assert_eq!(forward, backward);
+}

@@ -22,6 +22,12 @@
 //!   remote transfer bytes and local-hit fractions;
 //! * [`online`] — collaboration-wide replay with an independent cache at
 //!   every site, stating the filecule advantage in WAN bytes saved.
+//!
+//! Both evaluators also ship a degraded-mode variant
+//! ([`sim::evaluate_with_faults`], [`online::simulate_sites_faulty`])
+//! driven by a seeded `hep_faults::FaultPlan`: down replicas fall back to
+//! the next-nearest live copy or remote storage, and the reports grow
+//! failed-request / retry / fallback-byte / unavailability accounting.
 
 #![warn(missing_docs)]
 
@@ -31,11 +37,12 @@ pub mod policies;
 pub mod sim;
 
 pub use online::{
-    compare_granularities, simulate_sites, simulate_sites_log, Granularity, OnlineReport,
+    compare_granularities, simulate_sites, simulate_sites_faulty, simulate_sites_log, Granularity,
+    OnlineReport,
 };
 pub use placement::Placement;
 pub use policies::{
     file_popularity_placement, filecule_popularity_placement, local_filecule_placement,
     no_replication, training_jobs,
 };
-pub use sim::{evaluate, wasted_bytes, ReplicationReport};
+pub use sim::{evaluate, evaluate_with_faults, wasted_bytes, ReplicationReport};

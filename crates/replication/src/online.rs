@@ -12,6 +12,7 @@
 
 use cachesim::{FileLru, FileculeLru, Policy};
 use filecule_core::FileculeSet;
+use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_trace::{ReplayLog, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +26,10 @@ pub enum Granularity {
 }
 
 /// Aggregate outcome of the collaboration-wide replay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The last four fields are only populated by [`simulate_sites_faulty`];
+/// the fault-free entry points leave them at zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnlineReport {
     /// Granularity used.
     pub granularity: Granularity,
@@ -39,6 +43,22 @@ pub struct OnlineReport {
     pub wan_bytes: u64,
     /// Per-site miss counts, indexed by site id.
     pub site_misses: Vec<u64>,
+    /// Requests whose WAN fetch exhausted its retry budget before
+    /// succeeding over a slower alternate route.
+    #[serde(default)]
+    pub failed_requests: u64,
+    /// Transfer retries incurred by WAN fetches.
+    #[serde(default)]
+    pub retries: u64,
+    /// Bytes moved outside the normal cache path: requests served while
+    /// the site cache was down, plus fetches reissued after the direct
+    /// WAN path was abandoned.
+    #[serde(default)]
+    pub fallback_bytes: u64,
+    /// Mean fraction of site-time lost to outages in the fault plan this
+    /// report was produced under (0 for fault-free runs).
+    #[serde(default)]
+    pub unavailability: f64,
 }
 
 impl OnlineReport {
@@ -96,6 +116,10 @@ pub fn simulate_sites_log(
         local_hits: 0,
         wan_bytes: 0,
         site_misses: vec![0; n_sites],
+        failed_requests: 0,
+        retries: 0,
+        fallback_bytes: 0,
+        unavailability: 0.0,
     };
     for ev in log.iter() {
         let site = trace.job(ev.job).site.index();
@@ -105,6 +129,85 @@ pub fn simulate_sites_log(
             report.local_hits += 1;
         } else {
             report.site_misses[site] += 1;
+            report.wan_bytes += r.bytes_fetched;
+        }
+    }
+    report
+}
+
+/// [`simulate_sites_log`] under a fault plan: degraded-mode replay with
+/// per-site caches.
+///
+/// Semantics per event:
+///
+/// * the event's site is inside an outage window — its cache hardware is
+///   unreachable, so the request bypasses the cache entirely (the policy
+///   is *not* consulted; cache state evolves as if the request never
+///   happened) and the file's bytes are served via the fallback path
+///   ([`OnlineReport::fallback_bytes`], counted as a site miss);
+/// * otherwise the cache serves the request normally; each miss's WAN
+///   fetch runs through the plan's retry model (keyed by replay-log
+///   position, so outcomes are replay-order independent). A fetch whose
+///   retry budget is exhausted counts as a
+///   [`OnlineReport::failed_requests`] and its bytes move to
+///   `fallback_bytes` — the object is still delivered out-of-band, so
+///   cache state stays consistent with what the policy decided.
+///
+/// Under a fault-free plan this is bit-identical to
+/// [`simulate_sites_log`] except for the zero-valued fault fields.
+pub fn simulate_sites_faulty(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    plan: &FaultPlan,
+) -> OnlineReport {
+    let n_sites = trace.n_sites();
+    let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
+        .map(|_| match granularity {
+            Granularity::File => {
+                Box::new(FileLru::new(trace, capacity_per_site)) as Box<dyn Policy>
+            }
+            Granularity::Filecule => {
+                Box::new(FileculeLru::new(trace, set, capacity_per_site)) as Box<dyn Policy>
+            }
+        })
+        .collect();
+    let mut report = OnlineReport {
+        granularity,
+        capacity_per_site,
+        requests: 0,
+        local_hits: 0,
+        wan_bytes: 0,
+        site_misses: vec![0; n_sites],
+        failed_requests: 0,
+        retries: 0,
+        fallback_bytes: 0,
+        unavailability: plan.unavailability(),
+    };
+    let wan_lane = lane("online-wan");
+    for (i, ev) in log.iter().enumerate() {
+        let site_id = trace.job(ev.job).site;
+        let site = site_id.index();
+        report.requests += 1;
+        if !plan.is_up(site_id, ev.time) {
+            report.site_misses[site] += 1;
+            report.fallback_bytes += trace.file(ev.file).size_bytes;
+            continue;
+        }
+        let r = caches[site].access(&ev);
+        if r.hit {
+            report.local_hits += 1;
+            continue;
+        }
+        report.site_misses[site] += 1;
+        let outcome = plan.outcome(transfer_key(&[wan_lane, i as u64]));
+        report.retries += u64::from(outcome.retries());
+        if outcome.failed {
+            report.failed_requests += 1;
+            report.fallback_bytes += r.bytes_fetched;
+        } else {
             report.wan_bytes += r.bytes_fetched;
         }
     }
@@ -177,6 +280,72 @@ mod tests {
         let r = simulate_sites(&t, &set, hep_trace::TB, Granularity::Filecule);
         let total_misses: u64 = r.site_misses.iter().sum();
         assert_eq!(total_misses, r.requests - r.local_hits);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_simulate_sites() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(143)).generate();
+        let set = identify(&t);
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let cap = total / 8;
+        let plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 143);
+        let log = hep_trace::ReplayLog::build(&t);
+        for g in [Granularity::File, Granularity::Filecule] {
+            let plain = simulate_sites_log(&log, &t, &set, cap, g);
+            let faulty = simulate_sites_faulty(&log, &t, &set, cap, g, &plan);
+            assert_eq!(plain, faulty, "{g:?} diverged under a fault-free plan");
+        }
+    }
+
+    #[test]
+    fn down_site_bypasses_its_cache() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        // Site 0 is down for the whole trace: its repeated requests never
+        // warm a cache, so every one is a fallback miss.
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s0 = b.add_site(d);
+        let s1 = b.add_site(d);
+        let u = b.add_user();
+        let f = b.add_file(10 * MB, DataTier::Thumbnail);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 0, 1, &[f]);
+        b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 10, 11, &[f]);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 20, 21, &[f]);
+        b.add_job(u, s1, NodeId(0), DataTier::Thumbnail, 30, 31, &[f]);
+        let t = b.build().unwrap();
+        let set = identify(&t);
+        let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 3);
+        plan.script_outage(s0, 0, 1000);
+        let log = hep_trace::ReplayLog::build(&t);
+        let r = simulate_sites_faulty(&log, &t, &set, 100 * MB, Granularity::File, &plan);
+        assert_eq!(r.requests, 4);
+        // Site 0: two fallback misses; site 1: one cold miss, one hit.
+        assert_eq!(r.site_misses, vec![2, 1]);
+        assert_eq!(r.local_hits, 1);
+        assert_eq!(r.fallback_bytes, 20 * MB);
+        assert_eq!(r.wan_bytes, 10 * MB);
+    }
+
+    #[test]
+    fn certain_wan_failure_reroutes_all_miss_bytes() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(144)).generate();
+        let set = identify(&t);
+        let cfg = FaultConfig::default().with_transfer_failures(1.0);
+        let plan = FaultPlan::for_trace(&cfg, &t, 144);
+        let log = hep_trace::ReplayLog::build(&t);
+        let cap = hep_trace::TB;
+        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::File);
+        let r = simulate_sites_faulty(&log, &t, &set, cap, Granularity::File, &plan);
+        // Cache decisions unchanged; every WAN fetch failed over to the
+        // fallback path.
+        assert_eq!(r.local_hits, plain.local_hits);
+        assert_eq!(r.site_misses, plain.site_misses);
+        assert_eq!(r.wan_bytes, 0);
+        assert_eq!(r.fallback_bytes, plain.wan_bytes);
+        assert_eq!(r.failed_requests, r.requests - r.local_hits);
+        assert!(r.retries > 0);
     }
 
     #[test]

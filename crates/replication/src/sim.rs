@@ -1,11 +1,16 @@
 //! Replay-based evaluation of replica placements.
 
 use crate::placement::Placement;
-use hep_trace::Trace;
+use hep_faults::{lane, transfer_key, FaultPlan};
+use hep_trace::{FileId, SiteId, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of replaying the evaluation window against a placement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The last four fields are only populated by [`evaluate_with_faults`];
+/// [`evaluate`] (and any serialized report from before fault injection
+/// existed) leaves them at zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicationReport {
     /// Policy label.
     pub policy: String,
@@ -21,6 +26,21 @@ pub struct ReplicationReport {
     pub bytes_requested: u64,
     /// Bytes that had to be transferred from remote storage.
     pub remote_bytes: u64,
+    /// Requests that could not be served at all: no live replica and the
+    /// remote-storage fetch exhausted its retry budget.
+    #[serde(default)]
+    pub failed_requests: u64,
+    /// Transfer retries incurred by remote-storage fetches.
+    #[serde(default)]
+    pub retries: u64,
+    /// Bytes served from a *peer site's* replica because the local replica
+    /// was inside an outage window.
+    #[serde(default)]
+    pub fallback_bytes: u64,
+    /// Mean fraction of site-time lost to outages in the fault plan this
+    /// report was produced under (0 for fault-free runs).
+    #[serde(default)]
+    pub unavailability: f64,
 }
 
 impl ReplicationReport {
@@ -60,6 +80,10 @@ pub fn evaluate(
         local_hits: 0,
         bytes_requested: 0,
         remote_bytes: 0,
+        failed_requests: 0,
+        retries: 0,
+        fallback_bytes: 0,
+        unavailability: 0.0,
     };
     for j in trace.job_ids() {
         let rec = trace.job(j);
@@ -72,6 +96,106 @@ pub fn evaluate(
             report.bytes_requested += size;
             if placement.has(rec.site, f) {
                 report.local_hits += 1;
+            } else {
+                report.remote_bytes += size;
+            }
+        }
+    }
+    report
+}
+
+/// The nearest live replica of `file` as seen from `site` at time `t`:
+/// a live same-domain site holding the file wins, then any live holder
+/// (lowest site id breaks ties in both classes). `None` when every other
+/// replica is down or absent.
+fn nearest_live_replica(
+    trace: &Trace,
+    placement: &Placement,
+    plan: &FaultPlan,
+    site: SiteId,
+    file: FileId,
+    t: u64,
+) -> Option<SiteId> {
+    let home_domain = trace.site_domain(site);
+    let mut best: Option<SiteId> = None;
+    for s in 0..trace.n_sites() as u16 {
+        let cand = SiteId(s);
+        if cand == site || !placement.has(cand, file) || !plan.is_up(cand, t) {
+            continue;
+        }
+        let cand_same = trace.site_domain(cand) == home_domain;
+        match best {
+            None => best = Some(cand),
+            Some(b) if cand_same && trace.site_domain(b) != home_domain => best = Some(cand),
+            Some(_) => {}
+        }
+    }
+    best
+}
+
+/// [`evaluate`] under a fault plan: degraded-mode replay of the
+/// evaluation window.
+///
+/// Service order per request, mirroring SAM's replica-fallback semantics:
+///
+/// 1. local replica at a live site — a local hit, as in [`evaluate`];
+/// 2. local replica exists but the site's storage is inside an outage
+///    window — fetch from the nearest live peer replica
+///    ([`ReplicationReport::fallback_bytes`]);
+/// 3. otherwise fetch from remote (archive) storage through the plan's
+///    retry model; an abandoned transfer counts as a
+///    [`ReplicationReport::failed_requests`] and moves no bytes.
+///
+/// Transfer outcomes are keyed by `(job, file)`, independent of replay
+/// order. Under a fault-free plan (`FaultConfig::default()`) this is
+/// bit-identical to [`evaluate`] except for the zero-valued fault fields.
+pub fn evaluate_with_faults(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    plan: &FaultPlan,
+) -> ReplicationReport {
+    let mut report = ReplicationReport {
+        policy: policy.to_owned(),
+        budget: placement.budget(),
+        storage_used: placement.total_used(),
+        requests: 0,
+        local_hits: 0,
+        bytes_requested: 0,
+        remote_bytes: 0,
+        failed_requests: 0,
+        retries: 0,
+        fallback_bytes: 0,
+        unavailability: plan.unavailability(),
+    };
+    let remote_lane = lane("replication-remote");
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        if rec.start < from_time {
+            continue;
+        }
+        for &f in trace.job_files(j) {
+            let size = trace.file(f).size_bytes;
+            report.requests += 1;
+            report.bytes_requested += size;
+            let local = placement.has(rec.site, f);
+            if local && plan.is_up(rec.site, rec.start) {
+                report.local_hits += 1;
+                continue;
+            }
+            if local
+                && nearest_live_replica(trace, placement, plan, rec.site, f, rec.start).is_some()
+            {
+                report.fallback_bytes += size;
+                continue;
+            }
+            // Remote (archive) storage, through the retry model.
+            let outcome =
+                plan.outcome(transfer_key(&[remote_lane, u64::from(j.0), u64::from(f.0)]));
+            report.retries += u64::from(outcome.retries());
+            if outcome.failed {
+                report.failed_requests += 1;
             } else {
                 report.remote_bytes += size;
             }
@@ -218,6 +342,128 @@ mod tests {
         assert_eq!(wasted_bytes(&t, &p, 0), 20 * MB);
         // If the eval window excludes the only job, both replicas waste.
         assert_eq!(wasted_bytes(&t, &p, 500), 30 * MB);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_evaluate() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(112)).generate();
+        let set = identify(&t);
+        let split = t.horizon() / 2;
+        let training = training_jobs(&t, split);
+        let budget = 2 * TB / 100;
+        let plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 112);
+        assert!(plan.is_fault_free());
+        for (p, name) in [
+            (no_replication(&t, budget), "none"),
+            (file_popularity_placement(&t, &training, budget), "file-pop"),
+            (
+                filecule_popularity_placement(&t, &set, &training, budget),
+                "filecule-pop",
+            ),
+        ] {
+            let plain = evaluate(&t, &p, split, name);
+            let faulty = evaluate_with_faults(&t, &p, split, name, &plan);
+            assert_eq!(plain, faulty, "{name} diverged under a fault-free plan");
+        }
+    }
+
+    /// Two sites in the same domain both hold the file; the requester's
+    /// site is down, so the request falls back to the peer replica.
+    #[test]
+    fn down_local_replica_falls_back_to_live_peer() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s0 = b.add_site(d);
+        let s1 = b.add_site(d);
+        let u = b.add_user();
+        let f = b.add_file(10 * MB, DataTier::Thumbnail);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 100, 101, &[f]);
+        let t = b.build().unwrap();
+        let mut p = crate::Placement::new(&t, TB);
+        p.place(s0, f, 10 * MB);
+        p.place(s1, f, 10 * MB);
+
+        let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 1);
+        plan.script_outage(s0, 50, 200);
+        let r = evaluate_with_faults(&t, &p, 0, "test", &plan);
+        assert_eq!(r.local_hits, 0);
+        assert_eq!(r.fallback_bytes, 10 * MB);
+        assert_eq!(r.remote_bytes, 0);
+        assert_eq!(r.failed_requests, 0);
+        assert!(r.unavailability > 0.0);
+
+        // Peer down too: the request goes to remote storage instead.
+        plan.script_outage(s1, 50, 200);
+        let r = evaluate_with_faults(&t, &p, 0, "test", &plan);
+        assert_eq!(r.fallback_bytes, 0);
+        assert_eq!(r.remote_bytes, 10 * MB);
+
+        // Outside the outage window nothing changes.
+        let mut late_plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 1);
+        late_plan.script_outage(s0, 500, 600);
+        let r = evaluate_with_faults(&t, &p, 0, "test", &late_plan);
+        assert_eq!(r.local_hits, 1);
+        assert_eq!(r.fallback_bytes, 0);
+    }
+
+    #[test]
+    fn certain_transfer_failure_fails_remote_requests() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f = b.add_file(10 * MB, DataTier::Thumbnail);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f]);
+        let t = b.build().unwrap();
+        let p = no_replication(&t, TB);
+        let cfg = FaultConfig::default().with_transfer_failures(1.0);
+        let plan = FaultPlan::for_trace(&cfg, &t, 7);
+        let r = evaluate_with_faults(&t, &p, 0, "none", &plan);
+        assert_eq!(r.failed_requests, 1);
+        assert_eq!(r.remote_bytes, 0);
+        assert_eq!(r.retries, u64::from(cfg.max_retries));
+    }
+
+    #[test]
+    fn fallback_prefers_same_domain_replica() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let mut b = TraceBuilder::new();
+        let gov = b.add_domain(".gov");
+        let de = b.add_domain(".de");
+        let s0 = b.add_site(gov);
+        let s1 = b.add_site(de);
+        let s2 = b.add_site(gov);
+        let u = b.add_user();
+        let f = b.add_file(10 * MB, DataTier::Thumbnail);
+        b.add_job(u, s0, NodeId(0), DataTier::Thumbnail, 100, 101, &[f]);
+        let t = b.build().unwrap();
+        let mut p = crate::Placement::new(&t, TB);
+        for site in [s0, s1, s2] {
+            p.place(site, f, 10 * MB);
+        }
+        let plan0 = {
+            let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 1);
+            plan.script_outage(s0, 0, 1000);
+            plan
+        };
+        assert_eq!(
+            super::nearest_live_replica(&t, &p, &plan0, s0, f, 100),
+            Some(s2),
+            "same-domain site s2 should beat foreign s1"
+        );
+        let plan02 = {
+            let mut plan = plan0.clone();
+            plan.script_outage(s2, 0, 1000);
+            plan
+        };
+        assert_eq!(
+            super::nearest_live_replica(&t, &p, &plan02, s0, f, 100),
+            Some(s1),
+            "with s2 down the foreign replica serves"
+        );
     }
 
     #[test]

@@ -125,6 +125,38 @@ pub fn config_key(cfg: &SynthConfig) -> String {
     digest_config(cfg, CACHE_FORMAT_VERSION).hex()
 }
 
+/// Why a cache lookup failed to produce a trace.
+///
+/// [`TraceCache::load`] collapses both variants into a miss; use
+/// [`TraceCache::try_load`] when the caller wants to report (or count)
+/// corrupt entries instead of silently regenerating.
+#[derive(Debug)]
+pub enum CacheError {
+    /// No entry exists at the config's address.
+    Absent,
+    /// An entry exists but failed to read or parse (truncated, bit-rotted,
+    /// or written by an incompatible format).
+    Corrupt(io_binary::BinParseError),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Absent => write!(f, "no cache entry"),
+            CacheError::Corrupt(e) => write!(f, "unusable cache entry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Absent => None,
+            CacheError::Corrupt(e) => Some(e),
+        }
+    }
+}
+
 /// A directory of content-addressed serialized traces.
 #[derive(Debug, Clone)]
 pub struct TraceCache {
@@ -168,7 +200,18 @@ impl TraceCache {
 
     /// Look up `cfg`. Unreadable or unparsable entries are a miss.
     pub fn load(&self, cfg: &SynthConfig) -> Option<Trace> {
-        io_binary::load_trace_binary(&self.path_for(cfg)).ok()
+        self.try_load(cfg).ok()
+    }
+
+    /// Look up `cfg`, distinguishing an absent entry from a corrupt one.
+    pub fn try_load(&self, cfg: &SynthConfig) -> Result<Trace, CacheError> {
+        match io_binary::load_trace_binary(&self.path_for(cfg)) {
+            Ok(t) => Ok(t),
+            Err(io_binary::BinParseError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(CacheError::Absent)
+            }
+            Err(e) => Err(CacheError::Corrupt(e)),
+        }
     }
 
     /// Store `trace` as the entry for `cfg` (atomic temp-file + rename).
@@ -279,6 +322,14 @@ mod tests {
     }
 
     #[test]
+    fn try_load_distinguishes_absent_from_corrupt() {
+        let cache = tmp_cache("try-load");
+        let cfg = SynthConfig::small(14);
+        assert!(matches!(cache.try_load(&cfg), Err(CacheError::Absent)));
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
     fn corrupt_entry_is_a_miss() {
         let cache = tmp_cache("corrupt");
         let cfg = SynthConfig::small(13);
@@ -290,6 +341,7 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(cache.load(&cfg).is_none());
+        assert!(matches!(cache.try_load(&cfg), Err(CacheError::Corrupt(_)),));
         let (recovered, hit) = cache.load_or_generate(&cfg);
         assert!(!hit);
         assert_eq!(

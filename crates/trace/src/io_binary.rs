@@ -5,7 +5,7 @@
 //! better. This module defines a little-endian binary layout:
 //!
 //! ```text
-//! magic   "FCTB1\0"                      6 bytes
+//! magic   "FCTB2\0"                      6 bytes
 //! u32     n_domains                      then per domain: u16 name_len + bytes
 //! u32     n_sites                        then per site:   u16 domain id
 //! u32     n_users
@@ -14,17 +14,83 @@
 //!                                        node u16, tier u8, start u64, stop u64,
 //!                                        file_len u32
 //! u64     n_accesses                     then the flattened job_files as u32s
+//! u32     crc32                          IEEE CRC-32 of every preceding byte
 //! ```
 //!
-//! All multi-byte integers are little-endian. Readers validate the magic,
-//! every count, and the structural invariants (via `TraceBuilder`).
+//! All multi-byte integers are little-endian. Format 2 (magic `FCTB2`)
+//! appends a CRC-32 trailer over the whole stream including the magic;
+//! readers verify it *before* parsing, so a torn write or bit rot can
+//! never decode into a silently wrong trace — or drive the parser into a
+//! corrupted-length allocation. Readers then validate the magic, every
+//! count, and the structural invariants (via `TraceBuilder`).
 
 use crate::builder::TraceBuilder;
 use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, Trace, UserId};
 use std::io::{Read, Write};
 
-/// Magic bytes opening the format.
-pub const MAGIC: &[u8; 6] = b"FCTB1\0";
+/// Magic bytes opening the format. `FCTB2` = checksummed layout; the
+/// un-checksummed `FCTB1` is no longer accepted.
+pub const MAGIC: &[u8; 6] = b"FCTB2\0";
+
+/// Lookup table for the reflected IEEE CRC-32 polynomial (0xEDB88320, the
+/// zlib/PNG checksum), built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+#[inline]
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// A writer shim that folds everything written into a running CRC-32.
+struct CrcWriter<W: Write> {
+    inner: W,
+    state: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            state: 0xFFFF_FFFF,
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.state = crc32_update(self.state, bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        let crc = self.state ^ 0xFFFF_FFFF;
+        self.inner.write_all(&crc.to_le_bytes())
+    }
+}
 
 /// Errors from binary trace parsing.
 #[derive(Debug)]
@@ -76,43 +142,44 @@ fn tier_from_code(c: u8) -> Option<DataTier> {
     })
 }
 
-/// Serialize a trace to the binary format.
-pub fn write_trace_binary<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&(trace.n_domains() as u32).to_le_bytes())?;
+/// Serialize a trace to the binary format, appending the CRC-32 trailer.
+pub fn write_trace_binary<W: Write>(trace: &Trace, w: W) -> std::io::Result<()> {
+    let mut w = CrcWriter::new(w);
+    w.put(MAGIC)?;
+    w.put(&(trace.n_domains() as u32).to_le_bytes())?;
     for d in 0..trace.n_domains() {
         let name = trace.domain_name(DomainId(d as u16)).as_bytes();
-        w.write_all(&(name.len() as u16).to_le_bytes())?;
-        w.write_all(name)?;
+        w.put(&(name.len() as u16).to_le_bytes())?;
+        w.put(name)?;
     }
-    w.write_all(&(trace.n_sites() as u32).to_le_bytes())?;
+    w.put(&(trace.n_sites() as u32).to_le_bytes())?;
     for s in 0..trace.n_sites() {
-        w.write_all(&trace.site_domain(SiteId(s as u16)).0.to_le_bytes())?;
+        w.put(&trace.site_domain(SiteId(s as u16)).0.to_le_bytes())?;
     }
-    w.write_all(&(trace.n_users() as u32).to_le_bytes())?;
-    w.write_all(&(trace.n_files() as u32).to_le_bytes())?;
+    w.put(&(trace.n_users() as u32).to_le_bytes())?;
+    w.put(&(trace.n_files() as u32).to_le_bytes())?;
     for f in trace.files() {
-        w.write_all(&f.size_bytes.to_le_bytes())?;
-        w.write_all(&[tier_code(f.tier)])?;
+        w.put(&f.size_bytes.to_le_bytes())?;
+        w.put(&[tier_code(f.tier)])?;
     }
-    w.write_all(&(trace.n_jobs() as u32).to_le_bytes())?;
+    w.put(&(trace.n_jobs() as u32).to_le_bytes())?;
     for j in trace.job_ids() {
         let rec = trace.job(j);
-        w.write_all(&rec.user.0.to_le_bytes())?;
-        w.write_all(&rec.site.0.to_le_bytes())?;
-        w.write_all(&rec.node.0.to_le_bytes())?;
-        w.write_all(&[tier_code(rec.tier)])?;
-        w.write_all(&rec.start.to_le_bytes())?;
-        w.write_all(&rec.stop.to_le_bytes())?;
-        w.write_all(&rec.file_len.to_le_bytes())?;
+        w.put(&rec.user.0.to_le_bytes())?;
+        w.put(&rec.site.0.to_le_bytes())?;
+        w.put(&rec.node.0.to_le_bytes())?;
+        w.put(&[tier_code(rec.tier)])?;
+        w.put(&rec.start.to_le_bytes())?;
+        w.put(&rec.stop.to_le_bytes())?;
+        w.put(&rec.file_len.to_le_bytes())?;
     }
-    w.write_all(&(trace.n_accesses() as u64).to_le_bytes())?;
+    w.put(&(trace.n_accesses() as u64).to_le_bytes())?;
     for j in trace.job_ids() {
         for &f in trace.job_files(j) {
-            w.write_all(&f.0.to_le_bytes())?;
+            w.put(&f.0.to_le_bytes())?;
         }
     }
-    Ok(())
+    w.finish()
 }
 
 struct Reader<R: Read> {
@@ -146,13 +213,35 @@ impl<R: Read> Reader<R> {
 }
 
 /// Parse a trace from the binary format.
-pub fn read_trace_binary<R: Read>(r: R) -> Result<Trace, BinParseError> {
-    let mut r = Reader { inner: r };
-    let mut magic = [0u8; 6];
-    r.inner.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+///
+/// The whole stream is buffered and its CRC-32 trailer verified *before*
+/// any structural parsing, so corrupted length fields can never drive an
+/// oversized allocation or decode into a silently wrong trace.
+pub fn read_trace_binary<R: Read>(mut r: R) -> Result<Trace, BinParseError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(BinParseError::BadMagic);
     }
+    if buf.len() < MAGIC.len() + 4 {
+        return Err(BinParseError::Malformed(
+            "truncated before checksum trailer".into(),
+        ));
+    }
+    let body_len = buf.len() - 4;
+    let stored = u32::from_le_bytes(buf[body_len..].try_into().expect("4-byte slice"));
+    let actual = crc32(&buf[..body_len]);
+    if stored != actual {
+        return Err(BinParseError::Malformed(format!(
+            "checksum mismatch: trailer {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    parse_verified(&buf[MAGIC.len()..body_len])
+}
+
+/// Parse the checksummed payload (everything between magic and trailer).
+fn parse_verified(bytes: &[u8]) -> Result<Trace, BinParseError> {
+    let mut r = Reader { inner: bytes };
     let mut b = TraceBuilder::new();
     let n_domains = r.u32()?;
     for _ in 0..n_domains {
@@ -219,6 +308,12 @@ pub fn read_trace_binary<R: Read>(r: R) -> Result<Trace, BinParseError> {
             stop,
             &files,
         );
+    }
+    if !r.inner.is_empty() {
+        return Err(BinParseError::Malformed(format!(
+            "{} trailing bytes after access list",
+            r.inner.len()
+        )));
     }
     b.build()
         .map_err(|e| BinParseError::Malformed(e.to_string()))
@@ -307,6 +402,14 @@ mod tests {
         }
     }
 
+    /// Recompute the CRC-32 trailer after deliberately corrupting the body,
+    /// so the test exercises the structural check rather than the checksum.
+    fn patch_crc(buf: &mut [u8]) {
+        let body = buf.len() - 4;
+        let crc = crc32(&buf[..body]);
+        buf[body..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn corrupt_tier_rejected() {
         let t = TraceSynthesizer::new(SynthConfig::small(203)).generate();
@@ -326,6 +429,7 @@ mod tests {
         // + n_users(4) + n_files(4) + size(8) => tier byte index:
         let idx = 6 + 4 + 2 + 2 + 4 + 2 + 4 + 4 + 8;
         tb[idx] = 99;
+        patch_crc(&mut tb);
         assert!(matches!(
             read_trace_binary(tb.as_slice()),
             Err(BinParseError::Malformed(_))
@@ -337,14 +441,57 @@ mod tests {
         let t = TraceSynthesizer::new(SynthConfig::small(204)).generate();
         let mut buf = Vec::new();
         write_trace_binary(&t, &mut buf).unwrap();
-        // The n_accesses u64 sits right before the flattened file list,
-        // i.e. at len - accesses*4 - 8.
-        let pos = buf.len() - t.n_accesses() * 4 - 8;
+        // The n_accesses u64 sits right before the flattened file list and
+        // the 4-byte CRC trailer, i.e. at len - 4 - accesses*4 - 8.
+        let pos = buf.len() - 4 - t.n_accesses() * 4 - 8;
         buf[pos] ^= 0xFF;
+        patch_crc(&mut buf);
         assert!(matches!(
             read_trace_binary(buf.as_slice()),
             Err(BinParseError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn checksum_catches_every_single_byte_flip() {
+        let mut b = crate::TraceBuilder::new();
+        let d = b.add_domain(".x");
+        let _ = b.add_site(d);
+        b.add_file(1, DataTier::Raw);
+        let tiny = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_trace_binary(&tiny, &mut buf).unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            let err = read_trace_binary(bad.as_slice());
+            assert!(err.is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let t = TraceSynthesizer::new(SynthConfig::small(207)).generate();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        // Insert garbage between the access list and the trailer, then
+        // re-checksum so only the trailing-byte parse check can fire.
+        let body = buf.len() - 4;
+        buf.truncate(body);
+        buf.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_trace_binary(buf.as_slice()),
+            Err(BinParseError::Malformed(m)) if m.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

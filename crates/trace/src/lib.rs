@@ -35,8 +35,10 @@ pub mod replay;
 pub mod synth;
 
 pub use builder::TraceBuilder;
-pub use cache::{generate_cached, TraceCache};
+pub use cache::{generate_cached, CacheError, TraceCache};
 pub use intern::Interner;
+pub use io::ParseError;
+pub use io_binary::BinParseError;
 pub use model::{
     AccessEvent, DataTier, DomainId, FileId, FileMeta, JobId, JobRecord, NodeId, SiteId, Trace,
     UserId, GB, MB, TB,

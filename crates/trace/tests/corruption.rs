@@ -1,0 +1,91 @@
+//! Corruption fuzzing for the binary trace reader.
+//!
+//! Property: no mutilation of a valid `FCTB2` stream — truncation, byte
+//! flips, or both — may ever panic `read_trace_binary` or decode into a
+//! trace silently different from the original. Every corrupted input must
+//! come back as a clean `Err(BinParseError)`; the CRC-32 trailer is what
+//! makes this hold even for corrupted length fields that would otherwise
+//! drive oversized allocations.
+
+use hep_trace::io_binary::{read_trace_binary, trace_to_bytes, write_trace_binary};
+use hep_trace::{SynthConfig, TraceSynthesizer};
+use proptest::prelude::*;
+
+/// A small but structurally rich trace, serialized once.
+fn valid_bytes() -> Vec<u8> {
+    let trace = TraceSynthesizer::new(SynthConfig::small(0xC0DE)).generate();
+    let mut buf = Vec::new();
+    write_trace_binary(&trace, &mut buf).expect("Vec<u8> writes are infallible");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncations_never_panic_and_always_err(frac in 0.0f64..1.0) {
+        let buf = valid_bytes();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assert!(cut < buf.len());
+        prop_assert!(
+            read_trace_binary(&buf[..cut]).is_err(),
+            "truncation to {cut}/{} bytes accepted",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn byte_flips_never_panic_and_always_err(
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut buf = valid_bytes();
+        let pos = ((buf.len() as f64) * pos_frac) as usize % buf.len();
+        buf[pos] ^= xor;
+        prop_assert!(
+            read_trace_binary(buf.as_slice()).is_err(),
+            "flip of byte {pos} by {xor:#04x} accepted"
+        );
+    }
+
+    #[test]
+    fn truncate_then_flip_never_panics(
+        frac in 0.1f64..1.0,
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let buf = valid_bytes();
+        let cut = (((buf.len() as f64) * frac) as usize).max(1);
+        let mut buf = buf[..cut.min(buf.len() - 1)].to_vec();
+        let pos = ((buf.len() as f64) * pos_frac) as usize % buf.len();
+        buf[pos] ^= xor;
+        prop_assert!(read_trace_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Arbitrary byte soup: overwhelmingly BadMagic, but whatever the
+        // variant, it must be an Err and never a panic.
+        prop_assert!(read_trace_binary(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_with_valid_magic_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // Past the magic check the reader leans on the CRC gate; random
+        // tails must still fail closed.
+        let mut buf = hep_trace::io_binary::MAGIC.to_vec();
+        buf.extend_from_slice(&bytes);
+        prop_assert!(read_trace_binary(buf.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn pristine_bytes_still_parse() {
+    // Guard against the fuzz properties passing vacuously because the
+    // serializer itself broke: the untouched buffer must round-trip.
+    let buf = valid_bytes();
+    let trace = read_trace_binary(buf.as_slice()).expect("pristine stream must parse");
+    assert_eq!(trace_to_bytes(&trace), buf);
+}

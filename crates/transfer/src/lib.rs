@@ -24,6 +24,11 @@
 //! * [`feasibility`] — the Section 5 verdict, per filecule and aggregate;
 //! * [`schedule`] — Section 6's transfer-scheduling claim quantified:
 //!   per-transfer setup costs amortized by filecule-granularity batching.
+//!
+//! [`schedule::schedule_comparison_faulty`] and
+//! [`swarm_sim::simulate_swarm_faulty`] replay the same models under a
+//! seeded `hep_faults::FaultPlan`, folding retry backoff, abandoned
+//! transfers, and degraded-link wire time into the transfer accounting.
 
 #![warn(missing_docs)]
 
@@ -40,5 +45,10 @@ pub use feasibility::{assess, FeasibilityReport};
 pub use intervals::{
     hottest_filecule, intervals_by_site, intervals_by_user, peak_overlap, AccessInterval,
 };
-pub use schedule::{schedule_comparison, ScheduleReport, TransferModel};
-pub use swarm_sim::{simulate_swarm, SwarmSimConfig, SwarmSimResult};
+pub use schedule::{
+    schedule_comparison, schedule_comparison_faulty, ScheduleReport, TransferModel,
+};
+pub use swarm_sim::{
+    faulted_arrivals, simulate_swarm, simulate_swarm_faulty, SwarmFaultStats, SwarmSimConfig,
+    SwarmSimResult,
+};

@@ -11,6 +11,7 @@
 //! job needs only part of one.
 
 use filecule_core::FileculeSet;
+use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -35,7 +36,10 @@ impl Default for TransferModel {
 
 /// Outcome of replaying the trace's site-level fetches under both
 /// granularities.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The fault fields (retry / failed / degraded) stay at zero unless the
+/// report came from [`schedule_comparison_faulty`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleReport {
     /// Transfers issued at file granularity.
     pub file_transfers: u64,
@@ -48,20 +52,66 @@ pub struct ScheduleReport {
     pub filecule_bytes: u64,
     /// Cost model used.
     pub model: TransferModel,
+    /// Retry backoff plus wasted setup on abandoned transfers at file
+    /// granularity, seconds.
+    #[serde(default)]
+    pub file_retry_secs: f64,
+    /// Retry backoff plus wasted setup on abandoned transfers at filecule
+    /// granularity, seconds.
+    #[serde(default)]
+    pub filecule_retry_secs: f64,
+    /// File-granularity transfers abandoned after exhausting retries (each
+    /// is retried from scratch on the next touch of the file).
+    #[serde(default)]
+    pub file_failed_transfers: u64,
+    /// Filecule-granularity transfers abandoned after exhausting retries.
+    #[serde(default)]
+    pub filecule_failed_transfers: u64,
+    /// Extra seconds spent because transfers landed in degraded-link
+    /// windows, file granularity.
+    #[serde(default)]
+    pub file_degraded_secs: f64,
+    /// Extra seconds spent because transfers landed in degraded-link
+    /// windows, filecule granularity.
+    #[serde(default)]
+    pub filecule_degraded_secs: f64,
 }
 
 impl ScheduleReport {
-    /// Total wall-clock hours at file granularity.
+    /// An all-zero report under `model`.
+    pub fn new(model: TransferModel) -> Self {
+        Self {
+            file_transfers: 0,
+            file_bytes: 0,
+            filecule_transfers: 0,
+            filecule_bytes: 0,
+            model,
+            file_retry_secs: 0.0,
+            filecule_retry_secs: 0.0,
+            file_failed_transfers: 0,
+            filecule_failed_transfers: 0,
+            file_degraded_secs: 0.0,
+            filecule_degraded_secs: 0.0,
+        }
+    }
+
+    /// Total wall-clock hours at file granularity (setup + wire time +
+    /// fault-induced retry and degraded-link delay).
     pub fn file_hours(&self) -> f64 {
         (self.file_transfers as f64 * self.model.setup_secs
-            + self.file_bytes as f64 / self.model.bandwidth)
+            + self.file_bytes as f64 / self.model.bandwidth
+            + self.file_retry_secs
+            + self.file_degraded_secs)
             / 3600.0
     }
 
-    /// Total wall-clock hours at filecule granularity.
+    /// Total wall-clock hours at filecule granularity (setup + wire time +
+    /// fault-induced retry and degraded-link delay).
     pub fn filecule_hours(&self) -> f64 {
         (self.filecule_transfers as f64 * self.model.setup_secs
-            + self.filecule_bytes as f64 / self.model.bandwidth)
+            + self.filecule_bytes as f64 / self.model.bandwidth
+            + self.filecule_retry_secs
+            + self.filecule_degraded_secs)
             / 3600.0
     }
 
@@ -93,13 +143,7 @@ pub fn schedule_comparison(
     let n_sites = trace.n_sites();
     let mut site_has_file = vec![vec![false; trace.n_files()]; n_sites];
     let mut site_has_group = vec![vec![false; set.n_filecules()]; n_sites];
-    let mut report = ScheduleReport {
-        file_transfers: 0,
-        file_bytes: 0,
-        filecule_transfers: 0,
-        filecule_bytes: 0,
-        model,
-    };
+    let mut report = ScheduleReport::new(model);
     for j in trace.job_ids() {
         let s = trace.job(j).site.index();
         for &f in trace.job_files(j) {
@@ -115,6 +159,90 @@ pub fn schedule_comparison(
                     report.filecule_transfers += 1;
                     report.filecule_bytes += set.size_bytes(g);
                     site_has_group[s][g.index()] = true;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// [`schedule_comparison`] under a fault plan.
+///
+/// Each first-touch fetch runs through the plan's retry model, keyed by
+/// `(granularity lane, site, object, try ordinal)` so outcomes are
+/// replay-order independent. A transfer that exhausts its retry budget is
+/// *abandoned*: the site does not hold the object, the wasted setup and
+/// backoff go into the retry-seconds counters, and the next job touching
+/// the object at that site issues a fresh transfer (next try ordinal — a
+/// new draw). Successful transfers landing in a degraded-link window at
+/// the issuing job's start time pay `bytes/bandwidth * (1/rate - 1)` extra
+/// seconds. Under a fault-free plan this is bit-identical to
+/// [`schedule_comparison`] except for the zero-valued fault fields.
+pub fn schedule_comparison_faulty(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    plan: &FaultPlan,
+) -> ScheduleReport {
+    let n_sites = trace.n_sites();
+    let mut file_tries = vec![vec![0u32; trace.n_files()]; n_sites];
+    let mut group_tries = vec![vec![0u32; set.n_filecules()]; n_sites];
+    let mut site_has_file = vec![vec![false; trace.n_files()]; n_sites];
+    let mut site_has_group = vec![vec![false; set.n_filecules()]; n_sites];
+    let mut report = ScheduleReport::new(model);
+    let file_lane = lane("schedule-file");
+    let group_lane = lane("schedule-filecule");
+    for j in trace.job_ids() {
+        let rec = trace.job(j);
+        let site = rec.site;
+        let s = site.index();
+        // Extra wire seconds per shipped byte if this job's window is
+        // degraded.
+        let degraded_secs_per_byte = {
+            let m = plan.degraded_multiplier(site, rec.start);
+            (1.0 / m - 1.0) / model.bandwidth
+        };
+        for &f in trace.job_files(j) {
+            if !site_has_file[s][f.index()] {
+                file_tries[s][f.index()] += 1;
+                let outcome = plan.outcome(transfer_key(&[
+                    file_lane,
+                    s as u64,
+                    u64::from(f.0),
+                    u64::from(file_tries[s][f.index()]),
+                ]));
+                report.file_retry_secs += outcome.delay_secs;
+                if outcome.failed {
+                    report.file_failed_transfers += 1;
+                    report.file_retry_secs += model.setup_secs;
+                } else {
+                    let size = trace.file(f).size_bytes;
+                    report.file_transfers += 1;
+                    report.file_bytes += size;
+                    report.file_degraded_secs += size as f64 * degraded_secs_per_byte;
+                    site_has_file[s][f.index()] = true;
+                }
+            }
+            if let Some(g) = set.filecule_of(f) {
+                if !site_has_group[s][g.index()] {
+                    group_tries[s][g.index()] += 1;
+                    let outcome = plan.outcome(transfer_key(&[
+                        group_lane,
+                        s as u64,
+                        g.index() as u64,
+                        u64::from(group_tries[s][g.index()]),
+                    ]));
+                    report.filecule_retry_secs += outcome.delay_secs;
+                    if outcome.failed {
+                        report.filecule_failed_transfers += 1;
+                        report.filecule_retry_secs += model.setup_secs;
+                    } else {
+                        let size = set.size_bytes(g);
+                        report.filecule_transfers += 1;
+                        report.filecule_bytes += size;
+                        report.filecule_degraded_secs += size as f64 * degraded_secs_per_byte;
+                        site_has_group[s][g.index()] = true;
+                    }
                 }
             }
         }
@@ -224,17 +352,78 @@ mod tests {
 
     #[test]
     fn hours_accounting() {
-        let r = ScheduleReport {
-            file_transfers: 120,
-            file_bytes: 0,
-            filecule_transfers: 1,
-            filecule_bytes: 0,
-            model: TransferModel {
-                setup_secs: 30.0,
-                bandwidth: 1e9,
-            },
-        };
+        let mut r = ScheduleReport::new(TransferModel {
+            setup_secs: 30.0,
+            bandwidth: 1e9,
+        });
+        r.file_transfers = 120;
+        r.filecule_transfers = 1;
         assert!((r.file_hours() - 1.0).abs() < 1e-9);
         assert!(r.speedup() > 100.0);
+        // Fault delay counts into the hours.
+        r.file_retry_secs = 1800.0;
+        r.file_degraded_secs = 1800.0;
+        assert!((r.file_hours() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_schedule_comparison() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(132)).generate();
+        let set = identify(&t);
+        let plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 132);
+        let plain = schedule_comparison(&t, &set, TransferModel::default());
+        let faulty = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn abandoned_transfers_retry_on_next_touch() {
+        use hep_faults::{FaultConfig, FaultPlan, RetryModel};
+        // One file requested twice at the same site. A retry model that
+        // fails roughly half its transfers makes the first-touch outcome
+        // vary per try ordinal; with p=1 everything fails forever.
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        let f = b.add_file(10 * MB, DataTier::Thumbnail);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 0, 1, &[f]);
+        b.add_job(u, s, NodeId(0), DataTier::Thumbnail, 100, 101, &[f]);
+        let t = b.build().unwrap();
+        let set = identify(&t);
+        let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 9);
+        plan.script_retry(RetryModel {
+            failure_p: 1.0,
+            max_retries: 2,
+            backoff_base_secs: 5.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 60.0,
+            timeout_secs: 600.0,
+        });
+        let r = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        // Both touches tried and failed: the site never holds the file.
+        assert_eq!(r.file_failed_transfers, 2);
+        assert_eq!(r.file_transfers, 0);
+        assert_eq!(r.file_bytes, 0);
+        assert!(r.file_retry_secs > 0.0);
+        assert_eq!(r.filecule_failed_transfers, 2);
+    }
+
+    #[test]
+    fn degraded_links_add_wire_time() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let (t, set) = whole_group_trace();
+        // No outages or failures — only links degraded to quarter rate
+        // most of the time.
+        let cfg = FaultConfig::default().with_degraded_links(0.9, 0.25);
+        let plan = FaultPlan::build(&cfg, t.n_sites(), t.horizon().max(1), 5);
+        let plain = schedule_comparison(&t, &set, TransferModel::default());
+        let faulty = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        // Transfer counts and bytes unchanged; only time is added.
+        assert_eq!(faulty.file_transfers, plain.file_transfers);
+        assert_eq!(faulty.file_bytes, plain.file_bytes);
+        assert!(faulty.file_hours() >= plain.file_hours());
+        assert!(faulty.filecule_hours() >= plain.filecule_hours());
     }
 }

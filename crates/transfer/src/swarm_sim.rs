@@ -16,6 +16,7 @@
 //! Deterministic: peers are served in arrival order, chunks in index
 //! order.
 
+use hep_faults::{lane, transfer_key, FaultPlan, RetryModel};
 use serde::{Deserialize, Serialize};
 
 /// Swarm simulator parameters.
@@ -232,9 +233,71 @@ pub fn simulate_swarm(object_bytes: u64, arrivals: &[u64], cfg: &SwarmSimConfig)
     }
 }
 
+/// Fault accounting for a swarm run with faulted joins.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwarmFaultStats {
+    /// Join retries across all peers.
+    pub retries: u64,
+    /// Peers whose direct join was abandoned; they rejoin after the
+    /// retry model's timeout budget.
+    pub failed_joins: u64,
+    /// Total fault-induced arrival delay across peers, seconds.
+    pub total_delay_secs: u64,
+}
+
+/// Shift each peer's arrival by its join-phase fault delay.
+///
+/// Peer `i`'s first contact with the swarm (tracker + handshake, or the
+/// SAM equivalent: the station asking the origin to stage the object)
+/// runs through `retry`: accumulated backoff delays the arrival, and an
+/// abandoned join costs the full timeout budget before the peer rejoins.
+/// Outcomes are keyed by peer index under `seed`, so the shift is
+/// deterministic and order-independent. A fault-free model returns the
+/// arrivals unchanged.
+pub fn faulted_arrivals(
+    arrivals: &[u64],
+    retry: &RetryModel,
+    seed: u64,
+) -> (Vec<u64>, SwarmFaultStats) {
+    let join_lane = lane("swarm-join");
+    let mut stats = SwarmFaultStats::default();
+    let shifted = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let outcome = retry.outcome(seed, transfer_key(&[join_lane, i as u64]));
+            stats.retries += u64::from(outcome.retries());
+            let mut delay = outcome.delay_secs;
+            if outcome.failed {
+                stats.failed_joins += 1;
+                delay += retry.timeout_secs;
+            }
+            let secs = delay.round() as u64;
+            stats.total_delay_secs += secs;
+            a + secs
+        })
+        .collect();
+    (shifted, stats)
+}
+
+/// [`simulate_swarm`] with join-phase faults from a [`FaultPlan`]: peer
+/// arrivals are shifted by [`faulted_arrivals`] and the swarm then runs
+/// normally. Under a fault-free plan the result is bit-identical to
+/// [`simulate_swarm`].
+pub fn simulate_swarm_faulty(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    plan: &FaultPlan,
+) -> (SwarmSimResult, SwarmFaultStats) {
+    let (shifted, stats) = faulted_arrivals(arrivals, plan.retry(), plan.transfer_seed());
+    (simulate_swarm(object_bytes, &shifted, cfg), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hep_faults::FaultConfig;
 
     const GB: u64 = 1 << 30;
 
@@ -315,6 +378,54 @@ mod tests {
         let r = simulate_swarm(100 * GB, &[0], &c);
         assert!(!r.all_completed());
         assert_eq!(r.mean_duration(), 0.0);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_simulate_swarm() {
+        let arrivals: Vec<u64> = (0..10).map(|i| i * 37).collect();
+        let plan = FaultPlan::build(&FaultConfig::default(), 4, 86_400, 21);
+        let plain = simulate_swarm(GB, &arrivals, &cfg());
+        let (faulty, stats) = simulate_swarm_faulty(GB, &arrivals, &cfg(), &plan);
+        assert_eq!(stats, SwarmFaultStats::default());
+        assert_eq!(plain.seed_bytes, faulty.seed_bytes);
+        assert_eq!(plain.p2p_bytes, faulty.p2p_bytes);
+        for (a, b) in plain.peers.iter().zip(&faulty.peers) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.completion, b.completion);
+        }
+    }
+
+    #[test]
+    fn join_faults_delay_arrivals() {
+        let arrivals: Vec<u64> = vec![0; 16];
+        let cfg_faults = FaultConfig::default().with_transfer_failures(0.6);
+        let plan = FaultPlan::build(&cfg_faults, 4, 86_400, 22);
+        let (shifted, stats) = faulted_arrivals(&arrivals, plan.retry(), plan.transfer_seed());
+        assert_eq!(shifted.len(), arrivals.len());
+        assert!(stats.retries > 0, "p=0.6 over 16 peers should retry");
+        assert!(shifted.iter().any(|&a| a > 0), "some arrival must shift");
+        assert!(
+            shifted.iter().zip(&arrivals).all(|(&s, &a)| s >= a),
+            "fault delay never moves an arrival earlier"
+        );
+        // Deterministic re-evaluation.
+        let again = faulted_arrivals(&arrivals, plan.retry(), plan.transfer_seed());
+        assert_eq!(again.0, shifted);
+        assert_eq!(again.1, stats);
+    }
+
+    #[test]
+    fn failed_joins_pay_the_timeout() {
+        let arrivals: Vec<u64> = vec![0; 4];
+        let cfg_faults = FaultConfig::default().with_transfer_failures(1.0);
+        let plan = FaultPlan::build(&cfg_faults, 1, 86_400, 23);
+        let (shifted, stats) = faulted_arrivals(&arrivals, plan.retry(), plan.transfer_seed());
+        assert_eq!(stats.failed_joins, 4);
+        let timeout = plan.retry().timeout_secs as u64;
+        assert!(
+            shifted.iter().all(|&a| a >= timeout),
+            "every join rejoins after the timeout budget"
+        );
     }
 
     #[test]

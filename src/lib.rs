@@ -20,7 +20,10 @@
 //!   (Figure 10);
 //! * [`transfer`] — BitTorrent feasibility analysis (Section 5,
 //!   Figures 11–12);
-//! * [`replication`] — filecule-aware proactive replication (Section 6).
+//! * [`replication`] — filecule-aware proactive replication (Section 6);
+//! * [`faults`] (`hep-faults`) — seeded fault injection: site outages,
+//!   transfer failures and degraded links, replayed through the cache,
+//!   replication and transfer simulators in degraded mode.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@
 
 pub use cachesim;
 pub use filecule_core as core;
+pub use hep_faults as faults;
 pub use hep_stats as stats;
 pub use hep_trace as trace;
 pub use replication;
@@ -64,6 +68,7 @@ pub mod prelude {
         PolicySpec, SimOptions, SimReport, Simulator,
     };
     pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
+    pub use hep_faults::{FaultConfig, FaultPlan};
     pub use hep_trace::{
         DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB,
         MB, TB,
@@ -82,5 +87,7 @@ mod tests {
         assert!(set.verify(&trace).is_empty());
         let g = hottest_filecule(&trace, &set).unwrap();
         assert!(set.popularity(g) >= 1);
+        let plan = FaultPlan::for_trace(&FaultConfig::default(), &trace, 1);
+        assert!(plan.is_fault_free());
     }
 }
