@@ -5,6 +5,7 @@
 use cachesim::{compare_policies_log, simulate, FileLru, PolicySpec, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hep_bench::scenario::{standard_set, trace_at_scale};
+use hep_obs::Metrics;
 use hep_trace::{ReplayLog, TB};
 
 fn bench_replay_log(c: &mut Criterion) {
@@ -36,6 +37,26 @@ fn bench_replay_log(c: &mut Criterion) {
         b.iter(|| {
             let mut p = FileLru::new(&trace, cap);
             std::hint::black_box(sim.run(&log, &mut p))
+        })
+    });
+
+    // The observability contract: the default Simulator carries the
+    // disabled (no-op) recorder, so `single/shared-log` above IS the
+    // disabled-mode baseline. These two cases measure what explicitly
+    // attaching hep-obs costs — both must stay within noise (<2%) of the
+    // baseline, since emission happens only at run boundaries.
+    let sim_noop = Simulator::new().with_metrics(Metrics::disabled());
+    group.bench_function("single/metrics-disabled", |b| {
+        b.iter(|| {
+            let mut p = FileLru::new(&trace, cap);
+            std::hint::black_box(sim_noop.run(&log, &mut p))
+        })
+    });
+    let sim_live = Simulator::new().with_metrics(Metrics::enabled());
+    group.bench_function("single/metrics-enabled", |b| {
+        b.iter(|| {
+            let mut p = FileLru::new(&trace, cap);
+            std::hint::black_box(sim_live.run(&log, &mut p))
         })
     });
 

@@ -6,6 +6,7 @@
 //! cargo run --release -p hep-bench --bin report -- --scale 100 table1
 //! cargo run --release -p hep-bench --bin report -- --policies file-lru,filecule-lru grid
 //! cargo run --release -p hep-bench --bin report -- --threads 4 --no-cache table1
+//! cargo run --release -p hep-bench --bin report -- --metrics metrics.json fig10
 //! ```
 //!
 //! Text goes to stdout; CSVs land in `target/report/<id>.csv` plus a
@@ -16,6 +17,7 @@
 use cachesim::PolicySpec;
 use hep_bench::artifacts::{build, Ctx, ALL_IDS};
 use hep_bench::{standard_set, REPORT_SCALE, REPORT_SEED};
+use hep_obs::Metrics;
 use hep_trace::{SynthConfig, TraceCache, TraceSynthesizer};
 use std::io::Write as _;
 use std::time::Instant;
@@ -45,6 +47,7 @@ fn main() {
     let mut threads = 0usize;
     let mut use_cache = true;
     let mut policies = PolicySpec::ALL.to_vec();
+    let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     while let Some(a) = args.first().cloned() {
         match a.as_str() {
@@ -70,6 +73,10 @@ fn main() {
                 policies =
                     PolicySpec::parse_list(&list).unwrap_or_else(|e| usage_error(&e.to_string()));
             }
+            "--metrics" => {
+                args.remove(0);
+                metrics_path = Some(flag_value(&mut args, "--metrics needs a file path"));
+            }
             _ => {
                 ids.push(args.remove(0));
             }
@@ -85,13 +92,22 @@ fn main() {
             .expect("the global rayon pool is built once, before first use");
     }
 
+    let metrics = if metrics_path.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+
     println!("== filecules report: scale 1/{scale}, seed {seed:#x} ==");
     let t0 = Instant::now();
     let cfg = SynthConfig::paper(seed, scale);
     let (trace, cache_hit) = if use_cache {
-        TraceCache::default().load_or_generate(&cfg)
+        TraceCache::default().load_or_generate_with_metrics(&cfg, &metrics)
     } else {
-        (TraceSynthesizer::new(cfg).generate(), false)
+        (
+            TraceSynthesizer::new(cfg).generate_with_metrics(&metrics),
+            false,
+        )
     };
     println!(
         "trace: {} jobs, {} accesses, {} files, {} users, {} sites  ({:.1}s{})",
@@ -129,7 +145,11 @@ fn main() {
             std::process::exit(2);
         };
         let secs = t.elapsed().as_secs_f64();
+        if metrics.is_enabled() {
+            metrics.record_secs(&format!("report.artifact.{id}"), secs);
+        }
         println!("== {} ==\n{}", art.title, art.text);
+        println!("-- {id}: {secs:.2}s\n");
         let path = out_dir.join(format!("{id}.csv"));
         std::fs::write(&path, &art.csv).expect("write csv");
         meta.push(serde_json::json!({
@@ -150,5 +170,13 @@ fn main() {
     });
     let mut f = std::fs::File::create(out_dir.join("summary.json")).expect("summary.json");
     writeln!(f, "{}", serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+    if let (Some(path), Some(snap)) = (&metrics_path, metrics.snapshot()) {
+        snap.write(std::path::Path::new(path))
+            .expect("write metrics");
+        println!(
+            "timings: {} (snapshot written to {path})",
+            snap.timing_summary()
+        );
+    }
     println!("CSV output in {}", out_dir.display());
 }

@@ -12,9 +12,11 @@
 //! [`ReplayLog`] once and call the [`Simulator`] directly.
 
 use crate::policy::{AccessEvent, Policy};
+use hep_obs::Metrics;
 use hep_trace::{ReplayLog, Trace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -177,6 +179,7 @@ impl SimOptions {
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     options: SimOptions,
+    metrics: Metrics,
 }
 
 impl Simulator {
@@ -194,7 +197,25 @@ impl Simulator {
             (0.0..1.0).contains(&options.warmup_fraction),
             "warmup fraction must be in [0, 1)"
         );
-        Self { options }
+        Self {
+            options,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attach a metrics handle: every subsequent run emits per-policy
+    /// timers, request/byte counters and fault-outcome counters into it.
+    /// With the (default) disabled handle the replay loop is untouched —
+    /// instrumentation happens only at run boundaries, so the report stays
+    /// bit-identical either way.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Replay the whole log through `policy`, accumulating a [`SimReport`].
@@ -235,6 +256,10 @@ impl Simulator {
             bytes_evicted: 0,
         };
         let mut faults = FaultStats::default();
+        // Clock reads and metric emission happen only at run boundaries, and
+        // only when a recorder is attached: the per-event loop below is
+        // byte-for-byte the same with metrics on or off.
+        let started = self.metrics.is_enabled().then(Instant::now);
         let mut seen = vec![false; log.n_files()];
         for i in 0..log.len() {
             let ev = log.event(i);
@@ -269,6 +294,34 @@ impl Simulator {
                 }
             }
             seen[ev.file.index()] = true;
+        }
+        if let Some(t0) = started {
+            let secs = t0.elapsed().as_secs_f64();
+            let m = &self.metrics;
+            m.record_secs(&format!("cachesim.run.{}", report.policy), secs);
+            m.incr("cachesim.runs");
+            m.add("cachesim.events", log.len() as u64);
+            m.add("cachesim.requests", report.requests);
+            m.add("cachesim.hits", report.hits);
+            m.add("cachesim.misses", report.misses);
+            m.add("cachesim.bytes_fetched", report.bytes_fetched);
+            m.add("cachesim.bytes_evicted", report.bytes_evicted);
+            m.add(
+                &format!("cachesim.bytes_fetched.{}", report.policy),
+                report.bytes_fetched,
+            );
+            m.add(
+                &format!("cachesim.bytes_evicted.{}", report.policy),
+                report.bytes_evicted,
+            );
+            if secs > 0.0 {
+                m.observe("cachesim.events_per_sec", (log.len() as f64 / secs) as u64);
+            }
+            if hook.is_some() {
+                m.add("cachesim.fault.failed_fetches", faults.failed_fetches);
+                m.add("cachesim.fault.delayed_fetches", faults.delayed_fetches);
+                m.add("cachesim.fault.delay_secs", faults.fault_delay_secs);
+            }
         }
         (report, faults)
     }
@@ -528,6 +581,61 @@ mod tests {
             "hook consulted once per miss"
         );
         assert_eq!(stats.fault_delay_secs, 7 * stats.delayed_fetches);
+    }
+
+    #[test]
+    fn metrics_attached_emits_and_preserves_report() {
+        let t = trace_with_sizes(&[&[0, 1], &[0, 1], &[2]], &[10, 20, 30]);
+        let log = hep_trace::ReplayLog::build(&t);
+        let plain = Simulator::new().run(&log, &mut FileLru::new(&t, 1000 * MB));
+        let metrics = Metrics::enabled();
+        let sim = Simulator::new().with_metrics(metrics.clone());
+        let instrumented = sim.run(&log, &mut FileLru::new(&t, 1000 * MB));
+        assert_eq!(plain, instrumented, "metrics must not perturb the report");
+        let snap = metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("cachesim.runs"), 1);
+        assert_eq!(snap.counter("cachesim.requests"), plain.requests);
+        assert_eq!(snap.counter("cachesim.hits"), plain.hits);
+        assert_eq!(snap.counter("cachesim.misses"), plain.misses);
+        assert_eq!(snap.counter("cachesim.bytes_fetched"), plain.bytes_fetched);
+        assert_eq!(
+            snap.counter(&format!("cachesim.bytes_fetched.{}", plain.policy)),
+            plain.bytes_fetched
+        );
+        assert!(snap
+            .timers
+            .contains_key(&format!("cachesim.run.{}", plain.policy)));
+        // Fault counters only appear on run_with_faults.
+        assert!(!snap.counters.contains_key("cachesim.fault.failed_fetches"));
+    }
+
+    #[test]
+    fn metrics_capture_fault_outcomes() {
+        let t = trace_with_sizes(&[&[0], &[1], &[2]], &[10, 20, 30]);
+        let log = hep_trace::ReplayLog::build(&t);
+        let hook = ScriptedHook(|i| {
+            if i == 0 {
+                FetchOutcome::Failed
+            } else {
+                FetchOutcome::Delayed(5)
+            }
+        });
+        let metrics = Metrics::enabled();
+        let sim = Simulator::new().with_metrics(metrics.clone());
+        let (_, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 1000 * MB), &hook);
+        let snap = metrics.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("cachesim.fault.failed_fetches"),
+            stats.failed_fetches
+        );
+        assert_eq!(
+            snap.counter("cachesim.fault.delayed_fetches"),
+            stats.delayed_fetches
+        );
+        assert_eq!(
+            snap.counter("cachesim.fault.delay_secs"),
+            stats.fault_delay_secs
+        );
     }
 
     #[test]

@@ -3,11 +3,40 @@
 use crate::args::Args;
 use cachesim::{build_policy_from_log, Policy, PolicySpec, SimOptions, Simulator};
 use filecule_core::FileculeSet;
+use hep_obs::Metrics;
 use hep_trace::{ReplayLog, SynthConfig, Trace, TraceSynthesizer, GB};
 use std::error::Error;
 use std::path::Path;
 
 type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Build a metrics handle from the `--metrics FILE` option: enabled when
+/// the flag is present, the zero-overhead disabled handle otherwise.
+fn metrics_from_args(args: &Args) -> Metrics {
+    if args.get("metrics").is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    }
+}
+
+/// Write the collected snapshot to the `--metrics` path (CSV by `.csv`
+/// extension, pretty JSON otherwise) and print a one-line phase-timing
+/// summary. No-op when metrics were never enabled.
+fn finish_metrics(args: &Args, metrics: &Metrics) -> CmdResult {
+    let (Some(path), Some(snap)) = (args.get("metrics"), metrics.snapshot()) else {
+        return Ok(());
+    };
+    snap.write(Path::new(path))?;
+    // stderr so `--json` stdout stays machine-parseable.
+    let timings = snap.timing_summary();
+    if timings.is_empty() {
+        eprintln!("metrics written to {path}");
+    } else {
+        eprintln!("timings: {timings} (snapshot written to {path})");
+    }
+    Ok(())
+}
 
 /// Load a trace, dispatching on the extension (`.csv` text, else binary).
 pub fn load_trace(path: &Path) -> Result<Trace, Box<dyn Error>> {
@@ -37,6 +66,7 @@ pub fn generate(args: &Args) -> CmdResult {
         "days",
         "check",
         "no-cache",
+        "metrics",
         "threads",
     ])?;
     let out = args.positional(1).ok_or("generate needs an output path")?;
@@ -45,10 +75,13 @@ pub fn generate(args: &Args) -> CmdResult {
     let mut cfg = SynthConfig::paper(seed, scale);
     cfg.user_scale = args.get_or("user-scale", cfg.user_scale)?;
     cfg.days = args.get_or("days", cfg.days)?;
+    let metrics = metrics_from_args(args);
     let trace = if args.switch("no-cache") {
-        TraceSynthesizer::new(cfg).generate()
+        TraceSynthesizer::new(cfg).generate_with_metrics(&metrics)
     } else {
-        hep_trace::generate_cached(&cfg)
+        hep_trace::TraceCache::default()
+            .load_or_generate_with_metrics(&cfg, &metrics)
+            .0
     };
     save_trace(&trace, Path::new(out))?;
     println!(
@@ -60,6 +93,7 @@ pub fn generate(args: &Args) -> CmdResult {
         trace.n_users(),
         trace.n_sites()
     );
+    finish_metrics(args, &metrics)?;
     if args.switch("check") {
         let report = hep_trace::synth::check::check_calibration(&trace, scale);
         print!("{}", report.to_text());
@@ -211,6 +245,7 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         "capacity-gb",
         "warmup",
         "json",
+        "metrics",
         "threads",
     ])?;
     let path = args.positional(1).ok_or("simulate needs a trace path")?;
@@ -218,14 +253,16 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     let specs = policy_selection(args)?;
     let capacity = (args.get_or("capacity-gb", 1024.0f64)? * GB as f64) as u64;
     let warmup: f64 = args.get_or("warmup", 0.0)?;
+    let metrics = metrics_from_args(args);
     let set = filecule_core::identify(&trace);
     let log = ReplayLog::build(&trace);
     let mut policies: Vec<Box<dyn Policy + Send>> = specs
         .iter()
         .map(|&spec| build_policy_from_log(spec, &log, &trace, &set, capacity))
         .collect();
-    let sim = Simulator::with_options(SimOptions::warm(warmup));
+    let sim = Simulator::with_options(SimOptions::warm(warmup)).with_metrics(metrics.clone());
     let reports = sim.run_many(&log, &mut policies);
+    finish_metrics(args, &metrics)?;
     if args.switch("json") {
         if let [report] = reports.as_slice() {
             println!("{}", serde_json::to_string_pretty(report)?);
@@ -392,6 +429,7 @@ pub fn faults(args: &Args) -> CmdResult {
         "capacity-gb",
         "out",
         "json",
+        "metrics",
         "threads",
     ])?;
     let path = args.positional(1).ok_or("faults needs a trace path")?;
@@ -414,6 +452,7 @@ pub fn faults(args: &Args) -> CmdResult {
             return Err(format!("severity {s} out of range [0, 1)").into());
         }
     }
+    let metrics = metrics_from_args(args);
     let set = filecule_core::identify(&trace);
     let log = ReplayLog::build(&trace);
     let model = transfer::TransferModel::default();
@@ -427,23 +466,26 @@ pub fn faults(args: &Args) -> CmdResult {
     for &s in &severities {
         let cfg = hep_faults::FaultConfig::severity(s);
         let plan = hep_faults::FaultPlan::for_trace(&cfg, &trace, seed);
-        let file = replication::simulate_sites_faulty(
+        let file = replication::simulate_sites_faulty_metrics(
             &log,
             &trace,
             &set,
             capacity,
             replication::Granularity::File,
             &plan,
+            &metrics,
         );
-        let cule = replication::simulate_sites_faulty(
+        let cule = replication::simulate_sites_faulty_metrics(
             &log,
             &trace,
             &set,
             capacity,
             replication::Granularity::Filecule,
             &plan,
+            &metrics,
         );
-        let sched = transfer::schedule_comparison_faulty(&trace, &set, model, &plan);
+        let sched =
+            transfer::schedule_comparison_faulty_metrics(&trace, &set, model, &plan, &metrics);
         csv.push_str(&format!(
             "{s},{:.6},{:.6},{:.6},{:.3},{:.3},{},{},{:.3},{:.3},{:.2},{:.2}\n",
             file.unavailability,
@@ -495,6 +537,7 @@ pub fn faults(args: &Args) -> CmdResult {
         std::fs::write(out, &csv)?;
         println!("degradation curve written to {out}");
     }
+    finish_metrics(args, &metrics)?;
     Ok(())
 }
 
@@ -777,6 +820,47 @@ mod tests {
         .is_err());
         std::fs::remove_file(&bin).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn metrics_flag_writes_snapshot() {
+        let bin = tmp("t9.bin");
+        let mjson = tmp("t9-metrics.json");
+        let mcsv = tmp("t9-metrics.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            "--no-cache",
+            "--metrics",
+            mjson.to_str().unwrap(),
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let snap = hep_obs::Snapshot::from_json(&std::fs::read_to_string(&mjson).unwrap()).unwrap();
+        assert!(snap.counter("trace.synth.traces") >= 1);
+        assert!(snap.timers.contains_key("trace.synth.materialize"));
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policy",
+            "file-lru",
+            "--capacity-gb",
+            "100",
+            "--metrics",
+            mcsv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&mcsv).unwrap();
+        assert!(csv.starts_with("kind,name,count,total,min,max"));
+        assert!(csv.contains("cachesim.run.file-lru"));
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&mjson).ok();
+        std::fs::remove_file(&mcsv).ok();
     }
 
     #[test]

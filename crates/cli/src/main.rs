@@ -34,6 +34,7 @@ COMMANDS:
       --days N          trace window in days (default 820)
       --check           verify calibration against the paper's targets
       --no-cache        bypass the on-disk trace cache (target/trace-cache)
+      --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   convert <in> <out>    convert between .csv and binary trace formats
   characterize <trace>  print Table 1/2-style summaries (--json for JSON)
   identify <trace>      identify filecules
@@ -45,6 +46,7 @@ COMMANDS:
                         bundle | successor | workingset (default file-lru)
       --capacity-gb N   cache capacity in GiB (default 1024)
       --warmup F        fraction of requests to skip in stats (default 0)
+      --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   fig10 <trace>         run the paper's Figure 10 cache sweep
       --scale N         scale divisor for the cache sizes (default 16)
   inspect <trace>       show one file's usage signature and filecule
@@ -57,6 +59,7 @@ COMMANDS:
       --seed N          fault-plan RNG seed (default 0xD0D02006)
       --capacity-gb N   per-site cache capacity in GiB (default 256)
       --out FILE        write the degradation curve CSV
+      --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   help                  show this message
 "
 }

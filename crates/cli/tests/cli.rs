@@ -174,6 +174,122 @@ fn generate_check_passes_at_supported_scale() {
 }
 
 #[test]
+fn faults_subcommand_emits_wellformed_json() {
+    let dir = tmpdir();
+    let trace = dir.join("faults-e2e.bin");
+    generate(trace.to_str().unwrap(), "15");
+    let o = run(&[
+        "faults",
+        trace.to_str().unwrap(),
+        "--severities",
+        "0,0.2",
+        "--capacity-gb",
+        "10",
+        "--json",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let doc: serde_json::Value = serde_json::from_str(&stdout(&o)).expect("json output");
+    let rows = doc.as_array().expect("array of severity rows");
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert!(row["severity"].is_number());
+        assert!(row["file"]["requests"].as_u64().unwrap() > 0);
+        assert!(row["filecule"]["requests"].as_u64().unwrap() > 0);
+        assert!(row["schedule"].is_object());
+    }
+    // The severity-0 row replays fault-free.
+    assert_eq!(rows[0]["file"]["failed_requests"], 0);
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn metrics_flag_writes_wellformed_json_snapshot() {
+    let dir = tmpdir();
+    let trace = dir.join("metrics-e2e.bin");
+    let snap_path = dir.join("metrics-e2e.json");
+    generate(trace.to_str().unwrap(), "16");
+    let o = run(&[
+        "simulate",
+        trace.to_str().unwrap(),
+        "--policy",
+        "file-lru",
+        "--capacity-gb",
+        "50",
+        "--metrics",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let raw = std::fs::read_to_string(&snap_path).expect("snapshot file written");
+    // Round-trips through serde_json into a typed Snapshot.
+    let snap = hep_obs::Snapshot::from_json(&raw).expect("well-formed snapshot");
+    assert_eq!(snap.counter("cachesim.runs"), 1);
+    assert!(snap.counter("cachesim.requests") > 0);
+    assert!(snap.timers.contains_key("cachesim.run.file-lru"));
+    // The one-line timing summary lands on stderr, keeping stdout clean.
+    assert!(stderr(&o).contains("timings:"), "{}", stderr(&o));
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn metrics_flag_dispatches_csv_on_extension() {
+    let dir = tmpdir();
+    let trace = dir.join("metrics-csv-e2e.bin");
+    let snap_path = dir.join("metrics-e2e.csv");
+    generate(trace.to_str().unwrap(), "17");
+    let o = run(&[
+        "faults",
+        trace.to_str().unwrap(),
+        "--severities",
+        "0.1",
+        "--capacity-gb",
+        "10",
+        "--metrics",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let csv = std::fs::read_to_string(&snap_path).expect("snapshot file written");
+    assert!(csv.starts_with("kind,name,count,total,min,max"));
+    assert!(csv.contains("replication.online.file"));
+    assert!(csv.contains("transfer.schedule"));
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn metrics_output_is_identical_with_and_without_the_flag() {
+    let dir = tmpdir();
+    let trace = dir.join("metrics-id-e2e.bin");
+    let snap_path = dir.join("metrics-id.json");
+    generate(trace.to_str().unwrap(), "18");
+    let plain = run(&[
+        "simulate",
+        trace.to_str().unwrap(),
+        "--policy",
+        "filecule-lru",
+        "--capacity-gb",
+        "50",
+        "--json",
+    ]);
+    let instrumented = run(&[
+        "simulate",
+        trace.to_str().unwrap(),
+        "--policy",
+        "filecule-lru",
+        "--capacity-gb",
+        "50",
+        "--json",
+        "--metrics",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(plain.status.success() && instrumented.status.success());
+    // Attaching a recorder must not perturb the simulation output.
+    assert_eq!(stdout(&plain), stdout(&instrumented));
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
 fn missing_file_is_clean_error() {
     let o = run(&["characterize", "/nonexistent/trace.bin"]);
     assert!(!o.status.success());

@@ -1,0 +1,128 @@
+//! Property-based invariants for the deterministic retry/backoff model.
+//!
+//! The retry model is the one piece of the fault subsystem every consumer
+//! (replication fallback, transfer scheduling, swarm joins, cachesim's
+//! cold-storage hook) leans on, so its contract is pinned over arbitrary
+//! configurations rather than a handful of examples:
+//!
+//! * backoff intervals are monotone non-decreasing up to the cap (for any
+//!   `backoff_factor >= 1`);
+//! * accumulated delay never exceeds the timeout budget;
+//! * attempt counts never exceed `max_retries + 1`, and certain failure
+//!   with a generous budget exhausts exactly that maximum;
+//! * outcomes are pure in `(seed, key)`.
+
+use hep_faults::{FaultConfig, RetryModel, TransferOutcome};
+use proptest::prelude::*;
+
+/// Arbitrary-but-valid retry configurations, expressed through
+/// [`FaultConfig`] so the properties cover the same construction path the
+/// simulators use ([`RetryModel::from_config`]).
+fn retry_configs() -> impl Strategy<Value = FaultConfig> {
+    (
+        0.0f64..=1.0,    // transfer_failure_p
+        0u32..=8,        // max_retries
+        0.0f64..=120.0,  // backoff_base_secs
+        1.0f64..=4.0,    // backoff_factor (>= 1: backoff never shrinks)
+        0.0f64..=600.0,  // backoff_cap_secs
+        0.0f64..=7200.0, // timeout_secs
+    )
+        .prop_map(|(p, retries, base, factor, cap, timeout)| FaultConfig {
+            transfer_failure_p: p,
+            max_retries: retries,
+            backoff_base_secs: base,
+            backoff_factor: factor,
+            backoff_cap_secs: cap,
+            timeout_secs: timeout,
+            ..FaultConfig::default()
+        })
+}
+
+proptest! {
+    #[test]
+    fn backoff_is_monotone_up_to_the_cap(cfg in retry_configs()) {
+        let m = RetryModel::from_config(&cfg);
+        let mut prev = 0.0f64;
+        for retry in 1..=(m.max_retries.max(1) + 4) {
+            let b = m.backoff_secs(retry);
+            prop_assert!(b >= prev - 1e-12, "backoff shrank: {prev} -> {b}");
+            prop_assert!(b <= m.backoff_cap_secs + 1e-12, "backoff {b} above cap");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn delay_never_exceeds_the_timeout_budget(
+        cfg in retry_configs(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let m = RetryModel::from_config(&cfg);
+        let o = m.outcome(seed, key);
+        prop_assert!(
+            o.delay_secs <= m.timeout_secs + 1e-9,
+            "delay {} exceeds budget {}",
+            o.delay_secs,
+            m.timeout_secs
+        );
+        prop_assert!(o.delay_secs >= 0.0);
+    }
+
+    #[test]
+    fn attempts_never_exceed_the_configured_maximum(
+        cfg in retry_configs(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let m = RetryModel::from_config(&cfg);
+        let o = m.outcome(seed, key);
+        prop_assert!(o.attempts >= 1);
+        prop_assert!(
+            o.attempts <= m.max_retries + 1,
+            "{} attempts with max_retries {}",
+            o.attempts,
+            m.max_retries
+        );
+        prop_assert_eq!(o.retries(), o.attempts - 1);
+    }
+
+    #[test]
+    fn certain_failure_with_budget_exhausts_exactly_max_attempts(
+        cfg in retry_configs(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let mut m = RetryModel::from_config(&cfg);
+        m.failure_p = 1.0;
+        // A budget generous enough that the timeout can never trigger
+        // first: the sum of every capped backoff interval.
+        m.timeout_secs = (1..=m.max_retries)
+            .map(|r| m.backoff_secs(r))
+            .sum::<f64>()
+            + 1.0;
+        let o = m.outcome(seed, key);
+        prop_assert!(o.failed);
+        prop_assert_eq!(o.attempts, m.max_retries + 1);
+    }
+
+    #[test]
+    fn outcomes_are_pure_in_seed_and_key(
+        cfg in retry_configs(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let m = RetryModel::from_config(&cfg);
+        prop_assert_eq!(m.outcome(seed, key), m.outcome(seed, key));
+    }
+
+    #[test]
+    fn zero_failure_probability_is_always_clean(
+        cfg in retry_configs(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let mut m = RetryModel::from_config(&cfg);
+        m.failure_p = 0.0;
+        prop_assert_eq!(m.outcome(seed, key), TransferOutcome::CLEAN);
+    }
+}

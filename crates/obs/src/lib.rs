@@ -1,0 +1,552 @@
+//! # hep-obs
+//!
+//! Lightweight observability for the filecules workspace: counters,
+//! power-of-two histograms and span timers behind an explicit handle with a
+//! **zero-overhead disabled mode**.
+//!
+//! ## Design
+//!
+//! There are deliberately **no globals** — no `static` registry, no
+//! thread-locals, no macro magic. A [`Metrics`] handle is either *disabled*
+//! (the default: a `None` inside, every call an inlineable early return) or
+//! *enabled* (an `Arc<MetricsRecorder>` accumulating into mutex-guarded
+//! `BTreeMap`s). Callers thread the handle explicitly into whatever they want
+//! instrumented. This keeps the simulators' determinism guarantees untouched:
+//! metrics observe the computation, they never feed back into it, and with the
+//! handle disabled the instrumented code takes the exact same branches as
+//! uninstrumented code minus one predictable `Option` check per *boundary*
+//! (instrumentation sits at run/phase boundaries, never inside per-event hot
+//! loops).
+//!
+//! [`Snapshot`] is the export format: plain serde data (`BTreeMap`s, so JSON
+//! and CSV output are deterministically ordered) that round-trips through
+//! `serde_json` and renders to a simple CSV for spreadsheets.
+//!
+//! ```
+//! use hep_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! metrics.add("requests", 3);
+//! metrics.observe("bytes", 4096);
+//! {
+//!     let _span = metrics.span("phase.work");
+//!     // ... timed work ...
+//! }
+//! let snap = metrics.snapshot().unwrap();
+//! assert_eq!(snap.counter("requests"), 3);
+//! assert_eq!(snap.timers["phase.work"].count, 1);
+//!
+//! // Disabled handles cost nothing and produce nothing.
+//! let off = Metrics::disabled();
+//! off.add("requests", 1);
+//! assert!(off.snapshot().is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sink for metric events.
+///
+/// Every method has a no-op default body, so `impl Recorder for MySink {}` is
+/// a valid (if silent) recorder. [`NoopRecorder`] is exactly that; the real
+/// implementation is [`MetricsRecorder`].
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the counter `name`.
+    fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Record one observation of `value` into the histogram `name`.
+    fn observe(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Record one elapsed duration (in seconds) into the timer `name`.
+    fn record_secs(&self, name: &str, secs: f64) {
+        let _ = (name, secs);
+    }
+}
+
+/// A recorder that drops everything (all trait defaults).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Accumulated state of one timer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct TimerStat {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all recorded durations, in seconds.
+    pub total_secs: f64,
+    /// Shortest recorded duration, in seconds.
+    pub min_secs: f64,
+    /// Longest recorded duration, in seconds.
+    pub max_secs: f64,
+}
+
+impl Default for TimerStat {
+    fn default() -> Self {
+        TimerStat {
+            count: 0,
+            total_secs: 0.0,
+            min_secs: f64::INFINITY,
+            max_secs: 0.0,
+        }
+    }
+}
+
+impl TimerStat {
+    fn record(&mut self, secs: f64) {
+        self.count += 1;
+        self.total_secs += secs;
+        self.min_secs = self.min_secs.min(secs);
+        self.max_secs = self.max_secs.max(secs);
+    }
+}
+
+/// Accumulated state of one power-of-two histogram.
+///
+/// Bucket `i` counts observations `v` with `2^i <= v < 2^(i+1)`; bucket 0
+/// also absorbs 0 and 1. Trailing empty buckets are simply never allocated.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Power-of-two bucket counts (index = `floor(log2(max(v, 1)))`).
+    pub buckets: Vec<u64>,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        (63 - v.leading_zeros()) as usize
+    }
+}
+
+impl HistogramStat {
+    fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time export of everything a [`MetricsRecorder`] has accumulated.
+///
+/// All maps are `BTreeMap`s so serialization order is deterministic; the
+/// struct round-trips through `serde_json` without loss.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Span timers by name.
+    #[serde(default)]
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Power-of-two histograms by name.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, HistogramStat>,
+}
+
+impl Snapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Pretty-printed JSON (deterministic key order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("Snapshot serialization cannot fail")
+    }
+
+    /// Parse a snapshot back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Flat CSV rendering: `kind,name,count,total,min,max`.
+    ///
+    /// Counters use the `total` column; timers report seconds; histograms
+    /// report observed values (bucket detail is JSON-only).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,count,total,min,max\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter,{name},,{v},,");
+        }
+        for (name, t) in &self.timers {
+            let _ = writeln!(
+                out,
+                "timer,{name},{},{:.6},{:.6},{:.6}",
+                t.count, t.total_secs, t.min_secs, t.max_secs
+            );
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{name},{},{},{},{}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        out
+    }
+
+    /// Write to `path`, choosing the format by extension: `.csv` gets
+    /// [`Snapshot::to_csv`], anything else gets JSON.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let rendered = match path.extension().and_then(|e| e.to_str()) {
+            Some("csv") => self.to_csv(),
+            _ => self.to_json(),
+        };
+        std::fs::write(path, rendered)
+    }
+
+    /// One-line human summary of all timers, ordered by name:
+    /// `plan 0.412s, materialize 1.305s`. Empty string when no timers exist.
+    pub fn timing_summary(&self) -> String {
+        let mut parts = Vec::with_capacity(self.timers.len());
+        for (name, t) in &self.timers {
+            parts.push(format!("{name} {:.3}s", t.total_secs));
+        }
+        parts.join(", ")
+    }
+}
+
+/// The real recorder: mutex-guarded accumulation into a [`Snapshot`].
+///
+/// One coarse mutex is plenty — instrumentation happens at run and phase
+/// boundaries (a handful of lock acquisitions per simulation), never inside
+/// per-event loops, so contention is structurally negligible.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    inner: Mutex<Snapshot>,
+}
+
+impl MetricsRecorder {
+    /// Fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Snapshot> {
+        // A panic while holding this lock cannot leave the snapshot in an
+        // invalid state (all updates are single-field arithmetic), so poison
+        // is safe to ignore.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copy out everything accumulated so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.lock().clone()
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn add(&self, name: &str, delta: u64) {
+        let mut s = self.lock();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        let mut s = self.lock();
+        s.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    fn record_secs(&self, name: &str, secs: f64) {
+        let mut s = self.lock();
+        s.timers.entry(name.to_owned()).or_default().record(secs);
+    }
+}
+
+/// Cheap-to-clone handle that is either disabled (`None`, the default) or
+/// backed by a shared [`MetricsRecorder`].
+///
+/// Thread this explicitly into whatever should be observable; it is `Send +
+/// Sync`, so one handle can be shared across a rayon fan-out and all workers
+/// accumulate into the same recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    rec: Option<Arc<MetricsRecorder>>,
+}
+
+impl Metrics {
+    /// The no-op handle: every call is an early return, `snapshot()` is
+    /// `None`. Identical to `Metrics::default()`.
+    pub fn disabled() -> Self {
+        Metrics { rec: None }
+    }
+
+    /// A handle backed by a fresh recorder.
+    pub fn enabled() -> Self {
+        Metrics {
+            rec: Some(Arc::new(MetricsRecorder::new())),
+        }
+    }
+
+    /// A handle sharing an existing recorder.
+    pub fn with_recorder(rec: Arc<MetricsRecorder>) -> Self {
+        Metrics { rec: Some(rec) }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.rec {
+            r.add(name, delta);
+        }
+    }
+
+    /// Add 1 to the counter `name`.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(r) = &self.rec {
+            r.observe(name, value);
+        }
+    }
+
+    /// Record an elapsed duration (seconds) into the timer `name`.
+    pub fn record_secs(&self, name: &str, secs: f64) {
+        if let Some(r) = &self.rec {
+            r.record_secs(name, secs);
+        }
+    }
+
+    /// Start a timed span; the elapsed time is recorded into the timer
+    /// `name` when the returned guard drops. On a disabled handle this
+    /// never even reads the clock.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            active: self
+                .rec
+                .as_ref()
+                .map(|r| (Arc::clone(r), name.to_owned(), Instant::now())),
+        }
+    }
+
+    /// Snapshot of everything recorded so far; `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.rec.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// RAII guard from [`Metrics::span`]: records the elapsed wall time into its
+/// timer on drop (or explicit [`Span::finish`]).
+#[must_use = "a span records its timing when dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    active: Option<(Arc<MetricsRecorder>, String, Instant)>,
+}
+
+impl Span {
+    /// Consume the span, recording now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((rec, name, start)) = self.active.take() {
+            rec.record_secs(&name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.add("a", 1);
+        m.observe("b", 2);
+        m.record_secs("c", 0.5);
+        m.span("d").finish();
+        assert!(m.snapshot().is_none());
+        // Default is disabled too.
+        assert!(!Metrics::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::enabled();
+        m.add("x", 2);
+        m.incr("x");
+        m.add("y", 0);
+        let s = m.snapshot().unwrap();
+        assert_eq!(s.counter("x"), 3);
+        assert_eq!(s.counter("y"), 0);
+        assert_eq!(s.counter("absent"), 0);
+        assert!(s.counters.contains_key("y"));
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m.add("n", 1);
+        m2.add("n", 1);
+        assert_eq!(m.snapshot().unwrap().counter("n"), 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+
+        let m = Metrics::enabled();
+        for v in [0, 1, 5, 1024] {
+            m.observe("h", v);
+        }
+        let s = m.snapshot().unwrap();
+        let h = &s.histograms["h"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets.len(), 11);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert!((h.mean() - 257.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_record_timers() {
+        let m = Metrics::enabled();
+        {
+            let _span = m.span("t");
+        }
+        m.span("t").finish();
+        let s = m.snapshot().unwrap();
+        let t = &s.timers["t"];
+        assert_eq!(t.count, 2);
+        assert!(t.total_secs >= 0.0);
+        assert!(t.min_secs <= t.max_secs);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let m = Metrics::enabled();
+        m.add("c", 7);
+        m.observe("h", 33);
+        m.record_secs("t", 1.25);
+        let snap = m.snapshot().unwrap();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_csv_shape() {
+        let m = Metrics::enabled();
+        m.add("c", 7);
+        m.record_secs("t", 0.5);
+        m.observe("h", 9);
+        let csv = m.snapshot().unwrap().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,count,total,min,max");
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().any(|l| l.starts_with("counter,c,,7")));
+        assert!(lines.iter().any(|l| l.starts_with("timer,t,1,")));
+        assert!(lines.iter().any(|l| l.starts_with("histogram,h,1,9,9,9")));
+    }
+
+    #[test]
+    fn timing_summary_is_ordered_and_compact() {
+        let m = Metrics::enabled();
+        m.record_secs("b.second", 2.0);
+        m.record_secs("a.first", 1.0);
+        let line = m.snapshot().unwrap().timing_summary();
+        assert_eq!(line, "a.first 1.000s, b.second 2.000s");
+        assert_eq!(Snapshot::default().timing_summary(), "");
+    }
+
+    #[test]
+    fn recorder_trait_defaults_are_noops() {
+        let r = NoopRecorder;
+        r.add("a", 1);
+        r.observe("b", 2);
+        r.record_secs("c", 3.0);
+    }
+
+    #[test]
+    fn write_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join("hep-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Metrics::enabled();
+        m.add("k", 5);
+        let snap = m.snapshot().unwrap();
+
+        let json_path = dir.join("snap.json");
+        snap.write(&json_path).unwrap();
+        let parsed = Snapshot::from_json(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(parsed, snap);
+
+        let csv_path = dir.join("snap.csv");
+        snap.write(&csv_path).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("kind,name,count,total,min,max"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

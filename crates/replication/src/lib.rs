@@ -37,12 +37,15 @@ pub mod policies;
 pub mod sim;
 
 pub use online::{
-    compare_granularities, simulate_sites, simulate_sites_faulty, simulate_sites_log, Granularity,
-    OnlineReport,
+    compare_granularities, simulate_sites, simulate_sites_faulty, simulate_sites_faulty_metrics,
+    simulate_sites_log, simulate_sites_log_metrics, Granularity, OnlineReport,
 };
 pub use placement::Placement;
 pub use policies::{
     file_popularity_placement, filecule_popularity_placement, local_filecule_placement,
     no_replication, training_jobs,
 };
-pub use sim::{evaluate, evaluate_with_faults, wasted_bytes, ReplicationReport};
+pub use sim::{
+    evaluate, evaluate_metrics, evaluate_with_faults, evaluate_with_faults_metrics, wasted_bytes,
+    ReplicationReport,
+};

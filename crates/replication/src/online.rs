@@ -13,8 +13,10 @@
 use cachesim::{FileLru, FileculeLru, Policy};
 use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
+use hep_obs::Metrics;
 use hep_trace::{ReplayLog, Trace};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Cache granularity for the per-site caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +92,33 @@ pub fn simulate_sites(
     )
 }
 
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::File => "file",
+        Granularity::Filecule => "filecule",
+    }
+}
+
+/// Emit the boundary counters/timer for one finished online replay.
+fn emit_online_metrics(metrics: &Metrics, report: &OnlineReport, secs: f64, faulty: bool) {
+    metrics.record_secs(
+        &format!(
+            "replication.online.{}",
+            granularity_name(report.granularity)
+        ),
+        secs,
+    );
+    metrics.incr("replication.online.runs");
+    metrics.add("replication.online.requests", report.requests);
+    metrics.add("replication.online.local_hits", report.local_hits);
+    metrics.add("replication.online.wan_bytes", report.wan_bytes);
+    if faulty {
+        metrics.add("replication.online.failed_requests", report.failed_requests);
+        metrics.add("replication.online.retries", report.retries);
+        metrics.add("replication.online.fallback_bytes", report.fallback_bytes);
+    }
+}
+
 /// [`simulate_sites`] over an already-materialized log.
 pub fn simulate_sites_log(
     log: &ReplayLog,
@@ -98,6 +127,28 @@ pub fn simulate_sites_log(
     capacity_per_site: u64,
     granularity: Granularity,
 ) -> OnlineReport {
+    simulate_sites_log_metrics(
+        log,
+        trace,
+        set,
+        capacity_per_site,
+        granularity,
+        &Metrics::disabled(),
+    )
+}
+
+/// [`simulate_sites_log`] with a metrics handle: when enabled, the replay
+/// emits a per-granularity span timer plus request/hit/byte counters at
+/// the run boundary. The report is identical either way.
+pub fn simulate_sites_log_metrics(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    metrics: &Metrics,
+) -> OnlineReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
         .map(|_| match granularity {
@@ -132,6 +183,9 @@ pub fn simulate_sites_log(
             report.wan_bytes += r.bytes_fetched;
         }
     }
+    if let Some(t0) = started {
+        emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), false);
+    }
     report
 }
 
@@ -163,6 +217,31 @@ pub fn simulate_sites_faulty(
     granularity: Granularity,
     plan: &FaultPlan,
 ) -> OnlineReport {
+    simulate_sites_faulty_metrics(
+        log,
+        trace,
+        set,
+        capacity_per_site,
+        granularity,
+        plan,
+        &Metrics::disabled(),
+    )
+}
+
+/// [`simulate_sites_faulty`] with a metrics handle: when enabled, the
+/// replay additionally emits fault-outcome counters (failed requests,
+/// retries, fallback bytes) at the run boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sites_faulty_metrics(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> OnlineReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
         .map(|_| match granularity {
@@ -210,6 +289,9 @@ pub fn simulate_sites_faulty(
         } else {
             report.wan_bytes += r.bytes_fetched;
         }
+    }
+    if let Some(t0) = started {
+        emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), true);
     }
     report
 }
@@ -346,6 +428,46 @@ mod tests {
         assert_eq!(r.fallback_bytes, plain.wan_bytes);
         assert_eq!(r.failed_requests, r.requests - r.local_hits);
         assert!(r.retries > 0);
+    }
+
+    #[test]
+    fn metrics_variant_preserves_report_and_emits() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(145)).generate();
+        let set = identify(&t);
+        let log = hep_trace::ReplayLog::build(&t);
+        let cap = hep_trace::TB;
+        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::Filecule);
+        let m = Metrics::enabled();
+        let observed = simulate_sites_log_metrics(&log, &t, &set, cap, Granularity::Filecule, &m);
+        assert_eq!(plain, observed, "metrics must not perturb the replay");
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.counter("replication.online.requests"), plain.requests);
+        assert_eq!(
+            snap.counter("replication.online.local_hits"),
+            plain.local_hits
+        );
+        assert_eq!(
+            snap.counter("replication.online.wan_bytes"),
+            plain.wan_bytes
+        );
+        assert_eq!(snap.timers["replication.online.filecule"].count, 1);
+
+        let cfg = FaultConfig::default().with_transfer_failures(0.5);
+        let plan = FaultPlan::for_trace(&cfg, &t, 145);
+        let m2 = Metrics::enabled();
+        let faulty =
+            simulate_sites_faulty_metrics(&log, &t, &set, cap, Granularity::Filecule, &plan, &m2);
+        let snap2 = m2.snapshot().unwrap();
+        assert_eq!(
+            snap2.counter("replication.online.failed_requests"),
+            faulty.failed_requests
+        );
+        assert_eq!(snap2.counter("replication.online.retries"), faulty.retries);
+        assert_eq!(
+            snap2.counter("replication.online.fallback_bytes"),
+            faulty.fallback_bytes
+        );
     }
 
     #[test]

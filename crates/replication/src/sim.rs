@@ -2,8 +2,10 @@
 
 use crate::placement::Placement;
 use hep_faults::{lane, transfer_key, FaultPlan};
+use hep_obs::Metrics;
 use hep_trace::{FileId, SiteId, Trace};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Outcome of replaying the evaluation window against a placement.
 ///
@@ -72,6 +74,37 @@ pub fn evaluate(
     from_time: u64,
     policy: &str,
 ) -> ReplicationReport {
+    evaluate_metrics(trace, placement, from_time, policy, &Metrics::disabled())
+}
+
+/// Emit the boundary counters/timer for one finished placement replay.
+fn emit_eval_metrics(metrics: &Metrics, report: &ReplicationReport, secs: f64, faulty: bool) {
+    metrics.record_secs(&format!("replication.evaluate.{}", report.policy), secs);
+    metrics.incr("replication.evaluate.runs");
+    metrics.add("replication.evaluate.requests", report.requests);
+    metrics.add("replication.evaluate.local_hits", report.local_hits);
+    metrics.add("replication.evaluate.remote_bytes", report.remote_bytes);
+    if faulty {
+        metrics.add(
+            "replication.evaluate.failed_requests",
+            report.failed_requests,
+        );
+        metrics.add("replication.evaluate.retries", report.retries);
+        metrics.add("replication.evaluate.fallback_bytes", report.fallback_bytes);
+    }
+}
+
+/// [`evaluate`] with a metrics handle: when enabled, emits a per-policy
+/// span timer and request/byte counters at the run boundary. The report is
+/// identical either way.
+pub fn evaluate_metrics(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    metrics: &Metrics,
+) -> ReplicationReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let mut report = ReplicationReport {
         policy: policy.to_owned(),
         budget: placement.budget(),
@@ -100,6 +133,9 @@ pub fn evaluate(
                 report.remote_bytes += size;
             }
         }
+    }
+    if let Some(t0) = started {
+        emit_eval_metrics(metrics, &report, t0.elapsed().as_secs_f64(), false);
     }
     report
 }
@@ -156,6 +192,28 @@ pub fn evaluate_with_faults(
     policy: &str,
     plan: &FaultPlan,
 ) -> ReplicationReport {
+    evaluate_with_faults_metrics(
+        trace,
+        placement,
+        from_time,
+        policy,
+        plan,
+        &Metrics::disabled(),
+    )
+}
+
+/// [`evaluate_with_faults`] with a metrics handle: when enabled, the replay
+/// additionally emits fault-outcome counters (failed requests, retries,
+/// fallback bytes) at the run boundary.
+pub fn evaluate_with_faults_metrics(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> ReplicationReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let mut report = ReplicationReport {
         policy: policy.to_owned(),
         budget: placement.budget(),
@@ -200,6 +258,9 @@ pub fn evaluate_with_faults(
                 report.remote_bytes += size;
             }
         }
+    }
+    if let Some(t0) = started {
+        emit_eval_metrics(metrics, &report, t0.elapsed().as_secs_f64(), true);
     }
     report
 }
@@ -463,6 +524,47 @@ mod tests {
             super::nearest_live_replica(&t, &p, &plan02, s0, f, 100),
             Some(s1),
             "with s2 down the foreign replica serves"
+        );
+    }
+
+    #[test]
+    fn metrics_variant_preserves_report_and_emits() {
+        let t = TraceSynthesizer::new(SynthConfig::small(113)).generate();
+        let split = t.horizon() / 2;
+        let training = training_jobs(&t, split);
+        let budget = 2 * TB / 100;
+        let p = file_popularity_placement(&t, &training, budget);
+        let plain = evaluate(&t, &p, split, "file-pop");
+        let m = Metrics::enabled();
+        let observed = evaluate_metrics(&t, &p, split, "file-pop", &m);
+        assert_eq!(plain, observed, "metrics must not perturb the replay");
+        let snap = m.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("replication.evaluate.requests"),
+            plain.requests
+        );
+        assert_eq!(
+            snap.counter("replication.evaluate.local_hits"),
+            plain.local_hits
+        );
+        assert_eq!(snap.timers["replication.evaluate.file-pop"].count, 1);
+        assert!(!snap
+            .counters
+            .contains_key("replication.evaluate.failed_requests"));
+
+        use hep_faults::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig::default().with_transfer_failures(0.5);
+        let plan = FaultPlan::for_trace(&cfg, &t, 113);
+        let m2 = Metrics::enabled();
+        let faulty = evaluate_with_faults_metrics(&t, &p, split, "file-pop", &plan, &m2);
+        let snap2 = m2.snapshot().unwrap();
+        assert_eq!(
+            snap2.counter("replication.evaluate.failed_requests"),
+            faulty.failed_requests
+        );
+        assert_eq!(
+            snap2.counter("replication.evaluate.retries"),
+            faulty.retries
         );
     }
 

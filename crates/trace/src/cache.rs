@@ -25,6 +25,7 @@
 use crate::io_binary;
 use crate::model::Trace;
 use crate::synth::{SynthConfig, TraceSynthesizer, GENERATOR_VERSION};
+use hep_obs::Metrics;
 use hep_stats::rng::splitmix64;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -233,11 +234,30 @@ impl TraceCache {
     /// Store failures (e.g. a read-only target dir) are swallowed — the
     /// fresh trace is still returned.
     pub fn load_or_generate(&self, cfg: &SynthConfig) -> (Trace, bool) {
-        if let Some(trace) = self.load(cfg) {
-            return (trace, true);
+        self.load_or_generate_with_metrics(cfg, &Metrics::disabled())
+    }
+
+    /// Like [`TraceCache::load_or_generate`], recording cache hit/miss
+    /// counters, `trace.cache.load` / `trace.cache.store` span timers and
+    /// the synthesis phase timers into `metrics` when the handle is
+    /// enabled. The returned trace is identical either way.
+    pub fn load_or_generate_with_metrics(
+        &self,
+        cfg: &SynthConfig,
+        metrics: &Metrics,
+    ) -> (Trace, bool) {
+        {
+            let _load = metrics.span("trace.cache.load");
+            if let Some(trace) = self.load(cfg) {
+                metrics.incr("trace.cache.hits");
+                return (trace, true);
+            }
         }
-        let trace = TraceSynthesizer::new(cfg.clone()).generate();
+        metrics.incr("trace.cache.misses");
+        let trace = TraceSynthesizer::new(cfg.clone()).generate_with_metrics(metrics);
+        let store = metrics.span("trace.cache.store");
         let _ = self.store(cfg, &trace);
+        store.finish();
         (trace, false)
     }
 }
@@ -326,6 +346,28 @@ mod tests {
         let cache = tmp_cache("try-load");
         let cfg = SynthConfig::small(14);
         assert!(matches!(cache.try_load(&cfg), Err(CacheError::Absent)));
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn metrics_variant_counts_hits_and_misses() {
+        let cache = tmp_cache("metrics");
+        let cfg = SynthConfig::small(15);
+        let m = Metrics::enabled();
+        let (fresh, hit) = cache.load_or_generate_with_metrics(&cfg, &m);
+        assert!(!hit);
+        let (cached, hit) = cache.load_or_generate_with_metrics(&cfg, &m);
+        assert!(hit);
+        assert_eq!(
+            io_binary::trace_to_bytes(&fresh),
+            io_binary::trace_to_bytes(&cached)
+        );
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.counter("trace.cache.hits"), 1);
+        assert_eq!(snap.counter("trace.cache.misses"), 1);
+        assert_eq!(snap.timers["trace.cache.load"].count, 2);
+        assert_eq!(snap.timers["trace.cache.store"].count, 1);
+        assert_eq!(snap.timers["trace.synth.materialize"].count, 1);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

@@ -45,6 +45,7 @@ use crate::builder::TraceBuilder;
 use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, Trace, UserId, MB};
 use arrivals::{ArrivalModel, DurationModel};
 use datasets::{sample_cuts, sample_view, Dataset};
+use hep_obs::Metrics;
 use hep_stats::empirical::EmpiricalDiscrete;
 use hep_stats::lognormal::TruncatedLogNormal;
 use hep_stats::rng::SeedStream;
@@ -306,7 +307,16 @@ impl TraceSynthesizer {
     /// the config: the output is bit-identical at any thread count, and
     /// identical to [`TraceSynthesizer::generate_serial`].
     pub fn generate(&self) -> Trace {
-        self.generate_impl(true)
+        self.generate_impl(true, &Metrics::disabled())
+    }
+
+    /// Like [`TraceSynthesizer::generate`], emitting per-phase span timers
+    /// (`trace.synth.plan` / `.materialize` / `.build`) and output-size
+    /// counters into `metrics` when the handle is enabled. Metrics never
+    /// touch the RNG streams, so the trace is bit-identical to
+    /// [`TraceSynthesizer::generate`] either way.
+    pub fn generate_with_metrics(&self, metrics: &Metrics) -> Trace {
+        self.generate_impl(true, metrics)
     }
 
     /// Generate the trace without any fan-out: the exact same plan and
@@ -314,13 +324,14 @@ impl TraceSynthesizer {
     /// calling thread. Useful as a determinism oracle and for measuring
     /// parallel speedup.
     pub fn generate_serial(&self) -> Trace {
-        self.generate_impl(false)
+        self.generate_impl(false, &Metrics::disabled())
     }
 
-    fn generate_impl(&self, parallel: bool) -> Trace {
+    fn generate_impl(&self, parallel: bool, metrics: &Metrics) -> Trace {
         let cfg = &self.cfg;
         let seeds = SeedStream::new(cfg.seed);
         let mut builder = TraceBuilder::new();
+        let plan_span = metrics.span("trace.synth.plan");
 
         // ---- Topology: domains, sites, nodes (Table 2). ----
         let mut domain_sites: Vec<Vec<SiteId>> = Vec::new();
@@ -581,6 +592,9 @@ impl TraceSynthesizer {
             }
         }
 
+        drop(plan_span);
+        let materialize_span = metrics.span("trace.synth.materialize");
+
         // ---- Job materialization (fan-out phase). ----
         // Each campaign owns the counter-derived substream
         // `rng_indexed("campaign-jobs", i)`, so materialization order (and
@@ -651,7 +665,18 @@ impl TraceSynthesizer {
             }
         }
 
-        builder.build().expect("synthesizer produces valid traces")
+        drop(materialize_span);
+        let build_span = metrics.span("trace.synth.build");
+        let trace = builder.build().expect("synthesizer produces valid traces");
+        build_span.finish();
+        if metrics.is_enabled() {
+            metrics.incr("trace.synth.traces");
+            metrics.add("trace.synth.campaigns", plans.len() as u64);
+            metrics.add("trace.synth.jobs", trace.n_jobs() as u64);
+            metrics.add("trace.synth.files", trace.n_files() as u64);
+            metrics.add("trace.synth.accesses", trace.n_accesses() as u64);
+        }
+        trace
     }
 }
 
@@ -699,6 +724,27 @@ mod tests {
         let par = crate::io_binary::trace_to_bytes(&syn.generate());
         let ser = crate::io_binary::trace_to_bytes(&syn.generate_serial());
         assert_eq!(par, ser, "parallel and serial generators diverged");
+    }
+
+    #[test]
+    fn metrics_variant_is_bit_identical_and_emits_phases() {
+        let syn = TraceSynthesizer::new(SynthConfig::small(7));
+        let m = Metrics::enabled();
+        let with = crate::io_binary::trace_to_bytes(&syn.generate_with_metrics(&m));
+        let without = crate::io_binary::trace_to_bytes(&syn.generate());
+        assert_eq!(with, without, "metrics perturbed the generator");
+        let snap = m.snapshot().unwrap();
+        for phase in [
+            "trace.synth.plan",
+            "trace.synth.materialize",
+            "trace.synth.build",
+        ] {
+            assert_eq!(snap.timers[phase].count, 1, "missing phase timer {phase}");
+        }
+        assert_eq!(snap.counter("trace.synth.traces"), 1);
+        assert!(snap.counter("trace.synth.campaigns") > 0);
+        assert!(snap.counter("trace.synth.jobs") > 0);
+        assert!(snap.counter("trace.synth.accesses") > 0);
     }
 
     #[test]

@@ -46,9 +46,10 @@ pub use intervals::{
     hottest_filecule, intervals_by_site, intervals_by_user, peak_overlap, AccessInterval,
 };
 pub use schedule::{
-    schedule_comparison, schedule_comparison_faulty, ScheduleReport, TransferModel,
+    schedule_comparison, schedule_comparison_faulty, schedule_comparison_faulty_metrics,
+    schedule_comparison_metrics, ScheduleReport, TransferModel,
 };
 pub use swarm_sim::{
-    faulted_arrivals, simulate_swarm, simulate_swarm_faulty, SwarmFaultStats, SwarmSimConfig,
-    SwarmSimResult,
+    faulted_arrivals, simulate_swarm, simulate_swarm_faulty, simulate_swarm_faulty_metrics,
+    simulate_swarm_metrics, SwarmFaultStats, SwarmSimConfig, SwarmSimResult,
 };

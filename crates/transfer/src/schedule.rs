@@ -12,8 +12,10 @@
 
 use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
+use hep_obs::Metrics;
 use hep_trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Wide-area transfer cost model.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -140,6 +142,46 @@ pub fn schedule_comparison(
     set: &FileculeSet,
     model: TransferModel,
 ) -> ScheduleReport {
+    schedule_comparison_metrics(trace, set, model, &Metrics::disabled())
+}
+
+/// Emit the boundary counters/timer for one finished scheduling replay.
+fn emit_schedule_metrics(metrics: &Metrics, report: &ScheduleReport, secs: f64, faulty: bool) {
+    metrics.record_secs("transfer.schedule", secs);
+    metrics.incr("transfer.schedule.runs");
+    metrics.add("transfer.schedule.file_transfers", report.file_transfers);
+    metrics.add("transfer.schedule.file_bytes", report.file_bytes);
+    metrics.add(
+        "transfer.schedule.filecule_transfers",
+        report.filecule_transfers,
+    );
+    metrics.add("transfer.schedule.filecule_bytes", report.filecule_bytes);
+    if faulty {
+        metrics.add(
+            "transfer.schedule.file_failed_transfers",
+            report.file_failed_transfers,
+        );
+        metrics.add(
+            "transfer.schedule.filecule_failed_transfers",
+            report.filecule_failed_transfers,
+        );
+        metrics.add(
+            "transfer.schedule.retry_secs",
+            (report.file_retry_secs + report.filecule_retry_secs) as u64,
+        );
+    }
+}
+
+/// [`schedule_comparison`] with a metrics handle: when enabled, emits a
+/// span timer and transfer/byte counters at the run boundary. The report
+/// is identical either way.
+pub fn schedule_comparison_metrics(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    metrics: &Metrics,
+) -> ScheduleReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut site_has_file = vec![vec![false; trace.n_files()]; n_sites];
     let mut site_has_group = vec![vec![false; set.n_filecules()]; n_sites];
@@ -163,6 +205,9 @@ pub fn schedule_comparison(
             }
         }
     }
+    if let Some(t0) = started {
+        emit_schedule_metrics(metrics, &report, t0.elapsed().as_secs_f64(), false);
+    }
     report
 }
 
@@ -184,6 +229,20 @@ pub fn schedule_comparison_faulty(
     model: TransferModel,
     plan: &FaultPlan,
 ) -> ScheduleReport {
+    schedule_comparison_faulty_metrics(trace, set, model, plan, &Metrics::disabled())
+}
+
+/// [`schedule_comparison_faulty`] with a metrics handle: when enabled, the
+/// replay additionally emits abandoned-transfer and retry-delay counters
+/// at the run boundary.
+pub fn schedule_comparison_faulty_metrics(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> ScheduleReport {
+    let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut file_tries = vec![vec![0u32; trace.n_files()]; n_sites];
     let mut group_tries = vec![vec![0u32; set.n_filecules()]; n_sites];
@@ -246,6 +305,9 @@ pub fn schedule_comparison_faulty(
                 }
             }
         }
+    }
+    if let Some(t0) = started {
+        emit_schedule_metrics(metrics, &report, t0.elapsed().as_secs_f64(), true);
     }
     report
 }
@@ -408,6 +470,42 @@ mod tests {
         assert_eq!(r.file_bytes, 0);
         assert!(r.file_retry_secs > 0.0);
         assert_eq!(r.filecule_failed_transfers, 2);
+    }
+
+    #[test]
+    fn metrics_variant_preserves_report_and_emits() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(133)).generate();
+        let set = identify(&t);
+        let plain = schedule_comparison(&t, &set, TransferModel::default());
+        let m = Metrics::enabled();
+        let observed = schedule_comparison_metrics(&t, &set, TransferModel::default(), &m);
+        assert_eq!(plain, observed, "metrics must not perturb the replay");
+        let snap = m.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("transfer.schedule.file_transfers"),
+            plain.file_transfers
+        );
+        assert_eq!(
+            snap.counter("transfer.schedule.filecule_bytes"),
+            plain.filecule_bytes
+        );
+        assert_eq!(snap.timers["transfer.schedule"].count, 1);
+
+        let cfg = FaultConfig::default().with_transfer_failures(0.5);
+        let plan = FaultPlan::for_trace(&cfg, &t, 133);
+        let m2 = Metrics::enabled();
+        let faulty =
+            schedule_comparison_faulty_metrics(&t, &set, TransferModel::default(), &plan, &m2);
+        let snap2 = m2.snapshot().unwrap();
+        assert_eq!(
+            snap2.counter("transfer.schedule.file_failed_transfers"),
+            faulty.file_failed_transfers
+        );
+        assert_eq!(
+            snap2.counter("transfer.schedule.retry_secs"),
+            (faulty.file_retry_secs + faulty.filecule_retry_secs) as u64
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! order.
 
 use hep_faults::{lane, transfer_key, FaultPlan, RetryModel};
+use hep_obs::Metrics;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Swarm simulator parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -111,6 +113,43 @@ impl SwarmSimResult {
 /// Simulate delivering `object_bytes` to peers arriving at `arrivals`
 /// (seconds, need not be sorted).
 pub fn simulate_swarm(object_bytes: u64, arrivals: &[u64], cfg: &SwarmSimConfig) -> SwarmSimResult {
+    simulate_swarm_metrics(object_bytes, arrivals, cfg, &Metrics::disabled())
+}
+
+/// [`simulate_swarm`] with a metrics handle: when enabled, emits a
+/// `transfer.swarm` span timer plus peer/byte counters at the run
+/// boundary. The result is identical either way.
+pub fn simulate_swarm_metrics(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    metrics: &Metrics,
+) -> SwarmSimResult {
+    let started = metrics.is_enabled().then(Instant::now);
+    let result = simulate_swarm_impl(object_bytes, arrivals, cfg);
+    if let Some(t0) = started {
+        metrics.record_secs("transfer.swarm", t0.elapsed().as_secs_f64());
+        metrics.incr("transfer.swarm.runs");
+        metrics.add("transfer.swarm.peers", result.peers.len() as u64);
+        metrics.add("transfer.swarm.seed_bytes", result.seed_bytes);
+        metrics.add("transfer.swarm.p2p_bytes", result.p2p_bytes);
+        metrics.add(
+            "transfer.swarm.incomplete_peers",
+            result
+                .peers
+                .iter()
+                .filter(|p| p.completion.is_none())
+                .count() as u64,
+        );
+    }
+    result
+}
+
+fn simulate_swarm_impl(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+) -> SwarmSimResult {
     assert!(cfg.chunk_bytes > 0 && cfg.round_secs > 0.0);
     assert!(cfg.seed_up > 0.0 && cfg.peer_down > 0.0);
     let n_chunks = object_bytes.div_ceil(cfg.chunk_bytes).max(1) as usize;
@@ -290,8 +329,27 @@ pub fn simulate_swarm_faulty(
     cfg: &SwarmSimConfig,
     plan: &FaultPlan,
 ) -> (SwarmSimResult, SwarmFaultStats) {
+    simulate_swarm_faulty_metrics(object_bytes, arrivals, cfg, plan, &Metrics::disabled())
+}
+
+/// [`simulate_swarm_faulty`] with a metrics handle: when enabled, the run
+/// additionally emits join-fault counters (retries, failed joins, total
+/// arrival delay) at the run boundary.
+pub fn simulate_swarm_faulty_metrics(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> (SwarmSimResult, SwarmFaultStats) {
     let (shifted, stats) = faulted_arrivals(arrivals, plan.retry(), plan.transfer_seed());
-    (simulate_swarm(object_bytes, &shifted, cfg), stats)
+    let result = simulate_swarm_metrics(object_bytes, &shifted, cfg, metrics);
+    if metrics.is_enabled() {
+        metrics.add("transfer.swarm.join_retries", stats.retries);
+        metrics.add("transfer.swarm.failed_joins", stats.failed_joins);
+        metrics.add("transfer.swarm.join_delay_secs", stats.total_delay_secs);
+    }
+    (result, stats)
 }
 
 #[cfg(test)]
@@ -333,6 +391,36 @@ mod tests {
         // Mean duration far below the pure client-server 30x serialization.
         let cs_time = 30.0 * GB as f64 / 125e6;
         assert!(r.mean_duration() < cs_time / 2.0, "{}", r.mean_duration());
+    }
+
+    #[test]
+    fn metrics_variant_preserves_result_and_emits() {
+        let arrivals: Vec<u64> = vec![0; 5];
+        let plain = simulate_swarm(GB, &arrivals, &cfg());
+        let m = Metrics::enabled();
+        let observed = simulate_swarm_metrics(GB, &arrivals, &cfg(), &m);
+        assert_eq!(plain.seed_bytes, observed.seed_bytes);
+        assert_eq!(plain.p2p_bytes, observed.p2p_bytes);
+        let snap = m.snapshot().unwrap();
+        assert_eq!(snap.counter("transfer.swarm.peers"), 5);
+        assert_eq!(snap.counter("transfer.swarm.seed_bytes"), plain.seed_bytes);
+        assert_eq!(snap.counter("transfer.swarm.p2p_bytes"), plain.p2p_bytes);
+        assert_eq!(snap.timers["transfer.swarm"].count, 1);
+
+        let plan = hep_faults::FaultPlan::build(
+            &FaultConfig::default().with_transfer_failures(0.5),
+            1,
+            1000,
+            5,
+        );
+        let m2 = Metrics::enabled();
+        let (_, stats) = simulate_swarm_faulty_metrics(GB, &arrivals, &cfg(), &plan, &m2);
+        let snap2 = m2.snapshot().unwrap();
+        assert_eq!(snap2.counter("transfer.swarm.join_retries"), stats.retries);
+        assert_eq!(
+            snap2.counter("transfer.swarm.failed_joins"),
+            stats.failed_joins
+        );
     }
 
     #[test]

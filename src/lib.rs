@@ -23,7 +23,10 @@
 //! * [`replication`] — filecule-aware proactive replication (Section 6);
 //! * [`faults`] (`hep-faults`) — seeded fault injection: site outages,
 //!   transfer failures and degraded links, replayed through the cache,
-//!   replication and transfer simulators in degraded mode.
+//!   replication and transfer simulators in degraded mode;
+//! * [`obs`] (`hep-obs`) — opt-in observability: counters, histograms and
+//!   span timers behind an explicit [`obs::Metrics`] handle (no globals;
+//!   zero overhead when disabled), exportable as JSON/CSV snapshots.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 pub use cachesim;
 pub use filecule_core as core;
 pub use hep_faults as faults;
+pub use hep_obs as obs;
 pub use hep_stats as stats;
 pub use hep_trace as trace;
 pub use replication;
@@ -69,6 +73,7 @@ pub mod prelude {
     };
     pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
     pub use hep_faults::{FaultConfig, FaultPlan};
+    pub use hep_obs::{Metrics, Snapshot};
     pub use hep_trace::{
         DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB,
         MB, TB,

@@ -1,0 +1,129 @@
+//! Golden-output regression harness.
+//!
+//! Pins content digests of small-seed artifacts: the binary encoding of a
+//! synthetic trace, and the `SimReport` field CSV for file-LRU vs
+//! filecule-LRU at a fixed seed, scale and capacity. With metrics disabled
+//! (the default everywhere), these outputs must stay bit-identical across
+//! refactors — any drift is a determinism regression, not noise.
+//!
+//! Fixtures live in `tests/golden_data/`. A missing fixture is blessed
+//! automatically on first run (so fresh checkouts and new fixtures pass
+//! without a separate generation step); set `FILECULES_BLESS=1` to
+//! re-bless after an *intentional* output change, and commit the result.
+
+use filecules::prelude::*;
+use filecules::trace::io_binary::trace_to_bytes;
+use std::fs;
+use std::path::PathBuf;
+
+const SEED: u64 = 7;
+const CAPACITY: u64 = TB / 100;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_data")
+        .join(name)
+}
+
+/// FNV-1a 64-bit, hex-encoded: a dependency-free content digest. Not
+/// cryptographic — it only needs to make accidental drift visible.
+fn digest(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Compare `actual` against the stored fixture, blessing it when missing
+/// or when `FILECULES_BLESS=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture(name);
+    let bless = std::env::var("FILECULES_BLESS").as_deref() == Ok("1");
+    if bless || !path.exists() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        eprintln!("blessed golden fixture {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        expected.trim_end(),
+        actual.trim_end(),
+        "golden mismatch for {name}; if the change is intentional, \
+         re-bless with FILECULES_BLESS=1 and commit the fixture"
+    );
+}
+
+fn small_trace() -> Trace {
+    TraceSynthesizer::new(SynthConfig::small(SEED)).generate()
+}
+
+/// One CSV row per report, every integer field pinned.
+fn report_csv(reports: &[SimReport]) -> String {
+    let mut out = String::from(
+        "policy,capacity,requests,hits,misses,cold_misses,bypasses,\
+         bytes_requested,bytes_fetched,bytes_evicted\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.policy,
+            r.capacity,
+            r.requests,
+            r.hits,
+            r.misses,
+            r.cold_misses,
+            r.bypasses,
+            r.bytes_requested,
+            r.bytes_fetched,
+            r.bytes_evicted
+        ));
+    }
+    out
+}
+
+#[test]
+fn golden_trace_synthesis_digest() {
+    let trace = small_trace();
+    let bytes = trace_to_bytes(&trace);
+    let doc = format!(
+        "seed {SEED}\nbytes {}\nfnv1a64 {}\n",
+        bytes.len(),
+        digest(&bytes)
+    );
+    check_golden("trace-small-seed7.digest", &doc);
+}
+
+#[test]
+fn golden_lru_simreports() {
+    let trace = small_trace();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let sim = Simulator::new();
+    let file = sim.run(&log, &mut FileLru::new(&trace, CAPACITY));
+    let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, CAPACITY));
+    check_golden("simreport-small-seed7.csv", &report_csv(&[file, filecule]));
+}
+
+#[test]
+fn golden_outputs_unchanged_by_metrics() {
+    // The observability layer must be write-only: attaching a recorder
+    // cannot perturb either artifact the golden files pin.
+    let metrics = Metrics::enabled();
+    let trace = TraceSynthesizer::new(SynthConfig::small(SEED)).generate_with_metrics(&metrics);
+    assert_eq!(trace_to_bytes(&trace), trace_to_bytes(&small_trace()));
+
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let plain = Simulator::new().run(&log, &mut FileLru::new(&trace, CAPACITY));
+    let instrumented = Simulator::new()
+        .with_metrics(metrics.clone())
+        .run(&log, &mut FileLru::new(&trace, CAPACITY));
+    assert_eq!(report_csv(&[plain]), report_csv(&[instrumented]));
+
+    let snap = metrics.snapshot().unwrap();
+    assert!(snap.counter("trace.synth.traces") >= 1);
+    assert!(snap.counter("cachesim.runs") >= 1);
+}
