@@ -1,6 +1,7 @@
 //! Criterion benches for the shared replay engine: what a [`ReplayLog`]
 //! costs to build, what reusing it saves over per-run re-materialization,
-//! and the full 14-policy grid in a single shared pass.
+//! the full policy grid in a single shared pass, and the segment-sharded
+//! engine at 1/4/16 segments.
 
 use cachesim::{compare_policies_log, simulate, FileLru, PolicySpec, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -61,7 +62,7 @@ fn bench_replay_log(c: &mut Criterion) {
     });
 
     // The whole policy grid, one shared materialization, one pass each.
-    group.bench_function("grid14/shared-log", |b| {
+    group.bench_function("grid/shared-log", |b| {
         b.iter(|| {
             std::hint::black_box(compare_policies_log(
                 &log,
@@ -72,6 +73,19 @@ fn bench_replay_log(c: &mut Criterion) {
             ))
         })
     });
+
+    // The segment-sharded engine: the same file-LRU replay split into 1,
+    // 4, and 16 independent segments. shards=1 goes through the
+    // monolithic fallback, so its delta against `single/shared-log` is
+    // the dispatch overhead; higher counts show the parallel speedup.
+    for shards in [1usize, 4, 16] {
+        let sharded = Simulator::new().with_shards(shards);
+        group.bench_function(format!("sharded/{shards}-segments"), |b| {
+            b.iter(|| {
+                std::hint::black_box(sharded.run_spec(&log, &trace, &set, PolicySpec::FileLru, cap))
+            })
+        });
+    }
     group.finish();
 }
 

@@ -13,9 +13,10 @@
 
 use super::{Artifact, Ctx};
 use hep_faults::{FaultConfig, FaultPlan};
-use replication::{simulate_sites_faulty, Granularity};
+use hep_runctx::RunCtx;
+use replication::{simulate_sites_ctx, Granularity};
 use std::fmt::Write as _;
-use transfer::{schedule_comparison_faulty, TransferModel};
+use transfer::{schedule_comparison_ctx, TransferModel};
 
 /// Severity grid for the default artifact: fault-free anchor plus four
 /// escalating degradation levels.
@@ -54,10 +55,10 @@ pub fn faults_at(ctx: &Ctx<'_>, severities: &[f64], seed: u64) -> Artifact {
     for &s in severities {
         let cfg = FaultConfig::severity(s);
         let plan = FaultPlan::for_trace(&cfg, trace, seed);
-        let file = simulate_sites_faulty(&ctx.log, trace, set, capacity, Granularity::File, &plan);
-        let cule =
-            simulate_sites_faulty(&ctx.log, trace, set, capacity, Granularity::Filecule, &plan);
-        let sched = schedule_comparison_faulty(trace, set, model, &plan);
+        let rctx = RunCtx::new().with_faults(&plan);
+        let file = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::File, &rctx);
+        let cule = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::Filecule, &rctx);
+        let sched = schedule_comparison_ctx(trace, set, model, &rctx);
         let gb = |b: u64| b as f64 / hep_trace::GB as f64;
         writeln!(
             text,

@@ -41,7 +41,7 @@ pub struct Ctx<'a> {
     /// The trace's replay stream, materialized once and shared.
     pub log: ReplayLog,
     /// Policy selection for the `grid` artifact (defaults to the full
-    /// 14-policy grid; `report --policies` narrows it).
+    /// full policy grid; `report --policies` narrows it).
     pub policies: Vec<PolicySpec>,
 }
 

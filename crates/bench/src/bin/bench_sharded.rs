@@ -1,0 +1,89 @@
+//! Measure the segment-sharded cache engine and record a `hep-obs`
+//! snapshot.
+//!
+//! ```text
+//! cargo run --release -p hep-bench --bin bench_sharded
+//! cargo run --release -p hep-bench --bin bench_sharded -- --scale 100 --out BENCH_sharded.json
+//! ```
+//!
+//! Replays the standard trace through `Simulator::run_spec` at 1, 4, and
+//! 16 segments for one file-granularity and one filecule-granularity
+//! policy, checks that every sharded report is identical to its
+//! single-shard baseline (the determinism contract, enforced here on the
+//! real bench workload, not just the unit-test traces), and writes the
+//! wall-clock timings and replayed-event counters to a snapshot JSON so
+//! CI can track the perf trajectory per-PR.
+
+use cachesim::{PolicySpec, Simulator};
+use hep_bench::scenario::{standard_set, trace_at_scale};
+use hep_obs::Metrics;
+use hep_trace::{ReplayLog, TB};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 200.0f64;
+    let mut out = String::from("BENCH_sharded.json");
+    while let Some(a) = args.first().cloned() {
+        match a.as_str() {
+            "--scale" => {
+                args.remove(0);
+                scale = args
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --scale needs a number");
+                        std::process::exit(2);
+                    });
+                args.remove(0);
+            }
+            "--out" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+                out = args.remove(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let trace = trace_at_scale(scale, 4.0);
+    let set = standard_set(&trace);
+    let log = ReplayLog::build(&trace);
+    let cap = (10.0 * TB as f64 / scale) as u64;
+    let metrics = Metrics::enabled();
+    metrics.add("bench.sharded.events", log.len() as u64);
+
+    let specs = [PolicySpec::FileLru, PolicySpec::FileculeLru];
+    for spec in specs {
+        let baseline = Simulator::new()
+            .with_shards(1)
+            .run_spec(&log, &trace, &set, spec, cap);
+        for shards in [1usize, 4, 16] {
+            let sim = Simulator::new().with_shards(shards);
+            let t0 = Instant::now();
+            let report = sim.run_spec(&log, &trace, &set, spec, cap);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                report, baseline,
+                "{spec} at {shards} segments diverged from the serial replay"
+            );
+            metrics.record_secs(&format!("bench.sharded.{spec}.{shards}seg"), secs);
+            println!(
+                "{spec:>16} @ {shards:>2} segments: {secs:>7.3}s  ({:.0} events/s, miss {:.4})",
+                log.len() as f64 / secs.max(1e-9),
+                report.miss_rate()
+            );
+        }
+    }
+
+    let snap = metrics.snapshot().expect("metrics enabled");
+    snap.write(std::path::Path::new(&out))
+        .expect("write snapshot");
+    println!("snapshot written to {out}");
+}

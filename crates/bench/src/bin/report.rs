@@ -85,12 +85,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
-    if threads > 0 {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .expect("the global rayon pool is built once, before first use");
-    }
+    hep_runctx::configure_rayon_threads(threads);
 
     let metrics = if metrics_path.is_some() {
         Metrics::enabled()

@@ -1,11 +1,14 @@
-//! Adapter wiring a [`FaultPlan`] into the cache simulator's fault hook.
+//! Adapter wiring a [`FaultPlan`] into the simulator's fault hook.
+//!
+//! This lives in `cachesim` (not `hep-faults`) so the fault crate stays
+//! below the simulators in the dependency order — `hep-runctx` can hold
+//! an `Option<&FaultPlan>` and `cachesim` can consume it without a cycle.
 
-use cachesim::{FaultHook, FetchOutcome};
+use crate::{FaultHook, FetchOutcome};
+use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_trace::{AccessEvent, Trace};
 
-use crate::{lane, transfer_key, FaultPlan};
-
-/// Cold-storage fetch faults for [`cachesim::Simulator::run_with_faults`].
+/// Cold-storage fetch faults for [`Simulator::run_hooked`](crate::Simulator::run_hooked).
 ///
 /// Each cache miss is treated as one wide-area fetch from tape/remote
 /// storage: it runs through the plan's retry model (keyed by the replay-log
@@ -52,8 +55,8 @@ impl FaultHook for ColdStorageFaults<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FaultConfig, RetryModel};
-    use cachesim::{FileLru, Simulator};
+    use crate::{FileLru, Simulator};
+    use hep_faults::{FaultConfig, RetryModel};
     use hep_trace::{ReplayLog, SiteId, SynthConfig, TraceSynthesizer, MB};
 
     #[test]
@@ -64,9 +67,10 @@ mod tests {
         let sim = Simulator::new();
         let plain = sim.run(&log, &mut FileLru::new(&trace, 100 * MB));
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (faulty, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        let (faulty, stats) =
+            sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
         assert_eq!(plain, faulty);
-        assert_eq!(stats, cachesim::FaultStats::default());
+        assert_eq!(stats, crate::FaultStats::default());
     }
 
     #[test]
@@ -80,7 +84,7 @@ mod tests {
         let log = ReplayLog::build(&trace);
         let sim = Simulator::new();
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
         assert!(r.misses > 0);
         assert_eq!(stats.delayed_fetches, r.misses);
         assert!(stats.fault_delay_secs > 0);
@@ -102,7 +106,7 @@ mod tests {
         let log = ReplayLog::build(&trace);
         let sim = Simulator::new();
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&trace, 100 * MB), &hook);
+        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
         assert_eq!(stats.failed_fetches, r.misses);
         assert_eq!(stats.delayed_fetches, 0);
     }

@@ -23,9 +23,18 @@
 //!   one or many policies over it ([`Simulator::run`],
 //!   [`Simulator::run_many`]) with full accounting (request and byte miss
 //!   rates, cold-miss separation, prefetch traffic);
+//! * a modern policy family at both granularities: segmented LRU
+//!   ([`policy::slru::Slru`]), LFU with dynamic aging
+//!   ([`policy::lfuda::Lfuda`]) and TinyLFU admission
+//!   ([`policy::tinylfu::TinyLfu`], backed by
+//!   [`filecule_core::CountMinSketch`]);
 //! * a declarative policy registry ([`spec`]): [`PolicySpec`] names every
 //!   shipped configuration and [`spec::build_policy`] constructs it, so
 //!   CLI flags, sweeps and the report grid share one parser and factory;
+//! * a segment-sharded concurrent engine ([`sharded`]): hash each object
+//!   to one of N independent per-segment policy instances and replay
+//!   segments in parallel ([`Simulator::run_spec`]), bit-identical to the
+//!   serial dispatch for partition-independent policies;
 //! * a parallel cache-size sweep harness ([`sweep`]) that regenerates
 //!   Figure 10 and the policy-comparison grid in a single pass each over
 //!   the shared log.
@@ -38,20 +47,27 @@
 
 #![warn(missing_docs)]
 
+pub mod faults_hook;
 pub mod lru_core;
 pub mod policy;
+pub mod sharded;
 pub mod sim;
 pub mod spec;
 pub mod stackdist;
 pub mod sweep;
 
+pub use faults_hook::ColdStorageFaults;
 pub use policy::filecule_lru::FileculeLru;
+pub use policy::lfuda::Lfuda;
 pub use policy::lru::FileLru;
+pub use policy::slru::Slru;
+pub use policy::tinylfu::TinyLfu;
 pub use policy::{AccessEvent, AccessResult, Policy};
+pub use sharded::{split_capacity, ShardPlan};
 pub use sim::{
     simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimOptions, SimReport, Simulator,
 };
-pub use spec::{build_policy, build_policy_from_log, PolicySpec};
+pub use spec::{build_policy, build_policy_from_log, PolicySpec, SpecGranularity};
 pub use stackdist::{
     file_reuse_profile, file_reuse_profile_from_log, filecule_reuse_profile,
     filecule_reuse_profile_from_log, ReuseProfile,

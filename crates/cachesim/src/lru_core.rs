@@ -147,6 +147,22 @@ impl DenseLru {
             }
         })
     }
+
+    /// Iterate keys from least- to most-recently-used: the eviction order.
+    /// TinyLFU's admission filter walks this to compare the candidate's
+    /// frequency against the victims it would displace.
+    pub fn iter_lru(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.tail;
+        std::iter::from_fn(move || {
+            if cur == NONE {
+                None
+            } else {
+                let k = cur;
+                cur = self.prev[cur as usize];
+                Some(k)
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +188,20 @@ mod tests {
         l.touch(0);
         assert_eq!(l.iter_mru().collect::<Vec<_>>(), vec![0, 2, 1]);
         assert_eq!(l.peek_lru(), Some(1));
+    }
+
+    #[test]
+    fn iter_lru_is_reverse_of_iter_mru() {
+        let mut l = DenseLru::new(5);
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        l.touch(0);
+        let mut mru: Vec<u32> = l.iter_mru().collect();
+        mru.reverse();
+        assert_eq!(l.iter_lru().collect::<Vec<_>>(), mru);
+        assert_eq!(l.iter_lru().next(), l.peek_lru());
+        assert_eq!(DenseLru::new(3).iter_lru().count(), 0);
     }
 
     #[test]

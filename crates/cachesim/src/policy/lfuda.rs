@@ -1,0 +1,217 @@
+//! LFU with Dynamic Aging (LFUDA) at file and filecule granularity.
+//!
+//! Arlitt et al. 2000 ("Evaluating content management techniques for Web
+//! proxy caches"): each cached object carries priority `K = C + L`, where
+//! `C` is its in-cache hit count and `L` a global age. Eviction removes
+//! the minimum-`K` object and raises `L` to the victim's `K`, so a
+//! once-hot object's inflated count decays relative to new arrivals — the
+//! cache-pollution fix perfect LFU ([`FileLfu`](crate::policy::lfu::FileLfu))
+//! famously lacks. Ties break by insertion order, matching the LFU
+//! implementation's discipline.
+
+use crate::policy::object_space::ObjectSpace;
+use crate::policy::{AccessEvent, AccessResult, Policy};
+use filecule_core::FileculeSet;
+use hep_trace::Trace;
+use std::collections::BTreeSet;
+
+/// LFU-with-dynamic-aging over files or filecules.
+#[derive(Debug, Clone)]
+pub struct Lfuda {
+    capacity: u64,
+    used: u64,
+    space: ObjectSpace,
+    /// The aging term `L`: the priority of the last evicted object.
+    age: u64,
+    /// In-cache hit count per object (reset on each insertion).
+    count: Vec<u64>,
+    /// Current priority `K` per resident object.
+    key_of: Vec<u64>,
+    /// Insertion sequence per object (deterministic tie-breaks).
+    seq_of: Vec<u64>,
+    next_seq: u64,
+    resident: Vec<bool>,
+    /// (priority K, insertion seq, object).
+    order: BTreeSet<(u64, u64, u32)>,
+}
+
+impl Lfuda {
+    /// File-granularity LFUDA of `capacity` bytes.
+    pub fn file(trace: &Trace, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::files(trace), capacity)
+    }
+
+    /// Filecule-granularity LFUDA of `capacity` bytes over the partition
+    /// `set`.
+    pub fn filecule(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::filecules(trace, set), capacity)
+    }
+
+    fn with_space(space: ObjectSpace, capacity: u64) -> Self {
+        let n = space.n_objects();
+        Self {
+            capacity,
+            used: 0,
+            space,
+            age: 0,
+            count: vec![0; n],
+            key_of: vec![0; n],
+            seq_of: vec![0; n],
+            next_seq: 0,
+            resident: vec![false; n],
+            order: BTreeSet::new(),
+        }
+    }
+}
+
+impl Policy for Lfuda {
+    fn name(&self) -> String {
+        format!("{}-lfuda", self.space.granularity())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
+        let Some(obj) = self.space.object_of(req) else {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        };
+        let oi = obj as usize;
+        if self.resident[oi] {
+            self.count[oi] += 1;
+            let new_key = self.count[oi] + self.age;
+            let removed = self.order.remove(&(self.key_of[oi], self.seq_of[oi], obj));
+            debug_assert!(removed);
+            // K never decreases: the count grew and the age is monotone.
+            self.key_of[oi] = new_key.max(self.key_of[oi]);
+            self.order.insert((self.key_of[oi], self.seq_of[oi], obj));
+            return AccessResult::hit();
+        }
+        let size = self.space.object_bytes(obj);
+        if size > self.capacity {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let &(vk, vs, victim) = self.order.iter().next().expect("progress guaranteed");
+            self.order.remove(&(vk, vs, victim));
+            self.resident[victim as usize] = false;
+            // Dynamic aging: the cache's age jumps to the departing
+            // object's priority (victims pop in ascending K, so a batch
+            // eviction leaves L at the largest evicted priority).
+            self.age = vk;
+            let s = self.space.object_bytes(victim);
+            self.used -= s;
+            evicted += s;
+        }
+        self.resident[oi] = true;
+        self.count[oi] = 1;
+        self.key_of[oi] = 1 + self.age;
+        self.seq_of[oi] = self.next_seq;
+        self.next_seq += 1;
+        self.order.insert((self.key_of[oi], self.seq_of[oi], obj));
+        self.used += size;
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lfu::FileLfu;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use filecule_core::identify;
+    use hep_trace::MB;
+
+    #[test]
+    fn aging_lets_new_objects_displace_old_hot_ones() {
+        // 0 builds K=3, then a stream of fresh objects ratchets the age up
+        // (L: 0→1→2→3) until a newcomer ties 0's priority and the older
+        // insertion loses: 0 is evicted and its final access misses —
+        // exactly where perfect LFU (frequencies never decay) still hits.
+        let jobs: &[&[u32]] = &[&[0], &[0], &[0], &[1], &[2], &[3], &[4], &[0]];
+        let t = trace_with_sizes(jobs, &[100, 100, 100, 100, 100]);
+        let mut lfuda = Lfuda::file(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut lfuda),
+            vec![false, true, true, false, false, false, false, false]
+        );
+        let mut lfu = FileLfu::new(&t, 200 * MB);
+        let lfu_hits = replay(&t, &mut lfu);
+        assert!(lfu_hits[7], "perfect LFU keeps the stale-hot object");
+    }
+
+    #[test]
+    fn matches_lfu_before_first_eviction() {
+        // With no evictions the age stays 0, so K = count and the order
+        // is exactly perfect LFU's.
+        let jobs: &[&[u32]] = &[&[0], &[1], &[0], &[2], &[1], &[0]];
+        let t = trace_with_sizes(jobs, &[10, 10, 10]);
+        let mut lfuda = Lfuda::file(&t, 1000 * MB);
+        let mut lfu = FileLfu::new(&t, 1000 * MB);
+        assert_eq!(replay(&t, &mut lfuda), replay(&t, &mut lfu));
+    }
+
+    #[test]
+    fn tie_break_evicts_older_insertion() {
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[0]], &[100, 100, 100]);
+        let mut p = Lfuda::file(&t, 200 * MB);
+        // All K=1: inserting 2 evicts 0 (older insertion): last 0 misses.
+        assert_eq!(replay(&t, &mut p), vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn oversized_bypasses() {
+        let t = trace_with_sizes(&[&[0], &[0]], &[500]);
+        let mut p = Lfuda::file(&t, 100 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false]);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn filecule_granularity_prefetches_group() {
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 20, 30]);
+        let set = identify(&t);
+        let mut p = Lfuda::filecule(&t, &set, 1000 * MB);
+        assert_eq!(p.name(), "filecule-lfuda");
+        assert_eq!(replay(&t, &mut p), vec![false, true, true]);
+        assert_eq!(p.used(), 60 * MB);
+    }
+
+    #[test]
+    fn capacity_respected_and_bytes_balance() {
+        let t = trace_with_sizes(
+            &[&[0, 1, 2, 3], &[1, 2], &[0, 3], &[4]],
+            &[60, 60, 60, 60, 60],
+        );
+        let mut p = Lfuda::file(&t, 150 * MB);
+        let (mut fetched, mut evicted) = (0u64, 0u64);
+        for ev in t.access_events() {
+            let r = p.access(&ev);
+            fetched += r.bytes_fetched;
+            evicted += r.bytes_evicted;
+            assert!(p.used() <= p.capacity());
+        }
+        assert_eq!(fetched - evicted, p.used());
+    }
+}

@@ -12,10 +12,14 @@ pub mod filecule_gds;
 pub mod filecule_lru;
 pub mod gds;
 pub mod lfu;
+pub mod lfuda;
 pub mod lru;
 pub mod lruk;
+mod object_space;
 pub mod prefetch;
 pub mod size;
+pub mod slru;
+pub mod tinylfu;
 
 /// One file request from the replay stream. Policies consume the trace's
 /// own event type directly — there is no separate request struct to

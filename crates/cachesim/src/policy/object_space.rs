@@ -1,0 +1,92 @@
+//! Shared file-vs-filecule object mapping for the modern policy family.
+//!
+//! `FileLru`/`FileculeLru` predate this module and keep their hand-rolled
+//! granularity handling; SLRU, LFUDA and TinyLFU are each written once
+//! against [`ObjectSpace`] and instantiated at both granularities. The
+//! semantics mirror the LRU pair exactly: at file granularity the cached
+//! object *is* the file; at filecule granularity a hit/miss/eviction unit
+//! is the whole filecule, an unassigned file is an uncacheable bypass, and
+//! a bypassing request fetches only the requested file's own bytes.
+
+use crate::policy::AccessEvent;
+use filecule_core::FileculeSet;
+use hep_trace::Trace;
+
+/// Maps access events to cacheable object ids and byte sizes at either
+/// file or filecule granularity.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjectSpace {
+    /// Object of each file at filecule granularity (`u32::MAX` =
+    /// unassigned); `None` at file granularity (identity mapping).
+    group_of: Option<Vec<u32>>,
+    /// Byte size per object.
+    obj_bytes: Vec<u64>,
+    /// Per-file sizes, for bypass accounting at filecule granularity.
+    file_sizes: Vec<u64>,
+    granularity: &'static str,
+}
+
+impl ObjectSpace {
+    /// File granularity: one object per file.
+    pub fn files(trace: &Trace) -> Self {
+        let sizes: Vec<u64> = trace.files().iter().map(|f| f.size_bytes).collect();
+        Self {
+            group_of: None,
+            obj_bytes: sizes.clone(),
+            file_sizes: sizes,
+            granularity: "file",
+        }
+    }
+
+    /// Filecule granularity: one object per filecule of `set`.
+    pub fn filecules(trace: &Trace, set: &FileculeSet) -> Self {
+        let mut group_of = vec![u32::MAX; trace.n_files()];
+        for g in set.ids() {
+            for &f in set.files(g) {
+                group_of[f.index()] = g.0;
+            }
+        }
+        Self {
+            group_of: Some(group_of),
+            obj_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
+            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            granularity: "filecule",
+        }
+    }
+
+    /// Number of distinct cacheable objects (= keyspace for LRU lists,
+    /// frequency sketches, ...).
+    pub fn n_objects(&self) -> usize {
+        self.obj_bytes.len()
+    }
+
+    /// Object the event maps to, or `None` for a file outside the
+    /// partition (uncacheable; cannot happen when the partition was
+    /// identified from the same trace).
+    pub fn object_of(&self, req: &AccessEvent) -> Option<u32> {
+        match &self.group_of {
+            None => Some(req.file.0),
+            Some(map) => {
+                let g = map[req.file.index()];
+                (g != u32::MAX).then_some(g)
+            }
+        }
+    }
+
+    /// Byte size of object `obj`.
+    pub fn object_bytes(&self, obj: u32) -> u64 {
+        self.obj_bytes[obj as usize]
+    }
+
+    /// Bytes a bypassing (non-caching) fetch moves: the requested file's
+    /// own size — never the whole group, since prefetching an object the
+    /// cache will not retain is wasted work.
+    pub fn request_bytes(&self, req: &AccessEvent) -> u64 {
+        self.file_sizes[req.file.index()]
+    }
+
+    /// `"file"` or `"filecule"`, for policy names like `file-slru`.
+    pub fn granularity(&self) -> &'static str {
+        self.granularity
+    }
+}

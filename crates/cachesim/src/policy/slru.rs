@@ -1,0 +1,211 @@
+//! Segmented LRU (SLRU) at file and filecule granularity.
+//!
+//! Two LRU segments (Karedla, Love & Wherry 1994): new objects enter a
+//! *probationary* segment; a hit in probation promotes to a *protected*
+//! segment capped at 4/5 of capacity. Protected overflow demotes its LRU
+//! object back to probation-MRU (no eviction), and misses evict from
+//! probation first, so one burst of one-shot objects cannot flush the
+//! frequently-reused working set — the scan-resistance plain LRU lacks.
+
+use crate::lru_core::DenseLru;
+use crate::policy::object_space::ObjectSpace;
+use crate::policy::{AccessEvent, AccessResult, Policy};
+use filecule_core::FileculeSet;
+use hep_trace::Trace;
+
+/// Segmented LRU over files or filecules.
+#[derive(Debug, Clone)]
+pub struct Slru {
+    capacity: u64,
+    used: u64,
+    /// Byte cap of the protected segment (4/5 of capacity).
+    protected_cap: u64,
+    protected_used: u64,
+    space: ObjectSpace,
+    probation: DenseLru,
+    protected: DenseLru,
+}
+
+impl Slru {
+    /// File-granularity SLRU of `capacity` bytes.
+    pub fn file(trace: &Trace, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::files(trace), capacity)
+    }
+
+    /// Filecule-granularity SLRU of `capacity` bytes over the partition
+    /// `set`.
+    pub fn filecule(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::filecules(trace, set), capacity)
+    }
+
+    fn with_space(space: ObjectSpace, capacity: u64) -> Self {
+        let n = space.n_objects();
+        Self {
+            capacity,
+            used: 0,
+            protected_cap: capacity / 5 * 4,
+            protected_used: 0,
+            space,
+            probation: DenseLru::new(n),
+            protected: DenseLru::new(n),
+        }
+    }
+
+    /// Promote a probation hit into protected, demoting protected-LRU
+    /// objects back to probation-MRU until the protected cap holds.
+    fn promote(&mut self, obj: u32) {
+        self.probation.remove(obj);
+        self.protected.insert(obj);
+        self.protected_used += self.space.object_bytes(obj);
+        while self.protected_used > self.protected_cap {
+            let demoted = self.protected.pop_lru().expect("protected is non-empty");
+            self.protected_used -= self.space.object_bytes(demoted);
+            self.probation.insert(demoted);
+        }
+    }
+
+    fn evict_until(&mut self, need: u64) -> u64 {
+        let mut evicted = 0u64;
+        while self.used + need > self.capacity {
+            let victim = match self.probation.pop_lru() {
+                Some(v) => v,
+                None => {
+                    let v = self.protected.pop_lru().expect("progress guaranteed");
+                    self.protected_used -= self.space.object_bytes(v);
+                    v
+                }
+            };
+            let s = self.space.object_bytes(victim);
+            self.used -= s;
+            evicted += s;
+        }
+        evicted
+    }
+}
+
+impl Policy for Slru {
+    fn name(&self) -> String {
+        format!("{}-slru", self.space.granularity())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
+        let Some(obj) = self.space.object_of(req) else {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        };
+        if self.protected.contains(obj) {
+            self.protected.touch(obj);
+            return AccessResult::hit();
+        }
+        if self.probation.contains(obj) {
+            self.promote(obj);
+            return AccessResult::hit();
+        }
+        let size = self.space.object_bytes(obj);
+        if size > self.capacity {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let bytes_evicted = self.evict_until(size);
+        self.used += size;
+        self.probation.insert(obj);
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use crate::FileLru;
+    use filecule_core::identify;
+    use hep_trace::MB;
+
+    #[test]
+    fn probation_evicted_before_protected() {
+        // 0 is promoted by its second access; a scan (1, 2, 3) then evicts
+        // probation entries only, so 0 survives where plain LRU loses it.
+        let t = trace_with_sizes(&[&[0], &[0], &[1], &[2], &[3], &[0]], &[100, 100, 100, 100]);
+        let mut slru = Slru::file(&t, 300 * MB);
+        assert_eq!(
+            replay(&t, &mut slru),
+            vec![false, true, false, false, false, true]
+        );
+        let mut lru = FileLru::new(&t, 300 * MB);
+        let lru_hits = replay(&t, &mut lru);
+        assert!(!lru_hits[5], "plain LRU loses 0 to the scan");
+    }
+
+    #[test]
+    fn protected_overflow_demotes_to_probation() {
+        // capacity 250 → protected cap 200. Promoting 0 (100), 1 (100) and
+        // 2 (50) overflows protected, demoting 0 to probation-MRU; the
+        // miss on 3 then evicts 0 (probation LRU), and 0's next access
+        // misses while 1 and 2 stay protected hits.
+        let t = trace_with_sizes(
+            &[&[0], &[1], &[2], &[0], &[1], &[2], &[3], &[0], &[1], &[2]],
+            &[100, 100, 50, 100],
+        );
+        let mut p = Slru::file(&t, 250 * MB);
+        assert_eq!(
+            replay(&t, &mut p),
+            vec![false, false, false, true, true, true, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn oversized_object_bypasses() {
+        let t = trace_with_sizes(&[&[0], &[1], &[1]], &[500, 10]);
+        let mut p = Slru::file(&t, 100 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false, true]);
+        assert_eq!(p.used(), 10 * MB);
+    }
+
+    #[test]
+    fn filecule_granularity_prefetches_group() {
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 10, 10]);
+        let set = identify(&t);
+        let mut p = Slru::filecule(&t, &set, 1000 * MB);
+        assert_eq!(p.name(), "filecule-slru");
+        assert_eq!(replay(&t, &mut p), vec![false, true, true]);
+        assert_eq!(p.used(), 30 * MB);
+    }
+
+    #[test]
+    fn byte_accounting_balances_and_capacity_respected() {
+        let t = trace_with_sizes(
+            &[&[0, 1], &[2, 3], &[0, 4], &[1, 2], &[3, 4]],
+            &[60, 70, 80, 90, 50],
+        );
+        let mut p = Slru::file(&t, 200 * MB);
+        let (mut fetched, mut evicted) = (0u64, 0u64);
+        for ev in t.access_events() {
+            let r = p.access(&ev);
+            fetched += r.bytes_fetched;
+            evicted += r.bytes_evicted;
+            assert!(p.used() <= p.capacity());
+        }
+        assert_eq!(fetched - evicted, p.used());
+    }
+}

@@ -1,0 +1,210 @@
+//! TinyLFU admission over an LRU cache, at file and filecule granularity.
+//!
+//! Einziger, Friedman & Manes 2017: keep plain LRU for *eviction* order,
+//! but gate *admission* through a compact frequency filter — a count-min
+//! sketch ([`CountMinSketch`]) with periodic halving, so it tracks recent
+//! popularity in O(1) space. On a miss that would require eviction, the
+//! candidate is admitted only if its estimated frequency beats every
+//! victim it would displace; otherwise the fetch bypasses the cache and
+//! the resident working set is left untouched. One-hit wonders (the bulk
+//! of a physics archive's traffic) therefore never displace proven
+//! objects.
+
+use crate::lru_core::DenseLru;
+use crate::policy::object_space::ObjectSpace;
+use crate::policy::{AccessEvent, AccessResult, Policy};
+use filecule_core::{CountMinSketch, FileculeSet};
+use hep_trace::Trace;
+
+/// Fixed hash seed: admission must be deterministic for a given trace.
+const SKETCH_SEED: u64 = 0x7f11_ec01e_5eed;
+
+/// TinyLFU (LRU + count-min admission filter) over files or filecules.
+#[derive(Debug, Clone)]
+pub struct TinyLfu {
+    capacity: u64,
+    used: u64,
+    space: ObjectSpace,
+    lru: DenseLru,
+    sketch: CountMinSketch,
+}
+
+impl TinyLfu {
+    /// File-granularity TinyLFU of `capacity` bytes.
+    pub fn file(trace: &Trace, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::files(trace), capacity)
+    }
+
+    /// Filecule-granularity TinyLFU of `capacity` bytes over the
+    /// partition `set`.
+    pub fn filecule(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::filecules(trace, set), capacity)
+    }
+
+    fn with_space(space: ObjectSpace, capacity: u64) -> Self {
+        let n = space.n_objects();
+        Self {
+            capacity,
+            used: 0,
+            lru: DenseLru::new(n),
+            sketch: CountMinSketch::for_keyspace(n, SKETCH_SEED),
+            space,
+        }
+    }
+
+    /// Admission check: would every object evicted to make room for
+    /// `size` bytes have a lower estimated frequency than `candidate`?
+    fn admits(&self, candidate: u32, size: u64) -> bool {
+        let cand = self.sketch.estimate(candidate as u64);
+        let mut freed = 0u64;
+        for victim in self.lru.iter_lru() {
+            if self.used - freed + size <= self.capacity {
+                break;
+            }
+            if self.sketch.estimate(victim as u64) >= cand {
+                return false;
+            }
+            freed += self.space.object_bytes(victim);
+        }
+        true
+    }
+}
+
+impl Policy for TinyLfu {
+    fn name(&self) -> String {
+        format!("{}-tinylfu", self.space.granularity())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn access(&mut self, req: &AccessEvent) -> AccessResult {
+        let Some(obj) = self.space.object_of(req) else {
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        };
+        // Every access feeds the filter, hits included: admission compares
+        // recent popularity, not just miss counts.
+        self.sketch.record(obj as u64);
+        if self.lru.contains(obj) {
+            self.lru.touch(obj);
+            return AccessResult::hit();
+        }
+        let size = self.space.object_bytes(obj);
+        if size > self.capacity || !self.admits(obj, size) {
+            // Rejected by the admission filter (or never cacheable): serve
+            // the request without disturbing the resident working set.
+            return AccessResult {
+                hit: false,
+                bytes_fetched: self.space.request_bytes(req),
+                bytes_evicted: 0,
+                bypassed: true,
+            };
+        }
+        let mut evicted = 0u64;
+        while self.used + size > self.capacity {
+            let victim = self.lru.pop_lru().expect("admits() guarantees progress");
+            let s = self.space.object_bytes(victim);
+            self.used -= s;
+            evicted += s;
+        }
+        self.used += size;
+        self.lru.insert(obj);
+        AccessResult {
+            hit: false,
+            bytes_fetched: size,
+            bytes_evicted: evicted,
+            bypassed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{replay, trace_with_sizes};
+    use filecule_core::identify;
+    use hep_trace::MB;
+
+    #[test]
+    fn one_hit_wonder_rejected() {
+        // 0 and 1 are each seen twice; a cold scanner (2) would have to
+        // evict 0 but estimates below it, so it bypasses and the working
+        // set keeps hitting.
+        let t = trace_with_sizes(
+            &[&[0], &[0], &[1], &[1], &[2], &[0], &[1]],
+            &[100, 100, 100],
+        );
+        let mut p = TinyLfu::file(&t, 200 * MB);
+        assert_eq!(
+            replay(&t, &mut p),
+            vec![false, true, false, true, false, true, true]
+        );
+        assert_eq!(
+            p.used(),
+            200 * MB,
+            "rejected candidate left cache untouched"
+        );
+    }
+
+    #[test]
+    fn repeat_candidate_eventually_admitted() {
+        // First attempt: est(2)=1 vs victim est(0)=1 → rejected. Second
+        // attempt: est(2)=2 > est(0)=1 → admitted, evicting 0.
+        let t = trace_with_sizes(&[&[0], &[1], &[2], &[2], &[2]], &[100, 100, 100]);
+        let mut p = TinyLfu::file(&t, 200 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn fills_free_space_without_admission_gate() {
+        // No eviction needed → always admitted, like plain LRU.
+        let t = trace_with_sizes(&[&[0], &[1], &[0], &[1]], &[50, 50]);
+        let mut p = TinyLfu::file(&t, 200 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn oversized_bypasses() {
+        let t = trace_with_sizes(&[&[0], &[0]], &[500]);
+        let mut p = TinyLfu::file(&t, 100 * MB);
+        assert_eq!(replay(&t, &mut p), vec![false, false]);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn filecule_granularity_prefetches_group() {
+        let t = trace_with_sizes(&[&[0, 1, 2]], &[10, 20, 30]);
+        let set = identify(&t);
+        let mut p = TinyLfu::filecule(&t, &set, 1000 * MB);
+        assert_eq!(p.name(), "filecule-tinylfu");
+        assert_eq!(replay(&t, &mut p), vec![false, true, true]);
+        assert_eq!(p.used(), 60 * MB);
+    }
+
+    #[test]
+    fn capacity_respected_and_bytes_balance() {
+        let t = trace_with_sizes(
+            &[&[0, 1], &[2, 3], &[0, 1], &[4], &[2, 3], &[4]],
+            &[60, 70, 80, 90, 50],
+        );
+        let mut p = TinyLfu::file(&t, 200 * MB);
+        let (mut fetched, mut evicted) = (0u64, 0u64);
+        for ev in t.access_events() {
+            let r = p.access(&ev);
+            fetched += r.bytes_fetched;
+            evicted += r.bytes_evicted;
+            assert!(p.used() <= p.capacity());
+        }
+        assert_eq!(fetched - evicted, p.used());
+    }
+}

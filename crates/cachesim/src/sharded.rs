@@ -1,0 +1,503 @@
+//! Segment-sharded concurrent replay engine.
+//!
+//! [`Simulator::run_spec`] splits a cache into `shards` independent
+//! segments: every cacheable object (file, or whole filecule at filecule
+//! granularity) hashes to exactly one segment, each segment is an
+//! independent policy instance with its share of the capacity, and each
+//! segment replays the log filtered to its own objects. Per-segment
+//! [`SimReport`] partials are merged in segment order at the end.
+//!
+//! ## Determinism contract
+//!
+//! For partition-independent specs
+//! ([`PolicySpec::is_partition_independent`]) the engine guarantees,
+//! bit-for-bit:
+//!
+//! 1. **`shards = 1` is the monolithic engine.** One segment holds the
+//!    whole capacity and replays the unfiltered log — the exact
+//!    [`Simulator::run`] path.
+//! 2. **Thread count never matters.** Segments share no mutable state, so
+//!    replaying them on 1 or N threads (or in any order) yields the same
+//!    partials; the merge is a fixed-order sum.
+//! 3. **Parallel filtered replay ≡ serial dispatch.** Each event reaches
+//!    its segment's policy instance in global log order with its global
+//!    index (warmup cutoffs and fault-hook keys included), so the merged
+//!    report equals a serial pass dispatching each event to the same
+//!    per-segment instances. The golden suite pins the digests.
+//!
+//! Specs that are *not* partition-independent (prefetchers, bundle
+//! affinity, LRU-2, offline Belady) silently fall back to one monolithic
+//! segment — correct results, no intra-policy parallelism.
+//!
+//! ## Capacity split
+//!
+//! `capacity / shards` per segment, with the remainder distributed one
+//! byte each to the lowest-numbered segments ([`split_capacity`]), so
+//! segment capacities always sum exactly to the configured total.
+
+use crate::faults_hook::ColdStorageFaults;
+use crate::sim::{replay_filtered, FaultHook, FaultStats, SimReport};
+use crate::spec::{build_policy_from_log, PolicySpec, SpecGranularity};
+use crate::Simulator;
+use filecule_core::FileculeSet;
+use hep_runctx::{maybe_install, RunCtx};
+use hep_trace::{FileId, ReplayLog, Trace};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64 → 64 bit permutation,
+/// so consecutive object ids spread evenly over segments.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-segment byte capacities: `capacity / shards` each, remainder
+/// distributed to the low segments. Sums exactly to `capacity`.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn split_capacity(capacity: u64, shards: usize) -> Vec<u64> {
+    assert!(shards >= 1, "split_capacity: shards must be >= 1");
+    let n = shards as u64;
+    let base = capacity / n;
+    let rem = capacity % n;
+    (0..n).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Precomputed file → segment map for one sharded run.
+///
+/// At file granularity each file hashes independently; at filecule
+/// granularity every member of a filecule hashes by the *group* id, so a
+/// group never spans segments (files outside the partition hash by their
+/// own id — they bypass every cache anyway).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    seg_of_file: Vec<u16>,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Segment map at file granularity.
+    pub fn by_file(n_files: usize, shards: usize) -> Self {
+        Self::check(shards);
+        Self {
+            seg_of_file: (0..n_files)
+                .map(|f| (mix64(f as u64) % shards as u64) as u16)
+                .collect(),
+            shards,
+        }
+    }
+
+    /// Segment map at filecule granularity over the partition `set`.
+    pub fn by_filecule(set: &FileculeSet, n_files: usize, shards: usize) -> Self {
+        Self::check(shards);
+        let mut seg_of_file: Vec<u16> = (0..n_files)
+            .map(|f| (mix64(f as u64) % shards as u64) as u16)
+            .collect();
+        for g in set.ids() {
+            let s = (mix64(u64::from(g.0)) % shards as u64) as u16;
+            for &f in set.files(g) {
+                seg_of_file[f.index()] = s;
+            }
+        }
+        Self {
+            seg_of_file,
+            shards,
+        }
+    }
+
+    /// Segment map matching `spec`'s granularity.
+    pub fn for_spec(spec: PolicySpec, set: &FileculeSet, n_files: usize, shards: usize) -> Self {
+        match spec.granularity() {
+            SpecGranularity::File => Self::by_file(n_files, shards),
+            SpecGranularity::Filecule => Self::by_filecule(set, n_files, shards),
+        }
+    }
+
+    fn check(shards: usize) {
+        assert!(shards >= 1, "ShardPlan: shards must be >= 1");
+        assert!(
+            shards <= usize::from(u16::MAX),
+            "ShardPlan: shards must fit in u16"
+        );
+    }
+
+    /// Segment owning `file`.
+    pub fn segment_of(&self, file: FileId) -> usize {
+        usize::from(self.seg_of_file[file.index()])
+    }
+
+    /// Number of segments.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Sum per-segment partials in segment order into one report. Every
+/// counter is an exact integer sum and segments own disjoint objects, so
+/// the merge loses nothing.
+fn merge_partials(partials: Vec<(SimReport, FaultStats)>) -> (SimReport, FaultStats) {
+    // Every segment runs the same policy at the same granularity, so all
+    // partials carry the same name — keep it so shards=1 and shards=N
+    // runs report identically.
+    let policy = partials
+        .first()
+        .map(|(r, _)| r.policy.clone())
+        .unwrap_or_default();
+    let mut report = SimReport {
+        policy,
+        capacity: 0,
+        requests: 0,
+        hits: 0,
+        misses: 0,
+        cold_misses: 0,
+        bypasses: 0,
+        bytes_requested: 0,
+        bytes_fetched: 0,
+        bytes_evicted: 0,
+    };
+    let mut faults = FaultStats::default();
+    for (r, f) in partials {
+        report.capacity += r.capacity;
+        report.requests += r.requests;
+        report.hits += r.hits;
+        report.misses += r.misses;
+        report.cold_misses += r.cold_misses;
+        report.bypasses += r.bypasses;
+        report.bytes_requested += r.bytes_requested;
+        report.bytes_fetched += r.bytes_fetched;
+        report.bytes_evicted += r.bytes_evicted;
+        faults.failed_fetches += f.failed_fetches;
+        faults.delayed_fetches += f.delayed_fetches;
+        faults.fault_delay_secs += f.fault_delay_secs;
+    }
+    (report, faults)
+}
+
+impl Simulator {
+    /// Sharded spec-level replay: build one policy instance per segment
+    /// (capacity split by [`split_capacity`]) and replay each segment's
+    /// events through it, in parallel, merging the partial reports.
+    /// With `shards = 1` (the default) — or for specs that are not
+    /// partition-independent — this is exactly the monolithic
+    /// [`Simulator::run`] on a freshly built policy.
+    pub fn run_spec(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+    ) -> SimReport {
+        maybe_install(self.threads(), || {
+            self.run_spec_inner(log, trace, set, spec, capacity, None).0
+        })
+    }
+
+    /// Like [`Simulator::run_spec`], with an optional [`FaultHook`]
+    /// consulted on every miss (keyed by global log position, so fault
+    /// outcomes are shard-invariant too).
+    pub fn run_spec_hooked(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        hook: Option<&dyn FaultHook>,
+    ) -> (SimReport, FaultStats) {
+        maybe_install(self.threads(), || {
+            self.run_spec_inner(log, trace, set, spec, capacity, hook)
+        })
+    }
+
+    /// The one [`RunCtx`]-taking sharded entry point: adopts the
+    /// context's metrics/shards/threads and adapts `ctx.faults` through
+    /// [`ColdStorageFaults`].
+    pub fn run_spec_ctx(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        ctx: &RunCtx<'_>,
+    ) -> (SimReport, FaultStats) {
+        let sim = self.clone().with_ctx(ctx);
+        match ctx.faults {
+            Some(plan) => {
+                let hook = ColdStorageFaults::new(plan, trace);
+                sim.run_spec_hooked(log, trace, set, spec, capacity, Some(&hook))
+            }
+            None => sim.run_spec_hooked(log, trace, set, spec, capacity, None),
+        }
+    }
+
+    /// Replay every spec over the shared log, composing across-policy and
+    /// within-policy (segment) parallelism under one rayon budget: the
+    /// whole pass runs inside the simulator's thread pool (when
+    /// [`Simulator::with_threads`] is set), and nested segment `par_iter`s
+    /// draw from that same pool instead of oversubscribing cores.
+    pub fn run_specs(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        set: &FileculeSet,
+        specs: &[PolicySpec],
+        capacity: u64,
+    ) -> Vec<SimReport> {
+        maybe_install(self.threads(), || {
+            specs
+                .par_iter()
+                .map(|&spec| self.run_spec_inner(log, trace, set, spec, capacity, None).0)
+                .collect()
+        })
+    }
+
+    /// Core sharded replay; assumes the caller already installed the
+    /// thread pool (if any), so nested `par_iter`s compose under it.
+    fn run_spec_inner(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        hook: Option<&dyn FaultHook>,
+    ) -> (SimReport, FaultStats) {
+        let shards = self.shards();
+        if shards <= 1 || !spec.is_partition_independent() {
+            let mut policy = build_policy_from_log(spec, log, trace, set, capacity);
+            let started = self.metrics().is_enabled().then(Instant::now);
+            let (report, faults) =
+                replay_filtered(log, policy.as_mut(), hook, self.options(), None);
+            if let Some(t0) = started {
+                self.emit_run_metrics(
+                    &report,
+                    &faults,
+                    t0.elapsed().as_secs_f64(),
+                    log.len(),
+                    hook,
+                );
+            }
+            return (report, faults);
+        }
+        let started = self.metrics().is_enabled().then(Instant::now);
+        let plan = ShardPlan::for_spec(spec, set, trace.n_files(), shards);
+        let caps = split_capacity(capacity, shards);
+        let options = self.options();
+        let partials: Vec<(SimReport, FaultStats)> = (0..shards)
+            .into_par_iter()
+            .map(|s| {
+                let mut policy = build_policy_from_log(spec, log, trace, set, caps[s]);
+                replay_filtered(log, policy.as_mut(), hook, options, Some((&plan, s)))
+            })
+            .collect();
+        let (report, faults) = merge_partials(partials);
+        if let Some(t0) = started {
+            self.emit_run_metrics(
+                &report,
+                &faults,
+                t0.elapsed().as_secs_f64(),
+                log.len(),
+                hook,
+            );
+        }
+        (report, faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filecule_core::identify;
+    use hep_trace::{SynthConfig, TraceSynthesizer, TB};
+
+    fn small() -> (Trace, FileculeSet, ReplayLog) {
+        let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+        let set = identify(&trace);
+        let log = ReplayLog::build(&trace);
+        (trace, set, log)
+    }
+
+    #[test]
+    fn split_capacity_sums_and_low_segments_take_remainder() {
+        assert_eq!(split_capacity(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_capacity(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_capacity(3, 5), vec![1, 1, 1, 0, 0]);
+        for (cap, n) in [(0u64, 1), (17, 3), (TB, 16), (TB + 13, 7)] {
+            let parts = split_capacity(cap, n);
+            assert_eq!(parts.len(), n);
+            assert_eq!(parts.iter().sum::<u64>(), cap);
+            assert!(parts.windows(2).all(|w| w[0] >= w[1]), "monotone split");
+        }
+    }
+
+    #[test]
+    fn filecule_plan_keeps_groups_together() {
+        let (trace, set, _) = small();
+        let plan = ShardPlan::by_filecule(&set, trace.n_files(), 8);
+        for g in set.ids() {
+            let segs: std::collections::BTreeSet<usize> =
+                set.files(g).iter().map(|&f| plan.segment_of(f)).collect();
+            assert_eq!(segs.len(), 1, "filecule {} spans segments", g.0);
+        }
+    }
+
+    #[test]
+    fn file_plan_uses_every_segment_on_real_traces() {
+        let (trace, _, _) = small();
+        let plan = ShardPlan::by_file(trace.n_files(), 8);
+        let mut hit = vec![false; 8];
+        for f in 0..trace.n_files() {
+            hit[plan.segment_of(FileId(f as u32))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "splitmix spread misses a segment");
+    }
+
+    #[test]
+    fn one_shard_is_the_monolithic_engine() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let sim = Simulator::new();
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+            let mono = sim.run(
+                &log,
+                build_policy_from_log(spec, &log, &trace, &set, cap).as_mut(),
+            );
+            let sharded = sim.run_spec(&log, &trace, &set, spec, cap);
+            assert_eq!(mono, sharded, "{spec}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeGds] {
+            let base = Simulator::new()
+                .with_shards(4)
+                .run_spec(&log, &trace, &set, spec, cap);
+            for threads in [1, 2, 8] {
+                let r = Simulator::new()
+                    .with_shards(4)
+                    .with_threads(threads)
+                    .run_spec(&log, &trace, &set, spec, cap);
+                assert_eq!(base, r, "{spec} @ {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_serial_dispatch() {
+        // Independent serial reference: one pass over the log in global
+        // order, each event dispatched to its segment's policy instance.
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let shards = 4;
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+            let sharded = Simulator::new()
+                .with_shards(shards)
+                .run_spec(&log, &trace, &set, spec, cap);
+
+            let plan = ShardPlan::for_spec(spec, &set, trace.n_files(), shards);
+            let caps = split_capacity(cap, shards);
+            let mut instances: Vec<_> = (0..shards)
+                .map(|s| build_policy_from_log(spec, &log, &trace, &set, caps[s]))
+                .collect();
+            let mut seen = vec![false; log.n_files()];
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let mut cold = 0u64;
+            let mut fetched = 0u64;
+            for i in 0..log.len() {
+                let ev = log.event(i);
+                let r = instances[plan.segment_of(ev.file)].access(&ev);
+                if r.hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    if !seen[ev.file.index()] {
+                        cold += 1;
+                    }
+                }
+                fetched += r.bytes_fetched;
+                seen[ev.file.index()] = true;
+            }
+            assert_eq!(sharded.hits, hits, "{spec}");
+            assert_eq!(sharded.misses, misses, "{spec}");
+            assert_eq!(sharded.cold_misses, cold, "{spec}");
+            assert_eq!(sharded.bytes_fetched, fetched, "{spec}");
+        }
+    }
+
+    #[test]
+    fn partition_dependent_specs_fall_back_to_monolithic() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let sim8 = Simulator::new().with_shards(8);
+        for spec in [PolicySpec::BeladyMin, PolicySpec::SuccessorPrefetch] {
+            let mono = Simulator::new().run_spec(&log, &trace, &set, spec, cap);
+            let sharded = sim8.run_spec(&log, &trace, &set, spec, cap);
+            assert_eq!(mono, sharded, "{spec}");
+        }
+    }
+
+    #[test]
+    fn run_specs_matches_individual_run_spec() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let sim = Simulator::new().with_shards(4).with_threads(2);
+        let specs = [
+            PolicySpec::FileLru,
+            PolicySpec::FileculeLru,
+            PolicySpec::FileTinyLfu,
+        ];
+        let grid = sim.run_specs(&log, &trace, &set, &specs, cap);
+        for (spec, got) in specs.iter().zip(&grid) {
+            let one = sim.run_spec(&log, &trace, &set, *spec, cap);
+            assert_eq!(&one, got, "{spec}");
+        }
+    }
+
+    #[test]
+    fn run_spec_ctx_adopts_context_knobs() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let ctx = RunCtx::new().with_shards(4);
+        let (via_ctx, stats) =
+            Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx);
+        let direct =
+            Simulator::new()
+                .with_shards(4)
+                .run_spec(&log, &trace, &set, PolicySpec::FileLru, cap);
+        assert_eq!(via_ctx, direct);
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn sharded_fault_outcomes_are_shard_invariant_given_misses() {
+        // The hook is keyed by global log index, so for a fixed shard
+        // count the fault stats are identical at any thread count.
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let plan =
+            hep_faults::FaultPlan::for_trace(&hep_faults::FaultConfig::severity(0.3), &trace, 7);
+        let ctx1 = RunCtx::new()
+            .with_faults(&plan)
+            .with_shards(4)
+            .with_threads(1);
+        let ctx8 = RunCtx::new()
+            .with_faults(&plan)
+            .with_shards(4)
+            .with_threads(8);
+        let a = Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx1);
+        let b = Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx8);
+        assert_eq!(a, b);
+        assert!(a.0.misses > 0);
+    }
+}

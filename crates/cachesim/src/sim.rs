@@ -11,8 +11,11 @@
 //! so anything that simulates the same trace more than once should build a
 //! [`ReplayLog`] once and call the [`Simulator`] directly.
 
+use crate::faults_hook::ColdStorageFaults;
 use crate::policy::{AccessEvent, Policy};
+use crate::sharded::ShardPlan;
 use hep_obs::Metrics;
+use hep_runctx::{maybe_install, RunCtx};
 use hep_trace::{ReplayLog, Trace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -109,7 +112,7 @@ pub trait FaultHook: Sync {
     fn fetch(&self, index: usize, ev: &AccessEvent) -> FetchOutcome;
 }
 
-/// Fault accounting accumulated by [`Simulator::run_with_faults`],
+/// Fault accounting accumulated by [`Simulator::run_hooked`],
 /// reported alongside the (unchanged) [`SimReport`].
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultStats {
@@ -176,10 +179,23 @@ impl SimOptions {
 /// assert_eq!(file.requests, trace.n_accesses() as u64);
 /// assert!(filecule.miss_rate() <= file.miss_rate());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Simulator {
     options: SimOptions,
     metrics: Metrics,
+    shards: usize,
+    threads: usize,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self {
+            options: SimOptions::default(),
+            metrics: Metrics::disabled(),
+            shards: 1,
+            threads: 0,
+        }
+    }
 }
 
 impl Simulator {
@@ -199,7 +215,7 @@ impl Simulator {
         );
         Self {
             options,
-            metrics: Metrics::disabled(),
+            ..Self::default()
         }
     }
 
@@ -213,117 +229,157 @@ impl Simulator {
         self
     }
 
+    /// Set the cache-segment count (≥ 1, default 1) used by the spec-level
+    /// sharded entry points ([`Simulator::run_spec`] and friends in
+    /// [`sharded`](crate::sharded)). `run`/`run_many` drive pre-built
+    /// policy *instances* and are unaffected — a single instance cannot be
+    /// split after construction.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "Simulator: shards must be >= 1");
+        self.shards = shards;
+        self
+    }
+
+    /// Set the rayon thread budget: 0 (default) = ambient/global pool,
+    /// n > 0 = run parallel passes inside a dedicated n-thread pool, so
+    /// across-policy (`run_many`/`run_specs`) and within-policy (sharded
+    /// segments) parallelism share one budget. Thread count never changes
+    /// results — only wall-clock.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overlay a [`RunCtx`] onto this simulator: adopts the context's
+    /// metrics handle and shards/threads knobs (the fault plan stays on
+    /// the context — pass it to [`Simulator::run_ctx`]).
+    pub fn with_ctx(self, ctx: &RunCtx<'_>) -> Self {
+        self.with_metrics(ctx.metrics.clone())
+            .with_shards(ctx.shards)
+            .with_threads(ctx.threads)
+    }
+
     /// The attached metrics handle (disabled by default).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
 
-    /// Replay the whole log through `policy`, accumulating a [`SimReport`].
-    pub fn run(&self, log: &ReplayLog, policy: &mut dyn Policy) -> SimReport {
-        self.run_inner(log, policy, None).0
+    /// The configured cache-segment count (default 1).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
-    /// Like [`Simulator::run`], with a [`FaultHook`] consulted on every
-    /// miss. The [`SimReport`] is bit-identical to a fault-free
-    /// [`Simulator::run`] (the hook never changes cache state); the
-    /// [`FaultStats`] classify how misses were served under faults.
+    /// The configured rayon thread budget (default 0 = ambient pool).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// Replay the whole log through `policy`, accumulating a [`SimReport`].
+    pub fn run(&self, log: &ReplayLog, policy: &mut dyn Policy) -> SimReport {
+        self.run_hooked(log, policy, None).0
+    }
+
+    /// The unified hooked entry point: like [`Simulator::run`], with an
+    /// optional [`FaultHook`] consulted on every miss. The [`SimReport`]
+    /// is bit-identical to a fault-free [`Simulator::run`] (the hook never
+    /// changes cache state); the [`FaultStats`] classify how misses were
+    /// served under faults (all zero when `hook` is `None`).
+    pub fn run_hooked(
+        &self,
+        log: &ReplayLog,
+        policy: &mut dyn Policy,
+        hook: Option<&dyn FaultHook>,
+    ) -> (SimReport, FaultStats) {
+        let started = self.metrics.is_enabled().then(Instant::now);
+        let (report, faults) = replay_filtered(log, policy, hook, self.options, None);
+        if let Some(t0) = started {
+            self.emit_run_metrics(
+                &report,
+                &faults,
+                t0.elapsed().as_secs_f64(),
+                log.len(),
+                hook,
+            );
+        }
+        (report, faults)
+    }
+
+    /// One [`RunCtx`]-taking entry point for single-policy replay: adopts
+    /// the context's metrics handle and, when `ctx.faults` is set, adapts
+    /// the plan through [`ColdStorageFaults`]. `ctx.shards` is ignored
+    /// here — a pre-built policy instance cannot be split; use the
+    /// spec-level [`Simulator::run_spec_ctx`] for sharded replay.
+    pub fn run_ctx(
+        &self,
+        log: &ReplayLog,
+        trace: &Trace,
+        policy: &mut dyn Policy,
+        ctx: &RunCtx<'_>,
+    ) -> (SimReport, FaultStats) {
+        let sim = self.clone().with_metrics(ctx.metrics.clone());
+        match ctx.faults {
+            Some(plan) => {
+                let hook = ColdStorageFaults::new(plan, trace);
+                sim.run_hooked(log, policy, Some(&hook))
+            }
+            None => sim.run_hooked(log, policy, None),
+        }
+    }
+
+    /// Deprecated sibling of [`Simulator::run_hooked`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_hooked(log, policy, Some(hook)) or run_ctx"
+    )]
     pub fn run_with_faults(
         &self,
         log: &ReplayLog,
         policy: &mut dyn Policy,
         hook: &dyn FaultHook,
     ) -> (SimReport, FaultStats) {
-        self.run_inner(log, policy, Some(hook))
+        self.run_hooked(log, policy, Some(hook))
     }
 
-    fn run_inner(
+    pub(crate) fn emit_run_metrics(
         &self,
-        log: &ReplayLog,
-        policy: &mut dyn Policy,
+        report: &SimReport,
+        faults: &FaultStats,
+        secs: f64,
+        events: usize,
         hook: Option<&dyn FaultHook>,
-    ) -> (SimReport, FaultStats) {
-        let skip = (log.len() as f64 * self.options.warmup_fraction) as usize;
-        let mut report = SimReport {
-            policy: policy.name(),
-            capacity: policy.capacity(),
-            requests: 0,
-            hits: 0,
-            misses: 0,
-            cold_misses: 0,
-            bypasses: 0,
-            bytes_requested: 0,
-            bytes_fetched: 0,
-            bytes_evicted: 0,
-        };
-        let mut faults = FaultStats::default();
-        // Clock reads and metric emission happen only at run boundaries, and
-        // only when a recorder is attached: the per-event loop below is
-        // byte-for-byte the same with metrics on or off.
-        let started = self.metrics.is_enabled().then(Instant::now);
-        let mut seen = vec![false; log.n_files()];
-        for i in 0..log.len() {
-            let ev = log.event(i);
-            let r = policy.access(&ev);
-            if i >= skip {
-                report.requests += 1;
-                if self.options.count_bytes {
-                    report.bytes_requested += log.file_size(ev.file);
-                    report.bytes_fetched += r.bytes_fetched;
-                    report.bytes_evicted += r.bytes_evicted;
-                }
-                if r.hit {
-                    report.hits += 1;
-                } else {
-                    report.misses += 1;
-                    if !seen[ev.file.index()] {
-                        report.cold_misses += 1;
-                    }
-                    if r.bypassed {
-                        report.bypasses += 1;
-                    }
-                    if let Some(h) = hook {
-                        match h.fetch(i, &ev) {
-                            FetchOutcome::Fetched => {}
-                            FetchOutcome::Delayed(secs) => {
-                                faults.delayed_fetches += 1;
-                                faults.fault_delay_secs += secs;
-                            }
-                            FetchOutcome::Failed => faults.failed_fetches += 1,
-                        }
-                    }
-                }
-            }
-            seen[ev.file.index()] = true;
+    ) {
+        let m = &self.metrics;
+        m.record_secs(&format!("cachesim.run.{}", report.policy), secs);
+        m.incr("cachesim.runs");
+        m.add("cachesim.events", events as u64);
+        m.add("cachesim.requests", report.requests);
+        m.add("cachesim.hits", report.hits);
+        m.add("cachesim.misses", report.misses);
+        m.add("cachesim.bytes_fetched", report.bytes_fetched);
+        m.add("cachesim.bytes_evicted", report.bytes_evicted);
+        m.add(
+            &format!("cachesim.bytes_fetched.{}", report.policy),
+            report.bytes_fetched,
+        );
+        m.add(
+            &format!("cachesim.bytes_evicted.{}", report.policy),
+            report.bytes_evicted,
+        );
+        if secs > 0.0 {
+            m.observe("cachesim.events_per_sec", (events as f64 / secs) as u64);
         }
-        if let Some(t0) = started {
-            let secs = t0.elapsed().as_secs_f64();
-            let m = &self.metrics;
-            m.record_secs(&format!("cachesim.run.{}", report.policy), secs);
-            m.incr("cachesim.runs");
-            m.add("cachesim.events", log.len() as u64);
-            m.add("cachesim.requests", report.requests);
-            m.add("cachesim.hits", report.hits);
-            m.add("cachesim.misses", report.misses);
-            m.add("cachesim.bytes_fetched", report.bytes_fetched);
-            m.add("cachesim.bytes_evicted", report.bytes_evicted);
-            m.add(
-                &format!("cachesim.bytes_fetched.{}", report.policy),
-                report.bytes_fetched,
-            );
-            m.add(
-                &format!("cachesim.bytes_evicted.{}", report.policy),
-                report.bytes_evicted,
-            );
-            if secs > 0.0 {
-                m.observe("cachesim.events_per_sec", (log.len() as f64 / secs) as u64);
-            }
-            if hook.is_some() {
-                m.add("cachesim.fault.failed_fetches", faults.failed_fetches);
-                m.add("cachesim.fault.delayed_fetches", faults.delayed_fetches);
-                m.add("cachesim.fault.delay_secs", faults.fault_delay_secs);
-            }
+        if hook.is_some() {
+            m.add("cachesim.fault.failed_fetches", faults.failed_fetches);
+            m.add("cachesim.fault.delayed_fetches", faults.delayed_fetches);
+            m.add("cachesim.fault.delay_secs", faults.fault_delay_secs);
         }
-        (report, faults)
     }
 
     /// Drive every policy through the shared log in one parallel pass: the
@@ -331,16 +387,95 @@ impl Simulator {
     /// concurrently via rayon, and each accumulates its own [`SimReport`].
     /// Results are bit-identical to calling [`Simulator::run`] on each
     /// policy sequentially — every policy sees the full ordered stream.
+    /// With [`Simulator::with_threads`] set, the pass runs inside a
+    /// dedicated pool of that size, bounding across-policy parallelism.
     pub fn run_many<'t>(
         &self,
         log: &ReplayLog,
         policies: &mut [Box<dyn Policy + Send + 't>],
     ) -> Vec<SimReport> {
-        policies
-            .par_iter_mut()
-            .map(|p| self.run(log, p.as_mut()))
-            .collect()
+        maybe_install(self.threads, || {
+            policies
+                .par_iter_mut()
+                .map(|p| self.run(log, p.as_mut()))
+                .collect()
+        })
     }
+}
+
+/// The replay loop: drive `policy` over `log`, optionally restricted to
+/// one shard segment, accumulating a [`SimReport`] partial plus
+/// [`FaultStats`].
+///
+/// With `segment = Some((plan, s))` only events whose file maps to
+/// segment `s` are dispatched — in their original global order, with
+/// warmup (`i >= skip`) and fault-hook keys still based on the *global*
+/// log position. Segments own disjoint files, so summing the partials of
+/// all segments reproduces, counter for counter, a serial pass that
+/// dispatched each event to its segment's policy instance — the sharded
+/// engine's determinism contract.
+pub(crate) fn replay_filtered(
+    log: &ReplayLog,
+    policy: &mut dyn Policy,
+    hook: Option<&dyn FaultHook>,
+    options: SimOptions,
+    segment: Option<(&ShardPlan, usize)>,
+) -> (SimReport, FaultStats) {
+    let skip = (log.len() as f64 * options.warmup_fraction) as usize;
+    let mut report = SimReport {
+        policy: policy.name(),
+        capacity: policy.capacity(),
+        requests: 0,
+        hits: 0,
+        misses: 0,
+        cold_misses: 0,
+        bypasses: 0,
+        bytes_requested: 0,
+        bytes_fetched: 0,
+        bytes_evicted: 0,
+    };
+    let mut faults = FaultStats::default();
+    let mut seen = vec![false; log.n_files()];
+    for i in 0..log.len() {
+        let ev = log.event(i);
+        if let Some((plan, s)) = segment {
+            if plan.segment_of(ev.file) != s {
+                continue;
+            }
+        }
+        let r = policy.access(&ev);
+        if i >= skip {
+            report.requests += 1;
+            if options.count_bytes {
+                report.bytes_requested += log.file_size(ev.file);
+                report.bytes_fetched += r.bytes_fetched;
+                report.bytes_evicted += r.bytes_evicted;
+            }
+            if r.hit {
+                report.hits += 1;
+            } else {
+                report.misses += 1;
+                if !seen[ev.file.index()] {
+                    report.cold_misses += 1;
+                }
+                if r.bypassed {
+                    report.bypasses += 1;
+                }
+                if let Some(h) = hook {
+                    match h.fetch(i, &ev) {
+                        FetchOutcome::Fetched => {}
+                        FetchOutcome::Delayed(secs) => {
+                            faults.delayed_fetches += 1;
+                            faults.fault_delay_secs += secs;
+                        }
+                        FetchOutcome::Failed => faults.failed_fetches += 1,
+                    }
+                }
+            }
+        }
+        seen[ev.file.index()] = true;
+    }
+    (report, faults)
 }
 
 /// Replay every file access of `trace` (in time order) through `policy`.
@@ -554,7 +689,7 @@ mod tests {
         let sim = Simulator::new();
         let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
         let hook = ScriptedHook(|_| FetchOutcome::Fetched);
-        let (faulty, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 100 * MB), &hook);
+        let (faulty, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
         assert_eq!(plain, faulty);
         assert_eq!(stats, FaultStats::default());
     }
@@ -573,7 +708,7 @@ mod tests {
                 FetchOutcome::Delayed(7)
             }
         });
-        let (r, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 1000 * MB), &hook);
+        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook));
         assert_eq!(r.misses, 3);
         assert_eq!(
             stats.failed_fetches + stats.delayed_fetches,
@@ -605,7 +740,7 @@ mod tests {
         assert!(snap
             .timers
             .contains_key(&format!("cachesim.run.{}", plain.policy)));
-        // Fault counters only appear on run_with_faults.
+        // Fault counters only appear on hooked runs.
         assert!(!snap.counters.contains_key("cachesim.fault.failed_fetches"));
     }
 
@@ -622,7 +757,7 @@ mod tests {
         });
         let metrics = Metrics::enabled();
         let sim = Simulator::new().with_metrics(metrics.clone());
-        let (_, stats) = sim.run_with_faults(&log, &mut FileLru::new(&t, 1000 * MB), &hook);
+        let (_, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook));
         let snap = metrics.snapshot().unwrap();
         assert_eq!(
             snap.counter("cachesim.fault.failed_fetches"),
@@ -636,6 +771,37 @@ mod tests {
             snap.counter("cachesim.fault.delay_secs"),
             stats.fault_delay_secs
         );
+    }
+
+    #[test]
+    fn run_ctx_plain_matches_run_and_faulted_matches_hooked() {
+        let t = TraceSynthesizer::new(SynthConfig::small(75)).generate();
+        let log = hep_trace::ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        let (via_ctx, stats) =
+            sim.run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &RunCtx::new());
+        assert_eq!(plain, via_ctx);
+        assert_eq!(stats, FaultStats::default());
+        let plan = hep_faults::FaultPlan::for_trace(&hep_faults::FaultConfig::severity(0.2), &t, 5);
+        let ctx = RunCtx::new().with_faults(&plan);
+        let (r1, s1) = sim.run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &ctx);
+        let hook = ColdStorageFaults::new(&plan, &t);
+        let (r2, s2) = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_with_faults_shims_run_hooked() {
+        let t = trace_with_sizes(&[&[0], &[1], &[0]], &[10, 20]);
+        let log = hep_trace::ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let hook = ScriptedHook(|_| FetchOutcome::Delayed(3));
+        let old = sim.run_with_faults(&log, &mut FileLru::new(&t, 100 * MB), &hook);
+        let new = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
+        assert_eq!(old, new);
     }
 
     #[test]

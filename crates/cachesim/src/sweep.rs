@@ -150,22 +150,31 @@ mod tests {
         let (t, set) = small();
         let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
         let reports = compare_policies(&t, &set, total / 8);
-        assert_eq!(reports.len(), 14);
+        assert_eq!(reports.len(), 20);
         let requests = reports[0].requests;
         for r in &reports {
             assert_eq!(r.requests, requests, "{}", r.policy);
             assert_eq!(r.hits + r.misses, r.requests, "{}", r.policy);
             assert!(r.miss_rate() > 0.0 && r.miss_rate() <= 1.0, "{}", r.policy);
         }
-        // Belady (file granularity) must beat every other *demand-paging*
-        // file-granularity policy on request miss rate (prefetching
-        // policies are not demand policies, so they are excluded).
+        // Belady (file granularity) must beat the classic *demand-paging*
+        // file-granularity policies on request miss rate. Explicit
+        // allowlist: prefetchers are not demand policies, filecule
+        // policies fetch whole groups, and the admission-gated family
+        // (TinyLFU & co) may bypass on miss — a move outside the
+        // demand-paging model Belady is optimal for.
         let belady = reports.iter().find(|r| r.policy == "belady-min").unwrap();
+        let demand_file = [
+            "file-lru",
+            "file-fifo",
+            "file-lfu",
+            "file-size",
+            "gds-uniform(landlord)",
+            "gds-size",
+            "file-lru2",
+        ];
         for r in &reports {
-            if r.policy != "belady-min"
-                && !r.policy.contains("filecule")
-                && !r.policy.contains("prefetch")
-            {
+            if demand_file.contains(&r.policy.as_str()) {
                 assert!(
                     belady.misses <= r.misses,
                     "belady {} > {} {}",

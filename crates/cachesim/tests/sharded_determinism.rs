@@ -1,0 +1,121 @@
+//! The sharded engine's determinism contract, enforced from outside the
+//! crate through the public API only:
+//!
+//! 1. for every partition-independent [`PolicySpec`], the report at a
+//!    fixed shard count is bit-identical across thread counts (1/2/8) —
+//!    parallelism is a scheduling detail, never a result;
+//! 2. `shards = 1` is the monolithic engine: identical to driving the
+//!    policy through [`Simulator::run`] directly;
+//! 3. partition-dependent specs silently fall back to the monolithic
+//!    replay at any shard count;
+//! 4. the capacity split is exact and remainder-stable (proptest).
+
+use cachesim::{build_policy_from_log, split_capacity, PolicySpec, Simulator};
+use filecule_core::identify;
+use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer, TB};
+use proptest::prelude::*;
+
+const CAPACITY: u64 = TB / 100;
+
+fn scenario() -> (hep_trace::Trace, filecule_core::FileculeSet, ReplayLog) {
+    let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    (trace, set, log)
+}
+
+#[test]
+fn sharded_matrix_is_thread_invariant_for_every_partition_independent_spec() {
+    let (trace, set, log) = scenario();
+    for &spec in PolicySpec::ALL
+        .iter()
+        .filter(|s| s.is_partition_independent())
+    {
+        for shards in [1usize, 2, 8] {
+            let reference = Simulator::new()
+                .with_shards(shards)
+                .with_threads(1)
+                .run_spec(&log, &trace, &set, spec, CAPACITY);
+            for threads in [2usize, 8] {
+                let report = Simulator::new()
+                    .with_shards(shards)
+                    .with_threads(threads)
+                    .run_spec(&log, &trace, &set, spec, CAPACITY);
+                assert_eq!(
+                    report, reference,
+                    "{spec} at {shards} shards diverged between 1 and {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shard_matches_the_monolithic_engine_for_every_spec() {
+    let (trace, set, log) = scenario();
+    let sim = Simulator::new();
+    for spec in PolicySpec::ALL {
+        let mut policy = build_policy_from_log(spec, &log, &trace, &set, CAPACITY);
+        let mono = sim.run(&log, policy.as_mut());
+        let sharded = Simulator::new()
+            .with_shards(1)
+            .run_spec(&log, &trace, &set, spec, CAPACITY);
+        assert_eq!(
+            sharded, mono,
+            "{spec}: shards=1 must be the monolithic replay"
+        );
+    }
+}
+
+#[test]
+fn partition_dependent_specs_fall_back_to_monolithic_at_any_shard_count() {
+    let (trace, set, log) = scenario();
+    for &spec in PolicySpec::ALL
+        .iter()
+        .filter(|s| !s.is_partition_independent())
+    {
+        let mono = Simulator::new()
+            .with_shards(1)
+            .run_spec(&log, &trace, &set, spec, CAPACITY);
+        for shards in [2usize, 8, 16] {
+            let report = Simulator::new()
+                .with_shards(shards)
+                .run_spec(&log, &trace, &set, spec, CAPACITY);
+            assert_eq!(
+                report, mono,
+                "{spec} holds cross-object state; {shards} shards must fall back"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_sharded_replay_is_thread_invariant(shards in 1usize..12, threads in 2usize..8) {
+        let (trace, set, log) = scenario();
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+            let serial = Simulator::new()
+                .with_shards(shards)
+                .with_threads(1)
+                .run_spec(&log, &trace, &set, spec, CAPACITY);
+            let parallel = Simulator::new()
+                .with_shards(shards)
+                .with_threads(threads)
+                .run_spec(&log, &trace, &set, spec, CAPACITY);
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn prop_split_capacity_is_exact(capacity in 0u64..u64::from(u32::MAX), shards in 1usize..64) {
+        let caps = split_capacity(capacity, shards);
+        prop_assert_eq!(caps.len(), shards);
+        prop_assert_eq!(caps.iter().sum::<u64>(), capacity);
+        // Remainder goes to the low segments: monotone non-increasing,
+        // spread at most one byte.
+        prop_assert!(caps.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(caps[0] - caps[shards - 1] <= 1);
+    }
+}

@@ -1,9 +1,10 @@
 //! Command implementations.
 
 use crate::args::Args;
-use cachesim::{build_policy_from_log, Policy, PolicySpec, SimOptions, Simulator};
+use cachesim::{PolicySpec, SimOptions, Simulator};
 use filecule_core::FileculeSet;
 use hep_obs::Metrics;
+use hep_runctx::RunCtx;
 use hep_trace::{ReplayLog, SynthConfig, Trace, TraceSynthesizer, GB};
 use std::error::Error;
 use std::path::Path;
@@ -237,13 +238,16 @@ fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
 }
 
 /// `filecules simulate <trace>`: one shared replay-log materialization,
-/// every selected policy simulated over it in a single pass each.
+/// every selected policy simulated over it in a single pass each. With
+/// `--shards N` the cache is split into N independent segments replayed
+/// in parallel (partition-dependent policies fall back to monolithic).
 pub fn simulate_cmd(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "policy",
         "policies",
         "capacity-gb",
         "warmup",
+        "shards",
         "json",
         "metrics",
         "threads",
@@ -253,15 +257,17 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     let specs = policy_selection(args)?;
     let capacity = (args.get_or("capacity-gb", 1024.0f64)? * GB as f64) as u64;
     let warmup: f64 = args.get_or("warmup", 0.0)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let metrics = metrics_from_args(args);
     let set = filecule_core::identify(&trace);
     let log = ReplayLog::build(&trace);
-    let mut policies: Vec<Box<dyn Policy + Send>> = specs
-        .iter()
-        .map(|&spec| build_policy_from_log(spec, &log, &trace, &set, capacity))
-        .collect();
-    let sim = Simulator::with_options(SimOptions::warm(warmup)).with_metrics(metrics.clone());
-    let reports = sim.run_many(&log, &mut policies);
+    let sim = Simulator::with_options(SimOptions::warm(warmup))
+        .with_metrics(metrics.clone())
+        .with_shards(shards);
+    let reports = sim.run_specs(&log, &trace, &set, &specs, capacity);
     finish_metrics(args, &metrics)?;
     if args.switch("json") {
         if let [report] = reports.as_slice() {
@@ -466,26 +472,26 @@ pub fn faults(args: &Args) -> CmdResult {
     for &s in &severities {
         let cfg = hep_faults::FaultConfig::severity(s);
         let plan = hep_faults::FaultPlan::for_trace(&cfg, &trace, seed);
-        let file = replication::simulate_sites_faulty_metrics(
+        let ctx = RunCtx::new()
+            .with_faults(&plan)
+            .with_metrics(metrics.clone());
+        let file = replication::simulate_sites_ctx(
             &log,
             &trace,
             &set,
             capacity,
             replication::Granularity::File,
-            &plan,
-            &metrics,
+            &ctx,
         );
-        let cule = replication::simulate_sites_faulty_metrics(
+        let cule = replication::simulate_sites_ctx(
             &log,
             &trace,
             &set,
             capacity,
             replication::Granularity::Filecule,
-            &plan,
-            &metrics,
+            &ctx,
         );
-        let sched =
-            transfer::schedule_comparison_faulty_metrics(&trace, &set, model, &plan, &metrics);
+        let sched = transfer::schedule_comparison_ctx(&trace, &set, model, &ctx);
         csv.push_str(&format!(
             "{s},{:.6},{:.6},{:.6},{:.3},{:.3},{},{},{:.3},{:.3},{:.2},{:.2}\n",
             file.unavailability,
@@ -662,6 +668,9 @@ mod tests {
             "bundle",
             "successor",
             "workingset",
+            "slru",
+            "lfuda",
+            "tinylfu",
         ] {
             simulate_cmd(&args(&[
                 "simulate",
@@ -707,6 +716,39 @@ mod tests {
             "file-lru,bogus"
         ]))
         .is_err());
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn simulate_sharded_runs() {
+        let bin = tmp("t4c.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-tinylfu",
+            "--capacity-gb",
+            "100",
+            "--shards",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        // Zero shards is a clean error.
+        assert!(
+            simulate_cmd(&args(&["simulate", bin.to_str().unwrap(), "--shards", "0"])).is_err()
+        );
         std::fs::remove_file(&bin).ok();
     }
 

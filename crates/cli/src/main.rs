@@ -40,10 +40,15 @@ COMMANDS:
   identify <trace>      identify filecules
       --out FILE        write the per-filecule listing CSV
       --algorithm A     exact | refine | hashed | parallel (default exact)
-  simulate <trace>      replay the trace against one cache
+  simulate <trace>      replay the trace against one or more caches
       --policy P        file-lru | filecule-lru | filecule-gds | fifo |
                         lfu | lru2 | size | gds | landlord | belady |
-                        bundle | successor | workingset (default file-lru)
+                        bundle | successor | workingset | slru | lfuda |
+                        tinylfu (default file-lru)
+      --policies LIST   comma list of policy keys, or \"all\"
+      --shards N        segment-sharded engine: split the cache into N
+                        independent segments replayed in parallel
+                        (default 1 = monolithic)
       --capacity-gb N   cache capacity in GiB (default 1024)
       --warmup F        fraction of requests to skip in stats (default 0)
       --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
@@ -82,12 +87,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if threads > 0 {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .expect("the global rayon pool is built once, before first use");
-    }
+    hep_runctx::configure_rayon_threads(threads);
     let cmd = args.positional(0).unwrap_or("help").to_owned();
     let result = match cmd.as_str() {
         "generate" => commands::generate(&args),

@@ -32,7 +32,9 @@
 //!   only, with coarsening metrics (Section 6);
 //! * [`metrics`] — the statistics behind Figures 4–9;
 //! * [`dynamics`] — filecule stability across time windows (Section 8
-//!   future work).
+//!   future work);
+//! * [`sketch`] — a count-min frequency sketch backing the modern
+//!   admission policies (TinyLFU) in `cachesim`.
 
 #![warn(missing_docs)]
 
@@ -40,9 +42,11 @@ pub mod dynamics;
 pub mod filecule;
 pub mod identify;
 pub mod metrics;
+pub mod sketch;
 
 pub use filecule::{FileculeId, FileculeSet};
 pub use identify::exact::identify;
 pub use identify::hashed::identify_hashed;
 pub use identify::incremental::IncrementalFilecules;
 pub use identify::partial::{identify_per_site, CoarseningReport};
+pub use sketch::CountMinSketch;

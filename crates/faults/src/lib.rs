@@ -32,19 +32,20 @@
 //! fault-aware variants of its placement evaluators (down replicas fall
 //! back to the next-nearest live copy or remote storage), `transfer`
 //! folds retry/backoff and degraded-rate delay into transfer time, and
-//! `cachesim` accepts a [`ColdStorageFaults`] hook classifying each miss
-//! as fetched, delayed, or failed. With `FaultConfig::default()` (no
-//! faults) every one of those paths is bit-identical to its fault-free
-//! sibling — guarded by tests in each crate.
+//! `cachesim` adapts a [`FaultPlan`] through its `ColdStorageFaults`
+//! hook, classifying each miss as fetched, delayed, or failed. With
+//! `FaultConfig::default()` (no faults) every one of those paths is
+//! bit-identical to its fault-free sibling — guarded by tests in each
+//! crate. This crate deliberately sits *below* all of them (it knows
+//! traces, not simulators), so the shared `hep-runctx` context can carry
+//! an `Option<&FaultPlan>` into any simulator without a cycle.
 
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod hook;
 pub mod plan;
 pub mod retry;
 
 pub use config::FaultConfig;
-pub use hook::ColdStorageFaults;
 pub use plan::{FaultPlan, Interval};
 pub use retry::{lane, transfer_key, RetryModel, TransferOutcome};

@@ -23,11 +23,14 @@
 //! * [`online`] — collaboration-wide replay with an independent cache at
 //!   every site, stating the filecule advantage in WAN bytes saved.
 //!
-//! Both evaluators also ship a degraded-mode variant
-//! ([`sim::evaluate_with_faults`], [`online::simulate_sites_faulty`])
-//! driven by a seeded `hep_faults::FaultPlan`: down replicas fall back to
-//! the next-nearest live copy or remote storage, and the reports grow
-//! failed-request / retry / fallback-byte / unavailability accounting.
+//! Both evaluators take a `hep_runctx::RunCtx` ([`sim::evaluate_ctx`],
+//! [`online::simulate_sites_ctx`]): attach a metrics handle for
+//! instrumentation and a seeded `hep_faults::FaultPlan` for degraded-mode
+//! replay, where down replicas fall back to the next-nearest live copy or
+//! remote storage and the reports grow failed-request / retry /
+//! fallback-byte / unavailability accounting. The historical sibling
+//! functions (`*_metrics`, `*_faulty`, `*_faulty_metrics`) survive as
+//! deprecated one-line shims over the `_ctx` entry points.
 
 #![warn(missing_docs)]
 
@@ -37,15 +40,18 @@ pub mod policies;
 pub mod sim;
 
 pub use online::{
-    compare_granularities, simulate_sites, simulate_sites_faulty, simulate_sites_faulty_metrics,
-    simulate_sites_log, simulate_sites_log_metrics, Granularity, OnlineReport,
+    compare_granularities, simulate_sites, simulate_sites_ctx, simulate_sites_log, Granularity,
+    OnlineReport,
+};
+#[allow(deprecated)]
+pub use online::{
+    simulate_sites_faulty, simulate_sites_faulty_metrics, simulate_sites_log_metrics,
 };
 pub use placement::Placement;
 pub use policies::{
     file_popularity_placement, filecule_popularity_placement, local_filecule_placement,
     no_replication, training_jobs,
 };
-pub use sim::{
-    evaluate, evaluate_metrics, evaluate_with_faults, evaluate_with_faults_metrics, wasted_bytes,
-    ReplicationReport,
-};
+pub use sim::{evaluate, evaluate_ctx, wasted_bytes, ReplicationReport};
+#[allow(deprecated)]
+pub use sim::{evaluate_metrics, evaluate_with_faults, evaluate_with_faults_metrics};

@@ -14,6 +14,7 @@ use cachesim::{FileLru, FileculeLru, Policy};
 use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_obs::Metrics;
+use hep_runctx::RunCtx;
 use hep_trace::{ReplayLog, Trace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -127,20 +128,78 @@ pub fn simulate_sites_log(
     capacity_per_site: u64,
     granularity: Granularity,
 ) -> OnlineReport {
-    simulate_sites_log_metrics(
+    simulate_sites_ctx(
         log,
         trace,
         set,
         capacity_per_site,
         granularity,
-        &Metrics::disabled(),
+        &RunCtx::new(),
     )
 }
 
-/// [`simulate_sites_log`] with a metrics handle: when enabled, the replay
-/// emits a per-granularity span timer plus request/hit/byte counters at
-/// the run boundary. The report is identical either way.
+/// The one [`RunCtx`]-taking per-site replay entry point. `ctx.metrics`
+/// selects instrumentation and `ctx.faults` the fault-free or the
+/// degraded-mode replay (fault semantics documented on
+/// [`simulate_sites_faulty`]); the parallelism knobs are ignored — site
+/// caches share one sequential pass over the log. With a default context
+/// this is exactly [`simulate_sites_log`].
+pub fn simulate_sites_ctx(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    ctx: &RunCtx<'_>,
+) -> OnlineReport {
+    match ctx.faults {
+        Some(plan) => simulate_sites_degraded(
+            log,
+            trace,
+            set,
+            capacity_per_site,
+            granularity,
+            plan,
+            &ctx.metrics,
+        ),
+        None => simulate_sites_plain(
+            log,
+            trace,
+            set,
+            capacity_per_site,
+            granularity,
+            &ctx.metrics,
+        ),
+    }
+}
+
+/// Deprecated sibling of [`simulate_sites_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_sites_ctx with RunCtx::new().with_metrics(..)"
+)]
 pub fn simulate_sites_log_metrics(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    metrics: &Metrics,
+) -> OnlineReport {
+    simulate_sites_ctx(
+        log,
+        trace,
+        set,
+        capacity_per_site,
+        granularity,
+        &RunCtx::new().with_metrics(metrics.clone()),
+    )
+}
+
+/// The fault-free replay body: when the metrics handle is enabled, the
+/// replay emits a per-granularity span timer plus request/hit/byte
+/// counters at the run boundary. The report is identical either way.
+fn simulate_sites_plain(
     log: &ReplayLog,
     trace: &Trace,
     set: &FileculeSet,
@@ -209,6 +268,10 @@ pub fn simulate_sites_log_metrics(
 ///
 /// Under a fault-free plan this is bit-identical to
 /// [`simulate_sites_log`] except for the zero-valued fault fields.
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_sites_ctx with RunCtx::new().with_faults(plan)"
+)]
 pub fn simulate_sites_faulty(
     log: &ReplayLog,
     trace: &Trace,
@@ -217,22 +280,50 @@ pub fn simulate_sites_faulty(
     granularity: Granularity,
     plan: &FaultPlan,
 ) -> OnlineReport {
-    simulate_sites_faulty_metrics(
+    simulate_sites_ctx(
         log,
         trace,
         set,
         capacity_per_site,
         granularity,
-        plan,
-        &Metrics::disabled(),
+        &RunCtx::new().with_faults(plan),
     )
 }
 
-/// [`simulate_sites_faulty`] with a metrics handle: when enabled, the
-/// replay additionally emits fault-outcome counters (failed requests,
-/// retries, fallback bytes) at the run boundary.
+/// Deprecated sibling of [`simulate_sites_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_sites_ctx with RunCtx::new().with_faults(plan).with_metrics(..)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_sites_faulty_metrics(
+    log: &ReplayLog,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    granularity: Granularity,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> OnlineReport {
+    simulate_sites_ctx(
+        log,
+        trace,
+        set,
+        capacity_per_site,
+        granularity,
+        &RunCtx::new()
+            .with_faults(plan)
+            .with_metrics(metrics.clone()),
+    )
+}
+
+/// The degraded-mode replay body (fault semantics documented on the
+/// deprecated [`simulate_sites_faulty`] shim above): when the metrics
+/// handle is enabled, the replay additionally emits fault-outcome
+/// counters (failed requests, retries, fallback bytes) at the run
+/// boundary.
+#[allow(clippy::too_many_arguments)]
+fn simulate_sites_degraded(
     log: &ReplayLog,
     trace: &Trace,
     set: &FileculeSet,
@@ -375,7 +466,8 @@ mod tests {
         let log = hep_trace::ReplayLog::build(&t);
         for g in [Granularity::File, Granularity::Filecule] {
             let plain = simulate_sites_log(&log, &t, &set, cap, g);
-            let faulty = simulate_sites_faulty(&log, &t, &set, cap, g, &plan);
+            let faulty =
+                simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan));
             assert_eq!(plain, faulty, "{g:?} diverged under a fault-free plan");
         }
     }
@@ -400,7 +492,14 @@ mod tests {
         let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 3);
         plan.script_outage(s0, 0, 1000);
         let log = hep_trace::ReplayLog::build(&t);
-        let r = simulate_sites_faulty(&log, &t, &set, 100 * MB, Granularity::File, &plan);
+        let r = simulate_sites_ctx(
+            &log,
+            &t,
+            &set,
+            100 * MB,
+            Granularity::File,
+            &RunCtx::new().with_faults(&plan),
+        );
         assert_eq!(r.requests, 4);
         // Site 0: two fallback misses; site 1: one cold miss, one hit.
         assert_eq!(r.site_misses, vec![2, 1]);
@@ -419,7 +518,14 @@ mod tests {
         let log = hep_trace::ReplayLog::build(&t);
         let cap = hep_trace::TB;
         let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::File);
-        let r = simulate_sites_faulty(&log, &t, &set, cap, Granularity::File, &plan);
+        let r = simulate_sites_ctx(
+            &log,
+            &t,
+            &set,
+            cap,
+            Granularity::File,
+            &RunCtx::new().with_faults(&plan),
+        );
         // Cache decisions unchanged; every WAN fetch failed over to the
         // fallback path.
         assert_eq!(r.local_hits, plain.local_hits);
@@ -439,7 +545,14 @@ mod tests {
         let cap = hep_trace::TB;
         let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::Filecule);
         let m = Metrics::enabled();
-        let observed = simulate_sites_log_metrics(&log, &t, &set, cap, Granularity::Filecule, &m);
+        let observed = simulate_sites_ctx(
+            &log,
+            &t,
+            &set,
+            cap,
+            Granularity::Filecule,
+            &RunCtx::new().with_metrics(m.clone()),
+        );
         assert_eq!(plain, observed, "metrics must not perturb the replay");
         let snap = m.snapshot().unwrap();
         assert_eq!(snap.counter("replication.online.requests"), plain.requests);
@@ -456,8 +569,14 @@ mod tests {
         let cfg = FaultConfig::default().with_transfer_failures(0.5);
         let plan = FaultPlan::for_trace(&cfg, &t, 145);
         let m2 = Metrics::enabled();
-        let faulty =
-            simulate_sites_faulty_metrics(&log, &t, &set, cap, Granularity::Filecule, &plan, &m2);
+        let faulty = simulate_sites_ctx(
+            &log,
+            &t,
+            &set,
+            cap,
+            Granularity::Filecule,
+            &RunCtx::new().with_faults(&plan).with_metrics(m2.clone()),
+        );
         let snap2 = m2.snapshot().unwrap();
         assert_eq!(
             snap2.counter("replication.online.failed_requests"),
@@ -477,5 +596,30 @@ mod tests {
         let r = simulate_sites(&t, &set, MB, Granularity::File);
         assert_eq!(r.requests, 0);
         assert_eq!(r.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_siblings_shim_simulate_sites_ctx() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(146)).generate();
+        let set = identify(&t);
+        let log = hep_trace::ReplayLog::build(&t);
+        let cap = hep_trace::TB;
+        let plan = FaultPlan::for_trace(&FaultConfig::default().with_transfer_failures(0.5), &t, 9);
+        let g = Granularity::File;
+        let m = Metrics::disabled();
+        assert_eq!(
+            simulate_sites_log_metrics(&log, &t, &set, cap, g, &m),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new())
+        );
+        assert_eq!(
+            simulate_sites_faulty(&log, &t, &set, cap, g, &plan),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan))
+        );
+        assert_eq!(
+            simulate_sites_faulty_metrics(&log, &t, &set, cap, g, &plan, &m),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan))
+        );
     }
 }

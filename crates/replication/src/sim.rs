@@ -3,6 +3,7 @@
 use crate::placement::Placement;
 use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_obs::Metrics;
+use hep_runctx::RunCtx;
 use hep_trace::{FileId, SiteId, Trace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -74,7 +75,26 @@ pub fn evaluate(
     from_time: u64,
     policy: &str,
 ) -> ReplicationReport {
-    evaluate_metrics(trace, placement, from_time, policy, &Metrics::disabled())
+    evaluate_ctx(trace, placement, from_time, policy, &RunCtx::new())
+}
+
+/// The one [`RunCtx`]-taking placement-replay entry point. `ctx.metrics`
+/// selects instrumentation, `ctx.faults` selects the fault-free or the
+/// degraded-mode replay (see [`evaluate`] and the fault semantics
+/// documented on the body below); the parallelism knobs are ignored —
+/// this replay is single-pass. With a default context this is exactly
+/// [`evaluate`].
+pub fn evaluate_ctx(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    ctx: &RunCtx<'_>,
+) -> ReplicationReport {
+    match ctx.faults {
+        Some(plan) => evaluate_faulty(trace, placement, from_time, policy, plan, &ctx.metrics),
+        None => evaluate_plain(trace, placement, from_time, policy, &ctx.metrics),
+    }
 }
 
 /// Emit the boundary counters/timer for one finished placement replay.
@@ -94,10 +114,31 @@ fn emit_eval_metrics(metrics: &Metrics, report: &ReplicationReport, secs: f64, f
     }
 }
 
-/// [`evaluate`] with a metrics handle: when enabled, emits a per-policy
-/// span timer and request/byte counters at the run boundary. The report is
-/// identical either way.
+/// Deprecated sibling of [`evaluate_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_ctx with RunCtx::new().with_metrics(..)"
+)]
 pub fn evaluate_metrics(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    metrics: &Metrics,
+) -> ReplicationReport {
+    evaluate_ctx(
+        trace,
+        placement,
+        from_time,
+        policy,
+        &RunCtx::new().with_metrics(metrics.clone()),
+    )
+}
+
+/// The fault-free replay body: when the metrics handle is enabled, emits a
+/// per-policy span timer and request/byte counters at the run boundary.
+/// The report is identical either way.
+fn evaluate_plain(
     trace: &Trace,
     placement: &Placement,
     from_time: u64,
@@ -185,6 +226,10 @@ fn nearest_live_replica(
 /// Transfer outcomes are keyed by `(job, file)`, independent of replay
 /// order. Under a fault-free plan (`FaultConfig::default()`) this is
 /// bit-identical to [`evaluate`] except for the zero-valued fault fields.
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_ctx with RunCtx::new().with_faults(plan)"
+)]
 pub fn evaluate_with_faults(
     trace: &Trace,
     placement: &Placement,
@@ -192,20 +237,44 @@ pub fn evaluate_with_faults(
     policy: &str,
     plan: &FaultPlan,
 ) -> ReplicationReport {
-    evaluate_with_faults_metrics(
+    evaluate_ctx(
         trace,
         placement,
         from_time,
         policy,
-        plan,
-        &Metrics::disabled(),
+        &RunCtx::new().with_faults(plan),
     )
 }
 
-/// [`evaluate_with_faults`] with a metrics handle: when enabled, the replay
-/// additionally emits fault-outcome counters (failed requests, retries,
-/// fallback bytes) at the run boundary.
+/// Deprecated sibling of [`evaluate_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_ctx with RunCtx::new().with_faults(plan).with_metrics(..)"
+)]
 pub fn evaluate_with_faults_metrics(
+    trace: &Trace,
+    placement: &Placement,
+    from_time: u64,
+    policy: &str,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> ReplicationReport {
+    evaluate_ctx(
+        trace,
+        placement,
+        from_time,
+        policy,
+        &RunCtx::new()
+            .with_faults(plan)
+            .with_metrics(metrics.clone()),
+    )
+}
+
+/// The degraded-mode replay body (see the fault semantics on
+/// [`evaluate_with_faults`]): when the metrics handle is enabled, the
+/// replay additionally emits fault-outcome counters (failed requests,
+/// retries, fallback bytes) at the run boundary.
+fn evaluate_faulty(
     trace: &Trace,
     placement: &Placement,
     from_time: u64,
@@ -424,7 +493,7 @@ mod tests {
             ),
         ] {
             let plain = evaluate(&t, &p, split, name);
-            let faulty = evaluate_with_faults(&t, &p, split, name, &plan);
+            let faulty = evaluate_ctx(&t, &p, split, name, &RunCtx::new().with_faults(&plan));
             assert_eq!(plain, faulty, "{name} diverged under a fault-free plan");
         }
     }
@@ -448,7 +517,7 @@ mod tests {
 
         let mut plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 1);
         plan.script_outage(s0, 50, 200);
-        let r = evaluate_with_faults(&t, &p, 0, "test", &plan);
+        let r = evaluate_ctx(&t, &p, 0, "test", &RunCtx::new().with_faults(&plan));
         assert_eq!(r.local_hits, 0);
         assert_eq!(r.fallback_bytes, 10 * MB);
         assert_eq!(r.remote_bytes, 0);
@@ -457,14 +526,14 @@ mod tests {
 
         // Peer down too: the request goes to remote storage instead.
         plan.script_outage(s1, 50, 200);
-        let r = evaluate_with_faults(&t, &p, 0, "test", &plan);
+        let r = evaluate_ctx(&t, &p, 0, "test", &RunCtx::new().with_faults(&plan));
         assert_eq!(r.fallback_bytes, 0);
         assert_eq!(r.remote_bytes, 10 * MB);
 
         // Outside the outage window nothing changes.
         let mut late_plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 1);
         late_plan.script_outage(s0, 500, 600);
-        let r = evaluate_with_faults(&t, &p, 0, "test", &late_plan);
+        let r = evaluate_ctx(&t, &p, 0, "test", &RunCtx::new().with_faults(&late_plan));
         assert_eq!(r.local_hits, 1);
         assert_eq!(r.fallback_bytes, 0);
     }
@@ -482,7 +551,7 @@ mod tests {
         let p = no_replication(&t, TB);
         let cfg = FaultConfig::default().with_transfer_failures(1.0);
         let plan = FaultPlan::for_trace(&cfg, &t, 7);
-        let r = evaluate_with_faults(&t, &p, 0, "none", &plan);
+        let r = evaluate_ctx(&t, &p, 0, "none", &RunCtx::new().with_faults(&plan));
         assert_eq!(r.failed_requests, 1);
         assert_eq!(r.remote_bytes, 0);
         assert_eq!(r.retries, u64::from(cfg.max_retries));
@@ -536,7 +605,13 @@ mod tests {
         let p = file_popularity_placement(&t, &training, budget);
         let plain = evaluate(&t, &p, split, "file-pop");
         let m = Metrics::enabled();
-        let observed = evaluate_metrics(&t, &p, split, "file-pop", &m);
+        let observed = evaluate_ctx(
+            &t,
+            &p,
+            split,
+            "file-pop",
+            &RunCtx::new().with_metrics(m.clone()),
+        );
         assert_eq!(plain, observed, "metrics must not perturb the replay");
         let snap = m.snapshot().unwrap();
         assert_eq!(
@@ -556,7 +631,13 @@ mod tests {
         let cfg = FaultConfig::default().with_transfer_failures(0.5);
         let plan = FaultPlan::for_trace(&cfg, &t, 113);
         let m2 = Metrics::enabled();
-        let faulty = evaluate_with_faults_metrics(&t, &p, split, "file-pop", &plan, &m2);
+        let faulty = evaluate_ctx(
+            &t,
+            &p,
+            split,
+            "file-pop",
+            &RunCtx::new().with_faults(&plan).with_metrics(m2.clone()),
+        );
         let snap2 = m2.snapshot().unwrap();
         assert_eq!(
             snap2.counter("replication.evaluate.failed_requests"),
@@ -584,5 +665,29 @@ mod tests {
         let r_all = evaluate(&t, &p, 0, "none");
         assert_eq!(r_all.requests, 2);
         let _ = FileId(0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_siblings_shim_evaluate_ctx() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(114)).generate();
+        let split = t.horizon() / 2;
+        let training = training_jobs(&t, split);
+        let p = file_popularity_placement(&t, &training, 2 * TB / 100);
+        let plan = FaultPlan::for_trace(&FaultConfig::default().with_transfer_failures(0.5), &t, 9);
+        let m = Metrics::disabled();
+        assert_eq!(
+            evaluate_metrics(&t, &p, split, "x", &m),
+            evaluate_ctx(&t, &p, split, "x", &RunCtx::new())
+        );
+        assert_eq!(
+            evaluate_with_faults(&t, &p, split, "x", &plan),
+            evaluate_ctx(&t, &p, split, "x", &RunCtx::new().with_faults(&plan))
+        );
+        assert_eq!(
+            evaluate_with_faults_metrics(&t, &p, split, "x", &plan, &m),
+            evaluate_ctx(&t, &p, split, "x", &RunCtx::new().with_faults(&plan))
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! # hep-runctx
+//!
+//! One context struct for every simulator entry point.
+//!
+//! The workspace used to grow a 2×2 sibling family per operation —
+//! `foo`, `foo_metrics`, `foo_faulty`, `foo_faulty_metrics` — and the
+//! sharded cache engine would have minted a third axis (threads/shards)
+//! and eight siblings per operation. [`RunCtx`] collapses the axes into
+//! one value: a metrics handle, an optional fault plan, and the
+//! parallelism knobs. Each operation now has exactly one `*_ctx` entry
+//! point taking `&RunCtx`; the old siblings survive as `#[deprecated]`
+//! one-line shims.
+//!
+//! ```
+//! use hep_runctx::RunCtx;
+//! use hep_obs::Metrics;
+//!
+//! let ctx = RunCtx::new();                   // no metrics, no faults, serial
+//! assert!(ctx.faults.is_none());
+//! let ctx = RunCtx::new()
+//!     .with_metrics(Metrics::enabled())
+//!     .with_shards(4)
+//!     .with_threads(2);
+//! assert_eq!(ctx.shards, 4);
+//! ```
+//!
+//! The crate sits *below* the simulators: it depends only on `hep-obs`
+//! (for [`Metrics`]) and `hep-faults` (for [`FaultPlan`]), so `cachesim`,
+//! `replication` and `transfer` can all take a `&RunCtx` without a
+//! dependency cycle.
+
+#![warn(missing_docs)]
+
+use hep_faults::FaultPlan;
+use hep_obs::Metrics;
+
+/// Context threaded into every simulator entry point: what to observe,
+/// what faults to inject, and how parallel to run.
+///
+/// Construct with [`RunCtx::new`] (or `RunCtx::default()`) and layer on
+/// the builder methods. The lifetime is the borrow of the fault plan;
+/// a fault-free context is `'static` and can be built inline.
+#[derive(Debug, Clone)]
+pub struct RunCtx<'a> {
+    /// Metrics sink. Defaults to the zero-overhead disabled handle.
+    pub metrics: Metrics,
+    /// Fault plan to inject, or `None` for the fault-free path.
+    pub faults: Option<&'a FaultPlan>,
+    /// Cache-segment count for the sharded engine (`cachesim` only);
+    /// 1 = the classic monolithic replay. Other simulators ignore it.
+    pub shards: usize,
+    /// Rayon thread budget: 0 = use the ambient/global pool unchanged,
+    /// n > 0 = run the parallel parts inside a dedicated n-thread pool.
+    pub threads: usize,
+}
+
+impl Default for RunCtx<'_> {
+    fn default() -> Self {
+        RunCtx {
+            metrics: Metrics::disabled(),
+            faults: None,
+            shards: 1,
+            threads: 0,
+        }
+    }
+}
+
+impl<'a> RunCtx<'a> {
+    /// A fault-free, metrics-disabled, serial context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a metrics handle (enabled or disabled).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Inject faults from `plan`.
+    #[must_use]
+    pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Set the cache-segment count (≥ 1) for the sharded engine.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "RunCtx: shards must be >= 1");
+        self.shards = shards;
+        self
+    }
+
+    /// Set the rayon thread budget (0 = ambient pool).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Configure the **global** rayon pool to `threads` workers, once.
+///
+/// This is the single shared configuration path for `--threads` flags
+/// (CLI `main`, `bench/src/bin/report.rs`): with each binary funneling
+/// through here, nested parallelism (policy-level `run_many` over
+/// segment-level sharded replay) draws from one budget instead of
+/// oversubscribing cores with per-call pools.
+///
+/// `threads == 0` leaves the default pool alone. A second call — or a
+/// call after the pool already started — is a silent no-op, matching
+/// rayon's own "first configuration wins" semantics.
+pub fn configure_rayon_threads(threads: usize) {
+    if threads == 0 {
+        return;
+    }
+    // AlreadyInitialized is the only possible error here; the pool that
+    // won the race stays in effect, which is the behavior we want.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global();
+}
+
+/// Run `f` inside a dedicated `threads`-worker pool when `threads > 0`,
+/// or directly on the ambient pool when `threads == 0`.
+///
+/// The simulators call this around their outermost `par_iter`, so a
+/// `RunCtx::with_threads(n)` bounds *all* nested rayon work under one
+/// budget (rayon pools compose: nested `par_iter`s inside `install`
+/// stay on the installed pool).
+pub fn maybe_install<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        return f();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("RunCtx: failed to build thread pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_faults::FaultConfig;
+
+    #[test]
+    fn default_is_serial_fault_free_and_quiet() {
+        let ctx = RunCtx::new();
+        assert!(ctx.faults.is_none());
+        assert!(!ctx.metrics.is_enabled());
+        assert_eq!(ctx.shards, 1);
+        assert_eq!(ctx.threads, 0);
+    }
+
+    #[test]
+    fn builders_layer() {
+        let plan = FaultPlan::build(&FaultConfig::default(), 2, 1_000, 1);
+        let ctx = RunCtx::new()
+            .with_metrics(Metrics::enabled())
+            .with_faults(&plan)
+            .with_shards(8)
+            .with_threads(3);
+        assert!(ctx.metrics.is_enabled());
+        assert!(ctx.faults.is_some());
+        assert_eq!(ctx.shards, 8);
+        assert_eq!(ctx.threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be >= 1")]
+    fn zero_shards_rejected() {
+        let _ = RunCtx::new().with_shards(0);
+    }
+
+    #[test]
+    fn maybe_install_runs_closure_both_ways() {
+        assert_eq!(maybe_install(0, || 40 + 2), 42);
+        assert_eq!(maybe_install(2, || 40 + 2), 42);
+    }
+
+    #[test]
+    fn configure_zero_is_noop_and_repeat_calls_tolerated() {
+        configure_rayon_threads(0);
+        configure_rayon_threads(2);
+        configure_rayon_threads(4); // second call: silently ignored
+    }
+}

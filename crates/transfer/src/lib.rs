@@ -25,10 +25,13 @@
 //! * [`schedule`] — Section 6's transfer-scheduling claim quantified:
 //!   per-transfer setup costs amortized by filecule-granularity batching.
 //!
-//! [`schedule::schedule_comparison_faulty`] and
-//! [`swarm_sim::simulate_swarm_faulty`] replay the same models under a
-//! seeded `hep_faults::FaultPlan`, folding retry backoff, abandoned
-//! transfers, and degraded-link wire time into the transfer accounting.
+//! Both replay models take a `hep_runctx::RunCtx`
+//! ([`schedule::schedule_comparison_ctx`], [`swarm_sim::simulate_swarm_ctx`]):
+//! attach a metrics handle for instrumentation and a seeded
+//! `hep_faults::FaultPlan` to fold retry backoff, abandoned transfers, and
+//! degraded-link wire time into the transfer accounting. The historical
+//! sibling functions (`*_metrics`, `*_faulty`, `*_faulty_metrics`) survive
+//! as deprecated one-line shims over the `_ctx` entry points.
 
 #![warn(missing_docs)]
 
@@ -45,11 +48,14 @@ pub use feasibility::{assess, FeasibilityReport};
 pub use intervals::{
     hottest_filecule, intervals_by_site, intervals_by_user, peak_overlap, AccessInterval,
 };
+pub use schedule::{schedule_comparison, schedule_comparison_ctx, ScheduleReport, TransferModel};
+#[allow(deprecated)]
 pub use schedule::{
-    schedule_comparison, schedule_comparison_faulty, schedule_comparison_faulty_metrics,
-    schedule_comparison_metrics, ScheduleReport, TransferModel,
+    schedule_comparison_faulty, schedule_comparison_faulty_metrics, schedule_comparison_metrics,
 };
 pub use swarm_sim::{
-    faulted_arrivals, simulate_swarm, simulate_swarm_faulty, simulate_swarm_faulty_metrics,
-    simulate_swarm_metrics, SwarmFaultStats, SwarmSimConfig, SwarmSimResult,
+    faulted_arrivals, simulate_swarm, simulate_swarm_ctx, SwarmFaultStats, SwarmSimConfig,
+    SwarmSimResult,
 };
+#[allow(deprecated)]
+pub use swarm_sim::{simulate_swarm_faulty, simulate_swarm_faulty_metrics, simulate_swarm_metrics};

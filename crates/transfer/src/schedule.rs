@@ -13,6 +13,7 @@
 use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_obs::Metrics;
+use hep_runctx::RunCtx;
 use hep_trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -142,7 +143,24 @@ pub fn schedule_comparison(
     set: &FileculeSet,
     model: TransferModel,
 ) -> ScheduleReport {
-    schedule_comparison_metrics(trace, set, model, &Metrics::disabled())
+    schedule_comparison_ctx(trace, set, model, &RunCtx::new())
+}
+
+/// The one [`RunCtx`]-taking scheduling entry point. `ctx.metrics`
+/// selects instrumentation and `ctx.faults` the fault-free or the faulty
+/// replay (fault semantics documented on [`schedule_comparison_faulty`]);
+/// the parallelism knobs are ignored — the replay is one sequential pass.
+/// With a default context this is exactly [`schedule_comparison`].
+pub fn schedule_comparison_ctx(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    ctx: &RunCtx<'_>,
+) -> ScheduleReport {
+    match ctx.faults {
+        Some(plan) => schedule_faulty(trace, set, model, plan, &ctx.metrics),
+        None => schedule_plain(trace, set, model, &ctx.metrics),
+    }
 }
 
 /// Emit the boundary counters/timer for one finished scheduling replay.
@@ -172,10 +190,29 @@ fn emit_schedule_metrics(metrics: &Metrics, report: &ScheduleReport, secs: f64, 
     }
 }
 
-/// [`schedule_comparison`] with a metrics handle: when enabled, emits a
-/// span timer and transfer/byte counters at the run boundary. The report
-/// is identical either way.
+/// Deprecated sibling of [`schedule_comparison_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use schedule_comparison_ctx with RunCtx::new().with_metrics(..)"
+)]
 pub fn schedule_comparison_metrics(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    metrics: &Metrics,
+) -> ScheduleReport {
+    schedule_comparison_ctx(
+        trace,
+        set,
+        model,
+        &RunCtx::new().with_metrics(metrics.clone()),
+    )
+}
+
+/// The fault-free replay body: when the metrics handle is enabled, emits
+/// a span timer and transfer/byte counters at the run boundary. The
+/// report is identical either way.
+fn schedule_plain(
     trace: &Trace,
     set: &FileculeSet,
     model: TransferModel,
@@ -223,19 +260,46 @@ pub fn schedule_comparison_metrics(
 /// the issuing job's start time pay `bytes/bandwidth * (1/rate - 1)` extra
 /// seconds. Under a fault-free plan this is bit-identical to
 /// [`schedule_comparison`] except for the zero-valued fault fields.
+#[deprecated(
+    since = "0.1.0",
+    note = "use schedule_comparison_ctx with RunCtx::new().with_faults(plan)"
+)]
 pub fn schedule_comparison_faulty(
     trace: &Trace,
     set: &FileculeSet,
     model: TransferModel,
     plan: &FaultPlan,
 ) -> ScheduleReport {
-    schedule_comparison_faulty_metrics(trace, set, model, plan, &Metrics::disabled())
+    schedule_comparison_ctx(trace, set, model, &RunCtx::new().with_faults(plan))
 }
 
-/// [`schedule_comparison_faulty`] with a metrics handle: when enabled, the
-/// replay additionally emits abandoned-transfer and retry-delay counters
-/// at the run boundary.
+/// Deprecated sibling of [`schedule_comparison_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use schedule_comparison_ctx with RunCtx::new().with_faults(plan).with_metrics(..)"
+)]
 pub fn schedule_comparison_faulty_metrics(
+    trace: &Trace,
+    set: &FileculeSet,
+    model: TransferModel,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> ScheduleReport {
+    schedule_comparison_ctx(
+        trace,
+        set,
+        model,
+        &RunCtx::new()
+            .with_faults(plan)
+            .with_metrics(metrics.clone()),
+    )
+}
+
+/// The faulty replay body (fault semantics documented on the deprecated
+/// [`schedule_comparison_faulty`] shim above): when the metrics handle is
+/// enabled, the replay additionally emits abandoned-transfer and
+/// retry-delay counters at the run boundary.
+fn schedule_faulty(
     trace: &Trace,
     set: &FileculeSet,
     model: TransferModel,
@@ -435,7 +499,12 @@ mod tests {
         let set = identify(&t);
         let plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 132);
         let plain = schedule_comparison(&t, &set, TransferModel::default());
-        let faulty = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        let faulty = schedule_comparison_ctx(
+            &t,
+            &set,
+            TransferModel::default(),
+            &RunCtx::new().with_faults(&plan),
+        );
         assert_eq!(plain, faulty);
     }
 
@@ -463,7 +532,12 @@ mod tests {
             backoff_cap_secs: 60.0,
             timeout_secs: 600.0,
         });
-        let r = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        let r = schedule_comparison_ctx(
+            &t,
+            &set,
+            TransferModel::default(),
+            &RunCtx::new().with_faults(&plan),
+        );
         // Both touches tried and failed: the site never holds the file.
         assert_eq!(r.file_failed_transfers, 2);
         assert_eq!(r.file_transfers, 0);
@@ -479,7 +553,12 @@ mod tests {
         let set = identify(&t);
         let plain = schedule_comparison(&t, &set, TransferModel::default());
         let m = Metrics::enabled();
-        let observed = schedule_comparison_metrics(&t, &set, TransferModel::default(), &m);
+        let observed = schedule_comparison_ctx(
+            &t,
+            &set,
+            TransferModel::default(),
+            &RunCtx::new().with_metrics(m.clone()),
+        );
         assert_eq!(plain, observed, "metrics must not perturb the replay");
         let snap = m.snapshot().unwrap();
         assert_eq!(
@@ -495,8 +574,12 @@ mod tests {
         let cfg = FaultConfig::default().with_transfer_failures(0.5);
         let plan = FaultPlan::for_trace(&cfg, &t, 133);
         let m2 = Metrics::enabled();
-        let faulty =
-            schedule_comparison_faulty_metrics(&t, &set, TransferModel::default(), &plan, &m2);
+        let faulty = schedule_comparison_ctx(
+            &t,
+            &set,
+            TransferModel::default(),
+            &RunCtx::new().with_faults(&plan).with_metrics(m2.clone()),
+        );
         let snap2 = m2.snapshot().unwrap();
         assert_eq!(
             snap2.counter("transfer.schedule.file_failed_transfers"),
@@ -517,11 +600,39 @@ mod tests {
         let cfg = FaultConfig::default().with_degraded_links(0.9, 0.25);
         let plan = FaultPlan::build(&cfg, t.n_sites(), t.horizon().max(1), 5);
         let plain = schedule_comparison(&t, &set, TransferModel::default());
-        let faulty = schedule_comparison_faulty(&t, &set, TransferModel::default(), &plan);
+        let faulty = schedule_comparison_ctx(
+            &t,
+            &set,
+            TransferModel::default(),
+            &RunCtx::new().with_faults(&plan),
+        );
         // Transfer counts and bytes unchanged; only time is added.
         assert_eq!(faulty.file_transfers, plain.file_transfers);
         assert_eq!(faulty.file_bytes, plain.file_bytes);
         assert!(faulty.file_hours() >= plain.file_hours());
         assert!(faulty.filecule_hours() >= plain.filecule_hours());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_siblings_shim_schedule_comparison_ctx() {
+        use hep_faults::{FaultConfig, FaultPlan};
+        let t = TraceSynthesizer::new(SynthConfig::small(134)).generate();
+        let set = identify(&t);
+        let model = TransferModel::default();
+        let plan = FaultPlan::for_trace(&FaultConfig::default().with_transfer_failures(0.5), &t, 9);
+        let m = Metrics::disabled();
+        assert_eq!(
+            schedule_comparison_metrics(&t, &set, model, &m),
+            schedule_comparison_ctx(&t, &set, model, &RunCtx::new())
+        );
+        assert_eq!(
+            schedule_comparison_faulty(&t, &set, model, &plan),
+            schedule_comparison_ctx(&t, &set, model, &RunCtx::new().with_faults(&plan))
+        );
+        assert_eq!(
+            schedule_comparison_faulty_metrics(&t, &set, model, &plan, &m),
+            schedule_comparison_ctx(&t, &set, model, &RunCtx::new().with_faults(&plan))
+        );
     }
 }

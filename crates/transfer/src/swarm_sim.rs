@@ -18,6 +18,7 @@
 
 use hep_faults::{lane, transfer_key, FaultPlan, RetryModel};
 use hep_obs::Metrics;
+use hep_runctx::RunCtx;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -113,13 +114,54 @@ impl SwarmSimResult {
 /// Simulate delivering `object_bytes` to peers arriving at `arrivals`
 /// (seconds, need not be sorted).
 pub fn simulate_swarm(object_bytes: u64, arrivals: &[u64], cfg: &SwarmSimConfig) -> SwarmSimResult {
-    simulate_swarm_metrics(object_bytes, arrivals, cfg, &Metrics::disabled())
+    simulate_swarm_ctx(object_bytes, arrivals, cfg, &RunCtx::new()).0
 }
 
-/// [`simulate_swarm`] with a metrics handle: when enabled, emits a
+/// The one [`RunCtx`]-taking swarm entry point. `ctx.metrics` selects
+/// instrumentation and `ctx.faults` the fault-free or the join-faulted
+/// run (fault semantics documented on [`faulted_arrivals`]); the
+/// parallelism knobs are ignored — the swarm is one sequential replay.
+/// Without a fault plan the returned [`SwarmFaultStats`] are all zero and
+/// the result is exactly [`simulate_swarm`]'s.
+pub fn simulate_swarm_ctx(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    ctx: &RunCtx<'_>,
+) -> (SwarmSimResult, SwarmFaultStats) {
+    match ctx.faults {
+        Some(plan) => swarm_faulty(object_bytes, arrivals, cfg, plan, &ctx.metrics),
+        None => (
+            swarm_plain(object_bytes, arrivals, cfg, &ctx.metrics),
+            SwarmFaultStats::default(),
+        ),
+    }
+}
+
+/// Deprecated sibling of [`simulate_swarm_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_swarm_ctx with RunCtx::new().with_metrics(..)"
+)]
+pub fn simulate_swarm_metrics(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    metrics: &Metrics,
+) -> SwarmSimResult {
+    simulate_swarm_ctx(
+        object_bytes,
+        arrivals,
+        cfg,
+        &RunCtx::new().with_metrics(metrics.clone()),
+    )
+    .0
+}
+
+/// The fault-free run body: when the metrics handle is enabled, emits a
 /// `transfer.swarm` span timer plus peer/byte counters at the run
 /// boundary. The result is identical either way.
-pub fn simulate_swarm_metrics(
+fn swarm_plain(
     object_bytes: u64,
     arrivals: &[u64],
     cfg: &SwarmSimConfig,
@@ -323,18 +365,29 @@ pub fn faulted_arrivals(
 /// arrivals are shifted by [`faulted_arrivals`] and the swarm then runs
 /// normally. Under a fault-free plan the result is bit-identical to
 /// [`simulate_swarm`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_swarm_ctx with RunCtx::new().with_faults(plan)"
+)]
 pub fn simulate_swarm_faulty(
     object_bytes: u64,
     arrivals: &[u64],
     cfg: &SwarmSimConfig,
     plan: &FaultPlan,
 ) -> (SwarmSimResult, SwarmFaultStats) {
-    simulate_swarm_faulty_metrics(object_bytes, arrivals, cfg, plan, &Metrics::disabled())
+    simulate_swarm_ctx(
+        object_bytes,
+        arrivals,
+        cfg,
+        &RunCtx::new().with_faults(plan),
+    )
 }
 
-/// [`simulate_swarm_faulty`] with a metrics handle: when enabled, the run
-/// additionally emits join-fault counters (retries, failed joins, total
-/// arrival delay) at the run boundary.
+/// Deprecated sibling of [`simulate_swarm_ctx`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use simulate_swarm_ctx with RunCtx::new().with_faults(plan).with_metrics(..)"
+)]
 pub fn simulate_swarm_faulty_metrics(
     object_bytes: u64,
     arrivals: &[u64],
@@ -342,8 +395,29 @@ pub fn simulate_swarm_faulty_metrics(
     plan: &FaultPlan,
     metrics: &Metrics,
 ) -> (SwarmSimResult, SwarmFaultStats) {
+    simulate_swarm_ctx(
+        object_bytes,
+        arrivals,
+        cfg,
+        &RunCtx::new()
+            .with_faults(plan)
+            .with_metrics(metrics.clone()),
+    )
+}
+
+/// The join-faulted run body (fault semantics documented on
+/// [`faulted_arrivals`]): when the metrics handle is enabled, the run
+/// additionally emits join-fault counters (retries, failed joins, total
+/// arrival delay) at the run boundary.
+fn swarm_faulty(
+    object_bytes: u64,
+    arrivals: &[u64],
+    cfg: &SwarmSimConfig,
+    plan: &FaultPlan,
+    metrics: &Metrics,
+) -> (SwarmSimResult, SwarmFaultStats) {
     let (shifted, stats) = faulted_arrivals(arrivals, plan.retry(), plan.transfer_seed());
-    let result = simulate_swarm_metrics(object_bytes, &shifted, cfg, metrics);
+    let result = swarm_plain(object_bytes, &shifted, cfg, metrics);
     if metrics.is_enabled() {
         metrics.add("transfer.swarm.join_retries", stats.retries);
         metrics.add("transfer.swarm.failed_joins", stats.failed_joins);
@@ -398,7 +472,12 @@ mod tests {
         let arrivals: Vec<u64> = vec![0; 5];
         let plain = simulate_swarm(GB, &arrivals, &cfg());
         let m = Metrics::enabled();
-        let observed = simulate_swarm_metrics(GB, &arrivals, &cfg(), &m);
+        let (observed, _) = simulate_swarm_ctx(
+            GB,
+            &arrivals,
+            &cfg(),
+            &RunCtx::new().with_metrics(m.clone()),
+        );
         assert_eq!(plain.seed_bytes, observed.seed_bytes);
         assert_eq!(plain.p2p_bytes, observed.p2p_bytes);
         let snap = m.snapshot().unwrap();
@@ -414,7 +493,12 @@ mod tests {
             5,
         );
         let m2 = Metrics::enabled();
-        let (_, stats) = simulate_swarm_faulty_metrics(GB, &arrivals, &cfg(), &plan, &m2);
+        let (_, stats) = simulate_swarm_ctx(
+            GB,
+            &arrivals,
+            &cfg(),
+            &RunCtx::new().with_faults(&plan).with_metrics(m2.clone()),
+        );
         let snap2 = m2.snapshot().unwrap();
         assert_eq!(snap2.counter("transfer.swarm.join_retries"), stats.retries);
         assert_eq!(
@@ -473,7 +557,8 @@ mod tests {
         let arrivals: Vec<u64> = (0..10).map(|i| i * 37).collect();
         let plan = FaultPlan::build(&FaultConfig::default(), 4, 86_400, 21);
         let plain = simulate_swarm(GB, &arrivals, &cfg());
-        let (faulty, stats) = simulate_swarm_faulty(GB, &arrivals, &cfg(), &plan);
+        let (faulty, stats) =
+            simulate_swarm_ctx(GB, &arrivals, &cfg(), &RunCtx::new().with_faults(&plan));
         assert_eq!(stats, SwarmFaultStats::default());
         assert_eq!(plain.seed_bytes, faulty.seed_bytes);
         assert_eq!(plain.p2p_bytes, faulty.p2p_bytes);
@@ -526,5 +611,40 @@ mod tests {
         for (x, y) in a.peers.iter().zip(&b.peers) {
             assert_eq!(x.completion, y.completion);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_siblings_shim_simulate_swarm_ctx() {
+        fn same(a: &SwarmSimResult, b: &SwarmSimResult) {
+            assert_eq!(a.seed_bytes, b.seed_bytes);
+            assert_eq!(a.p2p_bytes, b.p2p_bytes);
+            assert_eq!(a.peers.len(), b.peers.len());
+            for (x, y) in a.peers.iter().zip(&b.peers) {
+                assert_eq!(x.arrival, y.arrival);
+                assert_eq!(x.completion, y.completion);
+            }
+        }
+        let arrivals: Vec<u64> = (0..8).map(|i| i * 41).collect();
+        let plan = FaultPlan::build(
+            &FaultConfig::default().with_transfer_failures(0.5),
+            2,
+            86_400,
+            24,
+        );
+        let m = Metrics::disabled();
+        let ctx_plain = simulate_swarm_ctx(GB, &arrivals, &cfg(), &RunCtx::new());
+        same(
+            &simulate_swarm_metrics(GB, &arrivals, &cfg(), &m),
+            &ctx_plain.0,
+        );
+        let ctx_faulty =
+            simulate_swarm_ctx(GB, &arrivals, &cfg(), &RunCtx::new().with_faults(&plan));
+        let (r1, s1) = simulate_swarm_faulty(GB, &arrivals, &cfg(), &plan);
+        same(&r1, &ctx_faulty.0);
+        assert_eq!(s1, ctx_faulty.1);
+        let (r2, s2) = simulate_swarm_faulty_metrics(GB, &arrivals, &cfg(), &plan, &m);
+        same(&r2, &ctx_faulty.0);
+        assert_eq!(s2, ctx_faulty.1);
     }
 }

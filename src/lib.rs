@@ -26,7 +26,11 @@
 //!   replication and transfer simulators in degraded mode;
 //! * [`obs`] (`hep-obs`) — opt-in observability: counters, histograms and
 //!   span timers behind an explicit [`obs::Metrics`] handle (no globals;
-//!   zero overhead when disabled), exportable as JSON/CSV snapshots.
+//!   zero overhead when disabled), exportable as JSON/CSV snapshots;
+//! * [`runctx`] (`hep-runctx`) — the [`runctx::RunCtx`] run context
+//!   (metrics + fault plan + shards/threads knobs) taken by every
+//!   simulator entry point, replacing the historical `*_metrics` /
+//!   `*_faulty` sibling functions (which survive as deprecated shims).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +64,7 @@ pub use cachesim;
 pub use filecule_core as core;
 pub use hep_faults as faults;
 pub use hep_obs as obs;
+pub use hep_runctx as runctx;
 pub use hep_stats as stats;
 pub use hep_trace as trace;
 pub use replication;
@@ -68,12 +73,13 @@ pub use transfer;
 /// The most common imports in one place.
 pub mod prelude {
     pub use cachesim::{
-        build_policy, build_policy_from_log, simulate, sweep_fig10, FileLru, FileculeLru, Policy,
-        PolicySpec, SimOptions, SimReport, Simulator,
+        build_policy, build_policy_from_log, simulate, split_capacity, sweep_fig10, FileLru,
+        FileculeLru, Policy, PolicySpec, ShardPlan, SimOptions, SimReport, Simulator,
     };
     pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
     pub use hep_faults::{FaultConfig, FaultPlan};
     pub use hep_obs::{Metrics, Snapshot};
+    pub use hep_runctx::{configure_rayon_threads, RunCtx};
     pub use hep_trace::{
         DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB,
         MB, TB,

@@ -108,6 +108,25 @@ fn golden_lru_simreports() {
 }
 
 #[test]
+fn golden_sharded_simreports() {
+    // Pins the sharded engine's capacity split and merge order: one
+    // digest per granularity at 4 segments. Because both policies are
+    // partition-independent, these rows must also stay identical to the
+    // monolithic `golden_lru_simreports` fixture rows — drift in either
+    // direction is a determinism regression.
+    let trace = small_trace();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let sim = Simulator::new().with_shards(4);
+    let file = sim.run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY);
+    let filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    check_golden(
+        "simreport-sharded4-small-seed7.csv",
+        &report_csv(&[file, filecule]),
+    );
+}
+
+#[test]
 fn golden_outputs_unchanged_by_metrics() {
     // The observability layer must be write-only: attaching a recorder
     // cannot perturb either artifact the golden files pin.
