@@ -1,0 +1,109 @@
+//! Measure in-memory vs. streamed trace replay and record a `hep-obs`
+//! snapshot.
+//!
+//! ```text
+//! cargo run --release -p hep-bench --bin bench_replay
+//! cargo run --release -p hep-bench --bin bench_replay -- --scale 100 --out BENCH_replay.json
+//! ```
+//!
+//! Replays the standard trace twice per policy — once through the fully
+//! materialized [`ReplayLog`], once through [`StreamedLog`] chunk-decoding
+//! the cached FCTB2 file straight from disk — asserts the two reports are
+//! bit-identical (the out-of-core determinism contract, enforced on the
+//! real bench workload), and writes wall-clock timings, event throughput,
+//! and the process peak RSS to a snapshot JSON so CI can track the perf
+//! trajectory per-PR.
+
+use cachesim::{PolicySpec, Simulator};
+use hep_bench::scenario::{standard_set, REPORT_SEED};
+use hep_obs::Metrics;
+use hep_trace::{
+    generate_cached, EventSource, ReplayLog, StreamedLog, SynthConfig, TraceCache, TB,
+};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 200.0f64;
+    let mut out = String::from("BENCH_replay.json");
+    while let Some(a) = args.first().cloned() {
+        match a.as_str() {
+            "--scale" => {
+                args.remove(0);
+                scale = args
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --scale needs a number");
+                        std::process::exit(2);
+                    });
+                args.remove(0);
+            }
+            "--out" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+                out = args.remove(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = SynthConfig::paper(REPORT_SEED, scale);
+    cfg.user_scale = 4.0;
+    // One cache entry serves both sides: the streamed replay decodes the
+    // FCTB2 file in place, the in-memory replay loads it into a Trace.
+    let (path, cache_hit) = TraceCache::default()
+        .load_or_generate_path(&cfg)
+        .expect("trace cache");
+    let trace = generate_cached(&cfg);
+    let set = standard_set(&trace);
+    let cap = (10.0 * TB as f64 / scale) as u64;
+    let metrics = Metrics::enabled();
+
+    let t0 = Instant::now();
+    let log = ReplayLog::build(&trace);
+    metrics.record_secs("bench.replay.build_log", t0.elapsed().as_secs_f64());
+    metrics.add("bench.replay.events", log.len() as u64);
+    println!(
+        "trace: {} events at scale 1/{scale} ({})",
+        log.len(),
+        if cache_hit { "cache hit" } else { "generated" }
+    );
+
+    let streamed = StreamedLog::open(&path).expect("open streamed trace");
+    assert_eq!(streamed.len(), log.len(), "streamed event count diverged");
+
+    for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+        let sim = Simulator::new();
+        let t = Instant::now();
+        let mem = sim.run_spec(&log, &trace, &set, spec, cap);
+        let mem_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let strm = sim.run_spec(&streamed, &trace, &set, spec, cap);
+        let strm_secs = t.elapsed().as_secs_f64();
+        assert_eq!(strm, mem, "{spec}: streamed replay diverged from memory");
+        metrics.record_secs(&format!("bench.replay.{spec}.memory"), mem_secs);
+        metrics.record_secs(&format!("bench.replay.{spec}.streamed"), strm_secs);
+        println!(
+            "{spec:>16}: memory {mem_secs:>7.3}s ({:.0} ev/s) | streamed {strm_secs:>7.3}s ({:.0} ev/s)",
+            log.len() as f64 / mem_secs.max(1e-9),
+            log.len() as f64 / strm_secs.max(1e-9),
+        );
+    }
+
+    if let Some(rss) = hep_obs::peak_rss_bytes() {
+        metrics.add("bench.replay.peak_rss_bytes", rss);
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1u64 << 20) as f64);
+    }
+
+    let snap = metrics.snapshot().expect("metrics enabled");
+    snap.write(std::path::Path::new(&out))
+        .expect("write snapshot");
+    println!("snapshot written to {out}");
+}

@@ -18,9 +18,10 @@
 //!   FIFO, LFU, SIZE, GreedyDual-Size (with Landlord's uniform-cost
 //!   variant), offline Belady MIN, and a bundle-affinity eviction policy
 //!   inspired by Otoo et al.;
-//! * a request-ordered replay engine ([`sim`]): the trace is materialized
-//!   once into a shared [`hep_trace::ReplayLog`] and a [`Simulator`] drives
-//!   one or many policies over it ([`Simulator::run`],
+//! * a request-ordered replay engine ([`sim`]): a [`Simulator`] drives
+//!   one or many policies over any shared [`hep_trace::EventSource`] — the
+//!   in-memory [`hep_trace::ReplayLog`] or the bounded-memory
+//!   [`hep_trace::StreamedLog`] — ([`Simulator::run`],
 //!   [`Simulator::run_many`]) with full accounting (request and byte miss
 //!   rates, cold-miss separation, prefetch traffic);
 //! * a modern policy family at both granularities: segmented LRU
@@ -67,7 +68,9 @@ pub use sharded::{split_capacity, ShardPlan};
 pub use sim::{
     simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimOptions, SimReport, Simulator,
 };
-pub use spec::{build_policy, build_policy_from_log, PolicySpec, SpecGranularity};
+pub use spec::{
+    build_policy, build_policy_from_log, build_policy_from_source, PolicySpec, SpecGranularity,
+};
 pub use stackdist::{
     file_reuse_profile, file_reuse_profile_from_log, filecule_reuse_profile,
     filecule_reuse_profile_from_log, ReuseProfile,

@@ -8,11 +8,23 @@
 //! next-occurrence table aligned.
 
 use crate::policy::{AccessEvent, AccessResult, Policy};
-use hep_trace::{ReplayLog, Trace};
+use hep_trace::{EventSource, FileId, ReplayLog, Trace};
 use std::collections::BTreeSet;
 
 /// Sentinel: no further use.
 const NEVER: u64 = u64::MAX;
+
+/// Collect the file column of any [`EventSource`] in replay order — the
+/// one full-stream column the offline policies need. For a streamed
+/// source this is 4 bytes per event, a quarter of materializing full
+/// events.
+fn collect_file_column(source: &dyn EventSource) -> Vec<FileId> {
+    let mut files = Vec::with_capacity(source.len());
+    source.for_each_chunk(&mut |_base, chunk| {
+        files.extend(chunk.iter().map(|ev| ev.file));
+    });
+    files
+}
 
 /// Offline MIN (Belady) over individual files.
 #[derive(Debug, Clone)]
@@ -43,21 +55,35 @@ impl BeladyMin {
     /// Precompute next-use positions from an already-materialized log
     /// (no extra replay-stream materialization).
     pub fn from_log(log: &ReplayLog, capacity: u64) -> Self {
-        let mut next_use = vec![NEVER; log.len()];
-        let mut last_pos: Vec<u64> = vec![NEVER; log.n_files()];
+        Self::from_parts(log.files(), log.file_sizes(), capacity)
+    }
+
+    /// Precompute next-use positions from any [`EventSource`]: collects
+    /// the file column in one chunked pass (4 bytes per event — the
+    /// future-knowledge table is inherently full-stream).
+    pub fn from_source(source: &dyn EventSource, capacity: u64) -> Self {
+        Self::from_parts(&collect_file_column(source), source.file_sizes(), capacity)
+    }
+
+    /// The shared constructor: `files` is the replay-ordered file column,
+    /// `sizes` the per-file byte sizes indexed by `FileId`.
+    fn from_parts(files: &[FileId], sizes: &[u64], capacity: u64) -> Self {
+        let n_files = sizes.len();
+        let mut next_use = vec![NEVER; files.len()];
+        let mut last_pos: Vec<u64> = vec![NEVER; n_files];
         // Walk the replay stream backwards.
-        for (i, &f) in log.files().iter().enumerate().rev() {
+        for (i, &f) in files.iter().enumerate().rev() {
             next_use[i] = last_pos[f.index()];
             last_pos[f.index()] = i as u64;
         }
         Self {
             capacity,
             used: 0,
-            sizes: log.file_sizes().to_vec(),
+            sizes: sizes.to_vec(),
             next_use,
             cursor: 0,
-            resident: vec![false; log.n_files()],
-            key_of: vec![NEVER; log.n_files()],
+            resident: vec![false; n_files],
+            key_of: vec![NEVER; n_files],
             order: BTreeSet::new(),
         }
     }
@@ -166,15 +192,41 @@ impl FileculeBelady {
     /// Precompute group next-use positions from an already-materialized log
     /// (no extra replay-stream materialization).
     pub fn from_log(log: &ReplayLog, set: &filecule_core::FileculeSet, capacity: u64) -> Self {
-        let mut group_of = vec![u32::MAX; log.n_files()];
+        Self::from_parts(log.files(), log.file_sizes(), set, capacity)
+    }
+
+    /// Precompute group next-use positions from any [`EventSource`]:
+    /// collects the file column in one chunked pass.
+    pub fn from_source(
+        source: &dyn EventSource,
+        set: &filecule_core::FileculeSet,
+        capacity: u64,
+    ) -> Self {
+        Self::from_parts(
+            &collect_file_column(source),
+            source.file_sizes(),
+            set,
+            capacity,
+        )
+    }
+
+    /// The shared constructor: `files` is the replay-ordered file column,
+    /// `sizes` the per-file byte sizes indexed by `FileId`.
+    fn from_parts(
+        files: &[FileId],
+        sizes: &[u64],
+        set: &filecule_core::FileculeSet,
+        capacity: u64,
+    ) -> Self {
+        let mut group_of = vec![u32::MAX; sizes.len()];
         for g in set.ids() {
             for &f in set.files(g) {
                 group_of[f.index()] = g.0;
             }
         }
-        let mut next_use = vec![NEVER; log.len()];
+        let mut next_use = vec![NEVER; files.len()];
         let mut last_pos: Vec<u64> = vec![NEVER; set.n_filecules()];
-        for (i, &f) in log.files().iter().enumerate().rev() {
+        for (i, &f) in files.iter().enumerate().rev() {
             let g = group_of[f.index()];
             if g == u32::MAX {
                 continue;
@@ -192,7 +244,7 @@ impl FileculeBelady {
             resident: vec![false; set.n_filecules()],
             key_of: vec![NEVER; set.n_filecules()],
             order: BTreeSet::new(),
-            file_sizes: log.file_sizes().to_vec(),
+            file_sizes: sizes.to_vec(),
         }
     }
 }

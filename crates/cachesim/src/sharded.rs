@@ -4,8 +4,13 @@
 //! segments: every cacheable object (file, or whole filecule at filecule
 //! granularity) hashes to exactly one segment, each segment is an
 //! independent policy instance with its share of the capacity, and each
-//! segment replays the log filtered to its own objects. Per-segment
-//! [`SimReport`] partials are merged in segment order at the end.
+//! segment replays the event stream filtered to its own objects. The
+//! engine consumes any [`EventSource`] one chunk at a time: each chunk is
+//! partitioned into per-segment batches (tagged with global stream
+//! indices), the batches drain through the per-segment policies in
+//! parallel, and per-segment [`SimReport`] partials are merged in segment
+//! order at the end — so a disk-backed streamed source never has more
+//! than one chunk of events resident.
 //!
 //! ## Determinism contract
 //!
@@ -14,16 +19,18 @@
 //! bit-for-bit:
 //!
 //! 1. **`shards = 1` is the monolithic engine.** One segment holds the
-//!    whole capacity and replays the unfiltered log — the exact
+//!    whole capacity and replays the unfiltered stream — the exact
 //!    [`Simulator::run`] path.
 //! 2. **Thread count never matters.** Segments share no mutable state, so
 //!    replaying them on 1 or N threads (or in any order) yields the same
 //!    partials; the merge is a fixed-order sum.
-//! 3. **Parallel filtered replay ≡ serial dispatch.** Each event reaches
-//!    its segment's policy instance in global log order with its global
-//!    index (warmup cutoffs and fault-hook keys included), so the merged
-//!    report equals a serial pass dispatching each event to the same
-//!    per-segment instances. The golden suite pins the digests.
+//! 3. **Parallel partitioned replay ≡ serial dispatch.** Each event
+//!    reaches its segment's policy instance in global stream order with
+//!    its global index (warmup cutoffs and fault-hook keys included), and
+//!    chunk boundaries are invisible — a segment's event subsequence is
+//!    identical at any chunk size. The merged report equals a serial pass
+//!    dispatching each event to the same per-segment instances. The
+//!    golden suite pins the digests.
 //!
 //! Specs that are *not* partition-independent (prefetchers, bundle
 //! affinity, LRU-2, offline Belady) silently fall back to one monolithic
@@ -36,12 +43,13 @@
 //! segment capacities always sum exactly to the configured total.
 
 use crate::faults_hook::ColdStorageFaults;
-use crate::sim::{replay_filtered, FaultHook, FaultStats, SimReport};
-use crate::spec::{build_policy_from_log, PolicySpec, SpecGranularity};
+use crate::policy::Policy;
+use crate::sim::{replay_source, FaultHook, FaultStats, ReplayAccum, SimReport};
+use crate::spec::{build_policy_from_source, PolicySpec, SpecGranularity};
 use crate::Simulator;
 use filecule_core::FileculeSet;
 use hep_runctx::{maybe_install, RunCtx};
-use hep_trace::{FileId, ReplayLog, Trace};
+use hep_trace::{AccessEvent, EventSource, FileId, Trace};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -178,6 +186,15 @@ fn merge_partials(partials: Vec<(SimReport, FaultStats)>) -> (SimReport, FaultSt
     (report, faults)
 }
 
+/// One segment of a sharded run: its policy instance, its accounting
+/// accumulator, and a reusable batch buffer of `(global index, event)`
+/// pairs partitioned out of the current chunk.
+struct SegState<'s> {
+    policy: Box<dyn Policy + Send>,
+    acc: ReplayAccum<'s>,
+    batch: Vec<(usize, AccessEvent)>,
+}
+
 impl Simulator {
     /// Sharded spec-level replay: build one policy instance per segment
     /// (capacity split by [`split_capacity`]) and replay each segment's
@@ -187,23 +204,24 @@ impl Simulator {
     /// [`Simulator::run`] on a freshly built policy.
     pub fn run_spec(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         set: &FileculeSet,
         spec: PolicySpec,
         capacity: u64,
     ) -> SimReport {
         maybe_install(self.threads(), || {
-            self.run_spec_inner(log, trace, set, spec, capacity, None).0
+            self.run_spec_inner(source, trace, set, spec, capacity, None)
+                .0
         })
     }
 
     /// Like [`Simulator::run_spec`], with an optional [`FaultHook`]
-    /// consulted on every miss (keyed by global log position, so fault
+    /// consulted on every miss (keyed by global stream position, so fault
     /// outcomes are shard-invariant too).
     pub fn run_spec_hooked(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         set: &FileculeSet,
         spec: PolicySpec,
@@ -211,7 +229,7 @@ impl Simulator {
         hook: Option<&dyn FaultHook>,
     ) -> (SimReport, FaultStats) {
         maybe_install(self.threads(), || {
-            self.run_spec_inner(log, trace, set, spec, capacity, hook)
+            self.run_spec_inner(source, trace, set, spec, capacity, hook)
         })
     }
 
@@ -220,7 +238,7 @@ impl Simulator {
     /// [`ColdStorageFaults`].
     pub fn run_spec_ctx(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         set: &FileculeSet,
         spec: PolicySpec,
@@ -231,20 +249,20 @@ impl Simulator {
         match ctx.faults {
             Some(plan) => {
                 let hook = ColdStorageFaults::new(plan, trace);
-                sim.run_spec_hooked(log, trace, set, spec, capacity, Some(&hook))
+                sim.run_spec_hooked(source, trace, set, spec, capacity, Some(&hook))
             }
-            None => sim.run_spec_hooked(log, trace, set, spec, capacity, None),
+            None => sim.run_spec_hooked(source, trace, set, spec, capacity, None),
         }
     }
 
-    /// Replay every spec over the shared log, composing across-policy and
-    /// within-policy (segment) parallelism under one rayon budget: the
+    /// Replay every spec over the shared source, composing across-policy
+    /// and within-policy (segment) parallelism under one rayon budget: the
     /// whole pass runs inside the simulator's thread pool (when
     /// [`Simulator::with_threads`] is set), and nested segment `par_iter`s
     /// draw from that same pool instead of oversubscribing cores.
     pub fn run_specs(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         set: &FileculeSet,
         specs: &[PolicySpec],
@@ -253,7 +271,10 @@ impl Simulator {
         maybe_install(self.threads(), || {
             specs
                 .par_iter()
-                .map(|&spec| self.run_spec_inner(log, trace, set, spec, capacity, None).0)
+                .map(|&spec| {
+                    self.run_spec_inner(source, trace, set, spec, capacity, None)
+                        .0
+                })
                 .collect()
         })
     }
@@ -262,7 +283,7 @@ impl Simulator {
     /// thread pool (if any), so nested `par_iter`s compose under it.
     fn run_spec_inner(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         set: &FileculeSet,
         spec: PolicySpec,
@@ -271,16 +292,15 @@ impl Simulator {
     ) -> (SimReport, FaultStats) {
         let shards = self.shards();
         if shards <= 1 || !spec.is_partition_independent() {
-            let mut policy = build_policy_from_log(spec, log, trace, set, capacity);
+            let mut policy = build_policy_from_source(spec, source, trace, set, capacity);
             let started = self.metrics().is_enabled().then(Instant::now);
-            let (report, faults) =
-                replay_filtered(log, policy.as_mut(), hook, self.options(), None);
+            let (report, faults) = replay_source(source, policy.as_mut(), hook, self.options());
             if let Some(t0) = started {
                 self.emit_run_metrics(
                     &report,
                     &faults,
                     t0.elapsed().as_secs_f64(),
-                    log.len(),
+                    source.len(),
                     hook,
                 );
             }
@@ -290,20 +310,42 @@ impl Simulator {
         let plan = ShardPlan::for_spec(spec, set, trace.n_files(), shards);
         let caps = split_capacity(capacity, shards);
         let options = self.options();
-        let partials: Vec<(SimReport, FaultStats)> = (0..shards)
-            .into_par_iter()
+        let sizes = source.file_sizes();
+        let mut segs: Vec<SegState<'_>> = (0..shards)
             .map(|s| {
-                let mut policy = build_policy_from_log(spec, log, trace, set, caps[s]);
-                replay_filtered(log, policy.as_mut(), hook, options, Some((&plan, s)))
+                let policy = build_policy_from_source(spec, source, trace, set, caps[s]);
+                let acc = ReplayAccum::new(policy.as_ref(), source.len(), sizes, options);
+                SegState {
+                    policy,
+                    acc,
+                    batch: Vec::new(),
+                }
             })
             .collect();
+        // One pass over the stream: partition each chunk into per-segment
+        // batches tagged with global indices, then drain the batches in
+        // parallel. Each segment sees its subsequence in global order with
+        // global indices, so results are chunk-size- and thread-invariant.
+        source.for_each_chunk(&mut |base, chunk| {
+            for (k, ev) in chunk.iter().enumerate() {
+                segs[plan.segment_of(ev.file)].batch.push((base + k, *ev));
+            }
+            segs.par_iter_mut().for_each(|seg| {
+                let SegState { policy, acc, batch } = seg;
+                for (i, ev) in batch.drain(..) {
+                    acc.step(i, &ev, policy.as_mut(), hook);
+                }
+            });
+        });
+        let partials: Vec<(SimReport, FaultStats)> =
+            segs.into_iter().map(|seg| seg.acc.finish()).collect();
         let (report, faults) = merge_partials(partials);
         if let Some(t0) = started {
             self.emit_run_metrics(
                 &report,
                 &faults,
                 t0.elapsed().as_secs_f64(),
-                log.len(),
+                source.len(),
                 hook,
             );
         }
@@ -314,8 +356,9 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::build_policy_from_log;
     use filecule_core::identify;
-    use hep_trace::{SynthConfig, TraceSynthesizer, TB};
+    use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer, TB};
 
     fn small() -> (Trace, FileculeSet, ReplayLog) {
         let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();

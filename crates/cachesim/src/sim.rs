@@ -1,22 +1,25 @@
 //! Request-ordered cache simulation with full accounting.
 //!
-//! The engine is [`Simulator`]: it replays a shared, pre-materialized
-//! [`ReplayLog`] through one policy ([`Simulator::run`]) or through many
-//! policies in one parallel pass over the same log
-//! ([`Simulator::run_many`]). The log carries a snapshotted per-file size
-//! column, so the hot loop never touches [`Trace::file`].
+//! The engine is [`Simulator`]: it replays any [`EventSource`] — the
+//! in-memory [`ReplayLog`] or a disk-backed
+//! [`StreamedLog`](hep_trace::StreamedLog) — through one policy
+//! ([`Simulator::run`]) or through many policies in one parallel pass
+//! over the same source ([`Simulator::run_many`]). Sources carry a
+//! snapshotted per-file size column, so the hot loop never touches
+//! [`Trace::file`], and deliver events in bounded-memory chunks, so
+//! replay memory is flat in trace size for streamed sources.
 //!
 //! [`simulate`] and [`simulate_warm`] are kept as thin wrappers for
 //! one-shot callers; each wrapper call re-materializes the replay stream,
 //! so anything that simulates the same trace more than once should build a
-//! [`ReplayLog`] once and call the [`Simulator`] directly.
+//! [`ReplayLog`] once (or open a `StreamedLog`) and call the
+//! [`Simulator`] directly.
 
 use crate::faults_hook::ColdStorageFaults;
 use crate::policy::{AccessEvent, Policy};
-use crate::sharded::ShardPlan;
 use hep_obs::Metrics;
 use hep_runctx::{maybe_install, RunCtx};
-use hep_trace::{ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, Trace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -163,7 +166,8 @@ impl SimOptions {
     }
 }
 
-/// The replay engine: drives policies over a shared [`ReplayLog`].
+/// The replay engine: drives policies over a shared [`EventSource`]
+/// (an in-memory [`ReplayLog`] or a disk-backed streamed log).
 ///
 /// ```
 /// use cachesim::{sim::Simulator, FileLru, FileculeLru};
@@ -281,9 +285,11 @@ impl Simulator {
         self.options
     }
 
-    /// Replay the whole log through `policy`, accumulating a [`SimReport`].
-    pub fn run(&self, log: &ReplayLog, policy: &mut dyn Policy) -> SimReport {
-        self.run_hooked(log, policy, None).0
+    /// Replay the whole source through `policy`, accumulating a
+    /// [`SimReport`]. Accepts any [`EventSource`] — a borrowed
+    /// [`ReplayLog`] coerces directly.
+    pub fn run(&self, source: &dyn EventSource, policy: &mut dyn Policy) -> SimReport {
+        self.run_hooked(source, policy, None).0
     }
 
     /// The unified hooked entry point: like [`Simulator::run`], with an
@@ -293,18 +299,18 @@ impl Simulator {
     /// served under faults (all zero when `hook` is `None`).
     pub fn run_hooked(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         policy: &mut dyn Policy,
         hook: Option<&dyn FaultHook>,
     ) -> (SimReport, FaultStats) {
         let started = self.metrics.is_enabled().then(Instant::now);
-        let (report, faults) = replay_filtered(log, policy, hook, self.options, None);
+        let (report, faults) = replay_source(source, policy, hook, self.options);
         if let Some(t0) = started {
             self.emit_run_metrics(
                 &report,
                 &faults,
                 t0.elapsed().as_secs_f64(),
-                log.len(),
+                source.len(),
                 hook,
             );
         }
@@ -318,7 +324,7 @@ impl Simulator {
     /// spec-level [`Simulator::run_spec_ctx`] for sharded replay.
     pub fn run_ctx(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         trace: &Trace,
         policy: &mut dyn Policy,
         ctx: &RunCtx<'_>,
@@ -327,24 +333,24 @@ impl Simulator {
         match ctx.faults {
             Some(plan) => {
                 let hook = ColdStorageFaults::new(plan, trace);
-                sim.run_hooked(log, policy, Some(&hook))
+                sim.run_hooked(source, policy, Some(&hook))
             }
-            None => sim.run_hooked(log, policy, None),
+            None => sim.run_hooked(source, policy, None),
         }
     }
 
     /// Deprecated sibling of [`Simulator::run_hooked`].
     #[deprecated(
         since = "0.1.0",
-        note = "use run_hooked(log, policy, Some(hook)) or run_ctx"
+        note = "use run_hooked(source, policy, Some(hook)) or run_ctx"
     )]
     pub fn run_with_faults(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         policy: &mut dyn Policy,
         hook: &dyn FaultHook,
     ) -> (SimReport, FaultStats) {
-        self.run_hooked(log, policy, Some(hook))
+        self.run_hooked(source, policy, Some(hook))
     }
 
     pub(crate) fn emit_run_metrics(
@@ -375,6 +381,11 @@ impl Simulator {
         if secs > 0.0 {
             m.observe("cachesim.events_per_sec", (events as f64 / secs) as u64);
         }
+        if m.is_enabled() {
+            if let Some(rss) = hep_obs::peak_rss_bytes() {
+                m.observe("cachesim.peak_rss_bytes", rss);
+            }
+        }
         if hook.is_some() {
             m.add("cachesim.fault.failed_fetches", faults.failed_fetches);
             m.add("cachesim.fault.delayed_fetches", faults.delayed_fetches);
@@ -382,100 +393,141 @@ impl Simulator {
         }
     }
 
-    /// Drive every policy through the shared log in one parallel pass: the
-    /// log is borrowed (materialized zero times here), policies run
-    /// concurrently via rayon, and each accumulates its own [`SimReport`].
-    /// Results are bit-identical to calling [`Simulator::run`] on each
-    /// policy sequentially — every policy sees the full ordered stream.
-    /// With [`Simulator::with_threads`] set, the pass runs inside a
-    /// dedicated pool of that size, bounding across-policy parallelism.
+    /// Drive every policy through the shared source in one parallel pass:
+    /// the source is borrowed (materialized zero times here), policies
+    /// run concurrently via rayon, and each accumulates its own
+    /// [`SimReport`]. Results are bit-identical to calling
+    /// [`Simulator::run`] on each policy sequentially — every policy sees
+    /// the full ordered stream. With [`Simulator::with_threads`] set, the
+    /// pass runs inside a dedicated pool of that size, bounding
+    /// across-policy parallelism.
     pub fn run_many<'t>(
         &self,
-        log: &ReplayLog,
+        source: &dyn EventSource,
         policies: &mut [Box<dyn Policy + Send + 't>],
     ) -> Vec<SimReport> {
         maybe_install(self.threads, || {
             policies
                 .par_iter_mut()
-                .map(|p| self.run(log, p.as_mut()))
+                .map(|p| self.run(source, p.as_mut()))
                 .collect()
         })
     }
 }
 
-/// The replay loop: drive `policy` over `log`, optionally restricted to
-/// one shard segment, accumulating a [`SimReport`] partial plus
-/// [`FaultStats`].
+/// Per-policy replay accounting, stepped one event at a time.
 ///
-/// With `segment = Some((plan, s))` only events whose file maps to
-/// segment `s` are dispatched — in their original global order, with
-/// warmup (`i >= skip`) and fault-hook keys still based on the *global*
-/// log position. Segments own disjoint files, so summing the partials of
-/// all segments reproduces, counter for counter, a serial pass that
-/// dispatched each event to its segment's policy instance — the sharded
-/// engine's determinism contract.
-pub(crate) fn replay_filtered(
-    log: &ReplayLog,
-    policy: &mut dyn Policy,
-    hook: Option<&dyn FaultHook>,
-    options: SimOptions,
-    segment: Option<(&ShardPlan, usize)>,
-) -> (SimReport, FaultStats) {
-    let skip = (log.len() as f64 * options.warmup_fraction) as usize;
-    let mut report = SimReport {
-        policy: policy.name(),
-        capacity: policy.capacity(),
-        requests: 0,
-        hits: 0,
-        misses: 0,
-        cold_misses: 0,
-        bypasses: 0,
-        bytes_requested: 0,
-        bytes_fetched: 0,
-        bytes_evicted: 0,
-    };
-    let mut faults = FaultStats::default();
-    let mut seen = vec![false; log.n_files()];
-    for i in 0..log.len() {
-        let ev = log.event(i);
-        if let Some((plan, s)) = segment {
-            if plan.segment_of(ev.file) != s {
-                continue;
-            }
+/// This is the single accumulation routine behind both the monolithic
+/// replay ([`replay_source`]) and the sharded engine's per-segment
+/// streams (`crate::sharded`): every path drives the same
+/// [`ReplayAccum::step`] with the event's *global* stream index, so
+/// warmup accounting (`i >= skip`) and fault-hook keys are identical no
+/// matter how the stream was chunked or partitioned.
+pub(crate) struct ReplayAccum<'s> {
+    report: SimReport,
+    faults: FaultStats,
+    seen: Vec<bool>,
+    skip: usize,
+    count_bytes: bool,
+    sizes: &'s [u64],
+}
+
+impl<'s> ReplayAccum<'s> {
+    /// An accumulator for a stream of `source_len` events over
+    /// `sizes.len()` files, serving `policy` (name and capacity are
+    /// snapshotted into the report header).
+    pub(crate) fn new(
+        policy: &dyn Policy,
+        source_len: usize,
+        sizes: &'s [u64],
+        options: SimOptions,
+    ) -> Self {
+        Self {
+            report: SimReport {
+                policy: policy.name(),
+                capacity: policy.capacity(),
+                requests: 0,
+                hits: 0,
+                misses: 0,
+                cold_misses: 0,
+                bypasses: 0,
+                bytes_requested: 0,
+                bytes_fetched: 0,
+                bytes_evicted: 0,
+            },
+            faults: FaultStats::default(),
+            seen: vec![false; sizes.len()],
+            skip: (source_len as f64 * options.warmup_fraction) as usize,
+            count_bytes: options.count_bytes,
+            sizes,
         }
-        let r = policy.access(&ev);
-        if i >= skip {
-            report.requests += 1;
-            if options.count_bytes {
-                report.bytes_requested += log.file_size(ev.file);
-                report.bytes_fetched += r.bytes_fetched;
-                report.bytes_evicted += r.bytes_evicted;
+    }
+
+    /// Serve the event at global stream position `i` through `policy`
+    /// and fold the outcome into the report.
+    pub(crate) fn step(
+        &mut self,
+        i: usize,
+        ev: &AccessEvent,
+        policy: &mut dyn Policy,
+        hook: Option<&dyn FaultHook>,
+    ) {
+        let r = policy.access(ev);
+        if i >= self.skip {
+            self.report.requests += 1;
+            if self.count_bytes {
+                self.report.bytes_requested += self.sizes[ev.file.index()];
+                self.report.bytes_fetched += r.bytes_fetched;
+                self.report.bytes_evicted += r.bytes_evicted;
             }
             if r.hit {
-                report.hits += 1;
+                self.report.hits += 1;
             } else {
-                report.misses += 1;
-                if !seen[ev.file.index()] {
-                    report.cold_misses += 1;
+                self.report.misses += 1;
+                if !self.seen[ev.file.index()] {
+                    self.report.cold_misses += 1;
                 }
                 if r.bypassed {
-                    report.bypasses += 1;
+                    self.report.bypasses += 1;
                 }
                 if let Some(h) = hook {
-                    match h.fetch(i, &ev) {
+                    match h.fetch(i, ev) {
                         FetchOutcome::Fetched => {}
                         FetchOutcome::Delayed(secs) => {
-                            faults.delayed_fetches += 1;
-                            faults.fault_delay_secs += secs;
+                            self.faults.delayed_fetches += 1;
+                            self.faults.fault_delay_secs += secs;
                         }
-                        FetchOutcome::Failed => faults.failed_fetches += 1,
+                        FetchOutcome::Failed => self.faults.failed_fetches += 1,
                     }
                 }
             }
         }
-        seen[ev.file.index()] = true;
+        self.seen[ev.file.index()] = true;
     }
-    (report, faults)
+
+    /// Tear down into the finished report and fault stats.
+    pub(crate) fn finish(self) -> (SimReport, FaultStats) {
+        (self.report, self.faults)
+    }
+}
+
+/// The replay loop: drive `policy` over every chunk of `source` in
+/// order, accumulating a [`SimReport`] plus [`FaultStats`]. Memory is
+/// the accumulator's per-file `seen` bitmap plus whatever the source
+/// holds resident — one chunk for a streamed source.
+pub(crate) fn replay_source(
+    source: &dyn EventSource,
+    policy: &mut dyn Policy,
+    hook: Option<&dyn FaultHook>,
+    options: SimOptions,
+) -> (SimReport, FaultStats) {
+    let mut acc = ReplayAccum::new(policy, source.len(), source.file_sizes(), options);
+    source.for_each_chunk(&mut |base, chunk| {
+        for (k, ev) in chunk.iter().enumerate() {
+            acc.step(base + k, ev, policy, hook);
+        }
+    });
+    acc.finish()
 }
 
 /// Replay every file access of `trace` (in time order) through `policy`.

@@ -1,6 +1,7 @@
 //! Declarative policy selection: a [`PolicySpec`] names each policy
 //! configuration the crate ships, and [`build_policy`] /
-//! [`build_policy_from_log`] construct the boxed [`Policy`] for it.
+//! [`build_policy_from_source`] construct the boxed [`Policy`] for it
+//! (from a trace alone, or from any shared [`EventSource`]).
 //!
 //! This replaces ad-hoc constructor lists (the sweep's boxed closures, the
 //! CLI's string match) with one shared registry, so `--policies
@@ -23,7 +24,7 @@ use crate::policy::slru::Slru;
 use crate::policy::tinylfu::TinyLfu;
 use crate::policy::Policy;
 use filecule_core::FileculeSet;
-use hep_trace::{ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, Trace};
 
 /// Every policy configuration the crate ships, as a value. The grid/sweep
 /// default is [`PolicySpec::ALL`]; subsets parse from comma-separated
@@ -257,9 +258,23 @@ pub fn build_policy_from_log(
     set: &FileculeSet,
     capacity: u64,
 ) -> Box<dyn Policy + Send> {
+    build_policy_from_source(spec, log, trace, set, capacity)
+}
+
+/// Build the policy a spec names against any [`EventSource`]. Online
+/// specs never touch the stream; the offline Belady pair collects the
+/// replay-ordered file column in one chunked pass (4 bytes per event —
+/// future-knowledge tables are inherently full-stream).
+pub fn build_policy_from_source(
+    spec: PolicySpec,
+    source: &dyn EventSource,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity: u64,
+) -> Box<dyn Policy + Send> {
     match spec {
-        PolicySpec::BeladyMin => Box::new(BeladyMin::from_log(log, capacity)),
-        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_log(log, set, capacity)),
+        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)),
+        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)),
         _ => build_online_policy(spec, trace, set, capacity),
     }
 }

@@ -16,7 +16,7 @@
 //! access's distance includes the object's own size, so it hits in an LRU
 //! cache of byte capacity `C` exactly when `distance <= C`.
 
-use hep_trace::{ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, Trace};
 
 /// A Fenwick (binary indexed) tree over `u64` byte weights.
 #[derive(Debug, Clone)]
@@ -138,10 +138,15 @@ pub fn file_reuse_profile(trace: &Trace) -> ReuseProfile {
     file_reuse_profile_from_log(&ReplayLog::build(trace))
 }
 
-/// [`file_reuse_profile`] over an already-materialized log.
-pub fn file_reuse_profile_from_log(log: &ReplayLog) -> ReuseProfile {
-    let keys: Vec<u32> = log.files().iter().map(|f| f.0).collect();
-    reuse_distances(&keys, log.file_sizes())
+/// [`file_reuse_profile`] over any shared [`EventSource`] (an in-memory
+/// log or a disk-backed streamed log): collects the 4-byte-per-event key
+/// column in one chunked pass, then runs the Fenwick analysis.
+pub fn file_reuse_profile_from_log(source: &dyn EventSource) -> ReuseProfile {
+    let mut keys: Vec<u32> = Vec::with_capacity(source.len());
+    source.for_each_chunk(&mut |_base, chunk| {
+        keys.extend(chunk.iter().map(|ev| ev.file.0));
+    });
+    reuse_distances(&keys, source.file_sizes())
 }
 
 /// Filecule-granularity reuse profile: the stream's files are mapped to
@@ -152,16 +157,19 @@ pub fn filecule_reuse_profile(trace: &Trace, set: &filecule_core::FileculeSet) -
     filecule_reuse_profile_from_log(&ReplayLog::build(trace), set)
 }
 
-/// [`filecule_reuse_profile`] over an already-materialized log.
+/// [`filecule_reuse_profile`] over any shared [`EventSource`].
 pub fn filecule_reuse_profile_from_log(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     set: &filecule_core::FileculeSet,
 ) -> ReuseProfile {
-    let keys: Vec<u32> = log
-        .files()
-        .iter()
-        .map(|&f| set.filecule_of(f).map(|g| g.0).unwrap_or(0))
-        .collect();
+    let mut keys: Vec<u32> = Vec::with_capacity(source.len());
+    source.for_each_chunk(&mut |_base, chunk| {
+        keys.extend(
+            chunk
+                .iter()
+                .map(|ev| set.filecule_of(ev.file).map(|g| g.0).unwrap_or(0)),
+        );
+    });
     let sizes: Vec<u64> = set.ids().map(|g| set.size_bytes(g)).collect();
     reuse_distances(&keys, &sizes)
 }

@@ -11,9 +11,9 @@ use crate::policy::filecule_lru::FileculeLru;
 use crate::policy::lru::FileLru;
 use crate::policy::Policy;
 use crate::sim::{SimReport, Simulator};
-use crate::spec::{build_policy_from_log, PolicySpec};
+use crate::spec::{build_policy_from_source, PolicySpec};
 use filecule_core::FileculeSet;
-use hep_trace::{ReplayLog, Trace, TB};
+use hep_trace::{EventSource, ReplayLog, Trace, TB};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -49,9 +49,10 @@ pub fn sweep_fig10(trace: &Trace, set: &FileculeSet, scale: f64) -> Vec<Fig10Row
     sweep_fig10_log(&ReplayLog::build(trace), trace, set, scale)
 }
 
-/// [`sweep_fig10`] over an already-materialized log.
+/// [`sweep_fig10`] over any shared [`EventSource`] (an in-memory log or
+/// a disk-backed streamed log).
 pub fn sweep_fig10_log(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     scale: f64,
@@ -62,8 +63,8 @@ pub fn sweep_fig10_log(
         .par_iter()
         .map(|&tb| {
             let capacity = ((tb * TB) as f64 / scale) as u64;
-            let file = sim.run(log, &mut FileLru::new(trace, capacity));
-            let filecule = sim.run(log, &mut FileculeLru::new(trace, set, capacity));
+            let file = sim.run(source, &mut FileLru::new(trace, capacity));
+            let filecule = sim.run(source, &mut FileculeLru::new(trace, set, capacity));
             Fig10Row {
                 capacity,
                 paper_tb: tb as f64,
@@ -87,10 +88,10 @@ pub fn compare_policies(trace: &Trace, set: &FileculeSet, capacity: u64) -> Vec<
     )
 }
 
-/// [`compare_policies`] over an already-materialized log, restricted to the
+/// [`compare_policies`] over any shared [`EventSource`], restricted to the
 /// given policy selection (see [`PolicySpec::parse_list`]).
 pub fn compare_policies_log(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity: u64,
@@ -98,9 +99,9 @@ pub fn compare_policies_log(
 ) -> Vec<SimReport> {
     let mut policies: Vec<Box<dyn Policy + Send>> = specs
         .iter()
-        .map(|&spec| build_policy_from_log(spec, log, trace, set, capacity))
+        .map(|&spec| build_policy_from_source(spec, source, trace, set, capacity))
         .collect();
-    Simulator::new().run_many(log, &mut policies)
+    Simulator::new().run_many(source, &mut policies)
 }
 
 #[cfg(test)]

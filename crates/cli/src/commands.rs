@@ -40,7 +40,17 @@ fn finish_metrics(args: &Args, metrics: &Metrics) -> CmdResult {
 }
 
 /// Load a trace, dispatching on the extension (`.csv` text, else binary).
+/// A missing file is reported by name with a hint, instead of surfacing a
+/// bare OS error.
 pub fn load_trace(path: &Path) -> Result<Trace, Box<dyn Error>> {
+    if !path.exists() {
+        return Err(format!(
+            "no such trace file: {} (run `filecules generate {}` to synthesize one)",
+            path.display(),
+            path.display()
+        )
+        .into());
+    }
     if path.extension().and_then(|e| e.to_str()) == Some("csv") {
         Ok(hep_trace::io::load_trace(path)?)
     } else {
@@ -237,10 +247,14 @@ fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
     Ok(vec![spec])
 }
 
-/// `filecules simulate <trace>`: one shared replay-log materialization,
-/// every selected policy simulated over it in a single pass each. With
-/// `--shards N` the cache is split into N independent segments replayed
-/// in parallel (partition-dependent policies fall back to monolithic).
+/// `filecules simulate <trace>`: one shared replay source, every selected
+/// policy simulated over it in a single pass each. With `--shards N` the
+/// cache is split into N independent segments replayed in parallel
+/// (partition-dependent policies fall back to monolithic). With
+/// `--stream` the replay log is never materialized: events are decoded
+/// straight from the binary trace file chunk by chunk (the trace itself
+/// is still loaded once for filecule identification and policy
+/// construction), with bit-identical reports.
 pub fn simulate_cmd(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "policy",
@@ -248,6 +262,8 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         "capacity-gb",
         "warmup",
         "shards",
+        "stream",
+        "chunk-events",
         "json",
         "metrics",
         "threads",
@@ -261,13 +277,25 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    let chunk_events: usize = args.get_or("chunk-events", hep_trace::DEFAULT_CHUNK_EVENTS)?;
+    if chunk_events == 0 {
+        return Err("--chunk-events must be at least 1".into());
+    }
     let metrics = metrics_from_args(args);
     let set = filecule_core::identify(&trace);
-    let log = ReplayLog::build(&trace);
     let sim = Simulator::with_options(SimOptions::warm(warmup))
         .with_metrics(metrics.clone())
         .with_shards(shards);
-    let reports = sim.run_specs(&log, &trace, &set, &specs, capacity);
+    let reports = if args.switch("stream") {
+        if Path::new(path).extension().and_then(|e| e.to_str()) == Some("csv") {
+            return Err("--stream needs a binary trace (.csv traces replay in memory only)".into());
+        }
+        let log = hep_trace::StreamedLog::open_with_chunk(Path::new(path), chunk_events)?;
+        sim.run_specs(&log, &trace, &set, &specs, capacity)
+    } else {
+        let log = ReplayLog::build(&trace);
+        sim.run_specs(&log, &trace, &set, &specs, capacity)
+    };
     finish_metrics(args, &metrics)?;
     if args.switch("json") {
         if let [report] = reports.as_slice() {
@@ -749,6 +777,69 @@ mod tests {
         assert!(
             simulate_cmd(&args(&["simulate", bin.to_str().unwrap(), "--shards", "0"])).is_err()
         );
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn simulate_missing_trace_is_friendly_error() {
+        let bin = tmp("t4-missing.bin");
+        std::fs::remove_file(&bin).ok();
+        let err = simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policy",
+            "file-lru",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("t4-missing.bin"),
+            "error should name the path: {err}"
+        );
+        assert!(
+            err.contains("filecules generate"),
+            "error should hint at generate: {err}"
+        );
+    }
+
+    #[test]
+    fn simulate_streamed_runs_and_rejects_bad_chunk() {
+        let bin = tmp("t4d.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // NOTE: the test parser declares no switches, so --stream must sit
+        // last (or before another --flag) to parse as a switch.
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-lru",
+            "--capacity-gb",
+            "100",
+            "--chunk-events",
+            "1024",
+            "--json",
+            "--stream",
+        ]))
+        .unwrap();
+        // A zero chunk size is a clean error.
+        assert!(simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--chunk-events",
+            "0",
+            "--stream",
+        ]))
+        .is_err());
         std::fs::remove_file(&bin).ok();
     }
 

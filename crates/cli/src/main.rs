@@ -51,6 +51,10 @@ COMMANDS:
                         (default 1 = monolithic)
       --capacity-gb N   cache capacity in GiB (default 1024)
       --warmup F        fraction of requests to skip in stats (default 0)
+      --stream          replay straight from the binary trace file in
+                        bounded memory instead of materializing the
+                        replay log (results are bit-identical)
+      --chunk-events N  events per streamed replay chunk (default 1048576)
       --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   fig10 <trace>         run the paper's Figure 10 cache sweep
       --scale N         scale divisor for the cache sizes (default 16)
@@ -71,7 +75,7 @@ COMMANDS:
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse_with_switches(tokens, &["json", "check", "no-cache"]) {
+    let args = match Args::parse_with_switches(tokens, &["json", "check", "no-cache", "stream"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());

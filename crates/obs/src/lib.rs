@@ -405,6 +405,51 @@ impl Drop for Span {
     }
 }
 
+/// Parse a `VmHWM`/`VmRSS`-style line of `/proc/self/status` into bytes.
+#[cfg(target_os = "linux")]
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    // Format: "VmHWM:     123456 kB".
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+/// Peak resident set size (`VmHWM`) of this process, in bytes.
+///
+/// Reads `/proc/self/status`; returns `None` on non-Linux platforms or if
+/// the file cannot be read or parsed. The kernel reports the high-water
+/// mark since process start (or the last reset), so this is a
+/// whole-process peak, not a per-phase delta.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_bytes("VmHWM:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Current resident set size (`VmRSS`) of this process, in bytes.
+///
+/// Reads `/proc/self/status`; returns `None` on non-Linux platforms or if
+/// the file cannot be read or parsed.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_bytes("VmRSS:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,5 +593,14 @@ mod tests {
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("kind,name,count,total,min,max"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_helpers_report_plausible_values() {
+        let peak = peak_rss_bytes().expect("VmHWM readable on Linux");
+        let now = current_rss_bytes().expect("VmRSS readable on Linux");
+        assert!(peak > 0 && now > 0);
+        assert!(peak >= now, "high-water mark below current RSS");
     }
 }

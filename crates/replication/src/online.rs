@@ -15,7 +15,7 @@ use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_obs::Metrics;
 use hep_runctx::RunCtx;
-use hep_trace::{ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, Trace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -120,16 +120,17 @@ fn emit_online_metrics(metrics: &Metrics, report: &OnlineReport, secs: f64, faul
     }
 }
 
-/// [`simulate_sites`] over an already-materialized log.
+/// [`simulate_sites`] over any shared [`EventSource`] (an in-memory
+/// [`ReplayLog`] or a disk-backed streamed log).
 pub fn simulate_sites_log(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
     granularity: Granularity,
 ) -> OnlineReport {
     simulate_sites_ctx(
-        log,
+        source,
         trace,
         set,
         capacity_per_site,
@@ -142,10 +143,10 @@ pub fn simulate_sites_log(
 /// selects instrumentation and `ctx.faults` the fault-free or the
 /// degraded-mode replay (fault semantics documented on
 /// [`simulate_sites_faulty`]); the parallelism knobs are ignored — site
-/// caches share one sequential pass over the log. With a default context
-/// this is exactly [`simulate_sites_log`].
+/// caches share one sequential pass over the stream. With a default
+/// context this is exactly [`simulate_sites_log`].
 pub fn simulate_sites_ctx(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -154,7 +155,7 @@ pub fn simulate_sites_ctx(
 ) -> OnlineReport {
     match ctx.faults {
         Some(plan) => simulate_sites_degraded(
-            log,
+            source,
             trace,
             set,
             capacity_per_site,
@@ -163,7 +164,7 @@ pub fn simulate_sites_ctx(
             &ctx.metrics,
         ),
         None => simulate_sites_plain(
-            log,
+            source,
             trace,
             set,
             capacity_per_site,
@@ -179,7 +180,7 @@ pub fn simulate_sites_ctx(
     note = "use simulate_sites_ctx with RunCtx::new().with_metrics(..)"
 )]
 pub fn simulate_sites_log_metrics(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -187,7 +188,7 @@ pub fn simulate_sites_log_metrics(
     metrics: &Metrics,
 ) -> OnlineReport {
     simulate_sites_ctx(
-        log,
+        source,
         trace,
         set,
         capacity_per_site,
@@ -200,7 +201,7 @@ pub fn simulate_sites_log_metrics(
 /// replay emits a per-granularity span timer plus request/hit/byte
 /// counters at the run boundary. The report is identical either way.
 fn simulate_sites_plain(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -231,17 +232,19 @@ fn simulate_sites_plain(
         fallback_bytes: 0,
         unavailability: 0.0,
     };
-    for ev in log.iter() {
-        let site = trace.job(ev.job).site.index();
-        let r = caches[site].access(&ev);
-        report.requests += 1;
-        if r.hit {
-            report.local_hits += 1;
-        } else {
-            report.site_misses[site] += 1;
-            report.wan_bytes += r.bytes_fetched;
+    source.for_each_chunk(&mut |_base, chunk| {
+        for ev in chunk {
+            let site = trace.job(ev.job).site.index();
+            let r = caches[site].access(ev);
+            report.requests += 1;
+            if r.hit {
+                report.local_hits += 1;
+            } else {
+                report.site_misses[site] += 1;
+                report.wan_bytes += r.bytes_fetched;
+            }
         }
-    }
+    });
     if let Some(t0) = started {
         emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), false);
     }
@@ -273,7 +276,7 @@ fn simulate_sites_plain(
     note = "use simulate_sites_ctx with RunCtx::new().with_faults(plan)"
 )]
 pub fn simulate_sites_faulty(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -281,7 +284,7 @@ pub fn simulate_sites_faulty(
     plan: &FaultPlan,
 ) -> OnlineReport {
     simulate_sites_ctx(
-        log,
+        source,
         trace,
         set,
         capacity_per_site,
@@ -297,7 +300,7 @@ pub fn simulate_sites_faulty(
 )]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_sites_faulty_metrics(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -306,7 +309,7 @@ pub fn simulate_sites_faulty_metrics(
     metrics: &Metrics,
 ) -> OnlineReport {
     simulate_sites_ctx(
-        log,
+        source,
         trace,
         set,
         capacity_per_site,
@@ -324,7 +327,7 @@ pub fn simulate_sites_faulty_metrics(
 /// boundary.
 #[allow(clippy::too_many_arguments)]
 fn simulate_sites_degraded(
-    log: &ReplayLog,
+    source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
@@ -357,30 +360,35 @@ fn simulate_sites_degraded(
         unavailability: plan.unavailability(),
     };
     let wan_lane = lane("online-wan");
-    for (i, ev) in log.iter().enumerate() {
-        let site_id = trace.job(ev.job).site;
-        let site = site_id.index();
-        report.requests += 1;
-        if !plan.is_up(site_id, ev.time) {
+    // Transfer outcomes are keyed by the *global* stream position
+    // (`base + k`), so results are identical at any chunk size.
+    source.for_each_chunk(&mut |base, chunk| {
+        for (k, ev) in chunk.iter().enumerate() {
+            let i = base + k;
+            let site_id = trace.job(ev.job).site;
+            let site = site_id.index();
+            report.requests += 1;
+            if !plan.is_up(site_id, ev.time) {
+                report.site_misses[site] += 1;
+                report.fallback_bytes += trace.file(ev.file).size_bytes;
+                continue;
+            }
+            let r = caches[site].access(ev);
+            if r.hit {
+                report.local_hits += 1;
+                continue;
+            }
             report.site_misses[site] += 1;
-            report.fallback_bytes += trace.file(ev.file).size_bytes;
-            continue;
+            let outcome = plan.outcome(transfer_key(&[wan_lane, i as u64]));
+            report.retries += u64::from(outcome.retries());
+            if outcome.failed {
+                report.failed_requests += 1;
+                report.fallback_bytes += r.bytes_fetched;
+            } else {
+                report.wan_bytes += r.bytes_fetched;
+            }
         }
-        let r = caches[site].access(&ev);
-        if r.hit {
-            report.local_hits += 1;
-            continue;
-        }
-        report.site_misses[site] += 1;
-        let outcome = plan.outcome(transfer_key(&[wan_lane, i as u64]));
-        report.retries += u64::from(outcome.retries());
-        if outcome.failed {
-            report.failed_requests += 1;
-            report.fallback_bytes += r.bytes_fetched;
-        } else {
-            report.wan_bytes += r.bytes_fetched;
-        }
-    }
+    });
     if let Some(t0) = started {
         emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), true);
     }

@@ -20,7 +20,11 @@
 //! * any entry that fails to parse — truncated, corrupt, or written by an
 //!   incompatible format — is treated as a miss and regenerated.
 //!
-//! The one-call entry point is [`generate_cached`].
+//! The one-call entry point is [`generate_cached`]. Pipelines that replay
+//! via [`crate::StreamedLog`] instead of materializing a [`Trace`] use
+//! [`TraceCache::load_or_generate_path`], which fills misses with the
+//! bounded-memory [`TraceSynthesizer::generate_to_path`] writer and hands
+//! back the entry's path without ever loading the trace.
 
 use crate::io_binary;
 use crate::model::Trace;
@@ -260,6 +264,89 @@ impl TraceCache {
         store.finish();
         (trace, false)
     }
+
+    /// Return the on-disk path of the entry for `cfg` without loading it,
+    /// so callers can replay via [`crate::StreamedLog`] in bounded
+    /// memory. A miss (absent or corrupt entry) is filled with
+    /// [`TraceSynthesizer::generate_to_path`] — generation never
+    /// materializes the trace either — through the same atomic temp-file
+    /// + rename as [`TraceCache::store`]. The boolean reports whether it
+    /// was a hit. Unlike [`TraceCache::load_or_generate`], write failures
+    /// are hard errors: there is no in-memory trace to fall back to.
+    pub fn load_or_generate_path(&self, cfg: &SynthConfig) -> std::io::Result<(PathBuf, bool)> {
+        self.load_or_generate_path_with_metrics(cfg, &Metrics::disabled())
+    }
+
+    /// [`TraceCache::load_or_generate_path`] with the same cache counters
+    /// and span timers as [`TraceCache::load_or_generate_with_metrics`].
+    pub fn load_or_generate_path_with_metrics(
+        &self,
+        cfg: &SynthConfig,
+        metrics: &Metrics,
+    ) -> std::io::Result<(PathBuf, bool)> {
+        let dest = self.path_for(cfg);
+        {
+            let _load = metrics.span("trace.cache.load");
+            if entry_is_valid(&dest) {
+                metrics.incr("trace.cache.hits");
+                return Ok((dest, true));
+            }
+        }
+        metrics.incr("trace.cache.misses");
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Err(e) =
+            TraceSynthesizer::new(cfg.clone()).generate_to_path_with_metrics(&tmp, metrics)
+        {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let store = metrics.span("trace.cache.store");
+        std::fs::rename(&tmp, &dest)?;
+        store.finish();
+        Ok((dest, false))
+    }
+}
+
+/// Streaming validity probe for a cache entry: magic bytes plus the
+/// CRC-32 trailer, folded over 1 MiB reads — never the whole file in
+/// memory. Structural validation is left to the eventual reader
+/// ([`crate::StreamedLog`] and [`io_binary::read_trace_binary`] both
+/// re-verify before parsing); this only has to keep corrupt entries from
+/// being handed out as hits.
+fn entry_is_valid(path: &Path) -> bool {
+    fn check(path: &Path) -> std::io::Result<bool> {
+        use std::io::Read;
+        let file = std::fs::File::open(path)?;
+        let total = file.metadata()?.len();
+        let magic_len = io_binary::MAGIC.len();
+        if total < (magic_len + 4) as u64 {
+            return Ok(false);
+        }
+        let mut rdr = std::io::BufReader::with_capacity(1 << 20, file);
+        let mut magic = [0u8; 6];
+        rdr.read_exact(&mut magic)?;
+        if &magic != io_binary::MAGIC {
+            return Ok(false);
+        }
+        let mut state = io_binary::crc32_update(0xFFFF_FFFF, &magic);
+        let mut remaining = total - magic_len as u64 - 4;
+        let mut buf = vec![0u8; 1 << 20];
+        while remaining > 0 {
+            let take = buf.len().min(remaining as usize);
+            rdr.read_exact(&mut buf[..take])?;
+            state = io_binary::crc32_update(state, &buf[..take]);
+            remaining -= take as u64;
+        }
+        let mut trailer = [0u8; 4];
+        rdr.read_exact(&mut trailer)?;
+        Ok(u32::from_le_bytes(trailer) == state ^ 0xFFFF_FFFF)
+    }
+    check(path).unwrap_or(false)
 }
 
 impl Default for TraceCache {
@@ -368,6 +455,39 @@ mod tests {
         assert_eq!(snap.timers["trace.cache.load"].count, 2);
         assert_eq!(snap.timers["trace.cache.store"].count, 1);
         assert_eq!(snap.timers["trace.synth.materialize"].count, 1);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn path_variant_misses_then_hits_with_identical_bytes() {
+        let cache = tmp_cache("path-variant");
+        let cfg = SynthConfig::small(16);
+        let (path, hit) = cache.load_or_generate_path(&cfg).unwrap();
+        assert!(!hit, "first lookup must miss");
+        assert_eq!(path, cache.path_for(&cfg));
+        let bytes = std::fs::read(&path).unwrap();
+        let expect = io_binary::trace_to_bytes(&TraceSynthesizer::new(cfg.clone()).generate());
+        assert_eq!(bytes, expect, "streamed entry diverged from in-memory");
+        let (again, hit) = cache.load_or_generate_path(&cfg).unwrap();
+        assert!(hit, "second lookup must hit");
+        assert_eq!(again, path);
+        // The entry is interchangeable with the in-memory lookup path.
+        let (trace, hit) = cache.load_or_generate(&cfg);
+        assert!(hit, "path-filled entry must satisfy the trace lookup");
+        assert_eq!(io_binary::trace_to_bytes(&trace), expect);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn path_variant_regenerates_corrupt_entries() {
+        let cache = tmp_cache("path-corrupt");
+        let cfg = SynthConfig::small(17);
+        let (path, _) = cache.load_or_generate_path(&cfg).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (path, hit) = cache.load_or_generate_path(&cfg).unwrap();
+        assert!(!hit, "corrupt entry must be treated as a miss");
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

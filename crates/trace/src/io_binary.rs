@@ -55,7 +55,7 @@ const CRC_TABLE: [u32; 256] = {
 };
 
 #[inline]
-fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+pub(crate) fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         state = CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
     }
@@ -68,27 +68,30 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// A writer shim that folds everything written into a running CRC-32.
-struct CrcWriter<W: Write> {
+pub(crate) struct CrcWriter<W: Write> {
     inner: W,
     state: u32,
 }
 
 impl<W: Write> CrcWriter<W> {
-    fn new(inner: W) -> Self {
+    pub(crate) fn new(inner: W) -> Self {
         Self {
             inner,
             state: 0xFFFF_FFFF,
         }
     }
 
-    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+    pub(crate) fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.state = crc32_update(self.state, bytes);
         self.inner.write_all(bytes)
     }
 
-    fn finish(mut self) -> std::io::Result<()> {
+    /// Write the CRC-32 trailer and hand back the inner writer (so callers
+    /// can flush buffered writers instead of relying on drop).
+    pub(crate) fn finish(mut self) -> std::io::Result<W> {
         let crc = self.state ^ 0xFFFF_FFFF;
-        self.inner.write_all(&crc.to_le_bytes())
+        self.inner.write_all(&crc.to_le_bytes())?;
+        Ok(self.inner)
     }
 }
 
@@ -121,7 +124,7 @@ impl From<std::io::Error> for BinParseError {
     }
 }
 
-fn tier_code(t: DataTier) -> u8 {
+pub(crate) fn tier_code(t: DataTier) -> u8 {
     match t {
         DataTier::Raw => 0,
         DataTier::Reconstructed => 1,
@@ -131,7 +134,7 @@ fn tier_code(t: DataTier) -> u8 {
     }
 }
 
-fn tier_from_code(c: u8) -> Option<DataTier> {
+pub(crate) fn tier_from_code(c: u8) -> Option<DataTier> {
     Some(match c {
         0 => DataTier::Raw,
         1 => DataTier::Reconstructed,
@@ -179,7 +182,7 @@ pub fn write_trace_binary<W: Write>(trace: &Trace, w: W) -> std::io::Result<()> 
             w.put(&f.0.to_le_bytes())?;
         }
     }
-    w.finish()
+    w.finish()?.flush()
 }
 
 struct Reader<R: Read> {

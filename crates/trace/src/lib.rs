@@ -32,6 +32,7 @@ pub mod io;
 pub mod io_binary;
 pub mod model;
 pub mod replay;
+pub mod stream;
 pub mod synth;
 
 pub use builder::TraceBuilder;
@@ -44,4 +45,5 @@ pub use model::{
     UserId, GB, MB, TB,
 };
 pub use replay::{materialization_count, ReplayLog};
+pub use stream::{EventSource, StreamedLog, DEFAULT_CHUNK_EVENTS};
 pub use synth::{SynthConfig, TraceSynthesizer};

@@ -9,10 +9,11 @@
 //! [`Trace::file`] and the stream can be shared — it is `Sync`, cheap to
 //! borrow, and `Arc`-shareable across threads.
 //!
-//! Both [`ReplayLog::build`] and [`Trace::replay_events`] delegate to the
-//! same internal materialization routine, so they are event-for-event
-//! identical; a process-wide [`materialization_count`] counter lets tests
-//! assert that a pipeline materializes the stream exactly once.
+//! Both [`ReplayLog::build`] and [`Trace::replay_events`] share the same
+//! per-job emission routine and the same global `(time, job, file)` sort
+//! order, so they are event-for-event identical; a process-wide
+//! [`materialization_count`] counter lets tests assert that a pipeline
+//! materializes the stream exactly once.
 
 use crate::model::{AccessEvent, FileId, JobId, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,13 +29,13 @@ pub fn materialization_count() -> u64 {
     MATERIALIZATIONS.load(Ordering::Relaxed)
 }
 
-/// The single materialization routine behind both [`Trace::replay_events`]
-/// and [`ReplayLog::build`]: each job's accesses are spread evenly over the
-/// job's runtime, shuffled per job by a deterministic SplitMix64-keyed
-/// Fisher–Yates, and the whole stream is sorted by `(time, job, file)`.
-pub(crate) fn materialize(trace: &Trace) -> Vec<AccessEvent> {
-    MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
-    let mut events = Vec::with_capacity(trace.n_accesses());
+/// Emit every job's accesses in job order, before the global sort: each
+/// job's accesses are spread evenly over the job's runtime and shuffled
+/// by a deterministic SplitMix64-keyed Fisher–Yates. This is the shared
+/// per-job routine behind [`Trace::replay_events`] and
+/// [`ReplayLog::build`] (and re-derived per job by
+/// `crate::stream::StreamedLog`, which must stay bit-identical to it).
+fn emit_unsorted(trace: &Trace, mut push: impl FnMut(u64, JobId, FileId)) {
     for j in trace.job_ids() {
         let rec = trace.job(j);
         let files = trace.job_files(j);
@@ -48,13 +49,20 @@ pub(crate) fn materialize(trace: &Trace) -> Vec<AccessEvent> {
         }
         for (k, &idx) in order.iter().enumerate() {
             let t = rec.start + (k as u64 * rec.duration()) / n.max(1);
-            events.push(AccessEvent {
-                time: t,
-                job: j,
-                file: files[idx as usize],
-            });
+            push(t, j, files[idx as usize]);
         }
     }
+}
+
+/// The materialization routine behind [`Trace::replay_events`]: the
+/// per-job stream of [`emit_unsorted`], globally sorted by
+/// `(time, job, file)`.
+pub(crate) fn materialize(trace: &Trace) -> Vec<AccessEvent> {
+    MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+    let mut events = Vec::with_capacity(trace.n_accesses());
+    emit_unsorted(trace, |time, job, file| {
+        events.push(AccessEvent { time, job, file })
+    });
     events.sort_unstable_by_key(|e| (e.time, e.job, e.file));
     events
 }
@@ -89,15 +97,46 @@ pub struct ReplayLog {
 impl ReplayLog {
     /// Materialize the replay stream of `trace` (one shuffle + sort; counts
     /// once in [`materialization_count`]) and snapshot the file sizes.
+    ///
+    /// The columns are filled directly from the per-job emission and
+    /// sorted in place through a `u32` permutation — there is no
+    /// intermediate `Vec<AccessEvent>`, so peak build memory is the
+    /// columns plus 4 bytes per event instead of the columns plus a full
+    /// struct-of-events copy.
     pub fn build(trace: &Trace) -> Self {
-        let events = materialize(trace);
-        let mut times = Vec::with_capacity(events.len());
-        let mut jobs = Vec::with_capacity(events.len());
-        let mut files = Vec::with_capacity(events.len());
-        for ev in &events {
-            times.push(ev.time);
-            jobs.push(ev.job);
-            files.push(ev.file);
+        MATERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+        let n = trace.n_accesses();
+        let mut times = Vec::with_capacity(n);
+        let mut jobs = Vec::with_capacity(n);
+        let mut files = Vec::with_capacity(n);
+        emit_unsorted(trace, |time, job, file| {
+            times.push(time);
+            jobs.push(job);
+            files.push(file);
+        });
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            (times[i], jobs[i], files[i])
+        });
+        // Apply `new[i] = old[perm[i]]` in place, one swap per element:
+        // walk each cycle from its smallest index, marking entries done.
+        for i in 0..perm.len() {
+            if perm[i] as usize == i {
+                continue;
+            }
+            let mut j = i;
+            loop {
+                let k = perm[j] as usize;
+                perm[j] = j as u32;
+                if k == i {
+                    break;
+                }
+                times.swap(j, k);
+                jobs.swap(j, k);
+                files.swap(j, k);
+                j = k;
+            }
         }
         Self {
             times,

@@ -1,0 +1,700 @@
+//! Bounded-memory replay-event sources.
+//!
+//! Every replay consumer used to require a fully materialized
+//! [`ReplayLog`], so replay memory grew linearly with trace size. The
+//! [`EventSource`] trait decouples consumers from materialization: a
+//! source yields the replay stream as consecutive chunks of
+//! [`AccessEvent`]s (plus a per-file size table), and consumers never
+//! learn whether the chunks came from RAM or disk.
+//!
+//! Two implementations ship here:
+//!
+//! * [`ReplayLog`] — the existing in-memory columnar log, unchanged
+//!   semantics, now one impl among several;
+//! * [`StreamedLog`] — decodes the FCTB2 binary trace format directly
+//!   from disk in bounded memory. Opening verifies the CRC-32 trailer
+//!   with a streaming pass and parses only the header (file sizes and
+//!   per-job metadata); replay then merges per-job event runs through a
+//!   min-heap, loading each job's file list lazily and freeing it when
+//!   the job drains, so resident memory is one event chunk plus the
+//!   cursors of currently-overlapping jobs — flat in trace length.
+//!
+//! Both sources yield byte-identical streams for the same trace: the
+//! merge reproduces the exact per-job SplitMix64 Fisher–Yates shuffle
+//! and the global `(time, job, file)` sort order of
+//! [`crate::replay::materialize`], which tests in this module pin.
+
+use crate::io_binary::{crc32_update, tier_from_code, BinParseError, MAGIC};
+use crate::model::{AccessEvent, FileId, JobId};
+use crate::replay::ReplayLog;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Default number of events per streamed chunk (~1M): 24 bytes per
+/// [`AccessEvent`] puts the chunk buffer at ~24 MiB, small enough to be
+/// flat at any trace scale and large enough to amortize per-chunk
+/// dispatch overhead.
+pub const DEFAULT_CHUNK_EVENTS: usize = 1 << 20;
+
+/// Chunk size used when iterating an in-memory [`ReplayLog`] through the
+/// [`EventSource`] interface. Smaller than the streamed default because
+/// the events are only copied, never decoded.
+const REPLAY_LOG_CHUNK: usize = 64 * 1024;
+
+/// A replay-event stream deliverable in bounded memory.
+///
+/// [`for_each_chunk`](EventSource::for_each_chunk) drives a visitor over
+/// consecutive, non-overlapping chunks of the stream in replay order;
+/// the `usize` argument is the global index of the chunk's first event,
+/// so per-event consumers (warmup accounting, fault-outcome keys) see
+/// the same indices regardless of chunk size. The file-size table is
+/// always resident — it is `O(n_files)`, not `O(n_events)`, and every
+/// policy needs random access to it.
+///
+/// Implementations must be `Sync`: the simulator replays one source from
+/// many threads (one policy or cache segment per thread).
+pub trait EventSource: Sync {
+    /// Total number of events (file accesses) in the stream.
+    fn len(&self) -> usize;
+
+    /// Whether the stream has no events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct files in the source trace (the size table's
+    /// length — every `FileId` in the stream indexes into it).
+    fn n_files(&self) -> usize {
+        self.file_sizes().len()
+    }
+
+    /// Byte size per file, indexed by `FileId`.
+    fn file_sizes(&self) -> &[u64];
+
+    /// Snapshotted byte size of file `f`.
+    fn file_size(&self, f: FileId) -> u64 {
+        self.file_sizes()[f.index()]
+    }
+
+    /// Visit the stream as consecutive chunks in replay order. Each call
+    /// receives the global index of the chunk's first event and the
+    /// chunk's events; chunks are non-empty and cover the stream exactly
+    /// once. The chunk slice is only valid during the call.
+    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent]));
+}
+
+impl EventSource for ReplayLog {
+    fn len(&self) -> usize {
+        ReplayLog::len(self)
+    }
+
+    fn n_files(&self) -> usize {
+        ReplayLog::n_files(self)
+    }
+
+    fn file_sizes(&self) -> &[u64] {
+        ReplayLog::file_sizes(self)
+    }
+
+    fn file_size(&self, f: FileId) -> u64 {
+        ReplayLog::file_size(self, f)
+    }
+
+    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+        let len = ReplayLog::len(self);
+        let mut buf = Vec::with_capacity(REPLAY_LOG_CHUNK.min(len));
+        let mut base = 0usize;
+        while base < len {
+            let end = (base + REPLAY_LOG_CHUNK).min(len);
+            buf.clear();
+            buf.extend((base..end).map(|i| self.event(i)));
+            visit(base, &buf);
+            base = end;
+        }
+    }
+}
+
+/// Per-job metadata retained by [`StreamedLog`], indexed by `JobId`
+/// (builder order: jobs stably sorted by start time).
+#[derive(Debug, Clone)]
+struct StreamJob {
+    start: u64,
+    duration: u64,
+    /// Offset of the job's file list in the access region, counted in
+    /// u32 slots, in *file* order (raw prefix sum before any
+    /// normalization).
+    raw_off: u64,
+    /// File-list length as stored on disk.
+    raw_len: u32,
+    /// File-list length after the builder's sort + dedup normalization
+    /// (equal to `raw_len` for every trace this workspace writes).
+    eff_len: u32,
+    /// Whether the on-disk list is already strictly increasing.
+    normalized: bool,
+}
+
+/// One active job's remaining events during a merge pass: the job's
+/// `(time, file)` pairs sorted by that key, and a cursor into them.
+struct JobCursor {
+    events: Vec<(u64, FileId)>,
+    pos: usize,
+}
+
+/// An [`EventSource`] that decodes the FCTB2 binary trace format
+/// directly from disk in bounded memory.
+///
+/// [`open`](StreamedLog::open) verifies the CRC-32 trailer with one
+/// streaming pass (so every later read is over validated bytes), then
+/// parses the header sections — domain/site topology for validation,
+/// file sizes (kept resident as the size table), and per-job metadata —
+/// and validates the access region exactly as strictly as
+/// [`crate::io_binary::read_trace_binary`] would. Job file lists are
+/// *not* retained; replay re-reads each list on demand.
+///
+/// ```no_run
+/// use hep_trace::{EventSource, StreamedLog};
+///
+/// let log = StreamedLog::open(std::path::Path::new("trace.bin")).unwrap();
+/// let mut events = 0usize;
+/// log.for_each_chunk(&mut |_base, chunk| events += chunk.len());
+/// assert_eq!(events, log.len());
+/// ```
+pub struct StreamedLog {
+    path: PathBuf,
+    chunk_events: usize,
+    sizes: Vec<u64>,
+    jobs: Vec<StreamJob>,
+    /// Byte offset of the flattened access region.
+    access_base: u64,
+    n_events: usize,
+}
+
+impl std::fmt::Debug for StreamedLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamedLog")
+            .field("path", &self.path)
+            .field("chunk_events", &self.chunk_events)
+            .field("n_files", &self.sizes.len())
+            .field("n_jobs", &self.jobs.len())
+            .field("n_events", &self.n_events)
+            .finish()
+    }
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8, BinParseError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u16(r: &mut impl Read) -> Result<u16, BinParseError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, BinParseError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, BinParseError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// A reader shim that counts bytes consumed, so the header parse can
+/// record the byte offset where the access region starts.
+struct Counted<R: Read> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for Counted<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl StreamedLog {
+    /// Open `path` with the default chunk size
+    /// ([`DEFAULT_CHUNK_EVENTS`]).
+    pub fn open(path: &Path) -> Result<Self, BinParseError> {
+        Self::open_with_chunk(path, DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Open `path`, yielding `chunk_events` events per chunk during
+    /// replay. Verifies the CRC-32 trailer and every structural
+    /// invariant up front; rejects exactly the inputs
+    /// [`crate::io_binary::read_trace_binary`] rejects.
+    ///
+    /// # Panics
+    /// Panics if `chunk_events` is zero.
+    pub fn open_with_chunk(path: &Path, chunk_events: usize) -> Result<Self, BinParseError> {
+        assert!(chunk_events >= 1, "StreamedLog: chunk_events must be >= 1");
+        let file = File::open(path)?;
+        let total = file.metadata()?.len();
+        let mut rdr = BufReader::with_capacity(64 * 1024, file);
+
+        // Pass 1: verify the trailer with a streaming CRC over the body.
+        let mut magic = [0u8; MAGIC.len()];
+        if rdr.read_exact(&mut magic).is_err() || &magic != MAGIC {
+            return Err(BinParseError::BadMagic);
+        }
+        if total < (MAGIC.len() + 4) as u64 {
+            return Err(BinParseError::Malformed(
+                "truncated before checksum trailer".into(),
+            ));
+        }
+        let body_len = total - 4;
+        let mut state = crc32_update(0xFFFF_FFFF, &magic);
+        let mut remaining = body_len - MAGIC.len() as u64;
+        let mut block = [0u8; 64 * 1024];
+        while remaining > 0 {
+            let want = remaining.min(block.len() as u64) as usize;
+            rdr.read_exact(&mut block[..want])?;
+            state = crc32_update(state, &block[..want]);
+            remaining -= want as u64;
+        }
+        let mut trailer = [0u8; 4];
+        rdr.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        let actual = state ^ 0xFFFF_FFFF;
+        if stored != actual {
+            return Err(BinParseError::Malformed(format!(
+                "checksum mismatch: trailer {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+
+        // Pass 2: parse the header and validate the access region. The
+        // same handle is rewound so both passes see the same bytes.
+        rdr.rewind()?;
+        let mut r = Counted { inner: rdr, pos: 0 };
+        let mut skip_magic = [0u8; MAGIC.len()];
+        r.read_exact(&mut skip_magic)?;
+
+        let n_domains = read_u32(&mut r)?;
+        for _ in 0..n_domains {
+            let len = read_u16(&mut r)? as usize;
+            let mut name = vec![0u8; len];
+            r.read_exact(&mut name)?;
+            if String::from_utf8(name).is_err() {
+                return Err(BinParseError::Malformed("domain name not UTF-8".into()));
+            }
+        }
+        let n_sites = read_u32(&mut r)?;
+        for _ in 0..n_sites {
+            let d = read_u16(&mut r)?;
+            if u32::from(d) >= n_domains {
+                return Err(BinParseError::Malformed(format!(
+                    "site references unknown domain {d}"
+                )));
+            }
+        }
+        let n_users = read_u32(&mut r)?;
+        let n_files = read_u32(&mut r)?;
+        let mut sizes = Vec::with_capacity(n_files as usize);
+        for _ in 0..n_files {
+            let size = read_u64(&mut r)?;
+            if tier_from_code(read_u8(&mut r)?).is_none() {
+                return Err(BinParseError::Malformed("bad tier code".into()));
+            }
+            sizes.push(size);
+        }
+        let n_jobs = read_u32(&mut r)?;
+        // Per-job metadata in *file* order; JobIds are assigned below by
+        // the builder's stable sort on start time.
+        let mut metas = Vec::with_capacity(n_jobs as usize);
+        let mut raw_total: u64 = 0;
+        for _ in 0..n_jobs {
+            let user = read_u32(&mut r)?;
+            let site = read_u16(&mut r)?;
+            let _node = read_u16(&mut r)?;
+            if tier_from_code(read_u8(&mut r)?).is_none() {
+                return Err(BinParseError::Malformed("bad tier code".into()));
+            }
+            let start = read_u64(&mut r)?;
+            let stop = read_u64(&mut r)?;
+            let file_len = read_u32(&mut r)?;
+            if user >= n_users {
+                return Err(BinParseError::Malformed(format!(
+                    "job references unknown user {user}"
+                )));
+            }
+            if u32::from(site) >= n_sites {
+                return Err(BinParseError::Malformed(format!(
+                    "job references unknown site {site}"
+                )));
+            }
+            if stop < start {
+                return Err(BinParseError::Malformed(format!(
+                    "job stops at {stop} before it starts at {start}"
+                )));
+            }
+            metas.push(StreamJob {
+                start,
+                duration: stop - start,
+                raw_off: raw_total,
+                raw_len: file_len,
+                eff_len: file_len,
+                normalized: true,
+            });
+            raw_total += u64::from(file_len);
+        }
+        let n_accesses = read_u64(&mut r)?;
+        if n_accesses != raw_total {
+            return Err(BinParseError::Malformed(format!(
+                "access count {n_accesses} != sum of job lengths {raw_total}"
+            )));
+        }
+        let access_base = r.pos;
+
+        // Stream-validate the access region in file order: every id in
+        // range, and per-job normalization state (strictly increasing
+        // lists need no sort + dedup at replay time; others record their
+        // deduplicated length, matching `TraceBuilder::add_job`).
+        let mut list: Vec<u32> = Vec::new();
+        for meta in &mut metas {
+            list.clear();
+            list.reserve(meta.raw_len as usize);
+            for _ in 0..meta.raw_len {
+                let f = read_u32(&mut r)?;
+                if f >= n_files {
+                    return Err(BinParseError::Malformed(format!(
+                        "job references unknown file {f}"
+                    )));
+                }
+                list.push(f);
+            }
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                let mut sorted = list.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                meta.eff_len = sorted.len() as u32;
+                meta.normalized = false;
+            }
+        }
+        if r.pos != body_len {
+            return Err(BinParseError::Malformed(format!(
+                "{} trailing bytes after access list",
+                body_len - r.pos
+            )));
+        }
+
+        // Assign JobIds exactly as `TraceBuilder::build` does: a stable
+        // sort by start time over file order.
+        let mut order: Vec<u32> = (0..n_jobs).collect();
+        order.sort_by_key(|&i| metas[i as usize].start);
+        let jobs: Vec<StreamJob> = order.iter().map(|&i| metas[i as usize].clone()).collect();
+        let n_events = jobs.iter().map(|j| j.eff_len as usize).sum();
+
+        Ok(Self {
+            path: path.to_path_buf(),
+            chunk_events,
+            sizes,
+            jobs,
+            access_base,
+            n_events,
+        })
+    }
+
+    /// The trace file this log streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events yielded per chunk during replay.
+    pub fn chunk_events(&self) -> usize {
+        self.chunk_events
+    }
+
+    /// Number of jobs in the trace.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Load job `j`'s events: seek to its file list, re-apply the
+    /// builder's normalization and the materializer's per-job shuffle,
+    /// and sort by `(time, file)` — the job's slice of the global
+    /// `(time, job, file)` order.
+    fn load_cursor(&self, file: &mut File, j: u32) -> JobCursor {
+        let jm = &self.jobs[j as usize];
+        let n_raw = jm.raw_len as usize;
+        file.seek(SeekFrom::Start(self.access_base + 4 * jm.raw_off))
+            .expect("StreamedLog: seek failed on a file validated at open");
+        let mut bytes = vec![0u8; 4 * n_raw];
+        file.read_exact(&mut bytes)
+            .expect("StreamedLog: read failed on a file validated at open");
+        let mut files: Vec<FileId> = bytes
+            .chunks_exact(4)
+            .map(|c| FileId(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
+            .collect();
+        if !jm.normalized {
+            files.sort_unstable();
+            files.dedup();
+        }
+        let n = files.len() as u64;
+        let mut order: Vec<u32> = (0..files.len() as u32).collect();
+        let mut state = (u64::from(j) << 1) ^ 0x9E37_79B9_7F4A_7C15;
+        for i in (1..order.len()).rev() {
+            state = crate::model::splitmix64(state);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut events: Vec<(u64, FileId)> = order
+            .iter()
+            .enumerate()
+            .map(|(k, &idx)| {
+                let t = jm.start + (k as u64 * jm.duration) / n.max(1);
+                (t, files[idx as usize])
+            })
+            .collect();
+        events.sort_unstable();
+        JobCursor { events, pos: 0 }
+    }
+}
+
+impl EventSource for StreamedLog {
+    fn len(&self) -> usize {
+        self.n_events
+    }
+
+    fn file_sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Merge the per-job event runs in global `(time, job, file)` order.
+    ///
+    /// Every non-empty job sits in a min-heap keyed by `(next event
+    /// time, job id)` — per-job times are non-decreasing, so for equal
+    /// times the smaller job id drains all its tied events (file-sorted
+    /// within the job) before the next job pops, reproducing the global
+    /// sort exactly. A job's file list is read from disk the first time
+    /// it pops and freed when it drains, so resident memory is one
+    /// chunk buffer plus the cursors of currently-overlapping jobs.
+    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+        // A fresh handle per pass: `&self` replays concurrently from
+        // many threads, and seeks must not interleave across passes.
+        let mut file =
+            File::open(&self.path).expect("StreamedLog: reopen failed on a file validated at open");
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, jm)| jm.eff_len > 0)
+            .map(|(j, jm)| Reverse((jm.start, j as u32)))
+            .collect();
+        let mut cursors: Vec<Option<JobCursor>> = self.jobs.iter().map(|_| None).collect();
+        let mut out: Vec<AccessEvent> = Vec::with_capacity(self.chunk_events.min(self.n_events));
+        let mut base = 0usize;
+        while let Some(Reverse((_, j))) = heap.pop() {
+            let slot = &mut cursors[j as usize];
+            if slot.is_none() {
+                *slot = Some(self.load_cursor(&mut file, j));
+            }
+            let cur = slot.as_mut().expect("cursor just ensured");
+            let (time, file_id) = cur.events[cur.pos];
+            out.push(AccessEvent {
+                time,
+                job: JobId(j),
+                file: file_id,
+            });
+            cur.pos += 1;
+            if cur.pos < cur.events.len() {
+                let next = cur.events[cur.pos].0;
+                heap.push(Reverse((next, j)));
+            } else {
+                *slot = None;
+            }
+            if out.len() == self.chunk_events {
+                visit(base, &out);
+                base += out.len();
+                out.clear();
+            }
+        }
+        if !out.is_empty() {
+            visit(base, &out);
+        }
+    }
+}
+
+/// Collect a source's full stream into a `Vec` (test and analysis
+/// helper; defeats the bounded-memory point for large traces).
+pub fn collect_events(source: &dyn EventSource) -> Vec<AccessEvent> {
+    let mut events = Vec::with_capacity(source.len());
+    source.for_each_chunk(&mut |base, chunk| {
+        debug_assert_eq!(base, events.len());
+        events.extend_from_slice(chunk);
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io_binary::{crc32, save_trace_binary};
+    use crate::synth::{SynthConfig, TraceSynthesizer};
+    use crate::Trace;
+
+    fn small() -> Trace {
+        TraceSynthesizer::new(SynthConfig::small(11)).generate()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("filecules-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn streamed_matches_in_memory_log() {
+        let t = small();
+        let path = tmp("s1.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let streamed = StreamedLog::open(&path).unwrap();
+        let log = ReplayLog::build(&t);
+        assert_eq!(EventSource::len(&streamed), EventSource::len(&log));
+        assert_eq!(streamed.file_sizes(), EventSource::file_sizes(&log));
+        assert_eq!(collect_events(&streamed), collect_events(&log));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_stream() {
+        let t = small();
+        let path = tmp("s2.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let whole = collect_events(&StreamedLog::open(&path).unwrap());
+        for chunk in [1usize, 7, 1024, usize::MAX] {
+            let s = StreamedLog::open_with_chunk(&path, chunk).unwrap();
+            assert_eq!(collect_events(&s), whole, "chunk_events = {chunk}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_bases_are_consecutive_and_sized() {
+        let t = small();
+        let path = tmp("s3.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let s = StreamedLog::open_with_chunk(&path, 1000).unwrap();
+        let mut expect_base = 0usize;
+        s.for_each_chunk(&mut |base, chunk| {
+            assert_eq!(base, expect_base);
+            assert!(!chunk.is_empty() && chunk.len() <= 1000);
+            expect_base += chunk.len();
+        });
+        assert_eq!(expect_base, EventSource::len(&s));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_log_chunks_match_iter() {
+        let log = ReplayLog::build(&small());
+        let collected = collect_events(&log);
+        assert!(log.iter().eq(collected));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = StreamedLog::open(Path::new("/nonexistent/trace.bin"));
+        assert!(matches!(err, Err(BinParseError::Io(_))));
+    }
+
+    #[test]
+    fn corruption_and_truncation_rejected() {
+        let t = small();
+        let path = tmp("s4.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        let bad = tmp("s4-flip.bin");
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&bad, &flipped).unwrap();
+        assert!(matches!(
+            StreamedLog::open(&bad),
+            Err(BinParseError::Malformed(_))
+        ));
+
+        let cut = tmp("s4-cut.bin");
+        for at in [3usize, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&cut, &bytes[..at]).unwrap();
+            assert!(StreamedLog::open(&cut).is_err(), "cut at {at} accepted");
+        }
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    /// Hand-build an FCTB2 byte stream whose one job has an unsorted,
+    /// duplicated file list. `read_trace_binary` normalizes it through
+    /// `TraceBuilder::add_job`; the streamed path must agree.
+    #[test]
+    fn unnormalized_job_lists_match_the_full_decoder() {
+        let mut body: Vec<u8> = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&1u32.to_le_bytes()); // n_domains
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(b".x");
+        body.extend_from_slice(&1u32.to_le_bytes()); // n_sites
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes()); // n_users
+        body.extend_from_slice(&3u32.to_le_bytes()); // n_files
+        for size in [10u64, 20, 30] {
+            body.extend_from_slice(&size.to_le_bytes());
+            body.push(0); // tier Raw
+        }
+        body.extend_from_slice(&1u32.to_le_bytes()); // n_jobs
+        body.extend_from_slice(&0u32.to_le_bytes()); // user
+        body.extend_from_slice(&0u16.to_le_bytes()); // site
+        body.extend_from_slice(&0u16.to_le_bytes()); // node
+        body.push(0); // tier
+        body.extend_from_slice(&100u64.to_le_bytes()); // start
+        body.extend_from_slice(&400u64.to_le_bytes()); // stop
+        body.extend_from_slice(&4u32.to_le_bytes()); // file_len
+        body.extend_from_slice(&4u64.to_le_bytes()); // n_accesses
+        for f in [2u32, 0, 2, 1] {
+            body.extend_from_slice(&f.to_le_bytes());
+        }
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let path = tmp("s5.bin");
+        std::fs::write(&path, &body).unwrap();
+        let trace = crate::io_binary::load_trace_binary(&path).unwrap();
+        assert_eq!(trace.n_accesses(), 3, "builder deduplicated the list");
+        let log = ReplayLog::build(&trace);
+        let streamed = StreamedLog::open(&path).unwrap();
+        assert_eq!(EventSource::len(&streamed), 3);
+        assert_eq!(collect_events(&streamed), collect_events(&log));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_streams_no_chunks() {
+        let t = crate::builder::TraceBuilder::new().build().unwrap();
+        let path = tmp("s6.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let s = StreamedLog::open(&path).unwrap();
+        assert!(EventSource::is_empty(&s));
+        let mut called = false;
+        s.for_each_chunk(&mut |_, _| called = true);
+        assert!(!called);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_events must be >= 1")]
+    fn zero_chunk_rejected() {
+        let _ = StreamedLog::open_with_chunk(Path::new("x"), 0);
+    }
+}

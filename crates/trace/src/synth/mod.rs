@@ -35,11 +35,20 @@
 //! identical for a given seed at any thread count** — and identical to
 //! [`TraceSynthesizer::generate_serial`], which executes the same plan
 //! sequentially.
+//!
+//! Materialization runs in fixed-size campaign batches, which lets the
+//! same body stream its output: [`TraceSynthesizer::generate_to_path`]
+//! writes the FCTB2 binary format straight to disk holding only metadata
+//! and one batch of drafts in memory (never the flattened access list),
+//! byte-for-byte identical to serializing the in-memory trace. Pair it
+//! with [`crate::StreamedLog`] for an end-to-end bounded-memory pipeline
+//! from generation to replay.
 
 pub mod arrivals;
 pub mod calibration;
 pub mod check;
 pub mod datasets;
+mod sink;
 
 use crate::builder::TraceBuilder;
 use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, Trace, UserId, MB};
@@ -53,6 +62,7 @@ use hep_stats::zipf::Zipf;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rayon::prelude::*;
+use sink::{SpillSink, SynthSink};
 use std::collections::HashMap;
 
 /// Version of the synthesis algorithm itself. Bumped whenever the
@@ -327,18 +337,67 @@ impl TraceSynthesizer {
         self.generate_impl(false, &Metrics::disabled())
     }
 
+    /// Generate the trace straight to an FCTB2 file at `path`, holding at
+    /// most topology/file/job *metadata* plus one campaign batch of drafts
+    /// in memory — never the flattened access list. The bytes written are
+    /// bit-identical to serializing [`TraceSynthesizer::generate`]'s
+    /// result with [`crate::io_binary::save_trace_binary`], so the file
+    /// can be loaded whole ([`crate::io_binary::load_trace_binary`]) or
+    /// replayed in bounded memory via [`crate::StreamedLog`].
+    pub fn generate_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.generate_to_path_with_metrics(path, &Metrics::disabled())
+    }
+
+    /// [`TraceSynthesizer::generate_to_path`], emitting the same per-phase
+    /// span timers as [`TraceSynthesizer::generate_with_metrics`] (the
+    /// `trace.synth.build` span covers assembling the on-disk file).
+    pub fn generate_to_path_with_metrics(
+        &self,
+        path: &std::path::Path,
+        metrics: &Metrics,
+    ) -> std::io::Result<()> {
+        let mut sink = SpillSink::create(path)?;
+        self.synthesize(&mut sink, true, metrics);
+        let build_span = metrics.span("trace.synth.build");
+        sink.finish()?;
+        build_span.finish();
+        Ok(())
+    }
+
     fn generate_impl(&self, parallel: bool, metrics: &Metrics) -> Trace {
+        let mut builder = TraceBuilder::new();
+        let n_campaigns = self.synthesize(&mut builder, parallel, metrics);
+        let build_span = metrics.span("trace.synth.build");
+        let trace = builder.build().expect("synthesizer produces valid traces");
+        build_span.finish();
+        if metrics.is_enabled() {
+            metrics.incr("trace.synth.traces");
+            metrics.add("trace.synth.campaigns", n_campaigns as u64);
+            metrics.add("trace.synth.jobs", trace.n_jobs() as u64);
+            metrics.add("trace.synth.files", trace.n_files() as u64);
+            metrics.add("trace.synth.accesses", trace.n_accesses() as u64);
+        }
+        trace
+    }
+
+    /// The full synthesis body, generic over where the entities land (an
+    /// in-memory [`TraceBuilder`] or a disk-backed [`SpillSink`]): the
+    /// serial plan phase followed by batched campaign materialization,
+    /// each batch fanning out on rayon when `parallel`. Returns the number
+    /// of campaigns planned. The output is bit-identical for any sink,
+    /// thread count or batch walk, because every campaign draws from its
+    /// own counter-derived substream and the merge is in plan order.
+    fn synthesize<S: SynthSink>(&self, sink: &mut S, parallel: bool, metrics: &Metrics) -> usize {
         let cfg = &self.cfg;
         let seeds = SeedStream::new(cfg.seed);
-        let mut builder = TraceBuilder::new();
         let plan_span = metrics.span("trace.synth.plan");
 
         // ---- Topology: domains, sites, nodes (Table 2). ----
         let mut domain_sites: Vec<Vec<SiteId>> = Vec::new();
         let mut domain_nodes: Vec<Vec<(NodeId, SiteId)>> = Vec::new();
         for row in &calibration::TABLE2 {
-            let d = builder.add_domain(row.name);
-            let sites: Vec<SiteId> = (0..row.sites).map(|_| builder.add_site(d)).collect();
+            let d = sink.add_domain(row.name);
+            let sites: Vec<SiteId> = (0..row.sites).map(|_| sink.add_site(d)).collect();
             // Nodes are distributed round-robin over the domain's sites.
             let nodes: Vec<(NodeId, SiteId)> = (0..row.nodes)
                 .map(|n| (NodeId(n), sites[n as usize % sites.len()]))
@@ -360,7 +419,7 @@ impl TraceSynthesizer {
         for (di, row) in calibration::TABLE2.iter().enumerate() {
             let n = ((row.users as f64 / cfg.user_scale).round() as u32).max(1);
             for _ in 0..n {
-                let u = builder.add_user();
+                let u = sink.add_user();
                 let mut tier_ok = [false; 4];
                 for (s, &f) in fractions.iter().enumerate() {
                     tier_ok[s] = affinity_rng.gen::<f64>() < f;
@@ -442,10 +501,10 @@ impl TraceSynthesizer {
         let mut datasets: Vec<Dataset> = Vec::new();
         let mut tier_datasets: Vec<Vec<u32>> = vec![Vec::new(); 3];
         for (slot, (sizes, local)) in universes.into_iter().enumerate() {
-            let base = builder.n_files() as u32;
+            let base = sink.n_files() as u32;
             let tier = cfg.tiers[slot].tier;
             for size in sizes {
-                builder.add_file(size, tier);
+                sink.add_file(size, tier);
             }
             for mut ds in local {
                 ds.first_file += base;
@@ -618,15 +677,31 @@ impl TraceSynthesizer {
             }
             out
         };
-        let campaign_jobs: Vec<Vec<JobDraft>> = if parallel {
-            plans.par_iter().enumerate().map(&materialize).collect()
-        } else {
-            plans.iter().enumerate().map(&materialize).collect()
-        };
-        for (plan, jobs) in plans.iter().zip(&campaign_jobs) {
-            let tier = cfg.tiers[plan.slot].tier;
-            for (start, stop, files) in jobs {
-                builder.add_job(plan.user, plan.site, plan.node, tier, *start, *stop, files);
+        // Materialize in fixed-size batches so only one batch of drafts
+        // is ever held, not the whole access list; the global campaign
+        // index `base + k` keeps every substream — and thus the output —
+        // identical to an unbatched walk.
+        const CAMPAIGN_BATCH: usize = 256;
+        for (bi, batch) in plans.chunks(CAMPAIGN_BATCH).enumerate() {
+            let base = bi * CAMPAIGN_BATCH;
+            let drafts: Vec<Vec<JobDraft>> = if parallel {
+                batch
+                    .par_iter()
+                    .enumerate()
+                    .map(|(k, p)| materialize((base + k, p)))
+                    .collect()
+            } else {
+                batch
+                    .iter()
+                    .enumerate()
+                    .map(|(k, p)| materialize((base + k, p)))
+                    .collect()
+            };
+            for (plan, jobs) in batch.iter().zip(&drafts) {
+                let tier = cfg.tiers[plan.slot].tier;
+                for (start, stop, files) in jobs {
+                    sink.add_job(plan.user, plan.site, plan.node, tier, *start, *stop, files);
+                }
             }
         }
 
@@ -653,30 +728,29 @@ impl TraceSynthesizer {
                 }
                 out
             };
-            let batches: Vec<Vec<OtherDraft>> = if parallel {
-                (0..n_batches).into_par_iter().map(&other_batch).collect()
-            } else {
-                (0..n_batches).map(&other_batch).collect()
-            };
-            for batch in batches {
-                for (user, site, node, start, stop) in batch {
-                    builder.add_job(user, site, node, DataTier::Other, start, stop, &[]);
+            // Group the substream-indexed batches so their drafts never
+            // all coexist; indices are global, so grouping cannot perturb
+            // the output either.
+            const OTHER_GROUP: usize = 64;
+            let mut lo = 0;
+            while lo < n_batches {
+                let hi = (lo + OTHER_GROUP).min(n_batches);
+                let groups: Vec<Vec<OtherDraft>> = if parallel {
+                    (lo..hi).into_par_iter().map(&other_batch).collect()
+                } else {
+                    (lo..hi).map(&other_batch).collect()
+                };
+                for batch in groups {
+                    for (user, site, node, start, stop) in batch {
+                        sink.add_job(user, site, node, DataTier::Other, start, stop, &[]);
+                    }
                 }
+                lo = hi;
             }
         }
 
         drop(materialize_span);
-        let build_span = metrics.span("trace.synth.build");
-        let trace = builder.build().expect("synthesizer produces valid traces");
-        build_span.finish();
-        if metrics.is_enabled() {
-            metrics.incr("trace.synth.traces");
-            metrics.add("trace.synth.campaigns", plans.len() as u64);
-            metrics.add("trace.synth.jobs", trace.n_jobs() as u64);
-            metrics.add("trace.synth.files", trace.n_files() as u64);
-            metrics.add("trace.synth.accesses", trace.n_accesses() as u64);
-        }
-        trace
+        plans.len()
     }
 }
 
@@ -745,6 +819,44 @@ mod tests {
         assert!(snap.counter("trace.synth.campaigns") > 0);
         assert!(snap.counter("trace.synth.jobs") > 0);
         assert!(snap.counter("trace.synth.accesses") > 0);
+    }
+
+    #[test]
+    fn generate_to_path_is_bit_identical_to_in_memory() {
+        let syn = TraceSynthesizer::new(SynthConfig::small(7));
+        let dir = std::env::temp_dir().join("filecules-synth-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("generated.bin");
+        syn.generate_to_path(&path).unwrap();
+        let got = std::fs::read(&path).unwrap();
+        let trace = syn.generate();
+        let expect = crate::io_binary::trace_to_bytes(&trace);
+        assert_eq!(got.len(), expect.len(), "streamed FCTB2 length diverged");
+        assert_eq!(got, expect, "streamed FCTB2 diverged from in-memory bytes");
+        // The product is directly replayable without full materialization.
+        let log = crate::stream::StreamedLog::open(&path).unwrap();
+        assert_eq!(log.len(), trace.n_accesses());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_to_path_with_metrics_emits_phases() {
+        let dir = std::env::temp_dir().join("filecules-synth-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("generated-metrics.bin");
+        let m = Metrics::enabled();
+        TraceSynthesizer::new(SynthConfig::small(7))
+            .generate_to_path_with_metrics(&path, &m)
+            .unwrap();
+        let snap = m.snapshot().unwrap();
+        for phase in [
+            "trace.synth.plan",
+            "trace.synth.materialize",
+            "trace.synth.build",
+        ] {
+            assert_eq!(snap.timers[phase].count, 1, "missing phase timer {phase}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

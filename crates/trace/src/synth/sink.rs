@@ -1,0 +1,379 @@
+//! Streaming synthesis sinks: generate a trace straight to FCTB2 on disk
+//! in bounded memory.
+//!
+//! [`SynthSink`] abstracts the subset of [`TraceBuilder`] the generator
+//! drives, so one synthesis body ([`super::TraceSynthesizer`]) can either
+//! accumulate an in-memory [`crate::Trace`] or stream jobs out as they are
+//! materialized. [`SpillSink`] is the disk-backed implementation:
+//!
+//! * topology, user and file metadata stay in memory — they are tiny and
+//!   all precede the job sections of the format;
+//! * per-job *metadata* (≈40 bytes each) is buffered so the jobs section
+//!   can be emitted in the start-sorted order [`TraceBuilder::build`]
+//!   would produce;
+//! * the per-job file lists — the bulk of any trace — are spilled to a
+//!   scratch file as they arrive and streamed back one job at a time while
+//!   the output is written through a CRC-32 folding writer.
+//!
+//! Peak memory is `O(files + jobs)`, never `O(accesses)`, and the bytes
+//! produced are bit-identical to
+//! `io_binary::trace_to_bytes(&synthesizer.generate())`.
+
+use crate::builder::TraceBuilder;
+use crate::io_binary::{tier_code, CrcWriter, MAGIC};
+use crate::model::{DataTier, DomainId, FileId, NodeId, SiteId, UserId};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The builder surface the synthesizer drives. Mirrors the
+/// [`TraceBuilder`] methods used by generation; implementations decide
+/// where the entities land (in memory or on disk).
+pub(crate) trait SynthSink {
+    /// Register a DNS domain; returns its id.
+    fn add_domain(&mut self, name: &str) -> DomainId;
+    /// Register a site belonging to `domain`; returns its id.
+    fn add_site(&mut self, domain: DomainId) -> SiteId;
+    /// Register a new user; returns its id.
+    fn add_user(&mut self) -> UserId;
+    /// Register a file; returns its id.
+    fn add_file(&mut self, size_bytes: u64, tier: DataTier) -> FileId;
+    /// Number of files registered so far.
+    fn n_files(&self) -> usize;
+    /// Add a job. Lists may be unsorted/duplicated; they are normalized.
+    #[allow(clippy::too_many_arguments)]
+    fn add_job(
+        &mut self,
+        user: UserId,
+        site: SiteId,
+        node: NodeId,
+        tier: DataTier,
+        start: u64,
+        stop: u64,
+        files: &[FileId],
+    );
+}
+
+impl SynthSink for TraceBuilder {
+    fn add_domain(&mut self, name: &str) -> DomainId {
+        TraceBuilder::add_domain(self, name)
+    }
+
+    fn add_site(&mut self, domain: DomainId) -> SiteId {
+        TraceBuilder::add_site(self, domain)
+    }
+
+    fn add_user(&mut self) -> UserId {
+        TraceBuilder::add_user(self)
+    }
+
+    fn add_file(&mut self, size_bytes: u64, tier: DataTier) -> FileId {
+        TraceBuilder::add_file(self, size_bytes, tier)
+    }
+
+    fn n_files(&self) -> usize {
+        TraceBuilder::n_files(self)
+    }
+
+    fn add_job(
+        &mut self,
+        user: UserId,
+        site: SiteId,
+        node: NodeId,
+        tier: DataTier,
+        start: u64,
+        stop: u64,
+        files: &[FileId],
+    ) {
+        let _ = TraceBuilder::add_job(self, user, site, node, tier, start, stop, files);
+    }
+}
+
+/// Buffered metadata for one spilled job, in insertion order.
+struct SpillJob {
+    user: u32,
+    site: u16,
+    node: u16,
+    tier: DataTier,
+    start: u64,
+    stop: u64,
+    /// Byte offset of the job's normalized file list in the scratch file.
+    off: u64,
+    /// Normalized list length.
+    len: u32,
+}
+
+/// Disk-backed [`SynthSink`] writing FCTB2 in bounded memory. Create with
+/// [`SpillSink::create`], feed it through the generator, then call
+/// [`SpillSink::finish`] to assemble the final checksummed file.
+pub(crate) struct SpillSink {
+    out_path: PathBuf,
+    spill_path: PathBuf,
+    /// `Some` until [`SpillSink::finish`] takes it.
+    spill: Option<BufWriter<File>>,
+    spill_off: u64,
+    domain_names: Vec<String>,
+    site_domains: Vec<u16>,
+    n_users: u32,
+    files: Vec<(u64, DataTier)>,
+    jobs: Vec<SpillJob>,
+    n_accesses: u64,
+    /// First I/O or validity error; everything after it is a no-op.
+    err: Option<io::Error>,
+}
+
+impl SpillSink {
+    /// Open the sink. The scratch file is created next to `path` (same
+    /// filesystem) and removed when the sink is finished or dropped; the
+    /// output itself is only created in [`SpillSink::finish`].
+    pub(crate) fn create(path: &Path) -> io::Result<Self> {
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into());
+        let spill_path = path.with_file_name(format!(".{file_name}.spill-{}", std::process::id()));
+        let spill = BufWriter::new(File::create(&spill_path)?);
+        Ok(Self {
+            out_path: path.to_path_buf(),
+            spill_path,
+            spill: Some(spill),
+            spill_off: 0,
+            domain_names: Vec::new(),
+            site_domains: Vec::new(),
+            n_users: 0,
+            files: Vec::new(),
+            jobs: Vec::new(),
+            n_accesses: 0,
+            err: None,
+        })
+    }
+
+    /// Assemble the output: header and file table from memory, jobs in
+    /// start-sorted order, then the access lists streamed back from the
+    /// scratch file one job at a time, all through the CRC writer.
+    pub(crate) fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let mut spill = self
+            .spill
+            .take()
+            .expect("finish is called at most once")
+            .into_inner()
+            .map_err(|e| e.into_error())?;
+
+        let mut w = CrcWriter::new(BufWriter::new(File::create(&self.out_path)?));
+        w.put(MAGIC)?;
+        w.put(&(self.domain_names.len() as u32).to_le_bytes())?;
+        for name in &self.domain_names {
+            let b = name.as_bytes();
+            w.put(&(b.len() as u16).to_le_bytes())?;
+            w.put(b)?;
+        }
+        w.put(&(self.site_domains.len() as u32).to_le_bytes())?;
+        for d in &self.site_domains {
+            w.put(&d.to_le_bytes())?;
+        }
+        w.put(&self.n_users.to_le_bytes())?;
+        w.put(&(self.files.len() as u32).to_le_bytes())?;
+        for &(size, tier) in &self.files {
+            w.put(&size.to_le_bytes())?;
+            w.put(&[tier_code(tier)])?;
+        }
+
+        // The same stable start-sort `TraceBuilder::build` applies.
+        let mut order: Vec<u32> = (0..self.jobs.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (self.jobs[i as usize].start, i));
+
+        w.put(&(self.jobs.len() as u32).to_le_bytes())?;
+        for &i in &order {
+            let j = &self.jobs[i as usize];
+            w.put(&j.user.to_le_bytes())?;
+            w.put(&j.site.to_le_bytes())?;
+            w.put(&j.node.to_le_bytes())?;
+            w.put(&[tier_code(j.tier)])?;
+            w.put(&j.start.to_le_bytes())?;
+            w.put(&j.stop.to_le_bytes())?;
+            w.put(&j.len.to_le_bytes())?;
+        }
+        w.put(&self.n_accesses.to_le_bytes())?;
+        let mut buf: Vec<u8> = Vec::new();
+        for &i in &order {
+            let j = &self.jobs[i as usize];
+            if j.len == 0 {
+                continue;
+            }
+            buf.resize(j.len as usize * 4, 0);
+            spill.seek(SeekFrom::Start(j.off))?;
+            spill.read_exact(&mut buf)?;
+            w.put(&buf)?;
+        }
+        w.finish()?.flush()
+    }
+}
+
+impl Drop for SpillSink {
+    fn drop(&mut self) {
+        // Release the handle before unlinking (pedantry for non-Unix).
+        self.spill.take();
+        let _ = std::fs::remove_file(&self.spill_path);
+    }
+}
+
+impl SynthSink for SpillSink {
+    fn add_domain(&mut self, name: &str) -> DomainId {
+        let id = DomainId(self.domain_names.len() as u16);
+        self.domain_names.push(name.to_owned());
+        id
+    }
+
+    fn add_site(&mut self, domain: DomainId) -> SiteId {
+        let id = SiteId(self.site_domains.len() as u16);
+        self.site_domains.push(domain.0);
+        id
+    }
+
+    fn add_user(&mut self) -> UserId {
+        let id = UserId(self.n_users);
+        self.n_users += 1;
+        id
+    }
+
+    fn add_file(&mut self, size_bytes: u64, tier: DataTier) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push((size_bytes, tier));
+        id
+    }
+
+    fn n_files(&self) -> usize {
+        self.files.len()
+    }
+
+    fn add_job(
+        &mut self,
+        user: UserId,
+        site: SiteId,
+        node: NodeId,
+        tier: DataTier,
+        start: u64,
+        stop: u64,
+        files: &[FileId],
+    ) {
+        if self.err.is_some() {
+            return;
+        }
+        // Mirror `TraceBuilder::add_job` normalization exactly.
+        let mut list = files.to_vec();
+        if !list.windows(2).all(|w| w[0] < w[1]) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        // And `TraceBuilder::build` validation, so a misbehaving generator
+        // can never emit a structurally invalid (if well-checksummed) file.
+        let invalid = stop < start
+            || site.index() >= self.site_domains.len()
+            || user.0 >= self.n_users
+            || list.iter().any(|f| f.index() >= self.files.len());
+        if invalid {
+            self.err = Some(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "generator emitted an invalid job",
+            ));
+            return;
+        }
+        let mut bytes = Vec::with_capacity(list.len() * 4);
+        for f in &list {
+            bytes.extend_from_slice(&f.0.to_le_bytes());
+        }
+        let spill = self.spill.as_mut().expect("sink not finished");
+        if let Err(e) = spill.write_all(&bytes) {
+            self.err = Some(e);
+            return;
+        }
+        self.jobs.push(SpillJob {
+            user: user.0,
+            site: site.0,
+            node: node.0,
+            tier,
+            start,
+            stop,
+            off: self.spill_off,
+            len: list.len() as u32,
+        });
+        self.spill_off += bytes.len() as u64;
+        self.n_accesses += list.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join("filecules-synth-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Drive the same entity sequence through a `TraceBuilder` and a
+    /// `SpillSink`; the sink's file must equal `trace_to_bytes` exactly.
+    #[test]
+    fn spill_sink_matches_trace_to_bytes() {
+        fn drive<S: SynthSink>(s: &mut S) {
+            let d = s.add_domain(".gov");
+            let site = s.add_site(d);
+            let u0 = s.add_user();
+            let u1 = s.add_user();
+            let f: Vec<FileId> = (0..6)
+                .map(|i| s.add_file(100 + i, DataTier::Thumbnail))
+                .collect();
+            // Out-of-order starts, unsorted + duplicated lists, an empty
+            // "Others" job: everything the normalizer must handle.
+            s.add_job(
+                u0,
+                site,
+                NodeId(1),
+                DataTier::Thumbnail,
+                50,
+                60,
+                &[f[3], f[1], f[3], f[0]],
+            );
+            s.add_job(u1, site, NodeId(2), DataTier::Other, 10, 20, &[]);
+            s.add_job(u0, site, NodeId(3), DataTier::Thumbnail, 50, 55, &[f[5]]);
+        }
+        let mut b = TraceBuilder::new();
+        drive(&mut b);
+        let expect = crate::io_binary::trace_to_bytes(&b.build().unwrap());
+
+        let path = tmp_dir().join("spill-matches.bin");
+        let mut sink = SpillSink::create(&path).unwrap();
+        drive(&mut sink);
+        sink.finish().unwrap();
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_job_surfaces_at_finish() {
+        let path = tmp_dir().join("spill-invalid.bin");
+        let mut sink = SpillSink::create(&path).unwrap();
+        let d = sink.add_domain(".gov");
+        let site = sink.add_site(d);
+        let u = sink.add_user();
+        // References a file that was never added.
+        sink.add_job(u, site, NodeId(0), DataTier::Thumbnail, 0, 1, &[FileId(9)]);
+        assert!(sink.finish().is_err());
+        assert!(!path.exists(), "output must not be created on error");
+    }
+
+    #[test]
+    fn scratch_file_removed_on_drop() {
+        let path = tmp_dir().join("spill-drop.bin");
+        let sink = SpillSink::create(&path).unwrap();
+        let spill_path = sink.spill_path.clone();
+        assert!(spill_path.exists());
+        drop(sink);
+        assert!(!spill_path.exists());
+    }
+}

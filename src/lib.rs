@@ -81,8 +81,8 @@ pub mod prelude {
     pub use hep_obs::{Metrics, Snapshot};
     pub use hep_runctx::{configure_rayon_threads, RunCtx};
     pub use hep_trace::{
-        DataTier, FileId, JobId, ReplayLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, GB,
-        MB, TB,
+        DataTier, EventSource, FileId, JobId, ReplayLog, StreamedLog, SynthConfig, Trace,
+        TraceBuilder, TraceSynthesizer, DEFAULT_CHUNK_EVENTS, GB, MB, TB,
     };
     pub use transfer::{assess, hottest_filecule, SwarmModel};
 }

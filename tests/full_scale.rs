@@ -48,3 +48,79 @@ fn full_scale_pipeline() {
     let filecule = simulate(&trace, &mut FileculeLru::new(&trace, &set, cap));
     assert!(filecule.miss_rate() * 3.0 < file.miss_rate());
 }
+
+/// Out-of-core replay stays under a fixed memory ceiling at paper scale.
+///
+/// `VmHWM` is a process-wide high-water mark, so the measurement must own
+/// a fresh process: this test only spawns `streamed_rss_probe` (below) as
+/// a subprocess of the test binary and checks its exit status — running
+/// the probe in the shared harness process would inherit whatever the
+/// in-memory `full_scale_pipeline` test peaked at.
+#[test]
+#[ignore = "full paper scale: generates and streams ~11M accesses"]
+fn full_scale_streamed_replay_bounded_memory() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = std::process::Command::new(exe)
+        .args(["--exact", "streamed_rss_probe", "--ignored", "--nocapture"])
+        .env("FILECULES_RSS_PROBE", "1")
+        .status()
+        .expect("spawn rss probe");
+    assert!(status.success(), "streamed_rss_probe failed: {status}");
+}
+
+/// Subprocess half of `full_scale_streamed_replay_bounded_memory`: no-ops
+/// unless spawned with `FILECULES_RSS_PROBE=1` so that a plain
+/// `--ignored` suite run (where sibling tests share and inflate `VmHWM`)
+/// cannot fail it spuriously.
+#[test]
+#[ignore = "subprocess probe; driven by full_scale_streamed_replay_bounded_memory"]
+fn streamed_rss_probe() {
+    if std::env::var("FILECULES_RSS_PROBE").is_err() {
+        eprintln!("streamed_rss_probe: not spawned as a probe, skipping");
+        return;
+    }
+    // The in-memory pipeline at this scale peaks well past this: the
+    // flattened access list alone is ~11M events, plus the materialized
+    // replay log. The streaming path holds the trace metadata and one
+    // chunk of events.
+    const RSS_CEILING: u64 = 1 << 30; // 1 GiB
+
+    let dir = std::env::temp_dir().join("filecules-full-scale-stream");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("paper-scale-{}.bin", std::process::id()));
+
+    // Generate straight to disk: plans in memory, flushed per batch.
+    TraceSynthesizer::new(SynthConfig::paper(0xD0D0_2006, 1.0))
+        .generate_to_path(&path)
+        .unwrap();
+    let streamed = StreamedLog::open(&path).unwrap();
+    assert!(
+        streamed.len() > 8_000_000,
+        "accesses {} (expected paper scale)",
+        streamed.len()
+    );
+
+    // The policy still needs the trace (file sizes); its compact form —
+    // 4 bytes per access plus file/job tables — fits far under the
+    // ceiling, unlike the materialized replay log it replaces.
+    let trace = filecules::trace::io_binary::load_trace_binary(&path).unwrap();
+    let cap = 100 * TB;
+    let report = Simulator::new().run(&streamed, &mut FileLru::new(&trace, cap));
+    assert_eq!(report.requests as usize, streamed.len());
+
+    std::fs::remove_file(&path).ok();
+    match filecules::obs::peak_rss_bytes() {
+        Some(peak) => {
+            eprintln!(
+                "streamed paper-scale replay: {} events, peak RSS {:.1} MiB",
+                streamed.len(),
+                peak as f64 / (1u64 << 20) as f64
+            );
+            assert!(
+                peak < RSS_CEILING,
+                "peak RSS {peak} bytes breaches the {RSS_CEILING}-byte streaming ceiling"
+            );
+        }
+        None => eprintln!("streamed_rss_probe: no /proc RSS on this platform, ceiling unchecked"),
+    }
+}

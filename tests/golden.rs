@@ -127,6 +127,41 @@ fn golden_sharded_simreports() {
 }
 
 #[test]
+fn golden_streamed_simreports() {
+    // Pins the out-of-core replay path end to end: the trace is written
+    // straight to disk by the streaming synthesizer (never holding the
+    // flattened access list), chunk-decoded back by `StreamedLog`, and
+    // replayed through `run_spec`. The rows must match the in-memory
+    // replay exactly — and therefore stay identical to the
+    // `golden_lru_simreports` fixture rows as well.
+    let dir = std::env::temp_dir().join("filecules-golden-stream");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace-small-seed7-{}.bin", std::process::id()));
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+
+    let trace = small_trace();
+    let set = identify(&trace);
+    let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
+    let sim = Simulator::new();
+    let file = sim.run_spec(&streamed, &trace, &set, PolicySpec::FileLru, CAPACITY);
+    let filecule = sim.run_spec(&streamed, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    let csv = report_csv(&[file, filecule]);
+    check_golden("simreport-streamed-small-seed7.csv", &csv);
+
+    let log = ReplayLog::build(&trace);
+    let mem_file = sim.run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY);
+    let mem_filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    assert_eq!(
+        csv,
+        report_csv(&[mem_file, mem_filecule]),
+        "streamed replay diverged from the in-memory replay"
+    );
+    fs::remove_file(&path).ok();
+}
+
+#[test]
 fn golden_outputs_unchanged_by_metrics() {
     // The observability layer must be write-only: attaching a recorder
     // cannot perturb either artifact the golden files pin.

@@ -1,0 +1,144 @@
+//! Streamed-replay equivalence suite.
+//!
+//! The out-of-core contract: replaying a trace through [`StreamedLog`]
+//! (chunk-decoding the FCTB2 file from disk) produces a bit-identical
+//! [`SimReport`] to replaying the fully materialized [`ReplayLog`] — for
+//! every policy spec, every chunk size (including one event per chunk and
+//! the whole trace in one chunk), and every segment count of the sharded
+//! engine. The deterministic test pins the full cross product at small
+//! scale; the proptest exercises the same equality over arbitrary
+//! micro-traces the calibrated synthesizer would never emit.
+
+use filecules::prelude::*;
+use filecules::trace::io_binary::save_trace_binary;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SEED: u64 = 7;
+const CAPACITY: u64 = TB / 100;
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("filecules-streaming-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A scratch path unique to this process and call site, so concurrent
+/// test runs never race on the same file.
+fn unique_scratch(prefix: &str) -> PathBuf {
+    scratch(&format!(
+        "{prefix}-{}-{}.bin",
+        std::process::id(),
+        SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn streamed_replay_matches_in_memory_for_every_spec() {
+    let trace = TraceSynthesizer::new(SynthConfig::small(SEED)).generate();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let path = unique_scratch("small-seed7");
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+
+    let chunks = [1usize, 7, 1024, log.len()];
+    let streamed: Vec<StreamedLog> = chunks
+        .iter()
+        .map(|&c| StreamedLog::open_with_chunk(&path, c).unwrap())
+        .collect();
+    for s in &streamed {
+        assert_eq!(s.len(), log.len());
+        assert_eq!(s.file_sizes(), log.file_sizes());
+    }
+
+    for shards in [1usize, 2, 8] {
+        let sim = Simulator::new().with_shards(shards);
+        for &spec in PolicySpec::ALL.iter() {
+            let mem = sim.run_spec(&log, &trace, &set, spec, CAPACITY);
+            for (s, &chunk) in streamed.iter().zip(&chunks) {
+                let strm = sim.run_spec(s, &trace, &set, spec, CAPACITY);
+                assert_eq!(
+                    strm, mem,
+                    "{spec} diverged at chunk size {chunk}, {shards} segments"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Build a micro-trace from (site, files) jobs over `n_files` files —
+/// same shape as `tests/properties.rs`, exercising corner cases (repeat
+/// accesses, singleton jobs, duplicate file lists) the workload model
+/// never emits.
+fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let d = b.add_domain(".gov");
+    let s0 = b.add_site(d);
+    let s1 = b.add_site(d);
+    let u0 = b.add_user();
+    let u1 = b.add_user();
+    for _ in 0..n_files {
+        b.add_file(10 * MB, DataTier::Thumbnail);
+    }
+    for (i, (site_sel, files)) in jobs.iter().enumerate() {
+        let list: Vec<FileId> = files
+            .iter()
+            .map(|&f| FileId(u32::from(f) % n_files))
+            .collect();
+        let (site, user) = if site_sel % 2 == 0 {
+            (s0, u0)
+        } else {
+            (s1, u1)
+        };
+        b.add_job(
+            user,
+            site,
+            hep_trace::NodeId(0),
+            DataTier::Thumbnail,
+            i as u64 * 100,
+            i as u64 * 100 + 50,
+            &list,
+        );
+    }
+    b.build().expect("valid by construction")
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec((any::<u8>(), prop::collection::vec(0u8..24, 1..12)), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streamed and in-memory replay agree on arbitrary micro-traces for
+    /// any spec, chunk size, and segment count.
+    #[test]
+    fn streamed_equals_memory_on_micro_traces(
+        jobs in jobs_strategy(),
+        chunk in 1usize..64,
+        spec_idx in 0usize..PolicySpec::ALL.len(),
+        shards in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let trace = build_trace(&jobs, 24);
+        let set = identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let path = unique_scratch("prop");
+        save_trace_binary(&trace, &path).unwrap();
+        let streamed = StreamedLog::open_with_chunk(&path, chunk).unwrap();
+
+        let spec = PolicySpec::ALL[spec_idx];
+        let sim = Simulator::new().with_shards(shards);
+        // Small enough to force evictions over the 240 MB file universe.
+        let cap = 60 * MB;
+        let mem = sim.run_spec(&log, &trace, &set, spec, cap);
+        let strm = sim.run_spec(&streamed, &trace, &set, spec, cap);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(strm, mem, "{} at chunk {}, {} segments", spec, chunk, shards);
+    }
+}
