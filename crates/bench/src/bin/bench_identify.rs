@@ -1,0 +1,143 @@
+//! Measure in-memory vs. streamed filecule identification and record a
+//! `hep-obs` snapshot.
+//!
+//! ```text
+//! cargo run --release -p hep-bench --bin bench_identify
+//! cargo run --release -p hep-bench --bin bench_identify -- --scale 100 --out BENCH_identify.json
+//! ```
+//!
+//! Runs every identification algorithm over the standard trace — the
+//! in-memory family (`exact`, its SipHash baseline, `refine`, `hashed`,
+//! `parallel`) and the streamed family decoding jobs straight from the
+//! cached FCTB2 file (`identify_from_source` and friends) — asserts each
+//! produces the same partition as the exact baseline, and writes
+//! wall-clock timings, event throughput, and the process peak RSS to a
+//! snapshot JSON so CI can track the perf trajectory per-PR. The
+//! `exact` vs `exact-siphash` pair isolates the win from swapping the
+//! signature-grouping hash maps to `FingerprintHasher`.
+
+use filecule_core::FileculeSet;
+use hep_bench::scenario::REPORT_SEED;
+use hep_obs::Metrics;
+use hep_trace::{generate_cached, StreamedLog, SynthConfig, TraceCache};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 200.0f64;
+    let mut out = String::from("BENCH_identify.json");
+    while let Some(a) = args.first().cloned() {
+        match a.as_str() {
+            "--scale" => {
+                args.remove(0);
+                scale = args
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --scale needs a number");
+                        std::process::exit(2);
+                    });
+                args.remove(0);
+            }
+            "--out" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+                out = args.remove(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = SynthConfig::paper(REPORT_SEED, scale);
+    cfg.user_scale = 4.0;
+    // One cache entry serves both sides: the streamed algorithms decode
+    // the FCTB2 file in place, the in-memory ones load it into a Trace.
+    let (path, cache_hit) = TraceCache::default()
+        .load_or_generate_path(&cfg)
+        .expect("trace cache");
+    let trace = generate_cached(&cfg);
+    let streamed = StreamedLog::open(&path).expect("open streamed trace");
+    let events = trace.n_accesses() as f64;
+    let metrics = Metrics::enabled();
+    metrics.add("bench.identify.events", trace.n_accesses() as u64);
+    println!(
+        "trace: {} jobs, {} accesses at scale 1/{scale} ({})",
+        trace.n_jobs(),
+        trace.n_accesses(),
+        if cache_hit { "cache hit" } else { "generated" }
+    );
+
+    let baseline = filecule_core::identify(&trace);
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut run = |name: &str, build: &dyn Fn() -> FileculeSet| {
+        let t = Instant::now();
+        let set = build();
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            set.n_filecules(),
+            baseline.n_filecules(),
+            "{name}: filecule count diverged from the exact baseline"
+        );
+        assert_eq!(
+            set.n_assigned_files(),
+            baseline.n_assigned_files(),
+            "{name}: assigned-file count diverged from the exact baseline"
+        );
+        metrics.record_secs(&format!("bench.identify.{name}"), secs);
+        println!(
+            "{name:>16}: {secs:>7.3}s ({:>12.0} ev/s), {} filecules",
+            events / secs.max(1e-9),
+            set.n_filecules()
+        );
+        timings.push((name.to_owned(), secs));
+    };
+
+    run("exact", &|| filecule_core::identify(&trace));
+    run("exact-siphash", &|| {
+        filecule_core::identify_with_siphash(&trace)
+    });
+    run("refine", &|| {
+        filecule_core::identify::refine::identify_refine(&trace)
+    });
+    run("hashed", &|| filecule_core::identify_hashed(&trace));
+    run("parallel", &|| {
+        filecule_core::identify::exact::identify_parallel(&trace)
+    });
+    run("exact-streamed", &|| {
+        filecule_core::identify_from_source(&streamed)
+    });
+    run("refine-streamed", &|| {
+        filecule_core::identify_refine_source(&streamed)
+    });
+    run("hashed-streamed", &|| {
+        filecule_core::identify_hashed_source(&streamed)
+    });
+
+    let secs_of = |name: &str| {
+        timings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .expect("timed above")
+    };
+    println!(
+        "fingerprint-hash speedup over SipHash grouping: {:.2}x",
+        secs_of("exact-siphash") / secs_of("exact").max(1e-9)
+    );
+
+    if let Some(rss) = hep_obs::peak_rss_bytes() {
+        metrics.add("bench.identify.peak_rss_bytes", rss);
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1u64 << 20) as f64);
+    }
+
+    let snap = metrics.snapshot().expect("metrics enabled");
+    snap.write(std::path::Path::new(&out))
+        .expect("write snapshot");
+    println!("snapshot written to {out}");
+}

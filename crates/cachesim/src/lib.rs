@@ -69,7 +69,8 @@ pub use sim::{
     simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimOptions, SimReport, Simulator,
 };
 pub use spec::{
-    build_policy, build_policy_from_log, build_policy_from_source, PolicySpec, SpecGranularity,
+    build_policy, build_policy_from_log, build_policy_from_source, build_policy_stream, PolicySpec,
+    SpecGranularity,
 };
 pub use stackdist::{
     file_reuse_profile, file_reuse_profile_from_log, filecule_reuse_profile,

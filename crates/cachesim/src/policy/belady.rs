@@ -4,12 +4,22 @@
 //! (never-used-again first). Optimal for uniform object sizes; with
 //! variable sizes it is the standard strong offline baseline. Requires the
 //! policy to be constructed from the *same trace* it replays, in the same
-//! order — an internal access counter keeps the precomputed
-//! next-occurrence table aligned.
+//! order — the precomputed next-occurrence table is consumed strictly
+//! sequentially, one value per access.
+//!
+//! Two future-knowledge backings ([`NextUse`]): an in-memory table (the
+//! classic path), and a scratch-file spill built from a [`SpillLog`] —
+//! the out-of-core path, where the table (8 bytes/event) would otherwise
+//! be the last O(accesses) resident structure. Because replay consumes
+//! next-use values in exactly access order, the spilled table is read
+//! back with one sequential buffered reader; no random access needed.
 
 use crate::policy::{AccessEvent, AccessResult, Policy};
-use hep_trace::{EventSource, FileId, ReplayLog, Trace};
+use hep_trace::{scratch_file, EventSource, FileId, ReplayLog, SpillLog, Trace};
 use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::os::unix::fs::FileExt;
 
 /// Sentinel: no further use.
 const NEVER: u64 = u64::MAX;
@@ -26,17 +36,104 @@ fn collect_file_column(source: &dyn EventSource) -> Vec<FileId> {
     files
 }
 
+/// The per-access future-knowledge column, consumed strictly
+/// sequentially during replay.
+#[derive(Debug)]
+enum NextUse {
+    /// Fully resident table (8 bytes per access).
+    Mem { table: Vec<u64>, cursor: usize },
+    /// Sequential reader over a spilled table in an unlinked scratch
+    /// file — O(1) resident regardless of trace length.
+    Spill {
+        reader: BufReader<File>,
+        remaining: usize,
+    },
+}
+
+impl NextUse {
+    /// The next-use value for the current access position (advances the
+    /// cursor). Must be called exactly once per replayed access.
+    fn advance(&mut self, policy: &str) -> u64 {
+        match self {
+            NextUse::Mem { table, cursor } => {
+                assert!(
+                    *cursor < table.len(),
+                    "replayed more accesses than the trace {policy} was built from"
+                );
+                let v = table[*cursor];
+                *cursor += 1;
+                v
+            }
+            NextUse::Spill { reader, remaining } => {
+                assert!(
+                    *remaining > 0,
+                    "replayed more accesses than the trace {policy} was built from"
+                );
+                *remaining -= 1;
+                let mut buf = [0u8; 8];
+                reader
+                    .read_exact(&mut buf)
+                    .expect("Belady: next-use spill read failed");
+                u64::from_le_bytes(buf)
+            }
+        }
+    }
+}
+
+/// Build the next-use table for `spill` into an unlinked scratch file,
+/// 8 bytes per access, keyed by `key_of` (identity for file
+/// granularity, the filecule map for group granularity; `None` keys get
+/// [`NEVER`]).
+///
+/// The backward scan reads the spill in blocks from the end and writes
+/// each block's table slice with positioned writes, so resident memory
+/// is one block plus the `O(n_keys)` last-position table. Positioned
+/// writes never move the file offset, so the returned sequential reader
+/// starts at byte 0 — exactly access position 0.
+fn spill_next_use(
+    spill: &SpillLog,
+    n_keys: usize,
+    key_of: impl Fn(FileId) -> Option<u32>,
+) -> io::Result<(BufReader<File>, usize)> {
+    const BLOCK: usize = 1 << 20;
+    let out = scratch_file("belady-nextuse")?;
+    let n = spill.len();
+    let mut last_pos: Vec<u64> = vec![NEVER; n_keys];
+    let mut events: Vec<AccessEvent> = Vec::new();
+    let mut table: Vec<u8> = Vec::new();
+    let mut blk_end = n;
+    while blk_end > 0 {
+        let start = blk_end.saturating_sub(BLOCK);
+        let len = blk_end - start;
+        spill.read_range(start, len, &mut events)?;
+        table.clear();
+        table.resize(len * 8, 0);
+        for k in (0..len).rev() {
+            let nu = match key_of(events[k].file) {
+                Some(key) => {
+                    let v = last_pos[key as usize];
+                    last_pos[key as usize] = (start + k) as u64;
+                    v
+                }
+                None => NEVER,
+            };
+            table[k * 8..k * 8 + 8].copy_from_slice(&nu.to_le_bytes());
+        }
+        out.write_all_at(&table, (start * 8) as u64)?;
+        blk_end = start;
+    }
+    Ok((BufReader::with_capacity(1 << 20, out), n))
+}
+
 /// Offline MIN (Belady) over individual files.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BeladyMin {
     capacity: u64,
     used: u64,
     sizes: Vec<u64>,
     /// For access position `i`, the next position at which the same file is
-    /// requested (or `NEVER`).
-    next_use: Vec<u64>,
-    /// Current access position; must track the replay exactly.
-    cursor: u64,
+    /// requested (or `NEVER`); consumed sequentially during replay.
+    next_use: NextUse,
     resident: Vec<bool>,
     /// Next-use key currently stored for each resident file.
     key_of: Vec<u64>,
@@ -80,12 +177,33 @@ impl BeladyMin {
             capacity,
             used: 0,
             sizes: sizes.to_vec(),
-            next_use,
-            cursor: 0,
+            next_use: NextUse::Mem {
+                table: next_use,
+                cursor: 0,
+            },
             resident: vec![false; n_files],
             key_of: vec![NEVER; n_files],
             order: BTreeSet::new(),
         }
+    }
+
+    /// Build from an already-recorded [`SpillLog`] with the next-use
+    /// table spilled to a scratch file — the single-decode out-of-core
+    /// path. The spill is read (backwards, in blocks) to build the
+    /// table; no FCTB2 re-decode happens here or during replay.
+    pub fn from_spill(spill: &SpillLog, capacity: u64) -> io::Result<Self> {
+        let sizes = spill.file_sizes().to_vec();
+        let n_files = sizes.len();
+        let (reader, remaining) = spill_next_use(spill, n_files, |f| Some(f.0))?;
+        Ok(Self {
+            capacity,
+            used: 0,
+            sizes,
+            next_use: NextUse::Spill { reader, remaining },
+            resident: vec![false; n_files],
+            key_of: vec![NEVER; n_files],
+            order: BTreeSet::new(),
+        })
     }
 }
 
@@ -105,13 +223,7 @@ impl Policy for BeladyMin {
     fn access(&mut self, req: &AccessEvent) -> AccessResult {
         let f = req.file.0;
         let fi = f as usize;
-        let pos = self.cursor as usize;
-        assert!(
-            pos < self.next_use.len(),
-            "replayed more accesses than the trace Belady was built from"
-        );
-        self.cursor += 1;
-        let nu = self.next_use[pos];
+        let nu = self.next_use.advance("Belady");
         if self.resident[fi] {
             self.order.remove(&(self.key_of[fi], f));
             self.key_of[fi] = nu;
@@ -165,16 +277,16 @@ impl Policy for BeladyMin {
 /// group-fetching policy, against which filecule-LRU's remaining headroom
 /// is measured. Fetch unit = whole filecule, eviction = farthest next use
 /// of any member.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FileculeBelady {
     capacity: u64,
     used: u64,
     /// Filecule key per file (`u32::MAX` = unassigned).
     group_of: Vec<u32>,
     group_bytes: Vec<u64>,
-    /// Next position the *group* is used, per access position.
-    next_use: Vec<u64>,
-    cursor: u64,
+    /// Next position the *group* is used, per access position; consumed
+    /// sequentially during replay ([`NEVER`] at unassigned positions).
+    next_use: NextUse,
     resident: Vec<bool>,
     key_of: Vec<u64>,
     order: BTreeSet<(u64, u32)>,
@@ -239,13 +351,47 @@ impl FileculeBelady {
             used: 0,
             group_of,
             group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
-            next_use,
-            cursor: 0,
+            next_use: NextUse::Mem {
+                table: next_use,
+                cursor: 0,
+            },
             resident: vec![false; set.n_filecules()],
             key_of: vec![NEVER; set.n_filecules()],
             order: BTreeSet::new(),
             file_sizes: sizes.to_vec(),
         }
+    }
+
+    /// Build from an already-recorded [`SpillLog`] with the group
+    /// next-use table spilled to a scratch file — the single-decode
+    /// out-of-core path.
+    pub fn from_spill(
+        spill: &SpillLog,
+        set: &filecule_core::FileculeSet,
+        capacity: u64,
+    ) -> io::Result<Self> {
+        let sizes = spill.file_sizes().to_vec();
+        let mut group_of = vec![u32::MAX; sizes.len()];
+        for g in set.ids() {
+            for &f in set.files(g) {
+                group_of[f.index()] = g.0;
+            }
+        }
+        let (reader, remaining) = spill_next_use(spill, set.n_filecules(), |f| {
+            let g = group_of[f.index()];
+            (g != u32::MAX).then_some(g)
+        })?;
+        Ok(Self {
+            capacity,
+            used: 0,
+            group_of,
+            group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
+            next_use: NextUse::Spill { reader, remaining },
+            resident: vec![false; set.n_filecules()],
+            key_of: vec![NEVER; set.n_filecules()],
+            order: BTreeSet::new(),
+            file_sizes: sizes,
+        })
     }
 }
 
@@ -263,12 +409,11 @@ impl Policy for FileculeBelady {
     }
 
     fn access(&mut self, req: &AccessEvent) -> AccessResult {
-        let pos = self.cursor as usize;
-        assert!(
-            pos < self.next_use.len(),
-            "replayed more accesses than the trace FileculeBelady was built from"
-        );
-        self.cursor += 1;
+        // Consume the next-use value unconditionally (even for the
+        // unassigned-file bypass below) so a sequential spill reader
+        // stays aligned with the access position; the table holds
+        // `NEVER` at unassigned positions.
+        let nu = self.next_use.advance("FileculeBelady");
         let g = self.group_of[req.file.index()];
         if g == u32::MAX {
             return AccessResult {
@@ -279,7 +424,6 @@ impl Policy for FileculeBelady {
             };
         }
         let gi = g as usize;
-        let nu = self.next_use[pos];
         if self.resident[gi] {
             self.order.remove(&(self.key_of[gi], g));
             self.key_of[gi] = nu;
@@ -416,6 +560,40 @@ mod tests {
             p.access(&ev);
             assert!(p.used() <= p.capacity());
         }
+    }
+
+    #[test]
+    fn spilled_belady_matches_in_memory() {
+        let t = trace_with_sizes(
+            &[&[0], &[1], &[2], &[0], &[1], &[2], &[0, 1]],
+            &[100, 100, 100],
+        );
+        let log = ReplayLog::build(&t);
+        let spill = SpillLog::record(&log).unwrap();
+        let mut mem = BeladyMin::from_log(&log, 200 * MB);
+        let mut sp = BeladyMin::from_spill(&spill, 200 * MB).unwrap();
+        for ev in t.access_events() {
+            assert_eq!(mem.access(&ev), sp.access(&ev), "diverged at {ev:?}");
+        }
+    }
+
+    #[test]
+    fn spilled_filecule_belady_matches_in_memory() {
+        use filecule_core::identify;
+        let t = hep_trace::TraceSynthesizer::new(hep_trace::SynthConfig::small(89)).generate();
+        let set = identify(&t);
+        let log = ReplayLog::build(&t);
+        let spill = SpillLog::record(&log).unwrap();
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let cap = total / 8;
+        let mem = crate::sim::simulate(&t, &mut FileculeBelady::from_log(&log, &set, cap));
+        let sp = crate::sim::simulate(
+            &t,
+            &mut FileculeBelady::from_spill(&spill, &set, cap).unwrap(),
+        );
+        assert_eq!(mem.hits, sp.hits);
+        assert_eq!(mem.misses, sp.misses);
+        assert_eq!(mem.bytes_fetched, sp.bytes_fetched);
     }
 
     #[test]

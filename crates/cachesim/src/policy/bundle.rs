@@ -38,7 +38,16 @@ pub struct BundleAffinity {
 impl BundleAffinity {
     /// Create a bundle-affinity cache of `capacity` bytes.
     pub fn new(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
-        let n = trace.n_files();
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            set,
+            capacity,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: Vec<u64>, set: &FileculeSet, capacity: u64) -> Self {
+        let n = sizes.len();
         let mut group_of = vec![u32::MAX; n];
         for g in set.ids() {
             for &f in set.files(g) {
@@ -48,7 +57,7 @@ impl BundleAffinity {
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            sizes,
             group_of,
             group_len: set.ids().map(|g| set.len(g) as u32).collect(),
             group_resident: vec![0; set.n_filecules()],

@@ -34,7 +34,21 @@ pub struct FileculeGds {
 impl FileculeGds {
     /// Create a filecule-GDS cache of `capacity` bytes.
     pub fn new(trace: &Trace, set: &FileculeSet, capacity: u64, cost: CostModel) -> Self {
-        let mut group_of = vec![u32::MAX; trace.n_files()];
+        Self::from_sizes(
+            &trace
+                .files()
+                .iter()
+                .map(|f| f.size_bytes)
+                .collect::<Vec<_>>(),
+            set,
+            capacity,
+            cost,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: &[u64], set: &FileculeSet, capacity: u64, cost: CostModel) -> Self {
+        let mut group_of = vec![u32::MAX; sizes.len()];
         for g in set.ids() {
             for &f in set.files(g) {
                 group_of[f.index()] = g.0;
@@ -46,7 +60,7 @@ impl FileculeGds {
             used: 0,
             group_of,
             group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
-            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            file_sizes: sizes.to_vec(),
             cost,
             inflation: 0.0,
             priority: vec![0.0; n],

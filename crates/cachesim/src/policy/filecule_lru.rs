@@ -35,7 +35,20 @@ impl FileculeLru {
     /// Create a filecule-LRU cache of `capacity` bytes using the partition
     /// `set` identified from `trace`.
     pub fn new(trace: &Trace, set: &FileculeSet, capacity: u64) -> Self {
-        let mut group_of = vec![u32::MAX; trace.n_files()];
+        Self::from_sizes(
+            &trace
+                .files()
+                .iter()
+                .map(|f| f.size_bytes)
+                .collect::<Vec<_>>(),
+            set,
+            capacity,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: &[u64], set: &FileculeSet, capacity: u64) -> Self {
+        let mut group_of = vec![u32::MAX; sizes.len()];
         for g in set.ids() {
             for &f in set.files(g) {
                 group_of[f.index()] = g.0;
@@ -47,7 +60,7 @@ impl FileculeLru {
             group_of,
             group_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
             lru: DenseLru::new(set.n_filecules()),
-            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            file_sizes: sizes.to_vec(),
         }
     }
 

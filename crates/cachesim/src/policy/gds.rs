@@ -58,11 +58,20 @@ pub struct GreedyDualSize {
 impl GreedyDualSize {
     /// Create a GDS cache with the given cost model.
     pub fn new(trace: &Trace, capacity: u64, cost: CostModel) -> Self {
-        let n = trace.n_files();
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+            cost,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64, cost: CostModel) -> Self {
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            sizes,
             cost,
             inflation: 0.0,
             priority: vec![0.0; n],

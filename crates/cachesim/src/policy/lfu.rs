@@ -28,11 +28,19 @@ pub struct FileLfu {
 impl FileLfu {
     /// Create an LFU cache of `capacity` bytes for the files of `trace`.
     pub fn new(trace: &Trace, capacity: u64) -> Self {
-        let n = trace.n_files();
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64) -> Self {
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            sizes,
             freq: vec![0; n],
             seq_of: vec![0; n],
             next_seq: 0,

@@ -18,11 +18,21 @@ impl FileLru {
     /// Create a file-LRU cache of `capacity` bytes for the files of
     /// `trace`.
     pub fn new(trace: &Trace, capacity: u64) -> Self {
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+        )
+    }
+
+    /// Build from a bare file-size table — the out-of-core constructor
+    /// (streamed sources carry sizes but no `Trace`).
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64) -> Self {
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
-            lru: DenseLru::new(trace.n_files()),
+            sizes,
+            lru: DenseLru::new(n),
         }
     }
 

@@ -34,16 +34,29 @@ impl FileLruK {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(trace: &Trace, capacity: u64, k: usize) -> Self {
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+            k,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64, k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
             k,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
-            history: vec![Vec::new(); trace.n_files()],
+            sizes,
+            history: vec![Vec::new(); n],
             clock: 0,
-            resident: vec![false; trace.n_files()],
-            key_of: vec![0; trace.n_files()],
+            resident: vec![false; n],
+            key_of: vec![0; n],
             order: BTreeSet::new(),
         }
     }

@@ -29,7 +29,11 @@ pub(crate) struct ObjectSpace {
 impl ObjectSpace {
     /// File granularity: one object per file.
     pub fn files(trace: &Trace) -> Self {
-        let sizes: Vec<u64> = trace.files().iter().map(|f| f.size_bytes).collect();
+        Self::files_from_sizes(trace.files().iter().map(|f| f.size_bytes).collect())
+    }
+
+    /// [`ObjectSpace::files`] from a bare size table (out-of-core path).
+    pub fn files_from_sizes(sizes: Vec<u64>) -> Self {
         Self {
             group_of: None,
             obj_bytes: sizes.clone(),
@@ -40,7 +44,20 @@ impl ObjectSpace {
 
     /// Filecule granularity: one object per filecule of `set`.
     pub fn filecules(trace: &Trace, set: &FileculeSet) -> Self {
-        let mut group_of = vec![u32::MAX; trace.n_files()];
+        Self::filecules_from_sizes(
+            &trace
+                .files()
+                .iter()
+                .map(|f| f.size_bytes)
+                .collect::<Vec<_>>(),
+            set,
+        )
+    }
+
+    /// [`ObjectSpace::filecules`] from a bare size table (out-of-core
+    /// path).
+    pub fn filecules_from_sizes(sizes: &[u64], set: &FileculeSet) -> Self {
+        let mut group_of = vec![u32::MAX; sizes.len()];
         for g in set.ids() {
             for &f in set.files(g) {
                 group_of[f.index()] = g.0;
@@ -49,7 +66,7 @@ impl ObjectSpace {
         Self {
             group_of: Some(group_of),
             obj_bytes: set.ids().map(|g| set.size_bytes(g)).collect(),
-            file_sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
+            file_sizes: sizes.to_vec(),
             granularity: "filecule",
         }
     }

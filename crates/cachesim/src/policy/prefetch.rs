@@ -31,11 +31,19 @@ struct LruBytes {
 
 impl LruBytes {
     fn new(trace: &Trace, capacity: u64) -> Self {
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+        )
+    }
+
+    fn from_sizes(sizes: Vec<u64>, capacity: u64) -> Self {
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
-            lru: DenseLru::new(trace.n_files()),
+            sizes,
+            lru: DenseLru::new(n),
         }
     }
 
@@ -87,9 +95,19 @@ impl SuccessorPrefetch {
     /// Create with prefetch chain length `depth` (the paper's cited work
     /// uses small groups; 4 is a reasonable default).
     pub fn new(trace: &Trace, capacity: u64, depth: usize) -> Self {
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+            depth,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64, depth: usize) -> Self {
+        let n = sizes.len();
         Self {
-            cache: LruBytes::new(trace, capacity),
-            successor: vec![u32::MAX; trace.n_files()],
+            cache: LruBytes::from_sizes(sizes, capacity),
+            successor: vec![u32::MAX; n],
             prev: u32::MAX,
             depth,
         }
@@ -177,13 +195,31 @@ struct ActiveJob {
 impl WorkingSetPrefetch {
     /// Create with a per-user library of up to `library_cap` past jobs.
     pub fn new(trace: &Trace, capacity: u64, library_cap: usize) -> Self {
+        Self::from_parts(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            trace.jobs().iter().map(|j| j.user.0).collect(),
+            capacity,
+            library_cap,
+        )
+    }
+
+    /// Build from bare columns — file sizes plus the per-job user table
+    /// (the one piece of job metadata this policy needs beyond the
+    /// event stream; streamed sources expose it via
+    /// `EventSource::job_users`).
+    pub fn from_parts(
+        sizes: Vec<u64>,
+        job_users: Vec<u32>,
+        capacity: u64,
+        library_cap: usize,
+    ) -> Self {
         Self {
-            cache: LruBytes::new(trace, capacity),
+            cache: LruBytes::from_sizes(sizes, capacity),
             library: HashMap::new(),
             library_version: HashMap::new(),
             library_cap,
             active: HashMap::new(),
-            job_users: trace.jobs().iter().map(|j| j.user.0).collect(),
+            job_users,
         }
     }
 }

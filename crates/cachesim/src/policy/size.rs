@@ -23,11 +23,20 @@ pub struct FileSize {
 impl FileSize {
     /// Create a SIZE-policy cache of `capacity` bytes.
     pub fn new(trace: &Trace, capacity: u64) -> Self {
+        Self::from_sizes(
+            trace.files().iter().map(|f| f.size_bytes).collect(),
+            capacity,
+        )
+    }
+
+    /// Build from a bare file-size table (the out-of-core constructor).
+    pub fn from_sizes(sizes: Vec<u64>, capacity: u64) -> Self {
+        let n = sizes.len();
         Self {
             capacity,
             used: 0,
-            sizes: trace.files().iter().map(|f| f.size_bytes).collect(),
-            resident: vec![false; trace.n_files()],
+            sizes,
+            resident: vec![false; n],
             order: BTreeSet::new(),
         }
     }

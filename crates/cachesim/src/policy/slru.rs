@@ -38,6 +38,17 @@ impl Slru {
         Self::with_space(ObjectSpace::filecules(trace, set), capacity)
     }
 
+    /// [`Slru::file`] from a bare size table (out-of-core constructor).
+    pub fn file_from_sizes(sizes: Vec<u64>, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::files_from_sizes(sizes), capacity)
+    }
+
+    /// [`Slru::filecule`] from a bare size table (out-of-core
+    /// constructor).
+    pub fn filecule_from_sizes(sizes: &[u64], set: &FileculeSet, capacity: u64) -> Self {
+        Self::with_space(ObjectSpace::filecules_from_sizes(sizes, set), capacity)
+    }
+
     fn with_space(space: ObjectSpace, capacity: u64) -> Self {
         let n = space.n_objects();
         Self {

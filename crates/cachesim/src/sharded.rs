@@ -36,6 +36,19 @@
 //! affinity, LRU-2, offline Belady) silently fall back to one monolithic
 //! segment — correct results, no intra-policy parallelism.
 //!
+//! ## Trace-free streaming
+//!
+//! [`Simulator::run_spec_stream`]/[`Simulator::run_specs_stream`] are the
+//! fully out-of-core entry points: they take only an [`EventSource`] and
+//! a [`FileculeSet`] (no `Trace` anywhere), building every policy through
+//! [`build_policy_stream`]. For the offline Belady pair on a disk-backed
+//! source ([`EventSource::is_out_of_core`]) they take the single-decode
+//! path: the stream is decoded exactly once into a raw
+//! [`SpillLog`](hep_trace::SpillLog), the next-use index is derived from
+//! the spill by backward block scan
+//! ([`BeladyMin::from_spill`]), and the simulation replays the spill —
+//! no second FCTB2 decode.
+//!
 //! ## Capacity split
 //!
 //! `capacity / shards` per segment, with the remainder distributed one
@@ -43,13 +56,14 @@
 //! segment capacities always sum exactly to the configured total.
 
 use crate::faults_hook::ColdStorageFaults;
+use crate::policy::belady::{BeladyMin, FileculeBelady};
 use crate::policy::Policy;
 use crate::sim::{replay_source, FaultHook, FaultStats, ReplayAccum, SimReport};
-use crate::spec::{build_policy_from_source, PolicySpec, SpecGranularity};
+use crate::spec::{build_policy_from_source, build_policy_stream, PolicySpec, SpecGranularity};
 use crate::Simulator;
 use filecule_core::FileculeSet;
 use hep_runctx::{maybe_install, RunCtx};
-use hep_trace::{AccessEvent, EventSource, FileId, Trace};
+use hep_trace::{AccessEvent, EventSource, FileId, SpillLog, Trace};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -279,8 +293,52 @@ impl Simulator {
         })
     }
 
-    /// Core sharded replay; assumes the caller already installed the
-    /// thread pool (if any), so nested `par_iter`s compose under it.
+    /// Trace-free sharded spec replay: like [`Simulator::run_spec`] but
+    /// built entirely from the [`EventSource`] (file-size table, per-job
+    /// user table) and the filecule partition. Fails only when the spec
+    /// needs trace data the source does not carry (currently
+    /// [`PolicySpec::WorkingSetPrefetch`] on a source without
+    /// [`EventSource::job_users`]).
+    ///
+    /// For the offline Belady pair on an out-of-core source this takes
+    /// the single-decode spill path — see the module docs.
+    pub fn run_spec_stream(
+        &self,
+        source: &dyn EventSource,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+    ) -> Result<SimReport, String> {
+        maybe_install(self.threads(), || {
+            self.run_spec_stream_inner(source, set, spec, capacity, None)
+                .map(|(report, _)| report)
+        })
+    }
+
+    /// Replay every spec over the shared source without a `Trace`, under
+    /// one rayon budget — the trace-free analogue of
+    /// [`Simulator::run_specs`]. The first spec the source cannot serve
+    /// fails the whole call.
+    pub fn run_specs_stream(
+        &self,
+        source: &dyn EventSource,
+        set: &FileculeSet,
+        specs: &[PolicySpec],
+        capacity: u64,
+    ) -> Result<Vec<SimReport>, String> {
+        maybe_install(self.threads(), || {
+            specs
+                .par_iter()
+                .map(|&spec| {
+                    self.run_spec_stream_inner(source, set, spec, capacity, None)
+                        .map(|(report, _)| report)
+                })
+                .collect()
+        })
+    }
+
+    /// Trace-backed inner runner: the policy builder borrows the trace,
+    /// so it can never fail.
     fn run_spec_inner(
         &self,
         source: &dyn EventSource,
@@ -290,9 +348,98 @@ impl Simulator {
         capacity: u64,
         hook: Option<&dyn FaultHook>,
     ) -> (SimReport, FaultStats) {
+        self.run_spec_core(source, set, spec, capacity, hook, &|cap| {
+            build_policy_from_source(spec, source, trace, set, cap)
+        })
+    }
+
+    /// Trace-free inner runner: validates source-carried data up front
+    /// (so the per-segment builder stays infallible) and routes
+    /// out-of-core Belady through the single-decode spill path.
+    fn run_spec_stream_inner(
+        &self,
+        source: &dyn EventSource,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        hook: Option<&dyn FaultHook>,
+    ) -> Result<(SimReport, FaultStats), String> {
+        if matches!(spec, PolicySpec::BeladyMin | PolicySpec::FileculeBelady)
+            && source.is_out_of_core()
+        {
+            return self.run_spilled_belady(source, set, spec, capacity, hook);
+        }
+        if matches!(spec, PolicySpec::WorkingSetPrefetch) && source.job_users().is_none() {
+            // Surface the one fallible case before building anything, so
+            // the sharded builder closure below can stay infallible.
+            build_policy_stream(spec, source, set, capacity)?;
+            unreachable!("build_policy_stream must fail without job_users");
+        }
+        Ok(
+            self.run_spec_core(source, set, spec, capacity, hook, &|cap| {
+                build_policy_stream(spec, source, set, cap)
+                    .expect("non-workingset stream builders are infallible")
+            }),
+        )
+    }
+
+    /// The single-decode offline-Belady path for disk-backed sources:
+    /// decode the stream exactly once into a raw [`SpillLog`], derive the
+    /// next-use index from the spill (backward block scan over raw
+    /// records), and replay the spill — the FCTB2 payload is never
+    /// decoded a second time.
+    fn run_spilled_belady(
+        &self,
+        source: &dyn EventSource,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        hook: Option<&dyn FaultHook>,
+    ) -> Result<(SimReport, FaultStats), String> {
+        let started = self.metrics().is_enabled().then(Instant::now);
+        let spill = SpillLog::record(source)
+            .map_err(|e| format!("{spec}: recording the event spill failed: {e}"))?;
+        let mut policy: Box<dyn Policy + Send> = match spec {
+            PolicySpec::BeladyMin => Box::new(
+                BeladyMin::from_spill(&spill, capacity)
+                    .map_err(|e| format!("{spec}: building the next-use index failed: {e}"))?,
+            ),
+            PolicySpec::FileculeBelady => Box::new(
+                FileculeBelady::from_spill(&spill, set, capacity)
+                    .map_err(|e| format!("{spec}: building the next-use index failed: {e}"))?,
+            ),
+            _ => unreachable!("run_spilled_belady is only reached for Belady specs"),
+        };
+        let (report, faults) = replay_source(&spill, policy.as_mut(), hook, self.options());
+        if let Some(t0) = started {
+            self.emit_run_metrics(
+                &report,
+                &faults,
+                t0.elapsed().as_secs_f64(),
+                spill.len(),
+                hook,
+            );
+        }
+        Ok((report, faults))
+    }
+
+    /// Core sharded replay; assumes the caller already installed the
+    /// thread pool (if any), so nested `par_iter`s compose under it.
+    /// Everything trace-shaped comes through `build` (one call per
+    /// segment) or off the source itself, so the trace-backed and
+    /// trace-free runners share this body.
+    fn run_spec_core(
+        &self,
+        source: &dyn EventSource,
+        set: &FileculeSet,
+        spec: PolicySpec,
+        capacity: u64,
+        hook: Option<&dyn FaultHook>,
+        build: &(dyn Fn(u64) -> Box<dyn Policy + Send> + Sync),
+    ) -> (SimReport, FaultStats) {
         let shards = self.shards();
         if shards <= 1 || !spec.is_partition_independent() {
-            let mut policy = build_policy_from_source(spec, source, trace, set, capacity);
+            let mut policy = build(capacity);
             let started = self.metrics().is_enabled().then(Instant::now);
             let (report, faults) = replay_source(source, policy.as_mut(), hook, self.options());
             if let Some(t0) = started {
@@ -307,13 +454,13 @@ impl Simulator {
             return (report, faults);
         }
         let started = self.metrics().is_enabled().then(Instant::now);
-        let plan = ShardPlan::for_spec(spec, set, trace.n_files(), shards);
+        let plan = ShardPlan::for_spec(spec, set, source.n_files(), shards);
         let caps = split_capacity(capacity, shards);
         let options = self.options();
         let sizes = source.file_sizes();
         let mut segs: Vec<SegState<'_>> = (0..shards)
             .map(|s| {
-                let policy = build_policy_from_source(spec, source, trace, set, caps[s]);
+                let policy = build(caps[s]);
                 let acc = ReplayAccum::new(policy.as_ref(), source.len(), sizes, options);
                 SegState {
                     policy,
@@ -505,6 +652,55 @@ mod tests {
             let one = sim.run_spec(&log, &trace, &set, *spec, cap);
             assert_eq!(&one, got, "{spec}");
         }
+    }
+
+    #[test]
+    fn run_spec_stream_matches_trace_backed() {
+        // The trace-free builder path must be indistinguishable from the
+        // trace-backed one whenever the source carries the needed tables.
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        let sim = Simulator::new().with_shards(4);
+        for spec in [
+            PolicySpec::FileLru,
+            PolicySpec::FileculeLru,
+            PolicySpec::FileculeGds,
+            PolicySpec::FileTinyLfu,
+            PolicySpec::BeladyMin,
+            PolicySpec::FileculeBelady,
+        ] {
+            let trace_backed = sim.run_spec(&log, &trace, &set, spec, cap);
+            let streamed = sim
+                .run_spec_stream(&log, &set, spec, cap)
+                .expect("ReplayLog carries everything these specs need");
+            assert_eq!(trace_backed, streamed, "{spec}");
+        }
+    }
+
+    #[test]
+    fn run_specs_stream_matches_individual_runs() {
+        let (_, set, log) = small();
+        let cap = TB / 100;
+        let sim = Simulator::new().with_shards(2).with_threads(2);
+        let specs = [PolicySpec::FileLru, PolicySpec::FileculeSlru];
+        let grid = sim
+            .run_specs_stream(&log, &set, &specs, cap)
+            .expect("stream grid");
+        for (spec, got) in specs.iter().zip(&grid) {
+            let one = sim.run_spec_stream(&log, &set, *spec, cap).expect("one");
+            assert_eq!(&one, got, "{spec}");
+        }
+    }
+
+    #[test]
+    fn run_spec_stream_rejects_workingset_without_user_table() {
+        // ReplayLog does not carry per-job users, so the one trace-shaped
+        // policy must fail loudly instead of building a wrong instance.
+        let (_, set, log) = small();
+        let err = Simulator::new()
+            .run_spec_stream(&log, &set, PolicySpec::WorkingSetPrefetch, TB)
+            .expect_err("ReplayLog has no per-job user table");
+        assert!(err.contains("user table"), "unhelpful error: {err}");
     }
 
     #[test]

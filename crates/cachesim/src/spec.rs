@@ -279,6 +279,83 @@ pub fn build_policy_from_source(
     }
 }
 
+/// Build the policy a spec names from an [`EventSource`] alone — no
+/// `Trace` anywhere. This is the fully out-of-core builder behind
+/// `simulate --stream`: every constructor runs off the source's
+/// file-size table (plus the filecule partition, itself computable
+/// out-of-core via `filecule_core::identify_from_source`).
+///
+/// Fails only for [`PolicySpec::WorkingSetPrefetch`] on a source that
+/// does not carry the per-job user table
+/// ([`EventSource::job_users`]); FCTB2-backed sources carry it.
+///
+/// The offline Belady pair is built via
+/// [`BeladyMin::from_source`]/[`FileculeBelady::from_source`], which
+/// costs one extra pass over the stream; the sharded engine's streamed
+/// runner avoids even that by recording a [`hep_trace::SpillLog`] and
+/// using the spill-backed constructors instead.
+pub fn build_policy_stream(
+    spec: PolicySpec,
+    source: &dyn EventSource,
+    set: &FileculeSet,
+    capacity: u64,
+) -> Result<Box<dyn Policy + Send>, String> {
+    let sizes = source.file_sizes();
+    Ok(match spec {
+        PolicySpec::FileLru => Box::new(FileLru::from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileculeLru => Box::new(FileculeLru::from_sizes(sizes, set, capacity)),
+        PolicySpec::FileculeGds => Box::new(FileculeGds::from_sizes(
+            sizes,
+            set,
+            capacity,
+            CostModel::Uniform,
+        )),
+        PolicySpec::FileFifo => Box::new(FileFifo::from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileLfu => Box::new(FileLfu::from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileSize => Box::new(FileSize::from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::GdsUniform => Box::new(GreedyDualSize::from_sizes(
+            sizes.to_vec(),
+            capacity,
+            CostModel::Uniform,
+        )),
+        PolicySpec::GdsSize => Box::new(GreedyDualSize::from_sizes(
+            sizes.to_vec(),
+            capacity,
+            CostModel::Size,
+        )),
+        PolicySpec::BundleAffinity => {
+            Box::new(BundleAffinity::from_sizes(sizes.to_vec(), set, capacity))
+        }
+        PolicySpec::FileLru2 => Box::new(FileLruK::from_sizes(sizes.to_vec(), capacity, 2)),
+        PolicySpec::SuccessorPrefetch => {
+            Box::new(SuccessorPrefetch::from_sizes(sizes.to_vec(), capacity, 4))
+        }
+        PolicySpec::WorkingSetPrefetch => {
+            let users = source.job_users().ok_or_else(|| {
+                format!(
+                    "policy {} needs the per-job user table, which this event source \
+                     does not carry",
+                    spec.key()
+                )
+            })?;
+            Box::new(WorkingSetPrefetch::from_parts(
+                sizes.to_vec(),
+                users.to_vec(),
+                capacity,
+                16,
+            ))
+        }
+        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)),
+        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)),
+        PolicySpec::FileSlru => Box::new(Slru::file_from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileculeSlru => Box::new(Slru::filecule_from_sizes(sizes, set, capacity)),
+        PolicySpec::FileLfuda => Box::new(Lfuda::file_from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileculeLfuda => Box::new(Lfuda::filecule_from_sizes(sizes, set, capacity)),
+        PolicySpec::FileTinyLfu => Box::new(TinyLfu::file_from_sizes(sizes.to_vec(), capacity)),
+        PolicySpec::FileculeTinyLfu => Box::new(TinyLfu::filecule_from_sizes(sizes, set, capacity)),
+    })
+}
+
 /// The online (non-Belady) constructors, which never need the replay
 /// stream — only the trace's file metadata and the filecule partition.
 fn build_online_policy(

@@ -58,6 +58,25 @@ pub fn load_trace(path: &Path) -> Result<Trace, Box<dyn Error>> {
     }
 }
 
+/// Fail fast with the friendly missing-trace error for commands that
+/// stream straight from the binary file instead of loading a [`Trace`]
+/// (the streamed paths never go through [`load_trace`], so they need
+/// their own check to avoid surfacing a bare OS error).
+fn ensure_stream_trace(path: &Path) -> Result<(), Box<dyn Error>> {
+    if !path.exists() {
+        return Err(format!(
+            "no such trace file: {} (run `filecules generate {}` to synthesize one)",
+            path.display(),
+            path.display()
+        )
+        .into());
+    }
+    if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+        return Err("--stream needs a binary trace (.csv traces replay in memory only)".into());
+    }
+    Ok(())
+}
+
 /// Save a trace, dispatching on the extension.
 pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), Box<dyn Error>> {
     if path.extension().and_then(|e| e.to_str()) == Some("csv") {
@@ -68,10 +87,15 @@ pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `filecules generate <out>`.
+/// `filecules generate <out>`. `--preset paper4x`/`--preset paper16x`
+/// select the beyond-full-scale configurations and stream the synthesis
+/// straight to disk ([`TraceSynthesizer::generate_to_path`]) — those
+/// traces are meant for `--stream` consumers and are never materialized
+/// in memory here.
 pub fn generate(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "scale",
+        "preset",
         "seed",
         "user-scale",
         "days",
@@ -81,8 +105,35 @@ pub fn generate(args: &Args) -> CmdResult {
         "threads",
     ])?;
     let out = args.positional(1).ok_or("generate needs an output path")?;
-    let scale: f64 = args.get_or("scale", 16.0)?;
     let seed: u64 = args.get_or("seed", hep_stats::rng::DEFAULT_SEED)?;
+    if let Some(preset) = args.get("preset") {
+        if args.get("scale").is_some() {
+            return Err("--preset and --scale are mutually exclusive".into());
+        }
+        if args.switch("check") {
+            return Err(
+                "--check needs an in-memory trace; presets stream synthesis to disk".into(),
+            );
+        }
+        if Path::new(out).extension().and_then(|e| e.to_str()) == Some("csv") {
+            return Err("presets write the binary trace format (pick a non-.csv path)".into());
+        }
+        let mut cfg = match preset {
+            "paper4x" => SynthConfig::paper_4x(seed),
+            "paper16x" => SynthConfig::paper_16x(seed),
+            other => {
+                return Err(format!("unknown preset {other:?} (try paper4x or paper16x)").into())
+            }
+        };
+        cfg.user_scale = args.get_or("user-scale", cfg.user_scale)?;
+        cfg.days = args.get_or("days", cfg.days)?;
+        let metrics = metrics_from_args(args);
+        TraceSynthesizer::new(cfg).generate_to_path_with_metrics(Path::new(out), &metrics)?;
+        println!("wrote {out} (preset {preset}, streamed synthesis — replay with --stream)");
+        finish_metrics(args, &metrics)?;
+        return Ok(());
+    }
+    let scale: f64 = args.get_or("scale", 16.0)?;
     let mut cfg = SynthConfig::paper(seed, scale);
     cfg.user_scale = args.get_or("user-scale", cfg.user_scale)?;
     cfg.days = args.get_or("days", cfg.days)?;
@@ -188,34 +239,66 @@ pub fn characterize(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `filecules identify <trace>`.
+/// `filecules identify <trace>`. With `--stream` the trace is never
+/// loaded: jobs are decoded one at a time from the binary file
+/// ([`hep_trace::JobSource`]), so memory stays flat in trace length and
+/// the resulting partition is identical to the in-memory one (`exact`
+/// runs the certified fingerprint pass; see
+/// `filecule_core::identify_from_source`). Trace-wide partition stats
+/// need the loaded trace and are skipped when streaming.
 pub fn identify(args: &Args) -> CmdResult {
-    args.reject_unknown(&["out", "algorithm", "threads"])?;
+    args.reject_unknown(&["out", "algorithm", "stream", "threads"])?;
     let path = args.positional(1).ok_or("identify needs a trace path")?;
-    let trace = load_trace(Path::new(path))?;
     let algo = args.get("algorithm").unwrap_or("exact");
     let t0 = std::time::Instant::now();
-    let set: FileculeSet = match algo {
-        "exact" => filecule_core::identify(&trace),
-        "refine" => filecule_core::identify::refine::identify_refine(&trace),
-        "hashed" => filecule_core::identify_hashed(&trace),
-        "parallel" => filecule_core::identify::exact::identify_parallel(&trace),
-        other => return Err(format!("unknown algorithm {other:?}").into()),
+    let (set, detail): (FileculeSet, Option<String>) = if args.switch("stream") {
+        ensure_stream_trace(Path::new(path))?;
+        let log = hep_trace::StreamedLog::open(Path::new(path))?;
+        let set = match algo {
+            "exact" => filecule_core::identify_from_source(&log),
+            "refine" => filecule_core::identify_refine_source(&log),
+            "hashed" => filecule_core::identify_hashed_source(&log),
+            other => {
+                return Err(format!(
+                    "algorithm {other:?} cannot run with --stream (use exact, refine or hashed)"
+                )
+                .into())
+            }
+        };
+        (set, None)
+    } else {
+        let trace = load_trace(Path::new(path))?;
+        let set = match algo {
+            "exact" => filecule_core::identify(&trace),
+            "refine" => filecule_core::identify::refine::identify_refine(&trace),
+            "hashed" => filecule_core::identify_hashed(&trace),
+            "parallel" => filecule_core::identify::exact::identify_parallel(&trace),
+            other => return Err(format!("unknown algorithm {other:?}").into()),
+        };
+        let stats = filecule_core::metrics::partition_stats(&trace, &set);
+        let detail = format!(
+            "  mean {:.1} files/filecule, largest {:.1} GB, max {} users, single-user {:.1}%",
+            stats.mean_files,
+            stats.max_bytes as f64 / GB as f64,
+            stats.max_users,
+            stats.single_user_fraction * 100.0
+        );
+        (set, Some(detail))
     };
-    let stats = filecule_core::metrics::partition_stats(&trace, &set);
     println!(
-        "{algo}: {} filecules covering {} files in {:.2}s",
+        "{algo}{}: {} filecules covering {} files in {:.2}s",
+        if args.switch("stream") {
+            " (streamed)"
+        } else {
+            ""
+        },
         set.n_filecules(),
         set.n_assigned_files(),
         t0.elapsed().as_secs_f64()
     );
-    println!(
-        "  mean {:.1} files/filecule, largest {:.1} GB, max {} users, single-user {:.1}%",
-        stats.mean_files,
-        stats.max_bytes as f64 / GB as f64,
-        stats.max_users,
-        stats.single_user_fraction * 100.0
-    );
+    if let Some(detail) = detail {
+        println!("{detail}");
+    }
     if let Some(out) = args.get("out") {
         let mut doc = String::from("filecule,files,bytes,popularity,file_ids\n");
         for g in set.ids() {
@@ -251,10 +334,12 @@ fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
 /// policy simulated over it in a single pass each. With `--shards N` the
 /// cache is split into N independent segments replayed in parallel
 /// (partition-dependent policies fall back to monolithic). With
-/// `--stream` the replay log is never materialized: events are decoded
-/// straight from the binary trace file chunk by chunk (the trace itself
-/// is still loaded once for filecule identification and policy
-/// construction), with bit-identical reports.
+/// `--stream` nothing is materialized at all: filecules are identified
+/// job-by-job from the binary file, policies are built from the header's
+/// file-size table, and events are decoded chunk by chunk — the `Trace`
+/// is never loaded, memory stays flat in trace length, and the reports
+/// are bit-identical to the in-memory path (offline Belady takes the
+/// single-decode spill path).
 pub fn simulate_cmd(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "policy",
@@ -269,7 +354,6 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         "threads",
     ])?;
     let path = args.positional(1).ok_or("simulate needs a trace path")?;
-    let trace = load_trace(Path::new(path))?;
     let specs = policy_selection(args)?;
     let capacity = (args.get_or("capacity-gb", 1024.0f64)? * GB as f64) as u64;
     let warmup: f64 = args.get_or("warmup", 0.0)?;
@@ -282,17 +366,17 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         return Err("--chunk-events must be at least 1".into());
     }
     let metrics = metrics_from_args(args);
-    let set = filecule_core::identify(&trace);
     let sim = Simulator::with_options(SimOptions::warm(warmup))
         .with_metrics(metrics.clone())
         .with_shards(shards);
     let reports = if args.switch("stream") {
-        if Path::new(path).extension().and_then(|e| e.to_str()) == Some("csv") {
-            return Err("--stream needs a binary trace (.csv traces replay in memory only)".into());
-        }
+        ensure_stream_trace(Path::new(path))?;
         let log = hep_trace::StreamedLog::open_with_chunk(Path::new(path), chunk_events)?;
-        sim.run_specs(&log, &trace, &set, &specs, capacity)
+        let set = filecule_core::identify_from_source(&log);
+        sim.run_specs_stream(&log, &set, &specs, capacity)?
     } else {
+        let trace = load_trace(Path::new(path))?;
+        let set = filecule_core::identify(&trace);
         let log = ReplayLog::build(&trace);
         sim.run_specs(&log, &trace, &set, &specs, capacity)
     };
@@ -817,12 +901,13 @@ mod tests {
         ]))
         .unwrap();
         // NOTE: the test parser declares no switches, so --stream must sit
-        // last (or before another --flag) to parse as a switch.
+        // last (or before another --flag) to parse as a switch. belady
+        // exercises the single-decode spill path end to end.
         simulate_cmd(&args(&[
             "simulate",
             bin.to_str().unwrap(),
             "--policies",
-            "file-lru,filecule-lru",
+            "file-lru,filecule-lru,workingset,belady",
             "--capacity-gb",
             "100",
             "--chunk-events",
@@ -841,6 +926,116 @@ mod tests {
         ]))
         .is_err());
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn identify_streamed_matches_in_memory_listing() {
+        let bin = tmp("t3s.bin");
+        let mem = tmp("t3s-mem.csv");
+        let st = tmp("t3s-stream.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        identify(&args(&[
+            "identify",
+            bin.to_str().unwrap(),
+            "--out",
+            mem.to_str().unwrap(),
+        ]))
+        .unwrap();
+        identify(&args(&[
+            "identify",
+            bin.to_str().unwrap(),
+            "--out",
+            st.to_str().unwrap(),
+            "--stream",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&mem).unwrap(),
+            std::fs::read_to_string(&st).unwrap(),
+            "streamed identification changed the partition"
+        );
+        for algo in ["refine", "hashed"] {
+            identify(&args(&[
+                "identify",
+                bin.to_str().unwrap(),
+                "--algorithm",
+                algo,
+                "--stream",
+            ]))
+            .unwrap_or_else(|e| panic!("{algo} --stream: {e}"));
+        }
+        // parallel needs the in-memory trace.
+        assert!(identify(&args(&[
+            "identify",
+            bin.to_str().unwrap(),
+            "--algorithm",
+            "parallel",
+            "--stream",
+        ]))
+        .is_err());
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&mem).ok();
+        std::fs::remove_file(&st).ok();
+    }
+
+    #[test]
+    fn every_trace_command_reports_missing_trace_by_name() {
+        let bin = tmp("missing-everywhere.bin");
+        std::fs::remove_file(&bin).ok();
+        let p = bin.to_str().unwrap();
+        let cases: Vec<(&str, Result<(), Box<dyn Error>>)> = vec![
+            ("identify", identify(&args(&["identify", p]))),
+            (
+                "identify --stream",
+                identify(&args(&["identify", p, "--stream"])),
+            ),
+            ("characterize", characterize(&args(&["characterize", p]))),
+            ("convert", convert(&args(&["convert", p, "out.csv"]))),
+            ("fig10", fig10(&args(&["fig10", p]))),
+            ("inspect", inspect(&args(&["inspect", p, "--file", "0"]))),
+            ("feasibility", feasibility(&args(&["feasibility", p]))),
+            ("faults", faults(&args(&["faults", p]))),
+            (
+                "simulate --stream",
+                simulate_cmd(&args(&["simulate", p, "--stream"])),
+            ),
+        ];
+        for (cmd, res) in cases {
+            let err = res.expect_err(cmd).to_string();
+            assert!(err.contains("missing-everywhere.bin"), "{cmd}: {err}");
+            assert!(err.contains("filecules generate"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn generate_preset_error_paths() {
+        let out = tmp("preset-err.bin");
+        let p = out.to_str().unwrap();
+        assert!(generate(&args(&["generate", p, "--preset", "bogus"])).is_err());
+        assert!(generate(&args(&[
+            "generate", p, "--preset", "paper4x", "--scale", "4"
+        ]))
+        .is_err());
+        assert!(generate(&args(&["generate", p, "--preset", "paper4x", "--check"])).is_err());
+        let csv = tmp("preset-err.csv");
+        assert!(generate(&args(&[
+            "generate",
+            csv.to_str().unwrap(),
+            "--preset",
+            "paper16x"
+        ]))
+        .is_err());
+        assert!(!out.exists(), "failed presets must not write output");
     }
 
     #[test]

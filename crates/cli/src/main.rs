@@ -29,6 +29,8 @@ GLOBAL FLAGS:
 COMMANDS:
   generate <out>        synthesize a calibrated DZero-like trace
       --scale N         trace volume divisor (default 16)
+      --preset P        paper4x | paper16x: beyond-full-scale configs,
+                        streamed straight to disk (excludes --scale/--check)
       --seed N          RNG seed (default 0xD0D02006)
       --user-scale N    user population divisor (default 1)
       --days N          trace window in days (default 820)
@@ -40,6 +42,9 @@ COMMANDS:
   identify <trace>      identify filecules
       --out FILE        write the per-filecule listing CSV
       --algorithm A     exact | refine | hashed | parallel (default exact)
+      --stream          identify job-by-job from the binary trace file in
+                        flat memory (same partition; trace-wide stats
+                        skipped; exact/refine/hashed only)
   simulate <trace>      replay the trace against one or more caches
       --policy P        file-lru | filecule-lru | filecule-gds | fifo |
                         lfu | lru2 | size | gds | landlord | belady |
@@ -51,9 +56,11 @@ COMMANDS:
                         (default 1 = monolithic)
       --capacity-gb N   cache capacity in GiB (default 1024)
       --warmup F        fraction of requests to skip in stats (default 0)
-      --stream          replay straight from the binary trace file in
-                        bounded memory instead of materializing the
-                        replay log (results are bit-identical)
+      --stream          fully out-of-core run: identify filecules, build
+                        policies and replay straight from the binary
+                        trace file without loading the trace (offline
+                        belady decodes the file exactly once; results
+                        are bit-identical)
       --chunk-events N  events per streamed replay chunk (default 1048576)
       --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   fig10 <trace>         run the paper's Figure 10 cache sweep

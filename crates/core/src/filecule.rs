@@ -44,8 +44,23 @@ impl FileculeSet {
     /// # Panics
     /// Panics if a list is empty, a file appears twice, or lengths differ.
     pub fn from_groups(groups: Vec<Vec<FileId>>, popularity: Vec<u32>, trace: &Trace) -> Self {
+        let sizes: Vec<u64> = trace.files().iter().map(|f| f.size_bytes).collect();
+        Self::from_groups_with_sizes(groups, popularity, &sizes)
+    }
+
+    /// [`FileculeSet::from_groups`] with a bare file-size table instead
+    /// of a materialized trace — the assembly path for out-of-core
+    /// identification, where only `O(n_files)` state is resident.
+    ///
+    /// # Panics
+    /// Panics if a list is empty, a file appears twice, or lengths differ.
+    pub fn from_groups_with_sizes(
+        groups: Vec<Vec<FileId>>,
+        popularity: Vec<u32>,
+        sizes: &[u64],
+    ) -> Self {
         assert_eq!(groups.len(), popularity.len(), "group/popularity mismatch");
-        let n_files = trace.n_files();
+        let n_files = sizes.len();
         let total: usize = groups.iter().map(Vec::len).sum();
         let mut members = Vec::with_capacity(total);
         let mut offsets = Vec::with_capacity(groups.len() + 1);
@@ -64,7 +79,7 @@ impl FileculeSet {
                     f.0
                 );
                 file_map[f.index()] = gi as u32;
-                b += trace.file(f).size_bytes;
+                b += sizes[f.index()];
             }
             members.extend_from_slice(&g);
             offsets.push(members.len() as u32);

@@ -3,12 +3,25 @@
 //! Build, for every file, the (time-ordered) list of jobs that requested
 //! it, then group files whose lists are identical. The per-file lists are
 //! laid out in one CSR arena so grouping keys are borrowed slices — no
-//! per-file allocations.
+//! per-file allocations. Grouping maps skip SipHash
+//! ([`FingerprintMap`]); [`identify_with_siphash`] keeps the default
+//! hasher as a benchmark baseline.
+//!
+//! Exact identification fundamentally needs every file's full job list,
+//! so it cannot stream in O(files) the way `refine`/`hashed` do. The
+//! out-of-core [`identify_from_source`] instead runs the documented
+//! two-pass external grouping: a hashed fingerprint pass (O(files)
+//! state) followed by a certification pass that proves the partition
+//! against the raw job stream, falling back to streamed refinement on
+//! the (cryptographically negligible) chance of a fingerprint collision.
 
 use crate::filecule::FileculeSet;
-use hep_trace::{FileId, JobId, Trace};
+use crate::identify::hashed::{identify_hashed_source, FingerprintMap};
+use crate::identify::refine::identify_refine_source;
+use hep_trace::{FileId, JobId, JobSource, Trace};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Per-file job signatures in CSR layout.
 struct Signatures {
@@ -83,12 +96,32 @@ pub fn identify(trace: &Trace) -> FileculeSet {
     identify_jobs(trace, &jobs)
 }
 
+/// [`identify`] with the standard-library SipHash grouping map — the
+/// hardened-but-slower baseline `bench_identify` compares the
+/// fingerprint-hashed default against.
+pub fn identify_with_siphash(trace: &Trace) -> FileculeSet {
+    let jobs: Vec<JobId> = trace.job_ids().collect();
+    let sigs = Signatures::build(trace, &jobs);
+    group_by_signature(trace, &sigs, std::collections::hash_map::RandomState::new())
+}
+
 /// Identify filecules using only the given jobs (e.g. one site's jobs).
 /// `jobs` must be sorted ascending.
 pub fn identify_jobs(trace: &Trace, jobs: &[JobId]) -> FileculeSet {
     debug_assert!(jobs.windows(2).all(|w| w[0] < w[1]), "jobs must be sorted");
     let sigs = Signatures::build(trace, jobs);
-    let mut index: HashMap<&[u32], u32> = HashMap::new();
+    group_by_signature(
+        trace,
+        &sigs,
+        std::hash::BuildHasherDefault::<crate::identify::hashed::FingerprintHasher>::default(),
+    )
+}
+
+/// Group files with identical signatures, using `build` for the index
+/// map. Signature keys are `&[u32]` slices: the non-SipHash path hashes
+/// them through `FingerprintHasher`'s FNV-1a byte fold.
+fn group_by_signature<S: BuildHasher>(trace: &Trace, sigs: &Signatures, build: S) -> FileculeSet {
+    let mut index: HashMap<&[u32], u32, S> = HashMap::with_hasher(build);
     let mut groups: Vec<Vec<FileId>> = Vec::new();
     let mut popularity: Vec<u32> = Vec::new();
     for f in 0..trace.n_files() {
@@ -104,6 +137,64 @@ pub fn identify_jobs(trace: &Trace, jobs: &[JobId]) -> FileculeSet {
         groups[gi as usize].push(FileId(f as u32));
     }
     FileculeSet::from_groups(groups, popularity, trace)
+}
+
+/// Exact identification over any [`JobSource`] — the out-of-core entry
+/// point, O(files) resident state.
+///
+/// Two passes: (1) fingerprint grouping
+/// ([`identify_hashed_source`]) proposes a partition; (2)
+/// [`certify_partition`] proves it against the raw job stream (every
+/// job must touch each proposed filecule all-or-nothing, which holds
+/// exactly when every group is signature-uniform). Since equal
+/// signatures always collide into one hashed group, the proposal can
+/// only err by *merging*, and certification catches precisely that —
+/// so a certified partition *is* the exact partition, not just
+/// probably. On certification failure (a ≈2⁻¹²⁸ fingerprint collision)
+/// we fall back to streamed refinement, which is collision-free.
+pub fn identify_from_source(source: &dyn JobSource) -> FileculeSet {
+    let set = identify_hashed_source(source);
+    if certify_partition(source, &set) {
+        set
+    } else {
+        identify_refine_source(source)
+    }
+}
+
+/// Prove `set` is signature-uniform against the job stream: every job
+/// must request each touched filecule in full, and every requested file
+/// must be assigned. One extra streaming pass, O(files) state.
+pub fn certify_partition(source: &dyn JobSource, set: &FileculeSet) -> bool {
+    let mut counts: Vec<u32> = vec![0; set.n_filecules()];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut ok = true;
+    source.for_each_job(&mut |_j, _start, files| {
+        if !ok {
+            return;
+        }
+        for &f in files {
+            match set.filecule_of(f) {
+                Some(g) => {
+                    if counts[g.index()] == 0 {
+                        touched.push(g.0);
+                    }
+                    counts[g.index()] += 1;
+                }
+                // A requested-but-unassigned file can't happen when the
+                // proposal came from the same stream; treat it as a
+                // certification failure rather than trusting the set.
+                None => ok = false,
+            }
+        }
+        for &g in &touched {
+            if counts[g as usize] as usize != set.len(crate::FileculeId(g)) {
+                ok = false;
+            }
+            counts[g as usize] = 0;
+        }
+        touched.clear();
+    });
+    ok
 }
 
 /// Parallel variant of [`identify`]: files are sharded by signature hash
@@ -137,7 +228,7 @@ pub fn identify_parallel(trace: &Trace) -> FileculeSet {
     let mut grouped: Vec<(Vec<FileId>, u32)> = shards
         .into_par_iter()
         .flat_map_iter(|files| {
-            let mut index: HashMap<&[u32], usize> = HashMap::new();
+            let mut index: FingerprintMap<&[u32], usize> = FingerprintMap::default();
             let mut local: Vec<(Vec<FileId>, u32)> = Vec::new();
             for f in files {
                 let sig = sigs.sig(f as usize);

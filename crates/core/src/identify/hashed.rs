@@ -11,7 +11,7 @@
 //! additionally compare). State is O(files) regardless of trace length.
 
 use crate::filecule::FileculeSet;
-use hep_trace::{FileId, Trace};
+use hep_trace::{FileId, JobSource, Trace};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -42,11 +42,17 @@ impl Hasher for FingerprintHasher {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        // Only taken for lengths the u32/u64 fast paths don't cover
-        // (e.g. derived Hash on future key shapes).
+        // Taken for slice keys (`&[u32]` signature grouping goes through
+        // a length prefix plus one byte-slice write) and any derived
+        // `Hash` shapes the u32/u64 fast paths don't cover. FNV-1a folded
+        // over the current state: byte-position sensitive, so permuted
+        // signatures don't collide the way a plain XOR/rotate fold would.
+        let mut h = self.state ^ 0xcbf2_9ce4_8422_2325;
         for &b in bytes {
-            self.state = self.state.rotate_left(8) ^ u64::from(b);
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
         }
+        self.state = h;
     }
 
     #[inline]
@@ -111,6 +117,20 @@ impl HashedIdentifier {
     /// member), identical to the exact identifier with overwhelming
     /// probability.
     pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
+        let (groups, popularity) = self.grouped();
+        FileculeSet::from_groups(groups, popularity, trace)
+    }
+
+    /// [`HashedIdentifier::snapshot`] against a bare file-size table —
+    /// the out-of-core path, where no `Trace` ever exists.
+    pub fn snapshot_with_sizes(&self, sizes: &[u64]) -> FileculeSet {
+        let (groups, popularity) = self.grouped();
+        FileculeSet::from_groups_with_sizes(groups, popularity, sizes)
+    }
+
+    /// Group accessed files by `(fingerprint, request count)` into
+    /// canonical `(groups, popularity)` columns.
+    fn grouped(&self) -> (Vec<Vec<FileId>>, Vec<u32>) {
         let mut index: FingerprintMap<(Fingerprint, u32), u32> = FingerprintMap::default();
         let mut groups: Vec<Vec<FileId>> = Vec::new();
         let mut popularity: Vec<u32> = Vec::new();
@@ -126,7 +146,7 @@ impl HashedIdentifier {
             });
             groups[gi as usize].push(FileId(fi as u32));
         }
-        FileculeSet::from_groups(groups, popularity, trace)
+        (groups, popularity)
     }
 }
 
@@ -137,6 +157,20 @@ pub fn identify_hashed(trace: &Trace) -> FileculeSet {
         id.observe(j.0, trace.job_files(j));
     }
     id.snapshot(trace)
+}
+
+/// Identify filecules over any [`JobSource`] with O(files) memory —
+/// the out-of-core entry point. The fingerprint mix is order-sensitive
+/// in job ids, and sources visit jobs in `JobId` order (the same order
+/// `identify_hashed` consumes from a trace), so the output is identical
+/// to the in-memory result.
+pub fn identify_hashed_source(source: &dyn JobSource) -> FileculeSet {
+    let sizes = source.file_size_table();
+    let mut id = HashedIdentifier::new(sizes.len());
+    source.for_each_job(&mut |j, _start, files| {
+        id.observe(j.0, files);
+    });
+    id.snapshot_with_sizes(&sizes)
 }
 
 #[cfg(test)]

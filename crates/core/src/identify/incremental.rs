@@ -9,7 +9,7 @@
 
 use crate::filecule::FileculeSet;
 use crate::identify::refine::Refiner;
-use hep_trace::{FileId, JobId, Trace};
+use hep_trace::{FileId, JobId, JobSource, Trace};
 
 /// Stateful online identifier.
 #[derive(Debug, Clone)]
@@ -54,6 +54,15 @@ impl IncrementalFilecules {
         }
     }
 
+    /// Replay any [`JobSource`] through the identifier — the out-of-core
+    /// path. Sources visit jobs in non-decreasing start order, matching
+    /// the monotonicity contract of [`IncrementalFilecules::observe`].
+    pub fn observe_source(&mut self, source: &dyn JobSource) {
+        source.for_each_job(&mut |_j, start, files| {
+            self.observe(start, files);
+        });
+    }
+
     /// Replay a prefix of the trace: jobs with `start < until`.
     pub fn observe_until(&mut self, trace: &Trace, until: u64) -> usize {
         let mut n = 0;
@@ -89,6 +98,12 @@ impl IncrementalFilecules {
     /// Materialize the current partition.
     pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
         self.refiner.snapshot(trace)
+    }
+
+    /// Materialize the current partition against a bare file-size table
+    /// (the out-of-core path).
+    pub fn snapshot_with_sizes(&self, sizes: &[u64]) -> FileculeSet {
+        self.refiner.snapshot_with_sizes(sizes)
     }
 }
 

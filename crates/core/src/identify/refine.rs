@@ -15,8 +15,8 @@
 //! (Section 6). Cost per job is O(|S|) amortized.
 
 use crate::filecule::FileculeSet;
-use hep_trace::{FileId, JobId, Trace};
-use std::collections::HashMap;
+use crate::identify::hashed::FingerprintMap;
+use hep_trace::{FileId, JobId, JobSource, Trace};
 
 /// Partition-refinement engine.
 #[derive(Debug, Clone, Default)]
@@ -58,8 +58,9 @@ impl Refiner {
         if files.is_empty() {
             return;
         }
-        // Bucket the request set by current group.
-        let mut touched: HashMap<u32, Vec<FileId>> = HashMap::new();
+        // Bucket the request set by current group. Group ids are dense
+        // counters — `FingerprintMap` skips SipHash on this hot path.
+        let mut touched: FingerprintMap<u32, Vec<FileId>> = FingerprintMap::default();
         let mut fresh: Vec<FileId> = Vec::new();
         for &f in files {
             let g = self.group_of[f.index()];
@@ -108,7 +109,21 @@ impl Refiner {
     /// refiner fed the whole trace yields a set identical to
     /// [`crate::identify::exact::identify`].
     pub fn snapshot(&self, trace: &Trace) -> FileculeSet {
-        let mut members: HashMap<u32, Vec<FileId>> = HashMap::new();
+        let (groups, popularity) = self.grouped();
+        FileculeSet::from_groups(groups, popularity, trace)
+    }
+
+    /// [`Refiner::snapshot`] against a bare file-size table — the
+    /// out-of-core path, where no `Trace` ever exists.
+    pub fn snapshot_with_sizes(&self, sizes: &[u64]) -> FileculeSet {
+        let (groups, popularity) = self.grouped();
+        FileculeSet::from_groups_with_sizes(groups, popularity, sizes)
+    }
+
+    /// Canonicalized `(groups, popularity)` columns of the current
+    /// partition.
+    fn grouped(&self) -> (Vec<Vec<FileId>>, Vec<u32>) {
+        let mut members: FingerprintMap<u32, Vec<FileId>> = FingerprintMap::default();
         for (fi, &g) in self.group_of.iter().enumerate() {
             if g != u32::MAX {
                 members.entry(g).or_default().push(FileId(fi as u32));
@@ -122,8 +137,7 @@ impl Refiner {
             })
             .collect();
         grouped.sort_by_key(|(fs, _)| fs[0]);
-        let (groups, popularity): (Vec<_>, Vec<_>) = grouped.into_iter().unzip();
-        FileculeSet::from_groups(groups, popularity, trace)
+        grouped.into_iter().unzip()
     }
 }
 
@@ -136,6 +150,21 @@ pub fn identify_refine(trace: &Trace) -> FileculeSet {
         r.add_job(trace.job_files(j));
     }
     r.snapshot(trace)
+}
+
+/// Identify filecules by refinement over any [`JobSource`] — the
+/// out-of-core entry point. `O(n_files)` resident state end to end; for
+/// an FCTB2-backed source this is one decode pass. Output is identical
+/// to [`identify_refine`] over the materialized trace (the source
+/// visits jobs in the same `JobId` order with the same normalized
+/// request sets).
+pub fn identify_refine_source(source: &dyn JobSource) -> FileculeSet {
+    let sizes = source.file_size_table();
+    let mut r = Refiner::new(sizes.len());
+    source.for_each_job(&mut |_j, _start, files| {
+        r.add_job(files);
+    });
+    r.snapshot_with_sizes(&sizes)
 }
 
 /// Identify filecules by refinement over a subset of jobs (sorted).

@@ -45,8 +45,13 @@ pub mod metrics;
 pub mod sketch;
 
 pub use filecule::{FileculeId, FileculeSet};
-pub use identify::exact::identify;
-pub use identify::hashed::identify_hashed;
+pub use identify::exact::{
+    certify_partition, identify, identify_from_source, identify_with_siphash,
+};
+pub use identify::hashed::{
+    identify_hashed, identify_hashed_source, FingerprintHasher, FingerprintMap,
+};
 pub use identify::incremental::IncrementalFilecules;
 pub use identify::partial::{identify_per_site, CoarseningReport};
+pub use identify::refine::identify_refine_source;
 pub use sketch::CountMinSketch;

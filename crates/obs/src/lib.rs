@@ -450,6 +450,34 @@ pub fn current_rss_bytes() -> Option<u64> {
     }
 }
 
+/// Process-wide count of full FCTB2 access-region decode passes.
+///
+/// A deliberate exception to the no-globals rule (like
+/// `hep_trace::materialization_count`): the interesting invariant — "the
+/// streamed Belady path decodes the trace file exactly once" — spans
+/// crates and policy constructors that do not thread a [`Metrics`]
+/// handle, so the decoders publish into this process-wide counter
+/// instead. It observes the computation and never feeds back into it.
+static DECODE_PASSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Record one full decode pass over an FCTB2 access region.
+///
+/// Called by the streaming readers in `hep-trace` each time they scan
+/// and decode the whole on-disk access region (header-only opens and
+/// spill-file re-reads do not count).
+pub fn record_decode_pass() {
+    DECODE_PASSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Number of full FCTB2 decode passes recorded so far in this process.
+///
+/// Tests assert deltas of this counter around a streamed run (e.g. the
+/// single-decode Belady contract: exactly one pass from spill recording
+/// through replay).
+pub fn decode_pass_count() -> u64 {
+    DECODE_PASSES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,5 +45,8 @@ pub use model::{
     UserId, GB, MB, TB,
 };
 pub use replay::{materialization_count, ReplayLog};
-pub use stream::{EventSource, StreamedLog, DEFAULT_CHUNK_EVENTS};
+pub use stream::{
+    scratch_file, EventSource, JobSource, RandomAccessLog, SpillLog, StreamedLog,
+    DEFAULT_CHUNK_EVENTS, DEFAULT_RUN_CACHE_JOBS,
+};
 pub use synth::{SynthConfig, TraceSynthesizer};

@@ -166,10 +166,12 @@ impl SynthConfig {
     /// The paper-calibrated configuration at the given scale.
     ///
     /// `scale` divides job, dataset and file counts. The default
-    /// experiment scale used throughout EXPERIMENTS.md is 4.
+    /// experiment scale used throughout EXPERIMENTS.md is 4. Fractional
+    /// scales (`0 < scale < 1`) extrapolate *beyond* the paper's
+    /// workload — see [`SynthConfig::paper_4x`] / [`SynthConfig::paper_16x`].
     pub fn paper(seed: u64, scale: f64) -> Self {
         use calibration as cal;
-        assert!(scale >= 1.0, "scale must be >= 1");
+        assert!(scale > 0.0, "scale must be > 0");
         let t1 = &cal::TABLE1;
         let users_total = cal::TOTAL_USERS as f64;
         let tier = |i: usize, ds_median: f64, size_median: f64, size_max: f64| TierParams {
@@ -231,6 +233,22 @@ impl SynthConfig {
             other_mean_hours: t1[3].hours_per_job,
             other_user_fraction: t1[3].users as f64 / users_total,
         }
+    }
+
+    /// 4x the paper's workload (~1M jobs, ~45M accesses): the first
+    /// beyond-full-scale extrapolation preset. Intended for
+    /// `generate_to_path` + `--stream` consumers; materializing the
+    /// resulting trace in memory is possible but defeats the point.
+    pub fn paper_4x(seed: u64) -> Self {
+        Self::paper(seed, 0.25)
+    }
+
+    /// 16x the paper's workload (~3.7M jobs, ~180M accesses): the
+    /// multi-year/million-user extrapolation tier from the ROADMAP.
+    /// Only sensible through the streaming write path
+    /// (`generate_to_path`) and streaming readers.
+    pub fn paper_16x(seed: u64) -> Self {
+        Self::paper(seed, 0.0625)
     }
 
     /// A small, fast configuration for unit/integration tests: heavy scale

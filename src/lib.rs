@@ -76,13 +76,16 @@ pub mod prelude {
         build_policy, build_policy_from_log, simulate, split_capacity, sweep_fig10, FileLru,
         FileculeLru, Policy, PolicySpec, ShardPlan, SimOptions, SimReport, Simulator,
     };
-    pub use filecule_core::{identify, FileculeId, FileculeSet, IncrementalFilecules};
+    pub use filecule_core::{
+        identify, identify_from_source, FileculeId, FileculeSet, IncrementalFilecules,
+    };
     pub use hep_faults::{FaultConfig, FaultPlan};
     pub use hep_obs::{Metrics, Snapshot};
     pub use hep_runctx::{configure_rayon_threads, RunCtx};
     pub use hep_trace::{
-        DataTier, EventSource, FileId, JobId, ReplayLog, StreamedLog, SynthConfig, Trace,
-        TraceBuilder, TraceSynthesizer, DEFAULT_CHUNK_EVENTS, GB, MB, TB,
+        DataTier, EventSource, FileId, JobId, JobSource, RandomAccessLog, ReplayLog, SpillLog,
+        StreamedLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, DEFAULT_CHUNK_EVENTS, GB,
+        MB, TB,
     };
     pub use transfer::{assess, hottest_filecule, SwarmModel};
 }

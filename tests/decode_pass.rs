@@ -1,0 +1,69 @@
+//! The single-decode contract, asserted via the `hep-obs` decode-pass
+//! counter.
+//!
+//! Every FCTB2-decoding pass (chunked replay or job-by-job
+//! identification, on either streamed log) bumps a global counter;
+//! replaying a raw [`SpillLog`] deliberately does not. This file holds
+//! exactly one test so the counter deltas are exact: sibling tests in
+//! the same binary would decode concurrently and race the counter.
+
+use filecules::obs::decode_pass_count;
+use filecules::prelude::*;
+use filecules::trace::io_binary::save_trace_binary;
+
+#[test]
+fn streamed_pipeline_decode_pass_budget() {
+    let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+    let path =
+        std::env::temp_dir().join(format!("filecules-decode-pass-{}.bin", std::process::id()));
+    save_trace_binary(&trace, &path).unwrap();
+    let log = StreamedLog::open(&path).unwrap();
+    let sim = Simulator::new();
+    let cap = TB / 100;
+
+    // Identification: one job-by-job decode. The exact path certifies in
+    // the same pass structure: one hashed pass + one certification pass.
+    let before = decode_pass_count();
+    let set = identify_from_source(&log);
+    assert_eq!(
+        decode_pass_count() - before,
+        2,
+        "certified exact identification is one hashed pass + one certification pass"
+    );
+    assert!(set.n_filecules() > 0);
+
+    // An online policy replays the stream once.
+    let before = decode_pass_count();
+    sim.run_spec_stream(&log, &set, PolicySpec::FileLru, cap)
+        .unwrap();
+    assert_eq!(decode_pass_count() - before, 1, "online replay is one pass");
+
+    // Offline Belady on an out-of-core source: the spill recording is
+    // the ONE decode; building the next-use index and replaying both run
+    // off the raw spill.
+    for spec in [PolicySpec::BeladyMin, PolicySpec::FileculeBelady] {
+        let before = decode_pass_count();
+        sim.run_spec_stream(&log, &set, spec, cap).unwrap();
+        assert_eq!(
+            decode_pass_count() - before,
+            1,
+            "{spec}: streamed Belady must decode the trace exactly once"
+        );
+    }
+
+    // A SpillLog replay is a raw read, never a decode.
+    let before = decode_pass_count();
+    let spill = SpillLog::record(&log).unwrap();
+    assert_eq!(decode_pass_count() - before, 1, "recording is the decode");
+    let before = decode_pass_count();
+    let mut n = 0usize;
+    spill.for_each_chunk(&mut |_, chunk| n += chunk.len());
+    assert_eq!(n, spill.len());
+    assert_eq!(
+        decode_pass_count() - before,
+        0,
+        "spill replay must not count as a decode"
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -100,13 +100,37 @@ fn streamed_rss_probe() {
         streamed.len()
     );
 
-    // The policy still needs the trace (file sizes); its compact form —
-    // 4 bytes per access plus file/job tables — fits far under the
-    // ceiling, unlike the materialized replay log it replaces.
-    let trace = filecules::trace::io_binary::load_trace_binary(&path).unwrap();
+    // Fully out-of-core from here on: the Trace is never loaded. The
+    // filecule partition comes from the job-by-job streamed identifier,
+    // policies are built from the header's file-size table, and replay
+    // decodes chunk by chunk.
+    let set = identify_from_source(&streamed);
+    assert!(
+        set.n_filecules() > 0,
+        "streamed identification found nothing"
+    );
     let cap = 100 * TB;
-    let report = Simulator::new().run(&streamed, &mut FileLru::new(&trace, cap));
-    assert_eq!(report.requests as usize, streamed.len());
+    let sim = Simulator::new();
+    for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+        let report = sim
+            .run_spec_stream(&streamed, &set, spec, cap)
+            .expect("streamed run");
+        assert_eq!(report.requests as usize, streamed.len(), "{spec}");
+    }
+
+    // Streamed offline Belady: the single-decode contract at paper
+    // scale. One spill-recording pass is the only FCTB2 decode; the
+    // next-use index and the replay both run off the raw spill.
+    let passes_before = filecules::obs::decode_pass_count();
+    let belady = sim
+        .run_spec_stream(&streamed, &set, PolicySpec::BeladyMin, cap)
+        .expect("streamed Belady");
+    assert_eq!(
+        filecules::obs::decode_pass_count() - passes_before,
+        1,
+        "streamed Belady must decode the trace exactly once"
+    );
+    assert_eq!(belady.requests as usize, streamed.len());
 
     std::fs::remove_file(&path).ok();
     match filecules::obs::peak_rss_bytes() {

@@ -162,6 +162,86 @@ fn golden_streamed_simreports() {
 }
 
 #[test]
+fn golden_streamed_identify_listing() {
+    // Pins the out-of-core identification path end to end: filecules
+    // are identified job-by-job from the on-disk FCTB2 file (the trace
+    // is never loaded), and the per-filecule listing digest is pinned.
+    // The partition must also be bit-identical to the in-memory one.
+    let dir = std::env::temp_dir().join("filecules-golden-stream");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("ident-small-seed7-{}.bin", std::process::id()));
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+    let log = StreamedLog::open(&path).unwrap();
+    let set = identify_from_source(&log);
+
+    let mut csv = String::from("filecule,files,bytes,popularity,file_ids\n");
+    for g in set.ids() {
+        let ids: Vec<String> = set.files(g).iter().map(|f| f.0.to_string()).collect();
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            g.0,
+            set.len(g),
+            set.size_bytes(g),
+            set.popularity(g),
+            ids.join(";")
+        ));
+    }
+    let doc = format!(
+        "seed {SEED}\nfilecules {}\nfiles {}\nfnv1a64 {}\n",
+        set.n_filecules(),
+        set.n_assigned_files(),
+        digest(csv.as_bytes())
+    );
+    check_golden("filecules-streamed-small-seed7.digest", &doc);
+
+    let mem = identify(&small_trace());
+    assert_eq!(
+        serde_json::to_string(&set).unwrap(),
+        serde_json::to_string(&mem).unwrap(),
+        "streamed identification diverged from the in-memory partition"
+    );
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn golden_streamed_belady_simreports() {
+    // Pins the single-decode offline-Belady path: spill-record the
+    // stream (the one decode), build the next-use index off the spill,
+    // replay the spill — and the rows must match the in-memory two-pass
+    // Belady exactly.
+    let dir = std::env::temp_dir().join("filecules-golden-stream");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("belady-small-seed7-{}.bin", std::process::id()));
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+    let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
+    let set = identify_from_source(&streamed);
+    let sim = Simulator::new();
+    let file = sim
+        .run_spec_stream(&streamed, &set, PolicySpec::BeladyMin, CAPACITY)
+        .unwrap();
+    let filecule = sim
+        .run_spec_stream(&streamed, &set, PolicySpec::FileculeBelady, CAPACITY)
+        .unwrap();
+    let csv = report_csv(&[file, filecule]);
+    check_golden("simreport-belady-streamed-small-seed7.csv", &csv);
+
+    let trace = small_trace();
+    let log = ReplayLog::build(&trace);
+    let mem_file = sim.run_spec(&log, &trace, &set, PolicySpec::BeladyMin, CAPACITY);
+    let mem_filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeBelady, CAPACITY);
+    assert_eq!(
+        csv,
+        report_csv(&[mem_file, mem_filecule]),
+        "spilled Belady diverged from the in-memory two-pass Belady"
+    );
+    fs::remove_file(&path).ok();
+}
+
+#[test]
 fn golden_outputs_unchanged_by_metrics() {
     // The observability layer must be write-only: attaching a recorder
     // cannot perturb either artifact the golden files pin.

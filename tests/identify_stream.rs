@@ -1,0 +1,212 @@
+//! Streamed-identification equivalence suite.
+//!
+//! The out-of-core identification contract: every `*_from_source` /
+//! `*_source` entry point, fed jobs straight from the binary FCTB2 file,
+//! must produce a [`FileculeSet`] *bit-identical* to its in-memory
+//! sibling run on the loaded [`Trace`] — pinned by comparing the
+//! serialized JSON forms, which cover membership, ordering, sizes and
+//! popularity. The deterministic tests use seeded synthetic traces; the
+//! proptest exercises micro-traces with corner cases (duplicate lists,
+//! repeat accesses, singleton jobs) the workload model never emits.
+//! The suite also pins the [`RandomAccessLog`] (positioned reads) to the
+//! sequential [`StreamedLog`] across chunk sizes, and the single-decode
+//! spilled Belady to the in-memory two-pass Belady for both
+//! granularities.
+
+use filecules::core::identify::exact::identify_parallel;
+use filecules::core::identify::refine::identify_refine;
+use filecules::core::{
+    certify_partition, identify_hashed, identify_hashed_source, identify_refine_source,
+    identify_with_siphash,
+};
+use filecules::prelude::*;
+use filecules::trace::io_binary::save_trace_binary;
+use filecules::trace::NodeId;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn unique_scratch(prefix: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("filecules-identify-stream-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{prefix}-{}-{}.bin",
+        std::process::id(),
+        SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Bit-identical comparison via the serialized form: two sets with the
+/// same JSON have identical ids, member lists, sizes and popularity.
+fn assert_same_set(a: &FileculeSet, b: &FileculeSet, what: &str) {
+    assert_eq!(
+        serde_json::to_string(a).unwrap(),
+        serde_json::to_string(b).unwrap(),
+        "{what}: partitions differ"
+    );
+}
+
+#[test]
+fn streamed_identification_matches_in_memory_for_every_algorithm() {
+    for seed in [7u64, 23, 1999] {
+        let trace = TraceSynthesizer::new(SynthConfig::small(seed)).generate();
+        let path = unique_scratch(&format!("ident-{seed}"));
+        save_trace_binary(&trace, &path).unwrap();
+        let log = StreamedLog::open(&path).unwrap();
+
+        let exact = identify(&trace);
+        assert_same_set(
+            &identify_from_source(&log),
+            &exact,
+            &format!("exact, seed {seed}"),
+        );
+        assert_same_set(
+            &identify_refine_source(&log),
+            &identify_refine(&trace),
+            &format!("refine, seed {seed}"),
+        );
+        assert_same_set(
+            &identify_hashed_source(&log),
+            &identify_hashed(&trace),
+            &format!("hashed, seed {seed}"),
+        );
+        // The whole algorithm family agrees on calibrated traces, so the
+        // streamed results are also interchangeable with the rest.
+        assert_same_set(
+            &identify_with_siphash(&trace),
+            &exact,
+            &format!("siphash baseline, seed {seed}"),
+        );
+        assert_eq!(identify_parallel(&trace).n_filecules(), exact.n_filecules());
+        // And the hashed partition certifies against the exact one — the
+        // fast path identify_from_source takes.
+        assert!(certify_partition(&log, &exact), "certification rejected");
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn random_access_log_is_interchangeable_with_streamed() {
+    let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+    let path = unique_scratch("ra");
+    save_trace_binary(&trace, &path).unwrap();
+    let streamed = StreamedLog::open(&path).unwrap();
+    let exact = identify(&trace);
+
+    for chunk in [1usize, 13, 1 << 20] {
+        let ra = RandomAccessLog::open_with_chunk(&path, chunk).unwrap();
+        // As an identification JobSource...
+        assert_same_set(
+            &identify_from_source(&ra),
+            &exact,
+            &format!("random-access exact, chunk {chunk}"),
+        );
+        // ...and as a replay EventSource.
+        let set = identify(&trace);
+        let sim = Simulator::new();
+        let cap = TB / 100;
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+            let via_ra = sim.run_spec_stream(&ra, &set, spec, cap).unwrap();
+            let via_stream = sim.run_spec_stream(&streamed, &set, spec, cap).unwrap();
+            assert_eq!(via_ra, via_stream, "{spec} at chunk {chunk}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn spilled_belady_matches_two_pass_for_both_granularities() {
+    let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let path = unique_scratch("belady");
+    save_trace_binary(&trace, &path).unwrap();
+    let streamed = StreamedLog::open(&path).unwrap();
+
+    let sim = Simulator::new();
+    for cap in [TB / 100, TB / 1000] {
+        for spec in [PolicySpec::BeladyMin, PolicySpec::FileculeBelady] {
+            // In-memory two-pass reference.
+            let mem = sim.run_spec(&log, &trace, &set, spec, cap);
+            // Out-of-core: one decode into the spill, next-use from the
+            // spill, replay from the spill.
+            let spilled = sim.run_spec_stream(&streamed, &set, spec, cap).unwrap();
+            assert_eq!(spilled, mem, "{spec} at capacity {cap}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Micro-trace builder: same shape as `tests/streaming.rs`, exercising
+/// corner cases the calibrated synthesizer never emits.
+fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let d = b.add_domain(".gov");
+    let s0 = b.add_site(d);
+    let s1 = b.add_site(d);
+    let u0 = b.add_user();
+    let u1 = b.add_user();
+    for _ in 0..n_files {
+        b.add_file(10 * MB, DataTier::Thumbnail);
+    }
+    for (i, (site_sel, files)) in jobs.iter().enumerate() {
+        let list: Vec<FileId> = files
+            .iter()
+            .map(|&f| FileId(u32::from(f) % n_files))
+            .collect();
+        let (site, user) = if site_sel % 2 == 0 {
+            (s0, u0)
+        } else {
+            (s1, u1)
+        };
+        b.add_job(
+            user,
+            site,
+            NodeId(0),
+            DataTier::Thumbnail,
+            i as u64 * 100,
+            i as u64 * 100 + 50,
+            &list,
+        );
+    }
+    b.build().expect("valid by construction")
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec((any::<u8>(), prop::collection::vec(0u8..24, 1..12)), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streamed and in-memory identification agree on arbitrary
+    /// micro-traces, for every streamed algorithm and both sources.
+    #[test]
+    fn streamed_identification_equals_memory_on_micro_traces(jobs in jobs_strategy()) {
+        let trace = build_trace(&jobs, 24);
+        let path = unique_scratch("prop");
+        save_trace_binary(&trace, &path).unwrap();
+        let log = StreamedLog::open(&path).unwrap();
+        let ra = RandomAccessLog::open(&path).unwrap();
+
+        let exact = identify(&trace);
+        let refined = identify_refine(&trace);
+        let hashed = identify_hashed(&trace);
+        for (name, got, want) in [
+            ("exact", identify_from_source(&log), &exact),
+            ("refine", identify_refine_source(&log), &refined),
+            ("hashed", identify_hashed_source(&log), &hashed),
+            ("exact/ra", identify_from_source(&ra), &exact),
+        ] {
+            prop_assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(want).unwrap(),
+                "{} diverged", name
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
