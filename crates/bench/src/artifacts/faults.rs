@@ -56,8 +56,10 @@ pub fn faults_at(ctx: &Ctx<'_>, severities: &[f64], seed: u64) -> Artifact {
         let cfg = FaultConfig::severity(s);
         let plan = FaultPlan::for_trace(&cfg, trace, seed);
         let rctx = RunCtx::new().with_faults(&plan);
-        let file = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::File, &rctx);
-        let cule = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::Filecule, &rctx);
+        let file = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::File, &rctx)
+            .expect("in-memory replay is infallible");
+        let cule = simulate_sites_ctx(&ctx.log, trace, set, capacity, Granularity::Filecule, &rctx)
+            .expect("in-memory replay is infallible");
         let sched = schedule_comparison_ctx(trace, set, model, &rctx);
         let gb = |b: u64| b as f64 / hep_trace::GB as f64;
         writeln!(

@@ -279,8 +279,10 @@ pub fn fig09(ctx: &Ctx<'_>) -> Artifact {
 /// one O(N log N) pass that must agree with the simulator to within the
 /// variable-size approximation error.
 pub fn fig10(ctx: &Ctx<'_>) -> Artifact {
-    let rows = sweep_fig10_log(&ctx.log, ctx.trace, ctx.set, ctx.scale);
-    let profile = cachesim::file_reuse_profile_from_log(&ctx.log);
+    let rows = sweep_fig10_log(&ctx.log, ctx.trace, ctx.set, ctx.scale)
+        .expect("in-memory replay is infallible");
+    let profile =
+        cachesim::file_reuse_profile_from_log(&ctx.log).expect("in-memory replay is infallible");
     let mut text = String::from(
         "  paper TB | cache (scaled) | file-LRU miss | (stack-dist pred) | filecule-LRU miss | factor\n  \
          ---------+----------------+---------------+-------------------+-------------------+-------\n",

@@ -230,7 +230,8 @@ pub fn sec6(ctx: &Ctx<'_>) -> Artifact {
 pub fn grid(ctx: &Ctx<'_>) -> Artifact {
     let cap = (10.0 * TB as f64 / ctx.scale) as u64;
     let mut reports =
-        cachesim::compare_policies_log(&ctx.log, ctx.trace, ctx.set, cap, &ctx.policies);
+        cachesim::compare_policies_log(&ctx.log, ctx.trace, ctx.set, cap, &ctx.policies)
+            .expect("in-memory replay is infallible");
     reports.sort_by(|a, b| a.miss_rate().partial_cmp(&b.miss_rate()).unwrap());
     let mut text = format!(
         "  every policy at {:.2} TB (paper-scale 10 TB):\n    \
@@ -323,8 +324,12 @@ pub fn headline(ctx: &Ctx<'_>) -> Artifact {
     let sim = Simulator::new();
     for tb in hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB {
         let cap = ((tb * TB) as f64 / ctx.scale) as u64;
-        let f = sim.run(&ctx.log, &mut FileLru::new(ctx.trace, cap));
-        let g = sim.run(&ctx.log, &mut FileculeLru::new(ctx.trace, ctx.set, cap));
+        let f = sim
+            .run(&ctx.log, &mut FileLru::new(ctx.trace, cap))
+            .expect("in-memory replay is infallible");
+        let g = sim
+            .run(&ctx.log, &mut FileculeLru::new(ctx.trace, ctx.set, cap))
+            .expect("in-memory replay is infallible");
         let hit_ratio = g.hit_rate() / f.hit_rate().max(1e-12);
         best_hit_ratio = best_hit_ratio.max(hit_ratio);
         writeln!(

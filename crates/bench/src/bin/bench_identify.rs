@@ -110,13 +110,13 @@ fn main() {
         filecule_core::identify::exact::identify_parallel(&trace)
     });
     run("exact-streamed", &|| {
-        filecule_core::identify_from_source(&streamed)
+        filecule_core::identify_from_source(&streamed).expect("streamed identification failed")
     });
     run("refine-streamed", &|| {
-        filecule_core::identify_refine_source(&streamed)
+        filecule_core::identify_refine_source(&streamed).expect("streamed identification failed")
     });
     run("hashed-streamed", &|| {
-        filecule_core::identify_hashed_source(&streamed)
+        filecule_core::identify_hashed_source(&streamed).expect("streamed identification failed")
     });
 
     let secs_of = |name: &str| {

@@ -82,10 +82,14 @@ fn main() {
     for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
         let sim = Simulator::new();
         let t = Instant::now();
-        let mem = sim.run_spec(&log, &trace, &set, spec, cap);
+        let mem = sim
+            .run_spec(&log, &trace, &set, spec, cap)
+            .expect("in-memory replay is infallible");
         let mem_secs = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let strm = sim.run_spec(&streamed, &trace, &set, spec, cap);
+        let strm = sim
+            .run_spec(&streamed, &trace, &set, spec, cap)
+            .expect("streamed replay failed");
         let strm_secs = t.elapsed().as_secs_f64();
         assert_eq!(strm, mem, "{spec}: streamed replay diverged from memory");
         metrics.record_secs(&format!("bench.replay.{spec}.memory"), mem_secs);

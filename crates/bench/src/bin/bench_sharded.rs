@@ -63,11 +63,14 @@ fn main() {
     for spec in specs {
         let baseline = Simulator::new()
             .with_shards(1)
-            .run_spec(&log, &trace, &set, spec, cap);
+            .run_spec(&log, &trace, &set, spec, cap)
+            .expect("in-memory replay is infallible");
         for shards in [1usize, 4, 16] {
             let sim = Simulator::new().with_shards(shards);
             let t0 = Instant::now();
-            let report = sim.run_spec(&log, &trace, &set, spec, cap);
+            let report = sim
+                .run_spec(&log, &trace, &set, spec, cap)
+                .expect("in-memory replay is infallible");
             let secs = t0.elapsed().as_secs_f64();
             assert_eq!(
                 report, baseline,

@@ -65,10 +65,11 @@ mod tests {
         let plan = FaultPlan::for_trace(&FaultConfig::default(), &trace, 81);
         let log = ReplayLog::build(&trace);
         let sim = Simulator::new();
-        let plain = sim.run(&log, &mut FileLru::new(&trace, 100 * MB));
+        let plain = sim.run(&log, &mut FileLru::new(&trace, 100 * MB)).unwrap();
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (faulty, stats) =
-            sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
+        let (faulty, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(plain, faulty);
         assert_eq!(stats, crate::FaultStats::default());
     }
@@ -84,7 +85,9 @@ mod tests {
         let log = ReplayLog::build(&trace);
         let sim = Simulator::new();
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
+        let (r, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook))
+            .unwrap();
         assert!(r.misses > 0);
         assert_eq!(stats.delayed_fetches, r.misses);
         assert!(stats.fault_delay_secs > 0);
@@ -106,7 +109,9 @@ mod tests {
         let log = ReplayLog::build(&trace);
         let sim = Simulator::new();
         let hook = ColdStorageFaults::new(&plan, &trace);
-        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook));
+        let (r, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&trace, 100 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(stats.failed_fetches, r.misses);
         assert_eq!(stats.delayed_fetches, 0);
     }

@@ -38,7 +38,18 @@
 //!   serial dispatch for partition-independent policies;
 //! * a parallel cache-size sweep harness ([`sweep`]) that regenerates
 //!   Figure 10 and the policy-comparison grid in a single pass each over
-//!   the shared log.
+//!   the shared log;
+//! * checkpoint/resume for streamed sweeps ([`resume`]): per-spec result
+//!   manifests written atomically beside the output file, so a killed
+//!   sweep resumed with the same parameters reproduces the uninterrupted
+//!   final CSV bit for bit.
+//!
+//! Streamed replay is fallible: entry points that accept an
+//! [`hep_trace::EventSource`] return a `Result` whose error is
+//! [`SimError`], with post-open I/O failures of disk-backed sources
+//! carried as [`SimError::Stream`]. The in-memory [`hep_trace::ReplayLog`] path
+//! never fails at replay time, and the trace-taking convenience wrappers
+//! ([`simulate`], [`sweep_fig10`], …) stay infallible on top of it.
 //!
 //! Semantics shared by all policies: requests are served in trace order;
 //! an object larger than the cache bypasses it (it is fetched but not
@@ -51,6 +62,7 @@
 pub mod faults_hook;
 pub mod lru_core;
 pub mod policy;
+pub mod resume;
 pub mod sharded;
 pub mod sim;
 pub mod spec;
@@ -64,9 +76,11 @@ pub use policy::lru::FileLru;
 pub use policy::slru::Slru;
 pub use policy::tinylfu::TinyLfu;
 pub use policy::{AccessEvent, AccessResult, Policy};
+pub use resume::{reports_csv, run_specs_stream_resumable, ManifestStore, RunParams, SpecManifest};
 pub use sharded::{split_capacity, ShardPlan};
 pub use sim::{
-    simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimOptions, SimReport, Simulator,
+    simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimError, SimOptions, SimReport,
+    Simulator,
 };
 pub use spec::{
     build_policy, build_policy_from_log, build_policy_from_source, build_policy_stream, PolicySpec,

@@ -15,10 +15,10 @@
 //! back with one sequential buffered reader; no random access needed.
 
 use crate::policy::{AccessEvent, AccessResult, Policy};
-use hep_trace::{scratch_file, EventSource, FileId, ReplayLog, SpillLog, Trace};
+use hep_trace::{scratch_file, EventSource, FileId, ReplayLog, SpillLog, StreamError, Trace};
 use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::{self, BufReader, Read};
+use std::io::{BufReader, Read};
 use std::os::unix::fs::FileExt;
 
 /// Sentinel: no further use.
@@ -27,13 +27,14 @@ const NEVER: u64 = u64::MAX;
 /// Collect the file column of any [`EventSource`] in replay order — the
 /// one full-stream column the offline policies need. For a streamed
 /// source this is 4 bytes per event, a quarter of materializing full
-/// events.
-fn collect_file_column(source: &dyn EventSource) -> Vec<FileId> {
+/// events. Post-open I/O failures of a disk-backed source surface as
+/// [`StreamError`].
+fn collect_file_column(source: &dyn EventSource) -> Result<Vec<FileId>, StreamError> {
     let mut files = Vec::with_capacity(source.len());
     source.for_each_chunk(&mut |_base, chunk| {
         files.extend(chunk.iter().map(|ev| ev.file));
-    });
-    files
+    })?;
+    Ok(files)
 }
 
 /// The per-access future-knowledge column, consumed strictly
@@ -94,9 +95,10 @@ fn spill_next_use(
     spill: &SpillLog,
     n_keys: usize,
     key_of: impl Fn(FileId) -> Option<u32>,
-) -> io::Result<(BufReader<File>, usize)> {
+) -> Result<(BufReader<File>, usize), StreamError> {
     const BLOCK: usize = 1 << 20;
-    let out = scratch_file("belady-nextuse")?;
+    let out = scratch_file("belady-nextuse")
+        .map_err(|e| StreamError::spill(std::env::temp_dir(), "create", e))?;
     let n = spill.len();
     let mut last_pos: Vec<u64> = vec![NEVER; n_keys];
     let mut events: Vec<AccessEvent> = Vec::new();
@@ -119,7 +121,8 @@ fn spill_next_use(
             };
             table[k * 8..k * 8 + 8].copy_from_slice(&nu.to_le_bytes());
         }
-        out.write_all_at(&table, (start * 8) as u64)?;
+        out.write_all_at(&table, (start * 8) as u64)
+            .map_err(|e| StreamError::spill(std::env::temp_dir(), "write", e))?;
         blk_end = start;
     }
     Ok((BufReader::with_capacity(1 << 20, out), n))
@@ -157,9 +160,14 @@ impl BeladyMin {
 
     /// Precompute next-use positions from any [`EventSource`]: collects
     /// the file column in one chunked pass (4 bytes per event — the
-    /// future-knowledge table is inherently full-stream).
-    pub fn from_source(source: &dyn EventSource, capacity: u64) -> Self {
-        Self::from_parts(&collect_file_column(source), source.file_sizes(), capacity)
+    /// future-knowledge table is inherently full-stream). Post-open I/O
+    /// failures of a disk-backed source surface as [`StreamError`].
+    pub fn from_source(source: &dyn EventSource, capacity: u64) -> Result<Self, StreamError> {
+        Ok(Self::from_parts(
+            &collect_file_column(source)?,
+            source.file_sizes(),
+            capacity,
+        ))
     }
 
     /// The shared constructor: `files` is the replay-ordered file column,
@@ -191,7 +199,7 @@ impl BeladyMin {
     /// table spilled to a scratch file — the single-decode out-of-core
     /// path. The spill is read (backwards, in blocks) to build the
     /// table; no FCTB2 re-decode happens here or during replay.
-    pub fn from_spill(spill: &SpillLog, capacity: u64) -> io::Result<Self> {
+    pub fn from_spill(spill: &SpillLog, capacity: u64) -> Result<Self, StreamError> {
         let sizes = spill.file_sizes().to_vec();
         let n_files = sizes.len();
         let (reader, remaining) = spill_next_use(spill, n_files, |f| Some(f.0))?;
@@ -308,18 +316,19 @@ impl FileculeBelady {
     }
 
     /// Precompute group next-use positions from any [`EventSource`]:
-    /// collects the file column in one chunked pass.
+    /// collects the file column in one chunked pass. Post-open I/O
+    /// failures of a disk-backed source surface as [`StreamError`].
     pub fn from_source(
         source: &dyn EventSource,
         set: &filecule_core::FileculeSet,
         capacity: u64,
-    ) -> Self {
-        Self::from_parts(
-            &collect_file_column(source),
+    ) -> Result<Self, StreamError> {
+        Ok(Self::from_parts(
+            &collect_file_column(source)?,
             source.file_sizes(),
             set,
             capacity,
-        )
+        ))
     }
 
     /// The shared constructor: `files` is the replay-ordered file column,
@@ -369,7 +378,7 @@ impl FileculeBelady {
         spill: &SpillLog,
         set: &filecule_core::FileculeSet,
         capacity: u64,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, StreamError> {
         let sizes = spill.file_sizes().to_vec();
         let mut group_of = vec![u32::MAX; sizes.len()];
         for g in set.ids() {

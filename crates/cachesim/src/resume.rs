@@ -1,0 +1,373 @@
+//! Checkpoint/resume for streamed policy sweeps.
+//!
+//! A sweep over many [`PolicySpec`]s can run for hours on a large FCTB2
+//! log; a crash near the end used to throw all of it away. This module
+//! makes sweeps restartable: every finished spec is persisted as a small
+//! JSON *manifest* next to the sweep's output file, written atomically
+//! (temp file + rename, the same discipline as the trace cache), and a
+//! resumed sweep loads manifests whose parameters match instead of
+//! re-simulating. Because the simulator is deterministic, a sweep that is
+//! killed and resumed produces a final CSV bit-identical to an
+//! uninterrupted run — [`reports_csv`] is the canonical rendering both
+//! paths share.
+//!
+//! Manifests are advisory: an unreadable, torn, or parameter-mismatched
+//! manifest is simply ignored and the spec re-simulated. After the final
+//! output is written, [`ManifestStore::clear`] removes the directory so a
+//! later sweep with different parameters starts clean.
+
+use crate::sim::{SimError, SimReport, Simulator};
+use crate::spec::PolicySpec;
+use filecule_core::FileculeSet;
+use hep_trace::EventSource;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One completed spec run, persisted as `spec-<key>.json` inside the
+/// sweep's manifest directory. The non-report fields identify the run:
+/// a manifest is only reused when every one of them matches the resumed
+/// sweep, so a changed capacity, source, or simulator knob invalidates
+/// it rather than silently serving a stale report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecManifest {
+    /// Policy selection token ([`PolicySpec::key`]).
+    pub spec: String,
+    /// Cache capacity the run used, bytes.
+    pub capacity: u64,
+    /// Bit pattern of the simulator's warmup fraction (`f64::to_bits`),
+    /// stored as bits so the match is exact rather than approximate.
+    pub warmup_bits: u64,
+    /// Whether byte counters were accumulated.
+    pub count_bytes: bool,
+    /// Cache-segment count the run used.
+    pub shards: usize,
+    /// Source identity: total events in the replay stream.
+    pub n_events: u64,
+    /// Source identity: number of distinct files.
+    pub n_files: u64,
+    /// The finished report.
+    pub report: SimReport,
+}
+
+/// The parameters a stored manifest must match to be reusable on resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Cache capacity, bytes.
+    pub capacity: u64,
+    /// `f64::to_bits` of the warmup fraction.
+    pub warmup_bits: u64,
+    /// Whether byte counters are accumulated.
+    pub count_bytes: bool,
+    /// Cache-segment count.
+    pub shards: usize,
+    /// Event count of the source.
+    pub n_events: u64,
+    /// File count of the source.
+    pub n_files: u64,
+}
+
+impl RunParams {
+    /// The parameter fingerprint of one sweep: simulator accounting knobs
+    /// plus the source's shape. Two sources with equal event and file
+    /// counts but different contents are not distinguished — callers that
+    /// need stronger identity should clear the manifest dir when the
+    /// input changes (the CLI ties the dir to the output path, which in
+    /// practice changes with the input).
+    pub fn new(sim: &Simulator, source: &dyn EventSource, capacity: u64) -> Self {
+        let options = sim.options();
+        Self {
+            capacity,
+            warmup_bits: options.warmup_fraction.to_bits(),
+            count_bytes: options.count_bytes,
+            shards: sim.shards(),
+            n_events: source.len() as u64,
+            n_files: source.n_files() as u64,
+        }
+    }
+
+    fn matches(&self, m: &SpecManifest, spec: PolicySpec) -> bool {
+        m.spec == spec.key()
+            && m.capacity == self.capacity
+            && m.warmup_bits == self.warmup_bits
+            && m.count_bytes == self.count_bytes
+            && m.shards == self.shards
+            && m.n_events == self.n_events
+            && m.n_files == self.n_files
+    }
+}
+
+/// Directory of per-spec result manifests tied to one sweep output file.
+#[derive(Debug, Clone)]
+pub struct ManifestStore {
+    dir: PathBuf,
+}
+
+impl ManifestStore {
+    /// The store for an output file: manifests live in `<out>.manifests/`
+    /// beside it, so concurrent sweeps with different outputs never share
+    /// checkpoints.
+    pub fn for_output(out: &Path) -> Self {
+        let mut os = out.as_os_str().to_os_string();
+        os.push(".manifests");
+        Self {
+            dir: PathBuf::from(os),
+        }
+    }
+
+    /// A store rooted at an explicit directory.
+    pub fn at(dir: PathBuf) -> Self {
+        Self { dir }
+    }
+
+    /// The manifest directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, spec: PolicySpec) -> PathBuf {
+        self.dir.join(format!("spec-{}.json", spec.key()))
+    }
+
+    /// Load the stored report for `spec` if a manifest exists and its
+    /// parameters match. Unreadable or mismatched manifests count as
+    /// absent — resume degrades to re-simulation, never to an error.
+    pub fn load(&self, spec: PolicySpec, params: &RunParams) -> Option<SimReport> {
+        let bytes = fs::read(self.path_of(spec)).ok()?;
+        let m: SpecManifest = serde_json::from_slice(&bytes).ok()?;
+        params.matches(&m, spec).then_some(m.report)
+    }
+
+    /// Persist one finished spec run atomically: the JSON is written to a
+    /// temp file in the manifest directory and renamed over the final
+    /// name, so a kill mid-write can never leave a torn manifest where a
+    /// resume would find it.
+    pub fn store(
+        &self,
+        spec: PolicySpec,
+        params: &RunParams,
+        report: &SimReport,
+    ) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let manifest = SpecManifest {
+            spec: spec.key().to_string(),
+            capacity: params.capacity,
+            warmup_bits: params.warmup_bits,
+            count_bytes: params.count_bytes,
+            shards: params.shards,
+            n_events: params.n_events,
+            n_files: params.n_files,
+            report: report.clone(),
+        };
+        let json = serde_json::to_vec_pretty(&manifest)?;
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{}", std::process::id(), spec.key()));
+        fs::write(&tmp, &json)?;
+        fs::rename(&tmp, self.path_of(spec))?;
+        Ok(())
+    }
+
+    /// Delete the manifest directory. Call after the final output has
+    /// been durably written; a missing directory is not an error.
+    pub fn clear(&self) -> io::Result<()> {
+        match fs::remove_dir_all(&self.dir) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            r => r,
+        }
+    }
+}
+
+/// Run every spec through [`Simulator::run_spec_stream`], skipping specs
+/// whose manifest already records a completed run with matching
+/// parameters and checkpointing each freshly computed spec before moving
+/// to the next. Specs run sequentially (each `run_spec_stream` call
+/// parallelizes internally), so an interrupt loses at most the spec in
+/// flight. Returns reports in spec order — with a deterministic source,
+/// bit-identical to one uninterrupted [`Simulator::run_specs_stream`]
+/// call over the same specs.
+///
+/// # Errors
+///
+/// Simulation failures surface as their own [`SimError`]; a manifest
+/// that cannot be written surfaces as [`SimError::Checkpoint`] naming
+/// the manifest path (the spec's report is lost with it, since a
+/// checkpoint that silently failed would defeat the point of resume).
+pub fn run_specs_stream_resumable(
+    sim: &Simulator,
+    source: &dyn EventSource,
+    set: &FileculeSet,
+    specs: &[PolicySpec],
+    capacity: u64,
+    store: &ManifestStore,
+) -> Result<Vec<SimReport>, SimError> {
+    let params = RunParams::new(sim, source, capacity);
+    let mut reports = Vec::with_capacity(specs.len());
+    for &spec in specs {
+        if let Some(report) = store.load(spec, &params) {
+            reports.push(report);
+            continue;
+        }
+        let report = sim.run_spec_stream(source, set, spec, capacity)?;
+        store
+            .store(spec, &params, &report)
+            .map_err(|e| SimError::Checkpoint {
+                path: store.path_of(spec),
+                source: e,
+            })?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Deterministic CSV rendering of a sweep's reports: fixed header, one
+/// row per report in input order, miss rate printed with fixed
+/// precision. Both the interrupted-and-resumed and the uninterrupted
+/// paths of a sweep render through this function, which is what makes
+/// "the resumed CSV is bit-identical" a checkable contract rather than
+/// a formatting accident.
+pub fn reports_csv(reports: &[SimReport]) -> String {
+    let mut out = String::from(
+        "policy,capacity,requests,hits,misses,cold_misses,bypasses,\
+         bytes_requested,bytes_fetched,bytes_evicted,miss_rate\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6}\n",
+            r.policy,
+            r.capacity,
+            r.requests,
+            r.hits,
+            r.misses,
+            r.cold_misses,
+            r.bypasses,
+            r.bytes_requested,
+            r.bytes_fetched,
+            r.bytes_evicted,
+            r.miss_rate()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_trace::{ReplayLog, SynthConfig, Trace, TraceSynthesizer};
+
+    fn small() -> (Trace, FileculeSet) {
+        let t = TraceSynthesizer::new(SynthConfig::small(91)).generate();
+        let set = filecule_core::identify(&t);
+        (t, set)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("filecules-resume-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SPECS: [PolicySpec; 3] = [
+        PolicySpec::FileLru,
+        PolicySpec::FileculeLru,
+        PolicySpec::BeladyMin,
+    ];
+
+    #[test]
+    fn manifest_round_trip_and_param_mismatch() {
+        let (t, set) = small();
+        let log = ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let capacity = 100 * hep_trace::MB;
+        let report = sim
+            .run_spec_stream(&log, &set, PolicySpec::FileLru, capacity)
+            .unwrap();
+
+        let dir = tmpdir("roundtrip");
+        let store = ManifestStore::at(dir.clone());
+        let params = RunParams::new(&sim, &log, capacity);
+        store.store(PolicySpec::FileLru, &params, &report).unwrap();
+        assert_eq!(store.load(PolicySpec::FileLru, &params), Some(report));
+        // Different spec: absent.
+        assert_eq!(store.load(PolicySpec::FileLfu, &params), None);
+        // Any parameter mismatch: absent.
+        let other = RunParams {
+            capacity: capacity + 1,
+            ..params
+        };
+        assert_eq!(store.load(PolicySpec::FileLru, &other), None);
+        // No tmp droppings left behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().starts_with(".tmp-"),
+                "leftover temp file {name:?}"
+            );
+        }
+        store.clear().unwrap();
+        assert!(!dir.exists());
+        // Clearing twice is fine.
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn resumable_matches_uninterrupted_and_reuses_manifests() {
+        let (t, set) = small();
+        let log = ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let capacity = 100 * hep_trace::MB;
+
+        let direct = sim.run_specs_stream(&log, &set, &SPECS, capacity).unwrap();
+
+        let dir = tmpdir("resume");
+        let store = ManifestStore::at(dir);
+        let first = run_specs_stream_resumable(&sim, &log, &set, &SPECS, capacity, &store).unwrap();
+        assert_eq!(first, direct);
+        assert_eq!(reports_csv(&first), reports_csv(&direct));
+
+        // Tamper with one stored report; a resumed run must serve it from
+        // the manifest (proving the skip) rather than re-simulating.
+        let params = RunParams::new(&sim, &log, capacity);
+        let mut poisoned = first[0].clone();
+        poisoned.hits += 1_000_000;
+        store
+            .store(PolicySpec::FileLru, &params, &poisoned)
+            .unwrap();
+        let resumed =
+            run_specs_stream_resumable(&sim, &log, &set, &SPECS, capacity, &store).unwrap();
+        assert_eq!(resumed[0], poisoned);
+        assert_eq!(resumed[1..], first[1..]);
+
+        // After clearing, everything is re-simulated from scratch.
+        store.clear().unwrap();
+        let fresh = run_specs_stream_resumable(&sim, &log, &set, &SPECS, capacity, &store).unwrap();
+        assert_eq!(fresh, direct);
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_is_ignored() {
+        let (t, set) = small();
+        let log = ReplayLog::build(&t);
+        let sim = Simulator::new();
+        let capacity = 100 * hep_trace::MB;
+        let dir = tmpdir("torn");
+        let store = ManifestStore::at(dir);
+        fs::create_dir_all(store.dir()).unwrap();
+        fs::write(store.path_of(PolicySpec::FileLru), b"{\"spec\": \"file-l").unwrap();
+        let reports =
+            run_specs_stream_resumable(&sim, &log, &set, &SPECS, capacity, &store).unwrap();
+        let direct = sim.run_specs_stream(&log, &set, &SPECS, capacity).unwrap();
+        assert_eq!(reports, direct);
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn for_output_derives_sibling_dir() {
+        let store = ManifestStore::for_output(Path::new("/tmp/sweep.csv"));
+        assert_eq!(store.dir(), Path::new("/tmp/sweep.csv.manifests"));
+    }
+}

@@ -58,7 +58,7 @@
 use crate::faults_hook::ColdStorageFaults;
 use crate::policy::belady::{BeladyMin, FileculeBelady};
 use crate::policy::Policy;
-use crate::sim::{replay_source, FaultHook, FaultStats, ReplayAccum, SimReport};
+use crate::sim::{replay_source, FaultHook, FaultStats, ReplayAccum, SimError, SimReport};
 use crate::spec::{build_policy_from_source, build_policy_stream, PolicySpec, SpecGranularity};
 use crate::Simulator;
 use filecule_core::FileculeSet;
@@ -223,10 +223,10 @@ impl Simulator {
         set: &FileculeSet,
         spec: PolicySpec,
         capacity: u64,
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
         maybe_install(self.threads(), || {
             self.run_spec_inner(source, trace, set, spec, capacity, None)
-                .0
+                .map(|(report, _)| report)
         })
     }
 
@@ -241,7 +241,7 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         hook: Option<&dyn FaultHook>,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         maybe_install(self.threads(), || {
             self.run_spec_inner(source, trace, set, spec, capacity, hook)
         })
@@ -258,7 +258,7 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         ctx: &RunCtx<'_>,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         let sim = self.clone().with_ctx(ctx);
         match ctx.faults {
             Some(plan) => {
@@ -273,7 +273,9 @@ impl Simulator {
     /// and within-policy (segment) parallelism under one rayon budget: the
     /// whole pass runs inside the simulator's thread pool (when
     /// [`Simulator::with_threads`] is set), and nested segment `par_iter`s
-    /// draw from that same pool instead of oversubscribing cores.
+    /// draw from that same pool instead of oversubscribing cores. On
+    /// failure, the error of the first failing spec (in slice order) is
+    /// returned deterministically.
     pub fn run_specs(
         &self,
         source: &dyn EventSource,
@@ -281,24 +283,27 @@ impl Simulator {
         set: &FileculeSet,
         specs: &[PolicySpec],
         capacity: u64,
-    ) -> Vec<SimReport> {
-        maybe_install(self.threads(), || {
+    ) -> Result<Vec<SimReport>, SimError> {
+        let results: Vec<Result<SimReport, SimError>> = maybe_install(self.threads(), || {
             specs
                 .par_iter()
                 .map(|&spec| {
                     self.run_spec_inner(source, trace, set, spec, capacity, None)
-                        .0
+                        .map(|(report, _)| report)
                 })
                 .collect()
-        })
+        });
+        results.into_iter().collect()
     }
 
     /// Trace-free sharded spec replay: like [`Simulator::run_spec`] but
     /// built entirely from the [`EventSource`] (file-size table, per-job
-    /// user table) and the filecule partition. Fails only when the spec
-    /// needs trace data the source does not carry (currently
+    /// user table) and the filecule partition. Fails with
+    /// [`SimError::Unsupported`] when the spec needs trace data the
+    /// source does not carry (currently
     /// [`PolicySpec::WorkingSetPrefetch`] on a source without
-    /// [`EventSource::job_users`]).
+    /// [`EventSource::job_users`]), and with [`SimError::Stream`] when a
+    /// disk-backed source hits a post-open I/O failure.
     ///
     /// For the offline Belady pair on an out-of-core source this takes
     /// the single-decode spill path — see the module docs.
@@ -308,7 +313,7 @@ impl Simulator {
         set: &FileculeSet,
         spec: PolicySpec,
         capacity: u64,
-    ) -> Result<SimReport, String> {
+    ) -> Result<SimReport, SimError> {
         maybe_install(self.threads(), || {
             self.run_spec_stream_inner(source, set, spec, capacity, None)
                 .map(|(report, _)| report)
@@ -317,16 +322,16 @@ impl Simulator {
 
     /// Replay every spec over the shared source without a `Trace`, under
     /// one rayon budget — the trace-free analogue of
-    /// [`Simulator::run_specs`]. The first spec the source cannot serve
-    /// fails the whole call.
+    /// [`Simulator::run_specs`]. On failure, the error of the first
+    /// failing spec (in slice order) is returned deterministically.
     pub fn run_specs_stream(
         &self,
         source: &dyn EventSource,
         set: &FileculeSet,
         specs: &[PolicySpec],
         capacity: u64,
-    ) -> Result<Vec<SimReport>, String> {
-        maybe_install(self.threads(), || {
+    ) -> Result<Vec<SimReport>, SimError> {
+        let results: Vec<Result<SimReport, SimError>> = maybe_install(self.threads(), || {
             specs
                 .par_iter()
                 .map(|&spec| {
@@ -334,11 +339,13 @@ impl Simulator {
                         .map(|(report, _)| report)
                 })
                 .collect()
-        })
+        });
+        results.into_iter().collect()
     }
 
     /// Trace-backed inner runner: the policy builder borrows the trace,
-    /// so it can never fail.
+    /// so it only fails when a disk-backed source hits a post-open I/O
+    /// failure (while scanning for Belady or during replay).
     fn run_spec_inner(
         &self,
         source: &dyn EventSource,
@@ -347,15 +354,15 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         hook: Option<&dyn FaultHook>,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         self.run_spec_core(source, set, spec, capacity, hook, &|cap| {
             build_policy_from_source(spec, source, trace, set, cap)
         })
     }
 
     /// Trace-free inner runner: validates source-carried data up front
-    /// (so the per-segment builder stays infallible) and routes
-    /// out-of-core Belady through the single-decode spill path.
+    /// and routes out-of-core Belady through the single-decode spill
+    /// path.
     fn run_spec_stream_inner(
         &self,
         source: &dyn EventSource,
@@ -363,24 +370,21 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         hook: Option<&dyn FaultHook>,
-    ) -> Result<(SimReport, FaultStats), String> {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         if matches!(spec, PolicySpec::BeladyMin | PolicySpec::FileculeBelady)
             && source.is_out_of_core()
         {
             return self.run_spilled_belady(source, set, spec, capacity, hook);
         }
         if matches!(spec, PolicySpec::WorkingSetPrefetch) && source.job_users().is_none() {
-            // Surface the one fallible case before building anything, so
-            // the sharded builder closure below can stay infallible.
+            // Surface the unsupported-spec case before building anything,
+            // so per-segment builds below never duplicate the check.
             build_policy_stream(spec, source, set, capacity)?;
             unreachable!("build_policy_stream must fail without job_users");
         }
-        Ok(
-            self.run_spec_core(source, set, spec, capacity, hook, &|cap| {
-                build_policy_stream(spec, source, set, cap)
-                    .expect("non-workingset stream builders are infallible")
-            }),
-        )
+        self.run_spec_core(source, set, spec, capacity, hook, &|cap| {
+            build_policy_stream(spec, source, set, cap)
+        })
     }
 
     /// The single-decode offline-Belady path for disk-backed sources:
@@ -395,22 +399,17 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         hook: Option<&dyn FaultHook>,
-    ) -> Result<(SimReport, FaultStats), String> {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         let started = self.metrics().is_enabled().then(Instant::now);
-        let spill = SpillLog::record(source)
-            .map_err(|e| format!("{spec}: recording the event spill failed: {e}"))?;
+        let spill = SpillLog::record(source)?;
         let mut policy: Box<dyn Policy + Send> = match spec {
-            PolicySpec::BeladyMin => Box::new(
-                BeladyMin::from_spill(&spill, capacity)
-                    .map_err(|e| format!("{spec}: building the next-use index failed: {e}"))?,
-            ),
-            PolicySpec::FileculeBelady => Box::new(
-                FileculeBelady::from_spill(&spill, set, capacity)
-                    .map_err(|e| format!("{spec}: building the next-use index failed: {e}"))?,
-            ),
+            PolicySpec::BeladyMin => Box::new(BeladyMin::from_spill(&spill, capacity)?),
+            PolicySpec::FileculeBelady => {
+                Box::new(FileculeBelady::from_spill(&spill, set, capacity)?)
+            }
             _ => unreachable!("run_spilled_belady is only reached for Belady specs"),
         };
-        let (report, faults) = replay_source(&spill, policy.as_mut(), hook, self.options());
+        let (report, faults) = replay_source(&spill, policy.as_mut(), hook, self.options())?;
         if let Some(t0) = started {
             self.emit_run_metrics(
                 &report,
@@ -435,13 +434,13 @@ impl Simulator {
         spec: PolicySpec,
         capacity: u64,
         hook: Option<&dyn FaultHook>,
-        build: &(dyn Fn(u64) -> Box<dyn Policy + Send> + Sync),
-    ) -> (SimReport, FaultStats) {
+        build: &(dyn Fn(u64) -> Result<Box<dyn Policy + Send>, SimError> + Sync),
+    ) -> Result<(SimReport, FaultStats), SimError> {
         let shards = self.shards();
         if shards <= 1 || !spec.is_partition_independent() {
-            let mut policy = build(capacity);
+            let mut policy = build(capacity)?;
             let started = self.metrics().is_enabled().then(Instant::now);
-            let (report, faults) = replay_source(source, policy.as_mut(), hook, self.options());
+            let (report, faults) = replay_source(source, policy.as_mut(), hook, self.options())?;
             if let Some(t0) = started {
                 self.emit_run_metrics(
                     &report,
@@ -451,7 +450,7 @@ impl Simulator {
                     hook,
                 );
             }
-            return (report, faults);
+            return Ok((report, faults));
         }
         let started = self.metrics().is_enabled().then(Instant::now);
         let plan = ShardPlan::for_spec(spec, set, source.n_files(), shards);
@@ -460,19 +459,21 @@ impl Simulator {
         let sizes = source.file_sizes();
         let mut segs: Vec<SegState<'_>> = (0..shards)
             .map(|s| {
-                let policy = build(caps[s]);
+                let policy = build(caps[s])?;
                 let acc = ReplayAccum::new(policy.as_ref(), source.len(), sizes, options);
-                SegState {
+                Ok(SegState {
                     policy,
                     acc,
                     batch: Vec::new(),
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, SimError>>()?;
         // One pass over the stream: partition each chunk into per-segment
         // batches tagged with global indices, then drain the batches in
         // parallel. Each segment sees its subsequence in global order with
         // global indices, so results are chunk-size- and thread-invariant.
+        // Per-segment stepping is infallible — only the source iteration
+        // itself can fail, and its error propagates directly.
         source.for_each_chunk(&mut |base, chunk| {
             for (k, ev) in chunk.iter().enumerate() {
                 segs[plan.segment_of(ev.file)].batch.push((base + k, *ev));
@@ -483,7 +484,7 @@ impl Simulator {
                     acc.step(i, &ev, policy.as_mut(), hook);
                 }
             });
-        });
+        })?;
         let partials: Vec<(SimReport, FaultStats)> =
             segs.into_iter().map(|seg| seg.acc.finish()).collect();
         let (report, faults) = merge_partials(partials);
@@ -496,7 +497,7 @@ impl Simulator {
                 hook,
             );
         }
-        (report, faults)
+        Ok((report, faults))
     }
 }
 
@@ -555,11 +556,13 @@ mod tests {
         let cap = TB / 100;
         let sim = Simulator::new();
         for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
-            let mono = sim.run(
-                &log,
-                build_policy_from_log(spec, &log, &trace, &set, cap).as_mut(),
-            );
-            let sharded = sim.run_spec(&log, &trace, &set, spec, cap);
+            let mono = sim
+                .run(
+                    &log,
+                    build_policy_from_log(spec, &log, &trace, &set, cap).as_mut(),
+                )
+                .unwrap();
+            let sharded = sim.run_spec(&log, &trace, &set, spec, cap).unwrap();
             assert_eq!(mono, sharded, "{spec}");
         }
     }
@@ -571,12 +574,14 @@ mod tests {
         for spec in [PolicySpec::FileLru, PolicySpec::FileculeGds] {
             let base = Simulator::new()
                 .with_shards(4)
-                .run_spec(&log, &trace, &set, spec, cap);
+                .run_spec(&log, &trace, &set, spec, cap)
+                .unwrap();
             for threads in [1, 2, 8] {
                 let r = Simulator::new()
                     .with_shards(4)
                     .with_threads(threads)
-                    .run_spec(&log, &trace, &set, spec, cap);
+                    .run_spec(&log, &trace, &set, spec, cap)
+                    .unwrap();
                 assert_eq!(base, r, "{spec} @ {threads} threads");
             }
         }
@@ -592,7 +597,8 @@ mod tests {
         for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
             let sharded = Simulator::new()
                 .with_shards(shards)
-                .run_spec(&log, &trace, &set, spec, cap);
+                .run_spec(&log, &trace, &set, spec, cap)
+                .unwrap();
 
             let plan = ShardPlan::for_spec(spec, &set, trace.n_files(), shards);
             let caps = split_capacity(cap, shards);
@@ -631,8 +637,10 @@ mod tests {
         let cap = TB / 100;
         let sim8 = Simulator::new().with_shards(8);
         for spec in [PolicySpec::BeladyMin, PolicySpec::SuccessorPrefetch] {
-            let mono = Simulator::new().run_spec(&log, &trace, &set, spec, cap);
-            let sharded = sim8.run_spec(&log, &trace, &set, spec, cap);
+            let mono = Simulator::new()
+                .run_spec(&log, &trace, &set, spec, cap)
+                .unwrap();
+            let sharded = sim8.run_spec(&log, &trace, &set, spec, cap).unwrap();
             assert_eq!(mono, sharded, "{spec}");
         }
     }
@@ -647,9 +655,9 @@ mod tests {
             PolicySpec::FileculeLru,
             PolicySpec::FileTinyLfu,
         ];
-        let grid = sim.run_specs(&log, &trace, &set, &specs, cap);
+        let grid = sim.run_specs(&log, &trace, &set, &specs, cap).unwrap();
         for (spec, got) in specs.iter().zip(&grid) {
-            let one = sim.run_spec(&log, &trace, &set, *spec, cap);
+            let one = sim.run_spec(&log, &trace, &set, *spec, cap).unwrap();
             assert_eq!(&one, got, "{spec}");
         }
     }
@@ -669,7 +677,7 @@ mod tests {
             PolicySpec::BeladyMin,
             PolicySpec::FileculeBelady,
         ] {
-            let trace_backed = sim.run_spec(&log, &trace, &set, spec, cap);
+            let trace_backed = sim.run_spec(&log, &trace, &set, spec, cap).unwrap();
             let streamed = sim
                 .run_spec_stream(&log, &set, spec, cap)
                 .expect("ReplayLog carries everything these specs need");
@@ -700,7 +708,11 @@ mod tests {
         let err = Simulator::new()
             .run_spec_stream(&log, &set, PolicySpec::WorkingSetPrefetch, TB)
             .expect_err("ReplayLog has no per-job user table");
-        assert!(err.contains("user table"), "unhelpful error: {err}");
+        assert!(
+            err.to_string().contains("user table"),
+            "unhelpful error: {err}"
+        );
+        assert!(matches!(err, SimError::Unsupported(_)));
     }
 
     #[test]
@@ -708,12 +720,13 @@ mod tests {
         let (trace, set, log) = small();
         let cap = TB / 100;
         let ctx = RunCtx::new().with_shards(4);
-        let (via_ctx, stats) =
-            Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx);
-        let direct =
-            Simulator::new()
-                .with_shards(4)
-                .run_spec(&log, &trace, &set, PolicySpec::FileLru, cap);
+        let (via_ctx, stats) = Simulator::new()
+            .run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx)
+            .unwrap();
+        let direct = Simulator::new()
+            .with_shards(4)
+            .run_spec(&log, &trace, &set, PolicySpec::FileLru, cap)
+            .unwrap();
         assert_eq!(via_ctx, direct);
         assert_eq!(stats, FaultStats::default());
     }
@@ -734,8 +747,12 @@ mod tests {
             .with_faults(&plan)
             .with_shards(4)
             .with_threads(8);
-        let a = Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx1);
-        let b = Simulator::new().run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx8);
+        let a = Simulator::new()
+            .run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx1)
+            .unwrap();
+        let b = Simulator::new()
+            .run_spec_ctx(&log, &trace, &set, PolicySpec::FileLru, cap, &ctx8)
+            .unwrap();
         assert_eq!(a, b);
         assert!(a.0.misses > 0);
     }

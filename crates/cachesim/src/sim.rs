@@ -19,10 +19,72 @@ use crate::faults_hook::ColdStorageFaults;
 use crate::policy::{AccessEvent, Policy};
 use hep_obs::Metrics;
 use hep_runctx::{maybe_install, RunCtx};
-use hep_trace::{EventSource, ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, StreamError, Trace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Instant;
+
+/// Everything that can go wrong while driving a simulation.
+///
+/// The in-memory [`ReplayLog`] path is infallible at replay time, so the
+/// only runtime failures are post-open I/O errors of a disk-backed
+/// streamed source ([`SimError::Stream`]) and user errors caught by the
+/// spec layer ([`SimError::Unsupported`], e.g. an unknown policy name).
+/// Parallel entry points ([`Simulator::run_many`], `run_specs*`) surface
+/// the error of the *first* failing run in submission order, so the
+/// reported error is deterministic regardless of thread schedule.
+#[derive(Debug)]
+pub enum SimError {
+    /// A streamed event source failed after open (I/O error, spill-file
+    /// failure). The replay that observed it is abandoned.
+    Stream(StreamError),
+    /// The run specification itself is invalid (unknown policy name,
+    /// missing table). Nothing was replayed.
+    Unsupported(String),
+    /// A resume-manifest write failed during a checkpointed sweep (see
+    /// [`crate::resume`]). The spec's report completed but could not be
+    /// made durable, so the sweep aborts rather than pretend the
+    /// checkpoint exists.
+    Checkpoint {
+        /// The manifest file that could not be written.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stream(e) => write!(f, "simulation aborted: {e}"),
+            SimError::Unsupported(msg) => write!(f, "unsupported run spec: {msg}"),
+            SimError::Checkpoint { path, source } => {
+                write!(
+                    f,
+                    "writing resume manifest {} failed: {source}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Stream(e) => Some(e),
+            SimError::Unsupported(_) => None,
+            SimError::Checkpoint { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<StreamError> for SimError {
+    fn from(e: StreamError) -> Self {
+        SimError::Stream(e)
+    }
+}
 
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,8 +240,10 @@ impl SimOptions {
 /// let log = ReplayLog::build(&trace); // materialized once
 /// let sim = Simulator::new();
 /// let cap = TB / 100;
-/// let file = sim.run(&log, &mut FileLru::new(&trace, cap));
-/// let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
+/// let file = sim.run(&log, &mut FileLru::new(&trace, cap)).unwrap();
+/// let filecule = sim
+///     .run(&log, &mut FileculeLru::new(&trace, &set, cap))
+///     .unwrap();
 /// assert_eq!(file.requests, trace.n_accesses() as u64);
 /// assert!(filecule.miss_rate() <= file.miss_rate());
 /// ```
@@ -287,9 +351,15 @@ impl Simulator {
 
     /// Replay the whole source through `policy`, accumulating a
     /// [`SimReport`]. Accepts any [`EventSource`] — a borrowed
-    /// [`ReplayLog`] coerces directly.
-    pub fn run(&self, source: &dyn EventSource, policy: &mut dyn Policy) -> SimReport {
-        self.run_hooked(source, policy, None).0
+    /// [`ReplayLog`] coerces directly (and never fails); a disk-backed
+    /// streamed source surfaces post-open I/O failures as
+    /// [`SimError::Stream`].
+    pub fn run(
+        &self,
+        source: &dyn EventSource,
+        policy: &mut dyn Policy,
+    ) -> Result<SimReport, SimError> {
+        Ok(self.run_hooked(source, policy, None)?.0)
     }
 
     /// The unified hooked entry point: like [`Simulator::run`], with an
@@ -302,9 +372,9 @@ impl Simulator {
         source: &dyn EventSource,
         policy: &mut dyn Policy,
         hook: Option<&dyn FaultHook>,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         let started = self.metrics.is_enabled().then(Instant::now);
-        let (report, faults) = replay_source(source, policy, hook, self.options);
+        let (report, faults) = replay_source(source, policy, hook, self.options)?;
         if let Some(t0) = started {
             self.emit_run_metrics(
                 &report,
@@ -314,7 +384,7 @@ impl Simulator {
                 hook,
             );
         }
-        (report, faults)
+        Ok((report, faults))
     }
 
     /// One [`RunCtx`]-taking entry point for single-policy replay: adopts
@@ -328,7 +398,7 @@ impl Simulator {
         trace: &Trace,
         policy: &mut dyn Policy,
         ctx: &RunCtx<'_>,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         let sim = self.clone().with_metrics(ctx.metrics.clone());
         match ctx.faults {
             Some(plan) => {
@@ -349,7 +419,7 @@ impl Simulator {
         source: &dyn EventSource,
         policy: &mut dyn Policy,
         hook: &dyn FaultHook,
-    ) -> (SimReport, FaultStats) {
+    ) -> Result<(SimReport, FaultStats), SimError> {
         self.run_hooked(source, policy, Some(hook))
     }
 
@@ -400,18 +470,24 @@ impl Simulator {
     /// [`Simulator::run`] on each policy sequentially — every policy sees
     /// the full ordered stream. With [`Simulator::with_threads`] set, the
     /// pass runs inside a dedicated pool of that size, bounding
-    /// across-policy parallelism.
+    /// across-policy parallelism. If any run fails, the error of the
+    /// *first* policy (in slice order) to fail is returned — rayon's
+    /// ordered collect makes that deterministic across thread schedules.
     pub fn run_many<'t>(
         &self,
         source: &dyn EventSource,
         policies: &mut [Box<dyn Policy + Send + 't>],
-    ) -> Vec<SimReport> {
-        maybe_install(self.threads, || {
+    ) -> Result<Vec<SimReport>, SimError> {
+        // Collect per-policy Results in slice order first, then fold
+        // sequentially: rayon's parallel Result-collect would surface
+        // whichever error a thread hit first, not a deterministic one.
+        let results: Vec<Result<SimReport, SimError>> = maybe_install(self.threads, || {
             policies
                 .par_iter_mut()
                 .map(|p| self.run(source, p.as_mut()))
                 .collect()
-        })
+        });
+        results.into_iter().collect()
     }
 }
 
@@ -514,20 +590,21 @@ impl<'s> ReplayAccum<'s> {
 /// The replay loop: drive `policy` over every chunk of `source` in
 /// order, accumulating a [`SimReport`] plus [`FaultStats`]. Memory is
 /// the accumulator's per-file `seen` bitmap plus whatever the source
-/// holds resident — one chunk for a streamed source.
+/// holds resident — one chunk for a streamed source. A post-open I/O
+/// failure abandons the replay and surfaces as [`StreamError`].
 pub(crate) fn replay_source(
     source: &dyn EventSource,
     policy: &mut dyn Policy,
     hook: Option<&dyn FaultHook>,
     options: SimOptions,
-) -> (SimReport, FaultStats) {
+) -> Result<(SimReport, FaultStats), StreamError> {
     let mut acc = ReplayAccum::new(policy, source.len(), source.file_sizes(), options);
     source.for_each_chunk(&mut |base, chunk| {
         for (k, ev) in chunk.iter().enumerate() {
             acc.step(base + k, ev, policy, hook);
         }
-    });
-    acc.finish()
+    })?;
+    Ok(acc.finish())
 }
 
 /// Replay every file access of `trace` (in time order) through `policy`.
@@ -552,7 +629,9 @@ pub(crate) fn replay_source(
 /// assert!(filecule.miss_rate() <= file.miss_rate());
 /// ```
 pub fn simulate(trace: &Trace, policy: &mut dyn Policy) -> SimReport {
-    Simulator::new().run(&ReplayLog::build(trace), policy)
+    Simulator::new()
+        .run(&ReplayLog::build(trace), policy)
+        .expect("in-memory replay is infallible")
 }
 
 /// Like [`simulate`], but only accumulate statistics after the first
@@ -566,7 +645,9 @@ pub fn simulate(trace: &Trace, policy: &mut dyn Policy) -> SimReport {
 /// # Panics
 /// Panics if `warmup_fraction` is outside `[0, 1)`.
 pub fn simulate_warm(trace: &Trace, policy: &mut dyn Policy, warmup_fraction: f64) -> SimReport {
-    Simulator::with_options(SimOptions::warm(warmup_fraction)).run(&ReplayLog::build(trace), policy)
+    Simulator::with_options(SimOptions::warm(warmup_fraction))
+        .run(&ReplayLog::build(trace), policy)
+        .expect("in-memory replay is infallible")
 }
 
 #[cfg(test)]
@@ -680,8 +761,8 @@ mod tests {
         let log = hep_trace::ReplayLog::build(&t);
         let before = hep_trace::materialization_count();
         let sim = Simulator::new();
-        let a = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
-        let b = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        let a = sim.run(&log, &mut FileLru::new(&t, 100 * MB)).unwrap();
+        let b = sim.run(&log, &mut FileLru::new(&t, 100 * MB)).unwrap();
         assert_eq!(hep_trace::materialization_count(), before);
         assert_eq!(a.misses, b.misses);
     }
@@ -698,9 +779,9 @@ mod tests {
             Box::new(FileLru::new(&t, cap)),
             Box::new(FileculeLru::new(&t, &set, cap)),
         ];
-        let many = sim.run_many(&log, &mut policies);
-        let one_a = sim.run(&log, &mut FileLru::new(&t, cap));
-        let one_b = sim.run(&log, &mut FileculeLru::new(&t, &set, cap));
+        let many = sim.run_many(&log, &mut policies).unwrap();
+        let one_a = sim.run(&log, &mut FileLru::new(&t, cap)).unwrap();
+        let one_b = sim.run(&log, &mut FileculeLru::new(&t, &set, cap)).unwrap();
         for (m, s) in many.iter().zip([one_a, one_b].iter()) {
             assert_eq!(m.policy, s.policy);
             assert_eq!(m.hits, s.hits);
@@ -719,7 +800,7 @@ mod tests {
             count_bytes: false,
             ..SimOptions::default()
         });
-        let r = sim.run(&log, &mut FileLru::new(&t, 1000 * MB));
+        let r = sim.run(&log, &mut FileLru::new(&t, 1000 * MB)).unwrap();
         assert_eq!(r.requests, 4);
         assert_eq!(r.hits, 2);
         assert_eq!(r.bytes_requested, 0);
@@ -739,9 +820,11 @@ mod tests {
         let t = TraceSynthesizer::new(SynthConfig::small(74)).generate();
         let log = hep_trace::ReplayLog::build(&t);
         let sim = Simulator::new();
-        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
+        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB)).unwrap();
         let hook = ScriptedHook(|_| FetchOutcome::Fetched);
-        let (faulty, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
+        let (faulty, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(plain, faulty);
         assert_eq!(stats, FaultStats::default());
     }
@@ -760,7 +843,9 @@ mod tests {
                 FetchOutcome::Delayed(7)
             }
         });
-        let (r, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook));
+        let (r, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(r.misses, 3);
         assert_eq!(
             stats.failed_fetches + stats.delayed_fetches,
@@ -774,10 +859,12 @@ mod tests {
     fn metrics_attached_emits_and_preserves_report() {
         let t = trace_with_sizes(&[&[0, 1], &[0, 1], &[2]], &[10, 20, 30]);
         let log = hep_trace::ReplayLog::build(&t);
-        let plain = Simulator::new().run(&log, &mut FileLru::new(&t, 1000 * MB));
+        let plain = Simulator::new()
+            .run(&log, &mut FileLru::new(&t, 1000 * MB))
+            .unwrap();
         let metrics = Metrics::enabled();
         let sim = Simulator::new().with_metrics(metrics.clone());
-        let instrumented = sim.run(&log, &mut FileLru::new(&t, 1000 * MB));
+        let instrumented = sim.run(&log, &mut FileLru::new(&t, 1000 * MB)).unwrap();
         assert_eq!(plain, instrumented, "metrics must not perturb the report");
         let snap = metrics.snapshot().unwrap();
         assert_eq!(snap.counter("cachesim.runs"), 1);
@@ -809,7 +896,9 @@ mod tests {
         });
         let metrics = Metrics::enabled();
         let sim = Simulator::new().with_metrics(metrics.clone());
-        let (_, stats) = sim.run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook));
+        let (_, stats) = sim
+            .run_hooked(&log, &mut FileLru::new(&t, 1000 * MB), Some(&hook))
+            .unwrap();
         let snap = metrics.snapshot().unwrap();
         assert_eq!(
             snap.counter("cachesim.fault.failed_fetches"),
@@ -830,16 +919,21 @@ mod tests {
         let t = TraceSynthesizer::new(SynthConfig::small(75)).generate();
         let log = hep_trace::ReplayLog::build(&t);
         let sim = Simulator::new();
-        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB));
-        let (via_ctx, stats) =
-            sim.run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &RunCtx::new());
+        let plain = sim.run(&log, &mut FileLru::new(&t, 100 * MB)).unwrap();
+        let (via_ctx, stats) = sim
+            .run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &RunCtx::new())
+            .unwrap();
         assert_eq!(plain, via_ctx);
         assert_eq!(stats, FaultStats::default());
         let plan = hep_faults::FaultPlan::for_trace(&hep_faults::FaultConfig::severity(0.2), &t, 5);
         let ctx = RunCtx::new().with_faults(&plan);
-        let (r1, s1) = sim.run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &ctx);
+        let (r1, s1) = sim
+            .run_ctx(&log, &t, &mut FileLru::new(&t, 100 * MB), &ctx)
+            .unwrap();
         let hook = ColdStorageFaults::new(&plan, &t);
-        let (r2, s2) = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
+        let (r2, s2) = sim
+            .run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(r1, r2);
         assert_eq!(s1, s2);
     }
@@ -851,8 +945,12 @@ mod tests {
         let log = hep_trace::ReplayLog::build(&t);
         let sim = Simulator::new();
         let hook = ScriptedHook(|_| FetchOutcome::Delayed(3));
-        let old = sim.run_with_faults(&log, &mut FileLru::new(&t, 100 * MB), &hook);
-        let new = sim.run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook));
+        let old = sim
+            .run_with_faults(&log, &mut FileLru::new(&t, 100 * MB), &hook)
+            .unwrap();
+        let new = sim
+            .run_hooked(&log, &mut FileLru::new(&t, 100 * MB), Some(&hook))
+            .unwrap();
         assert_eq!(old, new);
     }
 

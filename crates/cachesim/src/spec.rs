@@ -23,6 +23,7 @@ use crate::policy::size::FileSize;
 use crate::policy::slru::Slru;
 use crate::policy::tinylfu::TinyLfu;
 use crate::policy::Policy;
+use crate::sim::SimError;
 use filecule_core::FileculeSet;
 use hep_trace::{EventSource, ReplayLog, Trace};
 
@@ -259,24 +260,27 @@ pub fn build_policy_from_log(
     capacity: u64,
 ) -> Box<dyn Policy + Send> {
     build_policy_from_source(spec, log, trace, set, capacity)
+        .expect("in-memory replay is infallible")
 }
 
 /// Build the policy a spec names against any [`EventSource`]. Online
 /// specs never touch the stream; the offline Belady pair collects the
 /// replay-ordered file column in one chunked pass (4 bytes per event —
-/// future-knowledge tables are inherently full-stream).
+/// future-knowledge tables are inherently full-stream), so a disk-backed
+/// source can surface post-open I/O failures here as
+/// [`SimError::Stream`].
 pub fn build_policy_from_source(
     spec: PolicySpec,
     source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity: u64,
-) -> Box<dyn Policy + Send> {
-    match spec {
-        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)),
-        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)),
+) -> Result<Box<dyn Policy + Send>, SimError> {
+    Ok(match spec {
+        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)?),
+        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)?),
         _ => build_online_policy(spec, trace, set, capacity),
-    }
+    })
 }
 
 /// Build the policy a spec names from an [`EventSource`] alone — no
@@ -285,9 +289,12 @@ pub fn build_policy_from_source(
 /// file-size table (plus the filecule partition, itself computable
 /// out-of-core via `filecule_core::identify_from_source`).
 ///
-/// Fails only for [`PolicySpec::WorkingSetPrefetch`] on a source that
-/// does not carry the per-job user table
-/// ([`EventSource::job_users`]); FCTB2-backed sources carry it.
+/// Fails with [`SimError::Unsupported`] for
+/// [`PolicySpec::WorkingSetPrefetch`] on a source that does not carry
+/// the per-job user table ([`EventSource::job_users`]); FCTB2-backed
+/// sources carry it. Disk-backed sources can additionally surface
+/// post-open I/O failures as [`SimError::Stream`] while the offline
+/// Belady pair scans the stream.
 ///
 /// The offline Belady pair is built via
 /// [`BeladyMin::from_source`]/[`FileculeBelady::from_source`], which
@@ -299,7 +306,7 @@ pub fn build_policy_stream(
     source: &dyn EventSource,
     set: &FileculeSet,
     capacity: u64,
-) -> Result<Box<dyn Policy + Send>, String> {
+) -> Result<Box<dyn Policy + Send>, SimError> {
     let sizes = source.file_sizes();
     Ok(match spec {
         PolicySpec::FileLru => Box::new(FileLru::from_sizes(sizes.to_vec(), capacity)),
@@ -332,11 +339,11 @@ pub fn build_policy_stream(
         }
         PolicySpec::WorkingSetPrefetch => {
             let users = source.job_users().ok_or_else(|| {
-                format!(
+                SimError::Unsupported(format!(
                     "policy {} needs the per-job user table, which this event source \
                      does not carry",
                     spec.key()
-                )
+                ))
             })?;
             Box::new(WorkingSetPrefetch::from_parts(
                 sizes.to_vec(),
@@ -345,8 +352,8 @@ pub fn build_policy_stream(
                 16,
             ))
         }
-        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)),
-        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)),
+        PolicySpec::BeladyMin => Box::new(BeladyMin::from_source(source, capacity)?),
+        PolicySpec::FileculeBelady => Box::new(FileculeBelady::from_source(source, set, capacity)?),
         PolicySpec::FileSlru => Box::new(Slru::file_from_sizes(sizes.to_vec(), capacity)),
         PolicySpec::FileculeSlru => Box::new(Slru::filecule_from_sizes(sizes, set, capacity)),
         PolicySpec::FileLfuda => Box::new(Lfuda::file_from_sizes(sizes.to_vec(), capacity)),

@@ -16,7 +16,7 @@
 //! access's distance includes the object's own size, so it hits in an LRU
 //! cache of byte capacity `C` exactly when `distance <= C`.
 
-use hep_trace::{EventSource, ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, StreamError, Trace};
 
 /// A Fenwick (binary indexed) tree over `u64` byte weights.
 #[derive(Debug, Clone)]
@@ -135,18 +135,19 @@ pub fn reuse_distances(keys: &[u32], sizes: &[u64]) -> ReuseProfile {
 /// Materializes the stream; reuse [`file_reuse_profile_from_log`] when a
 /// [`ReplayLog`] is already built.
 pub fn file_reuse_profile(trace: &Trace) -> ReuseProfile {
-    file_reuse_profile_from_log(&ReplayLog::build(trace))
+    file_reuse_profile_from_log(&ReplayLog::build(trace)).expect("in-memory replay is infallible")
 }
 
 /// [`file_reuse_profile`] over any shared [`EventSource`] (an in-memory
 /// log or a disk-backed streamed log): collects the 4-byte-per-event key
-/// column in one chunked pass, then runs the Fenwick analysis.
-pub fn file_reuse_profile_from_log(source: &dyn EventSource) -> ReuseProfile {
+/// column in one chunked pass, then runs the Fenwick analysis. Post-open
+/// I/O failures of a disk-backed source surface as [`StreamError`].
+pub fn file_reuse_profile_from_log(source: &dyn EventSource) -> Result<ReuseProfile, StreamError> {
     let mut keys: Vec<u32> = Vec::with_capacity(source.len());
     source.for_each_chunk(&mut |_base, chunk| {
         keys.extend(chunk.iter().map(|ev| ev.file.0));
-    });
-    reuse_distances(&keys, source.file_sizes())
+    })?;
+    Ok(reuse_distances(&keys, source.file_sizes()))
 }
 
 /// Filecule-granularity reuse profile: the stream's files are mapped to
@@ -155,13 +156,15 @@ pub fn file_reuse_profile_from_log(source: &dyn EventSource) -> ReuseProfile {
 /// a [`ReplayLog`] is already built.
 pub fn filecule_reuse_profile(trace: &Trace, set: &filecule_core::FileculeSet) -> ReuseProfile {
     filecule_reuse_profile_from_log(&ReplayLog::build(trace), set)
+        .expect("in-memory replay is infallible")
 }
 
-/// [`filecule_reuse_profile`] over any shared [`EventSource`].
+/// [`filecule_reuse_profile`] over any shared [`EventSource`]. Post-open
+/// I/O failures of a disk-backed source surface as [`StreamError`].
 pub fn filecule_reuse_profile_from_log(
     source: &dyn EventSource,
     set: &filecule_core::FileculeSet,
-) -> ReuseProfile {
+) -> Result<ReuseProfile, StreamError> {
     let mut keys: Vec<u32> = Vec::with_capacity(source.len());
     source.for_each_chunk(&mut |_base, chunk| {
         keys.extend(
@@ -169,9 +172,9 @@ pub fn filecule_reuse_profile_from_log(
                 .iter()
                 .map(|ev| set.filecule_of(ev.file).map(|g| g.0).unwrap_or(0)),
         );
-    });
+    })?;
     let sizes: Vec<u64> = set.ids().map(|g| set.size_bytes(g)).collect();
-    reuse_distances(&keys, &sizes)
+    Ok(reuse_distances(&keys, &sizes))
 }
 
 /// Convenience: drive a [`crate::policy::lru::FileLru`] over the same

@@ -10,7 +10,7 @@
 use crate::policy::filecule_lru::FileculeLru;
 use crate::policy::lru::FileLru;
 use crate::policy::Policy;
-use crate::sim::{SimReport, Simulator};
+use crate::sim::{SimError, SimReport, Simulator};
 use crate::spec::{build_policy_from_source, PolicySpec};
 use filecule_core::FileculeSet;
 use hep_trace::{EventSource, ReplayLog, Trace, TB};
@@ -47,32 +47,35 @@ impl Fig10Row {
 /// over the shared log.
 pub fn sweep_fig10(trace: &Trace, set: &FileculeSet, scale: f64) -> Vec<Fig10Row> {
     sweep_fig10_log(&ReplayLog::build(trace), trace, set, scale)
+        .expect("in-memory replay is infallible")
 }
 
 /// [`sweep_fig10`] over any shared [`EventSource`] (an in-memory log or
-/// a disk-backed streamed log).
+/// a disk-backed streamed log). On failure the error of the first
+/// failing point (lowest capacity) is returned deterministically.
 pub fn sweep_fig10_log(
     source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     scale: f64,
-) -> Vec<Fig10Row> {
+) -> Result<Vec<Fig10Row>, SimError> {
     let sizes = hep_trace::synth::calibration::FIG10_CACHE_SIZES_TB;
     let sim = Simulator::new();
-    sizes
+    let rows: Vec<Result<Fig10Row, SimError>> = sizes
         .par_iter()
         .map(|&tb| {
             let capacity = ((tb * TB) as f64 / scale) as u64;
-            let file = sim.run(source, &mut FileLru::new(trace, capacity));
-            let filecule = sim.run(source, &mut FileculeLru::new(trace, set, capacity));
-            Fig10Row {
+            let file = sim.run(source, &mut FileLru::new(trace, capacity))?;
+            let filecule = sim.run(source, &mut FileculeLru::new(trace, set, capacity))?;
+            Ok(Fig10Row {
                 capacity,
                 paper_tb: tb as f64,
                 file_lru_miss: file.miss_rate(),
                 filecule_lru_miss: filecule.miss_rate(),
-            }
+            })
         })
-        .collect()
+        .collect();
+    rows.into_iter().collect()
 }
 
 /// Every policy in the crate instantiated at one capacity — the ablation
@@ -86,21 +89,24 @@ pub fn compare_policies(trace: &Trace, set: &FileculeSet, capacity: u64) -> Vec<
         capacity,
         &PolicySpec::ALL,
     )
+    .expect("in-memory replay is infallible")
 }
 
 /// [`compare_policies`] over any shared [`EventSource`], restricted to the
-/// given policy selection (see [`PolicySpec::parse_list`]).
+/// given policy selection (see [`PolicySpec::parse_list`]). Post-open I/O
+/// failures of a disk-backed source surface as [`SimError::Stream`],
+/// whether they hit while building the offline policies or during replay.
 pub fn compare_policies_log(
     source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity: u64,
     specs: &[PolicySpec],
-) -> Vec<SimReport> {
+) -> Result<Vec<SimReport>, SimError> {
     let mut policies: Vec<Box<dyn Policy + Send>> = specs
         .iter()
         .map(|&spec| build_policy_from_source(spec, source, trace, set, capacity))
-        .collect();
+        .collect::<Result<_, _>>()?;
     Simulator::new().run_many(source, &mut policies)
 }
 
@@ -202,14 +208,15 @@ mod tests {
         let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
         let capacity = total / 8;
         let log = ReplayLog::build(&t);
-        let full = compare_policies_log(&log, &t, &set, capacity, &PolicySpec::ALL);
+        let full = compare_policies_log(&log, &t, &set, capacity, &PolicySpec::ALL).unwrap();
         let subset = compare_policies_log(
             &log,
             &t,
             &set,
             capacity,
             &[PolicySpec::FileculeLru, PolicySpec::BeladyMin],
-        );
+        )
+        .unwrap();
         assert_eq!(subset.len(), 2);
         assert_eq!(subset[0].policy, full[1].policy);
         assert_eq!(subset[0].misses, full[1].misses);

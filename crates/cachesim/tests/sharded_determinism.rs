@@ -35,12 +35,14 @@ fn sharded_matrix_is_thread_invariant_for_every_partition_independent_spec() {
             let reference = Simulator::new()
                 .with_shards(shards)
                 .with_threads(1)
-                .run_spec(&log, &trace, &set, spec, CAPACITY);
+                .run_spec(&log, &trace, &set, spec, CAPACITY)
+                .unwrap();
             for threads in [2usize, 8] {
                 let report = Simulator::new()
                     .with_shards(shards)
                     .with_threads(threads)
-                    .run_spec(&log, &trace, &set, spec, CAPACITY);
+                    .run_spec(&log, &trace, &set, spec, CAPACITY)
+                    .unwrap();
                 assert_eq!(
                     report, reference,
                     "{spec} at {shards} shards diverged between 1 and {threads} threads"
@@ -56,10 +58,11 @@ fn one_shard_matches_the_monolithic_engine_for_every_spec() {
     let sim = Simulator::new();
     for spec in PolicySpec::ALL {
         let mut policy = build_policy_from_log(spec, &log, &trace, &set, CAPACITY);
-        let mono = sim.run(&log, policy.as_mut());
+        let mono = sim.run(&log, policy.as_mut()).unwrap();
         let sharded = Simulator::new()
             .with_shards(1)
-            .run_spec(&log, &trace, &set, spec, CAPACITY);
+            .run_spec(&log, &trace, &set, spec, CAPACITY)
+            .unwrap();
         assert_eq!(
             sharded, mono,
             "{spec}: shards=1 must be the monolithic replay"
@@ -76,11 +79,13 @@ fn partition_dependent_specs_fall_back_to_monolithic_at_any_shard_count() {
     {
         let mono = Simulator::new()
             .with_shards(1)
-            .run_spec(&log, &trace, &set, spec, CAPACITY);
+            .run_spec(&log, &trace, &set, spec, CAPACITY)
+            .unwrap();
         for shards in [2usize, 8, 16] {
             let report = Simulator::new()
                 .with_shards(shards)
-                .run_spec(&log, &trace, &set, spec, CAPACITY);
+                .run_spec(&log, &trace, &set, spec, CAPACITY)
+                .unwrap();
             assert_eq!(
                 report, mono,
                 "{spec} holds cross-object state; {shards} shards must fall back"
@@ -99,11 +104,13 @@ proptest! {
             let serial = Simulator::new()
                 .with_shards(shards)
                 .with_threads(1)
-                .run_spec(&log, &trace, &set, spec, CAPACITY);
+                .run_spec(&log, &trace, &set, spec, CAPACITY)
+                .unwrap();
             let parallel = Simulator::new()
                 .with_shards(shards)
                 .with_threads(threads)
-                .run_spec(&log, &trace, &set, spec, CAPACITY);
+                .run_spec(&log, &trace, &set, spec, CAPACITY)
+                .unwrap();
             prop_assert_eq!(serial, parallel);
         }
     }

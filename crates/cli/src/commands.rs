@@ -255,9 +255,9 @@ pub fn identify(args: &Args) -> CmdResult {
         ensure_stream_trace(Path::new(path))?;
         let log = hep_trace::StreamedLog::open(Path::new(path))?;
         let set = match algo {
-            "exact" => filecule_core::identify_from_source(&log),
-            "refine" => filecule_core::identify_refine_source(&log),
-            "hashed" => filecule_core::identify_hashed_source(&log),
+            "exact" => filecule_core::identify_from_source(&log)?,
+            "refine" => filecule_core::identify_refine_source(&log)?,
+            "hashed" => filecule_core::identify_hashed_source(&log)?,
             other => {
                 return Err(format!(
                     "algorithm {other:?} cannot run with --stream (use exact, refine or hashed)"
@@ -340,6 +340,15 @@ fn policy_selection(args: &Args) -> Result<Vec<PolicySpec>, Box<dyn Error>> {
 /// is never loaded, memory stays flat in trace length, and the reports
 /// are bit-identical to the in-memory path (offline Belady takes the
 /// single-decode spill path).
+///
+/// `--out FILE` writes the deterministic report CSV. `--resume` (with
+/// `--stream` and `--out`) checkpoints each finished policy as a
+/// manifest in `FILE.manifests/` and skips already-completed policies on
+/// rerun — a killed sweep resumed this way reproduces the uninterrupted
+/// CSV bit for bit. `--io-fault-rate P` injects deterministic transient
+/// read faults into the streamed replay (seeded by `--io-fault-seed`,
+/// healed by up to `--io-retries` retries per operation) — a robustness
+/// probe: any run that completes is bit-identical to the fault-free run.
 pub fn simulate_cmd(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "policy",
@@ -352,6 +361,11 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         "json",
         "metrics",
         "threads",
+        "out",
+        "resume",
+        "io-fault-rate",
+        "io-fault-seed",
+        "io-retries",
     ])?;
     let path = args.positional(1).ok_or("simulate needs a trace path")?;
     let specs = policy_selection(args)?;
@@ -365,22 +379,75 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
     if chunk_events == 0 {
         return Err("--chunk-events must be at least 1".into());
     }
+    let out = args.get("out").map(str::to_owned);
+    let resume = args.switch("resume");
+    let io_fault_rate: f64 = args.get_or("io-fault-rate", 0.0)?;
+    if !(0.0..1.0).contains(&io_fault_rate) {
+        return Err(format!("--io-fault-rate {io_fault_rate} out of range [0, 1)").into());
+    }
+    let io_fault_seed: u64 = args.get_or("io-fault-seed", hep_stats::rng::DEFAULT_SEED)?;
+    let io_retries: u32 = args.get_or("io-retries", 3)?;
+    if resume && !args.switch("stream") {
+        return Err("--resume needs --stream (checkpointed sweeps replay the streamed log)".into());
+    }
+    if resume && out.is_none() {
+        return Err("--resume needs --out FILE (manifests live beside the output file)".into());
+    }
+    if io_fault_rate > 0.0 && !args.switch("stream") {
+        return Err("--io-fault-rate needs --stream (faults are injected into disk reads)".into());
+    }
     let metrics = metrics_from_args(args);
     let sim = Simulator::with_options(SimOptions::warm(warmup))
         .with_metrics(metrics.clone())
         .with_shards(shards);
+    let mut manifest_store: Option<cachesim::ManifestStore> = None;
     let reports = if args.switch("stream") {
         ensure_stream_trace(Path::new(path))?;
-        let log = hep_trace::StreamedLog::open_with_chunk(Path::new(path), chunk_events)?;
-        let set = filecule_core::identify_from_source(&log);
-        sim.run_specs_stream(&log, &set, &specs, capacity)?
+        let backend: std::sync::Arc<dyn hep_trace::IoBackend> = if io_fault_rate > 0.0 {
+            let cfg = hep_faults::IoFaultConfig::transient(io_fault_seed, io_fault_rate);
+            let model = hep_faults::RetryModel {
+                failure_p: 0.0,
+                max_retries: io_retries,
+                backoff_base_secs: 0.1,
+                backoff_factor: 2.0,
+                backoff_cap_secs: 5.0,
+                timeout_secs: 60.0,
+            };
+            std::sync::Arc::new(hep_faults::faulty_retrying_io(cfg, model))
+        } else {
+            std::sync::Arc::new(hep_trace::StdIo)
+        };
+        let log =
+            hep_trace::StreamedLog::open_with_backend(Path::new(path), chunk_events, backend)?;
+        let set = filecule_core::identify_from_source(&log)?;
+        if resume {
+            let store = cachesim::ManifestStore::for_output(Path::new(
+                out.as_deref().expect("checked above"),
+            ));
+            let reports =
+                cachesim::run_specs_stream_resumable(&sim, &log, &set, &specs, capacity, &store)?;
+            manifest_store = Some(store);
+            reports
+        } else {
+            sim.run_specs_stream(&log, &set, &specs, capacity)?
+        }
     } else {
         let trace = load_trace(Path::new(path))?;
         let set = filecule_core::identify(&trace);
         let log = ReplayLog::build(&trace);
-        sim.run_specs(&log, &trace, &set, &specs, capacity)
+        sim.run_specs(&log, &trace, &set, &specs, capacity)?
     };
     finish_metrics(args, &metrics)?;
+    if let Some(out) = &out {
+        std::fs::write(out, cachesim::reports_csv(&reports))?;
+        // stderr so `--json` stdout stays machine-parseable.
+        eprintln!("reports written to {out}");
+        // The final CSV is durable; retire the checkpoints so a later
+        // sweep with different parameters starts clean.
+        if let Some(store) = &manifest_store {
+            store.clear()?;
+        }
+    }
     if args.switch("json") {
         if let [report] = reports.as_slice() {
             println!("{}", serde_json::to_string_pretty(report)?);
@@ -594,7 +661,7 @@ pub fn faults(args: &Args) -> CmdResult {
             capacity,
             replication::Granularity::File,
             &ctx,
-        );
+        )?;
         let cule = replication::simulate_sites_ctx(
             &log,
             &trace,
@@ -602,7 +669,7 @@ pub fn faults(args: &Args) -> CmdResult {
             capacity,
             replication::Granularity::Filecule,
             &ctx,
-        );
+        )?;
         let sched = transfer::schedule_comparison_ctx(&trace, &set, model, &ctx);
         csv.push_str(&format!(
             "{s},{:.6},{:.6},{:.6},{:.3},{:.3},{},{},{:.3},{:.3},{:.2},{:.2}\n",
@@ -923,6 +990,123 @@ mod tests {
             "--chunk-events",
             "0",
             "--stream",
+        ]))
+        .is_err());
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn simulate_out_resume_and_fault_knobs() {
+        let bin = tmp("t4e.bin");
+        let plain_csv = tmp("t4e-plain.csv");
+        let resume_csv = tmp("t4e-resume.csv");
+        let faulty_csv = tmp("t4e-faulty.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Plain streamed sweep with --out.
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-lru,belady",
+            "--capacity-gb",
+            "100",
+            "--out",
+            plain_csv.to_str().unwrap(),
+            "--stream",
+        ]))
+        .unwrap();
+        let plain = std::fs::read_to_string(&plain_csv).unwrap();
+        assert!(plain.starts_with("policy,capacity,requests"));
+        assert_eq!(plain.lines().count(), 4, "header + one row per policy");
+        // Checkpointed sweep: same CSV bit for bit, manifests retired
+        // after the final write.
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-lru,belady",
+            "--capacity-gb",
+            "100",
+            "--out",
+            resume_csv.to_str().unwrap(),
+            "--stream",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(
+            plain,
+            std::fs::read_to_string(&resume_csv).unwrap(),
+            "resumed sweep diverged from the uninterrupted one"
+        );
+        let manifest_dir = resume_csv.with_extension("csv.manifests");
+        assert!(
+            !manifest_dir.exists(),
+            "manifests must be cleared after the final CSV"
+        );
+        // Injected transient faults heal through retries: bit-identical.
+        simulate_cmd(&args(&[
+            "simulate",
+            bin.to_str().unwrap(),
+            "--policies",
+            "file-lru,filecule-lru,belady",
+            "--capacity-gb",
+            "100",
+            "--io-fault-rate",
+            "0.02",
+            "--out",
+            faulty_csv.to_str().unwrap(),
+            "--stream",
+        ]))
+        .unwrap();
+        assert_eq!(
+            plain,
+            std::fs::read_to_string(&faulty_csv).unwrap(),
+            "transient I/O faults changed the reports"
+        );
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&plain_csv).ok();
+        std::fs::remove_file(&resume_csv).ok();
+        std::fs::remove_file(&faulty_csv).ok();
+    }
+
+    #[test]
+    fn simulate_resume_and_fault_flag_validation() {
+        let bin = tmp("t4f.bin");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let p = bin.to_str().unwrap();
+        // --resume without --stream.
+        assert!(simulate_cmd(&args(&["simulate", p, "--out", "x.csv", "--resume"])).is_err());
+        // --resume without --out.
+        assert!(simulate_cmd(&args(&["simulate", p, "--stream", "--resume"])).is_err());
+        // --io-fault-rate without --stream.
+        assert!(simulate_cmd(&args(&["simulate", p, "--io-fault-rate", "0.1"])).is_err());
+        // Rate out of range.
+        assert!(simulate_cmd(&args(&[
+            "simulate",
+            p,
+            "--io-fault-rate",
+            "1.5",
+            "--stream"
         ]))
         .is_err());
         std::fs::remove_file(&bin).ok();

@@ -62,6 +62,15 @@ COMMANDS:
                         belady decodes the file exactly once; results
                         are bit-identical)
       --chunk-events N  events per streamed replay chunk (default 1048576)
+      --out FILE        write the deterministic report CSV
+      --resume          with --stream and --out: checkpoint each finished
+                        policy in FILE.manifests/ and skip completed ones
+                        on rerun (resumed CSV is bit-identical)
+      --io-fault-rate P inject deterministic transient read faults at
+                        rate P into the streamed replay (needs --stream;
+                        completed runs stay bit-identical)
+      --io-fault-seed N fault-injection seed (default 0xD0D02006)
+      --io-retries K    retry budget per faulted I/O operation (default 3)
       --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   fig10 <trace>         run the paper's Figure 10 cache sweep
       --scale N         scale divisor for the cache sizes (default 16)
@@ -82,13 +91,15 @@ COMMANDS:
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse_with_switches(tokens, &["json", "check", "no-cache", "stream"]) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            std::process::exit(2);
-        }
-    };
+    let args =
+        match Args::parse_with_switches(tokens, &["json", "check", "no-cache", "stream", "resume"])
+        {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                std::process::exit(2);
+            }
+        };
     // Size the global rayon pool before any parallel work runs. 0 (the
     // default) keeps rayon's own heuristic: one thread per core.
     let threads: usize = match args.get_or("threads", 0) {

@@ -18,7 +18,7 @@
 use crate::filecule::FileculeSet;
 use crate::identify::hashed::{identify_hashed_source, FingerprintMap};
 use crate::identify::refine::identify_refine_source;
-use hep_trace::{FileId, JobId, JobSource, Trace};
+use hep_trace::{FileId, JobId, JobSource, StreamError, Trace};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::hash::BuildHasher;
@@ -152,10 +152,13 @@ fn group_by_signature<S: BuildHasher>(trace: &Trace, sigs: &Signatures, build: S
 /// so a certified partition *is* the exact partition, not just
 /// probably. On certification failure (a ≈2⁻¹²⁸ fingerprint collision)
 /// we fall back to streamed refinement, which is collision-free.
-pub fn identify_from_source(source: &dyn JobSource) -> FileculeSet {
-    let set = identify_hashed_source(source);
-    if certify_partition(source, &set) {
-        set
+///
+/// Post-open I/O failures of a disk-backed source surface as
+/// [`StreamError`].
+pub fn identify_from_source(source: &dyn JobSource) -> Result<FileculeSet, StreamError> {
+    let set = identify_hashed_source(source)?;
+    if certify_partition(source, &set)? {
+        Ok(set)
     } else {
         identify_refine_source(source)
     }
@@ -164,7 +167,10 @@ pub fn identify_from_source(source: &dyn JobSource) -> FileculeSet {
 /// Prove `set` is signature-uniform against the job stream: every job
 /// must request each touched filecule in full, and every requested file
 /// must be assigned. One extra streaming pass, O(files) state.
-pub fn certify_partition(source: &dyn JobSource, set: &FileculeSet) -> bool {
+///
+/// Post-open I/O failures of a disk-backed source surface as
+/// [`StreamError`].
+pub fn certify_partition(source: &dyn JobSource, set: &FileculeSet) -> Result<bool, StreamError> {
     let mut counts: Vec<u32> = vec![0; set.n_filecules()];
     let mut touched: Vec<u32> = Vec::new();
     let mut ok = true;
@@ -193,8 +199,8 @@ pub fn certify_partition(source: &dyn JobSource, set: &FileculeSet) -> bool {
             counts[g as usize] = 0;
         }
         touched.clear();
-    });
-    ok
+    })?;
+    Ok(ok)
 }
 
 /// Parallel variant of [`identify`]: files are sharded by signature hash

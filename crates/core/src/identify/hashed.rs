@@ -11,7 +11,7 @@
 //! additionally compare). State is O(files) regardless of trace length.
 
 use crate::filecule::FileculeSet;
-use hep_trace::{FileId, JobSource, Trace};
+use hep_trace::{FileId, JobSource, StreamError, Trace};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -163,14 +163,15 @@ pub fn identify_hashed(trace: &Trace) -> FileculeSet {
 /// the out-of-core entry point. The fingerprint mix is order-sensitive
 /// in job ids, and sources visit jobs in `JobId` order (the same order
 /// `identify_hashed` consumes from a trace), so the output is identical
-/// to the in-memory result.
-pub fn identify_hashed_source(source: &dyn JobSource) -> FileculeSet {
+/// to the in-memory result. Post-open I/O failures of a disk-backed
+/// source surface as [`StreamError`].
+pub fn identify_hashed_source(source: &dyn JobSource) -> Result<FileculeSet, StreamError> {
     let sizes = source.file_size_table();
     let mut id = HashedIdentifier::new(sizes.len());
     source.for_each_job(&mut |j, _start, files| {
         id.observe(j.0, files);
-    });
-    id.snapshot_with_sizes(&sizes)
+    })?;
+    Ok(id.snapshot_with_sizes(&sizes))
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::filecule::FileculeSet;
 use crate::identify::refine::Refiner;
-use hep_trace::{FileId, JobId, JobSource, Trace};
+use hep_trace::{FileId, JobId, JobSource, StreamError, Trace};
 
 /// Stateful online identifier.
 #[derive(Debug, Clone)]
@@ -57,10 +57,12 @@ impl IncrementalFilecules {
     /// Replay any [`JobSource`] through the identifier — the out-of-core
     /// path. Sources visit jobs in non-decreasing start order, matching
     /// the monotonicity contract of [`IncrementalFilecules::observe`].
-    pub fn observe_source(&mut self, source: &dyn JobSource) {
+    /// Post-open I/O failures of a disk-backed source surface as
+    /// [`StreamError`].
+    pub fn observe_source(&mut self, source: &dyn JobSource) -> Result<(), StreamError> {
         source.for_each_job(&mut |_j, start, files| {
             self.observe(start, files);
-        });
+        })
     }
 
     /// Replay a prefix of the trace: jobs with `start < until`.

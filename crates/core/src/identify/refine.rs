@@ -16,7 +16,7 @@
 
 use crate::filecule::FileculeSet;
 use crate::identify::hashed::FingerprintMap;
-use hep_trace::{FileId, JobId, JobSource, Trace};
+use hep_trace::{FileId, JobId, JobSource, StreamError, Trace};
 
 /// Partition-refinement engine.
 #[derive(Debug, Clone, Default)]
@@ -157,14 +157,15 @@ pub fn identify_refine(trace: &Trace) -> FileculeSet {
 /// an FCTB2-backed source this is one decode pass. Output is identical
 /// to [`identify_refine`] over the materialized trace (the source
 /// visits jobs in the same `JobId` order with the same normalized
-/// request sets).
-pub fn identify_refine_source(source: &dyn JobSource) -> FileculeSet {
+/// request sets). Post-open I/O failures of a disk-backed source
+/// surface as [`StreamError`].
+pub fn identify_refine_source(source: &dyn JobSource) -> Result<FileculeSet, StreamError> {
     let sizes = source.file_size_table();
     let mut r = Refiner::new(sizes.len());
     source.for_each_job(&mut |_j, _start, files| {
         r.add_job(files);
-    });
-    r.snapshot_with_sizes(&sizes)
+    })?;
+    Ok(r.snapshot_with_sizes(&sizes))
 }
 
 /// Identify filecules by refinement over a subset of jobs (sorted).

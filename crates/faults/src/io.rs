@@ -1,0 +1,556 @@
+//! Deterministic I/O fault injection and retrying adapters for the
+//! streaming trace readers.
+//!
+//! The site/transfer fault classes ([`crate::FaultPlan`]) live *inside*
+//! the simulated world; this module injects faults *underneath* it, on
+//! the [`hep_trace::stream::IoBackend`] paths the out-of-core readers
+//! use for every post-open read and scratch-file write — the layer a
+//! flaky NFS mount or a failing disk would actually hit.
+//!
+//! Two composable wrappers:
+//!
+//! * [`FaultyIo`] — injects transient EIO, short reads, and
+//!   truncate-on-write. Each fault draw is a pure hash of
+//!   `(seed, lane, offset, attempt)` — the same
+//!   [`transfer_key`](crate::transfer_key)/[`lane`](crate::lane)
+//!   discipline as [`RetryModel::outcome`] — where the lane hashes the
+//!   file name (or scratch tag) and the attempt index counts repeat
+//!   operations on the same `(lane, offset)`. Outcomes therefore never
+//!   depend on wall-clock time or pointer values, and injected faults
+//!   never corrupt delivered bytes: a read either fails cleanly, reads
+//!   fewer bytes than asked (correct bytes, shorter), or succeeds; a
+//!   torn write persists a prefix at its fixed offset and errors, so a
+//!   retried positioned write heals it in place.
+//! * [`RetryingIo`] — retries failed operations with [`RetryModel`]'s
+//!   capped exponential backoff and total timeout budget, recording
+//!   retry/give-up counts via [`hep_obs::record_io_retry`] /
+//!   [`hep_obs::record_io_giveup`]. Backoff is *accounted* (and scaled
+//!   by [`RetryingIo::with_sleep_scale`] before actually sleeping —
+//!   default 0, no real sleep) so soak tests run at full speed.
+//!
+//! Stacking `RetryingIo(FaultyIo(StdIo))` gives the determinism
+//! contract the equivalence suites pin: under any transient-fault rate,
+//! a replay that completes is **bit-identical** to the fault-free
+//! replay, because retries only re-issue reads — they never alter what
+//! is read. Past the budget the typed [`StreamError`] path of the
+//! readers reports the failure instead of panicking.
+//!
+//! [`StreamError`]: hep_trace::StreamError
+
+use crate::retry::{lane, transfer_key, unit_f64};
+use crate::RetryModel;
+use hep_stats::rng::splitmix64;
+use hep_trace::stream::{IoBackend, ReadAt, ReadWriteAt, StdIo, WriteAt};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Salt decoupling read-failure draws from short-read draws at the same
+/// `(lane, offset, attempt)`.
+const SALT_FAIL: u64 = 0x10;
+const SALT_SHORT: u64 = 0x11;
+const SALT_TORN: u64 = 0x12;
+
+/// Knobs for deterministic I/O fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoFaultConfig {
+    /// Master seed; all fault draws are pure hashes of this plus the
+    /// operation's `(lane, offset, attempt)` key.
+    pub seed: u64,
+    /// Probability one read or write attempt fails with transient EIO.
+    pub fail_p: f64,
+    /// Probability a non-failing read returns fewer bytes than asked
+    /// (the exact-read loop heals these; they cost extra calls, never
+    /// correctness).
+    pub short_read_p: f64,
+    /// Probability a failing write persists a prefix before erroring
+    /// (a torn write), instead of failing cleanly without writing.
+    pub torn_write_p: f64,
+}
+
+impl IoFaultConfig {
+    /// Inject nothing (every operation passes through).
+    pub const NONE: IoFaultConfig = IoFaultConfig {
+        seed: 0,
+        fail_p: 0.0,
+        short_read_p: 0.0,
+        torn_write_p: 0.0,
+    };
+
+    /// Transient-failure config: every fault class at rate `p` under
+    /// `seed`.
+    pub fn transient(seed: u64, p: f64) -> Self {
+        IoFaultConfig {
+            seed,
+            fail_p: p,
+            short_read_p: p,
+            torn_write_p: p,
+        }
+    }
+
+    /// True when no fault class can fire.
+    pub fn is_none(&self) -> bool {
+        self.fail_p <= 0.0 && self.short_read_p <= 0.0 && self.torn_write_p <= 0.0
+    }
+
+    /// The uniform draw for `(lane, offset, attempt, salt)` under this
+    /// config's seed — pure, thread-count independent.
+    fn draw(&self, lane: u64, offset: u64, attempt: u64, salt: u64) -> f64 {
+        let key = transfer_key(&[lane, offset, attempt, salt]);
+        unit_f64(splitmix64(self.seed ^ splitmix64(key)))
+    }
+}
+
+/// Shared per-`(lane, offset)` attempt counters, so a retried operation
+/// draws a *fresh* fault outcome each attempt and transient faults are
+/// actually transient. Shared across handles of one [`FaultyIo`]; the
+/// interleaving of concurrent replays can shift which attempts fail,
+/// but never what bytes a successful operation delivers.
+type AttemptMap = Arc<Mutex<HashMap<(u64, u64), u64>>>;
+
+/// An [`IoBackend`] injecting deterministic faults into every handle it
+/// opens. Wraps any inner backend (usually [`StdIo`]).
+pub struct FaultyIo<B> {
+    inner: B,
+    cfg: IoFaultConfig,
+    attempts: AttemptMap,
+    injected: Arc<AtomicU64>,
+}
+
+impl FaultyIo<StdIo> {
+    /// Fault-inject the plain filesystem.
+    pub fn new(cfg: IoFaultConfig) -> Self {
+        Self::wrap(StdIo, cfg)
+    }
+}
+
+impl<B: IoBackend> FaultyIo<B> {
+    /// Fault-inject an arbitrary inner backend.
+    pub fn wrap(inner: B, cfg: IoFaultConfig) -> Self {
+        FaultyIo {
+            inner,
+            cfg,
+            attempts: Arc::new(Mutex::new(HashMap::new())),
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Total faults injected so far (EIO + short reads + torn writes)
+    /// across all handles of this backend.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<B: IoBackend> IoBackend for FaultyIo<B> {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>> {
+        let file_lane = lane(&path.to_string_lossy());
+        Ok(Box::new(FaultyHandle {
+            inner: HandleInner::Read(self.inner.open_read(path)?),
+            lane: file_lane,
+            cfg: self.cfg,
+            attempts: self.attempts.clone(),
+            injected: self.injected.clone(),
+        }))
+    }
+
+    fn create_scratch(&self, tag: &str) -> io::Result<Box<dyn ReadWriteAt>> {
+        let scratch_lane = lane(tag);
+        Ok(Box::new(FaultyHandle {
+            inner: HandleInner::ReadWrite(self.inner.create_scratch(tag)?),
+            lane: scratch_lane,
+            cfg: self.cfg,
+            attempts: self.attempts.clone(),
+            injected: self.injected.clone(),
+        }))
+    }
+}
+
+/// The wrapped handle: read-only (trace files) or read-write (scratch).
+enum HandleInner {
+    Read(Box<dyn ReadAt>),
+    ReadWrite(Box<dyn ReadWriteAt>),
+}
+
+/// One fault-injected handle. Only the primitive `read_at`/`write_at`
+/// are intercepted: the exact-read/-write default loops then retry
+/// short transfers through the faulty primitives again, so every loop
+/// iteration draws its own outcome.
+struct FaultyHandle {
+    inner: HandleInner,
+    lane: u64,
+    cfg: IoFaultConfig,
+    attempts: AttemptMap,
+    injected: Arc<AtomicU64>,
+}
+
+impl FaultyHandle {
+    /// Next attempt index for `(lane, offset)` — 0 on first touch.
+    fn next_attempt(&self, offset: u64) -> u64 {
+        let mut map = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+        let n = map.entry((self.lane, offset)).or_insert(0);
+        let attempt = *n;
+        *n += 1;
+        attempt
+    }
+
+    fn inject(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ReadAt for FaultyHandle {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let inner: &dyn ReadAt = match &self.inner {
+            HandleInner::Read(r) => r.as_ref(),
+            HandleInner::ReadWrite(rw) => rw.as_ref(),
+        };
+        if self.cfg.is_none() {
+            return inner.read_at(buf, offset);
+        }
+        let attempt = self.next_attempt(offset);
+        if self.cfg.draw(self.lane, offset, attempt, SALT_FAIL) < self.cfg.fail_p {
+            self.inject();
+            return Err(io::Error::other("injected transient I/O fault (read)"));
+        }
+        if buf.len() > 1
+            && self.cfg.draw(self.lane, offset, attempt, SALT_SHORT) < self.cfg.short_read_p
+        {
+            // Short read: deliver the correct prefix only; the caller's
+            // exact-read loop resumes at offset + n.
+            self.inject();
+            let n = buf.len() / 2;
+            return inner.read_at(&mut buf[..n], offset);
+        }
+        inner.read_at(buf, offset)
+    }
+}
+
+impl WriteAt for FaultyHandle {
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let inner = match &self.inner {
+            HandleInner::Read(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "read-only fault-injected handle",
+                ))
+            }
+            HandleInner::ReadWrite(rw) => rw.as_ref(),
+        };
+        if self.cfg.is_none() {
+            return inner.write_at(buf, offset);
+        }
+        let attempt = self.next_attempt(offset);
+        if self.cfg.draw(self.lane, offset, attempt, SALT_FAIL) < self.cfg.fail_p {
+            self.inject();
+            if !buf.is_empty()
+                && self.cfg.draw(self.lane, offset, attempt, SALT_TORN) < self.cfg.torn_write_p
+            {
+                // Torn write: persist a prefix at its fixed offset, then
+                // fail. A retried positioned write rewrites it in place.
+                let n = (buf.len() / 2).max(1);
+                inner.write_all_at(&buf[..n], offset)?;
+            }
+            return Err(io::Error::other("injected transient I/O fault (write)"));
+        }
+        inner.write_at(buf, offset)
+    }
+}
+
+/// An [`IoBackend`] that retries failed operations with [`RetryModel`]
+/// backoff semantics: up to `max_retries` re-attempts, capped
+/// exponential backoff between them, abandoned once the accumulated
+/// backoff would exceed `timeout_secs`.
+///
+/// Retries re-issue the *whole* failed primitive at the same offset, so
+/// under a [`FaultyIo`] inner backend a retried operation draws fresh
+/// fault outcomes until it succeeds or the budget runs out — delivered
+/// bytes are never affected, only whether the operation completes.
+/// Every retry and give-up is recorded via
+/// [`hep_obs::record_io_retry`] / [`hep_obs::record_io_giveup`].
+pub struct RetryingIo<B> {
+    inner: B,
+    model: RetryModel,
+    /// Fraction of each modeled backoff interval actually slept
+    /// (default 0.0: backoff is budget accounting only, no wall-clock
+    /// delay — tests and sweeps run at full speed).
+    sleep_scale: f64,
+}
+
+impl<B: IoBackend> RetryingIo<B> {
+    /// Retry `inner`'s failures under `model`'s budget.
+    pub fn new(inner: B, model: RetryModel) -> Self {
+        RetryingIo {
+            inner,
+            model,
+            sleep_scale: 0.0,
+        }
+    }
+
+    /// Actually sleep `scale` × the modeled backoff before each retry
+    /// (0.0 = never sleep, 1.0 = full modeled backoff).
+    pub fn with_sleep_scale(mut self, scale: f64) -> Self {
+        self.sleep_scale = scale.max(0.0);
+        self
+    }
+}
+
+/// Run `op` under `model`'s retry/backoff budget.
+fn with_retries<T>(
+    model: &RetryModel,
+    sleep_scale: f64,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut delay = 0.0f64;
+    let mut retry = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                retry += 1;
+                let backoff = model.backoff_secs(retry);
+                if retry > model.max_retries || delay + backoff > model.timeout_secs {
+                    hep_obs::record_io_giveup();
+                    return Err(e);
+                }
+                delay += backoff;
+                hep_obs::record_io_retry();
+                if sleep_scale > 0.0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(backoff * sleep_scale));
+                }
+            }
+        }
+    }
+}
+
+impl<B: IoBackend> IoBackend for RetryingIo<B> {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>> {
+        let handle = with_retries(&self.model, self.sleep_scale, || self.inner.open_read(path))?;
+        Ok(Box::new(RetryingHandle {
+            inner: HandleInner::Read(handle),
+            model: self.model,
+            sleep_scale: self.sleep_scale,
+        }))
+    }
+
+    fn create_scratch(&self, tag: &str) -> io::Result<Box<dyn ReadWriteAt>> {
+        let handle = with_retries(&self.model, self.sleep_scale, || {
+            self.inner.create_scratch(tag)
+        })?;
+        Ok(Box::new(RetryingHandle {
+            inner: HandleInner::ReadWrite(handle),
+            model: self.model,
+            sleep_scale: self.sleep_scale,
+        }))
+    }
+}
+
+/// A handle whose exact-read/-write operations are retried whole: each
+/// attempt restarts at the original offset, so partially filled buffers
+/// or torn writes from a failed attempt are overwritten in place.
+struct RetryingHandle {
+    inner: HandleInner,
+    model: RetryModel,
+    sleep_scale: f64,
+}
+
+impl RetryingHandle {
+    fn read_inner(&self) -> &dyn ReadAt {
+        match &self.inner {
+            HandleInner::Read(r) => r.as_ref(),
+            HandleInner::ReadWrite(rw) => rw.as_ref(),
+        }
+    }
+}
+
+impl ReadAt for RetryingHandle {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        with_retries(&self.model, self.sleep_scale, || {
+            self.read_inner().read_at(buf, offset)
+        })
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        with_retries(&self.model, self.sleep_scale, || {
+            self.read_inner().read_exact_at(buf, offset)
+        })
+    }
+}
+
+impl WriteAt for RetryingHandle {
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let inner = match &self.inner {
+            HandleInner::Read(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "read-only retrying handle",
+                ))
+            }
+            HandleInner::ReadWrite(rw) => rw.as_ref(),
+        };
+        with_retries(&self.model, self.sleep_scale, || {
+            inner.write_at(buf, offset)
+        })
+    }
+
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        let inner = match &self.inner {
+            HandleInner::Read(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "read-only retrying handle",
+                ))
+            }
+            HandleInner::ReadWrite(rw) => rw.as_ref(),
+        };
+        with_retries(&self.model, self.sleep_scale, || {
+            inner.write_all_at(buf, offset)
+        })
+    }
+}
+
+/// The standard fault-soak stack: retrying adapter over fault injection
+/// over the plain filesystem. With `cfg` at a transient rate and
+/// `model` allowing a few retries, every operation eventually succeeds
+/// and replays are bit-identical to fault-free; with `cfg.fail_p` at
+/// 1.0 the budget always exhausts and the readers surface typed errors.
+pub fn faulty_retrying_io(cfg: IoFaultConfig, model: RetryModel) -> RetryingIo<FaultyIo<StdIo>> {
+    RetryingIo::new(FaultyIo::new(cfg), model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A retry model allowing 4 retries with negligible modeled backoff.
+    fn budget(retries: u32) -> RetryModel {
+        RetryModel {
+            failure_p: 0.0,
+            max_retries: retries,
+            backoff_base_secs: 0.001,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 0.01,
+            timeout_secs: 10.0,
+        }
+    }
+
+    fn scratch_with(io: &dyn IoBackend, data: &[u8]) -> Box<dyn ReadWriteAt> {
+        let f = io.create_scratch("io-fault-test").unwrap();
+        f.write_all_at(data, 0).unwrap();
+        f
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let io = FaultyIo::new(IoFaultConfig::NONE);
+        let f = scratch_with(&io, b"abcdefgh");
+        let mut buf = [0u8; 8];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"abcdefgh");
+        assert_eq!(io.injected_faults(), 0);
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic() {
+        let cfg = IoFaultConfig::transient(42, 0.5);
+        let a: Vec<bool> = (0..256)
+            .map(|off| cfg.draw(7, off, 0, SALT_FAIL) < cfg.fail_p)
+            .collect();
+        let b: Vec<bool> = (0..256)
+            .map(|off| cfg.draw(7, off, 0, SALT_FAIL) < cfg.fail_p)
+            .collect();
+        assert_eq!(a, b);
+        let other_seed = IoFaultConfig::transient(43, 0.5);
+        let c: Vec<bool> = (0..256)
+            .map(|off| other_seed.draw(7, off, 0, SALT_FAIL) < other_seed.fail_p)
+            .collect();
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn certain_failure_surfaces_after_budget() {
+        let cfg = IoFaultConfig {
+            seed: 1,
+            fail_p: 1.0,
+            short_read_p: 0.0,
+            torn_write_p: 0.0,
+        };
+        let io = faulty_retrying_io(cfg, budget(2));
+        let before = hep_obs::io_giveup_count();
+        let f = io.create_scratch("giveup").unwrap();
+        let err = f.write_all_at(b"data", 0).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(hep_obs::io_giveup_count() > before);
+    }
+
+    #[test]
+    fn transient_faults_recover_bit_identically() {
+        // 30% faults, 8 retries: give-up odds per op are ~1e-4 at
+        // these few dozen operations — and draws are deterministic, so
+        // the test either always passes or never does.
+        let cfg = IoFaultConfig::transient(9, 0.3);
+        let io = faulty_retrying_io(cfg, budget(8));
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let before = hep_obs::io_retry_count();
+        let f = scratch_with(&io, &data);
+        let mut buf = vec![0u8; data.len()];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, data, "recovered bytes must be identical");
+        assert!(
+            hep_obs::io_retry_count() > before,
+            "a 30% fault rate must force at least one retry"
+        );
+    }
+
+    #[test]
+    fn torn_writes_heal_under_retry() {
+        let cfg = IoFaultConfig {
+            seed: 5,
+            fail_p: 0.4,
+            short_read_p: 0.0,
+            torn_write_p: 1.0,
+        };
+        let io = faulty_retrying_io(cfg, budget(10));
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 % 256) as u8).collect();
+        let f = io.create_scratch("torn").unwrap();
+        f.write_all_at(&data, 0).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, data, "torn prefixes must be overwritten in place");
+    }
+
+    #[test]
+    fn short_reads_deliver_correct_prefixes() {
+        let cfg = IoFaultConfig {
+            seed: 3,
+            fail_p: 0.0,
+            short_read_p: 1.0,
+            torn_write_p: 0.0,
+        };
+        let io = FaultyIo::new(cfg);
+        let data = b"0123456789abcdef".to_vec();
+        let f = scratch_with(&io, &data);
+        // Every read is short, but the exact-read loop heals them.
+        let mut buf = vec![0u8; data.len()];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, data);
+        assert!(io.injected_faults() > 0);
+    }
+
+    #[test]
+    fn open_read_passes_bytes_through() {
+        let dir = std::env::temp_dir().join("filecules-io-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ro-{}.bin", std::process::id()));
+        std::fs::write(&path, b"x").unwrap();
+        let io = FaultyIo::new(IoFaultConfig::NONE);
+        let h = io.open_read(&path).unwrap();
+        let mut b = [0u8; 1];
+        h.read_exact_at(&mut b, 0).unwrap();
+        assert_eq!(&b, b"x");
+        std::fs::remove_file(&path).ok();
+    }
+}

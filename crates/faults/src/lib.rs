@@ -21,6 +21,13 @@
 //! * **degraded links** — intervals during which a site's ingress runs at
 //!   a fraction of nominal bandwidth.
 //!
+//! A fourth class lives below the simulated world: the [`io`] module
+//! injects deterministic faults (transient EIO, short reads, torn
+//! writes) into the `IoBackend` paths the out-of-core trace readers
+//! use, and wraps them in a retry/backoff adapter reusing
+//! [`RetryModel`]'s budget — so the streaming pipeline itself can be
+//! soak-tested under flaky storage.
+//!
 //! [`FaultPlan::build`] materializes a schedule from config + seed using
 //! the workspace's [`SeedStream`](hep_stats::SeedStream) substream
 //! discipline: per-site intervals come from counter-derived substreams and
@@ -43,9 +50,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod io;
 pub mod plan;
 pub mod retry;
 
 pub use config::FaultConfig;
+pub use io::{faulty_retrying_io, FaultyIo, IoFaultConfig, RetryingIo};
 pub use plan::{FaultPlan, Interval};
 pub use retry::{lane, transfer_key, RetryModel, TransferOutcome};

@@ -38,7 +38,7 @@ pub fn lane(label: &str) -> u64 {
 
 /// Map a 64-bit hash to a uniform double in `[0, 1)`.
 #[inline]
-fn unit_f64(x: u64) -> f64 {
+pub(crate) fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -478,6 +478,36 @@ pub fn decode_pass_count() -> u64 {
     DECODE_PASSES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Process-wide count of retried I/O operations (same no-globals
+/// exception as [`record_decode_pass`]): the fault-tolerant I/O adapter
+/// in `hep-faults` retries deep inside streaming readers that do not
+/// thread a [`Metrics`] handle.
+static IO_RETRIES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of I/O operations abandoned after exhausting
+/// their retry/backoff budget.
+static IO_GIVEUPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Record one retried I/O operation (an attempt after the first).
+pub fn record_io_retry() {
+    IO_RETRIES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Number of I/O retries recorded so far in this process.
+pub fn io_retry_count() -> u64 {
+    IO_RETRIES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Record one I/O operation abandoned after its retry budget ran out.
+pub fn record_io_giveup() {
+    IO_GIVEUPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Number of abandoned I/O operations recorded so far in this process.
+pub fn io_giveup_count() -> u64 {
+    IO_GIVEUPS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@ use filecule_core::FileculeSet;
 use hep_faults::{lane, transfer_key, FaultPlan};
 use hep_obs::Metrics;
 use hep_runctx::RunCtx;
-use hep_trace::{EventSource, ReplayLog, Trace};
+use hep_trace::{EventSource, ReplayLog, StreamError, Trace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -91,6 +91,7 @@ pub fn simulate_sites(
         capacity_per_site,
         granularity,
     )
+    .expect("in-memory replay is infallible")
 }
 
 fn granularity_name(g: Granularity) -> &'static str {
@@ -121,14 +122,16 @@ fn emit_online_metrics(metrics: &Metrics, report: &OnlineReport, secs: f64, faul
 }
 
 /// [`simulate_sites`] over any shared [`EventSource`] (an in-memory
-/// [`ReplayLog`] or a disk-backed streamed log).
+/// [`ReplayLog`] or a disk-backed streamed log). Post-open I/O failures
+/// of a disk-backed source abandon the replay and surface as the
+/// returned [`StreamError`]; the in-memory path never fails.
 pub fn simulate_sites_log(
     source: &dyn EventSource,
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
     granularity: Granularity,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     simulate_sites_ctx(
         source,
         trace,
@@ -152,7 +155,7 @@ pub fn simulate_sites_ctx(
     capacity_per_site: u64,
     granularity: Granularity,
     ctx: &RunCtx<'_>,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     match ctx.faults {
         Some(plan) => simulate_sites_degraded(
             source,
@@ -186,7 +189,7 @@ pub fn simulate_sites_log_metrics(
     capacity_per_site: u64,
     granularity: Granularity,
     metrics: &Metrics,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     simulate_sites_ctx(
         source,
         trace,
@@ -207,7 +210,7 @@ fn simulate_sites_plain(
     capacity_per_site: u64,
     granularity: Granularity,
     metrics: &Metrics,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
@@ -244,11 +247,11 @@ fn simulate_sites_plain(
                 report.wan_bytes += r.bytes_fetched;
             }
         }
-    });
+    })?;
     if let Some(t0) = started {
         emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), false);
     }
-    report
+    Ok(report)
 }
 
 /// [`simulate_sites_log`] under a fault plan: degraded-mode replay with
@@ -282,7 +285,7 @@ pub fn simulate_sites_faulty(
     capacity_per_site: u64,
     granularity: Granularity,
     plan: &FaultPlan,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     simulate_sites_ctx(
         source,
         trace,
@@ -307,7 +310,7 @@ pub fn simulate_sites_faulty_metrics(
     granularity: Granularity,
     plan: &FaultPlan,
     metrics: &Metrics,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     simulate_sites_ctx(
         source,
         trace,
@@ -334,7 +337,7 @@ fn simulate_sites_degraded(
     granularity: Granularity,
     plan: &FaultPlan,
     metrics: &Metrics,
-) -> OnlineReport {
+) -> Result<OnlineReport, StreamError> {
     let started = metrics.is_enabled().then(Instant::now);
     let n_sites = trace.n_sites();
     let mut caches: Vec<Box<dyn Policy>> = (0..n_sites)
@@ -388,11 +391,11 @@ fn simulate_sites_degraded(
                 report.wan_bytes += r.bytes_fetched;
             }
         }
-    });
+    })?;
     if let Some(t0) = started {
         emit_online_metrics(metrics, &report, t0.elapsed().as_secs_f64(), true);
     }
-    report
+    Ok(report)
 }
 
 /// Compare both granularities at one per-site capacity over a single
@@ -404,8 +407,10 @@ pub fn compare_granularities(
 ) -> (OnlineReport, OnlineReport) {
     let log = ReplayLog::build(trace);
     (
-        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::File),
-        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::Filecule),
+        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::File)
+            .expect("in-memory replay is infallible"),
+        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::Filecule)
+            .expect("in-memory replay is infallible"),
     )
 }
 
@@ -473,9 +478,10 @@ mod tests {
         let plan = FaultPlan::for_trace(&FaultConfig::default(), &t, 143);
         let log = hep_trace::ReplayLog::build(&t);
         for g in [Granularity::File, Granularity::Filecule] {
-            let plain = simulate_sites_log(&log, &t, &set, cap, g);
+            let plain = simulate_sites_log(&log, &t, &set, cap, g).unwrap();
             let faulty =
-                simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan));
+                simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan))
+                    .unwrap();
             assert_eq!(plain, faulty, "{g:?} diverged under a fault-free plan");
         }
     }
@@ -507,7 +513,8 @@ mod tests {
             100 * MB,
             Granularity::File,
             &RunCtx::new().with_faults(&plan),
-        );
+        )
+        .unwrap();
         assert_eq!(r.requests, 4);
         // Site 0: two fallback misses; site 1: one cold miss, one hit.
         assert_eq!(r.site_misses, vec![2, 1]);
@@ -525,7 +532,7 @@ mod tests {
         let plan = FaultPlan::for_trace(&cfg, &t, 144);
         let log = hep_trace::ReplayLog::build(&t);
         let cap = hep_trace::TB;
-        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::File);
+        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::File).unwrap();
         let r = simulate_sites_ctx(
             &log,
             &t,
@@ -533,7 +540,8 @@ mod tests {
             cap,
             Granularity::File,
             &RunCtx::new().with_faults(&plan),
-        );
+        )
+        .unwrap();
         // Cache decisions unchanged; every WAN fetch failed over to the
         // fallback path.
         assert_eq!(r.local_hits, plain.local_hits);
@@ -551,7 +559,7 @@ mod tests {
         let set = identify(&t);
         let log = hep_trace::ReplayLog::build(&t);
         let cap = hep_trace::TB;
-        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::Filecule);
+        let plain = simulate_sites_log(&log, &t, &set, cap, Granularity::Filecule).unwrap();
         let m = Metrics::enabled();
         let observed = simulate_sites_ctx(
             &log,
@@ -560,7 +568,8 @@ mod tests {
             cap,
             Granularity::Filecule,
             &RunCtx::new().with_metrics(m.clone()),
-        );
+        )
+        .unwrap();
         assert_eq!(plain, observed, "metrics must not perturb the replay");
         let snap = m.snapshot().unwrap();
         assert_eq!(snap.counter("replication.online.requests"), plain.requests);
@@ -584,7 +593,8 @@ mod tests {
             cap,
             Granularity::Filecule,
             &RunCtx::new().with_faults(&plan).with_metrics(m2.clone()),
-        );
+        )
+        .unwrap();
         let snap2 = m2.snapshot().unwrap();
         assert_eq!(
             snap2.counter("replication.online.failed_requests"),
@@ -618,16 +628,16 @@ mod tests {
         let g = Granularity::File;
         let m = Metrics::disabled();
         assert_eq!(
-            simulate_sites_log_metrics(&log, &t, &set, cap, g, &m),
-            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new())
+            simulate_sites_log_metrics(&log, &t, &set, cap, g, &m).unwrap(),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new()).unwrap()
         );
         assert_eq!(
-            simulate_sites_faulty(&log, &t, &set, cap, g, &plan),
-            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan))
+            simulate_sites_faulty(&log, &t, &set, cap, g, &plan).unwrap(),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan)).unwrap()
         );
         assert_eq!(
-            simulate_sites_faulty_metrics(&log, &t, &set, cap, g, &plan, &m),
-            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan))
+            simulate_sites_faulty_metrics(&log, &t, &set, cap, g, &plan, &m).unwrap(),
+            simulate_sites_ctx(&log, &t, &set, cap, g, &RunCtx::new().with_faults(&plan)).unwrap()
         );
     }
 }

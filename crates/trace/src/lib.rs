@@ -46,7 +46,8 @@ pub use model::{
 };
 pub use replay::{materialization_count, ReplayLog};
 pub use stream::{
-    scratch_file, EventSource, JobSource, RandomAccessLog, SpillLog, StreamedLog,
-    DEFAULT_CHUNK_EVENTS, DEFAULT_RUN_CACHE_JOBS,
+    scratch_file, EventSource, IoBackend, JobSource, RandomAccessLog, ReadAt, ReadWriteAt,
+    SpillLog, StdIo, StreamError, StreamedLog, WriteAt, DEFAULT_CHUNK_EVENTS,
+    DEFAULT_RUN_CACHE_JOBS,
 };
 pub use synth::{SynthConfig, TraceSynthesizer};

@@ -39,6 +39,22 @@
 //! Every full decode pass over an FCTB2 access region is recorded via
 //! [`hep_obs::record_decode_pass`], so tests can assert pass-count
 //! contracts (e.g. single-decode streamed Belady).
+//!
+//! # Failure semantics
+//!
+//! Opening a source validates everything up front and reports problems
+//! as [`BinParseError`]. Everything *after* open — per-pass reopens,
+//! positioned reads of job lists, scratch-file spills — surfaces as a
+//! typed [`StreamError`] through the fallible
+//! [`EventSource::for_each_chunk`] / [`JobSource::for_each_job`]
+//! drivers instead of panicking, so a transient EIO mid-replay aborts
+//! one run with a diagnosable error rather than the process. The
+//! in-memory sources ([`ReplayLog`], [`Trace`]) never fail.
+//!
+//! All post-open I/O goes through the [`IoBackend`] /[`ReadAt`]/
+//! [`WriteAt`] traits ([`StdIo`] is the plain filesystem); `hep-faults`
+//! wraps these to inject deterministic I/O faults and retry/backoff on
+//! exactly the paths a flaky NFS mount would hit.
 
 use crate::io_binary::{crc32_update, tier_from_code, BinParseError, MAGIC};
 use crate::model::{AccessEvent, FileId, JobId};
@@ -47,7 +63,7 @@ use crate::Trace;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, Read, Seek};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +79,190 @@ pub const DEFAULT_CHUNK_EVENTS: usize = 1 << 20;
 /// [`EventSource`] interface. Smaller than the streamed default because
 /// the events are only copied, never decoded.
 const REPLAY_LOG_CHUNK: usize = 64 * 1024;
+
+/// Typed failure of post-open streaming I/O.
+///
+/// Open-time validation (CRC trailer, structural checks) reports
+/// [`BinParseError`]; `StreamError` covers everything after: reopening
+/// or reading the validated trace file mid-replay, and scratch-file
+/// (spill) I/O. Each variant carries the location, the operation, and
+/// the underlying [`io::Error`], so consumers can say exactly what
+/// failed and where.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A post-open operation on the validated trace file failed.
+    Io {
+        /// The trace file being streamed.
+        path: PathBuf,
+        /// The operation that failed (`"open"`, `"read"`).
+        op: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A scratch-file (spill) operation failed — typically disk-full or
+    /// a transient fault under the scratch directory.
+    Spill {
+        /// The scratch directory the spill lives under.
+        dir: PathBuf,
+        /// The operation that failed (`"create"`, `"read"`, `"write"`).
+        op: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl StreamError {
+    /// A trace-file error at `path` during `op`.
+    pub fn io(path: &Path, op: &'static str, source: io::Error) -> Self {
+        StreamError::Io {
+            path: path.to_path_buf(),
+            op,
+            source,
+        }
+    }
+
+    /// A scratch-file error under `dir` during `op`.
+    pub fn spill(dir: PathBuf, op: &'static str, source: io::Error) -> Self {
+        StreamError::Spill { dir, op, source }
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io { path, op, source } => {
+                write!(f, "streaming {op} failed on {}: {source}", path.display())
+            }
+            StreamError::Spill { dir, op, source } => write!(
+                f,
+                "spill {op} failed in scratch dir {}: {source}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io { source, .. } | StreamError::Spill { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Positioned reads over an open handle (`pread`-style): `&self`, no
+/// seek state, safe to share across threads.
+pub trait ReadAt: Send + Sync {
+    /// Read up to `buf.len()` bytes at absolute `offset`, returning the
+    /// number of bytes read (`0` only at end of file).
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+
+    /// Fill `buf` exactly from `offset`, looping over short reads.
+    ///
+    /// The default loop re-issues [`read_at`](ReadAt::read_at) until the
+    /// buffer is full, so a backend that returns short reads (a fault
+    /// injector, a raw socket) is healed transparently; only a genuine
+    /// error or end-of-file surfaces.
+    fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.read_at(buf, offset) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "unexpected end of file in positioned read",
+                    ))
+                }
+                Ok(n) => {
+                    let rest = buf;
+                    buf = &mut rest[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Positioned writes over an open handle (`pwrite`-style).
+pub trait WriteAt: Send + Sync {
+    /// Write up to `buf.len()` bytes at absolute `offset`, returning the
+    /// number of bytes written.
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize>;
+
+    /// Write all of `buf` at `offset`, looping over short writes.
+    fn write_all_at(&self, mut buf: &[u8], mut offset: u64) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.write_at(buf, offset) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write whole buffer",
+                    ))
+                }
+                Ok(n) => {
+                    buf = &buf[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Combined positioned read + write access (scratch files).
+pub trait ReadWriteAt: ReadAt + WriteAt {}
+
+impl<T: ReadAt + WriteAt> ReadWriteAt for T {}
+
+impl ReadAt for File {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        FileExt::read_at(self, buf, offset)
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        FileExt::read_exact_at(self, buf, offset)
+    }
+}
+
+impl WriteAt for File {
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        FileExt::write_at(self, buf, offset)
+    }
+
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        FileExt::write_all_at(self, buf, offset)
+    }
+}
+
+/// Factory for the handles the disk-backed sources read and spill
+/// through. The default is [`StdIo`] (the plain filesystem);
+/// `hep-faults` wraps a backend to inject deterministic I/O faults and
+/// retry/backoff on exactly these post-open paths.
+pub trait IoBackend: Send + Sync {
+    /// Open `path` for positioned reads.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>>;
+
+    /// Create an anonymous scratch file (see [`scratch_file`]).
+    fn create_scratch(&self, tag: &str) -> io::Result<Box<dyn ReadWriteAt>>;
+}
+
+/// The plain filesystem backend: `File::open` plus `pread`/`pwrite`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdIo;
+
+impl IoBackend for StdIo {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>> {
+        Ok(Box::new(File::open(path)?))
+    }
+
+    fn create_scratch(&self, tag: &str) -> io::Result<Box<dyn ReadWriteAt>> {
+        Ok(Box::new(scratch_file(tag)?))
+    }
+}
 
 /// A replay-event stream deliverable in bounded memory.
 ///
@@ -103,7 +303,14 @@ pub trait EventSource: Sync {
     /// receives the global index of the chunk's first event and the
     /// chunk's events; chunks are non-empty and cover the stream exactly
     /// once. The chunk slice is only valid during the call.
-    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent]));
+    ///
+    /// Disk-backed sources surface post-open I/O failures as
+    /// [`StreamError`] (the pass stops at the first failure); in-memory
+    /// sources always return `Ok`.
+    fn for_each_chunk(
+        &self,
+        visit: &mut dyn FnMut(usize, &[AccessEvent]),
+    ) -> Result<(), StreamError>;
 
     /// Whether each [`for_each_chunk`](EventSource::for_each_chunk) pass
     /// re-decodes from disk (true for the FCTB2-backed sources) rather
@@ -142,7 +349,12 @@ pub trait JobSource: Sync {
     /// Visit every job in `JobId` order with its id, start time, and
     /// sorted deduplicated request set. The slice is only valid during
     /// the call.
-    fn for_each_job(&self, visit: &mut dyn FnMut(JobId, u64, &[FileId]));
+    ///
+    /// Disk-backed sources surface post-open I/O failures as
+    /// [`StreamError`]; the in-memory [`Trace`] impl always returns
+    /// `Ok`.
+    fn for_each_job(&self, visit: &mut dyn FnMut(JobId, u64, &[FileId]))
+        -> Result<(), StreamError>;
 }
 
 impl JobSource for Trace {
@@ -150,10 +362,14 @@ impl JobSource for Trace {
         self.files().iter().map(|f| f.size_bytes).collect()
     }
 
-    fn for_each_job(&self, visit: &mut dyn FnMut(JobId, u64, &[FileId])) {
+    fn for_each_job(
+        &self,
+        visit: &mut dyn FnMut(JobId, u64, &[FileId]),
+    ) -> Result<(), StreamError> {
         for j in self.job_ids() {
             visit(j, self.job(j).start, self.job_files(j));
         }
+        Ok(())
     }
 }
 
@@ -174,7 +390,10 @@ impl EventSource for ReplayLog {
         ReplayLog::file_size(self, f)
     }
 
-    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+    fn for_each_chunk(
+        &self,
+        visit: &mut dyn FnMut(usize, &[AccessEvent]),
+    ) -> Result<(), StreamError> {
         let len = ReplayLog::len(self);
         let mut buf = Vec::with_capacity(REPLAY_LOG_CHUNK.min(len));
         let mut base = 0usize;
@@ -185,6 +404,7 @@ impl EventSource for ReplayLog {
             visit(base, &buf);
             base = end;
         }
+        Ok(())
     }
 }
 
@@ -230,11 +450,12 @@ struct JobCursor {
 ///
 /// let log = StreamedLog::open(std::path::Path::new("trace.bin")).unwrap();
 /// let mut events = 0usize;
-/// log.for_each_chunk(&mut |_base, chunk| events += chunk.len());
+/// log.for_each_chunk(&mut |_base, chunk| events += chunk.len()).unwrap();
 /// assert_eq!(events, log.len());
 /// ```
 pub struct StreamedLog {
     path: PathBuf,
+    io: Arc<dyn IoBackend>,
     chunk_events: usize,
     sizes: Vec<u64>,
     /// User of each job, indexed by `JobId`.
@@ -326,10 +547,26 @@ impl StreamedLog {
     /// # Panics
     /// Panics if `chunk_events` is zero.
     pub fn open_with_chunk(path: &Path, chunk_events: usize) -> Result<Self, BinParseError> {
+        Self::open_with_backend(path, chunk_events, Arc::new(StdIo))
+    }
+
+    /// Open `path`, replaying through a custom [`IoBackend`] (fault
+    /// injection, retrying adapters). The open-time CRC and structural
+    /// validation uses plain buffered reads — open failures stay
+    /// [`BinParseError`]; the backend covers every post-open read.
+    ///
+    /// # Panics
+    /// Panics if `chunk_events` is zero.
+    pub fn open_with_backend(
+        path: &Path,
+        chunk_events: usize,
+        io: Arc<dyn IoBackend>,
+    ) -> Result<Self, BinParseError> {
         assert!(chunk_events >= 1, "StreamedLog: chunk_events must be >= 1");
         let h = parse_fctb2_header(path)?;
         Ok(Self {
             path: path.to_path_buf(),
+            io,
             chunk_events,
             sizes: h.sizes,
             users: h.users,
@@ -354,22 +591,20 @@ impl StreamedLog {
         self.jobs.len()
     }
 
-    /// Load job `j`'s events: seek to its file list, re-apply the
-    /// builder's normalization and the materializer's per-job shuffle,
-    /// and sort by `(time, file)` — the job's slice of the global
-    /// `(time, job, file)` order.
-    fn load_cursor(&self, file: &mut File, j: u32) -> JobCursor {
+    /// Load job `j`'s events: read its file list with one positioned
+    /// read, re-apply the builder's normalization and the
+    /// materializer's per-job shuffle, and sort by `(time, file)` — the
+    /// job's slice of the global `(time, job, file)` order.
+    fn load_cursor(&self, file: &dyn ReadAt, j: u32) -> Result<JobCursor, StreamError> {
         let jm = &self.jobs[j as usize];
-        file.seek(SeekFrom::Start(self.access_base + 4 * jm.raw_off))
-            .expect("StreamedLog: seek failed on a file validated at open");
         let mut bytes = vec![0u8; 4 * jm.raw_len as usize];
-        file.read_exact(&mut bytes)
-            .expect("StreamedLog: read failed on a file validated at open");
+        file.read_exact_at(&mut bytes, self.access_base + 4 * jm.raw_off)
+            .map_err(|e| StreamError::io(&self.path, "read", e))?;
         let files = decode_file_list(&bytes, jm.normalized);
-        JobCursor {
+        Ok(JobCursor {
             events: job_events(jm, j, files),
             pos: 0,
-        }
+        })
     }
 }
 
@@ -609,12 +844,17 @@ impl EventSource for StreamedLog {
     /// sort exactly. A job's file list is read from disk the first time
     /// it pops and freed when it drains, so resident memory is one
     /// chunk buffer plus the cursors of currently-overlapping jobs.
-    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+    fn for_each_chunk(
+        &self,
+        visit: &mut dyn FnMut(usize, &[AccessEvent]),
+    ) -> Result<(), StreamError> {
         hep_obs::record_decode_pass();
         // A fresh handle per pass: `&self` replays concurrently from
-        // many threads, and seeks must not interleave across passes.
-        let mut file =
-            File::open(&self.path).expect("StreamedLog: reopen failed on a file validated at open");
+        // many threads, and positioned reads keep the handle stateless.
+        let file = self
+            .io
+            .open_read(&self.path)
+            .map_err(|e| StreamError::io(&self.path, "open", e))?;
         let mut heap: BinaryHeap<Reverse<(u64, u32)>> = self
             .jobs
             .iter()
@@ -628,7 +868,7 @@ impl EventSource for StreamedLog {
         while let Some(Reverse((_, j))) = heap.pop() {
             let slot = &mut cursors[j as usize];
             if slot.is_none() {
-                *slot = Some(self.load_cursor(&mut file, j));
+                *slot = Some(self.load_cursor(file.as_ref(), j)?);
             }
             let cur = slot.as_mut().expect("cursor just ensured");
             let (time, file_id) = cur.events[cur.pos];
@@ -653,6 +893,7 @@ impl EventSource for StreamedLog {
         if !out.is_empty() {
             visit(base, &out);
         }
+        Ok(())
     }
 }
 
@@ -663,20 +904,24 @@ impl JobSource for StreamedLog {
 
     /// One sequential-per-job decode pass over the access region; peak
     /// memory is a single job's file list.
-    fn for_each_job(&self, visit: &mut dyn FnMut(JobId, u64, &[FileId])) {
+    fn for_each_job(
+        &self,
+        visit: &mut dyn FnMut(JobId, u64, &[FileId]),
+    ) -> Result<(), StreamError> {
         hep_obs::record_decode_pass();
-        let mut file =
-            File::open(&self.path).expect("StreamedLog: reopen failed on a file validated at open");
+        let file = self
+            .io
+            .open_read(&self.path)
+            .map_err(|e| StreamError::io(&self.path, "open", e))?;
         let mut bytes: Vec<u8> = Vec::new();
         for (j, jm) in self.jobs.iter().enumerate() {
-            file.seek(SeekFrom::Start(self.access_base + 4 * jm.raw_off))
-                .expect("StreamedLog: seek failed on a file validated at open");
             bytes.resize(4 * jm.raw_len as usize, 0);
-            file.read_exact(&mut bytes)
-                .expect("StreamedLog: read failed on a file validated at open");
+            file.read_exact_at(&mut bytes, self.access_base + 4 * jm.raw_off)
+                .map_err(|e| StreamError::io(&self.path, "read", e))?;
             let files = decode_file_list(&bytes, jm.normalized);
             visit(JobId(j as u32), jm.start, &files);
         }
+        Ok(())
     }
 }
 
@@ -708,7 +953,7 @@ struct RunCache {
 /// cost while memory stays flat in trace length.
 pub struct RandomAccessLog {
     path: PathBuf,
-    file: File,
+    file: Box<dyn ReadAt>,
     chunk_events: usize,
     sizes: Vec<u64>,
     /// User of each job, indexed by `JobId`.
@@ -745,6 +990,21 @@ impl RandomAccessLog {
     /// # Panics
     /// Panics if `chunk_events` is zero.
     pub fn open_with_chunk(path: &Path, chunk_events: usize) -> Result<Self, BinParseError> {
+        Self::open_with_backend(path, chunk_events, &StdIo)
+    }
+
+    /// Open `path`, reading through a custom [`IoBackend`] (fault
+    /// injection, retrying adapters). Open-time validation uses plain
+    /// buffered reads; the backend handle covers every post-open
+    /// positioned read.
+    ///
+    /// # Panics
+    /// Panics if `chunk_events` is zero.
+    pub fn open_with_backend(
+        path: &Path,
+        chunk_events: usize,
+        io: &dyn IoBackend,
+    ) -> Result<Self, BinParseError> {
         assert!(
             chunk_events >= 1,
             "RandomAccessLog: chunk_events must be >= 1"
@@ -752,7 +1012,7 @@ impl RandomAccessLog {
         let h = parse_fctb2_header(path)?;
         Ok(Self {
             path: path.to_path_buf(),
-            file: File::open(path)?,
+            file: io.open_read(path)?,
             chunk_events,
             sizes: h.sizes,
             users: h.users,
@@ -774,7 +1034,7 @@ impl RandomAccessLog {
     pub fn with_run_cache(self, jobs: usize) -> Self {
         assert!(jobs >= 1, "RandomAccessLog: run cache must hold >= 1 job");
         {
-            let mut c = self.cache.lock().expect("run cache poisoned");
+            let mut c = self.lock_cache();
             c.cap = jobs;
             while c.runs.len() > jobs {
                 let victim = *c
@@ -806,30 +1066,38 @@ impl RandomAccessLog {
 
     /// Decoded runs currently cached (test/diagnostic hook).
     pub fn cached_runs(&self) -> usize {
-        self.cache.lock().expect("run cache poisoned").runs.len()
+        self.lock_cache().runs.len()
+    }
+
+    /// Lock the run cache, recovering from poisoning: the cache only
+    /// holds immutable decoded runs and recency stamps, so a sibling
+    /// thread that panicked mid-replay cannot leave it logically
+    /// inconsistent — recover rather than cascade the panic.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, RunCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Read job `j`'s raw file list with one positioned read.
-    fn read_list(&self, jm: &StreamJob) -> Vec<FileId> {
+    fn read_list(&self, jm: &StreamJob) -> Result<Vec<FileId>, StreamError> {
         let mut bytes = vec![0u8; 4 * jm.raw_len as usize];
         self.file
             .read_exact_at(&mut bytes, self.access_base + 4 * jm.raw_off)
-            .expect("RandomAccessLog: read failed on a file validated at open");
-        decode_file_list(&bytes, jm.normalized)
+            .map_err(|e| StreamError::io(&self.path, "read", e))?;
+        Ok(decode_file_list(&bytes, jm.normalized))
     }
 
     /// Job `j`'s replay events (shuffled, timed, `(time, file)`-sorted),
     /// decoded on demand through the run cache.
-    pub fn job_run(&self, j: u32) -> Arc<Vec<(u64, FileId)>> {
-        let mut c = self.cache.lock().expect("run cache poisoned");
+    pub fn job_run(&self, j: u32) -> Result<Arc<Vec<(u64, FileId)>>, StreamError> {
+        let mut c = self.lock_cache();
         c.tick += 1;
         let tick = c.tick;
         if let Some(entry) = c.runs.get_mut(&j) {
             entry.0 = tick;
-            return entry.1.clone();
+            return Ok(entry.1.clone());
         }
         let jm = &self.jobs[j as usize];
-        let run = Arc::new(job_events(jm, j, self.read_list(jm)));
+        let run = Arc::new(job_events(jm, j, self.read_list(jm)?));
         if c.runs.len() >= c.cap {
             let victim = *c
                 .runs
@@ -840,7 +1108,7 @@ impl RandomAccessLog {
             c.runs.remove(&victim);
         }
         c.runs.insert(j, (tick, run.clone()));
-        run
+        Ok(run)
     }
 }
 
@@ -872,7 +1140,10 @@ impl EventSource for RandomAccessLog {
     /// runs decoded through the LRU cache — a repeat pass re-decodes
     /// only the jobs the cache has since evicted. Counted as one decode
     /// pass (conservatively: cached runs may serve part of it).
-    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+    fn for_each_chunk(
+        &self,
+        visit: &mut dyn FnMut(usize, &[AccessEvent]),
+    ) -> Result<(), StreamError> {
         hep_obs::record_decode_pass();
         let mut heap: BinaryHeap<Reverse<(u64, u32)>> = self
             .jobs
@@ -888,7 +1159,7 @@ impl EventSource for RandomAccessLog {
             let slot = &mut cursors[j as usize];
             if slot.is_none() {
                 *slot = Some(SharedCursor {
-                    events: self.job_run(j),
+                    events: self.job_run(j)?,
                     pos: 0,
                 });
             }
@@ -915,6 +1186,7 @@ impl EventSource for RandomAccessLog {
         if !out.is_empty() {
             visit(base, &out);
         }
+        Ok(())
     }
 }
 
@@ -925,12 +1197,16 @@ impl JobSource for RandomAccessLog {
 
     /// Positioned-read decode pass over the raw job lists (the run
     /// cache holds *replay* runs, which identification does not need).
-    fn for_each_job(&self, visit: &mut dyn FnMut(JobId, u64, &[FileId])) {
+    fn for_each_job(
+        &self,
+        visit: &mut dyn FnMut(JobId, u64, &[FileId]),
+    ) -> Result<(), StreamError> {
         hep_obs::record_decode_pass();
         for (j, jm) in self.jobs.iter().enumerate() {
-            let files = self.read_list(jm);
+            let files = self.read_list(jm)?;
             visit(JobId(j as u32), jm.start, &files);
         }
+        Ok(())
     }
 }
 
@@ -963,6 +1239,12 @@ pub fn scratch_file(tag: &str) -> io::Result<File> {
 /// little-endian.
 const SPILL_RECORD_BYTES: usize = 16;
 
+/// Write-buffer size while recording a spill: records accumulate here
+/// and flush with positioned writes at fixed offsets, so a torn write
+/// retried by a fault-tolerant backend rewrites the same bytes at the
+/// same place.
+const SPILL_BUFFER_BYTES: usize = 1 << 20;
+
 /// An already-decoded replay stream parked in an unlinked scratch file.
 ///
 /// [`SpillLog::record`] drains any [`EventSource`] once — for an FCTB2
@@ -977,7 +1259,7 @@ const SPILL_RECORD_BYTES: usize = 16;
 /// consumer, and [`SpillLog::read_range`] gives positioned random
 /// access for index-building scans.
 pub struct SpillLog {
-    file: File,
+    file: Box<dyn ReadWriteAt>,
     n_events: usize,
     sizes: Vec<u64>,
     users: Option<Vec<u32>>,
@@ -997,7 +1279,11 @@ impl std::fmt::Debug for SpillLog {
 impl SpillLog {
     /// Drain `source` into a fresh spill (one full pass — for an FCTB2
     /// source, one decode pass), with the default replay chunk size.
-    pub fn record(source: &dyn EventSource) -> io::Result<Self> {
+    ///
+    /// Scratch-file failures (disk-full, EIO under the temp dir)
+    /// surface as [`StreamError::Spill`] naming the scratch directory;
+    /// failures reading `source` propagate unchanged.
+    pub fn record(source: &dyn EventSource) -> Result<Self, StreamError> {
         Self::record_with_chunk(source, DEFAULT_CHUNK_EVENTS)
     }
 
@@ -1006,35 +1292,62 @@ impl SpillLog {
     ///
     /// # Panics
     /// Panics if `chunk_events` is zero.
-    pub fn record_with_chunk(source: &dyn EventSource, chunk_events: usize) -> io::Result<Self> {
+    pub fn record_with_chunk(
+        source: &dyn EventSource,
+        chunk_events: usize,
+    ) -> Result<Self, StreamError> {
+        Self::record_with_backend(source, chunk_events, &StdIo)
+    }
+
+    /// Drain `source` into a spill created through a custom
+    /// [`IoBackend`] (fault injection, retrying adapters).
+    ///
+    /// Records accumulate in a [`SPILL_BUFFER_BYTES`] buffer and flush
+    /// with positioned writes at fixed offsets: a torn write retried by
+    /// a fault-tolerant backend rewrites the same bytes in place, so a
+    /// spill that records successfully is always intact.
+    ///
+    /// # Panics
+    /// Panics if `chunk_events` is zero.
+    pub fn record_with_backend(
+        source: &dyn EventSource,
+        chunk_events: usize,
+        io: &dyn IoBackend,
+    ) -> Result<Self, StreamError> {
         assert!(chunk_events >= 1, "SpillLog: chunk_events must be >= 1");
-        let file = scratch_file("spill")?;
-        let mut failed: Option<io::Error> = None;
-        {
-            let mut w = BufWriter::with_capacity(1 << 20, &file);
-            source.for_each_chunk(&mut |_base, chunk| {
-                if failed.is_some() {
-                    return;
-                }
-                for ev in chunk {
-                    let mut rec = [0u8; SPILL_RECORD_BYTES];
-                    rec[..8].copy_from_slice(&ev.time.to_le_bytes());
-                    rec[8..12].copy_from_slice(&ev.job.0.to_le_bytes());
-                    rec[12..16].copy_from_slice(&ev.file.0.to_le_bytes());
-                    if let Err(e) = w.write_all(&rec) {
-                        failed = Some(e);
+        let scratch_dir = std::env::temp_dir();
+        let file = io
+            .create_scratch("spill")
+            .map_err(|e| StreamError::spill(scratch_dir.clone(), "create", e))?;
+        let mut buf: Vec<u8> = Vec::with_capacity(SPILL_BUFFER_BYTES);
+        let mut offset = 0u64;
+        let mut failed: Option<StreamError> = None;
+        source.for_each_chunk(&mut |_base, chunk| {
+            if failed.is_some() {
+                return;
+            }
+            for ev in chunk {
+                let mut rec = [0u8; SPILL_RECORD_BYTES];
+                rec[..8].copy_from_slice(&ev.time.to_le_bytes());
+                rec[8..12].copy_from_slice(&ev.job.0.to_le_bytes());
+                rec[12..16].copy_from_slice(&ev.file.0.to_le_bytes());
+                buf.extend_from_slice(&rec);
+                if buf.len() >= SPILL_BUFFER_BYTES {
+                    if let Err(e) = file.write_all_at(&buf, offset) {
+                        failed = Some(StreamError::spill(scratch_dir.clone(), "write", e));
                         return;
                     }
-                }
-            });
-            if failed.is_none() {
-                if let Err(e) = w.flush() {
-                    failed = Some(e);
+                    offset += buf.len() as u64;
+                    buf.clear();
                 }
             }
-        }
+        })?;
         if let Some(e) = failed {
             return Err(e);
+        }
+        if !buf.is_empty() {
+            file.write_all_at(&buf, offset)
+                .map_err(|e| StreamError::spill(scratch_dir, "write", e))?;
         }
         Ok(Self {
             file,
@@ -1050,7 +1363,12 @@ impl SpillLog {
     ///
     /// # Panics
     /// Panics if the range exceeds the spill.
-    pub fn read_range(&self, start: usize, n: usize, out: &mut Vec<AccessEvent>) -> io::Result<()> {
+    pub fn read_range(
+        &self,
+        start: usize,
+        n: usize,
+        out: &mut Vec<AccessEvent>,
+    ) -> Result<(), StreamError> {
         assert!(
             start + n <= self.n_events,
             "SpillLog: range {start}+{n} exceeds {} events",
@@ -1058,7 +1376,8 @@ impl SpillLog {
         );
         let mut bytes = vec![0u8; n * SPILL_RECORD_BYTES];
         self.file
-            .read_exact_at(&mut bytes, (start * SPILL_RECORD_BYTES) as u64)?;
+            .read_exact_at(&mut bytes, (start * SPILL_RECORD_BYTES) as u64)
+            .map_err(|e| StreamError::spill(std::env::temp_dir(), "read", e))?;
         out.clear();
         out.extend(bytes.chunks_exact(SPILL_RECORD_BYTES).map(|rec| {
             let word =
@@ -1090,28 +1409,31 @@ impl EventSource for SpillLog {
         self.users.as_deref()
     }
 
-    fn for_each_chunk(&self, visit: &mut dyn FnMut(usize, &[AccessEvent])) {
+    fn for_each_chunk(
+        &self,
+        visit: &mut dyn FnMut(usize, &[AccessEvent]),
+    ) -> Result<(), StreamError> {
         let mut out: Vec<AccessEvent> = Vec::new();
         let mut base = 0usize;
         while base < self.n_events {
             let n = self.chunk_events.min(self.n_events - base);
-            self.read_range(base, n, &mut out)
-                .expect("SpillLog: scratch-file read failed");
+            self.read_range(base, n, &mut out)?;
             visit(base, &out);
             base += n;
         }
+        Ok(())
     }
 }
 
 /// Collect a source's full stream into a `Vec` (test and analysis
 /// helper; defeats the bounded-memory point for large traces).
-pub fn collect_events(source: &dyn EventSource) -> Vec<AccessEvent> {
+pub fn collect_events(source: &dyn EventSource) -> Result<Vec<AccessEvent>, StreamError> {
     let mut events = Vec::with_capacity(source.len());
     source.for_each_chunk(&mut |base, chunk| {
         debug_assert_eq!(base, events.len());
         events.extend_from_slice(chunk);
-    });
-    events
+    })?;
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -1120,6 +1442,7 @@ mod tests {
     use crate::io_binary::{crc32, save_trace_binary};
     use crate::synth::{SynthConfig, TraceSynthesizer};
     use crate::Trace;
+    use std::io::{SeekFrom, Write};
 
     fn small() -> Trace {
         TraceSynthesizer::new(SynthConfig::small(11)).generate()
@@ -1140,7 +1463,10 @@ mod tests {
         let log = ReplayLog::build(&t);
         assert_eq!(EventSource::len(&streamed), EventSource::len(&log));
         assert_eq!(streamed.file_sizes(), EventSource::file_sizes(&log));
-        assert_eq!(collect_events(&streamed), collect_events(&log));
+        assert_eq!(
+            collect_events(&streamed).unwrap(),
+            collect_events(&log).unwrap()
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -1149,10 +1475,10 @@ mod tests {
         let t = small();
         let path = tmp("s2.bin");
         save_trace_binary(&t, &path).unwrap();
-        let whole = collect_events(&StreamedLog::open(&path).unwrap());
+        let whole = collect_events(&StreamedLog::open(&path).unwrap()).unwrap();
         for chunk in [1usize, 7, 1024, usize::MAX] {
             let s = StreamedLog::open_with_chunk(&path, chunk).unwrap();
-            assert_eq!(collect_events(&s), whole, "chunk_events = {chunk}");
+            assert_eq!(collect_events(&s).unwrap(), whole, "chunk_events = {chunk}");
         }
         std::fs::remove_file(&path).ok();
     }
@@ -1168,7 +1494,8 @@ mod tests {
             assert_eq!(base, expect_base);
             assert!(!chunk.is_empty() && chunk.len() <= 1000);
             expect_base += chunk.len();
-        });
+        })
+        .unwrap();
         assert_eq!(expect_base, EventSource::len(&s));
         std::fs::remove_file(&path).ok();
     }
@@ -1176,7 +1503,7 @@ mod tests {
     #[test]
     fn replay_log_chunks_match_iter() {
         let log = ReplayLog::build(&small());
-        let collected = collect_events(&log);
+        let collected = collect_events(&log).unwrap();
         assert!(log.iter().eq(collected));
     }
 
@@ -1254,7 +1581,10 @@ mod tests {
         let log = ReplayLog::build(&trace);
         let streamed = StreamedLog::open(&path).unwrap();
         assert_eq!(EventSource::len(&streamed), 3);
-        assert_eq!(collect_events(&streamed), collect_events(&log));
+        assert_eq!(
+            collect_events(&streamed).unwrap(),
+            collect_events(&log).unwrap()
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -1266,7 +1596,7 @@ mod tests {
         let s = StreamedLog::open(&path).unwrap();
         assert!(EventSource::is_empty(&s));
         let mut called = false;
-        s.for_each_chunk(&mut |_, _| called = true);
+        s.for_each_chunk(&mut |_, _| called = true).unwrap();
         assert!(!called);
         std::fs::remove_file(&path).ok();
     }
@@ -1288,7 +1618,10 @@ mod tests {
         assert_eq!(EventSource::file_sizes(&ra), streamed.file_sizes());
         assert_eq!(EventSource::job_users(&ra), streamed.job_users());
         assert!(ra.is_out_of_core());
-        assert_eq!(collect_events(&ra), collect_events(&streamed));
+        assert_eq!(
+            collect_events(&ra).unwrap(),
+            collect_events(&streamed).unwrap()
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -1297,13 +1630,13 @@ mod tests {
         let t = small();
         let path = tmp("r2.bin");
         save_trace_binary(&t, &path).unwrap();
-        let whole = collect_events(&RandomAccessLog::open(&path).unwrap());
+        let whole = collect_events(&RandomAccessLog::open(&path).unwrap()).unwrap();
         for (chunk, cache) in [(1usize, 1usize), (7, 2), (1024, 64), (usize::MAX, 1)] {
             let ra = RandomAccessLog::open_with_chunk(&path, chunk)
                 .unwrap()
                 .with_run_cache(cache);
             assert_eq!(
-                collect_events(&ra),
+                collect_events(&ra).unwrap(),
                 whole,
                 "chunk = {chunk}, cache = {cache}"
             );
@@ -1318,13 +1651,13 @@ mod tests {
         save_trace_binary(&t, &path).unwrap();
         let ra = RandomAccessLog::open(&path).unwrap().with_run_cache(2);
         assert!(ra.n_jobs() >= 4, "synthetic trace should have jobs");
-        let first = ra.job_run(0);
+        let first = ra.job_run(0).unwrap();
         for j in 0..4u32 {
-            ra.job_run(j);
+            ra.job_run(j).unwrap();
             assert!(ra.cached_runs() <= 2, "cache exceeded its capacity");
         }
         // Job 0 was evicted along the way; a re-decode must be identical.
-        assert_eq!(*ra.job_run(0), *first);
+        assert_eq!(*ra.job_run(0).unwrap(), *first);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1338,7 +1671,8 @@ mod tests {
         save_trace_binary(&t, &path).unwrap();
         fn collect(s: &dyn JobSource) -> (Vec<u64>, Vec<(JobId, u64, Vec<FileId>)>) {
             let mut v = Vec::new();
-            s.for_each_job(&mut |j, start, files| v.push((j, start, files.to_vec())));
+            s.for_each_job(&mut |j, start, files| v.push((j, start, files.to_vec())))
+                .unwrap();
             (s.file_size_table(), v)
         }
         let from_trace = collect(&t);
@@ -1360,7 +1694,10 @@ mod tests {
         );
         assert_eq!(EventSource::job_users(&spill), None, "ReplayLog has none");
         assert!(!spill.is_out_of_core(), "never spill a spill");
-        assert_eq!(collect_events(&spill), collect_events(&log));
+        assert_eq!(
+            collect_events(&spill).unwrap(),
+            collect_events(&log).unwrap()
+        );
     }
 
     #[test]
@@ -1372,11 +1709,13 @@ mod tests {
         let spill = SpillLog::record_with_chunk(&s, 17).unwrap();
         assert_eq!(EventSource::job_users(&spill), s.job_users());
         let mut expect_base = 0usize;
-        spill.for_each_chunk(&mut |base, chunk| {
-            assert_eq!(base, expect_base);
-            assert!(!chunk.is_empty() && chunk.len() <= 17);
-            expect_base += chunk.len();
-        });
+        spill
+            .for_each_chunk(&mut |base, chunk| {
+                assert_eq!(base, expect_base);
+                assert!(!chunk.is_empty() && chunk.len() <= 17);
+                expect_base += chunk.len();
+            })
+            .unwrap();
         assert_eq!(expect_base, EventSource::len(&spill));
         std::fs::remove_file(&path).ok();
     }
@@ -1384,7 +1723,7 @@ mod tests {
     #[test]
     fn spill_read_range_decodes_exact_records() {
         let log = ReplayLog::build(&small());
-        let all = collect_events(&log);
+        let all = collect_events(&log).unwrap();
         assert!(all.len() > 30);
         let spill = SpillLog::record(&log).unwrap();
         let mut out = Vec::new();
@@ -1392,6 +1731,148 @@ mod tests {
         assert_eq!(out, all[5..22]);
         spill.read_range(0, 0, &mut out).unwrap();
         assert!(out.is_empty());
+    }
+
+    /// A backend whose positioned reads start failing after a fixed
+    /// number of successful calls.
+    struct FailAfter {
+        inner: Box<dyn ReadAt>,
+        remaining: AtomicU64,
+    }
+
+    impl ReadAt for FailAfter {
+        fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+            if self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_err()
+            {
+                return Err(io::Error::other("injected test fault"));
+            }
+            self.inner.read_at(buf, offset)
+        }
+    }
+
+    /// Backend wrapping [`StdIo`] with [`FailAfter`] read handles.
+    struct FailingBackend {
+        ok_reads: u64,
+    }
+
+    impl IoBackend for FailingBackend {
+        fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>> {
+            Ok(Box::new(FailAfter {
+                inner: StdIo.open_read(path)?,
+                remaining: AtomicU64::new(self.ok_reads),
+            }))
+        }
+
+        fn create_scratch(&self, _tag: &str) -> io::Result<Box<dyn ReadWriteAt>> {
+            Err(io::Error::other("injected scratch-create fault"))
+        }
+    }
+
+    #[test]
+    fn post_open_read_failures_are_typed_errors() {
+        let t = small();
+        let path = tmp("e1.bin");
+        save_trace_binary(&t, &path).unwrap();
+
+        let s = StreamedLog::open_with_backend(
+            &path,
+            DEFAULT_CHUNK_EVENTS,
+            Arc::new(FailingBackend { ok_reads: 0 }),
+        )
+        .unwrap();
+        let err = s.for_each_chunk(&mut |_, _| {}).unwrap_err();
+        assert!(matches!(&err, StreamError::Io { op: "read", .. }), "{err}");
+        assert!(err.to_string().contains("e1.bin"), "{err}");
+        let err = s.for_each_job(&mut |_, _, _| {}).unwrap_err();
+        assert!(matches!(&err, StreamError::Io { op: "read", .. }), "{err}");
+
+        let ra = RandomAccessLog::open_with_backend(
+            &path,
+            DEFAULT_CHUNK_EVENTS,
+            &FailingBackend { ok_reads: 3 },
+        )
+        .unwrap();
+        assert!(ra.job_run(0).is_ok(), "reads below the budget succeed");
+        let err = ra.for_each_chunk(&mut |_, _| {}).unwrap_err();
+        assert!(matches!(&err, StreamError::Io { op: "read", .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_create_failure_names_the_scratch_dir() {
+        let log = ReplayLog::build(&small());
+        let err = SpillLog::record_with_backend(
+            &log,
+            DEFAULT_CHUNK_EVENTS,
+            &FailingBackend { ok_reads: 0 },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Spill { op: "create", .. }),
+            "{err}"
+        );
+        let dir = std::env::temp_dir();
+        assert!(
+            err.to_string().contains(&dir.display().to_string()),
+            "error must name the scratch dir: {err}"
+        );
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn poisoned_run_cache_recovers() {
+        let t = small();
+        let path = tmp("r5.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let ra = RandomAccessLog::open(&path).unwrap();
+        let baseline = ra.job_run(0).unwrap();
+        let res = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = ra.cache.lock().unwrap();
+                panic!("poison the run cache");
+            })
+            .join()
+        });
+        assert!(res.is_err(), "the poisoning thread must panic");
+        // The lock is poisoned; lookups recover instead of cascading.
+        assert_eq!(*ra.job_run(0).unwrap(), *baseline);
+        assert_eq!(collect_events(&ra).unwrap().len(), EventSource::len(&ra));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_reads_are_healed_by_the_exact_read_loop() {
+        /// Delegates positioned reads but never returns more than 3
+        /// bytes per call.
+        struct Trickle(File);
+        impl ReadAt for Trickle {
+            fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                FileExt::read_at(&self.0, &mut buf[..n], offset)
+            }
+        }
+        struct TrickleBackend;
+        impl IoBackend for TrickleBackend {
+            fn open_read(&self, path: &Path) -> io::Result<Box<dyn ReadAt>> {
+                Ok(Box::new(Trickle(File::open(path)?)))
+            }
+            fn create_scratch(&self, tag: &str) -> io::Result<Box<dyn ReadWriteAt>> {
+                Ok(Box::new(scratch_file(tag)?))
+            }
+        }
+
+        let t = small();
+        let path = tmp("e2.bin");
+        save_trace_binary(&t, &path).unwrap();
+        let plain = collect_events(&StreamedLog::open(&path).unwrap()).unwrap();
+        let trickled =
+            StreamedLog::open_with_backend(&path, DEFAULT_CHUNK_EVENTS, Arc::new(TrickleBackend))
+                .unwrap();
+        assert_eq!(collect_events(&trickled).unwrap(), plain);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

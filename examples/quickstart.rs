@@ -63,8 +63,12 @@ fn main() {
     let cap = 10 * TB / 100; // paper's 10 TB point, divided by the scale
     let log = ReplayLog::build(&trace);
     let sim = Simulator::new();
-    let file = sim.run(&log, &mut FileLru::new(&trace, cap));
-    let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
+    let file = sim
+        .run(&log, &mut FileLru::new(&trace, cap))
+        .expect("in-memory replay is infallible");
+    let filecule = sim
+        .run(&log, &mut FileculeLru::new(&trace, &set, cap))
+        .expect("in-memory replay is infallible");
     println!(
         "\ncache comparison at {:.2} TB (paper-scale 10 TB):",
         cap as f64 / TB as f64

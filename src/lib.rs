@@ -49,8 +49,12 @@
 //! let log = ReplayLog::build(&trace);
 //! let sim = Simulator::new();
 //! let cap = TB / 100;
-//! let file = sim.run(&log, &mut FileLru::new(&trace, cap));
-//! let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, cap));
+//! // The engine is fallible for disk-backed sources; the in-memory log
+//! // never fails, so unwrapping here is safe.
+//! let file = sim.run(&log, &mut FileLru::new(&trace, cap)).unwrap();
+//! let filecule = sim
+//!     .run(&log, &mut FileculeLru::new(&trace, &set, cap))
+//!     .unwrap();
 //! assert!(filecule.miss_rate() <= file.miss_rate());
 //!
 //! // One-shot convenience wrapper (re-materializes per call).
@@ -74,7 +78,8 @@ pub use transfer;
 pub mod prelude {
     pub use cachesim::{
         build_policy, build_policy_from_log, simulate, split_capacity, sweep_fig10, FileLru,
-        FileculeLru, Policy, PolicySpec, ShardPlan, SimOptions, SimReport, Simulator,
+        FileculeLru, ManifestStore, Policy, PolicySpec, ShardPlan, SimError, SimOptions, SimReport,
+        Simulator,
     };
     pub use filecule_core::{
         identify, identify_from_source, FileculeId, FileculeSet, IncrementalFilecules,
@@ -84,8 +89,8 @@ pub mod prelude {
     pub use hep_runctx::{configure_rayon_threads, RunCtx};
     pub use hep_trace::{
         DataTier, EventSource, FileId, JobId, JobSource, RandomAccessLog, ReplayLog, SpillLog,
-        StreamedLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer, DEFAULT_CHUNK_EVENTS, GB,
-        MB, TB,
+        StreamError, StreamedLog, SynthConfig, Trace, TraceBuilder, TraceSynthesizer,
+        DEFAULT_CHUNK_EVENTS, GB, MB, TB,
     };
     pub use transfer::{assess, hottest_filecule, SwarmModel};
 }

@@ -24,7 +24,7 @@ fn streamed_pipeline_decode_pass_budget() {
     // Identification: one job-by-job decode. The exact path certifies in
     // the same pass structure: one hashed pass + one certification pass.
     let before = decode_pass_count();
-    let set = identify_from_source(&log);
+    let set = identify_from_source(&log).unwrap();
     assert_eq!(
         decode_pass_count() - before,
         2,
@@ -57,7 +57,9 @@ fn streamed_pipeline_decode_pass_budget() {
     assert_eq!(decode_pass_count() - before, 1, "recording is the decode");
     let before = decode_pass_count();
     let mut n = 0usize;
-    spill.for_each_chunk(&mut |_, chunk| n += chunk.len());
+    spill
+        .for_each_chunk(&mut |_, chunk| n += chunk.len())
+        .unwrap();
     assert_eq!(n, spill.len());
     assert_eq!(
         decode_pass_count() - before,

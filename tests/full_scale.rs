@@ -104,7 +104,7 @@ fn streamed_rss_probe() {
     // filecule partition comes from the job-by-job streamed identifier,
     // policies are built from the header's file-size table, and replay
     // decodes chunk by chunk.
-    let set = identify_from_source(&streamed);
+    let set = identify_from_source(&streamed).expect("streamed identification");
     assert!(
         set.n_filecules() > 0,
         "streamed identification found nothing"

@@ -102,8 +102,10 @@ fn golden_lru_simreports() {
     let set = identify(&trace);
     let log = ReplayLog::build(&trace);
     let sim = Simulator::new();
-    let file = sim.run(&log, &mut FileLru::new(&trace, CAPACITY));
-    let filecule = sim.run(&log, &mut FileculeLru::new(&trace, &set, CAPACITY));
+    let file = sim.run(&log, &mut FileLru::new(&trace, CAPACITY)).unwrap();
+    let filecule = sim
+        .run(&log, &mut FileculeLru::new(&trace, &set, CAPACITY))
+        .unwrap();
     check_golden("simreport-small-seed7.csv", &report_csv(&[file, filecule]));
 }
 
@@ -118,8 +120,12 @@ fn golden_sharded_simreports() {
     let set = identify(&trace);
     let log = ReplayLog::build(&trace);
     let sim = Simulator::new().with_shards(4);
-    let file = sim.run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY);
-    let filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    let file = sim
+        .run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY)
+        .unwrap();
+    let filecule = sim
+        .run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY)
+        .unwrap();
     check_golden(
         "simreport-sharded4-small-seed7.csv",
         &report_csv(&[file, filecule]),
@@ -145,14 +151,22 @@ fn golden_streamed_simreports() {
     let set = identify(&trace);
     let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
     let sim = Simulator::new();
-    let file = sim.run_spec(&streamed, &trace, &set, PolicySpec::FileLru, CAPACITY);
-    let filecule = sim.run_spec(&streamed, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    let file = sim
+        .run_spec(&streamed, &trace, &set, PolicySpec::FileLru, CAPACITY)
+        .unwrap();
+    let filecule = sim
+        .run_spec(&streamed, &trace, &set, PolicySpec::FileculeLru, CAPACITY)
+        .unwrap();
     let csv = report_csv(&[file, filecule]);
     check_golden("simreport-streamed-small-seed7.csv", &csv);
 
     let log = ReplayLog::build(&trace);
-    let mem_file = sim.run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY);
-    let mem_filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY);
+    let mem_file = sim
+        .run_spec(&log, &trace, &set, PolicySpec::FileLru, CAPACITY)
+        .unwrap();
+    let mem_filecule = sim
+        .run_spec(&log, &trace, &set, PolicySpec::FileculeLru, CAPACITY)
+        .unwrap();
     assert_eq!(
         csv,
         report_csv(&[mem_file, mem_filecule]),
@@ -174,7 +188,7 @@ fn golden_streamed_identify_listing() {
         .generate_to_path(&path)
         .unwrap();
     let log = StreamedLog::open(&path).unwrap();
-    let set = identify_from_source(&log);
+    let set = identify_from_source(&log).unwrap();
 
     let mut csv = String::from("filecule,files,bytes,popularity,file_ids\n");
     for g in set.ids() {
@@ -218,7 +232,7 @@ fn golden_streamed_belady_simreports() {
         .generate_to_path(&path)
         .unwrap();
     let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
-    let set = identify_from_source(&streamed);
+    let set = identify_from_source(&streamed).unwrap();
     let sim = Simulator::new();
     let file = sim
         .run_spec_stream(&streamed, &set, PolicySpec::BeladyMin, CAPACITY)
@@ -231,8 +245,12 @@ fn golden_streamed_belady_simreports() {
 
     let trace = small_trace();
     let log = ReplayLog::build(&trace);
-    let mem_file = sim.run_spec(&log, &trace, &set, PolicySpec::BeladyMin, CAPACITY);
-    let mem_filecule = sim.run_spec(&log, &trace, &set, PolicySpec::FileculeBelady, CAPACITY);
+    let mem_file = sim
+        .run_spec(&log, &trace, &set, PolicySpec::BeladyMin, CAPACITY)
+        .unwrap();
+    let mem_filecule = sim
+        .run_spec(&log, &trace, &set, PolicySpec::FileculeBelady, CAPACITY)
+        .unwrap();
     assert_eq!(
         csv,
         report_csv(&[mem_file, mem_filecule]),
@@ -251,10 +269,13 @@ fn golden_outputs_unchanged_by_metrics() {
 
     let set = identify(&trace);
     let log = ReplayLog::build(&trace);
-    let plain = Simulator::new().run(&log, &mut FileLru::new(&trace, CAPACITY));
+    let plain = Simulator::new()
+        .run(&log, &mut FileLru::new(&trace, CAPACITY))
+        .unwrap();
     let instrumented = Simulator::new()
         .with_metrics(metrics.clone())
-        .run(&log, &mut FileLru::new(&trace, CAPACITY));
+        .run(&log, &mut FileLru::new(&trace, CAPACITY))
+        .unwrap();
     assert_eq!(report_csv(&[plain]), report_csv(&[instrumented]));
 
     let snap = metrics.snapshot().unwrap();

@@ -58,17 +58,17 @@ fn streamed_identification_matches_in_memory_for_every_algorithm() {
 
         let exact = identify(&trace);
         assert_same_set(
-            &identify_from_source(&log),
+            &identify_from_source(&log).unwrap(),
             &exact,
             &format!("exact, seed {seed}"),
         );
         assert_same_set(
-            &identify_refine_source(&log),
+            &identify_refine_source(&log).unwrap(),
             &identify_refine(&trace),
             &format!("refine, seed {seed}"),
         );
         assert_same_set(
-            &identify_hashed_source(&log),
+            &identify_hashed_source(&log).unwrap(),
             &identify_hashed(&trace),
             &format!("hashed, seed {seed}"),
         );
@@ -82,7 +82,10 @@ fn streamed_identification_matches_in_memory_for_every_algorithm() {
         assert_eq!(identify_parallel(&trace).n_filecules(), exact.n_filecules());
         // And the hashed partition certifies against the exact one — the
         // fast path identify_from_source takes.
-        assert!(certify_partition(&log, &exact), "certification rejected");
+        assert!(
+            certify_partition(&log, &exact).unwrap(),
+            "certification rejected"
+        );
 
         std::fs::remove_file(&path).ok();
     }
@@ -100,7 +103,7 @@ fn random_access_log_is_interchangeable_with_streamed() {
         let ra = RandomAccessLog::open_with_chunk(&path, chunk).unwrap();
         // As an identification JobSource...
         assert_same_set(
-            &identify_from_source(&ra),
+            &identify_from_source(&ra).unwrap(),
             &exact,
             &format!("random-access exact, chunk {chunk}"),
         );
@@ -130,7 +133,7 @@ fn spilled_belady_matches_two_pass_for_both_granularities() {
     for cap in [TB / 100, TB / 1000] {
         for spec in [PolicySpec::BeladyMin, PolicySpec::FileculeBelady] {
             // In-memory two-pass reference.
-            let mem = sim.run_spec(&log, &trace, &set, spec, cap);
+            let mem = sim.run_spec(&log, &trace, &set, spec, cap).unwrap();
             // Out-of-core: one decode into the spill, next-use from the
             // spill, replay from the spill.
             let spilled = sim.run_spec_stream(&streamed, &set, spec, cap).unwrap();
@@ -196,10 +199,10 @@ proptest! {
         let refined = identify_refine(&trace);
         let hashed = identify_hashed(&trace);
         for (name, got, want) in [
-            ("exact", identify_from_source(&log), &exact),
-            ("refine", identify_refine_source(&log), &refined),
-            ("hashed", identify_hashed_source(&log), &hashed),
-            ("exact/ra", identify_from_source(&ra), &exact),
+            ("exact", identify_from_source(&log).unwrap(), &exact),
+            ("refine", identify_refine_source(&log).unwrap(), &refined),
+            ("hashed", identify_hashed_source(&log).unwrap(), &hashed),
+            ("exact/ra", identify_from_source(&ra).unwrap(), &exact),
         ] {
             prop_assert_eq!(
                 serde_json::to_string(&got).unwrap(),

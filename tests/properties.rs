@@ -241,7 +241,7 @@ proptest! {
             .iter()
             .map(|&s| filecules::cachesim::build_policy_from_log(s, &log, &t, &set, cap))
             .collect();
-        let many = Simulator::new().run_many(&log, &mut policies);
+        let many = Simulator::new().run_many(&log, &mut policies).unwrap();
         for (&spec, shared) in PolicySpec::ALL.iter().zip(&many) {
             let mut p = filecules::cachesim::build_policy(spec, &t, &set, cap);
             let sequential = simulate(&t, p.as_mut());

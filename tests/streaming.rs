@@ -59,9 +59,9 @@ fn streamed_replay_matches_in_memory_for_every_spec() {
     for shards in [1usize, 2, 8] {
         let sim = Simulator::new().with_shards(shards);
         for &spec in PolicySpec::ALL.iter() {
-            let mem = sim.run_spec(&log, &trace, &set, spec, CAPACITY);
+            let mem = sim.run_spec(&log, &trace, &set, spec, CAPACITY).unwrap();
             for (s, &chunk) in streamed.iter().zip(&chunks) {
-                let strm = sim.run_spec(s, &trace, &set, spec, CAPACITY);
+                let strm = sim.run_spec(s, &trace, &set, spec, CAPACITY).unwrap();
                 assert_eq!(
                     strm, mem,
                     "{spec} diverged at chunk size {chunk}, {shards} segments"
@@ -136,8 +136,8 @@ proptest! {
         let sim = Simulator::new().with_shards(shards);
         // Small enough to force evictions over the 240 MB file universe.
         let cap = 60 * MB;
-        let mem = sim.run_spec(&log, &trace, &set, spec, cap);
-        let strm = sim.run_spec(&streamed, &trace, &set, spec, cap);
+        let mem = sim.run_spec(&log, &trace, &set, spec, cap).unwrap();
+        let strm = sim.run_spec(&streamed, &trace, &set, spec, cap).unwrap();
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(strm, mem, "{} at chunk {}, {} segments", spec, chunk, shards);
     }
