@@ -36,7 +36,7 @@ pub fn faults(ctx: &Ctx<'_>) -> Artifact {
 pub fn faults_at(ctx: &Ctx<'_>, severities: &[f64], seed: u64) -> Artifact {
     let trace = ctx.trace;
     let set = ctx.set;
-    let total_bytes: u64 = trace.files().map(|f| f.size_bytes).sum();
+    let total_bytes: u64 = trace.files().iter().map(|f| f.size_bytes).sum();
     let capacity = ((total_bytes as f64 * CAPACITY_FRACTION) as u64).max(1);
     let model = TransferModel::default();
 

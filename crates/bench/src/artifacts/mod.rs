@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod faults;
 pub mod figures;
+pub mod hierarchy;
 pub mod sections;
 pub mod seeds;
 pub mod tables;
@@ -67,7 +68,7 @@ impl<'a> Ctx<'a> {
 /// All artifact ids in paper order. The `ablations` and `seeds` artifacts
 /// are not in the default set (they regenerate several traces); request
 /// them explicitly with `report ablations seeds`.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "table1",
     "table2",
     "calibration",
@@ -88,6 +89,7 @@ pub const ALL_IDS: [&str; 21] = [
     "sec8",
     "grid",
     "faults",
+    "hierarchy",
     "headline",
 ];
 
@@ -114,6 +116,7 @@ pub fn build(ctx: &Ctx<'_>, id: &str) -> Option<Artifact> {
         "sec8" => sections::sec8(ctx),
         "grid" => sections::grid(ctx),
         "faults" => faults::faults(ctx),
+        "hierarchy" => hierarchy::hierarchy(ctx),
         "ablations" => ablations::ablations(ctx),
         "seeds" => seeds::seeds(ctx),
         "headline" => sections::headline(ctx),

@@ -197,8 +197,14 @@ pub fn sec6(ctx: &Ctx<'_>) -> Artifact {
     // Collaboration-wide per-site caches: request-level wins vs WAN byte
     // costs when site caches are small (see replication::online docs).
     let per_site_cap = (2.0 * TB as f64 / ctx.scale) as u64;
-    let (file_on, filecule_on) =
-        replication::compare_granularities(ctx.trace, ctx.set, per_site_cap);
+    let (file_on, filecule_on) = replication::compare_granularities_ctx(
+        &ctx.log,
+        ctx.trace,
+        ctx.set,
+        per_site_cap,
+        &hep_runctx::RunCtx::new(),
+    )
+    .expect("in-memory replay is infallible");
     writeln!(
         text,
         "  per-site online caches ({:.2} TB each at all {} sites):\n    \

@@ -1,0 +1,139 @@
+//! Streamed 3-tier hierarchy replay under a memory ceiling, recording a
+//! `hep-obs` snapshot.
+//!
+//! ```text
+//! cargo run --release -p hep-bench --bin bench_hierarchy
+//! cargo run --release -p hep-bench --bin bench_hierarchy -- --scale 8 --ceiling-mb 1024 --out BENCH_hierarchy.json
+//! ```
+//!
+//! The fully out-of-core pipeline composed end to end: the cached FCTB2
+//! trace file is chunk-decoded by [`StreamedLog`], filecules are
+//! identified job-by-job from disk, and an edge → regional →
+//! origin-side chain replays at both granularities through the
+//! trace-free hierarchy entry point — the in-memory [`Trace`] is never
+//! materialized, so peak RSS stays bounded regardless of scale.
+//! `--ceiling-mb` turns the bound into a hard failure for CI.
+
+use cachesim::PolicySpec;
+use filecule_core::identify_from_source;
+use hep_bench::scenario::REPORT_SEED;
+use hep_hierarchy::{simulate_hierarchy_stream, HierarchyConfig, TierSpec};
+use hep_obs::Metrics;
+use hep_trace::{EventSource, StreamedLog, SynthConfig, TraceCache};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 200.0f64;
+    let mut out = String::from("BENCH_hierarchy.json");
+    let mut ceiling_mb = 0u64;
+    while let Some(a) = args.first().cloned() {
+        match a.as_str() {
+            "--scale" => {
+                args.remove(0);
+                scale = args
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --scale needs a number");
+                        std::process::exit(2);
+                    });
+                args.remove(0);
+            }
+            "--ceiling-mb" => {
+                args.remove(0);
+                ceiling_mb = args
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --ceiling-mb needs an integer");
+                        std::process::exit(2);
+                    });
+                args.remove(0);
+            }
+            "--out" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+                out = args.remove(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = SynthConfig::paper(REPORT_SEED, scale);
+    cfg.user_scale = 4.0;
+    let (path, cache_hit) = TraceCache::default()
+        .load_or_generate_path(&cfg)
+        .expect("trace cache");
+    let metrics = Metrics::enabled();
+
+    let streamed = StreamedLog::open(&path).expect("open streamed trace");
+    println!(
+        "trace: {} events at scale 1/{scale} ({})",
+        streamed.len(),
+        if cache_hit { "cache hit" } else { "generated" }
+    );
+    metrics.add("bench.hierarchy.events", streamed.len() as u64);
+
+    let t0 = Instant::now();
+    let set = identify_from_source(&streamed).expect("streamed identification");
+    metrics.record_secs("bench.hierarchy.identify", t0.elapsed().as_secs_f64());
+
+    let total_bytes: u64 = streamed.file_sizes().iter().sum();
+    let edge = ((total_bytes as f64 * 0.01) as u64).max(1);
+    for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+        let topo = HierarchyConfig::new(vec![
+            TierSpec::new(spec, edge),
+            TierSpec::new(spec, edge * 4),
+            TierSpec::new(spec, edge * 16),
+        ]);
+        let t = Instant::now();
+        let h = simulate_hierarchy_stream(&streamed, &set, &topo).expect("streamed hierarchy");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            h.tier_hits() + h.origin_fetches,
+            h.requests,
+            "{spec}: conservation violated"
+        );
+        metrics.record_secs(&format!("bench.hierarchy.{spec}.replay"), secs);
+        metrics.add(
+            &format!("bench.hierarchy.{spec}.origin_fetches"),
+            h.origin_fetches,
+        );
+        println!(
+            "{spec:>16}: 3-tier streamed {secs:>7.3}s ({:.0} ev/s), chain hit rate {:.4}, origin fetches {}",
+            streamed.len() as f64 / secs.max(1e-9),
+            h.hit_rate(),
+            h.origin_fetches,
+        );
+    }
+
+    let rss = hep_obs::peak_rss_bytes();
+    if let Some(rss) = rss {
+        metrics.add("bench.hierarchy.peak_rss_bytes", rss);
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1u64 << 20) as f64);
+    }
+
+    let snap = metrics.snapshot().expect("metrics enabled");
+    snap.write(std::path::Path::new(&out))
+        .expect("write snapshot");
+    println!("snapshot written to {out}");
+
+    if ceiling_mb > 0 {
+        let rss = rss.expect("--ceiling-mb needs VmHWM (available on Linux)");
+        if rss > ceiling_mb * (1 << 20) {
+            eprintln!(
+                "error: peak RSS {:.1} MiB exceeds the {ceiling_mb} MiB ceiling",
+                rss as f64 / (1u64 << 20) as f64
+            );
+            std::process::exit(1);
+        }
+        println!("peak RSS within the {ceiling_mb} MiB ceiling");
+    }
+}

@@ -79,8 +79,8 @@ pub use policy::{AccessEvent, AccessResult, Policy};
 pub use resume::{reports_csv, run_specs_stream_resumable, ManifestStore, RunParams, SpecManifest};
 pub use sharded::{split_capacity, ShardPlan};
 pub use sim::{
-    simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, SimError, SimOptions, SimReport,
-    Simulator,
+    simulate, simulate_warm, FaultHook, FaultStats, FetchOutcome, ReplayAccum, SimError,
+    SimOptions, SimReport, Simulator,
 };
 pub use spec::{
     build_policy, build_policy_from_log, build_policy_from_source, build_policy_stream, PolicySpec,

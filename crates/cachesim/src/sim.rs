@@ -16,7 +16,7 @@
 //! [`Simulator`] directly.
 
 use crate::faults_hook::ColdStorageFaults;
-use crate::policy::{AccessEvent, Policy};
+use crate::policy::{AccessEvent, AccessResult, Policy};
 use hep_obs::Metrics;
 use hep_runctx::{maybe_install, RunCtx};
 use hep_trace::{EventSource, ReplayLog, StreamError, Trace};
@@ -493,13 +493,17 @@ impl Simulator {
 
 /// Per-policy replay accounting, stepped one event at a time.
 ///
-/// This is the single accumulation routine behind both the monolithic
-/// replay ([`replay_source`]) and the sharded engine's per-segment
-/// streams (`crate::sharded`): every path drives the same
-/// [`ReplayAccum::step`] with the event's *global* stream index, so
-/// warmup accounting (`i >= skip`) and fault-hook keys are identical no
-/// matter how the stream was chunked or partitioned.
-pub(crate) struct ReplayAccum<'s> {
+/// This is the single accumulation routine behind the monolithic replay
+/// ([`replay_source`]), the sharded engine's per-segment streams
+/// (`crate::sharded`), and the multi-tier hierarchy engine
+/// (`hep-hierarchy`, which steps one accumulator per tier and escalates
+/// on miss): every path drives the same [`ReplayAccum::step`] with the
+/// event's *global* stream index, so warmup accounting (`i >= skip`) and
+/// fault-hook keys are identical no matter how the stream was chunked,
+/// partitioned, or tiered. [`ReplayAccum::step`] returns the policy's
+/// [`AccessResult`] so external engines can react to the outcome (the
+/// hierarchy's miss-escalation hook) without re-deriving it.
+pub struct ReplayAccum<'s> {
     report: SimReport,
     faults: FaultStats,
     seen: Vec<bool>,
@@ -512,7 +516,7 @@ impl<'s> ReplayAccum<'s> {
     /// An accumulator for a stream of `source_len` events over
     /// `sizes.len()` files, serving `policy` (name and capacity are
     /// snapshotted into the report header).
-    pub(crate) fn new(
+    pub fn new(
         policy: &dyn Policy,
         source_len: usize,
         sizes: &'s [u64],
@@ -539,15 +543,17 @@ impl<'s> ReplayAccum<'s> {
         }
     }
 
-    /// Serve the event at global stream position `i` through `policy`
-    /// and fold the outcome into the report.
-    pub(crate) fn step(
+    /// Serve the event at global stream position `i` through `policy`,
+    /// fold the outcome into the report, and return the policy's raw
+    /// [`AccessResult`] (so callers like the hierarchy engine can
+    /// escalate misses without replaying the event).
+    pub fn step(
         &mut self,
         i: usize,
         ev: &AccessEvent,
         policy: &mut dyn Policy,
         hook: Option<&dyn FaultHook>,
-    ) {
+    ) -> AccessResult {
         let r = policy.access(ev);
         if i >= self.skip {
             self.report.requests += 1;
@@ -579,10 +585,11 @@ impl<'s> ReplayAccum<'s> {
             }
         }
         self.seen[ev.file.index()] = true;
+        r
     }
 
     /// Tear down into the finished report and fault stats.
-    pub(crate) fn finish(self) -> (SimReport, FaultStats) {
+    pub fn finish(self) -> (SimReport, FaultStats) {
         (self.report, self.faults)
     }
 }

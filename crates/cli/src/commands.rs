@@ -726,6 +726,99 @@ pub fn faults(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `filecules hierarchy <trace>` — replay a multi-tier (edge → regional
+/// → origin) cache chain and sweep per-link fault severity into a
+/// degradation curve.
+pub fn hierarchy(args: &Args) -> CmdResult {
+    args.reject_unknown(&[
+        "tiers",
+        "severities",
+        "seed",
+        "out",
+        "json",
+        "metrics",
+        "threads",
+    ])?;
+    let path = args.positional(1).ok_or("hierarchy needs a trace path")?;
+    let trace = load_trace(Path::new(path))?;
+    let tiers = hep_hierarchy::parse_tiers(
+        args.get("tiers")
+            .unwrap_or("file-lru@16,file-lru@128,filecule-lru@1024"),
+    )?;
+    let seed: u64 = args.get_or("seed", hep_stats::rng::DEFAULT_SEED)?;
+    let severities: Vec<f64> = match args.get("severities") {
+        Some(list) => list
+            .split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                tok.parse::<f64>()
+                    .map_err(|_| format!("bad severity {tok:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0.0, 0.05, 0.1, 0.2, 0.4],
+    };
+    for &s in &severities {
+        if !(0.0..1.0).contains(&s) {
+            return Err(format!("severity {s} out of range [0, 1)").into());
+        }
+    }
+    let metrics = metrics_from_args(args);
+    let set = filecule_core::identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let cfg = hep_hierarchy::HierarchyConfig::new(tiers);
+    let ctx = RunCtx::new().with_metrics(metrics.clone());
+    let runs = hep_hierarchy::severity_sweep(&log, &trace, &set, &cfg, &severities, seed, &ctx)?;
+    let rows: Vec<hep_hierarchy::DegradationRow> = runs
+        .iter()
+        .map(|(s, r)| hep_hierarchy::DegradationRow::from_report(*s, &cfg, r))
+        .collect();
+    let mut csv = String::from(hep_hierarchy::DegradationRow::CSV_HEADER);
+    csv.push('\n');
+    for row in &rows {
+        csv.push_str(&row.csv_line());
+        csv.push('\n');
+    }
+    if args.switch("json") {
+        let doc: Vec<_> = runs
+            .iter()
+            .zip(rows.iter())
+            .map(|((s, report), row)| {
+                serde_json::json!({
+                    "severity": s,
+                    "summary": row,
+                    "report": report,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&doc)?);
+    } else {
+        println!(
+            "tiers: {} (edge first; origin above the last tier)",
+            rows[0].tiers
+        );
+        println!("severity | unavail | hit edge/chain    | origin | moved GiB | failed | cost h");
+        for row in &rows {
+            println!(
+                "{:>8.2} | {:>7.4} | {:>7.4} / {:>7.4} | {:>6} | {:>9.2} | {:>6} | {:>6.1}",
+                row.severity,
+                row.unavailability,
+                row.edge_hit_rate,
+                row.hierarchy_hit_rate,
+                row.origin_fetches,
+                row.bytes_moved_gb,
+                row.failed_transfers,
+                row.cost_hours,
+            );
+        }
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &csv)?;
+        println!("degradation curve written to {out}");
+    }
+    finish_metrics(args, &metrics)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1189,6 +1282,7 @@ mod tests {
             ("inspect", inspect(&args(&["inspect", p, "--file", "0"]))),
             ("feasibility", feasibility(&args(&["feasibility", p]))),
             ("faults", faults(&args(&["faults", p]))),
+            ("hierarchy", hierarchy(&args(&["hierarchy", p]))),
             (
                 "simulate --stream",
                 simulate_cmd(&args(&["simulate", p, "--stream"])),
@@ -1325,6 +1419,54 @@ mod tests {
         // Severity out of range is a clean error.
         assert!(faults(&args(&[
             "faults",
+            bin.to_str().unwrap(),
+            "--severities",
+            "1.5"
+        ]))
+        .is_err());
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn hierarchy_sweep_runs_and_writes_csv() {
+        let bin = tmp("t12.bin");
+        let out = tmp("t12-hierarchy.csv");
+        generate(&args(&[
+            "generate",
+            "--scale",
+            "400",
+            "--user-scale",
+            "8",
+            "--days",
+            "120",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        hierarchy(&args(&[
+            "hierarchy",
+            bin.to_str().unwrap(),
+            "--tiers",
+            "file-lru@1,filecule-lru@8@24",
+            "--severities",
+            "0,0.2",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&out).unwrap();
+        assert!(csv.starts_with("severity,tiers,granularity"));
+        assert_eq!(csv.lines().count(), 3, "header + one row per severity");
+        // Malformed tier lists and out-of-range severities are clean errors.
+        assert!(hierarchy(&args(&[
+            "hierarchy",
+            bin.to_str().unwrap(),
+            "--tiers",
+            "nonsense@16"
+        ]))
+        .is_err());
+        assert!(hierarchy(&args(&[
+            "hierarchy",
             bin.to_str().unwrap(),
             "--severities",
             "1.5"

@@ -85,6 +85,15 @@ COMMANDS:
       --capacity-gb N   per-site cache capacity in GiB (default 256)
       --out FILE        write the degradation curve CSV
       --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
+  hierarchy <trace>     multi-tier cache chain + per-link fault sweep
+      --tiers L         comma list of policy@GB or policy@GB@TTLh tiers,
+                        edge first (default
+                        file-lru@16,file-lru@128,filecule-lru@1024)
+      --severities L    comma list of severities in [0,1) (default
+                        0,0.05,0.1,0.2,0.4)
+      --seed N          fault-plan RNG seed (default 0xD0D02006)
+      --out FILE        write the degradation curve CSV
+      --metrics FILE    write a phase-timing/counters snapshot (.csv or JSON)
   help                  show this message
 "
 }
@@ -121,6 +130,7 @@ fn main() {
         "inspect" => commands::inspect(&args),
         "feasibility" => commands::feasibility(&args),
         "faults" => commands::faults(&args),
+        "hierarchy" => commands::hierarchy(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -295,3 +295,89 @@ fn missing_file_is_clean_error() {
     assert!(!o.status.success());
     assert!(stderr(&o).contains("error"));
 }
+
+#[test]
+fn hierarchy_subcommand_emits_wellformed_json() {
+    let dir = tmpdir();
+    let trace = dir.join("hierarchy-e2e.bin");
+    generate(trace.to_str().unwrap(), "19");
+    let o = run(&[
+        "hierarchy",
+        trace.to_str().unwrap(),
+        "--tiers",
+        "file-lru@1,file-lru@4,filecule-lru@16",
+        "--severities",
+        "0,0.2",
+        "--json",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let doc: serde_json::Value = serde_json::from_str(&stdout(&o)).expect("json output");
+    let rows = doc.as_array().expect("array of severity rows");
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert!(row["severity"].is_number());
+        assert!(row["summary"]["requests"].as_u64().unwrap() > 0);
+        let report = &row["report"];
+        assert_eq!(report["tiers"].as_array().unwrap().len(), 3);
+        assert_eq!(report["links"].as_array().unwrap().len(), 3);
+        // Conservation: every request is served by a tier or the origin.
+        let tier_hits: u64 = report["tiers"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|t| t["report"]["hits"].as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            tier_hits + report["origin_fetches"].as_u64().unwrap(),
+            report["requests"].as_u64().unwrap()
+        );
+    }
+    // Severity 0 replays fault-free.
+    assert_eq!(rows[0]["report"]["unavailability"], 0.0);
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn hierarchy_stdout_is_identical_with_and_without_metrics() {
+    let dir = tmpdir();
+    let trace = dir.join("hierarchy-metrics-e2e.bin");
+    let snap_path = dir.join("hierarchy-metrics.json");
+    generate(trace.to_str().unwrap(), "20");
+    let base = [
+        "hierarchy",
+        trace.to_str().unwrap(),
+        "--tiers",
+        "filecule-lru@2,filecule-lru@8",
+        "--severities",
+        "0,0.1",
+        "--json",
+    ];
+    let plain = run(&base);
+    let mut with_metrics: Vec<&str> = base.to_vec();
+    with_metrics.push("--metrics");
+    with_metrics.push(snap_path.to_str().unwrap());
+    let instrumented = run(&with_metrics);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    assert!(instrumented.status.success(), "{}", stderr(&instrumented));
+    // Attaching a recorder must not perturb the sweep output, and the
+    // JSON on stdout must stay machine-parseable (summary on stderr).
+    assert_eq!(stdout(&plain), stdout(&instrumented));
+    let raw = std::fs::read_to_string(&snap_path).expect("snapshot file written");
+    let snap = hep_obs::Snapshot::from_json(&raw).expect("well-formed snapshot");
+    assert!(snap.counter("hierarchy.runs") >= 2, "one run per severity");
+    assert!(snap.counter("hierarchy.requests") > 0);
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn hierarchy_missing_trace_fails_fast_naming_the_path() {
+    let o = run(&["hierarchy", "/nonexistent/hierarchy-trace.bin"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(
+        err.contains("/nonexistent/hierarchy-trace.bin"),
+        "error must name the missing path: {err}"
+    );
+    assert!(err.contains("filecules generate"), "{err}");
+}

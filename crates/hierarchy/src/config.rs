@@ -1,0 +1,192 @@
+//! Hierarchy topology: per-tier policy/capacity/TTL specs and the
+//! top-level [`HierarchyConfig`].
+
+use cachesim::{PolicySpec, SimOptions};
+use hep_trace::GB;
+use serde::{Deserialize, Serialize};
+use transfer::TransferModel;
+
+/// One cache tier: which policy it runs, how big it is, and whether
+/// cached content expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Replacement/admission policy this tier runs.
+    pub spec: PolicySpec,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Optional lazy-expiry TTL in seconds: a hit on content that has
+    /// been resident longer than this is still a cache hit, but is
+    /// counted stale and re-fetched over the tier's uplink.
+    pub ttl_secs: Option<u64>,
+}
+
+impl TierSpec {
+    /// A tier with no TTL.
+    #[must_use]
+    pub fn new(spec: PolicySpec, capacity: u64) -> Self {
+        Self {
+            spec,
+            capacity,
+            ttl_secs: None,
+        }
+    }
+
+    /// Set a lazy-expiry TTL in seconds.
+    #[must_use]
+    pub fn with_ttl_secs(mut self, ttl_secs: u64) -> Self {
+        self.ttl_secs = Some(ttl_secs);
+        self
+    }
+
+    /// Parse a `policy@GB` or `policy@GB@TTLh` token, e.g.
+    /// `filecule-lru@1024` (1 PB filecule-LRU tier) or
+    /// `file-lru@16@24` (16 GB file-LRU edge, 24-hour TTL).
+    pub fn parse(token: &str) -> Result<Self, String> {
+        let mut parts = token.split('@');
+        let policy = parts.next().unwrap_or_default();
+        let spec = PolicySpec::parse(policy)
+            .ok_or_else(|| format!("unknown policy `{policy}` in tier `{token}`"))?;
+        let gb = parts
+            .next()
+            .ok_or_else(|| format!("tier `{token}` is missing `@GB` capacity"))?;
+        let gb: f64 = gb
+            .parse()
+            .map_err(|_| format!("bad capacity `{gb}` in tier `{token}` (want GB, e.g. 128)"))?;
+        if !(gb > 0.0) {
+            return Err(format!("tier `{token}` capacity must be positive"));
+        }
+        let mut tier = Self::new(spec, (gb * GB as f64) as u64);
+        if let Some(hours) = parts.next() {
+            let hours: f64 = hours.parse().map_err(|_| {
+                format!("bad TTL `{hours}` in tier `{token}` (want hours, e.g. 24)")
+            })?;
+            if !(hours > 0.0) {
+                return Err(format!("tier `{token}` TTL must be positive"));
+            }
+            tier.ttl_secs = Some((hours * 3600.0) as u64);
+        }
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing `@{extra}` in tier `{token}`"));
+        }
+        Ok(tier)
+    }
+}
+
+/// Parse a comma-separated tier list, edge first: e.g.
+/// `file-lru@16,file-lru@128,filecule-lru@1024`.
+pub fn parse_tiers(list: &str) -> Result<Vec<TierSpec>, String> {
+    let tiers: Result<Vec<_>, _> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(TierSpec::parse)
+        .collect();
+    let tiers = tiers?;
+    if tiers.is_empty() {
+        return Err("empty tier list".into());
+    }
+    Ok(tiers)
+}
+
+/// Full hierarchy description: the tier chain (edge first), the
+/// inter-tier link cost model, and replay options shared by all tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyConfig {
+    /// Cache tiers, edge (tier 0) first; the infinite origin sits above
+    /// the last tier and is not listed.
+    pub tiers: Vec<TierSpec>,
+    /// Cost model for every inter-tier link (setup latency + bandwidth).
+    pub model: TransferModel,
+    /// Replay options (warmup fraction, byte accounting) applied to
+    /// every tier identically.
+    pub options: SimOptions,
+}
+
+impl HierarchyConfig {
+    /// A hierarchy with default link costs and default replay options.
+    #[must_use]
+    pub fn new(tiers: Vec<TierSpec>) -> Self {
+        Self {
+            tiers,
+            model: TransferModel::default(),
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Override the inter-tier link cost model.
+    #[must_use]
+    pub fn with_model(mut self, model: TransferModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override the replay options.
+    #[must_use]
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Check the topology is simulable: at least one tier, all
+    /// capacities positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("hierarchy needs at least one tier".into());
+        }
+        for (i, t) in self.tiers.iter().enumerate() {
+            if t.capacity == 0 {
+                return Err(format!("tier {i} ({}) has zero capacity", t.spec.key()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let t = TierSpec::parse("filecule-lru@1024").unwrap();
+        assert_eq!(t.spec, PolicySpec::FileculeLru);
+        assert_eq!(t.capacity, 1024 * GB);
+        assert_eq!(t.ttl_secs, None);
+
+        let t = TierSpec::parse("file-lru@16@24").unwrap();
+        assert_eq!(t.spec, PolicySpec::FileLru);
+        assert_eq!(t.capacity, 16 * GB);
+        assert_eq!(t.ttl_secs, Some(24 * 3600));
+
+        let t = TierSpec::parse("lru@0.5").unwrap();
+        assert_eq!(t.capacity, GB / 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(TierSpec::parse("nope@16").is_err());
+        assert!(TierSpec::parse("file-lru").is_err());
+        assert!(TierSpec::parse("file-lru@-3").is_err());
+        assert!(TierSpec::parse("file-lru@16@0").is_err());
+        assert!(TierSpec::parse("file-lru@16@24@9").is_err());
+        assert!(parse_tiers("").is_err());
+        assert!(parse_tiers(" , ,").is_err());
+    }
+
+    #[test]
+    fn parse_tiers_orders_edge_first() {
+        let tiers = parse_tiers("file-lru@16, file-lru@128, filecule-lru@1024").unwrap();
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(tiers[0].capacity, 16 * GB);
+        assert_eq!(tiers[2].spec, PolicySpec::FileculeLru);
+    }
+
+    #[test]
+    fn validate_catches_empty_and_zero() {
+        assert!(HierarchyConfig::new(vec![]).validate().is_err());
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(PolicySpec::FileLru, 0)]);
+        assert!(cfg.validate().is_err());
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(PolicySpec::FileLru, GB)]);
+        assert!(cfg.validate().is_ok());
+    }
+}

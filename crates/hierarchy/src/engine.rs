@@ -1,0 +1,385 @@
+//! The tier-chain replay engine: escalate misses up, admit content back
+//! down, cost every uplink crossing.
+
+use cachesim::{build_policy_from_source, build_policy_stream, Policy, ReplayAccum, SimError};
+use filecule_core::FileculeSet;
+use hep_faults::{lane, transfer_key, FaultPlan};
+use hep_runctx::RunCtx;
+use hep_trace::{EventSource, SiteId, Trace};
+use transfer::TransferModel;
+
+use crate::config::HierarchyConfig;
+use crate::report::{HierarchyReport, LinkReport, TierReport};
+
+/// Simulate a hierarchy over a trace-backed source with default context
+/// (no metrics, no faults).
+///
+/// Every tier's policy is built by [`cachesim::build_policy_from_source`],
+/// so the full [`cachesim::PolicySpec`] registry — including the offline
+/// Belady variants — is available per tier.
+pub fn simulate_hierarchy(
+    source: &dyn EventSource,
+    trace: &Trace,
+    set: &FileculeSet,
+    cfg: &HierarchyConfig,
+) -> Result<HierarchyReport, SimError> {
+    simulate_hierarchy_ctx(source, trace, set, cfg, &RunCtx::new())
+}
+
+/// Simulate a hierarchy over a trace-backed source under a [`RunCtx`]:
+/// `ctx.metrics` receives tier-labeled counters and a run timer,
+/// `ctx.faults` (when set) supplies the per-link fault domains — link
+/// `t` (tier `t`'s uplink) maps to site `t` of the plan.
+///
+/// Fault plans and metrics never change cache decisions: the per-tier
+/// [`cachesim::SimReport`]s are bit-identical across severities and
+/// metric sinks; faults only reclassify link traffic.
+pub fn simulate_hierarchy_ctx(
+    source: &dyn EventSource,
+    trace: &Trace,
+    set: &FileculeSet,
+    cfg: &HierarchyConfig,
+    ctx: &RunCtx<'_>,
+) -> Result<HierarchyReport, SimError> {
+    cfg.validate().map_err(SimError::Unsupported)?;
+    let policies = cfg
+        .tiers
+        .iter()
+        .map(|t| build_policy_from_source(t.spec, source, trace, set, t.capacity))
+        .collect::<Result<Vec<_>, _>>()?;
+    run_tiers(source, cfg, policies, ctx)
+}
+
+/// Trace-free variant of [`simulate_hierarchy`]: tiers are built by
+/// [`cachesim::build_policy_stream`] from the source's size table alone,
+/// so a streamed replay never materializes the trace. Specs that need
+/// trace context (offline Belady, workingset prefetch) are rejected.
+pub fn simulate_hierarchy_stream(
+    source: &dyn EventSource,
+    set: &FileculeSet,
+    cfg: &HierarchyConfig,
+) -> Result<HierarchyReport, SimError> {
+    simulate_hierarchy_stream_ctx(source, set, cfg, &RunCtx::new())
+}
+
+/// [`simulate_hierarchy_stream`] under a [`RunCtx`]; see
+/// [`simulate_hierarchy_ctx`] for the metrics/fault semantics.
+pub fn simulate_hierarchy_stream_ctx(
+    source: &dyn EventSource,
+    set: &FileculeSet,
+    cfg: &HierarchyConfig,
+    ctx: &RunCtx<'_>,
+) -> Result<HierarchyReport, SimError> {
+    cfg.validate().map_err(SimError::Unsupported)?;
+    let policies = cfg
+        .tiers
+        .iter()
+        .map(|t| build_policy_stream(t.spec, source, set, t.capacity))
+        .collect::<Result<Vec<_>, _>>()?;
+    run_tiers(source, cfg, policies, ctx)
+}
+
+/// The replay core: one [`ReplayAccum`] per tier, stepped in escalation
+/// order. An event enters tier 0; the first tier that hits ends the
+/// climb, every tier below it took a miss (its policy fetched and
+/// admitted the object — whole filecule for filecule policies — which
+/// *is* the downward placement), and each of those misses crossed that
+/// tier's uplink. An event no tier holds is served by the infinite
+/// origin over the last tier's uplink.
+fn run_tiers(
+    source: &dyn EventSource,
+    cfg: &HierarchyConfig,
+    mut policies: Vec<Box<dyn Policy + Send>>,
+    ctx: &RunCtx<'_>,
+) -> Result<HierarchyReport, SimError> {
+    let t0 = std::time::Instant::now();
+    let n = policies.len();
+    let sizes = source.file_sizes();
+    let skip = (source.len() as f64 * cfg.options.warmup_fraction) as usize;
+    let plan = ctx.faults;
+    let link_lane = lane("hierarchy-link");
+
+    let mut accs: Vec<ReplayAccum<'_>> = policies
+        .iter()
+        .map(|p| ReplayAccum::new(p.as_ref(), source.len(), sizes, cfg.options))
+        .collect();
+    let mut links = vec![LinkReport::default(); n];
+    let mut stale_hits = vec![0u64; n];
+    let mut refresh_bytes = vec![0u64; n];
+    // Per-TTL-tier placement times, u64::MAX = never placed. State
+    // evolves on every event; *accounting* is gated by warmup like the
+    // accumulator's.
+    let mut placed: Vec<Option<Vec<u64>>> = cfg
+        .tiers
+        .iter()
+        .map(|t| t.ttl_secs.map(|_| vec![u64::MAX; sizes.len()]))
+        .collect();
+    let mut origin_fetches = 0u64;
+
+    source.for_each_chunk(&mut |base, chunk| {
+        for (k, ev) in chunk.iter().enumerate() {
+            let i = base + k;
+            let account = i >= skip;
+            let fi = ev.file.index();
+            let mut served = false;
+            for t in 0..n {
+                let r = accs[t].step(i, ev, policies[t].as_mut(), None);
+                if r.hit {
+                    // Lazy TTL: a hit on content resident longer than
+                    // the TTL stays a hit, but re-fetches the object
+                    // over this tier's uplink and resets its age.
+                    if let (Some(ttl), Some(times)) = (cfg.tiers[t].ttl_secs, placed[t].as_mut()) {
+                        let since = times[fi];
+                        if since != u64::MAX && ev.time.saturating_sub(since) > ttl {
+                            times[fi] = ev.time;
+                            if account {
+                                stale_hits[t] += 1;
+                                refresh_bytes[t] += sizes[fi];
+                                record_transfer(
+                                    &mut links[t],
+                                    sizes[fi],
+                                    ev.time,
+                                    i,
+                                    t,
+                                    plan,
+                                    link_lane,
+                                    &cfg.model,
+                                );
+                            }
+                        }
+                    }
+                    served = true;
+                    break;
+                }
+                // Miss: the policy fetched (and, unless it bypassed,
+                // admitted) the object — that traffic crossed this
+                // tier's uplink.
+                if let Some(times) = placed[t].as_mut() {
+                    times[fi] = ev.time;
+                }
+                if account {
+                    record_transfer(
+                        &mut links[t],
+                        r.bytes_fetched,
+                        ev.time,
+                        i,
+                        t,
+                        plan,
+                        link_lane,
+                        &cfg.model,
+                    );
+                }
+            }
+            if !served && account {
+                origin_fetches += 1;
+            }
+        }
+    })?;
+
+    let tiers: Vec<TierReport> = accs
+        .into_iter()
+        .zip(cfg.tiers.iter())
+        .zip(stale_hits.iter().zip(refresh_bytes.iter()))
+        .map(|((acc, spec), (&stale, &refresh))| {
+            let (report, _) = acc.finish();
+            TierReport {
+                report,
+                ttl_secs: spec.ttl_secs,
+                stale_hits: stale,
+                refresh_bytes: refresh,
+            }
+        })
+        .collect();
+    let report = HierarchyReport {
+        requests: tiers[0].report.requests,
+        origin_fetches,
+        unavailability: plan.map_or(0.0, FaultPlan::unavailability),
+        tiers,
+        links,
+    };
+
+    if ctx.metrics.is_enabled() {
+        let m = &ctx.metrics;
+        m.record_secs("hierarchy.run", t0.elapsed().as_secs_f64());
+        m.incr("hierarchy.runs");
+        m.add("hierarchy.events", source.len() as u64);
+        m.add("hierarchy.requests", report.requests);
+        m.add("hierarchy.origin_fetches", report.origin_fetches);
+        for (t, tier) in report.tiers.iter().enumerate() {
+            m.add(&format!("hierarchy.tier{t}.hits"), tier.report.hits);
+            m.add(&format!("hierarchy.tier{t}.misses"), tier.report.misses);
+            m.add(&format!("hierarchy.tier{t}.stale_hits"), tier.stale_hits);
+        }
+        for (t, link) in report.links.iter().enumerate() {
+            m.add(
+                &format!("hierarchy.link{t}.bytes_moved"),
+                link.bytes_moved(),
+            );
+            m.add(&format!("hierarchy.link{t}.failed"), link.failed_transfers);
+        }
+    }
+    Ok(report)
+}
+
+/// Cost one uplink crossing. Link `t` maps to site `t` of the fault
+/// plan: an outage diverts the bytes to the fallback path, retry
+/// outcomes come from a pure hash of (lane, link, global event index)
+/// — replay-order independent — and degraded intervals stretch wire
+/// time. With no plan (or a fault-free one) every transfer succeeds on
+/// the first attempt at full rate.
+#[allow(clippy::too_many_arguments)]
+fn record_transfer(
+    link: &mut LinkReport,
+    bytes: u64,
+    time: u64,
+    index: usize,
+    link_id: usize,
+    plan: Option<&FaultPlan>,
+    link_lane: u64,
+    model: &TransferModel,
+) {
+    link.transfers += 1;
+    if let Some(p) = plan {
+        let site = SiteId(link_id as u16);
+        if !p.is_up(site, time) {
+            link.failed_transfers += 1;
+            link.fallback_bytes += bytes;
+            return;
+        }
+        let o = p.outcome(transfer_key(&[link_lane, link_id as u64, index as u64]));
+        link.retries += u64::from(o.retries());
+        link.retried_bytes += bytes * u64::from(o.retries());
+        link.retry_secs += o.delay_secs;
+        if o.failed {
+            link.failed_transfers += 1;
+            link.fallback_bytes += bytes;
+            return;
+        }
+        let m = p.degraded_multiplier(site, time);
+        if m < 1.0 {
+            link.degraded_secs += (bytes as f64 / model.bandwidth) * (1.0 / m - 1.0);
+        }
+    }
+    link.bytes += bytes;
+    link.transfer_secs += model.setup_secs + bytes as f64 / model.bandwidth;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TierSpec;
+    use cachesim::{PolicySpec, Simulator};
+    use hep_faults::FaultConfig;
+    use hep_obs::Metrics;
+    use hep_trace::{
+        DataTier, FileId, ReplayLog, SynthConfig, TraceBuilder, TraceSynthesizer, GB, MB, TB,
+    };
+
+    fn small() -> (Trace, FileculeSet, ReplayLog) {
+        let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+        let set = filecule_core::identify(&trace);
+        let log = ReplayLog::build(&trace);
+        (trace, set, log)
+    }
+
+    #[test]
+    fn one_tier_matches_monolithic() {
+        let (trace, set, log) = small();
+        let cap = TB / 100;
+        for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+            let cfg = HierarchyConfig::new(vec![TierSpec::new(spec, cap)]);
+            let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+            let mono = Simulator::new()
+                .run_spec(&log, &trace, &set, spec, cap)
+                .unwrap();
+            assert_eq!(h.tiers[0].report, mono);
+            assert_eq!(h.origin_fetches, mono.misses);
+            assert_eq!(h.links[0].bytes, mono.bytes_fetched);
+            assert_eq!(h.tier_hits() + h.origin_fetches, h.requests);
+        }
+    }
+
+    #[test]
+    fn default_fault_plan_is_identity() {
+        let (trace, set, log) = small();
+        let cfg = HierarchyConfig::new(vec![
+            TierSpec::new(PolicySpec::FileLru, 5 * GB),
+            TierSpec::new(PolicySpec::FileculeLru, 50 * GB),
+        ]);
+        let free = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        let plan = FaultPlan::build(&FaultConfig::default(), cfg.tiers.len(), trace.horizon(), 7);
+        let ctx = RunCtx::new().with_faults(&plan);
+        let planned = simulate_hierarchy_ctx(&log, &trace, &set, &cfg, &ctx).unwrap();
+        assert_eq!(planned, free);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_report() {
+        let (trace, set, log) = small();
+        let cfg = HierarchyConfig::new(vec![
+            TierSpec::new(PolicySpec::FileLru, 5 * GB),
+            TierSpec::new(PolicySpec::FileculeLru, 50 * GB),
+        ]);
+        let quiet = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        let metrics = Metrics::enabled();
+        let ctx = RunCtx::new().with_metrics(metrics.clone());
+        let loud = simulate_hierarchy_ctx(&log, &trace, &set, &cfg, &ctx).unwrap();
+        assert_eq!(loud, quiet);
+        let snap = metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("hierarchy.requests"), quiet.requests);
+        assert_eq!(
+            snap.counter("hierarchy.origin_fetches"),
+            quiet.origin_fetches
+        );
+    }
+
+    #[test]
+    fn empty_config_is_rejected() {
+        let (trace, set, log) = small();
+        let cfg = HierarchyConfig::new(vec![]);
+        assert!(matches!(
+            simulate_hierarchy(&log, &trace, &set, &cfg),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn ttl_counts_stale_hits_and_refresh_traffic() {
+        // One file, three accesses: t=0 (cold miss), t=100 (fresh hit),
+        // t=10_000 (stale under a 1h... here 5000s TTL → re-fetch).
+        let mut b = TraceBuilder::new();
+        let d = b.add_domain(".gov");
+        let s = b.add_site(d);
+        let u = b.add_user();
+        b.add_file(10 * MB, DataTier::Thumbnail);
+        for (j, start) in [0u64, 100, 10_000].into_iter().enumerate() {
+            b.add_job(
+                u,
+                s,
+                hep_trace::NodeId(0),
+                DataTier::Thumbnail,
+                start,
+                start + 10 + j as u64,
+                &[FileId(0)],
+            );
+        }
+        let trace = b.build().unwrap();
+        let set = filecule_core::identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = HierarchyConfig::new(vec![
+            TierSpec::new(PolicySpec::FileLru, GB).with_ttl_secs(5000)
+        ]);
+        let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        assert_eq!(h.tiers[0].report.hits, 2);
+        assert_eq!(h.tiers[0].stale_hits, 1);
+        assert_eq!(h.tiers[0].refresh_bytes, 10 * MB);
+        // Uplink carried the cold fetch plus the stale refresh.
+        assert_eq!(h.links[0].transfers, 2);
+        assert_eq!(h.links[0].bytes, 20 * MB);
+        // Without the TTL the refresh traffic disappears.
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(PolicySpec::FileLru, GB)]);
+        let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        assert_eq!(h.tiers[0].stale_hits, 0);
+        assert_eq!(h.links[0].transfers, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! # hep-hierarchy
+//!
+//! Multi-tier cache-hierarchy simulator: an edge → regional → origin
+//! chain of caches in front of an infinite origin store.
+//!
+//! The paper's filecule claim (HPDC 2006) was measured against one flat
+//! cache; its modern descendants — XRootD data-lifecycle analysis and
+//! in-network storage caches for scientific workflows — study *networks*
+//! of on-demand caches. This crate composes the workspace's existing
+//! machinery into that shape instead of forking it:
+//!
+//! * every tier runs one existing [`cachesim::PolicySpec`] cache (file or
+//!   filecule granularity) over any [`hep_trace::EventSource`];
+//! * a request enters at the edge (tier 0); a miss **escalates** to the
+//!   next tier up, and each missing tier's policy admits the fetched
+//!   object on the way down (filecule policies pull the whole group —
+//!   that admission *is* the filecule-aware downward placement);
+//! * a request that misses every tier is served by the infinite origin;
+//! * each tier's uplink is costed through [`transfer::TransferModel`]
+//!   and degraded/failed by a per-link [`hep_faults::FaultPlan`] domain
+//!   (link `t` = site `t` of the plan: outages divert bytes to a
+//!   fallback path, degraded intervals stretch transfer time, and
+//!   per-transfer retry outcomes are pure hashes of the global stream
+//!   index — replay-order independent);
+//! * optional per-tier TTL with lazy, refresh-on-access expiry.
+//!
+//! Results come back as one [`SimReport`](cachesim::SimReport) per tier
+//! (accumulated by the same [`cachesim::ReplayAccum`] the monolithic and
+//! sharded engines use) plus merged link/origin accounting in a
+//! [`HierarchyReport`].
+//!
+//! ## Determinism contract
+//!
+//! The equivalence the test suite pins (`tests/hierarchy.rs` at the
+//! workspace root): a **single-tier hierarchy with no TTL is
+//! bit-identical to [`cachesim::Simulator::run_spec`]** for every
+//! partition-independent spec, over both in-memory and streamed sources.
+//! Fault plans never change cache decisions — per-tier `SimReport`s are
+//! identical at every severity; faults only reclassify link traffic
+//! (retries, fallback bytes, stretched seconds). A plan built from
+//! `FaultConfig::default()` is bit-identical to running with no plan.
+//!
+//! ```
+//! use cachesim::{PolicySpec, Simulator};
+//! use hep_hierarchy::{simulate_hierarchy, HierarchyConfig, TierSpec};
+//! use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer, TB};
+//!
+//! let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+//! let set = filecule_core::identify(&trace);
+//! let log = ReplayLog::build(&trace);
+//! let cap = TB / 100;
+//!
+//! // One tier + infinite origin ≡ the monolithic simulator.
+//! let cfg = HierarchyConfig::new(vec![TierSpec::new(PolicySpec::FileculeLru, cap)]);
+//! let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+//! let mono = Simulator::new()
+//!     .run_spec(&log, &trace, &set, PolicySpec::FileculeLru, cap)
+//!     .unwrap();
+//! assert_eq!(h.tiers[0].report, mono);
+//! assert_eq!(h.origin_fetches, mono.misses);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod sweep;
+
+pub use config::{parse_tiers, HierarchyConfig, TierSpec};
+pub use engine::{
+    simulate_hierarchy, simulate_hierarchy_ctx, simulate_hierarchy_stream,
+    simulate_hierarchy_stream_ctx,
+};
+pub use report::{HierarchyReport, LinkReport, TierReport};
+pub use sweep::{link_fault_plan, severity_sweep, DegradationRow};

@@ -1,0 +1,187 @@
+//! Per-tier, per-link, and merged hierarchy results.
+
+use cachesim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// One tier's results: the standard cache accounting plus TTL traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierReport {
+    /// Cache accounting for this tier, identical in shape (and, for a
+    /// single-tier hierarchy, identical bit-for-bit) to what
+    /// [`cachesim::Simulator::run_spec`] returns.
+    pub report: SimReport,
+    /// The TTL this tier ran with, if any.
+    pub ttl_secs: Option<u64>,
+    /// Hits on content resident longer than the TTL: still cache hits,
+    /// but each one re-fetches the object over this tier's uplink.
+    pub stale_hits: u64,
+    /// Bytes re-fetched by stale hits.
+    pub refresh_bytes: u64,
+}
+
+impl TierReport {
+    /// Request hit rate at this tier (hits over requests that reached it).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.report.requests == 0 {
+            0.0
+        } else {
+            self.report.hits as f64 / self.report.requests as f64
+        }
+    }
+}
+
+/// Traffic accounting for one inter-tier uplink (link `t` carries tier
+/// `t`'s misses up to tier `t+1` or, for the last tier, to the origin).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkReport {
+    /// Transfers attempted over this link (including ones that failed).
+    pub transfers: u64,
+    /// Bytes delivered by successful transfers (first attempt counted
+    /// once; see [`retried_bytes`](Self::retried_bytes) for re-sends).
+    pub bytes: u64,
+    /// Bytes re-sent by retry attempts.
+    pub retried_bytes: u64,
+    /// Bytes diverted to the fallback path because the link was down or
+    /// the transfer was abandoned after exhausting retries.
+    pub fallback_bytes: u64,
+    /// Retry attempts (beyond each transfer's first attempt).
+    pub retries: u64,
+    /// Transfers that never succeeded (outage or retries exhausted).
+    pub failed_transfers: u64,
+    /// Wall-clock seconds of successful transfer time (setup + wire
+    /// time at full rate).
+    pub transfer_secs: f64,
+    /// Extra seconds from degraded-rate intervals stretching wire time.
+    pub degraded_secs: f64,
+    /// Seconds spent waiting in retry backoff.
+    pub retry_secs: f64,
+}
+
+impl LinkReport {
+    /// Total bytes that crossed *some* wire on behalf of this link:
+    /// delivered + re-sent + diverted-to-fallback. For a fixed seed this
+    /// equals `size × attempts` summed over transfers, which makes it
+    /// pointwise monotone in the transfer-failure probability — the
+    /// metric the degradation sweeps and property tests use.
+    #[must_use]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes + self.retried_bytes + self.fallback_bytes
+    }
+
+    /// Total seconds attributable to this link (transfer + degradation
+    /// stretch + retry backoff).
+    #[must_use]
+    pub fn cost_secs(&self) -> f64 {
+        self.transfer_secs + self.degraded_secs + self.retry_secs
+    }
+}
+
+/// Merged results for a full hierarchy run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// Per-tier cache results, edge (tier 0) first.
+    pub tiers: Vec<TierReport>,
+    /// Per-uplink traffic, `links[t]` above tier `t`; the last link
+    /// reaches the infinite origin.
+    pub links: Vec<LinkReport>,
+    /// Post-warmup requests entering the edge.
+    pub requests: u64,
+    /// Requests that missed every tier and were served by the origin.
+    pub origin_fetches: u64,
+    /// Time-weighted fraction of link-seconds spent in outage, averaged
+    /// over links (0.0 when running fault-free).
+    pub unavailability: f64,
+}
+
+impl HierarchyReport {
+    /// Number of cache tiers.
+    #[must_use]
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The edge tier's results.
+    #[must_use]
+    pub fn edge(&self) -> &TierReport {
+        &self.tiers[0]
+    }
+
+    /// Hits summed over all tiers. Conservation invariant:
+    /// `tier_hits() + origin_fetches == requests`.
+    #[must_use]
+    pub fn tier_hits(&self) -> u64 {
+        self.tiers.iter().map(|t| t.report.hits).sum()
+    }
+
+    /// Fraction of requests served by *some* cache tier (1 − origin
+    /// fetch rate).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.tier_hits() as f64 / self.requests as f64
+        }
+    }
+
+    /// [`LinkReport::bytes_moved`] summed over links.
+    #[must_use]
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.links.iter().map(LinkReport::bytes_moved).sum()
+    }
+
+    /// [`LinkReport::cost_secs`] summed over links.
+    #[must_use]
+    pub fn total_cost_secs(&self) -> f64 {
+        self.links.iter().map(LinkReport::cost_secs).sum()
+    }
+
+    /// Fallback bytes summed over links.
+    #[must_use]
+    pub fn total_fallback_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.fallback_bytes).sum()
+    }
+
+    /// Failed transfers summed over links.
+    #[must_use]
+    pub fn total_failed_transfers(&self) -> u64 {
+        self.links.iter().map(|l| l.failed_transfers).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_moved_sums_all_wire_traffic() {
+        let link = LinkReport {
+            transfers: 10,
+            bytes: 1000,
+            retried_bytes: 200,
+            fallback_bytes: 50,
+            retries: 2,
+            failed_transfers: 1,
+            transfer_secs: 3.0,
+            degraded_secs: 1.0,
+            retry_secs: 0.5,
+        };
+        assert_eq!(link.bytes_moved(), 1250);
+        assert!((link.cost_secs() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serde_round_trips() {
+        let r = HierarchyReport {
+            tiers: vec![],
+            links: vec![LinkReport::default()],
+            requests: 5,
+            origin_fetches: 2,
+            unavailability: 0.0,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HierarchyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault-severity degradation sweeps and their CSV rows.
+
+use cachesim::{SimError, SpecGranularity};
+use filecule_core::FileculeSet;
+use hep_faults::{FaultConfig, FaultPlan};
+use hep_runctx::{maybe_install, RunCtx};
+use hep_trace::{EventSource, Trace, GB};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::config::HierarchyConfig;
+use crate::report::HierarchyReport;
+
+/// Build the per-link fault plan for a hierarchy: one fault domain
+/// (site) per tier uplink, over the trace horizon. Link `t` = site `t`.
+#[must_use]
+pub fn link_fault_plan(cfg: &FaultConfig, n_tiers: usize, horizon: u64, seed: u64) -> FaultPlan {
+    FaultPlan::build(cfg, n_tiers, horizon, seed)
+}
+
+/// One line of a degradation curve: a hierarchy at one fault severity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationRow {
+    /// Fault severity the links ran at (`FaultConfig::severity`).
+    pub severity: f64,
+    /// Tier chain, edge first, as `policy@GB` joined with `+`.
+    pub tiers: String,
+    /// Edge-tier granularity: `file` or `filecule`.
+    pub granularity: String,
+    /// Edge-tier capacity in GB.
+    pub edge_gb: f64,
+    /// Post-warmup requests entering the edge.
+    pub requests: u64,
+    /// Edge-tier request hit rate.
+    pub edge_hit_rate: f64,
+    /// Fraction of requests served by any cache tier.
+    pub hierarchy_hit_rate: f64,
+    /// Requests served by the infinite origin.
+    pub origin_fetches: u64,
+    /// Total wire traffic over all links, GB (delivered + re-sent +
+    /// fallback — monotone in transfer-failure probability).
+    pub bytes_moved_gb: f64,
+    /// Bytes diverted to the fallback path, GB.
+    pub fallback_gb: f64,
+    /// Transfers that never succeeded.
+    pub failed_transfers: u64,
+    /// Total link cost (transfer + degradation + retry backoff), hours.
+    pub cost_hours: f64,
+    /// Mean fraction of link-seconds spent in outage.
+    pub unavailability: f64,
+}
+
+impl DegradationRow {
+    /// CSV header matching [`csv_line`](Self::csv_line).
+    pub const CSV_HEADER: &'static str = "severity,tiers,granularity,edge_gb,requests,\
+        edge_hit_rate,hierarchy_hit_rate,origin_fetches,bytes_moved_gb,fallback_gb,\
+        failed_transfers,cost_hours,unavailability";
+
+    /// Summarize one run at one severity.
+    #[must_use]
+    pub fn from_report(severity: f64, cfg: &HierarchyConfig, report: &HierarchyReport) -> Self {
+        let tiers = cfg
+            .tiers
+            .iter()
+            .map(|t| format!("{}@{}", t.spec.key(), t.capacity / GB))
+            .collect::<Vec<_>>()
+            .join("+");
+        let granularity = match cfg.tiers[0].spec.granularity() {
+            SpecGranularity::File => "file",
+            SpecGranularity::Filecule => "filecule",
+        };
+        Self {
+            severity,
+            tiers,
+            granularity: granularity.to_string(),
+            edge_gb: cfg.tiers[0].capacity as f64 / GB as f64,
+            requests: report.requests,
+            edge_hit_rate: report.edge().hit_rate(),
+            hierarchy_hit_rate: report.hit_rate(),
+            origin_fetches: report.origin_fetches,
+            bytes_moved_gb: report.total_bytes_moved() as f64 / GB as f64,
+            fallback_gb: report.total_fallback_bytes() as f64 / GB as f64,
+            failed_transfers: report.total_failed_transfers(),
+            cost_hours: report.total_cost_secs() / 3600.0,
+            unavailability: report.unavailability,
+        }
+    }
+
+    /// Render as one CSV line (no trailing newline).
+    #[must_use]
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{:.2},{},{},{:.3},{},{:.6},{:.6},{},{:.3},{:.3},{},{:.3},{:.6}",
+            self.severity,
+            self.tiers,
+            self.granularity,
+            self.edge_gb,
+            self.requests,
+            self.edge_hit_rate,
+            self.hierarchy_hit_rate,
+            self.origin_fetches,
+            self.bytes_moved_gb,
+            self.fallback_gb,
+            self.failed_transfers,
+            self.cost_hours,
+            self.unavailability,
+        )
+    }
+}
+
+/// Run one hierarchy at each fault severity, in parallel under
+/// `ctx.threads`. Each severity gets its own per-link [`FaultPlan`]
+/// built from [`FaultConfig::severity`] with the same `seed`, so the
+/// transfer-outcome hash space is shared across severities and the
+/// per-tier cache results are bit-identical at every one — only link
+/// traffic degrades. Results come back in `severities` order.
+///
+/// # Panics
+/// Panics if any severity is outside `[0, 1)` (the `FaultConfig`
+/// contract).
+pub fn severity_sweep(
+    source: &dyn EventSource,
+    trace: &Trace,
+    set: &FileculeSet,
+    cfg: &HierarchyConfig,
+    severities: &[f64],
+    seed: u64,
+    ctx: &RunCtx<'_>,
+) -> Result<Vec<(f64, HierarchyReport)>, SimError> {
+    cfg.validate().map_err(SimError::Unsupported)?;
+    let horizon = trace.horizon();
+    maybe_install(ctx.threads, || {
+        severities
+            .par_iter()
+            .map(|&s| {
+                let plan =
+                    link_fault_plan(&FaultConfig::severity(s), cfg.tiers.len(), horizon, seed);
+                let rctx = RunCtx::new()
+                    .with_metrics(ctx.metrics.clone())
+                    .with_faults(&plan);
+                crate::engine::simulate_hierarchy_ctx(source, trace, set, cfg, &rctx)
+                    .map(|r| (s, r))
+            })
+            .collect::<Result<Vec<_>, _>>()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TierSpec;
+    use crate::engine::simulate_hierarchy;
+    use cachesim::PolicySpec;
+    use hep_trace::{ReplayLog, SynthConfig, TraceSynthesizer};
+
+    #[test]
+    fn severity_zero_is_fault_free_and_caches_never_degrade() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+        let set = filecule_core::identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = HierarchyConfig::new(vec![
+            TierSpec::new(PolicySpec::FileLru, 5 * GB),
+            TierSpec::new(PolicySpec::FileculeLru, 50 * GB),
+        ]);
+        let rows =
+            severity_sweep(&log, &trace, &set, &cfg, &[0.0, 0.3], 7, &RunCtx::new()).unwrap();
+        let free = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        assert_eq!(rows[0].1, free);
+        // Cache decisions are severity-invariant; only links degrade.
+        for (t, tier) in rows[1].1.tiers.iter().enumerate() {
+            assert_eq!(tier.report, free.tiers[t].report);
+        }
+        assert!(rows[1].1.total_bytes_moved() >= free.total_bytes_moved());
+        assert!(rows[1].1.unavailability > 0.0);
+    }
+
+    #[test]
+    fn csv_line_matches_header_arity() {
+        let trace = TraceSynthesizer::new(SynthConfig::small(7)).generate();
+        let set = filecule_core::identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(PolicySpec::FileculeLru, 10 * GB)]);
+        let report = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        let row = DegradationRow::from_report(0.0, &cfg, &report);
+        let n_fields = DegradationRow::CSV_HEADER.split(',').count();
+        assert_eq!(row.csv_line().split(',').count(), n_fields);
+        assert_eq!(row.granularity, "filecule");
+        let json = serde_json::to_string(&row).unwrap();
+        let back: DegradationRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+}

@@ -39,13 +39,14 @@ pub mod placement;
 pub mod policies;
 pub mod sim;
 
-pub use online::{
-    compare_granularities, simulate_sites, simulate_sites_ctx, simulate_sites_log, Granularity,
-    OnlineReport,
-};
 #[allow(deprecated)]
 pub use online::{
-    simulate_sites_faulty, simulate_sites_faulty_metrics, simulate_sites_log_metrics,
+    compare_granularities, simulate_sites_faulty, simulate_sites_faulty_metrics,
+    simulate_sites_log_metrics,
+};
+pub use online::{
+    compare_granularities_ctx, simulate_sites, simulate_sites_ctx, simulate_sites_log, Granularity,
+    OnlineReport,
 };
 pub use placement::Placement;
 pub use policies::{

@@ -400,18 +400,54 @@ fn simulate_sites_degraded(
 
 /// Compare both granularities at one per-site capacity over a single
 /// shared materialization of the replay stream.
+///
+///// **Deprecated in favor of [`compare_granularities_ctx`]**: this
+/// predates [`RunCtx`], materializes a fresh [`ReplayLog`] on every
+/// call, and can neither carry metrics nor replay in degraded mode.
+/// Results are bit-identical to the ctx version over the same source.
+#[deprecated(
+    since = "0.1.0",
+    note = "use compare_granularities_ctx with a shared EventSource and RunCtx"
+)]
 pub fn compare_granularities(
     trace: &Trace,
     set: &FileculeSet,
     capacity_per_site: u64,
 ) -> (OnlineReport, OnlineReport) {
     let log = ReplayLog::build(trace);
-    (
-        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::File)
-            .expect("in-memory replay is infallible"),
-        simulate_sites_log(&log, trace, set, capacity_per_site, Granularity::Filecule)
-            .expect("in-memory replay is infallible"),
-    )
+    compare_granularities_ctx(&log, trace, set, capacity_per_site, &RunCtx::new())
+        .expect("in-memory replay is infallible")
+}
+
+/// Compare both granularities at one per-site capacity over one shared
+/// [`EventSource`], under a [`RunCtx`] (metrics, optional fault plan).
+/// Both replays see the same context, so the pair is directly
+/// comparable; the file-granularity replay runs first.
+pub fn compare_granularities_ctx(
+    source: &dyn EventSource,
+    trace: &Trace,
+    set: &FileculeSet,
+    capacity_per_site: u64,
+    ctx: &RunCtx<'_>,
+) -> Result<(OnlineReport, OnlineReport), StreamError> {
+    Ok((
+        simulate_sites_ctx(
+            source,
+            trace,
+            set,
+            capacity_per_site,
+            Granularity::File,
+            ctx,
+        )?,
+        simulate_sites_ctx(
+            source,
+            trace,
+            set,
+            capacity_per_site,
+            Granularity::Filecule,
+            ctx,
+        )?,
+    ))
 }
 
 #[cfg(test)]
@@ -449,7 +485,9 @@ mod tests {
         let t = TraceSynthesizer::new(SynthConfig::small(141)).generate();
         let set = identify(&t);
         let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
-        let (file, filecule) = compare_granularities(&t, &set, total / 8);
+        let log = ReplayLog::build(&t);
+        let (file, filecule) =
+            compare_granularities_ctx(&log, &t, &set, total / 8, &RunCtx::new()).unwrap();
         assert_eq!(file.requests, filecule.requests);
         assert!(
             filecule.miss_rate() < file.miss_rate(),
@@ -457,6 +495,20 @@ mod tests {
             filecule.miss_rate(),
             file.miss_rate()
         );
+    }
+
+    /// The deprecated shim and the ctx entry point are bit-identical
+    /// over the same trace (the PR 6 shim-equivalence pattern).
+    #[test]
+    #[allow(deprecated)]
+    fn compare_granularities_shim_matches_ctx() {
+        let t = TraceSynthesizer::new(SynthConfig::small(141)).generate();
+        let set = identify(&t);
+        let total: u64 = t.files().iter().map(|f| f.size_bytes).sum();
+        let legacy = compare_granularities(&t, &set, total / 8);
+        let log = ReplayLog::build(&t);
+        let ctx = compare_granularities_ctx(&log, &t, &set, total / 8, &RunCtx::new()).unwrap();
+        assert_eq!(legacy, ctx);
     }
 
     #[test]

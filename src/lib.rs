@@ -21,6 +21,10 @@
 //! * [`transfer`] — BitTorrent feasibility analysis (Section 5,
 //!   Figures 11–12);
 //! * [`replication`] — filecule-aware proactive replication (Section 6);
+//! * [`hierarchy`] (`hep-hierarchy`) — multi-tier (edge → regional →
+//!   origin) cache-hierarchy simulator: per-tier [`cachesim::PolicySpec`]
+//!   caches, miss escalation, fault-aware inter-tier transfer costing and
+//!   degradation sweeps;
 //! * [`faults`] (`hep-faults`) — seeded fault injection: site outages,
 //!   transfer failures and degraded links, replayed through the cache,
 //!   replication and transfer simulators in degraded mode;
@@ -67,6 +71,7 @@
 pub use cachesim;
 pub use filecule_core as core;
 pub use hep_faults as faults;
+pub use hep_hierarchy as hierarchy;
 pub use hep_obs as obs;
 pub use hep_runctx as runctx;
 pub use hep_stats as stats;
@@ -85,6 +90,10 @@ pub mod prelude {
         identify, identify_from_source, FileculeId, FileculeSet, IncrementalFilecules,
     };
     pub use hep_faults::{FaultConfig, FaultPlan};
+    pub use hep_hierarchy::{
+        parse_tiers, severity_sweep, simulate_hierarchy, simulate_hierarchy_stream,
+        HierarchyConfig, HierarchyReport, TierSpec,
+    };
     pub use hep_obs::{Metrics, Snapshot};
     pub use hep_runctx::{configure_rayon_threads, RunCtx};
     pub use hep_trace::{

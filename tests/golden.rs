@@ -260,6 +260,78 @@ fn golden_streamed_belady_simreports() {
 }
 
 #[test]
+fn golden_hierarchy_simreports() {
+    // Pins the multi-tier hierarchy engine: a 3-tier chain (edge ×1/4,
+    // regional ×1, origin-side ×4 of the standard capacity) at file vs
+    // filecule granularity, fault-free. One row per tier plus the
+    // merged link/origin accounting, so escalation traffic and the
+    // filecule-aware downward placement are both pinned. Streamed
+    // replay of the same topology must match bit for bit.
+    let trace = small_trace();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+
+    let mut csv = String::from(
+        "granularity,tier,policy,capacity,requests,hits,misses,cold_misses,bypasses,\
+         bytes_requested,bytes_fetched,bytes_evicted,link_bytes_moved,origin_fetches\n",
+    );
+    let mut reports = Vec::new();
+    for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+        let cfg = HierarchyConfig::new(vec![
+            TierSpec::new(spec, CAPACITY / 4),
+            TierSpec::new(spec, CAPACITY),
+            TierSpec::new(spec, 4 * CAPACITY),
+        ]);
+        let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        assert_eq!(h.tier_hits() + h.origin_fetches, h.requests);
+        let gran = if spec == PolicySpec::FileLru {
+            "file"
+        } else {
+            "filecule"
+        };
+        for (t, tier) in h.tiers.iter().enumerate() {
+            let r = &tier.report;
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                gran,
+                t,
+                r.policy,
+                r.capacity,
+                r.requests,
+                r.hits,
+                r.misses,
+                r.cold_misses,
+                r.bypasses,
+                r.bytes_requested,
+                r.bytes_fetched,
+                r.bytes_evicted,
+                h.links[t].bytes_moved(),
+                h.origin_fetches,
+            ));
+        }
+        reports.push((cfg, h));
+    }
+    check_golden("hierarchy-small-seed7.csv", &csv);
+
+    // Streamed replay of the same topologies is bit-identical.
+    let dir = std::env::temp_dir().join("filecules-golden-stream");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("hierarchy-small-seed7-{}.bin", std::process::id()));
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+    let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
+    for (cfg, in_memory) in &reports {
+        let h = simulate_hierarchy(&streamed, &trace, &set, cfg).unwrap();
+        assert_eq!(
+            &h, in_memory,
+            "streamed hierarchy replay diverged from the in-memory replay"
+        );
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
 fn golden_outputs_unchanged_by_metrics() {
     // The observability layer must be write-only: attaching a recorder
     // cannot perturb either artifact the golden files pin.

@@ -1,0 +1,262 @@
+//! The hierarchy contract suite (written before the engine filled out):
+//!
+//! 1. a single-tier hierarchy with an infinite origin is bit-identical
+//!    to the monolithic `Simulator::run_spec` for every
+//!    partition-independent spec, over in-memory and streamed sources;
+//! 2. conservation and fault invariants hold over random topologies
+//!    (proptest): per-tier hits + origin fetches == requests, a default
+//!    fault plan is the identity, bytes-moved is monotone in the
+//!    transfer-failure probability while cache decisions never change;
+//! 3. a fixed topology is deterministic across thread budgets.
+
+use filecules::hierarchy::link_fault_plan;
+use filecules::prelude::*;
+use proptest::prelude::*;
+
+const SEED: u64 = 7;
+const CAPACITY: u64 = TB / 100;
+
+fn small_trace() -> Trace {
+    TraceSynthesizer::new(SynthConfig::small(SEED)).generate()
+}
+
+/// All specs whose sharded/monolithic equivalence already holds — the
+/// set the 1-tier hierarchy equivalence is promised for.
+fn independent_specs() -> impl Iterator<Item = PolicySpec> {
+    PolicySpec::ALL
+        .into_iter()
+        .filter(|s| s.is_partition_independent())
+}
+
+fn one_tier_vs_monolithic(source: &dyn EventSource, trace: &Trace, set: &FileculeSet) {
+    let sim = Simulator::new();
+    for spec in independent_specs() {
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(spec, CAPACITY)]);
+        let h = simulate_hierarchy(source, trace, set, &cfg)
+            .unwrap_or_else(|e| panic!("hierarchy failed for {spec}: {e}"));
+        let mono = sim
+            .run_spec(source, trace, set, spec, CAPACITY)
+            .unwrap_or_else(|e| panic!("run_spec failed for {spec}: {e}"));
+        assert_eq!(h.tiers[0].report, mono, "tier report diverged for {spec}");
+        assert_eq!(h.requests, mono.requests, "requests diverged for {spec}");
+        assert_eq!(
+            h.origin_fetches, mono.misses,
+            "origin fetches != misses for {spec}"
+        );
+        assert_eq!(
+            h.links[0].bytes, mono.bytes_fetched,
+            "link bytes diverged for {spec}"
+        );
+        assert_eq!(h.tier_hits() + h.origin_fetches, h.requests);
+    }
+}
+
+#[test]
+fn one_tier_matches_monolithic_in_memory() {
+    let trace = small_trace();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    one_tier_vs_monolithic(&log, &trace, &set);
+}
+
+#[test]
+fn one_tier_matches_monolithic_streamed() {
+    let dir = std::env::temp_dir().join("filecules-hierarchy-stream");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace-small-seed7-{}.bin", std::process::id()));
+    TraceSynthesizer::new(SynthConfig::small(SEED))
+        .generate_to_path(&path)
+        .unwrap();
+    let trace = small_trace();
+    let set = identify(&trace);
+    let streamed = StreamedLog::open_with_chunk(&path, 1024).unwrap();
+    one_tier_vs_monolithic(&streamed, &trace, &set);
+
+    // The trace-free stream entry point agrees with the trace-backed one
+    // for the paper's two policies.
+    for spec in [PolicySpec::FileLru, PolicySpec::FileculeLru] {
+        let cfg = HierarchyConfig::new(vec![TierSpec::new(spec, CAPACITY)]);
+        let via_trace = simulate_hierarchy(&streamed, &trace, &set, &cfg).unwrap();
+        let via_stream = simulate_hierarchy_stream(&streamed, &set, &cfg).unwrap();
+        assert_eq!(via_stream, via_trace);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Build a micro-trace from (site, files) jobs — same idiom as
+/// `tests/properties.rs`, deterministic times.
+fn build_trace(jobs: &[(u8, Vec<u8>)], n_files: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let d = b.add_domain(".gov");
+    let s0 = b.add_site(d);
+    let s1 = b.add_site(d);
+    let u0 = b.add_user();
+    let u1 = b.add_user();
+    for _ in 0..n_files {
+        b.add_file(10 * MB, DataTier::Thumbnail);
+    }
+    for (i, (site_sel, files)) in jobs.iter().enumerate() {
+        let list: Vec<FileId> = files
+            .iter()
+            .map(|&f| FileId(u32::from(f) % n_files))
+            .collect();
+        let (site, user) = if site_sel % 2 == 0 {
+            (s0, u0)
+        } else {
+            (s1, u1)
+        };
+        b.add_job(
+            user,
+            site,
+            hep_trace::NodeId(0),
+            DataTier::Thumbnail,
+            i as u64 * 100,
+            i as u64 * 100 + 50,
+            &list,
+        );
+    }
+    b.build().expect("valid by construction")
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec((any::<u8>(), prop::collection::vec(0u8..24, 1..12)), 1..25)
+}
+
+/// Alternate granularities up the chain, capacities in MB.
+fn topology(n_tiers: usize, caps_mb: &[u64]) -> HierarchyConfig {
+    let tiers = (0..n_tiers)
+        .map(|t| {
+            let spec = if t % 2 == 0 {
+                PolicySpec::FileLru
+            } else {
+                PolicySpec::FileculeLru
+            };
+            TierSpec::new(spec, caps_mb[t] * MB)
+        })
+        .collect();
+    HierarchyConfig::new(tiers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every post-warmup request is served exactly once: by exactly one
+    /// tier or by the origin.
+    #[test]
+    fn conservation_over_random_topologies(
+        jobs in jobs_strategy(),
+        n_tiers in 1usize..=4,
+        caps_mb in prop::collection::vec(1u64..64, 4),
+    ) {
+        let trace = build_trace(&jobs, 24);
+        let set = identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = topology(n_tiers, &caps_mb);
+        let h = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        prop_assert_eq!(h.n_tiers(), n_tiers);
+        prop_assert_eq!(h.tier_hits() + h.origin_fetches, h.requests);
+        prop_assert_eq!(h.requests, trace.n_accesses() as u64);
+        // Escalation only shrinks traffic: each tier sees exactly the
+        // misses of the tier below it.
+        for t in 1..n_tiers {
+            prop_assert_eq!(h.tiers[t].report.requests, h.tiers[t - 1].report.misses);
+        }
+        prop_assert_eq!(h.origin_fetches, h.tiers[n_tiers - 1].report.misses);
+    }
+
+    /// A plan built from `FaultConfig::default()` is bit-identical to
+    /// running with no plan at all.
+    #[test]
+    fn default_fault_plan_is_identity(
+        jobs in jobs_strategy(),
+        n_tiers in 1usize..=4,
+        caps_mb in prop::collection::vec(1u64..64, 4),
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&jobs, 24);
+        let set = identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = topology(n_tiers, &caps_mb);
+        let free = simulate_hierarchy(&log, &trace, &set, &cfg).unwrap();
+        let plan = link_fault_plan(&FaultConfig::default(), n_tiers, trace.horizon(), seed);
+        let ctx = RunCtx::new().with_faults(&plan);
+        let planned =
+            filecules::hierarchy::simulate_hierarchy_ctx(&log, &trace, &set, &cfg, &ctx).unwrap();
+        prop_assert_eq!(planned, free);
+    }
+
+    /// Raising the transfer-failure probability (same seed) never
+    /// decreases total wire traffic, and never changes cache decisions.
+    #[test]
+    fn bytes_moved_monotone_in_failure_p(
+        jobs in jobs_strategy(),
+        n_tiers in 1usize..=3,
+        caps_mb in prop::collection::vec(1u64..64, 4),
+        seed in any::<u64>(),
+    ) {
+        let trace = build_trace(&jobs, 24);
+        let set = identify(&trace);
+        let log = ReplayLog::build(&trace);
+        let cfg = topology(n_tiers, &caps_mb);
+        let horizon = trace.horizon();
+        let mut last_moved = 0u64;
+        let mut first: Option<HierarchyReport> = None;
+        for p in [0.0, 0.1, 0.3, 0.6] {
+            let fc = FaultConfig::default().with_transfer_failures(p);
+            let plan = link_fault_plan(&fc, n_tiers, horizon, seed);
+            let ctx = RunCtx::new().with_faults(&plan);
+            let h = filecules::hierarchy::simulate_hierarchy_ctx(&log, &trace, &set, &cfg, &ctx)
+                .unwrap();
+            prop_assert!(h.total_bytes_moved() >= last_moved,
+                "bytes_moved regressed at p={}", p);
+            last_moved = h.total_bytes_moved();
+            match &first {
+                None => first = Some(h),
+                Some(f) => {
+                    for (t, tier) in h.tiers.iter().enumerate() {
+                        prop_assert_eq!(&tier.report, &f.tiers[t].report,
+                            "cache decisions changed at p={}", p);
+                    }
+                    prop_assert_eq!(h.requests, f.requests);
+                    prop_assert_eq!(h.origin_fetches, f.origin_fetches);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_topology_deterministic_across_thread_budgets() {
+    let trace = small_trace();
+    let set = identify(&trace);
+    let log = ReplayLog::build(&trace);
+    let cfg = HierarchyConfig::new(vec![
+        TierSpec::new(PolicySpec::FileLru, CAPACITY / 4),
+        TierSpec::new(PolicySpec::FileLru, CAPACITY),
+        TierSpec::new(PolicySpec::FileculeLru, 4 * CAPACITY),
+    ]);
+    let severities = [0.0, 0.1, 0.4];
+    let baseline = severity_sweep(
+        &log,
+        &trace,
+        &set,
+        &cfg,
+        &severities,
+        SEED,
+        &RunCtx::new().with_threads(1),
+    )
+    .unwrap();
+    for threads in [2usize, 8] {
+        let got = severity_sweep(
+            &log,
+            &trace,
+            &set,
+            &cfg,
+            &severities,
+            SEED,
+            &RunCtx::new().with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(got, baseline, "sweep diverged at {threads} threads");
+    }
+}
